@@ -1,0 +1,50 @@
+"""Shared fixtures for the benchmark suite.
+
+Every benchmark regenerates one of the paper's tables or figures through
+the same code path a full reproduction would use; only the trial count is
+scaled down by default so the suite finishes in CI time. Environment
+overrides:
+
+* ``REPRO_TRIALS`` — trials per net size (paper: 50; bench default: 10)
+* ``REPRO_SIZES``  — comma-separated net sizes (paper: 5,10,20,30)
+* ``REPRO_SEED``   — master seed (default 1994)
+
+Rendered tables/figure captions are written to ``benchmarks/results/`` so
+a ``--benchmark-only`` run leaves the reproduced artifacts on disk.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import ExperimentConfig
+
+#: Bench-default trials (REPRO_TRIALS=50 regenerates the paper protocol).
+BENCH_TRIALS = 10
+
+
+@pytest.fixture(scope="session")
+def config() -> ExperimentConfig:
+    return ExperimentConfig.from_env(default_trials=BENCH_TRIALS)
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    path = Path(__file__).parent / "results"
+    path.mkdir(exist_ok=True)
+    return path
+
+
+@pytest.fixture
+def save_artifact(results_dir):
+    """Write a rendered artifact to benchmarks/results/<name>.txt."""
+
+    def _save(name: str, text: str) -> Path:
+        path = results_dir / f"{name}.txt"
+        path.write_text(text + "\n", encoding="utf-8")
+        print(f"\n{text}\n[saved to {path}]")
+        return path
+
+    return _save

@@ -1,0 +1,42 @@
+"""Ablation: does the 492 fH/µm wire inductance matter?
+
+Table 1 lists a wire inductance, but at 0.8µ process speeds RC dominates:
+a 10 mm wire has L ≈ 4.9 nH against R = 300 Ω and C = 3.5 pF, so
+L/R ≈ 16 ps — two orders below the nanosecond-scale RC delays. This
+ablation simulates real routing circuits with and without the series
+inductance (RLC needs the MNA transient engine) and confirms the 50%
+delays shift well under a percent, justifying the RC-only default and
+the analytic fast path.
+"""
+
+from repro.delay.spice_delay import SpiceOptions, spice_delays
+from repro.graph.mst import prim_mst
+from repro.geometry.random_nets import random_net
+
+
+def _inductance_shift(config):
+    shifts = []
+    for seed in range(3):
+        net = random_net(8, seed=9300 + seed, region=config.tech.region)
+        graph = prim_mst(net)
+        rc = spice_delays(graph, config.tech, SpiceOptions(
+            engine="transient", segments=3, num_steps=4000))
+        rlc = spice_delays(graph, config.tech, SpiceOptions(
+            engine="transient", segments=3, num_steps=4000,
+            include_inductance=True))
+        shifts.append(max(abs(rlc[s] - rc[s]) / rc[s] for s in rc))
+    return shifts
+
+
+def test_ablation_inductance(benchmark, config, save_artifact):
+    shifts = benchmark.pedantic(lambda: _inductance_shift(config),
+                                rounds=1, iterations=1)
+    lines = ["Ablation: 50%-delay shift when adding the 492 fH/um wire "
+             "inductance (RLC vs RC)"]
+    lines += [f"  net {i}: worst-sink shift {shift:.4%}"
+              for i, shift in enumerate(shifts)]
+    save_artifact("ablation_inductance", "\n".join(lines))
+
+    # Inductance is present and simulable, but negligible at this node.
+    for shift in shifts:
+        assert shift < 0.02

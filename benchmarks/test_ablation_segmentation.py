@@ -1,0 +1,64 @@
+"""Ablation: wire segmentation depth vs 50%-delay accuracy.
+
+The simulator discretizes each wire into π-sections. One section already
+matches the distributed line's first moment exactly, but the 50% crossing
+needs a few sections to converge. This ablation sweeps the section count
+on real routing nets against a 16-section reference and backs the
+harness's (search=1, eval=3) choice. Two error views matter:
+
+* the *critical* sink (the max-delay sink, the quantity t(G) the tables
+  report and the greedy loop ranks on) — segments=1 is already ~1% here;
+* the *worst* sink (dominated by electrically short sinks whose tiny
+  delays amplify relative error) — harmless for ranking, and the reason
+  the evaluation oracle uses segments=3.
+"""
+
+from statistics import mean
+
+from repro.delay.spice_delay import SpiceOptions, spice_delays
+from repro.graph.mst import prim_mst
+from repro.geometry.random_nets import random_net
+
+_SWEEP = (1, 2, 3, 5, 8)
+_REFERENCE = 16
+
+
+def _errors(config):
+    critical: dict[int, list[float]] = {s: [] for s in _SWEEP}
+    worst: dict[int, list[float]] = {s: [] for s in _SWEEP}
+    for seed in range(5):
+        net = random_net(12, seed=9000 + seed, region=config.tech.region)
+        graph = prim_mst(net)
+        reference = spice_delays(graph, config.tech,
+                                 SpiceOptions(segments=_REFERENCE))
+        t_ref = max(reference.values())
+        for segments in _SWEEP:
+            measured = spice_delays(graph, config.tech,
+                                    SpiceOptions(segments=segments))
+            worst[segments].append(
+                max(abs(measured[s] - reference[s]) / reference[s]
+                    for s in reference))
+            critical[segments].append(
+                abs(max(measured.values()) - t_ref) / t_ref)
+    return ({s: mean(v) for s, v in critical.items()},
+            {s: mean(v) for s, v in worst.items()})
+
+
+def test_ablation_segmentation(benchmark, config, save_artifact):
+    critical, worst = benchmark.pedantic(lambda: _errors(config),
+                                         rounds=1, iterations=1)
+    lines = ["Ablation: pi-sections per wire vs 50%-delay error "
+             f"(reference: {_REFERENCE} sections)"]
+    lines += [f"  segments={s}: critical-sink error {critical[s]:.4%}, "
+              f"worst-sink error {worst[s]:.4%}"
+              for s in _SWEEP]
+    save_artifact("ablation_segmentation", "\n".join(lines))
+
+    # Discretization error shrinks monotonically (up to tiny noise)...
+    assert worst[1] >= worst[3] - 1e-6
+    assert worst[3] >= worst[8] - 1e-6
+    # ...the search oracle ranks t(G) with ~1% fidelity at segments=1...
+    assert critical[1] < 0.03
+    # ...and the evaluation oracle reports it to reporting-grade accuracy.
+    assert critical[3] < 0.005
+    assert worst[3] < 0.01

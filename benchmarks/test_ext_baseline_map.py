@@ -1,0 +1,88 @@
+"""Extension: the delay/cost map of the related-work tree baselines.
+
+Not a paper table — this positions LDRG's non-tree routings against the
+tree constructions the paper's introduction cites: Prim–Dijkstra trees
+(AHHK [1], c ∈ {0, 0.5, 1}), bounded-radius trees ([8], ε ∈ {0, 0.5}),
+the ERT and SERT of Boese et al. [4], and the Iterated 1-Steiner tree.
+All delays are SPICE-evaluated and normalized to the MST, as in the
+paper's tables.
+"""
+
+from statistics import mean
+
+from repro.core.ert import elmore_routing_tree
+from repro.core.ldrg import ldrg
+from repro.core.sert import steiner_elmore_routing_tree
+from repro.graph.baselines import bounded_radius_tree, prim_dijkstra_tree
+from repro.graph.mst import prim_mst
+from repro.graph.steiner import iterated_one_steiner
+from repro.geometry.random_nets import random_nets
+
+_NET_SIZE = 12
+
+
+def _delay_cost_map(config):
+    evaluate = config.eval_model()
+    search = config.search_model()
+    constructions = {
+        "mst": lambda net: prim_mst(net),
+        "pd(c=0.5)": lambda net: prim_dijkstra_tree(net, 0.5),
+        "pd(c=1.0)": lambda net: prim_dijkstra_tree(net, 1.0),
+        "brt(eps=0)": lambda net: bounded_radius_tree(net, 0.0),
+        "brt(eps=0.5)": lambda net: bounded_radius_tree(net, 0.5),
+        "steiner": iterated_one_steiner,
+        "ert": lambda net: elmore_routing_tree(net, config.tech),
+        "sert": lambda net: steiner_elmore_routing_tree(net, config.tech),
+        "ldrg": lambda net: ldrg(net, config.tech, delay_model=search,
+                                 evaluation_model=evaluate).graph,
+    }
+    trials = max(4, min(config.trials, 10))
+    delay_ratios = {name: [] for name in constructions}
+    cost_ratios = {name: [] for name in constructions}
+    for net in random_nets(_NET_SIZE, trials, seed=config.seed):
+        mst = prim_mst(net)
+        mst_delay = evaluate.max_delay(mst)
+        mst_cost = mst.cost()
+        for name, construct in constructions.items():
+            graph = construct(net)
+            delay_ratios[name].append(evaluate.max_delay(graph) / mst_delay)
+            cost_ratios[name].append(graph.cost() / mst_cost)
+    return ({name: mean(v) for name, v in delay_ratios.items()},
+            {name: mean(v) for name, v in cost_ratios.items()})
+
+
+def test_ext_baseline_map(benchmark, config, save_artifact):
+    delay, cost = benchmark.pedantic(lambda: _delay_cost_map(config),
+                                     rounds=1, iterations=1)
+    lines = [f"Extension: delay/cost map on {_NET_SIZE}-pin nets "
+             "(normalized to MST, SPICE-evaluated)"]
+    for name in sorted(delay, key=delay.get):
+        lines.append(f"  {name:14s} delay {delay[name]:.3f}  "
+                     f"cost {cost[name]:.3f}")
+    save_artifact("ext_baseline_map", "\n".join(lines))
+
+    # The MST is the wirelength optimum over the *pins*: every pin-only
+    # spanning tree costs >= 1. Cost-minimizing Steiner trees dip below;
+    # SERT is delay-driven and may land on either side, so it is only
+    # required to be positive.
+    for name, value in cost.items():
+        if name == "steiner":
+            assert 0.5 < value <= 1.0 + 1e-9
+        elif name == "sert":
+            assert value > 0.5
+        else:
+            assert value >= 1.0 - 1e-9
+    # Normalizations sane.
+    assert delay["mst"] == 1.0 and cost["mst"] == 1.0
+    # Pure shortest-path trees spend the most wire of the PD family.
+    assert cost["pd(c=1.0)"] >= cost["pd(c=0.5)"] - 1e-9
+    # The Steiner tree saves wire relative to the MST-as-baseline (== 1).
+    assert cost["steiner"] <= 1.0 + 1e-9
+    # Delay-driven constructions all beat the MST's delay on average.
+    for name in ("ert", "sert", "ldrg"):
+        assert delay[name] < 1.0
+    # The paper's claim is *competitiveness*: LDRG (which starts from the
+    # wire-optimal MST) lands near the best delay-engineered trees — its
+    # own Table 6 has ERT slightly ahead of LDRG on delay too.
+    assert delay["ldrg"] <= min(delay[n] for n in delay) + 0.15
+    assert delay["ldrg"] < 0.85

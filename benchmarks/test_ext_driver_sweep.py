@@ -1,0 +1,33 @@
+"""Extension: the non-tree win as a function of driver strength.
+
+The capacitance/resistance tradeoff at the heart of the paper predicts a
+driver dependence: with a strong driver the extra wire's capacitance is
+cheap and its resistance shortcut valuable, so LDRG improves more and
+wins more often; with a weak driver ``r_d·C_total`` dominates and extra
+wires cannot pay. This sweep makes that mechanism measurable — it is the
+clearest internal evidence that the reproduction captures the *physics*
+the paper argues from, not just its numbers.
+"""
+
+from repro.experiments.sweeps import driver_sweep, format_sweep
+
+
+def test_ext_driver_sweep(benchmark, config, save_artifact):
+    points = benchmark.pedantic(lambda: driver_sweep(config),
+                                rounds=1, iterations=1)
+    save_artifact("ext_driver_sweep", format_sweep(
+        "Extension: LDRG vs MST across driver strength (10-pin nets)",
+        "driver(ohm)", points))
+
+    by_driver = {point.x: point for point in points}
+    drivers = sorted(by_driver)
+    # Greedy never hurts at any drive strength.
+    for point in points:
+        assert point.delay_ratio <= 1.0 + 1e-9
+    # The strongest driver end improves at least as deeply as the
+    # weakest end — the paper's tradeoff, made monotone at the extremes.
+    assert (by_driver[drivers[0]].delay_ratio
+            <= by_driver[drivers[-1]].delay_ratio + 0.02)
+    # And wins at least as often.
+    assert (by_driver[drivers[0]].percent_winners
+            >= by_driver[drivers[-1]].percent_winners - 10.0)

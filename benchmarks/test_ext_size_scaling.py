@@ -1,0 +1,25 @@
+"""Extension: the size-scaling trend of Tables 2–7 as one dense series.
+
+The paper's tables sample net sizes {5, 10, 20, 30}; this sweep fills in
+the intermediate sizes and asserts the trend those tables draw — larger
+nets benefit more from non-tree edges and win more often — holds as a
+*trend* (endpoints), not just at the published sample points.
+"""
+
+from repro.experiments.sweeps import format_sweep, size_scaling
+
+
+def test_ext_size_scaling(benchmark, config, save_artifact):
+    points = benchmark.pedantic(
+        lambda: size_scaling(config, sizes=(5, 10, 15, 20)),
+        rounds=1, iterations=1)
+    save_artifact("ext_size_scaling", format_sweep(
+        "Extension: LDRG vs MST across net size", "pins", points))
+
+    assert all(point.delay_ratio <= 1.0 + 1e-9 for point in points)
+    first, last = points[0], points[-1]
+    # The big-net end is at least as good as the small-net end.
+    assert last.delay_ratio <= first.delay_ratio + 0.05
+    assert last.percent_winners >= first.percent_winners - 10.0
+    # At 20 pins the paper (and our Table 2) sees near-universal wins.
+    assert last.percent_winners >= 70.0

@@ -1,0 +1,24 @@
+"""Figure 1: a 4-pin net where one extra edge visibly cuts delay.
+
+Paper caption: MST 1.3 ns → non-tree 1.0 ns — a 23% delay improvement
+for a 9% wirelength penalty. The driver scans deterministic seeds for a
+4-pin net exhibiting ≥ 15% single-edge improvement and renders the
+before/after pair as SVGs next to the table artifacts.
+"""
+
+from repro.experiments.figures import figure1
+
+
+def test_figure1_example(benchmark, config, results_dir, save_artifact):
+    report = benchmark.pedantic(lambda: figure1(config), rounds=1, iterations=1)
+    save_artifact("figure1", report.caption())
+    report.save_svgs(results_dir)
+
+    assert report.before.is_tree()
+    assert not report.after.is_tree()
+    assert len(report.added_edges) == 1
+    # The existence claim of the figure: a single wire buys real delay.
+    assert report.delay_improvement_pct >= 15.0
+    assert report.wire_penalty_pct > 0.0
+    # Delays land in the paper's nanosecond regime (order of magnitude).
+    assert 0.05e-9 < report.after_delay < report.before_delay < 50e-9

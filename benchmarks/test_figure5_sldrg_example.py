@@ -1,0 +1,21 @@
+"""Figure 5: SLDRG improving an Iterated 1-Steiner tree.
+
+Paper caption: Steiner tree 2.8 ns → SLDRG routing 1.9 ns — a 32%
+improvement for +25% wirelength, with Steiner points drawn as small
+squares. The driver scans seeds for a 10-pin net with ≥ 20% SLDRG
+improvement over its Steiner tree.
+"""
+
+from repro.experiments.figures import figure5
+
+
+def test_figure5_sldrg_example(benchmark, config, results_dir, save_artifact):
+    report = benchmark.pedantic(lambda: figure5(config), rounds=1, iterations=1)
+    save_artifact("figure5", report.caption())
+    report.save_svgs(results_dir)
+
+    assert report.baseline_name == "Steiner tree"
+    assert report.before.is_tree()
+    assert len(report.added_edges) >= 1
+    assert report.delay_improvement_pct >= 20.0
+    assert 0.0 < report.wire_penalty_pct < 100.0

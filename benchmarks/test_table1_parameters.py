@@ -1,0 +1,24 @@
+"""Table 1: the SPICE interconnect technology parameters.
+
+Not a measurement — the paper's Table 1 simply states the 0.8µ CMOS
+parameters every experiment uses. The "benchmark" renders the table from
+:class:`~repro.delay.parameters.Technology` and asserts the values are
+exactly the published ones.
+"""
+
+from repro.delay.parameters import Technology
+from repro.experiments.tables import table1
+
+
+def test_table1_parameters(benchmark, config, save_artifact):
+    text = benchmark.pedantic(lambda: table1(config), rounds=1, iterations=1)
+    save_artifact("table1", text)
+
+    tech = Technology.cmos08()
+    assert tech.driver_resistance == 100.0
+    assert tech.wire_resistance == 0.03
+    assert tech.wire_capacitance == 0.352e-15
+    assert tech.wire_inductance == 492e-15
+    assert tech.sink_capacitance == 15.3e-15
+    assert tech.region == 10_000.0
+    assert "100 ohm" in text and "15.3 fF" in text and "100 mm^2" in text

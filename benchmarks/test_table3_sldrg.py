@@ -1,0 +1,29 @@
+"""Table 3: SLDRG vs the Steiner tree it starts from.
+
+Paper (50 trials): all-cases delay ratio falls from 0.99 (5 pins) to 0.77
+(30 pins) and percent-winners rises from 4% to 100% — on small nets a
+good Steiner tree is hard to beat, on large nets extra edges always pay.
+"""
+
+from repro.experiments.tables import table3
+
+
+def test_table3_sldrg(benchmark, config, save_artifact):
+    table = benchmark.pedantic(lambda: table3(config), rounds=1, iterations=1)
+    save_artifact("table3", table.render())
+
+    rows = {row.net_size: row for row in table.rows()}
+    sizes = sorted(rows)
+    for row in rows.values():
+        assert row.all_delay <= 1.0 + 1e-9   # greedy only keeps improvements
+        assert row.all_cost >= 1.0 - 1e-9
+        if row.win_delay is not None:
+            assert row.win_delay < 1.0
+
+    if config.trials >= 5:
+        # Paper: 94-100% winners at 20+ pins with >= 20% improvement; our
+        # bands stay loose for the reduced default trial count.
+        large = [rows[s] for s in sizes if s >= 20]
+        for row in large:
+            assert row.percent_winners >= 60.0
+            assert row.all_delay <= 0.97

@@ -1,0 +1,36 @@
+"""Table 4: heuristic H1 (longest-SPICE-delay shortcut) vs MST.
+
+Paper (50 trials): H1 is the heuristic closest to full LDRG — iteration
+one improves delay on 20-82% of nets (rising with size) and, because H1
+verifies each edge with its one SPICE call before keeping it, all-cases
+delay never exceeds 1.0. Iteration two fires rarely (6-24% of nets).
+"""
+
+from repro.experiments.tables import table4
+
+
+def test_table4_h1(benchmark, config, save_artifact):
+    table = benchmark.pedantic(lambda: table4(config), rounds=1, iterations=1)
+    save_artifact("table4", table.render())
+
+    rows1 = {row.net_size: row for row in table.rows("H1 Iteration One")}
+    sizes = sorted(rows1)
+    for row in rows1.values():
+        assert row.all_delay <= 1.0 + 1e-9  # H1 keeps only verified wins
+        assert row.all_cost >= 1.0 - 1e-9
+
+    if config.trials >= 5:
+        # H1 finds real wins on a solid fraction of nets at 10+ pins
+        # (paper: 48-82%; our parameter realization wins even more often
+        # on small nets, so no monotone-in-size claim is asserted).
+        for size in sizes:
+            if size >= 10:
+                assert rows1[size].percent_winners >= 30.0
+
+    for row in table.rows("H1 Iteration Two"):
+        if row.not_applicable:
+            continue
+        assert row.all_delay <= 1.0 + 1e-9
+        # Second iterations are rarer than first ones (paper: <= 24%).
+        assert (row.percent_winners
+                <= rows1[row.net_size].percent_winners + 1e-9)

@@ -1,0 +1,29 @@
+"""Table 6: the Elmore Routing Tree (Boese et al.) baseline vs MST.
+
+Paper (50 trials): ERT delay ratios fall from 0.94 (5 pins) to 0.71 (30
+pins) at 1.21-1.27x MST wirelength, winning 54-97% of nets. This is the
+"best existing tree construction" the paper competes against; Table 7
+then shows LDRG improving on it further.
+"""
+
+from repro.experiments.tables import table6
+
+
+def test_table6_ert(benchmark, config, save_artifact):
+    table = benchmark.pedantic(lambda: table6(config), rounds=1, iterations=1)
+    save_artifact("table6", table.render())
+
+    rows = {row.net_size: row for row in table.rows()}
+    sizes = sorted(rows)
+    for row in rows.values():
+        # ERT buys delay with wirelength (paper: +16..27% cost).
+        assert row.all_cost >= 1.0 - 1e-9
+        assert row.all_cost <= 1.8
+
+    if config.trials >= 5:
+        for size in sizes:
+            if size >= 10:
+                # Paper: ERT wins 78-97% of nets at 10+ pins with 15-29%
+                # average delay reduction.
+                assert rows[size].percent_winners >= 60.0
+                assert rows[size].all_delay <= 0.95

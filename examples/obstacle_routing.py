@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Detailed routing around a macro blockage — abstract vs embedded delay.
+
+The paper's routing graphs assume every wire runs at Manhattan length.
+This example embeds a non-tree routing on a real routing grid with a
+large blocked macro in the middle of the die (A* maze routing, in the
+lineage of the paper's citation [17]), and measures what the detours do:
+
+* wirelength inflation (the detour factor);
+* SPICE-level delay of the abstract vs the bend-accurate embedded net;
+* whether LDRG's extra edge still pays off after embedding.
+
+Renders the embedded routing (bends as Steiner squares) to an SVG.
+
+Run:  python examples/obstacle_routing.py [seed] [out.svg]
+"""
+
+import sys
+
+from repro import Net, Technology, ldrg, prim_mst, spice_delay
+from repro.route import RoutingGrid, embed_routing
+from repro.viz import save_routing_svg
+
+
+def embed_on(graph, blocked: bool):
+    grid = RoutingGrid(region=10_000.0, pitch=200.0)
+    if blocked:
+        grid.block_rect(3500.0, 3500.0, 6500.0, 6500.0)  # 3x3 mm macro
+    embedding = embed_routing(graph, grid, snap_blocked_pins=True)
+    return embedding
+
+
+def main() -> None:
+    seed = int(sys.argv[1]) if len(sys.argv) > 1 else 23
+    out_svg = sys.argv[2] if len(sys.argv) > 2 else "embedded_route.svg"
+    tech = Technology.cmos08()
+    net = Net.random(num_pins=10, seed=seed, name=f"macro_demo_s{seed}")
+
+    mst = prim_mst(net)
+    routed = ldrg(net, tech)
+    print(f"Abstract routing: MST {spice_delay(mst, tech) * 1e9:.3f} ns, "
+          f"LDRG {routed.delay * 1e9:.3f} ns "
+          f"({routed.num_added_edges} extra edge(s))\n")
+
+    print(f"{'scenario':28s}  {'detour':>7s}  {'MST ns':>8s}  {'LDRG ns':>8s}")
+    for blocked in (False, True):
+        mst_embedded = embed_on(mst, blocked).to_routing_graph()
+        ldrg_embedding = embed_on(routed.graph, blocked)
+        ldrg_embedded = ldrg_embedding.to_routing_graph()
+        label = "3x3 mm macro blockage" if blocked else "open die"
+        print(f"{label:28s}  {ldrg_embedding.detour_factor():6.3f}x  "
+              f"{spice_delay(mst_embedded, tech) * 1e9:8.3f}  "
+              f"{spice_delay(ldrg_embedded, tech) * 1e9:8.3f}")
+        if blocked:
+            save_routing_svg(
+                ldrg_embedded, out_svg,
+                highlight_edges=[],
+                title=f"LDRG routing embedded around a macro "
+                      f"({spice_delay(ldrg_embedded, tech) * 1e9:.2f} ns)")
+
+    improvement = 1.0 - (spice_delay(ldrg_embedded, tech)
+                         / spice_delay(mst_embedded, tech))
+    print(f"\nAfter embedding around the macro, the non-tree edge still "
+          f"buys {improvement:+.1%} delay vs the embedded MST.")
+    print(f"Embedded routing drawn to {out_svg}")
+
+
+if __name__ == "__main__":
+    main()

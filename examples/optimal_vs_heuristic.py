@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Exact optima vs the heuristics, on nets small enough to enumerate.
+
+For 5-pin nets every routing topology can be scored exhaustively, which
+answers questions the paper could only approach statistically:
+
+* how far is LDRG from the true Optimal Routing Graph?
+* how near-optimal is the ERT, really? (Boese et al. estimated ~2%)
+* how often is the optimal routing graph actually a *tree*?
+
+The last number explains the paper's Table 2 directly: at 5 pins only
+52% of nets benefited from an extra edge — because at that size the true
+optimum usually *is* a tree (just not the MST).
+
+Run:  python examples/optimal_vs_heuristic.py [num_nets]
+"""
+
+import sys
+
+from repro import Net, Technology, ert, ldrg
+from repro.core.exhaustive import optimal_routing_graph, optimal_routing_tree
+from repro.delay.models import ElmoreGraphModel
+
+
+def main() -> None:
+    num_nets = int(sys.argv[1]) if len(sys.argv) > 1 else 8
+    tech = Technology.cmos08()
+    oracle = ElmoreGraphModel(tech)
+
+    print(f"{'net':>6s}  {'ORG':>8s}  {'ORT':>8s}  {'LDRG':>8s}  "
+          f"{'ERT':>8s}  {'optimum'}")
+    tree_optima = 0
+    for seed in range(num_nets):
+        net = Net.random(5, seed=seed, name=f"n{seed}")
+        org = optimal_routing_graph(net, tech, oracle)
+        ort = optimal_routing_tree(net, tech, oracle)
+        greedy = ldrg(net, tech, delay_model=oracle)
+        tree = ert(net, tech, evaluation_model=oracle)
+        kind = "tree" if org.is_tree else "NON-TREE"
+        tree_optima += org.is_tree
+        print(f"{net.name:>6s}  {org.delay * 1e9:7.3f}n  "
+              f"{ort.delay * 1e9:7.3f}n  {greedy.delay * 1e9:7.3f}n  "
+              f"{tree.delay * 1e9:7.3f}n  {kind}")
+
+    print(f"\n{tree_optima}/{num_nets} optima are trees — tiny nets "
+          "rarely want cycles, which is why the paper's gains grow with "
+          "net size (Tables 2-7).")
+    print("Note the ORG/ORT columns: whenever they differ, a non-tree "
+          "routing strictly beats the best possible tree.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Quickstart: route one net with every algorithm in the library.
+
+Builds a random 10-pin net in a 10x10 mm region (the paper's workload),
+routes it with the MST baseline, LDRG, SLDRG, the H1-H3 heuristics and
+the ERT, and prints each routing's SPICE-level delay and wirelength.
+
+Run:  python examples/quickstart.py [seed]
+"""
+
+import sys
+
+from repro import (
+    Net,
+    Technology,
+    ert,
+    h1,
+    h2,
+    h3,
+    ldrg,
+    prim_mst,
+    sldrg,
+    spice_delay,
+)
+
+
+def main() -> None:
+    seed = int(sys.argv[1]) if len(sys.argv) > 1 else 7
+    tech = Technology.cmos08()
+    net = Net.random(num_pins=10, seed=seed, name=f"demo_s{seed}")
+    print(f"Net {net.name}: source at ({net.source.x:.0f}, {net.source.y:.0f}) um, "
+          f"{net.num_sinks} sinks\n")
+
+    mst = prim_mst(net)
+    mst_delay = spice_delay(mst, tech)
+    print(f"{'MST baseline':14s}  delay {mst_delay * 1e9:7.3f} ns   "
+          f"cost {mst.cost():9.0f} um")
+
+    runs = [
+        ("LDRG", ldrg(net, tech)),
+        ("SLDRG", sldrg(net, tech)),
+        ("H1", h1(net, tech)),
+        ("H2", h2(net, tech)),
+        ("H3", h3(net, tech)),
+        ("ERT", ert(net, tech)),
+    ]
+    for name, result in runs:
+        marker = "non-tree" if not result.graph.is_tree() else "tree    "
+        print(f"{name:14s}  delay {result.delay * 1e9:7.3f} ns   "
+              f"cost {result.cost:9.0f} um   [{marker}] "
+              f"{result.num_added_edges} edge(s) added")
+
+    best = min(runs, key=lambda item: item[1].delay)
+    print(f"\nBest routing: {best[0]} at "
+          f"{best[1].delay / mst_delay:.2f}x the MST delay "
+          f"({best[1].cost / mst.cost():.2f}x the MST wirelength)")
+
+
+if __name__ == "__main__":
+    main()

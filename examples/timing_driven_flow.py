@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Full timing-driven routing flow (the Section 5.1 story, end to end).
+
+Builds a seeded random placed design (DFF start points feeding stages of
+combinational gates), routes every net with an MST, runs static timing
+analysis with real routed-interconnect delays, then iteratively
+re-routes the nets on the critical path with CSORG-LDRG using per-sink
+criticalities extracted from the STA — the loop the paper's critical-sink
+formulation exists to serve.
+
+Run:  python examples/timing_driven_flow.py [seed]
+"""
+
+import sys
+
+from repro import Technology
+from repro.timing import analyze, random_design, timing_driven_flow
+from repro.graph.mst import prim_mst
+
+
+def main() -> None:
+    seed = int(sys.argv[1]) if len(sys.argv) > 1 else 2
+    tech = Technology.cmos08()
+    design = random_design(num_stages=6, stage_width=8, seed=seed,
+                           max_fanout=6)
+    print(f"Design {design.name}: {len(design.instances)} gates, "
+          f"{len(design.nets)} nets, "
+          f"{len(design.primary_inputs)} start points\n")
+
+    baseline = analyze(design, tech, router=prim_mst, clock_period=6e-9)
+    print(f"MST-routed baseline: critical path "
+          f"{baseline.max_arrival * 1e9:.3f} ns, "
+          f"WNS {baseline.worst_slack * 1e9:+.3f} ns")
+    print("critical path:", " -> ".join(baseline.critical_path(design)))
+
+    flow = timing_driven_flow(design, tech, rounds=4, clock_period=6e-9)
+    print(f"\nAfter timing-driven re-routing: {flow.summary()}")
+    for round_index, nets in enumerate(flow.rerouted, start=1):
+        print(f"  round {round_index}: re-routed {', '.join(nets)}")
+
+    final = flow.reports[-1]
+    nontree = [name for name, graph in final.routings.items()
+               if not graph.is_tree()]
+    print(f"\nNets now routed as non-trees: {nontree or '(none)'}")
+    print(f"Final WNS {final.worst_slack * 1e9:+.3f} ns "
+          f"(was {baseline.worst_slack * 1e9:+.3f} ns)")
+
+
+if __name__ == "__main__":
+    main()

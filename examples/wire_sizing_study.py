@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Wire sizing study (WSORG, Section 5.2 of the paper).
+
+The paper observes that the extra wires LDRG adds can be read as local
+wire *widening* (two parallel width-w wires = one width-2w wire), and
+poses the wire-sized ORG problem. This example quantifies both halves of
+that observation on one net:
+
+* widen the MST's wires greedily (pure WSORG, no topology change);
+* add non-tree edges greedily (pure LDRG, no widths);
+* do both (LDRG topology, then WSORG widths on top).
+
+and reports delay vs total wire *area* (length x width), the real silicon
+currency.
+
+Run:  python examples/wire_sizing_study.py [seed]
+"""
+
+import sys
+
+from repro import Net, Technology, ldrg, prim_mst, spice_delay, wsorg
+
+
+def main() -> None:
+    seed = int(sys.argv[1]) if len(sys.argv) > 1 else 3
+    tech = Technology.cmos08()
+    net = Net.random(num_pins=15, seed=seed, name=f"ws_demo_s{seed}")
+
+    mst = prim_mst(net)
+    base_delay = spice_delay(mst, tech)
+    base_area = mst.cost()  # unit width: area == length
+    print(f"Net {net.name}, MST: {base_delay * 1e9:.3f} ns, "
+          f"{base_area:.0f} um^2 of wire\n")
+    print(f"{'strategy':24s}  {'delay':>9s}  {'vs MST':>7s}  "
+          f"{'wire area':>10s}  {'widened/added':>13s}")
+
+    sized_mst = wsorg(mst, tech)
+    print(f"{'WSORG on MST':24s}  {sized_mst.delay * 1e9:7.3f} ns  "
+          f"{sized_mst.delay / base_delay:6.2f}x  "
+          f"{sized_mst.total_wire_area():9.0f}  "
+          f"{len(sized_mst.widened_edges):13d}")
+
+    routed = ldrg(net, tech)
+    print(f"{'LDRG topology only':24s}  {routed.delay * 1e9:7.3f} ns  "
+          f"{routed.delay / base_delay:6.2f}x  "
+          f"{routed.cost:9.0f}  {routed.num_added_edges:13d}")
+
+    sized_ldrg = wsorg(routed.graph, tech)
+    print(f"{'LDRG + WSORG':24s}  {sized_ldrg.delay * 1e9:7.3f} ns  "
+          f"{sized_ldrg.delay / base_delay:6.2f}x  "
+          f"{sized_ldrg.total_wire_area():9.0f}  "
+          f"{len(sized_ldrg.widened_edges):13d}")
+
+    print("\nWidth assignment of the combined routing "
+          "(edges at width > 1):")
+    for edge in sized_ldrg.widened_edges:
+        print(f"  edge {edge}: width {sized_ldrg.widths[edge]:.0f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+#!/usr/bin/env python3
+"""Render paper-vs-measured comparison blocks from a results directory.
+
+Reads the ``tableN.txt`` files produced by ``scripts/run_paper_tables.py``
+and prints (or writes) the side-by-side comparisons that EXPERIMENTS.md
+records.
+
+Usage:  python scripts/make_comparison.py [--dir results/paper] [--out FILE]
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+
+from repro.experiments.comparison import compare_blocks, parse_rendered_table
+from repro.experiments.paper_data import PAPER_TABLES
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--dir", type=Path, default=Path("results") / "paper")
+    parser.add_argument("--out", type=Path, default=None)
+    args = parser.parse_args()
+
+    sections = []
+    for number in sorted(PAPER_TABLES):
+        path = args.dir / f"table{number}.txt"
+        if not path.exists():
+            sections.append(f"Table {number}: (no results file at {path})")
+            continue
+        measured = parse_rendered_table(path.read_text(encoding="utf-8"))
+        sections.append(compare_blocks(number, measured))
+    text = "\n\n".join(sections)
+    if args.out:
+        args.out.write_text(text + "\n", encoding="utf-8")
+        print(f"wrote {args.out}")
+    else:
+        print(text)
+
+
+if __name__ == "__main__":
+    main()

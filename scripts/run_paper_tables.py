@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Regenerate every paper table at full 50-trial scale.
+
+Writes each rendered table to ``results/paper/tableN.txt`` as it
+completes (and the figures' captions to ``figures.txt``), so partial
+progress survives interruption. This is the run recorded in
+EXPERIMENTS.md; the pytest benchmarks exercise the same code path at a
+reduced default trial count.
+
+Usage:  python scripts/run_paper_tables.py [--trials 50] [--out results/paper]
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+from pathlib import Path
+
+from repro.experiments.figures import FIGURE_DRIVERS
+from repro.experiments.harness import ExperimentConfig
+from repro.experiments.tables import TABLE_DRIVERS, table1
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--trials", type=int, default=50)
+    parser.add_argument("--sizes", type=str, default="5,10,20,30")
+    parser.add_argument("--out", type=Path,
+                        default=Path("results") / "paper")
+    args = parser.parse_args()
+    sizes = tuple(int(tok) for tok in args.sizes.split(","))
+    config = ExperimentConfig(trials=args.trials, sizes=sizes)
+    args.out.mkdir(parents=True, exist_ok=True)
+
+    (args.out / "table1.txt").write_text(table1(config) + "\n",
+                                         encoding="utf-8")
+    print("table1 written")
+
+    for number, driver in sorted(TABLE_DRIVERS.items()):
+        start = time.time()
+        table = driver(config)
+        text = table.render()
+        (args.out / f"table{number}.txt").write_text(text + "\n",
+                                                     encoding="utf-8")
+        print(f"table{number} written in {time.time() - start:.0f}s")
+
+    captions = []
+    for number, driver in sorted(FIGURE_DRIVERS.items()):
+        start = time.time()
+        report = driver(config)
+        report.save_svgs(args.out)
+        captions.append(report.caption())
+        print(f"figure{number} written in {time.time() - start:.0f}s")
+    (args.out / "figures.txt").write_text("\n".join(captions) + "\n",
+                                          encoding="utf-8")
+    print("done")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+"""repro — Non-Tree Routing (McCoy & Robins, DATE 1994) reproduction library.
+
+This package implements the paper's low-delay routing-graph algorithms (LDRG,
+SLDRG, H1/H2/H3, ERT-based LDRG) together with every substrate they need:
+
+* ``repro.geometry`` — pins, nets, Manhattan metric, random net generation.
+* ``repro.graph``    — routing graphs, spanning trees, Iterated 1-Steiner.
+* ``repro.circuit``  — a from-scratch linear circuit simulator (MNA, transient,
+  moments) standing in for SPICE.
+* ``repro.delay``    — interconnect technology parameters, Elmore delay for
+  trees and for arbitrary RC graphs, transient ("SPICE") delay.
+* ``repro.core``     — the paper's routing algorithms and the Section-5
+  extensions (critical-sink, wire sizing, hybrid).
+* ``repro.experiments`` — the harness that regenerates every table and figure
+  of the paper's evaluation.
+
+Quickstart::
+
+    from repro import Net, Technology, ldrg
+
+    net = Net.random(num_pins=10, seed=7)
+    tech = Technology.cmos08()
+    result = ldrg(net, tech)
+    print(result.delay, result.cost, sorted(result.graph.edges()))
+"""
+
+from repro.geometry import Net, Point
+from repro.graph import RoutingGraph, iterated_one_steiner, prim_mst
+from repro.delay import (
+    DelayModel,
+    Technology,
+    elmore_delays,
+    graph_elmore_delays,
+    spice_delay,
+    spice_delays,
+)
+from repro.core import (
+    RoutingResult,
+    csorg_ldrg,
+    ert,
+    ert_ldrg,
+    h1,
+    h2,
+    h3,
+    horg,
+    ldrg,
+    sldrg,
+    wsorg,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DelayModel",
+    "Net",
+    "Point",
+    "RoutingGraph",
+    "RoutingResult",
+    "Technology",
+    "csorg_ldrg",
+    "elmore_delays",
+    "ert",
+    "ert_ldrg",
+    "graph_elmore_delays",
+    "h1",
+    "h2",
+    "h3",
+    "horg",
+    "iterated_one_steiner",
+    "ldrg",
+    "prim_mst",
+    "sldrg",
+    "spice_delay",
+    "spice_delays",
+    "wsorg",
+]

@@ -1,0 +1,84 @@
+"""A from-scratch linear circuit simulator — the repo's stand-in for SPICE.
+
+The paper evaluates every routing with SPICE2 on linear RC(L) interconnect
+circuits: distributed wire resistance/capacitance/inductance, a driver
+resistor at the source, and load capacitors at the sinks, driven by a step.
+This package implements exactly the machinery SPICE applies to such
+circuits:
+
+* an element library (R, C, L, V/I sources with DC/step/pulse/PWL
+  waveforms) and a :class:`~repro.circuit.netlist.Circuit` container;
+* Modified Nodal Analysis (MNA) assembly (:mod:`repro.circuit.mna`);
+* DC operating point (:mod:`repro.circuit.dcop`);
+* fixed-step trapezoidal / backward-Euler transient analysis with a reused
+  LU factorization (:mod:`repro.circuit.transient`);
+* an exact eigendecomposition solver for pure-RC step problems
+  (:mod:`repro.circuit.analytic`) — same answers, no timestep error;
+* waveform measurements: threshold crossings, 50% delay, rise time
+  (:mod:`repro.circuit.measure`);
+* moment (AWE-style) analysis for Elmore and two-pole delay estimates
+  (:mod:`repro.circuit.moments`);
+* SPICE-deck export/import so decks can be re-run under a real ngspice
+  (:mod:`repro.circuit.deck`).
+"""
+
+from repro.circuit.waveform import DC, PWL, Pulse, Step, Waveform
+from repro.circuit.elements import (
+    Capacitor,
+    CurrentSource,
+    Element,
+    Inductor,
+    Resistor,
+    VoltageSource,
+)
+from repro.circuit.netlist import Circuit, CircuitError, GROUND
+from repro.circuit.mna import MNASystem, build_mna
+from repro.circuit.dcop import dc_operating_point
+from repro.circuit.transient import TransientResult, transient
+from repro.circuit.analytic import AnalyticRC, ReducedRC
+from repro.circuit.measure import (
+    delay_to_fraction,
+    rise_time,
+    threshold_crossing,
+)
+from repro.circuit.moments import elmore_from_moments, node_moments, two_pole_delay
+from repro.circuit.ac import ACResult, ac_analysis
+from repro.circuit.deck import circuit_from_deck, deck_from_circuit
+from repro.circuit.ngspice import NgspiceError, find_ngspice, run_deck
+
+__all__ = [
+    "ACResult",
+    "AnalyticRC",
+    "Capacitor",
+    "Circuit",
+    "CircuitError",
+    "CurrentSource",
+    "DC",
+    "Element",
+    "GROUND",
+    "Inductor",
+    "MNASystem",
+    "NgspiceError",
+    "PWL",
+    "Pulse",
+    "ReducedRC",
+    "Resistor",
+    "Step",
+    "TransientResult",
+    "VoltageSource",
+    "Waveform",
+    "ac_analysis",
+    "build_mna",
+    "circuit_from_deck",
+    "dc_operating_point",
+    "deck_from_circuit",
+    "delay_to_fraction",
+    "elmore_from_moments",
+    "find_ngspice",
+    "node_moments",
+    "rise_time",
+    "run_deck",
+    "threshold_crossing",
+    "transient",
+    "two_pole_delay",
+]

@@ -1,0 +1,101 @@
+"""AC (small-signal frequency-domain) analysis.
+
+Solves the phasor MNA system ``(G + jωC) X = U`` across a frequency
+sweep — SPICE's ``.ac`` analysis. For the linear interconnect circuits
+in this repo AC analysis serves as yet another independent check: the
+−3 dB corner of an RC wire ties back to the same poles the transient and
+moment engines see, and magnitude responses validate the two-pole fits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.circuit.mna import MNASystem, build_mna
+from repro.circuit.netlist import Circuit, CircuitError
+
+
+@dataclass
+class ACResult:
+    """Phasor sweep results: ``states[:, k]`` at ``frequencies[k]`` (Hz)."""
+
+    frequencies: np.ndarray
+    states: np.ndarray
+    mna: MNASystem
+
+    def voltage(self, node: str) -> np.ndarray:
+        """Complex node-voltage phasor across the sweep."""
+        if node == "0":
+            return np.zeros_like(self.frequencies, dtype=complex)
+        return self.states[self.mna.voltage_row(node)]
+
+    def magnitude(self, node: str) -> np.ndarray:
+        return np.abs(self.voltage(node))
+
+    def magnitude_db(self, node: str) -> np.ndarray:
+        mag = self.magnitude(node)
+        floor = np.finfo(float).tiny
+        return 20.0 * np.log10(np.maximum(mag, floor))
+
+    def phase(self, node: str) -> np.ndarray:
+        """Phase in radians."""
+        return np.angle(self.voltage(node))
+
+    def corner_frequency(self, node: str, drop_db: float = 3.0103) -> float | None:
+        """First frequency where the response falls ``drop_db`` below its
+        value at the lowest swept frequency (linear interpolation in
+        log-magnitude); ``None`` if the sweep never gets there."""
+        db = self.magnitude_db(node)
+        target = db[0] - drop_db
+        below = np.nonzero(db <= target)[0]
+        if below.size == 0:
+            return None
+        k = int(below[0])
+        if k == 0:
+            return float(self.frequencies[0])
+        f_lo, f_hi = self.frequencies[k - 1], self.frequencies[k]
+        d_lo, d_hi = db[k - 1], db[k]
+        frac = (target - d_lo) / (d_hi - d_lo)
+        # interpolate in log-frequency, matching the sweep's spacing
+        return float(10 ** (np.log10(f_lo)
+                            + frac * (np.log10(f_hi) - np.log10(f_lo))))
+
+
+def ac_analysis(circuit: Circuit, f_start: float, f_stop: float,
+                points_per_decade: int = 20) -> ACResult:
+    """Logarithmic AC sweep from ``f_start`` to ``f_stop`` Hz.
+
+    Source amplitudes: each independent source contributes its waveform's
+    *final value* as the phasor magnitude (a unit-step source becomes the
+    conventional 1 V AC stimulus). Zero-amplitude circuits are rejected —
+    an AC sweep with no stimulus is always a bug.
+    """
+    if f_start <= 0 or f_stop <= f_start:
+        raise ValueError("need 0 < f_start < f_stop")
+    if points_per_decade < 1:
+        raise ValueError("points_per_decade must be >= 1")
+    mna = build_mna(circuit)
+    u = np.zeros(mna.size)
+    for source in circuit.voltage_sources():
+        u[mna.branch_index[source.name]] = source.waveform.final_value()
+    for source in circuit.current_sources():
+        amplitude = source.waveform.final_value()
+        pos = mna.node_index.get(source.pos)
+        neg = mna.node_index.get(source.neg)
+        if pos is not None:
+            u[pos] -= amplitude
+        if neg is not None:
+            u[neg] += amplitude
+    if not np.any(u):
+        raise CircuitError("AC analysis needs at least one nonzero source")
+
+    decades = np.log10(f_stop / f_start)
+    count = max(2, int(np.ceil(decades * points_per_decade)) + 1)
+    frequencies = np.logspace(np.log10(f_start), np.log10(f_stop), count)
+    states = np.empty((mna.size, count), dtype=complex)
+    for k, frequency in enumerate(frequencies):
+        system = mna.G + 2j * np.pi * frequency * mna.C
+        states[:, k] = np.linalg.solve(system, u)
+    return ACResult(frequencies=frequencies, states=states, mna=mna)

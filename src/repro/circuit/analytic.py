@@ -1,0 +1,191 @@
+"""Exact step responses for pure-RC circuits via eigendecomposition.
+
+A grounded-capacitor RC network driven by a step has state equations::
+
+    C · dv/dt + G · v = b          (C diagonal positive, G SPD)
+
+Substituting ``y = C^{1/2} v`` symmetrizes the system, so one symmetric
+eigendecomposition yields the *exact* solution
+
+    v(t) = v∞ + C^{-1/2} Q · exp(-Λ t) · Qᵀ C^{1/2} (v0 − v∞)
+
+with no timestep error at all. This is the engine behind the repo's
+"SPICE" delay oracle for RC interconnect (the general MNA transient in
+:mod:`repro.circuit.transient` covers inductance and arbitrary waveforms,
+and the two are cross-validated in the test suite).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+from scipy.linalg import eigh
+
+#: Hard cap on bracket expansion when hunting for a threshold crossing.
+_MAX_BRACKET_DOUBLINGS = 60
+
+
+@dataclass
+class ReducedRC:
+    """A reduced (ground-referenced, source-eliminated) RC system.
+
+    Attributes:
+        G: (n, n) symmetric positive-definite conductance matrix. Wire
+            conductances form a graph Laplacian; the driver conductance on
+            the source row makes it non-singular.
+        c: (n,) positive node capacitances to ground.
+        b: (n,) excitation for a *unit* step input (``g_driver`` on the
+            source row, zero elsewhere).
+        labels: external node identifiers, one per row.
+    """
+
+    G: np.ndarray
+    c: np.ndarray
+    b: np.ndarray
+    labels: list = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.G = np.asarray(self.G, dtype=float)
+        self.c = np.asarray(self.c, dtype=float)
+        self.b = np.asarray(self.b, dtype=float)
+        n = self.G.shape[0]
+        if self.G.shape != (n, n):
+            raise ValueError("G must be square")
+        if self.c.shape != (n,) or self.b.shape != (n,):
+            raise ValueError("c and b must match G's dimension")
+        if np.any(self.c <= 0):
+            raise ValueError("every node needs positive capacitance "
+                             "(wire or sink load) for the RC state space")
+        if not self.labels:
+            self.labels = list(range(n))
+        if len(self.labels) != n:
+            raise ValueError("labels must have one entry per row")
+        self._row_of = {label: i for i, label in enumerate(self.labels)}
+
+    @property
+    def size(self) -> int:
+        return self.G.shape[0]
+
+    def row(self, label) -> int:
+        try:
+            return self._row_of[label]
+        except KeyError:
+            raise KeyError(f"unknown node label {label!r}") from None
+
+    def final_voltages(self) -> np.ndarray:
+        """DC asymptote ``v∞ = G⁻¹ b`` (all ones for a lossless-to-DC net)."""
+        return np.linalg.solve(self.G, self.b)
+
+    def elmore(self) -> np.ndarray:
+        """First-moment (Elmore) delays, exact for arbitrary RC graphs.
+
+        ``T = ∫ (v∞ − v(t)) dt = G⁻¹ C (v∞ − v0)`` with ``v0 = 0``. On tree
+        topologies this equals the classic O(k) Elmore formula; on graphs
+        it is the Chan–Karplus generalization, obtained here by a single
+        linear solve.
+        """
+        v_inf = self.final_voltages()
+        return np.linalg.solve(self.G, self.c * v_inf)
+
+
+class AnalyticRC:
+    """The exact step response of a :class:`ReducedRC` system."""
+
+    def __init__(self, system: ReducedRC):
+        self.system = system
+        sqrt_c = np.sqrt(system.c)
+        A = system.G / np.outer(sqrt_c, sqrt_c)
+        eigenvalues, Q = eigh(A)
+        if eigenvalues[0] <= 0:
+            raise ValueError("RC system is not strictly stable; "
+                             "is the driver conductance present?")
+        self._lam = eigenvalues
+        self._modes = Q / sqrt_c[:, None]          # C^{-1/2} Q, rows = nodes
+        self.v_inf = system.final_voltages()
+        v0 = np.zeros(system.size)
+        self._coeffs = Q.T @ (sqrt_c * (v0 - self.v_inf))
+        self._slowest = 1.0 / eigenvalues[0]
+
+    @property
+    def time_constants(self) -> np.ndarray:
+        """Natural time constants ``1/λ``, slowest first."""
+        return 1.0 / self._lam
+
+    def voltages(self, t: float) -> np.ndarray:
+        """All node voltages at time ``t`` (t < 0 treated as 0)."""
+        decay = np.exp(-self._lam * max(t, 0.0))
+        return self.v_inf + self._modes @ (decay * self._coeffs)
+
+    def voltage(self, label, times) -> np.ndarray | float:
+        """Voltage waveform at node ``label`` for scalar or array ``times``."""
+        row = self.system.row(label)
+        t = np.asarray(times, dtype=float)
+        decay = np.exp(-np.outer(np.maximum(t, 0.0), self._lam))
+        values = self.v_inf[row] + decay @ (self._coeffs * self._modes[row])
+        return float(values) if np.isscalar(times) else values
+
+    def crossing_time(self, label, threshold: float) -> float:
+        """First time node ``label`` rises to ``threshold`` volts (exact)."""
+        return float(self.crossing_times([label], np.array([threshold]))[0])
+
+    def crossing_times(self, labels, thresholds) -> np.ndarray:
+        """First upward crossing times for several nodes at once.
+
+        Brackets every node's first crossing on a shared refining grid
+        (one matrix product per refinement), then polishes all nodes
+        simultaneously with vectorized bisection on the analytic
+        waveforms. This batched path is what makes circuit-level delay
+        cheap enough to sit inside LDRG's greedy loop.
+        """
+        rows = np.array([self.system.row(label) for label in labels])
+        thresholds = np.asarray(thresholds, dtype=float)
+        if thresholds.shape != rows.shape:
+            raise ValueError("one threshold per label required")
+        settle = self.v_inf[rows]
+        too_low = settle < thresholds
+        if np.any(too_low):
+            bad = [labels[i] for i in np.nonzero(too_low)[0]]
+            raise ValueError(
+                f"nodes {bad} settle below their thresholds and never cross")
+
+        # weights[:, j]: modal expansion of node j's transient term.
+        weights = self._coeffs[:, None] * self._modes[rows].T
+
+        t_lo = np.zeros(rows.size)
+        t_hi = np.full(rows.size, np.nan)
+        horizon = 4.0 * self._slowest
+        for _ in range(_MAX_BRACKET_DOUBLINGS):
+            grid = np.linspace(0.0, horizon, 257)
+            decay = np.exp(-np.outer(grid, self._lam))
+            samples = settle[None, :] + decay @ weights
+            above = samples >= thresholds[None, :]
+            unresolved = np.isnan(t_hi)
+            for j in np.nonzero(unresolved)[0]:
+                hits = np.nonzero(above[:, j])[0]
+                if hits.size:
+                    k = int(hits[0])
+                    t_hi[j] = grid[k]
+                    t_lo[j] = grid[k - 1] if k > 0 else 0.0
+            if not np.any(np.isnan(t_hi)):
+                break
+            horizon *= 2.0
+        else:
+            missing = [labels[i] for i in np.nonzero(np.isnan(t_hi))[0]]
+            raise RuntimeError(
+                f"no crossing found for nodes {missing} within {horizon:.3g} s")
+
+        # Vectorized bisection: each iteration evaluates every node's
+        # waveform at its own midpoint via one (modes × nodes) product.
+        for _ in range(64):
+            mid = 0.5 * (t_lo + t_hi)
+            decay = np.exp(-self._lam[:, None] * mid[None, :])
+            values = settle + np.einsum("mj,mj->j", decay, weights)
+            below = values < thresholds
+            t_lo = np.where(below, mid, t_lo)
+            t_hi = np.where(below, t_hi, mid)
+        return 0.5 * (t_lo + t_hi)
+
+    def elmore(self) -> np.ndarray:
+        """Exact first-moment delays (delegates to the reduced system)."""
+        return self.system.elmore()

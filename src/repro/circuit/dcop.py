@@ -1,0 +1,40 @@
+"""DC operating point.
+
+At DC, capacitors are open circuits and inductors are shorts — exactly
+what the MNA system expresses when the ``C`` matrix term is dropped:
+``G · x = u(t₀)``. Floating capacitor-only nodes would make ``G``
+singular, so (like SPICE's GMIN) a tiny conductance to ground regularizes
+every node row.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuit.mna import MNASystem, build_mna
+from repro.circuit.netlist import Circuit
+
+#: Regularization conductance added to every node row (SPICE's GMIN default).
+GMIN = 1e-12
+
+
+def dc_operating_point(circuit: Circuit, t: float = 0.0,
+                       gmin: float = GMIN) -> dict[str, float]:
+    """Node voltages of the DC solution with sources held at ``u(t)``.
+
+    Returns a node-label → voltage map (ground included, at 0 V).
+    """
+    mna = build_mna(circuit)
+    x = solve_dc(mna, t=t, gmin=gmin)
+    voltages = {"0": 0.0}
+    for node, row in mna.node_index.items():
+        voltages[node] = float(x[row])
+    return voltages
+
+
+def solve_dc(mna: MNASystem, t: float = 0.0, gmin: float = GMIN) -> np.ndarray:
+    """The raw DC state vector (node voltages + branch currents)."""
+    G = mna.G.copy()
+    for row in mna.node_index.values():
+        G[row, row] += gmin
+    return np.linalg.solve(G, mna.rhs(t))

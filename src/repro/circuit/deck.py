@@ -1,0 +1,184 @@
+"""SPICE deck export/import.
+
+The paper ran its evaluation through SPICE2. This repo's simulator is
+built-in, but every circuit can also be serialized to a standard deck
+(`.cir`) so the exact same netlists can be re-run under ngspice/SPICE3
+where one is available — a cheap external cross-check of the built-in
+engine. The parser reads back the subset of cards the exporter emits
+(R/C/L/V/I with DC, PULSE, and PWL sources), enabling round-trip tests.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.circuit.elements import (
+    Capacitor,
+    CurrentSource,
+    Inductor,
+    Resistor,
+    VoltageSource,
+)
+from repro.circuit.netlist import Circuit, CircuitError
+from repro.circuit.waveform import DC, PWL, Pulse, Step
+
+_SUFFIXES = {
+    "t": 1e12, "g": 1e9, "meg": 1e6, "k": 1e3, "m": 1e-3,
+    "u": 1e-6, "n": 1e-9, "p": 1e-12, "f": 1e-15,
+}
+_NUMBER_RE = re.compile(
+    r"^([+-]?\d*\.?\d+(?:[eE][+-]?\d+)?)(meg|[tgkmunpf])?[a-z]*$",
+    re.IGNORECASE)
+
+
+def format_value(value: float) -> str:
+    """A SPICE-friendly number (scientific notation, no unit suffix)."""
+    return f"{value:.12g}"
+
+
+def parse_value(token: str) -> float:
+    """Parse a SPICE number with optional engineering suffix (``15.3f``)."""
+    match = _NUMBER_RE.match(token.strip())
+    if not match:
+        raise CircuitError(f"cannot parse SPICE value {token!r}")
+    base = float(match.group(1))
+    suffix = match.group(2)
+    if suffix:
+        base *= _SUFFIXES[suffix.lower()]
+    return base
+
+
+def deck_from_circuit(circuit: Circuit, t_stop: float | None = None,
+                      t_step: float | None = None,
+                      print_nodes: list[str] | None = None) -> str:
+    """Serialize ``circuit`` to SPICE deck text.
+
+    Optionally appends ``.tran`` and ``.print`` cards so the deck is
+    directly runnable under ngspice.
+    """
+    lines = [f"* {circuit.name}"]
+    for element in circuit:
+        lines.append(_card(element))
+    if t_stop is not None:
+        step = t_step if t_step is not None else t_stop / 1000.0
+        lines.append(f".tran {format_value(step)} {format_value(t_stop)}")
+    if print_nodes:
+        targets = " ".join(f"v({node})" for node in print_nodes)
+        lines.append(f".print tran {targets}")
+    lines.append(".end")
+    return "\n".join(lines) + "\n"
+
+
+def _card(element) -> str:
+    if isinstance(element, Resistor):
+        return f"{element.name} {element.n1} {element.n2} {format_value(element.value)}"
+    if isinstance(element, Capacitor):
+        card = f"{element.name} {element.n1} {element.n2} {format_value(element.value)}"
+        return card + (f" IC={format_value(element.ic)}" if element.ic else "")
+    if isinstance(element, Inductor):
+        card = f"{element.name} {element.n1} {element.n2} {format_value(element.value)}"
+        return card + (f" IC={format_value(element.ic)}" if element.ic else "")
+    if isinstance(element, (VoltageSource, CurrentSource)):
+        return (f"{element.name} {element.pos} {element.neg} "
+                f"{_source_spec(element.waveform)}")
+    raise CircuitError(f"cannot serialize element {element!r}")
+
+
+def _source_spec(waveform) -> str:
+    if isinstance(waveform, DC):
+        return f"DC {format_value(waveform.level)}"
+    if isinstance(waveform, Step):
+        # An ideal step becomes a PWL with a 1 fs ramp — indistinguishable
+        # from ideal at interconnect timescales, and legal SPICE.
+        rise = waveform.rise if waveform.rise > 0 else 1e-15
+        t0 = waveform.delay
+        points = [(0.0, waveform.v0)] if t0 > 0 else []
+        points += [(t0, waveform.v0), (t0 + rise, waveform.v1)]
+        body = " ".join(f"{format_value(t)} {format_value(v)}"
+                        for t, v in points)
+        return f"PWL({body})"
+    if isinstance(waveform, Pulse):
+        fields = [waveform.v0, waveform.v1, waveform.delay, waveform.rise,
+                  waveform.fall, waveform.width, waveform.period]
+        return "PULSE(" + " ".join(format_value(f) for f in fields) + ")"
+    if isinstance(waveform, PWL):
+        body = " ".join(f"{format_value(t)} {format_value(v)}"
+                        for t, v in waveform.points)
+        return f"PWL({body})"
+    raise CircuitError(f"cannot serialize waveform {waveform!r}")
+
+
+def circuit_from_deck(text: str, name: str | None = None) -> Circuit:
+    """Parse a deck produced by :func:`deck_from_circuit` (or similar).
+
+    Supports R/C/L cards with optional ``IC=``, and V/I cards with DC,
+    PULSE, or PWL specs. Comment (``*``) and dot-cards other than ``.end``
+    are ignored.
+    """
+    lines = [line.strip() for line in text.splitlines()]
+    lines = [line for line in lines if line]
+    title = name
+    if lines and lines[0].startswith("*"):
+        if title is None:
+            title = lines[0].lstrip("* ").strip() or "deck"
+        lines = lines[1:]
+    circuit = Circuit(title or "deck")
+    for line in lines:
+        if line.startswith("*") or line.startswith("."):
+            continue
+        _parse_card(circuit, line)
+    circuit.validate()
+    return circuit
+
+
+def _parse_card(circuit: Circuit, line: str) -> None:
+    head = line[0].upper()
+    tokens = line.split()
+    if len(tokens) < 4:
+        raise CircuitError(f"malformed card: {line!r}")
+    name, n1, n2 = tokens[0], tokens[1], tokens[2]
+    rest = " ".join(tokens[3:])
+    if head in "RCL":
+        ic = 0.0
+        ic_match = re.search(r"IC\s*=\s*(\S+)", rest, re.IGNORECASE)
+        if ic_match:
+            ic = parse_value(ic_match.group(1))
+            rest = rest[:ic_match.start()].strip()
+        value = parse_value(rest.split()[0])
+        if head == "R":
+            circuit.add_resistor(name, n1, n2, value)
+        elif head == "C":
+            circuit.add_capacitor(name, n1, n2, value, ic=ic)
+        else:
+            circuit.add_inductor(name, n1, n2, value, ic=ic)
+    elif head in "VI":
+        waveform = _parse_source_spec(rest)
+        if head == "V":
+            circuit.add_voltage_source(name, n1, n2, waveform)
+        else:
+            circuit.add_current_source(name, n1, n2, waveform)
+    else:
+        raise CircuitError(f"unsupported card type {head!r}: {line!r}")
+
+
+def _parse_source_spec(spec: str):
+    spec = spec.strip()
+    upper = spec.upper()
+    if upper.startswith("PWL"):
+        numbers = [parse_value(tok) for tok in _paren_fields(spec)]
+        pairs = list(zip(numbers[0::2], numbers[1::2]))
+        return PWL(pairs)
+    if upper.startswith("PULSE"):
+        fields = [parse_value(tok) for tok in _paren_fields(spec)]
+        if len(fields) != 7:
+            raise CircuitError(f"PULSE needs 7 fields, got {len(fields)}")
+        return Pulse(*fields)
+    if upper.startswith("DC"):
+        return DC(parse_value(spec.split(None, 1)[1]))
+    return DC(parse_value(spec))
+
+
+def _paren_fields(spec: str) -> list[str]:
+    start = spec.index("(")
+    end = spec.rindex(")")
+    return spec[start + 1:end].replace(",", " ").split()

@@ -1,0 +1,63 @@
+"""Waveform measurements: threshold crossings, delay, rise time.
+
+These mirror SPICE ``.measure`` statements. All crossing times use linear
+interpolation between samples, so accuracy is better than the raw timestep.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def threshold_crossing(times: np.ndarray, values: np.ndarray,
+                       threshold: float, rising: bool = True) -> float | None:
+    """First time ``values`` crosses ``threshold`` in the given direction.
+
+    Returns ``None`` when the waveform never crosses. A sample exactly at
+    the threshold counts as a crossing.
+    """
+    times = np.asarray(times, dtype=float)
+    values = np.asarray(values, dtype=float)
+    if times.shape != values.shape:
+        raise ValueError("times and values must have the same shape")
+    if times.size == 0:
+        return None
+    above = values >= threshold if rising else values <= threshold
+    if above[0]:
+        return float(times[0])
+    hits = np.nonzero(above)[0]
+    if hits.size == 0:
+        return None
+    k = int(hits[0])
+    v0, v1 = values[k - 1], values[k]
+    if v1 == v0:
+        return float(times[k])
+    frac = (threshold - v0) / (v1 - v0)
+    return float(times[k - 1] + frac * (times[k] - times[k - 1]))
+
+
+def delay_to_fraction(times: np.ndarray, values: np.ndarray,
+                      final_value: float, fraction: float = 0.5) -> float | None:
+    """Time for a rising step response to reach ``fraction`` of its final value.
+
+    The paper's SPICE delays are 50% crossings of a unit step response, the
+    default here.
+    """
+    if final_value == 0:
+        raise ValueError("final_value must be nonzero")
+    if not 0 < fraction < 1:
+        raise ValueError("fraction must lie strictly between 0 and 1")
+    return threshold_crossing(times, values, fraction * final_value,
+                              rising=final_value > 0)
+
+
+def rise_time(times: np.ndarray, values: np.ndarray, final_value: float,
+              low: float = 0.1, high: float = 0.9) -> float | None:
+    """10–90% (by default) rise time of a step response, or ``None``."""
+    if not 0 <= low < high <= 1:
+        raise ValueError("need 0 <= low < high <= 1")
+    t_low = delay_to_fraction(times, values, final_value, low)
+    t_high = delay_to_fraction(times, values, final_value, high)
+    if t_low is None or t_high is None:
+        return None
+    return t_high - t_low

@@ -1,0 +1,151 @@
+"""The ``Circuit`` container: a named collection of elements over labeled nodes.
+
+Nodes are arbitrary string labels; ``"0"`` (also exported as ``GROUND``) is
+the reference node, exactly as in SPICE. Elements may be added through the
+typed ``add_*`` helpers, which enforce unique names and create nodes
+implicitly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Union
+
+from repro.circuit.elements import (
+    Capacitor,
+    CurrentSource,
+    Element,
+    Inductor,
+    Resistor,
+    VoltageSource,
+)
+from repro.circuit.waveform import Waveform
+
+GROUND = "0"
+
+
+class CircuitError(ValueError):
+    """Raised for malformed circuits (duplicate names, missing ground, ...)."""
+
+
+class Circuit:
+    """A mutable netlist of linear elements.
+
+    Example::
+
+        ckt = Circuit("rc")
+        ckt.add_voltage_source("vin", "in", GROUND, Step())
+        ckt.add_resistor("r1", "in", "out", 1e3)
+        ckt.add_capacitor("c1", "out", GROUND, 1e-12)
+    """
+
+    def __init__(self, name: str = "circuit"):
+        self.name = name
+        self._elements: dict[str, Element] = {}
+        self._nodes: set[str] = {GROUND}
+
+    # ----------------------------------------------------------------- access
+
+    @property
+    def elements(self) -> list[Element]:
+        return list(self._elements.values())
+
+    def element(self, name: str) -> Element:
+        try:
+            return self._elements[name]
+        except KeyError:
+            raise CircuitError(f"no element named {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._elements
+
+    def __iter__(self) -> Iterator[Element]:
+        return iter(self._elements.values())
+
+    def __len__(self) -> int:
+        return len(self._elements)
+
+    @property
+    def nodes(self) -> list[str]:
+        """All node labels, ground first, the rest sorted."""
+        return [GROUND] + sorted(self._nodes - {GROUND})
+
+    def resistors(self) -> list[Resistor]:
+        return [e for e in self if isinstance(e, Resistor)]
+
+    def capacitors(self) -> list[Capacitor]:
+        return [e for e in self if isinstance(e, Capacitor)]
+
+    def inductors(self) -> list[Inductor]:
+        return [e for e in self if isinstance(e, Inductor)]
+
+    def voltage_sources(self) -> list[VoltageSource]:
+        return [e for e in self if isinstance(e, VoltageSource)]
+
+    def current_sources(self) -> list[CurrentSource]:
+        return [e for e in self if isinstance(e, CurrentSource)]
+
+    # -------------------------------------------------------------- mutation
+
+    def add(self, element: Element) -> Element:
+        """Add a pre-built element; names must be unique."""
+        if element.name in self._elements:
+            raise CircuitError(f"duplicate element name {element.name!r}")
+        for node in _terminals(element):
+            self._nodes.add(node)
+        self._elements[element.name] = element
+        return element
+
+    def add_resistor(self, name: str, n1: str, n2: str, ohms: float) -> Resistor:
+        element = Resistor(name, n1, n2, ohms)
+        self.add(element)
+        return element
+
+    def add_capacitor(self, name: str, n1: str, n2: str, farads: float,
+                      ic: float = 0.0) -> Capacitor:
+        element = Capacitor(name, n1, n2, farads, ic)
+        self.add(element)
+        return element
+
+    def add_inductor(self, name: str, n1: str, n2: str, henries: float,
+                     ic: float = 0.0) -> Inductor:
+        element = Inductor(name, n1, n2, henries, ic)
+        self.add(element)
+        return element
+
+    def add_voltage_source(self, name: str, pos: str, neg: str,
+                           waveform: Union[Waveform, float]) -> VoltageSource:
+        element = VoltageSource(name, pos, neg, waveform)
+        self.add(element)
+        return element
+
+    def add_current_source(self, name: str, pos: str, neg: str,
+                           waveform: Union[Waveform, float]) -> CurrentSource:
+        element = CurrentSource(name, pos, neg, waveform)
+        self.add(element)
+        return element
+
+    # ------------------------------------------------------------ validation
+
+    def validate(self) -> None:
+        """Check the circuit is simulatable.
+
+        Requirements: at least one element, every element touches an
+        existing node (guaranteed by construction), and some element
+        references ground so the nodal equations have a reference.
+        """
+        if not self._elements:
+            raise CircuitError(f"circuit {self.name!r} has no elements")
+        touches_ground = any(GROUND in _terminals(e) for e in self)
+        if not touches_ground:
+            raise CircuitError(
+                f"circuit {self.name!r} has no connection to ground ({GROUND!r})")
+
+    def __repr__(self) -> str:
+        return (f"Circuit({self.name!r}, {len(self._elements)} elements, "
+                f"{len(self._nodes)} nodes)")
+
+
+def _terminals(element: Element) -> tuple[str, str]:
+    if isinstance(element, (Resistor, Capacitor, Inductor)):
+        return (element.n1, element.n2)
+    return (element.pos, element.neg)

@@ -1,0 +1,120 @@
+"""Optional external ngspice execution — a cross-check, never a dependency.
+
+The built-in engines are validated against closed forms and each other,
+but where a real ngspice binary exists this module lets any exported deck
+be re-run through it and compared (`the repo's decks are standard SPICE).
+Everything degrades gracefully: :func:`find_ngspice` returns ``None``
+when no binary is on PATH, and the test suite skips accordingly.
+"""
+
+from __future__ import annotations
+
+import re
+import shutil
+import subprocess
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+
+class NgspiceError(RuntimeError):
+    """Raised when an external ngspice run fails or can't be parsed."""
+
+
+@dataclass
+class NgspiceResult:
+    """Waveforms parsed from an ngspice batch run."""
+
+    times: np.ndarray
+    voltages: dict[str, np.ndarray]
+
+    def voltage(self, node: str) -> np.ndarray:
+        try:
+            return self.voltages[node.lower()]
+        except KeyError:
+            raise NgspiceError(
+                f"node {node!r} not in ngspice output "
+                f"(have {sorted(self.voltages)})") from None
+
+
+def find_ngspice() -> str | None:
+    """Path to an ngspice binary, or ``None`` when not installed."""
+    return shutil.which("ngspice")
+
+
+def run_deck(deck: str, binary: str | None = None,
+             timeout: float = 60.0) -> NgspiceResult:
+    """Run a deck under ngspice in batch mode and parse printed waveforms.
+
+    The deck must contain ``.tran`` and ``.print tran v(...)`` cards (as
+    produced by :func:`repro.circuit.deck.deck_from_circuit` with
+    ``t_stop``/``print_nodes``).
+
+    Raises :class:`NgspiceError` when no binary is available, the run
+    fails, or no waveform table is found in the output.
+    """
+    executable = binary or find_ngspice()
+    if executable is None:
+        raise NgspiceError("no ngspice binary on PATH")
+    with tempfile.TemporaryDirectory() as tmp:
+        deck_path = Path(tmp) / "deck.cir"
+        deck_path.write_text(deck, encoding="utf-8")
+        try:
+            proc = subprocess.run(
+                [executable, "-b", str(deck_path)],
+                capture_output=True, text=True, timeout=timeout, check=False)
+        except subprocess.TimeoutExpired as exc:
+            raise NgspiceError(f"ngspice timed out after {timeout}s") from exc
+    if proc.returncode != 0:
+        raise NgspiceError(
+            f"ngspice exited with {proc.returncode}: {proc.stderr[:500]}")
+    return parse_print_output(proc.stdout)
+
+
+def parse_print_output(text: str) -> NgspiceResult:
+    """Parse ngspice's ``.print tran`` ASCII table output.
+
+    ngspice prints column-header blocks like::
+
+        Index   time            v(n1)           v(n2)
+        ------------------------------------------------------
+        0       0.000000e+00    0.000000e+00    0.000000e+00
+        1       1.000000e-12    ...
+
+    Long runs repeat the header; rows are concatenated across blocks.
+    """
+    header_re = re.compile(r"^Index\s+time\s+(.*)$", re.IGNORECASE)
+    columns: list[str] | None = None
+    rows: dict[int, list[float]] = {}
+    for line in text.splitlines():
+        match = header_re.match(line.strip())
+        if match:
+            block_columns = [tok.strip().lower()
+                             for tok in match.group(1).split()]
+            if columns is None:
+                columns = block_columns
+            elif block_columns != columns:
+                raise NgspiceError("inconsistent .print column headers")
+            continue
+        tokens = line.split()
+        if len(tokens) >= 2 and tokens[0].isdigit() and columns is not None:
+            try:
+                values = [float(tok) for tok in tokens[1:2 + len(columns)]]
+            except ValueError:
+                continue
+            if len(values) == len(columns) + 1:
+                rows[int(tokens[0])] = values
+    if columns is None or not rows:
+        raise NgspiceError("no .print tran table found in ngspice output")
+    ordered = [rows[index] for index in sorted(rows)]
+    data = np.array(ordered)
+    voltages = {_normalize(name): data[:, 1 + k]
+                for k, name in enumerate(columns)}
+    return NgspiceResult(times=data[:, 0], voltages=voltages)
+
+
+def _normalize(column: str) -> str:
+    match = re.fullmatch(r"v\((.+)\)", column.strip(), re.IGNORECASE)
+    return match.group(1).lower() if match else column.lower()

@@ -1,0 +1,254 @@
+"""Command-line interface.
+
+Usage examples::
+
+    python -m repro params
+    python -m repro random-net --pins 10 --seed 7 --out demo.nets
+    python -m repro route demo.nets --algorithm ldrg --svg route.svg
+    python -m repro route demo.nets --algorithm sldrg --deck route.cir
+    python -m repro table 2 --trials 5 --sizes 5,10
+    python -m repro figure 1 --out-dir figures/
+
+Every subcommand prints a human-readable report to stdout; artifact
+flags (``--svg``, ``--deck``, ``--json``, ``--out``) write files.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.core.ert import ert, ert_ldrg
+from repro.core.heuristics import h1, h2, h3
+from repro.core.ldrg import ldrg
+from repro.core.sert import sert
+from repro.core.sldrg import sldrg
+from repro.delay.models import SpiceDelayModel
+from repro.delay.parameters import Technology
+from repro.delay.rc_builder import build_interconnect_circuit, node_label
+from repro.delay.spice_delay import SpiceOptions
+from repro.experiments.figures import run_figure
+from repro.experiments.harness import ExperimentConfig
+from repro.experiments.tables import run_table, table1
+from repro.geometry.random_nets import random_net
+from repro.io.nets_file import read_nets, write_nets
+from repro.io.routing_json import save_routing
+from repro.viz.svg import save_routing_svg
+
+_ALGORITHMS = {
+    "ldrg": lambda net, tech, model: ldrg(net, tech, delay_model=model),
+    "sldrg": lambda net, tech, model: sldrg(net, tech, delay_model=model),
+    "h1": lambda net, tech, model: h1(net, tech, delay_model=model),
+    "h2": lambda net, tech, model: h2(net, tech, evaluation_model=model),
+    "h3": lambda net, tech, model: h3(net, tech, evaluation_model=model),
+    "ert": lambda net, tech, model: ert(net, tech, evaluation_model=model),
+    "ert-ldrg": lambda net, tech, model: ert_ldrg(net, tech,
+                                                  delay_model=model),
+    "sert": lambda net, tech, model: sert(net, tech, evaluation_model=model),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Non-tree routing (McCoy & Robins, DATE 1994) toolkit")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("params", help="print the Table 1 technology parameters")
+
+    rand = sub.add_parser("random-net", help="generate a random net file")
+    rand.add_argument("--pins", type=int, default=10)
+    rand.add_argument("--seed", type=int, default=0)
+    rand.add_argument("--count", type=int, default=1)
+    rand.add_argument("--out", type=Path, required=True)
+
+    route = sub.add_parser("route", help="route nets from a net file")
+    route.add_argument("net_file", type=Path)
+    route.add_argument("--algorithm", choices=sorted(_ALGORITHMS),
+                       default="ldrg")
+    route.add_argument("--index", type=int, default=None,
+                       help="route only the net at this index")
+    route.add_argument("--segments", type=int, default=3,
+                       help="pi-sections per wire in the SPICE oracle")
+    route.add_argument("--svg", type=Path, default=None,
+                       help="write the routing as SVG (single net only)")
+    route.add_argument("--json", type=Path, default=None,
+                       help="write the routing as JSON (single net only)")
+    route.add_argument("--deck", type=Path, default=None,
+                       help="write a SPICE deck (single net only)")
+
+    table = sub.add_parser("table", help="regenerate a paper table (1-7)")
+    table.add_argument("number", type=int)
+    table.add_argument("--trials", type=int, default=None)
+    table.add_argument("--sizes", type=str, default=None)
+    table.add_argument("--seed", type=int, default=1994)
+
+    figure = sub.add_parser("figure", help="regenerate a paper figure")
+    figure.add_argument("number", type=int, choices=(1, 2, 3, 5))
+    figure.add_argument("--out-dir", type=Path, default=None,
+                        help="directory for before/after SVGs")
+
+    embed = sub.add_parser(
+        "embed", help="route a net, then embed it on a grid with A*")
+    embed.add_argument("net_file", type=Path)
+    embed.add_argument("--algorithm", choices=sorted(_ALGORITHMS),
+                       default="ldrg")
+    embed.add_argument("--index", type=int, default=0,
+                       help="net index within the file")
+    embed.add_argument("--pitch", type=float, default=200.0,
+                       help="grid pitch in microns")
+    embed.add_argument("--block", action="append", default=[],
+                       metavar="XMIN,YMIN,XMAX,YMAX",
+                       help="blocked rectangle (repeatable)")
+    embed.add_argument("--svg", type=Path, default=None,
+                       help="render the embedded routing as SVG")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handler = {
+        "params": _cmd_params,
+        "random-net": _cmd_random_net,
+        "route": _cmd_route,
+        "table": _cmd_table,
+        "figure": _cmd_figure,
+        "embed": _cmd_embed,
+    }[args.command]
+    return handler(args)
+
+
+def _cmd_params(args: argparse.Namespace) -> int:
+    print(table1())
+    return 0
+
+
+def _cmd_random_net(args: argparse.Namespace) -> int:
+    nets = [random_net(args.pins, seed=args.seed + i)
+            for i in range(args.count)]
+    write_nets(nets, args.out)
+    print(f"wrote {len(nets)} net(s) to {args.out}")
+    return 0
+
+
+def _cmd_route(args: argparse.Namespace) -> int:
+    nets = read_nets(args.net_file)
+    if args.index is not None:
+        if not 0 <= args.index < len(nets):
+            print(f"error: net index {args.index} out of range "
+                  f"(file has {len(nets)} nets)", file=sys.stderr)
+            return 2
+        nets = [nets[args.index]]
+    wants_artifacts = args.svg or args.json or args.deck
+    if wants_artifacts and len(nets) != 1:
+        print("error: --svg/--json/--deck need a single net "
+              "(use --index)", file=sys.stderr)
+        return 2
+
+    tech = Technology.cmos08()
+    model = SpiceDelayModel(tech, SpiceOptions(segments=args.segments))
+    for net in nets:
+        result = _ALGORITHMS[args.algorithm](net, tech, model)
+        print(result.summary())
+        if args.svg:
+            save_routing_svg(result.graph, str(args.svg),
+                             highlight_edges=[r.edge for r in result.history],
+                             title=result.summary())
+            print(f"  svg  -> {args.svg}")
+        if args.json:
+            save_routing(result.graph, args.json)
+            print(f"  json -> {args.json}")
+        if args.deck:
+            from repro.circuit.deck import deck_from_circuit
+
+            circuit = build_interconnect_circuit(result.graph, tech,
+                                                 segments=args.segments)
+            horizon = 10 * max(result.delay, 1e-12)
+            sink_nodes = [node_label(s)
+                          for s in result.graph.sink_indices()]
+            args.deck.write_text(
+                deck_from_circuit(circuit, t_stop=horizon,
+                                  print_nodes=sink_nodes),
+                encoding="utf-8")
+            print(f"  deck -> {args.deck}")
+    return 0
+
+
+def _table_config(args: argparse.Namespace) -> ExperimentConfig:
+    kwargs = {"seed": args.seed}
+    if args.trials is not None:
+        kwargs["trials"] = args.trials
+    if args.sizes is not None:
+        kwargs["sizes"] = tuple(int(tok) for tok in args.sizes.split(","))
+    return ExperimentConfig(**kwargs)
+
+
+def _cmd_table(args: argparse.Namespace) -> int:
+    if args.number == 1:
+        print(table1())
+        return 0
+    try:
+        table = run_table(args.number, _table_config(args))
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(table.render())
+    return 0
+
+
+def _cmd_embed(args: argparse.Namespace) -> int:
+    from repro.route.embed import embed_routing
+    from repro.route.grid import GridError, RoutingGrid
+
+    nets = read_nets(args.net_file)
+    if not 0 <= args.index < len(nets):
+        print(f"error: net index {args.index} out of range "
+              f"(file has {len(nets)} nets)", file=sys.stderr)
+        return 2
+    net = nets[args.index]
+    tech = Technology.cmos08()
+    model = SpiceDelayModel(tech, SpiceOptions(segments=3))
+    result = _ALGORITHMS[args.algorithm](net, tech, model)
+    print(result.summary())
+
+    grid = RoutingGrid(region=tech.region, pitch=args.pitch)
+    for spec in args.block:
+        try:
+            xmin, ymin, xmax, ymax = (float(tok) for tok in spec.split(","))
+            grid.block_rect(xmin, ymin, xmax, ymax)
+        except (ValueError, GridError) as exc:
+            print(f"error: bad --block {spec!r}: {exc}", file=sys.stderr)
+            return 2
+    try:
+        embedding = embed_routing(result.graph, grid,
+                                  snap_blocked_pins=True)
+    except GridError as exc:
+        print(f"error: embedding failed: {exc}", file=sys.stderr)
+        return 1
+    embedded = embedding.to_routing_graph()
+    embedded_delay = model.max_delay(embedded)
+    print(f"embedded on a {grid.cols}x{grid.rows} grid "
+          f"({grid.blockage_fraction():.0%} blocked): "
+          f"detour {embedding.detour_factor():.3f}x, "
+          f"delay {embedded_delay * 1e9:.3f} ns "
+          f"({embedded_delay / result.delay:.3f}x abstract)")
+    if args.svg:
+        save_routing_svg(embedded, str(args.svg),
+                         title=f"embedded {args.algorithm} routing "
+                               f"({embedded_delay * 1e9:.2f} ns)")
+        print(f"  svg -> {args.svg}")
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    report = run_figure(args.number)
+    print(report.caption())
+    if args.out_dir:
+        before, after = report.save_svgs(args.out_dir)
+        print(f"  svg -> {before}\n  svg -> {after}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

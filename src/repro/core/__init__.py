@@ -1,0 +1,56 @@
+"""The paper's routing algorithms and Section-5 extensions.
+
+Primary contribution (Sections 3–4):
+
+* :func:`ldrg` — Low Delay Routing Graph: greedy edge addition onto an MST
+  (Figure 4);
+* :func:`sldrg` — the Steiner variant, starting from Iterated 1-Steiner
+  (Figure 6);
+* :func:`h1`, :func:`h2`, :func:`h3` — the three fixed-rule source-to-pin
+  shortcut heuristics;
+* :func:`ert` / :func:`ert_ldrg` — the Elmore Routing Tree baseline of
+  Boese et al. and LDRG run on top of it (Table 7).
+
+Extensions (Section 5, implemented here rather than left as future work):
+
+* :func:`csorg_ldrg` — critical-sink routing graphs (weighted-sum delay);
+* :func:`wsorg` — greedy wire sizing of a routing graph;
+* :func:`horg` — the hybrid combination (Steiner + criticality + widths).
+"""
+
+from repro.core.result import IterationRecord, RoutingResult
+from repro.core.ldrg import greedy_edge_addition, ldrg
+from repro.core.sldrg import sldrg
+from repro.core.heuristics import h1, h2, h3
+from repro.core.ert import elmore_routing_tree, ert, ert_ldrg
+from repro.core.sert import sert, steiner_elmore_routing_tree
+from repro.core.critical_sink import csorg_ldrg, uniform_criticalities
+from repro.core.exhaustive import optimal_routing_graph, optimal_routing_tree
+from repro.core.local_search import local_search_org
+from repro.core.wire_sizing import WireSizingResult, wsorg
+from repro.core.hybrid import HybridResult, horg
+
+__all__ = [
+    "HybridResult",
+    "IterationRecord",
+    "RoutingResult",
+    "WireSizingResult",
+    "csorg_ldrg",
+    "elmore_routing_tree",
+    "ert",
+    "ert_ldrg",
+    "greedy_edge_addition",
+    "h1",
+    "h2",
+    "h3",
+    "horg",
+    "ldrg",
+    "local_search_org",
+    "optimal_routing_graph",
+    "optimal_routing_tree",
+    "sert",
+    "sldrg",
+    "steiner_elmore_routing_tree",
+    "uniform_criticalities",
+    "wsorg",
+]

@@ -1,0 +1,95 @@
+"""CSORG — critical-sink routing graphs (Section 5.1).
+
+The max-delay ORG objective ignores path criticality information from
+timing analysis. CSORG instead minimizes the weighted sum
+``Σᵢ αᵢ · t(nᵢ)`` over given sink criticalities ``αᵢ ≥ 0``. The paper
+defines the problem and points out two useful special cases, both covered
+here:
+
+* all ``αᵢ`` equal — minimize *average* sink delay;
+* exactly one ``α`` nonzero — optimize a single identified critical sink.
+
+The algorithm is the natural CSORG analogue of LDRG: greedily add the
+edge that most reduces the weighted objective.
+"""
+
+from __future__ import annotations
+
+from repro.core.ldrg import greedy_edge_addition
+from repro.core.result import RoutingResult
+from repro.delay.models import DelayModel, get_delay_model
+from repro.delay.parameters import Technology
+from repro.geometry.net import Net
+from repro.graph.mst import prim_mst
+from repro.graph.routing_graph import RoutingGraph
+from repro.graph.validation import check_spanning
+
+
+def uniform_criticalities(net: Net, alpha: float = 1.0) -> dict[int, float]:
+    """Equal criticality on every sink — the average-delay special case."""
+    if alpha <= 0:
+        raise ValueError("alpha must be positive")
+    return {sink: alpha for sink in range(1, net.num_pins)}
+
+
+def single_critical_sink(net: Net, sink: int) -> dict[int, float]:
+    """Criticality 1 on one sink, 0 elsewhere (the paper's case (ii))."""
+    if not 1 <= sink < net.num_pins:
+        raise ValueError(f"sink index {sink} out of range 1..{net.num_pins - 1}")
+    return {s: (1.0 if s == sink else 0.0) for s in range(1, net.num_pins)}
+
+
+def csorg_ldrg(net: Net, tech: Technology,
+               criticalities: dict[int, float] | None = None,
+               critical_sink: int | None = None,
+               delay_model: str | DelayModel = "spice",
+               initial: RoutingGraph | None = None,
+               max_added_edges: int | None = None) -> RoutingResult:
+    """Greedy edge addition minimizing the weighted sink-delay sum.
+
+    Args:
+        net: the signal net.
+        tech: interconnect technology.
+        criticalities: sink index → ``αᵢ`` (missing sinks get 0). Mutually
+            exclusive with ``critical_sink``; defaults to uniform weights.
+        critical_sink: shorthand for the single-critical-sink case.
+        delay_model: delay oracle for both search and reporting.
+        initial: optional starting topology (defaults to the MST).
+        max_added_edges: optional cap on greedy iterations.
+
+    Returns:
+        A :class:`RoutingResult` whose ``delay``/``base_delay`` hold the
+        *weighted objective* (``objective == "weighted-sum"``); per-sink
+        delays are still available in ``delays``.
+    """
+    if criticalities is not None and critical_sink is not None:
+        raise ValueError("pass either criticalities or critical_sink, not both")
+    if critical_sink is not None:
+        weights = single_critical_sink(net, critical_sink)
+    elif criticalities is not None:
+        weights = dict(criticalities)
+    else:
+        weights = uniform_criticalities(net)
+    if any(alpha < 0 for alpha in weights.values()):
+        raise ValueError("criticalities must be non-negative")
+    if not any(alpha > 0 for alpha in weights.values()):
+        raise ValueError("at least one criticality must be positive")
+    bad = [s for s in weights if not 1 <= s < net.num_pins]
+    if bad:
+        raise ValueError(f"criticalities reference non-sink indices {bad}")
+
+    model = get_delay_model(delay_model, tech)
+    graph = initial if initial is not None else prim_mst(net)
+    check_spanning(graph)
+
+    def weighted(g: RoutingGraph) -> float:
+        return model.weighted_delay(g, weights)
+
+    return greedy_edge_addition(
+        graph, model, model,
+        objective=weighted,
+        eval_objective=weighted,
+        algorithm="csorg-ldrg",
+        max_added_edges=max_added_edges,
+        objective_name="weighted-sum",
+    )

@@ -1,0 +1,125 @@
+"""ERT — the Elmore Routing Tree of Boese, Kahng, McCoy & Robins [4].
+
+The paper's Table 6 baseline: a greedy tree construction that grows from
+the source, at each step attaching the unconnected sink via whichever
+tree node minimizes the resulting partial tree's maximum Elmore delay.
+Boese et al. found such trees to average within 2% of the optimal routing
+tree, which is what makes Table 7 interesting: LDRG's extra edges improve
+even on ERTs, so non-tree routings beat *optimal tree* routings.
+"""
+
+from __future__ import annotations
+
+from repro.core.ldrg import greedy_edge_addition
+from repro.core.result import RoutingResult
+from repro.delay.elmore_tree import elmore_delays_component
+from repro.delay.models import DelayModel, get_delay_model
+from repro.delay.parameters import Technology
+from repro.geometry.net import Net
+from repro.graph.routing_graph import RoutingGraph
+
+
+def elmore_routing_tree(net: Net, tech: Technology,
+                        criticalities: dict[int, float] | None = None,
+                        ) -> RoutingGraph:
+    """Construct an ERT over ``net`` by greedy Elmore-delay tree growth.
+
+    With ``criticalities`` the growth objective becomes the weighted sum
+    ``Σ αᵢ·t(nᵢ)`` over the sinks already in the partial tree — the
+    "ERT-C" critical-sink variant of Boese, Kahng & Robins [5]. Without,
+    the objective is the max delay (the plain ERT of [4]).
+    """
+    if criticalities is not None:
+        _check_weights(net, criticalities)
+    graph = RoutingGraph(net)
+    in_tree = [graph.source]
+    remaining = set(graph.sink_indices())
+    while remaining:
+        best_edge: tuple[int, int] | None = None
+        best_score = float("inf")
+        for sink in remaining:
+            for anchor in in_tree:
+                graph.add_edge(anchor, sink)
+                delays = elmore_delays_component(graph, tech)
+                score = _partial_objective(graph, delays, criticalities)
+                graph.remove_edge(anchor, sink)
+                if score < best_score:
+                    best_score = score
+                    best_edge = (anchor, sink)
+        assert best_edge is not None
+        graph.add_edge(*best_edge)
+        in_tree.append(best_edge[1])
+        remaining.discard(best_edge[1])
+    return graph
+
+
+def _partial_objective(graph: RoutingGraph, delays: dict[int, float],
+                       criticalities: dict[int, float] | None) -> float:
+    """Objective of a partial tree: max delay or weighted sum.
+
+    The weighted objective carries a small max-delay tie-break term:
+    zero-criticality sinks otherwise contribute nothing, leaving their
+    attachments arbitrary — and an arbitrarily wired non-critical sink
+    still loads the critical path with its capacitance. Boese et al.'s
+    critical-sink constructions likewise keep non-critical sinks sane via
+    a secondary objective.
+    """
+    sinks = [s for s in delays if 0 < s < graph.num_pins]
+    worst = max(delays[s] for s in sinks)
+    if criticalities is None:
+        return worst
+    weighted = sum(criticalities.get(s, 0.0) * delays[s] for s in sinks)
+    return weighted + 1e-3 * worst
+
+
+def _check_weights(net: Net, criticalities: dict[int, float]) -> None:
+    if any(alpha < 0 for alpha in criticalities.values()):
+        raise ValueError("criticalities must be non-negative")
+    bad = [s for s in criticalities if not 1 <= s < net.num_pins]
+    if bad:
+        raise ValueError(f"criticalities reference non-sink indices {bad}")
+
+
+def ert(net: Net, tech: Technology,
+        evaluation_model: str | DelayModel = "spice") -> RoutingResult:
+    """Build an ERT and evaluate it against the MST baseline (Table 6)."""
+    from repro.graph.mst import prim_mst
+
+    evaluate = get_delay_model(evaluation_model, tech)
+    mst = prim_mst(net)
+    base_delays = evaluate.delays(mst)
+    tree = elmore_routing_tree(net, tech)
+    delays = evaluate.delays(tree)
+    return RoutingResult(
+        graph=tree,
+        delay=max(delays.values()),
+        cost=tree.cost(),
+        delays=delays,
+        base_delay=max(base_delays.values()),
+        base_cost=mst.cost(),
+        algorithm="ert",
+        model=evaluate.name,
+    )
+
+
+def ert_ldrg(net: Net, tech: Technology,
+             delay_model: str | DelayModel = "spice",
+             max_added_edges: int | None = None,
+             evaluation_model: str | DelayModel | None = None) -> RoutingResult:
+    """LDRG started from an ERT instead of an MST (Table 7).
+
+    The returned result's baseline is the *ERT* delay/cost, matching the
+    paper's normalization for this table.
+    """
+    search = get_delay_model(delay_model, tech)
+    evaluate = (search if evaluation_model is None
+                else get_delay_model(evaluation_model, tech))
+    tree = elmore_routing_tree(net, tech)
+    result = greedy_edge_addition(
+        tree, search, evaluate,
+        objective=search.max_delay,
+        eval_objective=evaluate.max_delay,
+        algorithm="ert-ldrg",
+        max_added_edges=max_added_edges,
+    )
+    return result

@@ -1,0 +1,117 @@
+"""Exhaustive ORG/ORT solvers for tiny nets.
+
+The paper formalizes the Optimal Routing Graph problem but, like all the
+heuristics literature, never computes true optima. For nets of up to ~6
+pins the edge-subset space is small enough to enumerate outright, which
+gives this repo something the paper could not print: the exact optimality
+gap of LDRG and of the best spanning *tree* (the quantity behind the
+Table 7 argument that non-tree routings beat optimal trees).
+
+Sizes: a ``k+1``-pin net has ``m = (k+1)k/2`` candidate edges; the solver
+enumerates all ``2^m`` subsets for the ORG and all spanning trees for the
+ORT, so ``k + 1 ≤ 7`` is the practical ceiling (``2^21`` ≈ 2M subsets).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+
+from repro.core.result import WIN_TOLERANCE
+from repro.delay.models import DelayModel, get_delay_model
+from repro.delay.parameters import Technology
+from repro.geometry.net import Net
+from repro.graph.routing_graph import RoutingGraph
+
+#: Enumeration ceiling: nets above this size are refused loudly.
+MAX_PINS = 7
+
+
+@dataclass
+class OptimalResult:
+    """The exact optimum over a routing family.
+
+    Attributes:
+        graph: an optimal routing.
+        delay: its objective value under the chosen oracle.
+        evaluated: how many candidate routings were scored.
+    """
+
+    graph: RoutingGraph
+    delay: float
+    evaluated: int
+
+    @property
+    def is_tree(self) -> bool:
+        return self.graph.is_tree()
+
+
+def optimal_routing_graph(net: Net, tech: Technology,
+                          delay_model: str | DelayModel = "elmore",
+                          ) -> OptimalResult:
+    """Brute-force the ORG problem: the best *connected graph* routing.
+
+    Only edge subsets that (a) span the net and (b) contain no dead-end
+    Steiner structure are scored. Ties break toward fewer edges, then
+    lower wirelength, so the reported optimum is the cheapest among
+    delay-optimal routings.
+    """
+    model, edges = _setup(net, tech, delay_model)
+    best: OptimalResult | None = None
+    evaluated = 0
+    n = net.num_pins
+    for count in range(n - 1, len(edges) + 1):
+        for subset in combinations(edges, count):
+            graph = RoutingGraph.from_edges(net, subset)
+            if not graph.is_connected():
+                continue
+            evaluated += 1
+            delay = model.max_delay(graph)
+            best = _keep_better(best, graph, delay, evaluated)
+    assert best is not None
+    best.evaluated = evaluated
+    return best
+
+
+def optimal_routing_tree(net: Net, tech: Technology,
+                         delay_model: str | DelayModel = "elmore",
+                         ) -> OptimalResult:
+    """Brute-force the ORT problem of Boese et al.: the best spanning tree."""
+    model, edges = _setup(net, tech, delay_model)
+    best: OptimalResult | None = None
+    evaluated = 0
+    n = net.num_pins
+    for subset in combinations(edges, n - 1):
+        graph = RoutingGraph.from_edges(net, subset)
+        if not graph.is_connected():
+            continue
+        evaluated += 1
+        delay = model.max_delay(graph)
+        best = _keep_better(best, graph, delay, evaluated)
+    assert best is not None
+    best.evaluated = evaluated
+    return best
+
+
+def _setup(net: Net, tech: Technology, delay_model):
+    if net.num_pins > MAX_PINS:
+        raise ValueError(
+            f"exhaustive search is limited to {MAX_PINS} pins "
+            f"(got {net.num_pins}); use the heuristics for larger nets")
+    model = get_delay_model(delay_model, tech)
+    edges = [(i, j) for i in range(net.num_pins)
+             for j in range(i + 1, net.num_pins)]
+    return model, edges
+
+
+def _keep_better(best: OptimalResult | None, graph: RoutingGraph,
+                 delay: float, evaluated: int) -> OptimalResult:
+    if best is None:
+        return OptimalResult(graph=graph, delay=delay, evaluated=evaluated)
+    if delay < best.delay * (1.0 - WIN_TOLERANCE):
+        return OptimalResult(graph=graph, delay=delay, evaluated=evaluated)
+    if (abs(delay - best.delay) <= best.delay * WIN_TOLERANCE
+            and (graph.num_edges, graph.cost())
+            < (best.graph.num_edges, best.graph.cost())):
+        return OptimalResult(graph=graph, delay=delay, evaluated=evaluated)
+    return best

@@ -1,0 +1,138 @@
+"""H1, H2, H3 — the fixed-rule shortcut heuristics (Section 3).
+
+Each starts from the MST and connects the source ``n0`` to one chosen pin:
+
+* **H1** — the pin with the longest *SPICE* delay. One simulation per
+  iteration; the new edge is kept only if the evaluated delay actually
+  improves (this is what makes H1's all-cases delay ratio ≤ 1 in Table 4),
+  and the step may be iterated.
+* **H2** — the pin with the longest *Elmore* delay. No simulation at all;
+  the edge is added unconditionally (Table 5 shows all-cases ratios above
+  1 for small nets, exactly because there is no verification step). Not
+  iterable: the paper notes Elmore delay is only defined on trees.
+* **H3** — the pin maximizing ``pathlength × Elmore / length-of-new-edge``,
+  a cost-aware refinement of H2. Also unconditional and not iterable.
+
+All three report final numbers under the evaluation model (SPICE by
+default) regardless of the selection rule.
+"""
+
+from __future__ import annotations
+
+from repro.core.result import IterationRecord, RoutingResult, WIN_TOLERANCE
+from repro.delay.elmore_tree import elmore_delays
+from repro.delay.models import DelayModel, get_delay_model
+from repro.delay.parameters import Technology
+from repro.geometry.net import Net
+from repro.graph.mst import prim_mst
+from repro.graph.paths import dijkstra_lengths
+from repro.graph.routing_graph import RoutingGraph
+
+
+def h1(net: Net, tech: Technology,
+       max_iterations: int | None = None,
+       delay_model: str | DelayModel = "spice") -> RoutingResult:
+    """Heuristic H1: connect the source to the longest-SPICE-delay pin.
+
+    Iterates until the added edge no longer improves the evaluated delay
+    (the paper observes ~2 iterations on average). ``max_iterations``
+    caps the number of *kept* edges, for the Table 4 iteration rows.
+    """
+    model = get_delay_model(delay_model, tech)
+    graph = prim_mst(net)
+    base_delays = model.delays(graph)
+    base_delay = max(base_delays.values())
+    base_cost = graph.cost()
+    history: list[IterationRecord] = []
+    budget = max_iterations if max_iterations is not None else float("inf")
+
+    current_delays = base_delays
+    current_delay = base_delay
+    while len(history) < budget:
+        target = _longest_delay_sink(graph, current_delays)
+        if target is None:
+            break
+        trial = graph.with_edge(graph.source, target)
+        trial_delays = model.delays(trial)
+        trial_delay = max(trial_delays.values())
+        if trial_delay >= current_delay * (1.0 - WIN_TOLERANCE):
+            break
+        graph = trial
+        current_delays = trial_delays
+        current_delay = trial_delay
+        history.append(IterationRecord(
+            edge=(graph.source, target), delay=current_delay,
+            cost=graph.cost()))
+
+    return RoutingResult(
+        graph=graph, delay=current_delay, cost=graph.cost(),
+        delays=current_delays, base_delay=base_delay, base_cost=base_cost,
+        algorithm="h1", model=model.name, history=history)
+
+
+def h2(net: Net, tech: Technology,
+       evaluation_model: str | DelayModel = "spice") -> RoutingResult:
+    """Heuristic H2: connect the source to the longest-Elmore-delay pin.
+
+    Selection needs no simulation; the edge is added unconditionally.
+    """
+    graph = prim_mst(net)
+    elmore = elmore_delays(graph, tech)
+    scores = {sink: elmore[sink] for sink in graph.sink_indices()}
+    return _one_shot(graph, tech, scores, "h2", evaluation_model)
+
+
+def h3(net: Net, tech: Technology,
+       evaluation_model: str | DelayModel = "spice") -> RoutingResult:
+    """Heuristic H3: maximize ``pathlength × Elmore / new-edge-length``.
+
+    The score prefers pins that are electrically slow *and* far along the
+    tree yet geometrically close to the source — exactly the pins where a
+    shortcut wire buys the most resistance reduction per unit of added
+    capacitance. Unconditional, like H2.
+    """
+    graph = prim_mst(net)
+    elmore = elmore_delays(graph, tech)
+    pathlength = dijkstra_lengths(graph)
+    scores: dict[int, float] = {}
+    for sink in graph.sink_indices():
+        new_edge = graph.distance(graph.source, sink)
+        if new_edge <= 0:
+            continue
+        scores[sink] = pathlength[sink] * elmore[sink] / new_edge
+    return _one_shot(graph, tech, scores, "h3", evaluation_model)
+
+
+def _longest_delay_sink(graph: RoutingGraph,
+                        delays: dict[int, float]) -> int | None:
+    """The not-yet-shortcut sink with the largest delay, if any."""
+    for sink in sorted(delays, key=delays.get, reverse=True):
+        if not graph.has_edge(graph.source, sink):
+            return sink
+    return None
+
+
+def _one_shot(graph: RoutingGraph, tech: Technology,
+              scores: dict[int, float], algorithm: str,
+              evaluation_model: str | DelayModel) -> RoutingResult:
+    """Add the single best-scoring source shortcut and evaluate."""
+    evaluate = get_delay_model(evaluation_model, tech)
+    base_delays = evaluate.delays(graph)
+    base_delay = max(base_delays.values())
+    base_cost = graph.cost()
+    candidates = {sink: score for sink, score in scores.items()
+                  if not graph.has_edge(graph.source, sink)}
+    history: list[IterationRecord] = []
+    if candidates:
+        target = max(candidates, key=candidates.get)
+        graph = graph.with_edge(graph.source, target)
+        final_delays = evaluate.delays(graph)
+        history.append(IterationRecord(
+            edge=(graph.source, target),
+            delay=max(final_delays.values()), cost=graph.cost()))
+    else:
+        final_delays = base_delays
+    return RoutingResult(
+        graph=graph, delay=max(final_delays.values()), cost=graph.cost(),
+        delays=final_delays, base_delay=base_delay, base_cost=base_cost,
+        algorithm=algorithm, model=evaluate.name, history=history)

@@ -1,0 +1,131 @@
+"""HORG — the hybrid optimal routing graph problem (Section 5.3).
+
+HORG subsumes every other formulation in the paper: Steiner points,
+sink criticalities, *and* an edge width function, under the weighted-sum
+objective ``Σ αᵢ·t(nᵢ)``. The paper states the problem and notes it "will
+be correspondingly more difficult to address effectively"; this module
+provides the natural staged heuristic built from the repo's pieces:
+
+1. start from an Iterated 1-Steiner tree (or the MST);
+2. greedily add edges minimizing the weighted objective (CSORG-style
+   LDRG over the Steiner topology);
+3. greedily widen wires under the same objective (WSORG-style).
+
+Each stage only ever improves the objective, so the pipeline is
+monotone — a property the tests assert.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.core.ldrg import greedy_edge_addition
+from repro.core.result import IterationRecord, RoutingResult, WIN_TOLERANCE
+from repro.core.wire_sizing import DEFAULT_WIDTHS
+from repro.delay.models import DelayModel, get_delay_model
+from repro.delay.parameters import Technology
+from repro.geometry.net import Net
+from repro.graph.mst import prim_mst
+from repro.graph.routing_graph import RoutingGraph
+from repro.graph.steiner import iterated_one_steiner
+
+
+@dataclass
+class HybridResult(RoutingResult):
+    """Routing + widths + stage breakdown for the HORG pipeline."""
+
+    widths: dict[tuple[int, int], float] = field(default_factory=dict)
+    #: objective value after each stage: (baseline, +edges, +sizing)
+    stage_objectives: tuple[float, float, float] = (0.0, 0.0, 0.0)
+
+
+def horg(net: Net, tech: Technology,
+         criticalities: dict[int, float] | None = None,
+         width_levels: Sequence[float] = DEFAULT_WIDTHS,
+         use_steiner: bool = True,
+         delay_model: str | DelayModel = "spice",
+         max_added_edges: int | None = None,
+         max_width_changes: int | None = None) -> HybridResult:
+    """The staged HORG heuristic: Steiner base → extra edges → wire sizing.
+
+    Args:
+        net: the signal net.
+        tech: interconnect technology.
+        criticalities: sink → αᵢ (defaults to uniform — average delay).
+        width_levels: allowed wire widths, increasing; first is baseline.
+        use_steiner: start from Iterated 1-Steiner (else the MST).
+        delay_model: oracle for all three stages.
+        max_added_edges: optional cap for the edge stage.
+        max_width_changes: optional cap for the sizing stage.
+    """
+    model = get_delay_model(delay_model, tech)
+    weights = (dict(criticalities) if criticalities is not None
+               else {s: 1.0 for s in range(1, net.num_pins)})
+    if any(alpha < 0 for alpha in weights.values()):
+        raise ValueError("criticalities must be non-negative")
+    levels = [float(w) for w in width_levels]
+    if len(levels) < 1 or any(b <= a for a, b in zip(levels, levels[1:])):
+        raise ValueError("width_levels must be strictly increasing and non-empty")
+
+    base = iterated_one_steiner(net) if use_steiner else prim_mst(net)
+
+    def weighted(graph: RoutingGraph,
+                 widths: dict[tuple[int, int], float] | None = None) -> float:
+        return model.weighted_delay(graph, weights, widths)
+
+    # Stage 1+2: CSORG-style greedy edge addition over the base topology.
+    edge_stage = greedy_edge_addition(
+        base, model, model,
+        objective=weighted,
+        eval_objective=weighted,
+        algorithm="horg",
+        max_added_edges=max_added_edges,
+        objective_name="weighted-sum",
+    )
+    graph = edge_stage.graph
+    after_edges = edge_stage.delay
+
+    # Stage 3: greedy wire sizing under the same weighted objective.
+    widths = {edge: levels[0] for edge in graph.edges()}
+    level_index = {edge: 0 for edge in widths}
+    current = weighted(graph, widths)
+    history = list(edge_stage.history)
+    budget = max_width_changes if max_width_changes is not None else float("inf")
+    sizing_steps = 0
+    while sizing_steps < budget:
+        best_edge: tuple[int, int] | None = None
+        best_value = current
+        threshold = current * (1.0 - WIN_TOLERANCE)
+        for edge, idx in level_index.items():
+            if idx + 1 >= len(levels):
+                continue
+            trial = dict(widths)
+            trial[edge] = levels[idx + 1]
+            value = weighted(graph, trial)
+            if value < best_value and value < threshold:
+                best_value = value
+                best_edge = edge
+        if best_edge is None:
+            break
+        level_index[best_edge] += 1
+        widths[best_edge] = levels[level_index[best_edge]]
+        current = best_value
+        sizing_steps += 1
+        history.append(IterationRecord(
+            edge=best_edge, delay=current, cost=graph.cost()))
+
+    return HybridResult(
+        graph=graph,
+        delay=current,
+        cost=graph.cost(),
+        delays=model.delays(graph, widths),
+        base_delay=edge_stage.base_delay,
+        base_cost=edge_stage.base_cost,
+        algorithm="horg",
+        model=model.name,
+        objective="weighted-sum",
+        history=history,
+        widths=widths,
+        stage_objectives=(edge_stage.base_delay, after_edges, current),
+    )

@@ -1,0 +1,122 @@
+"""LDRG — the Low Delay Routing Graph algorithm (Figure 4 of the paper).
+
+Start from the MST; while some extra edge lowers the routing graph's max
+source–sink delay, add the best such edge. The delay oracle is pluggable
+(:mod:`repro.delay.models`): the paper uses SPICE inside the loop, and the
+oracle ablation benchmark quantifies what the cheaper oracles give up.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.result import IterationRecord, RoutingResult, WIN_TOLERANCE
+from repro.delay.models import DelayModel, get_delay_model
+from repro.delay.parameters import Technology
+from repro.graph.mst import prim_mst
+from repro.graph.routing_graph import RoutingGraph
+from repro.graph.validation import check_spanning
+
+Objective = Callable[[RoutingGraph], float]
+
+
+def ldrg(net_or_graph, tech: Technology,
+         delay_model: str | DelayModel = "spice",
+         initial: RoutingGraph | None = None,
+         max_added_edges: int | None = None,
+         evaluation_model: str | DelayModel | None = None) -> RoutingResult:
+    """Run the LDRG algorithm.
+
+    Args:
+        net_or_graph: the :class:`~repro.geometry.net.Net` to route (an
+            MST starting tree is built), or a pre-built starting
+            :class:`RoutingGraph` (equivalent to passing ``initial``).
+        tech: interconnect technology.
+        delay_model: oracle used to *choose* edges ("spice" per the paper).
+        initial: optional explicit starting topology (e.g. an ERT for the
+            Table 7 variant); must span the net.
+        max_added_edges: optional cap on greedy iterations (used for the
+            per-iteration table rows; ``None`` = run to convergence).
+        evaluation_model: oracle used to *report* delays (defaults to the
+            search oracle). H2/H3-style splits — search cheap, report
+            SPICE — are expressed this way.
+
+    Returns:
+        A :class:`RoutingResult` whose baseline is the starting topology.
+    """
+    search = get_delay_model(delay_model, tech)
+    evaluate = (search if evaluation_model is None
+                else get_delay_model(evaluation_model, tech))
+    graph = _starting_graph(net_or_graph, initial)
+    check_spanning(graph)
+    return greedy_edge_addition(
+        graph, search, evaluate,
+        objective=search.max_delay,
+        eval_objective=evaluate.max_delay,
+        algorithm="ldrg",
+        max_added_edges=max_added_edges,
+    )
+
+
+def greedy_edge_addition(graph: RoutingGraph,
+                         search: DelayModel,
+                         evaluate: DelayModel,
+                         objective: Objective,
+                         eval_objective: Objective,
+                         algorithm: str,
+                         max_added_edges: int | None = None,
+                         objective_name: str = "max") -> RoutingResult:
+    """The greedy loop shared by LDRG, SLDRG, and the CSORG variant.
+
+    ``objective`` scores candidate graphs during the search;
+    ``eval_objective`` produces the reported numbers. Iterates until no
+    candidate edge improves the search objective (or the edge budget runs
+    out) — the termination rule of Figure 4, step 2.
+    """
+    graph = graph.copy()
+    base_delay = eval_objective(graph)
+    base_cost = graph.cost()
+    current = objective(graph)
+    history: list[IterationRecord] = []
+    budget = max_added_edges if max_added_edges is not None else float("inf")
+
+    while len(history) < budget:
+        best_edge: tuple[int, int] | None = None
+        best_value = current
+        threshold = current * (1.0 - WIN_TOLERANCE)
+        for u, v in graph.candidate_edges():
+            value = objective(graph.with_edge(u, v))
+            if value < best_value and value < threshold:
+                best_value = value
+                best_edge = (u, v)
+        if best_edge is None:
+            break
+        graph.add_edge(*best_edge)
+        current = best_value
+        history.append(IterationRecord(
+            edge=best_edge,
+            delay=eval_objective(graph),
+            cost=graph.cost(),
+        ))
+
+    final_delays = evaluate.delays(graph)
+    return RoutingResult(
+        graph=graph,
+        delay=eval_objective(graph),
+        cost=graph.cost(),
+        delays=final_delays,
+        base_delay=base_delay,
+        base_cost=base_cost,
+        algorithm=algorithm,
+        model=evaluate.name,
+        objective=objective_name,
+        history=history,
+    )
+
+
+def _starting_graph(net_or_graph, initial: RoutingGraph | None) -> RoutingGraph:
+    if initial is not None:
+        return initial
+    if isinstance(net_or_graph, RoutingGraph):
+        return net_or_graph
+    return prim_mst(net_or_graph)

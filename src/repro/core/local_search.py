@@ -1,0 +1,135 @@
+"""Local search for the ORG problem: add, remove, and swap moves.
+
+LDRG (Figure 4) is *add-only*: once an edge is in, it stays, and the MST
+skeleton is never reconsidered. The exhaustive results in
+:mod:`repro.core.exhaustive` show why that matters — on tiny nets the
+true optimum is usually a tree *different from the MST*, which add-only
+greedy can never reach. This module implements the natural strengthening
+the paper's formulation invites: hill-climbing over the full routing-graph
+space with three move types:
+
+* **add** an absent edge (LDRG's move);
+* **remove** a present edge (keeping the net spanned);
+* **swap** = remove + add in one move (escapes single-move plateaus,
+  e.g. replacing an MST edge with a better-oriented one).
+
+Termination at a local optimum under all three moves. With the Elmore
+oracle each move evaluation is one linear solve, so the search is
+practical well beyond exhaustive sizes.
+"""
+
+from __future__ import annotations
+
+from repro.core.result import IterationRecord, RoutingResult, WIN_TOLERANCE
+from repro.delay.models import DelayModel, get_delay_model
+from repro.delay.parameters import Technology
+from repro.graph.mst import prim_mst
+from repro.graph.routing_graph import RoutingGraph
+from repro.graph.validation import check_spanning
+
+#: Safety cap on hill-climbing steps (generous: real runs take < 20).
+_MAX_MOVES = 200
+
+
+def local_search_org(net_or_graph, tech: Technology,
+                     delay_model: str | DelayModel = "elmore",
+                     initial: RoutingGraph | None = None,
+                     allow_removals: bool = True,
+                     allow_swaps: bool = True,
+                     evaluation_model: str | DelayModel | None = None,
+                     ) -> RoutingResult:
+    """Hill-climb the ORG objective from an initial routing.
+
+    Args:
+        net_or_graph: the net (MST start) or an explicit starting graph.
+        tech: interconnect technology.
+        delay_model: search oracle (Elmore recommended; every move costs
+            one evaluation).
+        initial: explicit starting topology (overrides ``net_or_graph``).
+        allow_removals: enable the remove move.
+        allow_swaps: enable the swap move (remove+add in one step).
+        evaluation_model: oracle for reported numbers (defaults to the
+            search oracle).
+
+    Returns:
+        A :class:`RoutingResult` whose baseline is the starting topology;
+        history records carry the *added* edge of each improving move
+        (``(-1, -1)`` marks a pure removal).
+    """
+    search = get_delay_model(delay_model, tech)
+    evaluate = (search if evaluation_model is None
+                else get_delay_model(evaluation_model, tech))
+    if initial is not None:
+        graph = initial.copy()
+    elif isinstance(net_or_graph, RoutingGraph):
+        graph = net_or_graph.copy()
+    else:
+        graph = prim_mst(net_or_graph)
+    check_spanning(graph)
+
+    base_delay = evaluate.max_delay(graph)
+    base_cost = graph.cost()
+    current = search.max_delay(graph)
+    history: list[IterationRecord] = []
+
+    for _ in range(_MAX_MOVES):
+        move = _best_move(graph, search, current, allow_removals, allow_swaps)
+        if move is None:
+            break
+        value, removed, added = move
+        if removed is not None:
+            graph.remove_edge(*removed)
+        if added is not None:
+            graph.add_edge(*added)
+        current = value
+        history.append(IterationRecord(
+            edge=added if added is not None else (-1, -1),
+            delay=evaluate.max_delay(graph),
+            cost=graph.cost()))
+
+    delays = evaluate.delays(graph)
+    return RoutingResult(
+        graph=graph,
+        delay=max(delays.values()),
+        cost=graph.cost(),
+        delays=delays,
+        base_delay=base_delay,
+        base_cost=base_cost,
+        algorithm="local-search-org",
+        model=evaluate.name,
+        history=history,
+    )
+
+
+def _best_move(graph: RoutingGraph, search: DelayModel, current: float,
+               allow_removals: bool, allow_swaps: bool):
+    """The best strictly-improving (value, removed, added) move, if any."""
+    threshold = current * (1.0 - WIN_TOLERANCE)
+    best = None
+
+    def consider(value, removed, added):
+        nonlocal best
+        if value < threshold and (best is None or value < best[0]):
+            best = (value, removed, added)
+
+    absent = graph.candidate_edges()
+    for edge in absent:
+        consider(search.max_delay(graph.with_edge(*edge)), None, edge)
+
+    if not (allow_removals or allow_swaps):
+        return best
+    for present in list(graph.edges()):
+        graph.remove_edge(*present)
+        try:
+            still_spans = graph.spans_net()
+            if allow_removals and still_spans:
+                consider(search.max_delay(graph), present, None)
+            if allow_swaps:
+                for edge in absent:
+                    graph.add_edge(*edge)
+                    if graph.spans_net():
+                        consider(search.max_delay(graph), present, edge)
+                    graph.remove_edge(*edge)
+        finally:
+            graph.add_edge(*present)
+    return best

@@ -1,0 +1,107 @@
+"""Result records returned by every routing algorithm.
+
+All of the paper's tables are ratios against a baseline topology (MST,
+Steiner tree, or ERT), so each result carries the baseline's delay/cost
+alongside the final ones, plus a per-added-edge history for the
+"iteration one / iteration two" rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.graph.routing_graph import RoutingGraph
+
+#: Relative tolerance below which a delay change does not count as a win.
+WIN_TOLERANCE = 1e-9
+
+
+@dataclass(frozen=True)
+class IterationRecord:
+    """Snapshot taken after one greedy edge addition.
+
+    Attributes:
+        edge: the ``(u, v)`` edge added this iteration.
+        delay: evaluation-model delay of the routing after the addition.
+        cost: wirelength of the routing after the addition (µm).
+    """
+
+    edge: tuple[int, int]
+    delay: float
+    cost: float
+
+
+@dataclass
+class RoutingResult:
+    """Outcome of a routing algorithm on one net.
+
+    Attributes:
+        graph: the final routing graph (may contain cycles).
+        delay: final objective value (seconds). For max-delay algorithms
+            this is ``t(G) = max_i t(n_i)``; for critical-sink variants it
+            is the weighted sum (see ``objective``).
+        cost: final wirelength (µm).
+        delays: final per-sink delays (seconds) under the evaluation model.
+        base_delay: objective value of the starting topology.
+        base_cost: wirelength of the starting topology (µm).
+        algorithm: short algorithm name ("ldrg", "h1", ...).
+        model: evaluation delay-model name ("spice", "elmore", ...).
+        objective: "max" or "weighted-sum".
+        history: one record per added edge, in addition order.
+    """
+
+    graph: RoutingGraph
+    delay: float
+    cost: float
+    delays: dict[int, float]
+    base_delay: float
+    base_cost: float
+    algorithm: str
+    model: str
+    objective: str = "max"
+    history: list[IterationRecord] = field(default_factory=list)
+
+    @property
+    def delay_ratio(self) -> float:
+        """Final / baseline delay — the paper's "Delay" columns."""
+        return self.delay / self.base_delay
+
+    @property
+    def cost_ratio(self) -> float:
+        """Final / baseline wirelength — the paper's "Cost" columns."""
+        return self.cost / self.base_cost
+
+    @property
+    def improved(self) -> bool:
+        """Whether this run is a "winner": final delay beats the baseline."""
+        return self.delay < self.base_delay * (1.0 - WIN_TOLERANCE)
+
+    @property
+    def num_added_edges(self) -> int:
+        return len(self.history)
+
+    def at_iteration(self, k: int) -> tuple[float, float]:
+        """(delay, cost) after the first ``k`` edge additions.
+
+        ``k = 0`` is the starting topology. Requesting more iterations
+        than happened raises ``IndexError`` — callers distinguishing
+        "iteration two" must check :attr:`num_added_edges` first (the
+        paper reports "NA" for such rows).
+        """
+        if k == 0:
+            return (self.base_delay, self.base_cost)
+        if k > len(self.history):
+            raise IndexError(
+                f"iteration {k} requested but only {len(self.history)} "
+                f"edges were added")
+        record = self.history[k - 1]
+        return (record.delay, record.cost)
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        direction = "improved" if self.improved else "no improvement"
+        return (f"{self.algorithm} on {self.graph.net.name}: "
+                f"delay {self.delay * 1e9:.3f} ns "
+                f"({self.delay_ratio:.3f}x base), "
+                f"cost {self.cost:.0f} um ({self.cost_ratio:.3f}x base), "
+                f"{self.num_added_edges} edge(s) added, {direction}")

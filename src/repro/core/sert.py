@@ -1,0 +1,161 @@
+"""SERT — the Steiner Elmore Routing Tree of Boese et al. [4].
+
+The Steiner sibling of :mod:`repro.core.ert`: when attaching an
+unconnected sink, SERT may tap not only existing tree *nodes* but any
+point along an existing tree *wire*, splitting the wire with a new
+Steiner point. Wires are rectilinear L-shapes (horizontal run from the
+lower-indexed endpoint, then vertical — the same convention the SVG
+renderer draws), so the candidate tap is the Manhattan-closest point on
+that L-path. Each step keeps whichever attachment minimizes the partial
+tree's maximum Elmore delay.
+
+Splitting at a point on the L-path conserves wirelength exactly
+(``d(u,p) + d(p,v) = d(u,v)`` for any ``p`` on a monotone path), which is
+what makes the Steiner tap free wire-wise and often a delay win.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.result import RoutingResult
+from repro.delay.elmore_tree import elmore_delays_component
+from repro.delay.models import DelayModel, get_delay_model
+from repro.delay.parameters import Technology
+from repro.geometry.net import Net
+from repro.geometry.point import Point
+from repro.graph.routing_graph import RoutingGraph
+
+
+@dataclass(frozen=True)
+class _Attachment:
+    """One candidate way to wire a sink into the partial tree."""
+
+    sink: int
+    anchor: int | None          # existing node to connect to, or ...
+    split_edge: tuple[int, int] | None  # ... edge to split at `tap`
+    tap: Point | None
+
+
+def closest_point_on_lpath(a: Point, b: Point, s: Point) -> Point:
+    """Manhattan-closest point to ``s`` on the L-path a → elbow → b.
+
+    The elbow runs horizontally from ``a`` to ``(b.x, a.y)``, then
+    vertically to ``b``.
+    """
+    elbow = Point(b.x, a.y)
+    candidates = []
+    # Horizontal segment a -> elbow.
+    x_lo, x_hi = min(a.x, elbow.x), max(a.x, elbow.x)
+    candidates.append(Point(min(max(s.x, x_lo), x_hi), a.y))
+    # Vertical segment elbow -> b.
+    y_lo, y_hi = min(elbow.y, b.y), max(elbow.y, b.y)
+    candidates.append(Point(b.x, min(max(s.y, y_lo), y_hi)))
+    return min(candidates, key=s.manhattan)
+
+
+def steiner_elmore_routing_tree(net: Net, tech: Technology,
+                                criticalities: dict[int, float] | None = None,
+                                ) -> RoutingGraph:
+    """Construct a SERT over ``net`` by greedy Elmore-delay tree growth.
+
+    With ``criticalities`` the growth objective is the weighted sum over
+    connected sinks — the "SERT-C" critical-sink variant of Boese, Kahng
+    & Robins [5]; without, it is the max delay (plain SERT of [4]).
+    """
+    from repro.core.ert import _check_weights
+
+    if criticalities is not None:
+        _check_weights(net, criticalities)
+    graph = RoutingGraph(net)
+    in_tree = [graph.source]
+    remaining = set(graph.sink_indices())
+    while remaining:
+        best: tuple[float, _Attachment] | None = None
+        for sink in remaining:
+            for attachment in _candidates(graph, in_tree, sink):
+                score = _evaluate(graph, tech, attachment, criticalities)
+                if best is None or score < best[0]:
+                    best = (score, attachment)
+        assert best is not None
+        new_nodes = _apply(graph, best[1])
+        in_tree.extend(new_nodes)
+        remaining.discard(best[1].sink)
+    return graph
+
+
+def sert(net: Net, tech: Technology,
+         evaluation_model: str | DelayModel = "spice") -> RoutingResult:
+    """Build a SERT and evaluate it against the MST baseline."""
+    from repro.graph.mst import prim_mst
+
+    evaluate = get_delay_model(evaluation_model, tech)
+    mst = prim_mst(net)
+    base_delays = evaluate.delays(mst)
+    tree = steiner_elmore_routing_tree(net, tech)
+    delays = evaluate.delays(tree)
+    return RoutingResult(
+        graph=tree,
+        delay=max(delays.values()),
+        cost=tree.cost(),
+        delays=delays,
+        base_delay=max(base_delays.values()),
+        base_cost=mst.cost(),
+        algorithm="sert",
+        model=evaluate.name,
+    )
+
+
+def _candidates(graph: RoutingGraph, in_tree: list[int], sink: int):
+    """All attachments of ``sink``: tree nodes plus edge taps."""
+    sink_pos = graph.position(sink)
+    for anchor in in_tree:
+        yield _Attachment(sink=sink, anchor=anchor, split_edge=None, tap=None)
+    for u, v in graph.edges():
+        tap = closest_point_on_lpath(graph.position(u), graph.position(v),
+                                     sink_pos)
+        if tap == graph.position(u) or tap == graph.position(v):
+            continue  # degenerates to a node attachment, covered above
+        yield _Attachment(sink=sink, anchor=None, split_edge=(u, v), tap=tap)
+
+
+def _evaluate(graph: RoutingGraph, tech: Technology,
+              attachment: _Attachment,
+              criticalities: dict[int, float] | None = None) -> float:
+    """Partial-tree objective with ``attachment`` applied (the mutation
+    is reverted before returning)."""
+    from repro.core.ert import _partial_objective
+
+    added = _apply(graph, attachment)
+    try:
+        delays = elmore_delays_component(graph, tech)
+        return _partial_objective(graph, delays, criticalities)
+    finally:
+        _revert(graph, attachment, added)
+
+
+def _apply(graph: RoutingGraph, attachment: _Attachment) -> list[int]:
+    """Mutate the graph per the attachment; returns nodes newly in-tree."""
+    if attachment.anchor is not None:
+        graph.add_edge(attachment.anchor, attachment.sink)
+        return [attachment.sink]
+    assert attachment.split_edge is not None and attachment.tap is not None
+    u, v = attachment.split_edge
+    tap_node = graph.add_steiner_point(attachment.tap)
+    graph.remove_edge(u, v)
+    graph.add_edge(u, tap_node)
+    graph.add_edge(tap_node, v)
+    graph.add_edge(tap_node, attachment.sink)
+    return [attachment.sink, tap_node]
+
+
+def _revert(graph: RoutingGraph, attachment: _Attachment,
+            added: list[int]) -> None:
+    if attachment.anchor is not None:
+        graph.remove_edge(attachment.anchor, attachment.sink)
+        return
+    assert attachment.split_edge is not None
+    u, v = attachment.split_edge
+    tap_node = added[-1]
+    graph.remove_node(tap_node)  # drops its three edges
+    graph.add_edge(u, v)

@@ -1,0 +1,130 @@
+"""WSORG — wire-sized optimal routing graphs (Section 5.2).
+
+The paper observes that two parallel width-``w`` wires are equivalent to
+one width-``2w`` wire, so the edges LDRG adds can be read as local wire
+widening, and generalizes the ORG problem with an edge width function
+``w : E → ℝ`` (discrete widths in practice, since layout uses a grid).
+
+This module implements the natural greedy: starting from unit widths,
+repeatedly apply the single (edge, next-width) upgrade that most reduces
+delay, until no upgrade helps. Width affects the electrical model through
+:meth:`Technology.resistance_per_um` (∝ 1/w) and
+:meth:`Technology.capacitance_per_um` (area + fringe), so widening a wire
+trades capacitance for resistance — the same tradeoff that motivates
+non-tree routing itself, in a different variable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.core.result import IterationRecord, RoutingResult, WIN_TOLERANCE
+from repro.delay.models import DelayModel, get_delay_model
+from repro.delay.parameters import Technology
+from repro.geometry.net import Net
+from repro.graph.mst import prim_mst
+from repro.graph.routing_graph import RoutingGraph
+from repro.graph.validation import check_spanning
+
+#: Discrete width levels of the default layout grid.
+DEFAULT_WIDTHS: tuple[float, ...] = (1.0, 2.0, 3.0, 4.0)
+
+
+@dataclass
+class WireSizingResult(RoutingResult):
+    """A routing result plus the chosen edge-width assignment."""
+
+    widths: dict[tuple[int, int], float] = field(default_factory=dict)
+
+    @property
+    def widened_edges(self) -> list[tuple[int, int]]:
+        """Edges assigned a width above the minimum level."""
+        return sorted(edge for edge, w in self.widths.items() if w > 1.0)
+
+    def total_wire_area(self) -> float:
+        """Σ length × width — the silicon-area analogue of cost (µm²)."""
+        lengths = self.graph.edge_lengths()
+        return sum(length * self.widths.get(edge, 1.0)
+                   for edge, length in lengths.items())
+
+
+def wsorg(net_or_graph, tech: Technology,
+          width_levels: Sequence[float] = DEFAULT_WIDTHS,
+          delay_model: str | DelayModel = "spice",
+          initial: RoutingGraph | None = None,
+          max_changes: int | None = None) -> WireSizingResult:
+    """Greedy wire sizing of a routing graph.
+
+    Args:
+        net_or_graph: a :class:`Net` (routed with an MST first) or a
+            pre-built routing graph — e.g. an LDRG result, per the paper's
+            "merge added wires into wider wires" reading.
+        tech: interconnect technology.
+        width_levels: allowed widths in increasing order; the first level
+            is the starting width of every edge.
+        delay_model: delay oracle (widths are threaded through it).
+        initial: explicit starting topology (overrides ``net_or_graph``).
+        max_changes: optional cap on the number of upgrade steps.
+
+    Returns:
+        A :class:`WireSizingResult`; its baseline is the same topology at
+        uniform minimum width, so ``delay_ratio`` isolates the effect of
+        sizing alone. History records reuse ``edge`` for the widened edge.
+    """
+    levels = [float(w) for w in width_levels]
+    if len(levels) < 1 or any(b <= a for a, b in zip(levels, levels[1:])):
+        raise ValueError("width_levels must be strictly increasing and non-empty")
+    if any(w <= 0 for w in levels):
+        raise ValueError("widths must be positive")
+
+    model = get_delay_model(delay_model, tech)
+    if initial is not None:
+        graph = initial
+    elif isinstance(net_or_graph, RoutingGraph):
+        graph = net_or_graph
+    else:
+        graph = prim_mst(net_or_graph)
+    check_spanning(graph)
+
+    widths: dict[tuple[int, int], float] = {
+        edge: levels[0] for edge in graph.edges()}
+    level_index = {edge: 0 for edge in widths}
+    base_delay = model.max_delay(graph, widths)
+    current = base_delay
+    history: list[IterationRecord] = []
+    budget = max_changes if max_changes is not None else float("inf")
+
+    while len(history) < budget:
+        best_edge: tuple[int, int] | None = None
+        best_value = current
+        threshold = current * (1.0 - WIN_TOLERANCE)
+        for edge, idx in level_index.items():
+            if idx + 1 >= len(levels):
+                continue
+            trial = dict(widths)
+            trial[edge] = levels[idx + 1]
+            value = model.max_delay(graph, trial)
+            if value < best_value and value < threshold:
+                best_value = value
+                best_edge = edge
+        if best_edge is None:
+            break
+        level_index[best_edge] += 1
+        widths[best_edge] = levels[level_index[best_edge]]
+        current = best_value
+        history.append(IterationRecord(
+            edge=best_edge, delay=current, cost=graph.cost()))
+
+    return WireSizingResult(
+        graph=graph,
+        delay=current,
+        cost=graph.cost(),
+        delays=model.delays(graph, widths),
+        base_delay=base_delay,
+        base_cost=graph.cost(),
+        algorithm="wsorg",
+        model=model.name,
+        history=history,
+        widths=widths,
+    )

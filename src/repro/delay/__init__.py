@@ -1,0 +1,58 @@
+"""Delay models for routing graphs.
+
+Implements every delay estimator the paper uses, over one shared
+technology description (Table 1):
+
+* :func:`elmore_delays` — the O(k) Elmore formula for routing *trees*
+  (equation (1) of the paper);
+* :func:`graph_elmore_delays` — exact first-moment delay for arbitrary
+  routing graphs (the Chan–Karplus generalization, via one linear solve);
+* :func:`spice_delays` / :func:`spice_delay` — 50%-threshold delay from a
+  full circuit-level simulation of the interconnect (the repo's SPICE);
+* :class:`DelayModel` — the pluggable oracle interface the routing
+  algorithms consume (``"spice"``, ``"elmore"``, ``"two-pole"``, ...).
+"""
+
+from repro.delay.parameters import Technology
+from repro.delay.rc_builder import (
+    build_interconnect_circuit,
+    build_reduced_rc,
+    segment_count_for,
+)
+from repro.delay.elmore_tree import elmore_delays, elmore_tree_delay
+from repro.delay.elmore_graph import graph_elmore_delays, graph_elmore_delay
+from repro.delay.tree_link import tree_link_elmore
+from repro.delay.bounds import RphQuantities, delay_bounds, rph_quantities
+from repro.delay.spice_delay import SpiceOptions, spice_delay, spice_delays
+from repro.delay.models import (
+    DelayModel,
+    ElmoreGraphModel,
+    ElmoreTreeModel,
+    SpiceDelayModel,
+    TwoPoleModel,
+    get_delay_model,
+)
+
+__all__ = [
+    "DelayModel",
+    "ElmoreGraphModel",
+    "ElmoreTreeModel",
+    "RphQuantities",
+    "SpiceDelayModel",
+    "SpiceOptions",
+    "Technology",
+    "TwoPoleModel",
+    "build_interconnect_circuit",
+    "build_reduced_rc",
+    "delay_bounds",
+    "elmore_delays",
+    "elmore_tree_delay",
+    "get_delay_model",
+    "graph_elmore_delay",
+    "graph_elmore_delays",
+    "rph_quantities",
+    "segment_count_for",
+    "spice_delay",
+    "spice_delays",
+    "tree_link_elmore",
+]

@@ -1,0 +1,135 @@
+"""Rubinstein–Penfield–Horowitz delay bounds for RC trees (citation [19]).
+
+The paper's Elmore machinery rests on RPH's analysis of RC trees. Beyond
+the first moment, RPH introduced per-sink resistance/capacitance sums
+
+    T_D(i) = Σ_k R(k,i) · C_k          (the Elmore delay)
+    T_R(i) = Σ_k R(k,i)² / R(i,i) · C_k
+    T_P    = Σ_k R(k,k) · C_k
+
+with ``R(k,i)`` the resistance of the shared source→k / source→i path,
+satisfying ``T_R(i) ≤ T_D(i) ≤ T_P``. RPH's waveform bounds
+
+    1 − (T_D(i) − t) / T_P  ≥  v_i(t)  ≥  1 − T_D(i) / (t + T_R(i))
+
+invert into threshold-delay bounds for crossing fraction ``x``:
+
+    t_x ≥ max(0, T_D(i) − T_P · (1 − x))          (lower)
+    t_x ≤ T_D(i) / (1 − x) − T_R(i)               (upper)
+
+On a single RC both reduce to the elementary inequalities
+``1 − e^{−u} ≤ u`` and ``e^{u} ≥ 1 + u``. Both bounds are verified
+against the exact analytic engine across random routing trees and
+thresholds in the test suite; the bound-tightness benchmark reports how
+far the 50% crossing actually sits inside the sandwich.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.delay.elmore_tree import elmore_delays
+from repro.delay.parameters import Technology
+from repro.delay.rc_builder import EdgeWidths, edge_width
+from repro.graph.routing_graph import RoutingGraph
+
+
+@dataclass(frozen=True)
+class RphQuantities:
+    """The RPH sums for one sink."""
+
+    t_d: float  # Elmore delay
+    t_r: float  # resistance-weighted (always <= t_d)
+    t_p: float  # the tree-wide bound (always >= t_d)
+
+
+def rph_quantities(graph: RoutingGraph, tech: Technology,
+                   widths: EdgeWidths | None = None) -> dict[int, RphQuantities]:
+    """Compute ``(T_D, T_R, T_P)`` for every sink of a routing tree.
+
+    O(k²): for each node pair the shared-path resistance is the
+    resistance to the deepest common ancestor, computed from per-node
+    path-resistance maps.
+    """
+    parents = graph.rooted_parents()
+    # Path resistance from the source to every node (driver included:
+    # the driver resistance is shared by every pair of paths).
+    r_path: dict[int, float] = {}
+    order = _bfs_order(graph, parents)
+    for node in order:
+        parent = parents[node]
+        if parent is None:
+            r_path[node] = tech.driver_resistance
+        else:
+            width = edge_width(widths, parent, node)
+            r_edge = tech.resistance_per_um(width) * graph.edge_length(parent, node)
+            r_path[node] = r_path[parent] + r_edge
+
+    # Node capacitances (lumped π halves + sink loads), as everywhere else.
+    cap: dict[int, float] = {node: 0.0 for node in order}
+    for u, v in graph.edges():
+        c_edge = (tech.capacitance_per_um(edge_width(widths, u, v))
+                  * graph.edge_length(u, v))
+        cap[u] += c_edge / 2.0
+        cap[v] += c_edge / 2.0
+    for sink in graph.sink_indices():
+        cap[sink] += tech.sink_capacitance
+
+    ancestors = {node: _ancestor_set(node, parents) for node in order}
+    t_p = sum(r_path[k] * cap[k] for k in order)
+    elmore = elmore_delays(graph, tech, widths)
+
+    result: dict[int, RphQuantities] = {}
+    for sink in graph.sink_indices():
+        t_r = 0.0
+        for k in order:
+            shared = _shared_resistance(sink, k, ancestors, r_path)
+            t_r += shared * shared / r_path[sink] * cap[k]
+        result[sink] = RphQuantities(t_d=elmore[sink], t_r=t_r, t_p=t_p)
+    return result
+
+
+def delay_bounds(graph: RoutingGraph, tech: Technology,
+                 fraction: float = 0.5,
+                 widths: EdgeWidths | None = None
+                 ) -> dict[int, tuple[float, float]]:
+    """Provable (lower, upper) bounds on each sink's threshold delay."""
+    if not 0 < fraction < 1:
+        raise ValueError("fraction must lie strictly between 0 and 1")
+    quantities = rph_quantities(graph, tech, widths)
+    return {
+        sink: (max(0.0, q.t_d - q.t_p * (1.0 - fraction)),
+               q.t_d / (1.0 - fraction) - q.t_r)
+        for sink, q in quantities.items()
+    }
+
+
+def _bfs_order(graph: RoutingGraph,
+               parents: dict[int, int | None]) -> list[int]:
+    children: dict[int, list[int]] = {node: [] for node in parents}
+    for node, parent in parents.items():
+        if parent is not None:
+            children[parent].append(node)
+    order = [graph.source]
+    cursor = 0
+    while cursor < len(order):
+        order.extend(children[order[cursor]])
+        cursor += 1
+    return order
+
+
+def _ancestor_set(node: int, parents: dict[int, int | None]) -> frozenset[int]:
+    chain = {node}
+    current = node
+    while parents[current] is not None:
+        current = parents[current]  # type: ignore[assignment]
+        chain.add(current)
+    return frozenset(chain)
+
+
+def _shared_resistance(i: int, k: int, ancestors, r_path) -> float:
+    """R(k, i): resistance of the common prefix of the two source paths,
+    driver resistance included."""
+    common = ancestors[i] & ancestors[k]
+    # The deepest common ancestor is the common node with max path R.
+    return max(r_path[node] for node in common)

@@ -1,0 +1,40 @@
+"""Elmore (first-moment) delay for arbitrary routing graphs.
+
+The paper notes that "the Elmore delay model outlined above applies only
+to tree topologies, and in order to extend this formula to non-tree
+topologies, additional transformations are required [6]" (Chan–Karplus
+tree/link partitioning). This module takes the direct route: the Elmore
+delay of node ``i`` is the first moment of its step-response error,
+
+    T = ∫ (v∞ − v(t)) dt = G⁻¹ C (v∞ − v0),
+
+one sparse/dense linear solve over the reduced RC system. On trees this
+reproduces the classic formula exactly (single π-section per edge matches
+the distributed line's first moment), which the property tests verify.
+"""
+
+from __future__ import annotations
+
+from repro.delay.parameters import Technology
+from repro.delay.rc_builder import EdgeWidths, build_reduced_rc
+from repro.graph.routing_graph import RoutingGraph
+
+
+def graph_elmore_delays(graph: RoutingGraph, tech: Technology,
+                        widths: EdgeWidths | None = None) -> dict[int, float]:
+    """First-moment delay (seconds) from the source to every graph node.
+
+    Works for any connected routing graph, cyclic or not.
+    """
+    system = build_reduced_rc(graph, tech, segments=1, widths=widths)
+    elmore = system.elmore()
+    return {label: float(elmore[row])
+            for row, label in enumerate(system.labels)
+            if isinstance(label, int)}
+
+
+def graph_elmore_delay(graph: RoutingGraph, tech: Technology,
+                       widths: EdgeWidths | None = None) -> float:
+    """Max source→sink first-moment delay of the routing graph."""
+    delays = graph_elmore_delays(graph, tech, widths)
+    return max(delays[sink] for sink in graph.sink_indices())

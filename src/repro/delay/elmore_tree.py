@@ -1,0 +1,125 @@
+"""The O(k) Elmore delay formula for routing trees (equation (1)).
+
+For a tree rooted at the source, with ``r_e``/``c_e`` the edge resistance
+and capacitance and ``C_i`` the total (sink + wire) capacitance of the
+subtree hanging below node ``n_i``::
+
+    t_ED(n_i) = r_d · C_root + Σ_{e_j ∈ path(n0, n_i)} r_{e_j} (c_{e_j}/2 + C_j)
+
+Computed in two tree passes: subtree capacitances bottom-up, then delays
+top-down — O(k) overall, as Rubinstein–Penfield–Horowitz noted. This
+formula only exists for trees; :mod:`repro.delay.elmore_graph` covers
+arbitrary routing graphs and reduces to this one on trees (a property the
+test suite checks).
+"""
+
+from __future__ import annotations
+
+from repro.delay.parameters import Technology
+from repro.delay.rc_builder import EdgeWidths, edge_width
+from repro.graph.routing_graph import RoutingGraph
+
+
+def elmore_delays(graph: RoutingGraph, tech: Technology,
+                  widths: EdgeWidths | None = None) -> dict[int, float]:
+    """Elmore delay (seconds) from the source to *every* node of a tree.
+
+    Steiner nodes are included (they carry no sink load but their delays
+    are needed by tree-growing algorithms). Raises
+    :class:`~repro.graph.routing_graph.RoutingGraphError` if the routing
+    is not a tree.
+    """
+    parents = graph.rooted_parents()
+    order = _topological_from_root(graph, parents)
+    return _delays_from_orientation(graph, tech, widths, parents, order)
+
+
+def elmore_delays_component(graph: RoutingGraph, tech: Technology,
+                            widths: EdgeWidths | None = None) -> dict[int, float]:
+    """Elmore delays over the source-connected component only.
+
+    Tree-growing algorithms (ERT) evaluate *partial* trees in which most
+    pins are still isolated; this variant only requires the component
+    containing the source to be acyclic. Nodes outside the component are
+    absent from the result.
+    """
+    from repro.graph.routing_graph import RoutingGraphError
+
+    parents: dict[int, int | None] = {graph.source: None}
+    order = [graph.source]
+    edge_count = 0
+    cursor = 0
+    while cursor < len(order):
+        node = order[cursor]
+        cursor += 1
+        for neighbor in graph.neighbors(node):
+            edge_count += 1
+            if neighbor not in parents:
+                parents[neighbor] = node
+                order.append(neighbor)
+    if edge_count // 2 != len(order) - 1:
+        raise RoutingGraphError(
+            "source component contains a cycle; Elmore tree delay undefined")
+    return _delays_from_orientation(graph, tech, widths, parents, order)
+
+
+def _delays_from_orientation(graph: RoutingGraph, tech: Technology,
+                             widths: EdgeWidths | None,
+                             parents: dict[int, int | None],
+                             order: list[int]) -> dict[int, float]:
+
+    subtree_cap: dict[int, float] = {}
+    for node in reversed(order):
+        cap = tech.sink_capacitance if 0 < node < graph.num_pins else 0.0
+        for child in graph.neighbors(node):
+            if parents.get(child) == node:
+                cap += _edge_cap(graph, tech, widths, node, child) + subtree_cap[child]
+        subtree_cap[node] = cap
+
+    delays: dict[int, float] = {}
+    root_delay = tech.driver_resistance * subtree_cap[graph.source]
+    delays[graph.source] = root_delay
+    for node in order:
+        if node == graph.source:
+            continue
+        parent = parents[node]
+        assert parent is not None
+        r_e = _edge_res(graph, tech, widths, parent, node)
+        c_e = _edge_cap(graph, tech, widths, parent, node)
+        delays[node] = delays[parent] + r_e * (c_e / 2.0 + subtree_cap[node])
+    return delays
+
+
+def elmore_tree_delay(graph: RoutingGraph, tech: Technology,
+                      widths: EdgeWidths | None = None) -> float:
+    """Max source→sink Elmore delay, ``t_ED(T) = max_i t_ED(n_i)``."""
+    delays = elmore_delays(graph, tech, widths)
+    return max(delays[sink] for sink in graph.sink_indices())
+
+
+def _topological_from_root(graph: RoutingGraph,
+                           parents: dict[int, int | None]) -> list[int]:
+    """Nodes in BFS order from the root (parents before children)."""
+    children: dict[int, list[int]] = {node: [] for node in parents}
+    root = graph.source
+    for node, parent in parents.items():
+        if parent is not None:
+            children[parent].append(node)
+    order = [root]
+    cursor = 0
+    while cursor < len(order):
+        order.extend(children[order[cursor]])
+        cursor += 1
+    return order
+
+
+def _edge_res(graph: RoutingGraph, tech: Technology,
+              widths: EdgeWidths | None, u: int, v: int) -> float:
+    width = edge_width(widths, u, v)
+    return tech.resistance_per_um(width) * graph.edge_length(u, v)
+
+
+def _edge_cap(graph: RoutingGraph, tech: Technology,
+              widths: EdgeWidths | None, u: int, v: int) -> float:
+    width = edge_width(widths, u, v)
+    return tech.capacitance_per_um(width) * graph.edge_length(u, v)

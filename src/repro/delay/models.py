@@ -1,0 +1,152 @@
+"""The pluggable delay-oracle interface consumed by the routing algorithms.
+
+LDRG's greedy loop (Figure 4 of the paper) only needs "the delay of this
+routing graph"; which estimator answers that question is a knob:
+
+* :class:`SpiceDelayModel` — circuit-level 50% delay (the paper's choice
+  for LDRG/SLDRG/H1 and for all final reported numbers);
+* :class:`ElmoreGraphModel` — first-moment delay of the graph (fast, no
+  simulation; what H2/H3 lean on, generalized to cycles);
+* :class:`ElmoreTreeModel` — the O(k) tree formula (trees only);
+* :class:`TwoPoleModel` — AWE-style two-pole estimate (the middle ground
+  explored in the oracle ablation).
+
+Each model binds a :class:`~repro.delay.parameters.Technology` so the
+algorithms can treat delay as a pure function of the routing graph.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+from scipy.linalg import lu_factor, lu_solve
+
+from repro.circuit.moments import two_pole_delay
+from repro.delay.elmore_tree import elmore_delays
+from repro.delay.elmore_graph import graph_elmore_delays
+from repro.delay.parameters import Technology
+from repro.delay.rc_builder import EdgeWidths, build_reduced_rc
+from repro.delay.spice_delay import SpiceOptions, spice_delays
+from repro.graph.routing_graph import RoutingGraph
+
+
+class DelayModel(ABC):
+    """A delay oracle: routing graph → per-sink delays."""
+
+    #: short name used in reports and results
+    name: str = "abstract"
+
+    def __init__(self, tech: Technology):
+        self.tech = tech
+
+    @abstractmethod
+    def delays(self, graph: RoutingGraph,
+               widths: EdgeWidths | None = None) -> dict[int, float]:
+        """Source→sink delay (seconds) for every sink pin."""
+
+    def max_delay(self, graph: RoutingGraph,
+                  widths: EdgeWidths | None = None) -> float:
+        """``t(G) = max_i t(n_i)``, the ORG objective."""
+        return max(self.delays(graph, widths).values())
+
+    def weighted_delay(self, graph: RoutingGraph,
+                       criticalities: dict[int, float],
+                       widths: EdgeWidths | None = None) -> float:
+        """``Σ αᵢ·t(nᵢ)``, the CSORG objective (Section 5.1)."""
+        delays = self.delays(graph, widths)
+        return sum(alpha * delays[sink]
+                   for sink, alpha in criticalities.items())
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class SpiceDelayModel(DelayModel):
+    """Circuit-simulation 50% delay — the paper's measurement."""
+
+    name = "spice"
+
+    def __init__(self, tech: Technology, options: SpiceOptions | None = None):
+        super().__init__(tech)
+        self.options = options or SpiceOptions()
+
+    def delays(self, graph: RoutingGraph,
+               widths: EdgeWidths | None = None) -> dict[int, float]:
+        all_delays = spice_delays(graph, self.tech, self.options, widths)
+        return {sink: all_delays[sink] for sink in graph.sink_indices()}
+
+
+class ElmoreGraphModel(DelayModel):
+    """First-moment (Elmore) delay, valid on arbitrary routing graphs."""
+
+    name = "elmore"
+
+    def delays(self, graph: RoutingGraph,
+               widths: EdgeWidths | None = None) -> dict[int, float]:
+        all_delays = graph_elmore_delays(graph, self.tech, widths)
+        return {sink: all_delays[sink] for sink in graph.sink_indices()}
+
+
+class ElmoreTreeModel(DelayModel):
+    """The O(k) Elmore tree formula; raises on cyclic routings."""
+
+    name = "elmore-tree"
+
+    def delays(self, graph: RoutingGraph,
+               widths: EdgeWidths | None = None) -> dict[int, float]:
+        all_delays = elmore_delays(graph, self.tech, widths)
+        return {sink: all_delays[sink] for sink in graph.sink_indices()}
+
+
+class TwoPoleModel(DelayModel):
+    """Two-pole (AWE) threshold delay from the first three moments."""
+
+    name = "two-pole"
+
+    def __init__(self, tech: Technology, segments: int = 1,
+                 threshold: float = 0.5):
+        super().__init__(tech)
+        if not 0 < threshold < 1:
+            raise ValueError("threshold must lie strictly between 0 and 1")
+        self.segments = segments
+        self.threshold = threshold
+
+    def delays(self, graph: RoutingGraph,
+               widths: EdgeWidths | None = None) -> dict[int, float]:
+        system = build_reduced_rc(graph, self.tech, segments=self.segments,
+                                  widths=widths)
+        lu = lu_factor(system.G)
+        m0 = lu_solve(lu, system.b)
+        m1 = lu_solve(lu, -(system.c * m0))
+        m2 = lu_solve(lu, -(system.c * m1))
+        moments = np.vstack([m0, m1, m2])
+        return {sink: two_pole_delay(moments[:, system.row(sink)],
+                                     fraction=self.threshold)
+                for sink in graph.sink_indices()}
+
+
+_FACTORIES = {
+    "spice": SpiceDelayModel,
+    "elmore": ElmoreGraphModel,
+    "elmore-graph": ElmoreGraphModel,
+    "elmore-tree": ElmoreTreeModel,
+    "two-pole": TwoPoleModel,
+}
+
+
+def get_delay_model(spec: str | DelayModel, tech: Technology) -> DelayModel:
+    """Resolve a model spec (string shortcut or instance) to a model.
+
+    A passed-in :class:`DelayModel` instance is returned as-is (its bound
+    technology wins, by design — it may deliberately differ).
+    """
+    if isinstance(spec, DelayModel):
+        return spec
+    try:
+        factory = _FACTORIES[spec]
+    except KeyError:
+        raise ValueError(
+            f"unknown delay model {spec!r}; expected one of "
+            f"{sorted(_FACTORIES)} or a DelayModel instance") from None
+    return factory(tech)

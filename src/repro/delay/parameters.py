@@ -1,0 +1,108 @@
+"""Interconnect technology parameters (Table 1 of the paper).
+
+All values in SI units; lengths in microns. The paper's parameters are
+"representative of a typical 0.8µ CMOS process":
+
+=========================  ======================
+driver resistance          100 Ω
+wire resistance            0.03 Ω/µm
+wire capacitance           0.352 fF/µm
+wire inductance            492 fH/µm
+sink loading capacitance   15.3 fF
+layout area                10² mm² (10 000 µm square)
+=========================  ======================
+
+Wire sizing (Section 5.2) follows the usual width laws: resistance scales
+as ``1/w`` while capacitance splits into an area term (∝ w) and a fringe
+term (width-independent). At ``w = 1`` both laws reproduce the Table 1
+per-µm values exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class Technology:
+    """Electrical parameters of the interconnect process.
+
+    Attributes:
+        driver_resistance: output resistance of the source driver (Ω).
+        wire_resistance: wire resistance per µm at unit width (Ω/µm).
+        wire_capacitance: wire capacitance per µm at unit width (F/µm).
+        wire_inductance: wire inductance per µm (H/µm).
+        sink_capacitance: loading capacitance at each sink pin (F).
+        region: side of the square layout region (µm).
+        cap_area_fraction: fraction of ``wire_capacitance`` that scales
+            with wire width (area capacitance); the rest is fringe.
+    """
+
+    driver_resistance: float = 100.0
+    wire_resistance: float = 0.03
+    wire_capacitance: float = 0.352e-15
+    wire_inductance: float = 492e-15
+    sink_capacitance: float = 15.3e-15
+    region: float = 10_000.0
+    cap_area_fraction: float = 0.6
+
+    def __post_init__(self) -> None:
+        positive = {
+            "driver_resistance": self.driver_resistance,
+            "wire_resistance": self.wire_resistance,
+            "wire_capacitance": self.wire_capacitance,
+            "sink_capacitance": self.sink_capacitance,
+            "region": self.region,
+        }
+        for field_name, value in positive.items():
+            if value <= 0:
+                raise ValueError(f"{field_name} must be positive, got {value}")
+        if self.wire_inductance < 0:
+            raise ValueError("wire_inductance must be non-negative")
+        if not 0.0 <= self.cap_area_fraction <= 1.0:
+            raise ValueError("cap_area_fraction must lie in [0, 1]")
+
+    @classmethod
+    def cmos08(cls) -> "Technology":
+        """The paper's 0.8µ CMOS parameters (Table 1)."""
+        return cls()
+
+    def resistance_per_um(self, width: float = 1.0) -> float:
+        """Wire resistance per µm at the given width (Ω/µm); r ∝ 1/w."""
+        if width <= 0:
+            raise ValueError("wire width must be positive")
+        return self.wire_resistance / width
+
+    def capacitance_per_um(self, width: float = 1.0) -> float:
+        """Wire capacitance per µm at the given width (F/µm).
+
+        Area term scales with width; fringe term does not:
+        ``c(w) = c₀·(f·w + (1 − f))`` with ``f = cap_area_fraction``.
+        """
+        if width <= 0:
+            raise ValueError("wire width must be positive")
+        area = self.cap_area_fraction * width
+        fringe = 1.0 - self.cap_area_fraction
+        return self.wire_capacitance * (area + fringe)
+
+    def inductance_per_um(self, width: float = 1.0) -> float:
+        """Wire inductance per µm (width dependence neglected)."""
+        if width <= 0:
+            raise ValueError("wire width must be positive")
+        return self.wire_inductance
+
+    def edge_resistance(self, length: float, width: float = 1.0) -> float:
+        """Total resistance of a wire of ``length`` µm."""
+        return self.resistance_per_um(width) * length
+
+    def edge_capacitance(self, length: float, width: float = 1.0) -> float:
+        """Total capacitance of a wire of ``length`` µm."""
+        return self.capacitance_per_um(width) * length
+
+    def with_driver(self, driver_resistance: float) -> "Technology":
+        """A copy with a different driver strength (used in sweeps)."""
+        return replace(self, driver_resistance=driver_resistance)
+
+    def intrinsic_time_constant(self) -> float:
+        """``r·c`` per µm² — the natural scale of distributed wire delay."""
+        return self.wire_resistance * self.wire_capacitance

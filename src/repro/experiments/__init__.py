@@ -1,0 +1,72 @@
+"""Experiment harness regenerating every table and figure of the paper.
+
+* :mod:`repro.experiments.harness` — trial protocol, statistics, config;
+* :mod:`repro.experiments.tables` — Tables 1–7 drivers;
+* :mod:`repro.experiments.figures` — Figures 1, 2, 3, 5 drivers;
+* :mod:`repro.experiments.reporting` — paper-style text rendering.
+"""
+
+from repro.experiments.harness import (
+    ExperimentConfig,
+    PAPER_SIZES,
+    PAPER_TRIALS,
+    RowStats,
+    TrialRatios,
+    aggregate,
+    final_ratios,
+    iteration_ratios,
+    iteration_sweep,
+    run_size_sweep,
+)
+from repro.experiments.reporting import Table, format_rows
+from repro.experiments.tables import (
+    TABLE_DRIVERS,
+    run_table,
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+    table6,
+    table7,
+)
+from repro.experiments.figures import (
+    FIGURE_DRIVERS,
+    FigureReport,
+    figure1,
+    figure2,
+    figure3,
+    figure5,
+    run_figure,
+)
+
+__all__ = [
+    "ExperimentConfig",
+    "FIGURE_DRIVERS",
+    "FigureReport",
+    "PAPER_SIZES",
+    "PAPER_TRIALS",
+    "RowStats",
+    "TABLE_DRIVERS",
+    "Table",
+    "TrialRatios",
+    "aggregate",
+    "figure1",
+    "figure2",
+    "figure3",
+    "figure5",
+    "final_ratios",
+    "format_rows",
+    "iteration_ratios",
+    "iteration_sweep",
+    "run_figure",
+    "run_size_sweep",
+    "run_table",
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "table6",
+    "table7",
+]

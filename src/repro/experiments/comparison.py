@@ -1,0 +1,97 @@
+"""Paper-vs-measured comparison rendering.
+
+Takes a measured :class:`~repro.experiments.reporting.Table` (or parses
+one previously rendered to text) and lines it up against the transcribed
+published values, producing the side-by-side blocks EXPERIMENTS.md
+records for every table.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.experiments.harness import RowStats
+from repro.experiments.paper_data import PAPER_TABLES
+from repro.experiments.reporting import Table
+
+_ROW_RE = re.compile(r"^\s*(\d+)\s+(\S+)\s+(\S+)\s+(\S+)\s+(\S+)\s+(\S+)\s*$")
+
+
+def parse_rendered_table(text: str) -> dict[str, dict[int, RowStats]]:
+    """Parse a table previously rendered by ``Table.render``.
+
+    Returns block label → net size → :class:`RowStats` (trial count is
+    not recoverable from the rendering and is reported as 0).
+    """
+    blocks: dict[str, dict[int, RowStats]] = {}
+    label = ""
+    for line in text.splitlines():
+        stripped = line.strip()
+        header = re.match(r"^-- (.+) --$", stripped)
+        if header:
+            label = header.group(1)
+            continue
+        match = _ROW_RE.match(line)
+        if not match or stripped.startswith("net size"):
+            continue
+        size = int(match.group(1))
+        cells = match.groups()[1:]
+        if cells[0] == "NA" and cells[1] == "NA" and cells[2] == "NA":
+            row = RowStats(net_size=size, num_trials=0, all_delay=0.0,
+                           all_cost=0.0, percent_winners=0.0,
+                           win_delay=None, win_cost=None,
+                           not_applicable=True)
+        else:
+            def num(cell: str) -> float | None:
+                return None if cell == "NA" else float(cell)
+
+            row = RowStats(
+                net_size=size, num_trials=0,
+                all_delay=float(cells[0]), all_cost=float(cells[1]),
+                percent_winners=float(cells[2]),
+                win_delay=num(cells[3]), win_cost=num(cells[4]))
+        blocks.setdefault(label, {})[size] = row
+    if not blocks:
+        raise ValueError("no table rows found in rendered text")
+    return blocks
+
+
+def compare_blocks(table_number: int,
+                   measured: dict[str, dict[int, RowStats]]) -> str:
+    """Side-by-side paper/measured text for one table."""
+    try:
+        published = PAPER_TABLES[table_number]
+    except KeyError:
+        raise ValueError(f"no published data for table {table_number}") from None
+    lines = [f"Table {table_number}: paper vs measured "
+             "(delay ratio / cost ratio / % winners)"]
+    for label, sizes in published.items():
+        if label:
+            lines.append(f"-- {label} --")
+        lines.append(f"{'size':>5s}  {'paper':>22s}  {'measured':>22s}")
+        for size, row in sorted(sizes.items()):
+            paper_cell = _cell(row[0], row[1], row[2])
+            measured_row = measured.get(label, {}).get(size)
+            if measured_row is None:
+                measured_cell = "(not run)"
+            elif measured_row.not_applicable:
+                measured_cell = "NA"
+            else:
+                measured_cell = _cell(measured_row.all_delay,
+                                      measured_row.all_cost,
+                                      measured_row.percent_winners)
+            lines.append(f"{size:>5d}  {paper_cell:>22s}  {measured_cell:>22s}")
+    return "\n".join(lines)
+
+
+def compare_table(table_number: int, measured: Table) -> str:
+    """Side-by-side comparison straight from a measured Table object."""
+    blocks = {label: {row.net_size: row for row in rows}
+              for label, rows in measured.blocks.items()}
+    return compare_blocks(table_number, blocks)
+
+
+def _cell(delay, cost, winners) -> str:
+    if delay is None:
+        return "NA"
+    return f"{delay:.2f} / {cost:.2f} / {winners:.0f}%"

@@ -1,0 +1,201 @@
+"""Drivers that regenerate Figures 1, 2, 3 and 5 of the paper.
+
+The paper's figures are *existence exhibits*: specific small nets where
+adding one or two non-tree edges visibly cuts SPICE delay (Figure 1: 4
+pins, −23% delay for +9% wire; Figure 2: 10 pins, −33% for +21.5%;
+Figure 3: an LDRG two-iteration trace; Figure 5: SLDRG, −32% for +25%).
+The original pin coordinates are not published, so each driver scans a
+deterministic seed sequence for the first random net exhibiting at least
+the target improvement, then reports the same quantities the caption
+reports and (optionally) renders before/after SVGs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.core.ldrg import ldrg
+from repro.core.result import RoutingResult
+from repro.core.sldrg import sldrg
+from repro.experiments.harness import ExperimentConfig
+from repro.geometry.net import Net
+from repro.geometry.random_nets import random_net
+from repro.graph.routing_graph import RoutingGraph
+from repro.viz.svg import save_routing_svg
+
+#: How many candidate seeds each figure scans before settling for the best.
+_SCAN_LIMIT = 60
+
+
+@dataclass
+class FigureReport:
+    """Everything a figure caption reports, plus the graphs themselves."""
+
+    name: str
+    net: Net
+    before: RoutingGraph
+    after: RoutingGraph
+    before_delay: float
+    after_delay: float
+    before_cost: float
+    after_cost: float
+    added_edges: list[tuple[int, int]]
+    baseline_name: str
+    iteration_delays: list[float]
+
+    @property
+    def delay_improvement_pct(self) -> float:
+        """Percent delay reduction vs the baseline topology."""
+        return 100.0 * (1.0 - self.after_delay / self.before_delay)
+
+    @property
+    def wire_penalty_pct(self) -> float:
+        """Percent wirelength increase vs the baseline topology."""
+        return 100.0 * (self.after_cost / self.before_cost - 1.0)
+
+    def caption(self) -> str:
+        return (f"{self.name}: {self.baseline_name} delay "
+                f"{self.before_delay * 1e9:.2f} ns -> "
+                f"{self.after_delay * 1e9:.2f} ns "
+                f"({self.delay_improvement_pct:.1f}% improvement, "
+                f"{self.wire_penalty_pct:.1f}% wirelength penalty, "
+                f"{len(self.added_edges)} edge(s) added)")
+
+    def save_svgs(self, out_dir: str | Path) -> tuple[str, str]:
+        """Write before/after SVGs; returns the two file paths."""
+        out = Path(out_dir)
+        out.mkdir(parents=True, exist_ok=True)
+        before_path = save_routing_svg(
+            self.before, str(out / f"{self.name}_before.svg"),
+            title=f"{self.name}: {self.baseline_name} "
+                  f"({self.before_delay * 1e9:.2f} ns)")
+        after_path = save_routing_svg(
+            self.after, str(out / f"{self.name}_after.svg"),
+            highlight_edges=self.added_edges,
+            title=f"{self.name}: non-tree routing "
+                  f"({self.after_delay * 1e9:.2f} ns)")
+        return (before_path, after_path)
+
+
+def figure1(config: ExperimentConfig | None = None) -> FigureReport:
+    """Figure 1: a 4-pin net where one extra edge cuts delay ~20%.
+
+    Paper caption: 1.3 ns → 1.0 ns (23% better) for +9% wirelength.
+    """
+    return _scan_ldrg_figure("figure1", num_pins=4, target_improvement=15.0,
+                             max_added_edges=1, config=config, seed_base=100)
+
+
+def figure2(config: ExperimentConfig | None = None) -> FigureReport:
+    """Figure 2: a 10-pin net where one extra edge cuts delay ~30%.
+
+    Paper caption: 5.4 ns → 3.6 ns (33.3% better) for +21.5% wirelength.
+    """
+    return _scan_ldrg_figure("figure2", num_pins=10, target_improvement=25.0,
+                             max_added_edges=1, config=config, seed_base=200)
+
+
+def figure3(config: ExperimentConfig | None = None) -> FigureReport:
+    """Figure 3: an LDRG execution trace that takes two-plus iterations.
+
+    Paper caption: 4.4 ns → 4.1 ns (first edge) → 3.9 ns (second edge).
+    The report's ``iteration_delays`` carries the per-iteration delays.
+    """
+    cfg = config or ExperimentConfig()
+    search, evaluate = cfg.search_model(), cfg.eval_model()
+    best: RoutingResult | None = None
+    best_net: Net | None = None
+    for offset in range(_SCAN_LIMIT):
+        net = random_net(10, seed=300 + offset, region=cfg.tech.region,
+                         name=f"figure3_s{300 + offset}")
+        result = ldrg(net, cfg.tech, delay_model=search,
+                      evaluation_model=evaluate)
+        if result.num_added_edges >= 2:
+            return _report_from_result("figure3", net, result, "MST", cfg)
+        if best is None or result.delay_ratio < best.delay_ratio:
+            best, best_net = result, net
+    assert best is not None and best_net is not None
+    return _report_from_result("figure3", best_net, best, "MST", cfg)
+
+
+def figure5(config: ExperimentConfig | None = None) -> FigureReport:
+    """Figure 5: SLDRG improving a Steiner tree by ~30%.
+
+    Paper caption: 2.8 ns → 1.9 ns (32% better) for +25% wirelength.
+    """
+    cfg = config or ExperimentConfig()
+    search, evaluate = cfg.search_model(), cfg.eval_model()
+    best: RoutingResult | None = None
+    best_net: Net | None = None
+    for offset in range(_SCAN_LIMIT):
+        net = random_net(10, seed=500 + offset, region=cfg.tech.region,
+                         name=f"figure5_s{500 + offset}")
+        result = sldrg(net, cfg.tech, delay_model=search,
+                       evaluation_model=evaluate)
+        improvement = 100.0 * (1.0 - result.delay_ratio)
+        if improvement >= 20.0:
+            return _report_from_result("figure5", net, result,
+                                       "Steiner tree", cfg)
+        if best is None or result.delay_ratio < best.delay_ratio:
+            best, best_net = result, net
+    assert best is not None and best_net is not None
+    return _report_from_result("figure5", best_net, best, "Steiner tree", cfg)
+
+
+FIGURE_DRIVERS = {1: figure1, 2: figure2, 3: figure3, 5: figure5}
+
+
+def run_figure(number: int, config: ExperimentConfig | None = None) -> FigureReport:
+    """Regenerate one of the paper's figures by number (1, 2, 3 or 5)."""
+    try:
+        driver = FIGURE_DRIVERS[number]
+    except KeyError:
+        raise ValueError(
+            f"no such figure {number}; available: {sorted(FIGURE_DRIVERS)}"
+        ) from None
+    return driver(config)
+
+
+def _scan_ldrg_figure(name: str, num_pins: int, target_improvement: float,
+                      max_added_edges: int, config: ExperimentConfig | None,
+                      seed_base: int) -> FigureReport:
+    cfg = config or ExperimentConfig()
+    search, evaluate = cfg.search_model(), cfg.eval_model()
+    best: RoutingResult | None = None
+    best_net: Net | None = None
+    for offset in range(_SCAN_LIMIT):
+        net = random_net(num_pins, seed=seed_base + offset,
+                         region=cfg.tech.region,
+                         name=f"{name}_s{seed_base + offset}")
+        result = ldrg(net, cfg.tech, delay_model=search,
+                      evaluation_model=evaluate,
+                      max_added_edges=max_added_edges)
+        improvement = 100.0 * (1.0 - result.delay_ratio)
+        if improvement >= target_improvement:
+            return _report_from_result(name, net, result, "MST", cfg)
+        if best is None or result.delay_ratio < best.delay_ratio:
+            best, best_net = result, net
+    assert best is not None and best_net is not None
+    return _report_from_result(name, best_net, best, "MST", cfg)
+
+
+def _report_from_result(name: str, net: Net, result: RoutingResult,
+                        baseline_name: str,
+                        config: ExperimentConfig) -> FigureReport:
+    before = result.graph.copy()
+    for u, v in (record.edge for record in result.history):
+        before.remove_edge(u, v)
+    return FigureReport(
+        name=name,
+        net=net,
+        before=before,
+        after=result.graph,
+        before_delay=result.base_delay,
+        after_delay=result.delay,
+        before_cost=result.base_cost,
+        after_cost=result.cost,
+        added_edges=[record.edge for record in result.history],
+        baseline_name=baseline_name,
+        iteration_delays=[record.delay for record in result.history],
+    )

@@ -1,0 +1,100 @@
+"""The paper's published table values, transcribed as data.
+
+Used by the comparison tooling to print paper-vs-measured side by side
+(EXPERIMENTS.md) and by sanity tests that ensure the transcription is
+internally consistent (the all-cases columns of per-iteration tables are
+weighted averages of the winners-only columns — the arithmetic the
+harness's statistics are defined by).
+
+Each row is ``(all_delay, all_cost, percent_winners, win_delay,
+win_cost)``; ``None`` marks the paper's "NA" cells.
+"""
+
+from __future__ import annotations
+
+Row = tuple[float | None, float | None, float | None,
+            float | None, float | None]
+
+#: table number -> block label -> net size -> row
+PAPER_TABLES: dict[int, dict[str, dict[int, Row]]] = {
+    2: {
+        "LDRG Iteration One": {
+            5: (0.94, 1.22, 52, 0.88, 1.44),
+            10: (0.84, 1.23, 90, 0.82, 1.25),
+            20: (0.81, 1.16, 100, 0.81, 1.16),
+            30: (0.76, 1.11, 100, 0.76, 1.11),
+        },
+        "LDRG Iteration Two": {
+            5: (None, None, None, None, None),
+            10: (0.98, 1.04, 10, 0.79, 1.40),
+            20: (0.91, 1.13, 42, 0.78, 1.30),
+            30: (0.83, 1.53, 68, 0.75, 1.23),
+        },
+    },
+    3: {
+        "": {
+            5: (0.99, 1.02, 4, 0.94, 1.59),
+            10: (0.91, 1.20, 66, 0.87, 1.30),
+            20: (0.79, 1.17, 94, 0.77, 1.18),
+            30: (0.77, 1.10, 100, 0.77, 1.10),
+        },
+    },
+    4: {
+        "H1 Iteration One": {
+            5: (0.98, 1.10, 20, 0.90, 1.49),
+            10: (0.93, 1.17, 48, 0.84, 1.35),
+            20: (0.88, 1.16, 68, 0.82, 1.24),
+            30: (0.83, 1.17, 82, 0.80, 1.17),
+        },
+        "H1 Iteration Two": {
+            5: (None, None, None, None, None),
+            10: (0.98, 1.03, 10, 0.81, 1.34),
+            20: (0.99, 1.02, 6, 0.87, 1.26),
+            30: (0.95, 1.04, 24, 0.80, 1.18),
+        },
+    },
+    5: {
+        "H2 Heuristic": {
+            5: (1.14, 1.64, 18, 0.89, 1.48),
+            10: (0.99, 1.42, 47, 0.82, 1.34),
+            20: (0.91, 1.29, 68, 0.83, 1.24),
+            30: (0.84, 1.23, 80, 0.79, 1.21),
+        },
+        "H3 Heuristic": {
+            5: (1.10, 1.59, 0, None, None),
+            10: (0.93, 1.33, 64, 0.84, 1.29),
+            20: (0.85, 1.20, 92, 0.83, 1.19),
+            30: (0.77, 1.13, 90, 0.76, 1.13),
+        },
+    },
+    6: {
+        "": {
+            5: (0.94, 1.22, 54, 0.92, 1.14),
+            10: (0.85, 1.27, 78, 0.84, 1.19),
+            20: (0.80, 1.26, 92, 0.79, 1.22),
+            30: (0.71, 1.21, 97, 0.71, 1.21),
+        },
+    },
+    7: {
+        "": {
+            5: (0.99, 1.38, 8, 0.92, 1.31),
+            10: (0.99, 1.22, 22, 0.96, 1.21),
+            20: (0.98, 1.13, 44, 0.96, 1.12),
+            30: (0.97, 1.12, 56, 0.96, 1.12),
+        },
+    },
+}
+
+#: Figure captions' headline numbers: (before_ns, after_ns,
+#: improvement_pct, wire_penalty_pct)
+PAPER_FIGURES: dict[int, tuple[float, float, float, float]] = {
+    1: (1.3, 1.0, 23.0, 9.0),
+    2: (5.4, 3.6, 33.3, 21.5),
+    3: (4.4, 3.9, 11.4, 40.0),
+    5: (2.8, 1.9, 32.0, 25.0),
+}
+
+
+def paper_row(table: int, block: str, size: int) -> Row:
+    """One published row; raises ``KeyError`` for unknown coordinates."""
+    return PAPER_TABLES[table][block][size]

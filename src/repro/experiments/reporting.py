@@ -1,0 +1,59 @@
+"""Text rendering of experiment tables, in the paper's row layout."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.experiments.harness import RowStats
+
+_HEADERS = ("net size", "All Delay", "All Cost", "% Winners",
+            "Win Delay", "Win Cost")
+
+
+@dataclass
+class Table:
+    """A rendered experiment table: title + named row blocks.
+
+    ``blocks`` maps a block label (e.g. "Iteration One") to its rows;
+    single-block tables use the empty-string label.
+    """
+
+    title: str
+    blocks: dict[str, list[RowStats]] = field(default_factory=dict)
+    notes: str = ""
+
+    def rows(self, block: str = "") -> list[RowStats]:
+        return self.blocks[block]
+
+    def render(self) -> str:
+        """The table as paper-style monospace text."""
+        lines = [self.title, "=" * len(self.title)]
+        for label, rows in self.blocks.items():
+            if label:
+                lines.append(f"-- {label} --")
+            lines.append(format_rows(rows))
+        if self.notes:
+            lines.append(self.notes)
+        return "\n".join(lines)
+
+
+def format_rows(rows: Sequence[RowStats]) -> str:
+    """Rows as aligned text with the paper's NA convention."""
+    widths = [9, 10, 9, 10, 10, 9]
+    header = "  ".join(h.ljust(w) for h, w in zip(_HEADERS, widths))
+    out = [header, "-" * len(header)]
+    for row in rows:
+        if row.not_applicable:
+            cells = [str(row.net_size)] + ["NA"] * 5
+        else:
+            cells = [
+                str(row.net_size),
+                f"{row.all_delay:.2f}",
+                f"{row.all_cost:.2f}",
+                f"{row.percent_winners:.0f}",
+                "NA" if row.win_delay is None else f"{row.win_delay:.2f}",
+                "NA" if row.win_cost is None else f"{row.win_cost:.2f}",
+            ]
+        out.append("  ".join(c.ljust(w) for c, w in zip(cells, widths)))
+    return "\n".join(out)

@@ -1,0 +1,102 @@
+"""Parameter sweeps around the paper's fixed operating point.
+
+The paper evaluates one technology (Table 1) and four net sizes. These
+sweeps ask the natural next questions the data invites:
+
+* :func:`driver_sweep` — how does the non-tree win depend on driver
+  strength? Non-tree edges trade capacitance (costed by the driver) for
+  path resistance, so a *stronger* driver makes extra wires cheaper and
+  the LDRG improvement deeper; a very weak driver makes ``r_d·C_total``
+  dominate and extra wires pointless. The sweep exposes that crossover.
+* :func:`size_scaling` — the paper's central trend (Tables 2–7 columns)
+  as one series: mean delay ratio and winner fraction vs net size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from statistics import mean
+from typing import Sequence
+
+from repro.core.ldrg import ldrg
+from repro.delay.models import SpiceDelayModel
+from repro.delay.spice_delay import SpiceOptions
+from repro.experiments.harness import ExperimentConfig
+from repro.geometry.random_nets import random_nets
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One sweep sample: the independent variable and outcome means."""
+
+    x: float
+    delay_ratio: float
+    cost_ratio: float
+    percent_winners: float
+
+
+def driver_sweep(config: ExperimentConfig,
+                 driver_resistances: Sequence[float] = (25.0, 50.0, 100.0,
+                                                        200.0, 400.0),
+                 net_size: int = 10) -> list[SweepPoint]:
+    """LDRG-vs-MST outcome as a function of driver resistance.
+
+    Every point reuses the *same* trial nets, so the series isolates the
+    driver's effect from workload noise.
+    """
+    if not driver_resistances:
+        raise ValueError("need at least one driver resistance")
+    nets = list(random_nets(net_size, max(3, min(config.trials, 12)),
+                            seed=config.seed + 21))
+    points = []
+    for rd in driver_resistances:
+        tech = config.tech.with_driver(rd)
+        search = SpiceDelayModel(tech, SpiceOptions(
+            segments=config.segments_search))
+        evaluate = SpiceDelayModel(tech, SpiceOptions(
+            segments=config.segments_eval))
+        results = [ldrg(net, tech, delay_model=search,
+                        evaluation_model=evaluate) for net in nets]
+        points.append(SweepPoint(
+            x=rd,
+            delay_ratio=mean(r.delay_ratio for r in results),
+            cost_ratio=mean(r.cost_ratio for r in results),
+            percent_winners=100.0 * mean(r.improved for r in results),
+        ))
+    return points
+
+
+def size_scaling(config: ExperimentConfig,
+                 sizes: Sequence[int] = (5, 10, 15, 20, 25, 30)
+                 ) -> list[SweepPoint]:
+    """LDRG-vs-MST outcome as a function of net size (Tables 2–7's trend)."""
+    if not sizes:
+        raise ValueError("need at least one net size")
+    search = config.search_model()
+    evaluate = config.eval_model()
+    trials = max(3, min(config.trials, 12))
+    points = []
+    for size in sizes:
+        results = [ldrg(net, config.tech, delay_model=search,
+                        evaluation_model=evaluate)
+                   for net in random_nets(size, trials,
+                                          seed=config.seed + 37)]
+        points.append(SweepPoint(
+            x=float(size),
+            delay_ratio=mean(r.delay_ratio for r in results),
+            cost_ratio=mean(r.cost_ratio for r in results),
+            percent_winners=100.0 * mean(r.improved for r in results),
+        ))
+    return points
+
+
+def format_sweep(title: str, x_label: str,
+                 points: Sequence[SweepPoint]) -> str:
+    """Render a sweep as aligned text."""
+    lines = [title,
+             f"{x_label:>10s}  {'delay':>7s}  {'cost':>7s}  {'%win':>5s}"]
+    for point in points:
+        lines.append(f"{point.x:>10g}  {point.delay_ratio:>7.3f}  "
+                     f"{point.cost_ratio:>7.3f}  "
+                     f"{point.percent_winners:>5.0f}")
+    return "\n".join(lines)

@@ -1,0 +1,157 @@
+"""Drivers that regenerate Tables 2–7 of the paper.
+
+Each function runs the corresponding algorithm over the configured trial
+sets and returns a :class:`~repro.experiments.reporting.Table` with the
+same blocks/columns as the paper. Trial count and sizes come from the
+:class:`~repro.experiments.harness.ExperimentConfig` (the paper's full
+protocol is ``trials=50, sizes=(5, 10, 20, 30)``).
+
+Every algorithm *searches* with the config's fast oracle and is *scored*
+with the config's evaluation oracle, mirroring the paper's use of SPICE
+for all reported numbers.
+"""
+
+from __future__ import annotations
+
+from repro.core.ert import elmore_routing_tree, ert, ert_ldrg
+from repro.core.heuristics import h1, h2, h3
+from repro.core.ldrg import ldrg
+from repro.core.sldrg import sldrg
+from repro.experiments.harness import (
+    ExperimentConfig,
+    final_ratios,
+    iteration_sweep,
+    run_size_sweep,
+)
+from repro.experiments.reporting import Table
+from repro.geometry.net import Net
+
+
+def table1(config: ExperimentConfig | None = None) -> str:
+    """Table 1: the SPICE interconnect parameters, as text."""
+    tech = (config or ExperimentConfig()).tech
+    rows = [
+        ("driver resistance", f"{tech.driver_resistance:.0f} ohm"),
+        ("wire resistance", f"{tech.wire_resistance} ohm/um"),
+        ("wire capacitance", f"{tech.wire_capacitance * 1e15:.3f} fF/um"),
+        ("wire inductance", f"{tech.wire_inductance * 1e15:.0f} fH/um"),
+        ("sink loading capacitance", f"{tech.sink_capacitance * 1e15:.1f} fF"),
+        ("layout area", f"{(tech.region / 1000.0) ** 2:.0f} mm^2"),
+    ]
+    width = max(len(name) for name, _ in rows)
+    lines = ["Table 1: CMOS interconnect technology parameters",
+             "-" * 48]
+    lines += [f"{name.ljust(width)}  {value}" for name, value in rows]
+    return "\n".join(lines)
+
+
+def table2(config: ExperimentConfig) -> Table:
+    """Table 2: LDRG vs MST, marginal statistics for iterations one & two."""
+    search = config.search_model()
+    evaluate = config.eval_model()
+
+    def run(net: Net):
+        return ldrg(net, config.tech, delay_model=search,
+                    evaluation_model=evaluate)
+
+    sweep = iteration_sweep(config, run, iterations=(1, 2))
+    return Table(
+        title="Table 2: LDRG Algorithm Statistics (normalized to MST)",
+        blocks={"LDRG Iteration One": sweep[1],
+                "LDRG Iteration Two": sweep[2]},
+        notes="Iteration-k ratios are relative to the iteration-(k-1) routing.",
+    )
+
+
+def table3(config: ExperimentConfig) -> Table:
+    """Table 3: SLDRG vs the Steiner tree it starts from."""
+    search = config.search_model()
+    evaluate = config.eval_model()
+
+    def run(net: Net):
+        return sldrg(net, config.tech, delay_model=search,
+                     evaluation_model=evaluate)
+
+    rows = run_size_sweep(config, run, final_ratios)
+    return Table(
+        title="Table 3: SLDRG Algorithm Statistics (normalized to Steiner tree)",
+        blocks={"": rows},
+    )
+
+
+def table4(config: ExperimentConfig) -> Table:
+    """Table 4: heuristic H1 vs MST, iterations one & two."""
+    evaluate = config.eval_model()
+
+    def run(net: Net):
+        return h1(net, config.tech, delay_model=evaluate)
+
+    sweep = iteration_sweep(config, run, iterations=(1, 2))
+    return Table(
+        title="Table 4: H1 Heuristic Statistics (normalized to MST)",
+        blocks={"H1 Iteration One": sweep[1],
+                "H1 Iteration Two": sweep[2]},
+        notes="Iteration-k ratios are relative to the iteration-(k-1) routing.",
+    )
+
+
+def table5(config: ExperimentConfig) -> Table:
+    """Table 5: heuristics H2 and H3 vs MST (no SPICE in the loop)."""
+    evaluate = config.eval_model()
+    rows_h2 = run_size_sweep(
+        config, lambda net: h2(net, config.tech, evaluation_model=evaluate))
+    rows_h3 = run_size_sweep(
+        config, lambda net: h3(net, config.tech, evaluation_model=evaluate))
+    return Table(
+        title="Table 5: H2 and H3 Heuristic Statistics (normalized to MST)",
+        blocks={"H2 Heuristic": rows_h2, "H3 Heuristic": rows_h3},
+    )
+
+
+def table6(config: ExperimentConfig) -> Table:
+    """Table 6: the ERT baseline of Boese et al. vs MST."""
+    evaluate = config.eval_model()
+    rows = run_size_sweep(
+        config, lambda net: ert(net, config.tech, evaluation_model=evaluate))
+    return Table(
+        title="Table 6: Elmore Routing Tree Statistics (normalized to MST)",
+        blocks={"": rows},
+    )
+
+
+def table7(config: ExperimentConfig) -> Table:
+    """Table 7: LDRG started from an ERT, normalized to the ERT."""
+    search = config.search_model()
+    evaluate = config.eval_model()
+
+    def run(net: Net):
+        return ert_ldrg(net, config.tech, delay_model=search,
+                        evaluation_model=evaluate)
+
+    rows = run_size_sweep(config, run, final_ratios)
+    return Table(
+        title="Table 7: ERT-Based LDRG Algorithm Statistics (normalized to ERT)",
+        blocks={"": rows},
+    )
+
+
+#: Experiment id → driver, for programmatic access ("give me Table 6").
+TABLE_DRIVERS = {
+    2: table2,
+    3: table3,
+    4: table4,
+    5: table5,
+    6: table6,
+    7: table7,
+}
+
+
+def run_table(number: int, config: ExperimentConfig) -> Table:
+    """Regenerate one of the paper's tables by number (2–7)."""
+    try:
+        driver = TABLE_DRIVERS[number]
+    except KeyError:
+        raise ValueError(
+            f"no such experiment table {number}; available: "
+            f"{sorted(TABLE_DRIVERS)}") from None
+    return driver(config)

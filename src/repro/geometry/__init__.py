@@ -1,0 +1,24 @@
+"""Geometric substrate: pins, nets, Manhattan metric, Hanan grid.
+
+All coordinates are in **microns** (µm), matching the per-µm interconnect
+parameters of Table 1 in the paper. The paper's layout region is 10² mm²,
+i.e. a 10 000 µm × 10 000 µm square.
+"""
+
+from repro.geometry.point import Point, manhattan, euclidean
+from repro.geometry.net import Net, DEFAULT_REGION_UM
+from repro.geometry.random_nets import random_net, random_nets
+from repro.geometry.hanan import BoundingBox, bounding_box, hanan_points
+
+__all__ = [
+    "BoundingBox",
+    "DEFAULT_REGION_UM",
+    "Net",
+    "Point",
+    "bounding_box",
+    "euclidean",
+    "hanan_points",
+    "manhattan",
+    "random_net",
+    "random_nets",
+]

@@ -1,0 +1,74 @@
+"""Bounding boxes and the Hanan grid.
+
+Hanan's theorem: some optimal rectilinear Steiner tree uses only Steiner
+points at intersections of horizontal and vertical lines through the pins
+(the *Hanan grid*). The Iterated 1-Steiner implementation in
+:mod:`repro.graph.steiner` draws its candidate Steiner points from here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.geometry.point import Point
+
+
+@dataclass(frozen=True)
+class BoundingBox:
+    """An axis-aligned rectangle ``[xmin, xmax] × [ymin, ymax]``."""
+
+    xmin: float
+    ymin: float
+    xmax: float
+    ymax: float
+
+    def __post_init__(self) -> None:
+        if self.xmin > self.xmax or self.ymin > self.ymax:
+            raise ValueError("degenerate bounding box: min exceeds max")
+
+    @property
+    def width(self) -> float:
+        return self.xmax - self.xmin
+
+    @property
+    def height(self) -> float:
+        return self.ymax - self.ymin
+
+    @property
+    def half_perimeter(self) -> float:
+        """Half-perimeter wirelength (HPWL), the classic net-length lower bound."""
+        return self.width + self.height
+
+    def contains(self, p: Point) -> bool:
+        return self.xmin <= p.x <= self.xmax and self.ymin <= p.y <= self.ymax
+
+    def corners(self) -> tuple[Point, Point, Point, Point]:
+        return (Point(self.xmin, self.ymin), Point(self.xmax, self.ymin),
+                Point(self.xmax, self.ymax), Point(self.xmin, self.ymax))
+
+
+def bounding_box(points: Iterable[Point]) -> BoundingBox:
+    """The smallest axis-aligned box containing ``points``."""
+    pts = list(points)
+    if not pts:
+        raise ValueError("bounding_box of an empty point set")
+    return BoundingBox(
+        xmin=min(p.x for p in pts), ymin=min(p.y for p in pts),
+        xmax=max(p.x for p in pts), ymax=max(p.y for p in pts),
+    )
+
+
+def hanan_points(pins: Sequence[Point], exclude_pins: bool = True) -> list[Point]:
+    """Hanan grid points of ``pins``: all (xᵢ, yⱼ) pairs.
+
+    With ``exclude_pins`` (the default) the pins themselves are dropped, so
+    the result is exactly the candidate Steiner-point set.
+    """
+    if not pins:
+        return []
+    xs = sorted({p.x for p in pins})
+    ys = sorted({p.y for p in pins})
+    pin_set = set(pins) if exclude_pins else frozenset()
+    grid = [Point(x, y) for x in xs for y in ys]
+    return [p for p in grid if p not in pin_set]

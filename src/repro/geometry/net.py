@@ -1,0 +1,94 @@
+"""Signal nets: a source pin plus one or more sink pins.
+
+A signal net ``N = {n0, n1, ..., nk}`` is a fixed set of pins in the
+Manhattan plane; ``n0`` is the source (where the signal originates) and the
+remaining pins are sinks. Pins are addressed by index throughout the
+library: index 0 is always the source.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.geometry.point import Point
+
+#: Side length of the paper's layout region: 10² mm² → 10 000 µm square.
+DEFAULT_REGION_UM = 10_000.0
+
+
+@dataclass(frozen=True)
+class Net:
+    """An immutable signal net.
+
+    Attributes:
+        source: the source pin ``n0``.
+        sinks: the sink pins ``n1..nk`` in index order.
+        name: optional human-readable label used in reports and SPICE decks.
+    """
+
+    source: Point
+    sinks: tuple[Point, ...]
+    name: str = field(default="net", compare=False)
+
+    def __post_init__(self) -> None:
+        if not self.sinks:
+            raise ValueError("a net needs at least one sink")
+        if not isinstance(self.sinks, tuple):
+            object.__setattr__(self, "sinks", tuple(self.sinks))
+        seen = set()
+        for pin in self.pins:
+            if pin in seen:
+                raise ValueError(f"duplicate pin {pin} in net {self.name!r}")
+            seen.add(pin)
+
+    @property
+    def pins(self) -> tuple[Point, ...]:
+        """All pins, source first — index ``i`` here is pin index ``n_i``."""
+        return (self.source,) + self.sinks
+
+    @property
+    def num_pins(self) -> int:
+        """Total pin count ``k + 1`` (source plus sinks)."""
+        return 1 + len(self.sinks)
+
+    @property
+    def num_sinks(self) -> int:
+        """Sink count ``k``."""
+        return len(self.sinks)
+
+    def sink_indices(self) -> range:
+        """Pin indices of the sinks (``1..k``)."""
+        return range(1, self.num_pins)
+
+    @classmethod
+    def from_points(cls, points: Sequence[Point | tuple[float, float]],
+                    name: str = "net") -> "Net":
+        """Build a net from a point sequence; the first point is the source."""
+        pts = [p if isinstance(p, Point) else Point(*p) for p in points]
+        if len(pts) < 2:
+            raise ValueError("a net needs a source and at least one sink")
+        return cls(source=pts[0], sinks=tuple(pts[1:]), name=name)
+
+    @classmethod
+    def random(cls, num_pins: int, seed: int | None = None,
+               region: float = DEFAULT_REGION_UM, name: str | None = None) -> "Net":
+        """A random net with pins uniform in a ``region`` × ``region`` square.
+
+        This is the workload of the paper's evaluation (Section 4): "pin
+        locations were randomly chosen from a uniform distribution in a
+        square layout region".
+        """
+        from repro.geometry.random_nets import random_net
+
+        return random_net(num_pins, seed=seed, region=region, name=name)
+
+    def renamed(self, name: str) -> "Net":
+        """A copy of this net with a different label."""
+        return Net(source=self.source, sinks=self.sinks, name=name)
+
+    def __len__(self) -> int:
+        return self.num_pins
+
+    def __iter__(self) -> Iterable[Point]:
+        return iter(self.pins)

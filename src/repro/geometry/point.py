@@ -1,0 +1,54 @@
+"""Points in the Manhattan plane.
+
+The paper routes nets whose pins live in the Manhattan (rectilinear) plane:
+the cost of an edge is the L1 distance between its endpoints, because a
+rectilinear wire between two pins has exactly that length regardless of how
+it is bent.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, order=True)
+class Point:
+    """An immutable point ``(x, y)`` in the Manhattan plane (µm)."""
+
+    x: float
+    y: float
+
+    def manhattan(self, other: "Point") -> float:
+        """L1 (rectilinear wirelength) distance to ``other``."""
+        return abs(self.x - other.x) + abs(self.y - other.y)
+
+    def euclidean(self, other: "Point") -> float:
+        """L2 distance to ``other`` (used only for diagnostics/plots)."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def midpoint(self, other: "Point") -> "Point":
+        """The geometric midpoint between this point and ``other``."""
+        return Point((self.x + other.x) / 2.0, (self.y + other.y) / 2.0)
+
+    def translated(self, dx: float, dy: float) -> "Point":
+        """A copy of this point shifted by ``(dx, dy)``."""
+        return Point(self.x + dx, self.y + dy)
+
+    def as_tuple(self) -> tuple[float, float]:
+        """The point as a plain ``(x, y)`` tuple."""
+        return (self.x, self.y)
+
+    def __iter__(self):
+        yield self.x
+        yield self.y
+
+
+def manhattan(a: Point, b: Point) -> float:
+    """L1 distance between two points (module-level convenience)."""
+    return a.manhattan(b)
+
+
+def euclidean(a: Point, b: Point) -> float:
+    """L2 distance between two points (module-level convenience)."""
+    return a.euclidean(b)

@@ -1,0 +1,37 @@
+"""Routing-graph substrate: graphs with cycles, spanning trees, Steiner trees.
+
+The paper's central move is to allow routing topologies that are arbitrary
+graphs rather than trees. :class:`~repro.graph.routing_graph.RoutingGraph`
+is the shared data structure: an undirected geometric graph over a net's
+pins (plus optional Steiner points) whose edge weights are Manhattan
+lengths.
+"""
+
+from repro.graph.routing_graph import RoutingGraph, RoutingGraphError
+from repro.graph.mst import kruskal_mst, prim_mst, prim_mst_indices
+from repro.graph.steiner import batched_one_steiner, iterated_one_steiner
+from repro.graph.baselines import bounded_radius_tree, prim_dijkstra_tree
+from repro.graph.paths import dijkstra_lengths, graph_radius, tree_path
+from repro.graph.validation import (
+    check_connected,
+    check_spanning,
+    check_tree,
+)
+
+__all__ = [
+    "RoutingGraph",
+    "RoutingGraphError",
+    "batched_one_steiner",
+    "bounded_radius_tree",
+    "check_connected",
+    "check_spanning",
+    "check_tree",
+    "dijkstra_lengths",
+    "graph_radius",
+    "iterated_one_steiner",
+    "kruskal_mst",
+    "prim_dijkstra_tree",
+    "prim_mst",
+    "prim_mst_indices",
+    "tree_path",
+]

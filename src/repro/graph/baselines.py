@@ -1,0 +1,92 @@
+"""Cost/radius-tradeoff spanning trees from the paper's related work.
+
+Section 1 of the paper situates non-tree routing against the cost-radius
+tradeoff literature it cites:
+
+* **Prim–Dijkstra trees** (Alpert, Hu, Huang & Kahng [1]): grow a tree
+  from the source attaching the pin that minimizes
+  ``c · pathlength(u) + dist(u, v)``. ``c = 0`` is exactly Prim's MST;
+  ``c = 1`` is exactly Dijkstra's shortest-path tree; intermediate values
+  trade wirelength against source–sink path length.
+* **Bounded-radius trees** (Cong, Kahng, Robins, Sarrafzadeh & Wong [8],
+  the BPRIM family): a Prim-style construction that refuses attachments
+  whose source–sink path would exceed ``(1 + ε)`` times the direct
+  distance, falling back to a direct source connection. The result's
+  radius is at most ``(1 + ε) · max_v dist(source, v)`` by construction.
+
+These are *tree* baselines: the benchmark suite uses them to position
+LDRG's non-tree routings on the same delay/cost map the 1990s literature
+drew.
+"""
+
+from __future__ import annotations
+
+from repro.geometry.net import Net
+from repro.graph.routing_graph import RoutingGraph
+
+
+def prim_dijkstra_tree(net: Net, c: float) -> RoutingGraph:
+    """The AHHK Prim–Dijkstra spanning tree with tradeoff parameter ``c``.
+
+    Args:
+        net: the signal net.
+        c: tradeoff in [0, 1]; 0 = Prim (min cost), 1 = Dijkstra (min
+            source–sink paths).
+    """
+    if not 0.0 <= c <= 1.0:
+        raise ValueError("tradeoff parameter c must lie in [0, 1]")
+    graph = RoutingGraph(net)
+    pathlength = {graph.source: 0.0}
+    remaining = set(graph.sink_indices())
+    while remaining:
+        best_key = None
+        best_edge = None
+        for v in remaining:
+            for u in pathlength:
+                key = c * pathlength[u] + graph.distance(u, v)
+                if best_key is None or key < best_key:
+                    best_key = key
+                    best_edge = (u, v)
+        assert best_edge is not None
+        u, v = best_edge
+        graph.add_edge(u, v)
+        pathlength[v] = pathlength[u] + graph.distance(u, v)
+        remaining.discard(v)
+    return graph
+
+
+def bounded_radius_tree(net: Net, epsilon: float) -> RoutingGraph:
+    """A bounded-radius spanning tree in the BPRIM style of [8].
+
+    Grows from the source, attaching each pin by the cheapest edge whose
+    resulting source–pin path stays within ``(1 + ε)`` of the direct
+    distance; when no tree node qualifies, the pin is wired straight to
+    the source (which always qualifies). Hence the invariant::
+
+        pathlength(v) <= (1 + ε) · dist(source, v)   for every pin v
+
+    ``ε = ∞`` degenerates to Prim's MST; ``ε = 0`` forces shortest paths.
+    """
+    if epsilon < 0.0:
+        raise ValueError("epsilon must be non-negative")
+    graph = RoutingGraph(net)
+    pathlength = {graph.source: 0.0}
+    remaining = set(graph.sink_indices())
+    while remaining:
+        best_len = None
+        best_edge = None
+        for v in remaining:
+            bound = (1.0 + epsilon) * graph.distance(graph.source, v)
+            for u in pathlength:
+                length = graph.distance(u, v)
+                if pathlength[u] + length > bound + 1e-9:
+                    continue
+                if best_len is None or length < best_len:
+                    best_len = length
+                    best_edge = (u, v)
+        assert best_edge is not None  # the source itself always qualifies
+        u, v = best_edge
+        graph.add_edge(u, v)
+        pathlength[v] = pathlength[u] + graph.distance(u, v)
+        remaining.discard(v)
+    return graph

@@ -1,0 +1,157 @@
+"""Minimum spanning trees in the Manhattan metric.
+
+Every heuristic in the paper starts from an MST (or a Steiner tree whose
+construction itself leans on MSTs), so these routines are the workhorses of
+the whole library. Two implementations are provided: Prim's algorithm on a
+dense numpy distance matrix (O(n²), fastest for the complete geometric
+graphs used here) and Kruskal's algorithm (used by the incremental Steiner
+machinery and as a cross-check in tests).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.geometry.net import Net
+from repro.geometry.point import Point
+from repro.graph.routing_graph import RoutingGraph
+
+
+def manhattan_matrix(points: Sequence[Point]) -> np.ndarray:
+    """Dense pairwise Manhattan distance matrix of ``points``."""
+    coords = np.array([(p.x, p.y) for p in points], dtype=float)
+    dx = np.abs(coords[:, 0:1] - coords[:, 0:1].T)
+    dy = np.abs(coords[:, 1:2] - coords[:, 1:2].T)
+    return dx + dy
+
+
+def prim_mst_indices(points: Sequence[Point],
+                     dist: np.ndarray | None = None) -> list[tuple[int, int]]:
+    """MST edge list over ``points`` by Prim's algorithm (O(n²)).
+
+    Ties are broken deterministically toward the lower-indexed attachment
+    node, so the same point set always yields the same tree.
+    """
+    n = len(points)
+    if n < 2:
+        return []
+    if dist is None:
+        dist = manhattan_matrix(points)
+    in_tree = np.zeros(n, dtype=bool)
+    in_tree[0] = True
+    best_dist = dist[0].copy()
+    best_from = np.zeros(n, dtype=int)
+    best_dist[0] = np.inf
+    edges: list[tuple[int, int]] = []
+    for _ in range(n - 1):
+        node = int(np.argmin(best_dist))
+        parent = int(best_from[node])
+        edges.append((min(parent, node), max(parent, node)))
+        in_tree[node] = True
+        best_dist[node] = np.inf
+        closer = dist[node] < best_dist
+        closer &= ~in_tree
+        best_from[closer] = node
+        best_dist[closer] = dist[node][closer]
+    return edges
+
+
+def prim_mst(net: Net) -> RoutingGraph:
+    """The Manhattan MST over a net's pins, as a :class:`RoutingGraph`."""
+    return RoutingGraph.from_edges(net, prim_mst_indices(net.pins))
+
+
+class _DisjointSet:
+    """Union-find with path compression and union by size."""
+
+    def __init__(self, n: int):
+        self.parent = list(range(n))
+        self.size = [1] * n
+
+    def find(self, x: int) -> int:
+        root = x
+        while self.parent[root] != root:
+            root = self.parent[root]
+        while self.parent[x] != root:
+            self.parent[x], x = root, self.parent[x]
+        return root
+
+    def union(self, a: int, b: int) -> bool:
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return False
+        if self.size[ra] < self.size[rb]:
+            ra, rb = rb, ra
+        self.parent[rb] = ra
+        self.size[ra] += self.size[rb]
+        return True
+
+
+def kruskal_mst_from_edges(
+        n: int,
+        weighted_edges: Sequence[tuple[float, int, int]],
+) -> tuple[list[tuple[int, int]], float]:
+    """Kruskal's MST over an explicit weighted edge list.
+
+    Args:
+        n: node count (nodes are ``0..n-1``).
+        weighted_edges: ``(weight, u, v)`` triples; need not be sorted.
+
+    Returns:
+        ``(edges, total_weight)`` where edges are ``(u, v)`` with ``u < v``.
+
+    Raises:
+        ValueError: if the edge list does not connect all ``n`` nodes.
+    """
+    dsu = _DisjointSet(n)
+    chosen: list[tuple[int, int]] = []
+    total = 0.0
+    for weight, u, v in sorted(weighted_edges):
+        if dsu.union(u, v):
+            chosen.append((min(u, v), max(u, v)))
+            total += weight
+            if len(chosen) == n - 1:
+                break
+    if len(chosen) != n - 1:
+        raise ValueError("edge list does not connect all nodes")
+    return chosen, total
+
+
+def kruskal_mst(net: Net) -> RoutingGraph:
+    """The Manhattan MST over a net's pins, by Kruskal's algorithm.
+
+    The tree *cost* always matches :func:`prim_mst`; the edge sets may
+    differ when distances tie.
+    """
+    pins = net.pins
+    n = len(pins)
+    dist = manhattan_matrix(pins)
+    weighted = [(float(dist[i, j]), i, j)
+                for i in range(n) for j in range(i + 1, n)]
+    edges, _ = kruskal_mst_from_edges(n, weighted)
+    return RoutingGraph.from_edges(net, edges)
+
+
+def mst_cost_with_extra_point(
+        tree_edges: Sequence[tuple[int, int]],
+        points: Sequence[Point],
+        extra: Point,
+) -> float:
+    """Cost of the MST over ``points + [extra]``, given the MST of ``points``.
+
+    Classic incremental trick used inside Iterated 1-Steiner: the MST of
+    ``P ∪ {c}`` is a subgraph of ``MST(P) ∪ {edges from c to every point}``,
+    so Kruskal over those ``2n - 1`` edges suffices — O(n log n) per
+    candidate instead of recomputing a full O(n²) MST.
+    """
+    n = len(points)
+    extra_index = n
+    candidate_edges: list[tuple[float, int, int]] = [
+        (points[u].manhattan(points[v]), u, v) for u, v in tree_edges
+    ]
+    candidate_edges.extend(
+        (extra.manhattan(points[i]), i, extra_index) for i in range(n))
+    _, total = kruskal_mst_from_edges(n + 1, candidate_edges)
+    return total

@@ -1,0 +1,64 @@
+"""Shortest-path queries over routing graphs.
+
+Heuristic H3 scores each sink by ``pathlength × Elmore / new-edge-length``,
+where *pathlength* is the wire length of the tree path from the source;
+:func:`dijkstra_lengths` generalizes that to arbitrary routing graphs (on a
+tree, Dijkstra lengths coincide with tree path lengths).
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from repro.graph.routing_graph import RoutingGraph, RoutingGraphError
+
+
+def dijkstra_lengths(graph: RoutingGraph, start: int | None = None) -> dict[int, float]:
+    """Shortest wire-length distance from ``start`` (default: source) to every node.
+
+    Unreachable nodes are absent from the result.
+    """
+    origin = graph.source if start is None else start
+    if origin not in set(graph.nodes()):
+        raise RoutingGraphError(f"unknown start node {origin}")
+    done: dict[int, float] = {}
+    frontier: list[tuple[float, int]] = [(0.0, origin)]
+    while frontier:
+        dist, node = heapq.heappop(frontier)
+        if node in done:
+            continue
+        done[node] = dist
+        for neighbor in graph.neighbors(node):
+            if neighbor not in done:
+                heapq.heappush(
+                    frontier, (dist + graph.edge_length(node, neighbor), neighbor))
+    return done
+
+
+def graph_radius(graph: RoutingGraph) -> float:
+    """Longest shortest-path wire length from the source to any *pin*.
+
+    The classic "radius" objective of bounded-radius routing work the paper
+    cites ([8], [1]); exposed here for diagnostics and tests.
+    """
+    lengths = dijkstra_lengths(graph)
+    missing = [pin for pin in range(graph.num_pins) if pin not in lengths]
+    if missing:
+        raise RoutingGraphError(f"pins {missing} unreachable from source")
+    return max(lengths[pin] for pin in range(graph.num_pins))
+
+
+def tree_path(graph: RoutingGraph, target: int, root: int | None = None) -> list[int]:
+    """The unique root → ``target`` node path in a tree routing.
+
+    Raises :class:`RoutingGraphError` when the graph is not a tree (paths
+    are then not unique).
+    """
+    parents = graph.rooted_parents(root)
+    if target not in parents:
+        raise RoutingGraphError(f"node {target} not reachable from root")
+    path = [target]
+    while parents[path[-1]] is not None:
+        path.append(parents[path[-1]])  # type: ignore[arg-type]
+    path.reverse()
+    return path

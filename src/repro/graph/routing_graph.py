@@ -1,0 +1,272 @@
+"""The routing-graph data structure shared by every algorithm in the library.
+
+A :class:`RoutingGraph` is an undirected graph over the pins of a net (plus
+optional Steiner points), embedded in the Manhattan plane. Edge weights are
+always the Manhattan distance between the endpoints — a rectilinear wire
+between two points has exactly that length. Cycles are allowed; that is the
+whole point of the paper.
+
+Node indexing convention:
+
+* node ``0`` is always the net's source pin ``n0``;
+* nodes ``1..k`` are the sink pins ``n1..nk`` in net order;
+* nodes ``k+1..`` are Steiner points, marked in :attr:`RoutingGraph.steiner`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.geometry.net import Net
+from repro.geometry.point import Point
+
+
+class RoutingGraphError(ValueError):
+    """Raised for structurally invalid routing-graph operations."""
+
+
+class RoutingGraph:
+    """An undirected geometric graph over a net's pins and Steiner points."""
+
+    def __init__(self, net: Net):
+        self.net = net
+        self._positions: dict[int, Point] = dict(enumerate(net.pins))
+        self._adj: dict[int, dict[int, float]] = {
+            i: {} for i in range(net.num_pins)
+        }
+        self.steiner: set[int] = set()
+        self._next_index = net.num_pins
+
+    # ------------------------------------------------------------------ nodes
+
+    @property
+    def source(self) -> int:
+        """Index of the source pin (always 0)."""
+        return 0
+
+    @property
+    def num_pins(self) -> int:
+        """Number of original net pins (source + sinks)."""
+        return self.net.num_pins
+
+    def sink_indices(self) -> range:
+        """Indices of the net's sink pins."""
+        return range(1, self.num_pins)
+
+    def nodes(self) -> Iterator[int]:
+        """All node indices (pins first, then Steiner points)."""
+        return iter(self._adj)
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self._adj)
+
+    def position(self, node: int) -> Point:
+        """The plane coordinates of ``node``."""
+        try:
+            return self._positions[node]
+        except KeyError:
+            raise RoutingGraphError(f"unknown node {node}") from None
+
+    def positions(self) -> dict[int, Point]:
+        """A copy of the node → position map."""
+        return dict(self._positions)
+
+    def is_steiner(self, node: int) -> bool:
+        """Whether ``node`` is a Steiner point (not an original pin)."""
+        return node in self.steiner
+
+    def add_steiner_point(self, point: Point) -> int:
+        """Add a Steiner point at ``point``; returns its new node index."""
+        index = self._next_index
+        self._next_index += 1
+        self._positions[index] = point
+        self._adj[index] = {}
+        self.steiner.add(index)
+        return index
+
+    def remove_node(self, node: int) -> None:
+        """Remove a Steiner point and its incident edges.
+
+        Original pins cannot be removed — the routing must span the net.
+        """
+        if node not in self._adj:
+            raise RoutingGraphError(f"unknown node {node}")
+        if node < self.num_pins:
+            raise RoutingGraphError("cannot remove a net pin from the routing")
+        for neighbor in list(self._adj[node]):
+            self.remove_edge(node, neighbor)
+        del self._adj[node]
+        del self._positions[node]
+        self.steiner.discard(node)
+
+    # ------------------------------------------------------------------ edges
+
+    def distance(self, u: int, v: int) -> float:
+        """Manhattan distance between two nodes' positions."""
+        return self.position(u).manhattan(self.position(v))
+
+    def has_edge(self, u: int, v: int) -> bool:
+        return v in self._adj.get(u, {})
+
+    def add_edge(self, u: int, v: int) -> float:
+        """Add edge ``(u, v)``; returns its Manhattan length.
+
+        Self-loops and duplicate edges are rejected: neither ever lowers
+        delay and both would make wirelength accounting ambiguous.
+        """
+        if u == v:
+            raise RoutingGraphError(f"self-loop at node {u}")
+        if u not in self._adj or v not in self._adj:
+            raise RoutingGraphError(f"edge ({u}, {v}) references unknown node")
+        if self.has_edge(u, v):
+            raise RoutingGraphError(f"edge ({u}, {v}) already present")
+        length = self.distance(u, v)
+        self._adj[u][v] = length
+        self._adj[v][u] = length
+        return length
+
+    def remove_edge(self, u: int, v: int) -> None:
+        if not self.has_edge(u, v):
+            raise RoutingGraphError(f"edge ({u}, {v}) not present")
+        del self._adj[u][v]
+        del self._adj[v][u]
+
+    def edges(self) -> list[tuple[int, int]]:
+        """All edges as ``(u, v)`` pairs with ``u < v``."""
+        return [(u, v) for u in self._adj for v in self._adj[u] if u < v]
+
+    def edge_lengths(self) -> dict[tuple[int, int], float]:
+        """Edge → Manhattan length map (keys have ``u < v``)."""
+        return {(u, v): self._adj[u][v]
+                for u in self._adj for v in self._adj[u] if u < v}
+
+    @property
+    def num_edges(self) -> int:
+        return sum(len(nbrs) for nbrs in self._adj.values()) // 2
+
+    def edge_length(self, u: int, v: int) -> float:
+        try:
+            return self._adj[u][v]
+        except KeyError:
+            raise RoutingGraphError(f"edge ({u}, {v}) not present") from None
+
+    def neighbors(self, node: int) -> list[int]:
+        try:
+            return list(self._adj[node])
+        except KeyError:
+            raise RoutingGraphError(f"unknown node {node}") from None
+
+    def degree(self, node: int) -> int:
+        return len(self._adj[node])
+
+    # ------------------------------------------------------------- properties
+
+    def cost(self) -> float:
+        """Total wirelength: the sum of Manhattan edge lengths."""
+        return sum(length for nbrs in self._adj.values()
+                   for length in nbrs.values()) / 2.0
+
+    def is_connected(self) -> bool:
+        """Whether every node is reachable from the source."""
+        return len(self._reachable(self.source)) == self.num_nodes
+
+    def spans_net(self) -> bool:
+        """Whether every *pin* is reachable from the source.
+
+        Dangling Steiner points do not break spanning, but any disconnected
+        pin does.
+        """
+        reachable = self._reachable(self.source)
+        return all(pin in reachable for pin in range(self.num_pins))
+
+    def is_tree(self) -> bool:
+        """Connected with exactly ``|V| - 1`` edges."""
+        return self.is_connected() and self.num_edges == self.num_nodes - 1
+
+    def _reachable(self, start: int) -> set[int]:
+        seen = {start}
+        stack = [start]
+        while stack:
+            node = stack.pop()
+            for neighbor in self._adj[node]:
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    stack.append(neighbor)
+        return seen
+
+    def candidate_edges(self) -> list[tuple[int, int]]:
+        """All node pairs not already joined by an edge (the LDRG search space)."""
+        nodes = sorted(self._adj)
+        return [(u, v)
+                for i, u in enumerate(nodes)
+                for v in nodes[i + 1:]
+                if v not in self._adj[u]]
+
+    # ------------------------------------------------------------- structure
+
+    def rooted_parents(self, root: int | None = None) -> dict[int, int | None]:
+        """Parent map of a BFS orientation from ``root`` (default: source).
+
+        Only meaningful on trees; raises :class:`RoutingGraphError` when the
+        graph contains a cycle or is disconnected, because a parent map is
+        then not well-defined.
+        """
+        if not self.is_tree():
+            raise RoutingGraphError(
+                "rooted_parents is only defined for trees; this routing "
+                f"graph has {self.num_edges} edges over {self.num_nodes} nodes")
+        start = self.source if root is None else root
+        parents: dict[int, int | None] = {start: None}
+        queue = [start]
+        while queue:
+            node = queue.pop(0)
+            for neighbor in self._adj[node]:
+                if neighbor not in parents:
+                    parents[neighbor] = node
+                    queue.append(neighbor)
+        return parents
+
+    def copy(self) -> "RoutingGraph":
+        """An independent deep copy."""
+        clone = RoutingGraph.__new__(RoutingGraph)
+        clone.net = self.net
+        clone._positions = dict(self._positions)
+        clone._adj = {node: dict(nbrs) for node, nbrs in self._adj.items()}
+        clone.steiner = set(self.steiner)
+        clone._next_index = self._next_index
+        return clone
+
+    def with_edge(self, u: int, v: int) -> "RoutingGraph":
+        """A copy of this graph with edge ``(u, v)`` added."""
+        clone = self.copy()
+        clone.add_edge(u, v)
+        return clone
+
+    # ----------------------------------------------------------------- export
+
+    def to_networkx(self):
+        """Export to a ``networkx.Graph`` (positions in the ``pos`` attribute)."""
+        import networkx as nx
+
+        graph = nx.Graph(name=self.net.name)
+        for node, point in self._positions.items():
+            graph.add_node(node, pos=point.as_tuple(),
+                           steiner=node in self.steiner)
+        for (u, v), length in self.edge_lengths().items():
+            graph.add_edge(u, v, weight=length)
+        return graph
+
+    @classmethod
+    def from_edges(cls, net: Net, edges: Iterable[tuple[int, int]]) -> "RoutingGraph":
+        """Build a graph over ``net``'s pins from an explicit edge list."""
+        graph = cls(net)
+        for u, v in edges:
+            graph.add_edge(u, v)
+        return graph
+
+    def __repr__(self) -> str:
+        kind = "tree" if self.is_tree() else "graph"
+        return (f"RoutingGraph({self.net.name!r}, {kind}, "
+                f"{self.num_nodes} nodes, {self.num_edges} edges, "
+                f"cost={self.cost():.1f}um)")

@@ -1,0 +1,33 @@
+"""Structural validation helpers for routing graphs.
+
+Algorithms in :mod:`repro.core` call these at their boundaries so that a
+malformed routing fails loudly at the point of construction rather than
+producing a silently wrong delay number downstream.
+"""
+
+from __future__ import annotations
+
+from repro.graph.routing_graph import RoutingGraph, RoutingGraphError
+
+
+def check_connected(graph: RoutingGraph) -> None:
+    """Raise unless every node is reachable from the source."""
+    if not graph.is_connected():
+        raise RoutingGraphError(
+            f"routing over net {graph.net.name!r} is disconnected")
+
+
+def check_spanning(graph: RoutingGraph) -> None:
+    """Raise unless every *pin* of the net is reachable from the source."""
+    if not graph.spans_net():
+        raise RoutingGraphError(
+            f"routing over net {graph.net.name!r} does not span all pins")
+
+
+def check_tree(graph: RoutingGraph) -> None:
+    """Raise unless the routing is a tree (connected, |E| = |V| - 1)."""
+    check_connected(graph)
+    if graph.num_edges != graph.num_nodes - 1:
+        raise RoutingGraphError(
+            f"routing over net {graph.net.name!r} has cycles: "
+            f"{graph.num_edges} edges over {graph.num_nodes} nodes")

@@ -1,0 +1,20 @@
+"""File formats: net lists and routing-graph serialization."""
+
+from repro.io.nets_file import format_nets, parse_nets, read_nets, write_nets
+from repro.io.routing_json import (
+    routing_from_dict,
+    routing_to_dict,
+    load_routing,
+    save_routing,
+)
+
+__all__ = [
+    "format_nets",
+    "load_routing",
+    "parse_nets",
+    "read_nets",
+    "routing_from_dict",
+    "routing_to_dict",
+    "save_routing",
+    "write_nets",
+]

@@ -1,0 +1,106 @@
+"""A plain-text net-list format.
+
+One stanza per net; coordinates in microns::
+
+    # anything after '#' is a comment
+    net clk_tree
+      source 120.5 4480.0
+      sink   800.0 9100.0
+      sink   5500.0 300.25
+
+Whitespace is free-form. The ``source`` line must appear exactly once per
+stanza and before any ``sink`` line is not required — pins are gathered,
+the single source identified by keyword.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.geometry.net import Net
+from repro.geometry.point import Point
+
+
+class NetsFileError(ValueError):
+    """Raised for malformed net files."""
+
+
+def parse_nets(text: str) -> list[Net]:
+    """Parse net stanzas from text. Returns nets in file order."""
+    nets: list[Net] = []
+    name: str | None = None
+    source: Point | None = None
+    sinks: list[Point] = []
+
+    def flush(line_no: int) -> None:
+        nonlocal name, source, sinks
+        if name is None:
+            return
+        where = f"line {line_no}" if line_no > 0 else "end of input"
+        if source is None:
+            raise NetsFileError(
+                f"net {name!r} has no source line (ending at {where})")
+        if not sinks:
+            raise NetsFileError(f"net {name!r} has no sinks")
+        nets.append(Net(source=source, sinks=tuple(sinks), name=name))
+        name, source, sinks = None, None, []
+
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        tokens = line.split()
+        keyword = tokens[0].lower()
+        if keyword == "net":
+            if len(tokens) != 2:
+                raise NetsFileError(f"line {line_no}: expected 'net <name>'")
+            flush(line_no)
+            name = tokens[1]
+        elif keyword in ("source", "sink"):
+            if name is None:
+                raise NetsFileError(
+                    f"line {line_no}: {keyword} outside a net stanza")
+            if len(tokens) != 3:
+                raise NetsFileError(
+                    f"line {line_no}: expected '{keyword} <x> <y>'")
+            try:
+                point = Point(float(tokens[1]), float(tokens[2]))
+            except ValueError:
+                raise NetsFileError(
+                    f"line {line_no}: bad coordinates {tokens[1:]!r}") from None
+            if keyword == "source":
+                if source is not None:
+                    raise NetsFileError(
+                        f"line {line_no}: net {name!r} has two sources")
+                source = point
+            else:
+                sinks.append(point)
+        else:
+            raise NetsFileError(
+                f"line {line_no}: unknown keyword {tokens[0]!r}")
+    flush(line_no=-1)
+    if not nets:
+        raise NetsFileError("no nets found")
+    return nets
+
+
+def format_nets(nets: list[Net]) -> str:
+    """Serialize nets to the stanza format (round-trips with parse)."""
+    lines: list[str] = []
+    for net in nets:
+        lines.append(f"net {net.name}")
+        lines.append(f"  source {net.source.x:.12g} {net.source.y:.12g}")
+        for sink in net.sinks:
+            lines.append(f"  sink {sink.x:.12g} {sink.y:.12g}")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def read_nets(path: str | Path) -> list[Net]:
+    """Parse nets from a file."""
+    return parse_nets(Path(path).read_text(encoding="utf-8"))
+
+
+def write_nets(nets: list[Net], path: str | Path) -> None:
+    """Write nets to a file."""
+    Path(path).write_text(format_nets(nets), encoding="utf-8")

@@ -1,0 +1,68 @@
+"""JSON serialization of routing graphs.
+
+A routing dict is self-contained: it embeds the net's pins, every Steiner
+point's coordinates, and the edge list, so a routing can be archived and
+reloaded without the original :class:`~repro.geometry.net.Net` object.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.geometry.net import Net
+from repro.geometry.point import Point
+from repro.graph.routing_graph import RoutingGraph
+
+_FORMAT = "repro-routing-v1"
+
+
+def routing_to_dict(graph: RoutingGraph) -> dict:
+    """The routing graph as a JSON-ready dict."""
+    steiner = {str(node): list(graph.position(node).as_tuple())
+               for node in sorted(graph.steiner)}
+    return {
+        "format": _FORMAT,
+        "net": {
+            "name": graph.net.name,
+            "source": list(graph.net.source.as_tuple()),
+            "sinks": [list(p.as_tuple()) for p in graph.net.sinks],
+        },
+        "steiner": steiner,
+        "edges": sorted(graph.edges()),
+    }
+
+
+def routing_from_dict(data: dict) -> RoutingGraph:
+    """Rebuild a routing graph from :func:`routing_to_dict` output.
+
+    Steiner node indices are remapped densely in ascending original
+    order, so round-trips preserve edge structure even if the original
+    indices had gaps.
+    """
+    if data.get("format") != _FORMAT:
+        raise ValueError(f"not a {_FORMAT} document: "
+                         f"format={data.get('format')!r}")
+    net_spec = data["net"]
+    net = Net(source=Point(*net_spec["source"]),
+              sinks=tuple(Point(*coords) for coords in net_spec["sinks"]),
+              name=net_spec.get("name", "net"))
+    graph = RoutingGraph(net)
+    remap: dict[int, int] = {}
+    for original in sorted(int(k) for k in data.get("steiner", {})):
+        coords = data["steiner"][str(original)]
+        remap[original] = graph.add_steiner_point(Point(*coords))
+    for u, v in data["edges"]:
+        graph.add_edge(remap.get(u, u), remap.get(v, v))
+    return graph
+
+
+def save_routing(graph: RoutingGraph, path: str | Path) -> None:
+    """Write a routing graph to a JSON file."""
+    Path(path).write_text(json.dumps(routing_to_dict(graph), indent=2),
+                          encoding="utf-8")
+
+
+def load_routing(path: str | Path) -> RoutingGraph:
+    """Read a routing graph from a JSON file."""
+    return routing_from_dict(json.loads(Path(path).read_text(encoding="utf-8")))

@@ -1,0 +1,31 @@
+"""Detailed routing substrate: grids, obstacles, A* maze search, embedding.
+
+The paper's routing graphs are *abstract*: an edge is a pin pair whose
+wire is assumed to run at Manhattan length. Real layouts embed each wire
+as a rectilinear path on a routing grid, detouring around blocked
+regions (macros, pre-routes). This package supplies that layer — in the
+lineage of the A*-based timing-driven router of Prastjutrakul & Kubitz,
+which the paper cites [17]:
+
+* :mod:`repro.route.grid`  — the routing grid: cells, obstacles, usage;
+* :mod:`repro.route.astar` — A* rectilinear path search (admissible
+  Manhattan heuristic, congestion-aware cost);
+* :mod:`repro.route.embed` — embed a whole routing graph, wire by wire,
+  producing a bend-accurate :class:`~repro.graph.routing_graph.RoutingGraph`
+  that every delay model in the library accepts unchanged.
+"""
+
+from repro.route.grid import GridError, RoutingGrid
+from repro.route.astar import astar_route
+from repro.route.embed import EmbeddedRouting, embed_routing
+from repro.route.design_embed import DesignEmbedding, embed_design
+
+__all__ = [
+    "DesignEmbedding",
+    "EmbeddedRouting",
+    "GridError",
+    "RoutingGrid",
+    "astar_route",
+    "embed_design",
+    "embed_routing",
+]

@@ -1,0 +1,134 @@
+"""Embed an abstract routing graph as rectilinear grid paths.
+
+Each abstract edge (a pin/Steiner-point pair) becomes an A*-routed cell
+path on the grid, detouring around blockages and — with a nonzero
+congestion weight — around other wires of the same net embedded earlier.
+The result converts back into a bend-accurate
+:class:`~repro.graph.routing_graph.RoutingGraph`: every direction change
+becomes a (zero-load) Steiner node at the bend's coordinates, so wire
+lengths reflect the *real* detoured geometry and every delay model in
+the library evaluates the embedded net unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.graph.routing_graph import RoutingGraph, RoutingGraphError
+from repro.route.astar import astar_route, path_length
+from repro.route.grid import Cell, RoutingGrid
+
+EdgeKey = tuple[int, int]
+
+
+@dataclass
+class EmbeddedRouting:
+    """An abstract routing and its grid embedding.
+
+    Attributes:
+        abstract: the input routing graph (unmodified).
+        grid: the grid routed on (usage updated by the embedding).
+        paths: abstract edge → cell path (endpoints included).
+    """
+
+    abstract: RoutingGraph
+    grid: RoutingGrid
+    paths: dict[EdgeKey, list[Cell]] = field(default_factory=dict)
+
+    def embedded_length(self, u: int, v: int) -> float:
+        """Wire length of one edge's embedding, pin stubs included."""
+        key = (u, v) if u < v else (v, u)
+        try:
+            path = self.paths[key]
+        except KeyError:
+            raise RoutingGraphError(f"edge {key} not embedded") from None
+        length = path_length(self.grid, path)
+        length += self.abstract.position(key[0]).manhattan(
+            self.grid.center_of(path[0]))
+        length += self.abstract.position(key[1]).manhattan(
+            self.grid.center_of(path[-1]))
+        return length
+
+    def total_length(self) -> float:
+        """Total embedded wirelength (µm)."""
+        return sum(self.embedded_length(*edge) for edge in self.paths)
+
+    def detour_factor(self) -> float:
+        """Embedded / abstract wirelength — 1.0 means no detours."""
+        return self.total_length() / self.abstract.cost()
+
+    def to_routing_graph(self) -> RoutingGraph:
+        """The embedding as a bend-accurate routing graph.
+
+        Pins keep their true positions; each path contributes Steiner
+        nodes at its bend cells (and at the endpoint cell centers when a
+        pin is off-center), chained by axis-aligned wires.
+        """
+        embedded = RoutingGraph(self.abstract.net)
+        node_map: dict[int, int] = {
+            pin: pin for pin in range(self.abstract.num_pins)}
+        for steiner in sorted(self.abstract.steiner):
+            node_map[steiner] = embedded.add_steiner_point(
+                self.abstract.position(steiner))
+        for (u, v), path in sorted(self.paths.items()):
+            chain = [node_map[u]]
+            for cell in _bend_cells(path):
+                chain.append(embedded.add_steiner_point(
+                    self.grid.center_of(cell)))
+            chain.append(node_map[v])
+            for a, b in zip(chain, chain[1:]):
+                if a != b and not embedded.has_edge(a, b):
+                    embedded.add_edge(a, b)
+        return embedded
+
+
+def embed_routing(graph: RoutingGraph, grid: RoutingGrid,
+                  congestion_weight: float = 0.5,
+                  snap_blocked_pins: bool = False) -> EmbeddedRouting:
+    """Embed every edge of ``graph`` on ``grid`` with A* maze routing.
+
+    Edges are routed longest-first (long wires have the least slack for
+    detours; short ones thread the gaps), each path immediately charged
+    to the grid's usage so later paths avoid earlier ones when
+    ``congestion_weight > 0``.
+
+    Raises :class:`~repro.route.grid.GridError` when a pin sits on a
+    blocked cell (unless ``snap_blocked_pins`` redirects it to the
+    nearest free cell — useful for synthetic workloads whose pins were
+    placed before the blockage) or when blockages disconnect an edge's
+    endpoints.
+    """
+    if not graph.spans_net():
+        raise RoutingGraphError(
+            f"routing over net {graph.net.name!r} does not span all pins")
+    embedding = EmbeddedRouting(abstract=graph, grid=grid)
+
+    def terminal(node: int):
+        cell = grid.cell_of(graph.position(node))
+        if snap_blocked_pins and grid.is_blocked(cell):
+            cell = grid.nearest_free_cell(cell)
+        return cell
+
+    edges = sorted(graph.edges(),
+                   key=lambda e: -graph.edge_length(*e))
+    for u, v in edges:
+        path = astar_route(grid, terminal(u), terminal(v),
+                           congestion_weight=congestion_weight)
+        key = (u, v) if u < v else (v, u)
+        embedding.paths[key] = path
+        grid.add_usage(path)
+    return embedding
+
+
+def _bend_cells(path: list[Cell]) -> list[Cell]:
+    """Endpoint cells plus every direction-change cell along the path."""
+    if len(path) <= 1:
+        return list(path)
+    kept = [path[0]]
+    for previous, current, following in zip(path, path[1:], path[2:]):
+        direction_in = (current[0] - previous[0], current[1] - previous[1])
+        direction_out = (following[0] - current[0], following[1] - current[1])
+        if direction_in != direction_out:
+            kept.append(current)
+    kept.append(path[-1])
+    return kept

@@ -1,0 +1,153 @@
+"""The routing grid: a uniform cell lattice with obstacles and usage.
+
+Cells are addressed ``(col, row)``; the grid covers the square layout
+region, so a cell's center has plane coordinates
+``((col + 0.5)·pitch, (row + 0.5)·pitch)``. Obstacles block cells
+entirely (macro blockages); ``usage`` counts wires crossing a cell, which
+the router's congestion cost reads so nets spread instead of piling onto
+one track.
+"""
+
+from __future__ import annotations
+
+from repro.geometry.point import Point
+
+Cell = tuple[int, int]
+
+
+class GridError(ValueError):
+    """Raised for out-of-range cells or unroutable configurations."""
+
+
+class RoutingGrid:
+    """A ``cols × rows`` routing lattice over a square region."""
+
+    def __init__(self, region: float = 10_000.0, pitch: float = 250.0):
+        if region <= 0 or pitch <= 0:
+            raise GridError("region and pitch must be positive")
+        if pitch > region:
+            raise GridError("pitch larger than the region")
+        self.region = region
+        self.pitch = pitch
+        self.cols = max(1, round(region / pitch))
+        self.rows = self.cols
+        self._blocked: set[Cell] = set()
+        self._usage: dict[Cell, int] = {}
+
+    # ---------------------------------------------------------- coordinates
+
+    def cell_of(self, point: Point) -> Cell:
+        """The cell containing a plane point (clamped to the grid)."""
+        col = min(self.cols - 1, max(0, int(point.x / self.pitch)))
+        row = min(self.rows - 1, max(0, int(point.y / self.pitch)))
+        return (col, row)
+
+    def center_of(self, cell: Cell) -> Point:
+        """Plane coordinates of a cell's center."""
+        self._check(cell)
+        return Point((cell[0] + 0.5) * self.pitch,
+                     (cell[1] + 0.5) * self.pitch)
+
+    def in_bounds(self, cell: Cell) -> bool:
+        return 0 <= cell[0] < self.cols and 0 <= cell[1] < self.rows
+
+    def neighbors(self, cell: Cell) -> list[Cell]:
+        """The 4-connected unblocked neighbors."""
+        col, row = cell
+        out = []
+        for candidate in ((col + 1, row), (col - 1, row),
+                          (col, row + 1), (col, row - 1)):
+            if self.in_bounds(candidate) and candidate not in self._blocked:
+                out.append(candidate)
+        return out
+
+    # ------------------------------------------------------------ obstacles
+
+    def block_cell(self, cell: Cell) -> None:
+        self._check(cell)
+        self._blocked.add(cell)
+
+    def block_rect(self, xmin: float, ymin: float, xmax: float,
+                   ymax: float) -> int:
+        """Block every cell whose center lies in the rectangle; returns
+        how many cells were blocked."""
+        if xmin > xmax or ymin > ymax:
+            raise GridError("degenerate blockage rectangle")
+        count = 0
+        for col in range(self.cols):
+            for row in range(self.rows):
+                center = self.center_of((col, row))
+                if xmin <= center.x <= xmax and ymin <= center.y <= ymax:
+                    if (col, row) not in self._blocked:
+                        self._blocked.add((col, row))
+                        count += 1
+        return count
+
+    def is_blocked(self, cell: Cell) -> bool:
+        self._check(cell)
+        return cell in self._blocked
+
+    @property
+    def blocked_cells(self) -> set[Cell]:
+        return set(self._blocked)
+
+    def blockage_fraction(self) -> float:
+        return len(self._blocked) / (self.cols * self.rows)
+
+    # ---------------------------------------------------------------- usage
+
+    def usage(self, cell: Cell) -> int:
+        self._check(cell)
+        return self._usage.get(cell, 0)
+
+    def add_usage(self, cells) -> None:
+        for cell in cells:
+            self._check(cell)
+            self._usage[cell] = self._usage.get(cell, 0) + 1
+
+    def max_usage(self) -> int:
+        return max(self._usage.values(), default=0)
+
+    def total_overflow(self, capacity: int = 1) -> int:
+        """Σ max(0, usage − capacity): the classic congestion metric."""
+        if capacity < 1:
+            raise GridError("capacity must be >= 1")
+        return sum(max(0, used - capacity) for used in self._usage.values())
+
+    def clear_usage(self) -> None:
+        self._usage.clear()
+
+    def nearest_free_cell(self, cell: Cell) -> Cell:
+        """The closest unblocked cell to ``cell`` (itself if free).
+
+        Breadth-first ring search; ties break deterministically by cell
+        order. Raises :class:`GridError` when the whole grid is blocked.
+        """
+        self._check(cell)
+        if cell not in self._blocked:
+            return cell
+        seen = {cell}
+        ring = [cell]
+        while ring:
+            next_ring: list[Cell] = []
+            for current in ring:
+                col, row = current
+                for candidate in sorted(((col + 1, row), (col - 1, row),
+                                         (col, row + 1), (col, row - 1))):
+                    if not self.in_bounds(candidate) or candidate in seen:
+                        continue
+                    if candidate not in self._blocked:
+                        return candidate
+                    seen.add(candidate)
+                    next_ring.append(candidate)
+            ring = next_ring
+        raise GridError("every cell of the grid is blocked")
+
+    def _check(self, cell: Cell) -> None:
+        if not self.in_bounds(cell):
+            raise GridError(f"cell {cell} outside the "
+                            f"{self.cols}x{self.rows} grid")
+
+    def __repr__(self) -> str:
+        return (f"RoutingGrid({self.cols}x{self.rows}, pitch={self.pitch}, "
+                f"{len(self._blocked)} blocked)")

@@ -1,0 +1,42 @@
+"""Static timing analysis substrate for timing-driven routing.
+
+Section 5.1 of the paper assumes sink criticalities "reflecting the
+timing information obtained during the performance-driven placement
+phase" — i.e. an STA engine upstream of the router. This package builds
+that substrate:
+
+* :mod:`repro.timing.gates`   — a small gate library (drive resistance,
+  input capacitance, intrinsic delay);
+* :mod:`repro.timing.design`  — placed gate-level designs (instances,
+  nets, DAG checks) plus a seeded random-design generator;
+* :mod:`repro.timing.sta`     — topological arrival-time propagation with
+  net delays taken from real routed topologies, slack/criticality
+  extraction;
+* :mod:`repro.timing.flow`    — the classic iterative loop: route all
+  nets, run STA, re-route the critical nets with CSORG-LDRG using the
+  extracted criticalities.
+"""
+
+from repro.timing.gates import Gate, GateLibrary
+from repro.timing.design import (
+    Design,
+    DesignNet,
+    Instance,
+    random_design,
+)
+from repro.timing.sta import TimingReport, analyze, sink_criticalities
+from repro.timing.flow import FlowReport, timing_driven_flow
+
+__all__ = [
+    "Design",
+    "DesignNet",
+    "FlowReport",
+    "Gate",
+    "GateLibrary",
+    "Instance",
+    "TimingReport",
+    "analyze",
+    "random_design",
+    "sink_criticalities",
+    "timing_driven_flow",
+]

@@ -1,0 +1,177 @@
+"""Placed gate-level designs: instances, nets, and a random generator.
+
+A :class:`Design` is a DAG of placed gate :class:`Instance` objects
+connected by :class:`DesignNet` records (one driver, one or more loads).
+The geometry is what the router sees: each design net induces a
+:class:`repro.geometry.net.Net` whose source is the driver's position
+and whose sinks are the load positions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.geometry.net import Net
+from repro.geometry.point import Point
+from repro.timing.gates import Gate, GateLibrary
+
+
+@dataclass(frozen=True)
+class Instance:
+    """A placed gate."""
+
+    name: str
+    gate: Gate
+    position: Point
+
+
+@dataclass(frozen=True)
+class DesignNet:
+    """One signal net: a driver instance and its fanout."""
+
+    name: str
+    driver: str
+    loads: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.loads:
+            raise ValueError(f"net {self.name!r} has no loads")
+        if self.driver in self.loads:
+            raise ValueError(f"net {self.name!r} drives itself")
+
+
+class DesignError(ValueError):
+    """Raised for structurally invalid designs."""
+
+
+@dataclass
+class Design:
+    """A placed, connected gate-level design."""
+
+    name: str
+    instances: dict[str, Instance] = field(default_factory=dict)
+    nets: dict[str, DesignNet] = field(default_factory=dict)
+    #: instances whose inputs come from outside (timing start points)
+    primary_inputs: set[str] = field(default_factory=set)
+
+    def add_instance(self, instance: Instance) -> None:
+        if instance.name in self.instances:
+            raise DesignError(f"duplicate instance {instance.name!r}")
+        self.instances[instance.name] = instance
+
+    def add_net(self, net: DesignNet) -> None:
+        if net.name in self.nets:
+            raise DesignError(f"duplicate net {net.name!r}")
+        for pin in (net.driver, *net.loads):
+            if pin not in self.instances:
+                raise DesignError(
+                    f"net {net.name!r} references unknown instance {pin!r}")
+        self.nets[net.name] = net
+
+    def fanin_nets(self, instance: str) -> list[DesignNet]:
+        """Nets loading into ``instance``."""
+        return [net for net in self.nets.values() if instance in net.loads]
+
+    def fanout_nets(self, instance: str) -> list[DesignNet]:
+        """Nets driven by ``instance``."""
+        return [net for net in self.nets.values() if net.driver == instance]
+
+    def geometry_of(self, net_name: str) -> Net:
+        """The routing problem induced by a design net."""
+        net = self.nets[net_name]
+        driver = self.instances[net.driver]
+        loads = [self.instances[load] for load in net.loads]
+        return Net(source=driver.position,
+                   sinks=tuple(load.position for load in loads),
+                   name=net_name)
+
+    def topological_order(self) -> list[str]:
+        """Instances in dependency order; raises on combinational cycles."""
+        indegree = {name: 0 for name in self.instances}
+        successors: dict[str, list[str]] = {name: [] for name in self.instances}
+        for net in self.nets.values():
+            for load in net.loads:
+                indegree[load] += 1
+                successors[net.driver].append(load)
+        ready = sorted(name for name, deg in indegree.items() if deg == 0)
+        order: list[str] = []
+        while ready:
+            node = ready.pop(0)
+            order.append(node)
+            for succ in sorted(successors[node]):
+                indegree[succ] -= 1
+                if indegree[succ] == 0:
+                    ready.append(succ)
+        if len(order) != len(self.instances):
+            raise DesignError(
+                f"design {self.name!r} contains a combinational cycle")
+        return order
+
+    def validate(self) -> None:
+        """Full structural check: DAG, start points, no floating gates."""
+        order = self.topological_order()
+        starts = {name for name in order if not self.fanin_nets(name)}
+        if not starts:
+            raise DesignError(f"design {self.name!r} has no start points")
+        missing = starts - self.primary_inputs
+        if missing:
+            raise DesignError(
+                f"instances {sorted(missing)} have no fanin and are not "
+                f"declared primary inputs")
+
+
+def random_design(num_stages: int, stage_width: int, seed: int = 0,
+                  region: float = 10_000.0, max_fanout: int = 3,
+                  library: GateLibrary | None = None,
+                  name: str | None = None) -> Design:
+    """A seeded random layered design, placed left-to-right by stage.
+
+    Stage 0 holds DFF start points; each later gate draws one driving net
+    from a random gate one stage earlier, and each net picks up to
+    ``max_fanout - 1`` extra loads in the next stage. Placement puts each
+    stage in its own vertical band with jitter, the classic standard-cell
+    row look, so net geometry (and thus routing difficulty) grows with
+    logical depth.
+    """
+    if num_stages < 2:
+        raise ValueError("need at least two stages (sources + one logic)")
+    if stage_width < 1:
+        raise ValueError("stage_width must be >= 1")
+    lib = library or GateLibrary.cmos08()
+    rng = np.random.default_rng(seed)
+    design = Design(name=name or f"rand_design_s{seed}")
+    combinational = lib.combinational()
+
+    stages: list[list[str]] = []
+    for stage in range(num_stages):
+        members = []
+        for slot in range(stage_width):
+            inst_name = f"g{stage}_{slot}"
+            gate = (lib["DFF"] if stage == 0
+                    else combinational[int(rng.integers(len(combinational)))])
+            x = (stage + 0.5) / num_stages * region
+            x += float(rng.uniform(-0.3, 0.3)) * region / num_stages
+            y = float(rng.uniform(0.05, 0.95)) * region
+            design.add_instance(Instance(inst_name, gate, Point(x, y)))
+            if stage == 0:
+                design.primary_inputs.add(inst_name)
+            members.append(inst_name)
+        stages.append(members)
+
+    net_index = 0
+    for stage in range(1, num_stages):
+        for sink_name in stages[stage]:
+            driver = stages[stage - 1][int(rng.integers(stage_width))]
+            loads = {sink_name}
+            extra = int(rng.integers(0, max_fanout))
+            for _ in range(extra):
+                candidate = stages[stage][int(rng.integers(stage_width))]
+                if candidate != driver:
+                    loads.add(candidate)
+            design.add_net(DesignNet(name=f"n{net_index}", driver=driver,
+                                     loads=tuple(sorted(loads))))
+            net_index += 1
+    design.validate()
+    return design

@@ -1,0 +1,164 @@
+"""Static timing analysis over routed interconnect.
+
+Arrival times propagate topologically: a gate's output arrival is the
+max over its input pins of (driving gate's arrival + driving gate's
+intrinsic delay + routed net delay to that pin). Net delays come from
+*actual routed topologies* evaluated by any of the library's delay
+models, with the driving cell's drive resistance and the worst load pin's
+input capacitance substituted into the interconnect technology — so the
+router's choices flow straight into the timing numbers, which is the
+whole point of timing-driven routing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable
+
+from repro.delay.models import DelayModel, get_delay_model
+from repro.delay.parameters import Technology
+from repro.geometry.net import Net
+from repro.graph.routing_graph import RoutingGraph
+from repro.timing.design import Design, DesignNet
+
+#: A router maps a geometry net to a routing topology.
+Router = Callable[[Net], RoutingGraph]
+
+
+@dataclass
+class TimingReport:
+    """The result of one STA pass.
+
+    Attributes:
+        arrivals: instance → output arrival time (s).
+        net_sink_delays: net name → {load instance → routed delay (s)}.
+        routings: net name → the routing graph used.
+        clock_period: the target period the slack numbers refer to (s).
+    """
+
+    arrivals: dict[str, float]
+    net_sink_delays: dict[str, dict[str, float]]
+    routings: dict[str, RoutingGraph]
+    clock_period: float
+
+    @property
+    def max_arrival(self) -> float:
+        """The design's longest path delay (critical path arrival)."""
+        return max(self.arrivals.values())
+
+    @property
+    def worst_slack(self) -> float:
+        """WNS = clock period − critical arrival."""
+        return self.clock_period - self.max_arrival
+
+    def total_negative_slack(self, design: Design) -> float:
+        """TNS over timing endpoints (instances with no fanout)."""
+        endpoints = [name for name in design.instances
+                     if not design.fanout_nets(name)]
+        return sum(min(0.0, self.clock_period - self.arrivals[name])
+                   for name in endpoints)
+
+    def critical_path(self, design: Design) -> list[str]:
+        """Instances along the longest path, source first."""
+        end = max(self.arrivals, key=self.arrivals.get)
+        path = [end]
+        while True:
+            node = path[-1]
+            fanins = design.fanin_nets(node)
+            if not fanins:
+                break
+            best = max(
+                (net for net in fanins),
+                key=lambda net: (self.arrivals[net.driver]
+                                 + design.instances[net.driver].gate.intrinsic_delay
+                                 + self.net_sink_delays[net.name][node]))
+            path.append(best.driver)
+        path.reverse()
+        return path
+
+
+def net_technology(base: Technology, design: Design,
+                   net: DesignNet) -> Technology:
+    """Interconnect technology specialized to one net's driver and loads.
+
+    The driver resistance becomes the driving cell's; the sink load
+    becomes the worst (largest) input capacitance among the net's load
+    pins — a standard pessimistic simplification for uniform-load models.
+    """
+    driver_gate = design.instances[net.driver].gate
+    worst_load = max(design.instances[load].gate.input_capacitance
+                     for load in net.loads)
+    return replace(base, driver_resistance=driver_gate.drive_resistance,
+                   sink_capacitance=worst_load)
+
+
+def analyze(design: Design, tech: Technology, router,
+            delay_model: str | DelayModel = "elmore",
+            clock_period: float = 5e-9,
+            routings: dict[str, RoutingGraph] | None = None) -> TimingReport:
+    """One STA pass over the design.
+
+    Args:
+        design: the placed design.
+        tech: base interconnect technology (Table 1).
+        router: callable ``Net -> RoutingGraph``; ignored for nets already
+            present in ``routings``.
+        delay_model: spec for the net-delay oracle; the oracle is rebuilt
+            per net because each net sees its own driver/load technology.
+        clock_period: target period for the slack figures.
+        routings: optional pre-routed topologies to reuse (the iterative
+            flow re-routes only critical nets and keeps the rest).
+    """
+    design.validate()
+    fixed = dict(routings) if routings else {}
+    net_sink_delays: dict[str, dict[str, float]] = {}
+    graphs: dict[str, RoutingGraph] = {}
+    for net_name, net in design.nets.items():
+        local_tech = net_technology(tech, design, net)
+        geometry = design.geometry_of(net_name)
+        graph = fixed.get(net_name)
+        if graph is None:
+            graph = router(geometry)
+        graphs[net_name] = graph
+        oracle = get_delay_model(delay_model, local_tech)
+        sink_delays = oracle.delays(graph)
+        net_sink_delays[net_name] = {
+            load: sink_delays[i + 1] for i, load in enumerate(net.loads)}
+
+    arrivals: dict[str, float] = {}
+    for name in design.topological_order():
+        fanins = design.fanin_nets(name)
+        if not fanins:
+            arrivals[name] = design.instances[name].gate.intrinsic_delay
+            continue
+        arrivals[name] = max(
+            arrivals[net.driver]
+            + design.instances[net.driver].gate.intrinsic_delay
+            + net_sink_delays[net.name][name]
+            for net in fanins)
+    return TimingReport(arrivals=arrivals, net_sink_delays=net_sink_delays,
+                        routings=graphs, clock_period=clock_period)
+
+
+def sink_criticalities(design: Design, report: TimingReport,
+                       net_name: str) -> dict[int, float]:
+    """CSORG criticalities for one net, from the STA's downstream view.
+
+    Each load pin's weight is how close the path *through that pin* comes
+    to the design's critical arrival, clipped at zero and normalized so
+    the worst pin has weight 1 — precisely the "timing information
+    obtained during the performance-driven placement phase" of
+    Section 5.1.
+    """
+    net = design.nets[net_name]
+    worst = report.max_arrival
+    if worst <= 0:
+        raise ValueError("degenerate timing report: non-positive arrival")
+    downstream = {}
+    for i, load in enumerate(net.loads, start=1):
+        through = report.arrivals[load]
+        downstream[i] = max(0.0, 1.0 - (worst - through) / worst)
+    top = max(downstream.values())
+    if top <= 0:
+        return {i: 1.0 for i in downstream}
+    return {i: value / top for i, value in downstream.items()}

@@ -1,0 +1,11 @@
+"""Pure-Python SVG rendering: routing graphs and transient waveforms."""
+
+from repro.viz.svg import render_routing_svg, save_routing_svg
+from repro.viz.waveforms import render_waveforms_svg, save_waveforms_svg
+
+__all__ = [
+    "render_routing_svg",
+    "render_waveforms_svg",
+    "save_routing_svg",
+    "save_waveforms_svg",
+]

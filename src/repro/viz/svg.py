@@ -1,0 +1,107 @@
+"""Render routing graphs to SVG — no plotting dependency needed.
+
+Matches the visual conventions of the paper's figures: pins are dots, the
+source is a larger filled square, Steiner points are small hollow squares,
+and edges added by the non-tree algorithms are highlighted. Wires are
+drawn as rectilinear elbows (horizontal then vertical), the shape a
+Manhattan router would actually produce.
+"""
+
+from __future__ import annotations
+
+from repro.graph.routing_graph import RoutingGraph
+
+_CANVAS = 640.0
+_MARGIN = 40.0
+_STYLE = {
+    "wire": "stroke:#1f3b57;stroke-width:2;fill:none",
+    "added": "stroke:#c0392b;stroke-width:2.5;fill:none;stroke-dasharray:7,4",
+    "pin": "fill:#1f3b57",
+    "source": "fill:#c0392b",
+    "steiner": "fill:#ffffff;stroke:#1f3b57;stroke-width:1.5",
+    "label": "font-family:sans-serif;font-size:12px;fill:#444444",
+}
+
+
+def render_routing_svg(graph: RoutingGraph,
+                       highlight_edges: list[tuple[int, int]] | None = None,
+                       title: str | None = None,
+                       node_labels: bool = False) -> str:
+    """The routing graph as an SVG document string.
+
+    Args:
+        graph: the routing to draw.
+        highlight_edges: edges to draw in the "added wire" style (e.g.
+            ``result.history`` edges from LDRG).
+        title: optional caption rendered at the top.
+        node_labels: annotate nodes with their indices.
+    """
+    positions = graph.positions()
+    xs = [p.x for p in positions.values()]
+    ys = [p.y for p in positions.values()]
+    span = max(max(xs) - min(xs), max(ys) - min(ys), 1.0)
+    scale = (_CANVAS - 2 * _MARGIN) / span
+    x0, y0 = min(xs), min(ys)
+
+    def to_canvas(node: int) -> tuple[float, float]:
+        p = positions[node]
+        # SVG's y axis points down; flip so the layout reads like a die plot.
+        return (_MARGIN + (p.x - x0) * scale,
+                _CANVAS - _MARGIN - (p.y - y0) * scale)
+
+    highlighted = {_canonical(e) for e in (highlight_edges or [])}
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{_CANVAS:.0f}" '
+        f'height="{_CANVAS:.0f}" viewBox="0 0 {_CANVAS:.0f} {_CANVAS:.0f}">',
+        f'<rect width="{_CANVAS:.0f}" height="{_CANVAS:.0f}" fill="#fbfaf7"/>',
+    ]
+    if title:
+        parts.append(f'<text x="{_MARGIN}" y="24" style="{_STYLE["label"]}">'
+                     f'{_escape(title)}</text>')
+
+    for u, v in graph.edges():
+        ux, uy = to_canvas(u)
+        vx, vy = to_canvas(v)
+        style = _STYLE["added"] if _canonical((u, v)) in highlighted else _STYLE["wire"]
+        # Rectilinear elbow: horizontal run from u, then vertical into v.
+        parts.append(f'<path d="M {ux:.1f} {uy:.1f} L {vx:.1f} {uy:.1f} '
+                     f'L {vx:.1f} {vy:.1f}" style="{style}"/>')
+
+    for node in graph.nodes():
+        cx, cy = to_canvas(node)
+        if node == graph.source:
+            parts.append(f'<rect x="{cx - 6:.1f}" y="{cy - 6:.1f}" width="12" '
+                         f'height="12" style="{_STYLE["source"]}"/>')
+        elif graph.is_steiner(node):
+            parts.append(f'<rect x="{cx - 4:.1f}" y="{cy - 4:.1f}" width="8" '
+                         f'height="8" style="{_STYLE["steiner"]}"/>')
+        else:
+            parts.append(f'<circle cx="{cx:.1f}" cy="{cy:.1f}" r="5" '
+                         f'style="{_STYLE["pin"]}"/>')
+        if node_labels:
+            parts.append(f'<text x="{cx + 8:.1f}" y="{cy - 8:.1f}" '
+                         f'style="{_STYLE["label"]}">{node}</text>')
+
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def save_routing_svg(graph: RoutingGraph, path: str,
+                     highlight_edges: list[tuple[int, int]] | None = None,
+                     title: str | None = None,
+                     node_labels: bool = False) -> str:
+    """Render and write the SVG to ``path``; returns the path."""
+    svg = render_routing_svg(graph, highlight_edges, title, node_labels)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(svg)
+    return path
+
+
+def _canonical(edge: tuple[int, int]) -> tuple[int, int]:
+    u, v = edge
+    return (u, v) if u < v else (v, u)
+
+
+def _escape(text: str) -> str:
+    return (text.replace("&", "&amp;").replace("<", "&lt;")
+            .replace(">", "&gt;"))

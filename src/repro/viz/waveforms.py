@@ -1,0 +1,113 @@
+"""SVG line charts of transient waveforms.
+
+Companion to the routing renderer: lets the examples and experiment
+reports show the actual voltage curves behind a 50%-delay number (e.g.
+the far sink of an MST vs its non-tree routing) without any plotting
+dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+_WIDTH = 720.0
+_HEIGHT = 420.0
+_MARGIN = 56.0
+_COLORS = ("#1f3b57", "#c0392b", "#1e8449", "#7d3c98", "#b7950b", "#2471a3")
+_STYLE_AXIS = "stroke:#666666;stroke-width:1"
+_STYLE_GRID = "stroke:#dddddd;stroke-width:1"
+_STYLE_TEXT = "font-family:sans-serif;font-size:12px;fill:#444444"
+
+
+def render_waveforms_svg(times: Sequence[float],
+                         waveforms: Mapping[str, Sequence[float]],
+                         title: str | None = None,
+                         threshold: float | None = None) -> str:
+    """Render labelled waveforms over a shared time axis as SVG.
+
+    Args:
+        times: sample times (seconds), ascending.
+        waveforms: label → values, each the same length as ``times``.
+        title: optional caption.
+        threshold: optional horizontal marker (e.g. 0.5 for the 50%
+            crossing level the paper measures).
+    """
+    if len(times) < 2:
+        raise ValueError("need at least two timepoints")
+    if not waveforms:
+        raise ValueError("no waveforms given")
+    for label, values in waveforms.items():
+        if len(values) != len(times):
+            raise ValueError(f"waveform {label!r} length mismatch")
+
+    t_lo, t_hi = float(times[0]), float(times[-1])
+    v_lo = min(min(values) for values in waveforms.values())
+    v_hi = max(max(values) for values in waveforms.values())
+    if threshold is not None:
+        v_lo, v_hi = min(v_lo, threshold), max(v_hi, threshold)
+    v_span = (v_hi - v_lo) or 1.0
+    t_span = (t_hi - t_lo) or 1.0
+
+    def to_x(t: float) -> float:
+        return _MARGIN + (t - t_lo) / t_span * (_WIDTH - 2 * _MARGIN)
+
+    def to_y(v: float) -> float:
+        return _HEIGHT - _MARGIN - (v - v_lo) / v_span * (_HEIGHT - 2 * _MARGIN)
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{_WIDTH:.0f}" '
+        f'height="{_HEIGHT:.0f}" viewBox="0 0 {_WIDTH:.0f} {_HEIGHT:.0f}">',
+        f'<rect width="{_WIDTH:.0f}" height="{_HEIGHT:.0f}" fill="#fbfaf7"/>',
+    ]
+    if title:
+        parts.append(f'<text x="{_MARGIN}" y="24" style="{_STYLE_TEXT}">'
+                     f'{_escape(title)}</text>')
+
+    # Axes and time gridlines with nanosecond labels.
+    parts.append(f'<line x1="{_MARGIN}" y1="{to_y(v_lo)}" x2="{to_x(t_hi)}" '
+                 f'y2="{to_y(v_lo)}" style="{_STYLE_AXIS}"/>')
+    parts.append(f'<line x1="{_MARGIN}" y1="{to_y(v_lo)}" x2="{_MARGIN}" '
+                 f'y2="{to_y(v_hi)}" style="{_STYLE_AXIS}"/>')
+    for i in range(5):
+        t = t_lo + t_span * i / 4
+        x = to_x(t)
+        parts.append(f'<line x1="{x:.1f}" y1="{to_y(v_lo):.1f}" '
+                     f'x2="{x:.1f}" y2="{to_y(v_hi):.1f}" '
+                     f'style="{_STYLE_GRID}"/>')
+        parts.append(f'<text x="{x - 14:.1f}" y="{to_y(v_lo) + 18:.1f}" '
+                     f'style="{_STYLE_TEXT}">{t * 1e9:.2f}ns</text>')
+
+    if threshold is not None:
+        y = to_y(threshold)
+        parts.append(f'<line x1="{_MARGIN}" y1="{y:.1f}" x2="{to_x(t_hi):.1f}" '
+                     f'y2="{y:.1f}" style="stroke:#999999;stroke-width:1;'
+                     f'stroke-dasharray:5,4"/>')
+        parts.append(f'<text x="{to_x(t_hi) - 36:.1f}" y="{y - 5:.1f}" '
+                     f'style="{_STYLE_TEXT}">{threshold:g}V</text>')
+
+    for k, (label, values) in enumerate(waveforms.items()):
+        color = _COLORS[k % len(_COLORS)]
+        pts = " ".join(f"{to_x(float(t)):.1f},{to_y(float(v)):.1f}"
+                       for t, v in zip(times, values))
+        parts.append(f'<polyline points="{pts}" '
+                     f'style="fill:none;stroke:{color};stroke-width:2"/>')
+        parts.append(f'<text x="{_WIDTH - _MARGIN - 140:.1f}" '
+                     f'y="{28 + 16 * k:.1f}" style="{_STYLE_TEXT};'
+                     f'fill:{color}">{_escape(label)}</text>')
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def save_waveforms_svg(times, waveforms, path: str,
+                       title: str | None = None,
+                       threshold: float | None = None) -> str:
+    """Render and write to ``path``; returns the path."""
+    svg = render_waveforms_svg(times, waveforms, title, threshold)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(svg)
+    return path
+
+
+def _escape(text: str) -> str:
+    return (text.replace("&", "&amp;").replace("<", "&lt;")
+            .replace(">", "&gt;"))

@@ -1,0 +1,120 @@
+"""Unit tests for AC analysis against closed-form frequency responses."""
+
+import numpy as np
+import pytest
+
+from repro.circuit.ac import ac_analysis
+from repro.circuit.netlist import GROUND, Circuit, CircuitError
+from repro.circuit.waveform import Step
+
+
+def rc_lowpass(r=1e3, c=1e-12) -> Circuit:
+    ckt = Circuit("lp")
+    ckt.add_voltage_source("vin", "in", GROUND, Step())
+    ckt.add_resistor("r1", "in", "out", r)
+    ckt.add_capacitor("c1", "out", GROUND, c)
+    return ckt
+
+
+class TestRCLowpass:
+    def test_magnitude_matches_transfer_function(self):
+        r, c = 1e3, 1e-12
+        result = ac_analysis(rc_lowpass(r, c), 1e6, 1e12)
+        expected = 1.0 / np.sqrt(
+            1.0 + (2 * np.pi * result.frequencies * r * c) ** 2)
+        assert np.allclose(result.magnitude("out"), expected, rtol=1e-9)
+
+    def test_corner_at_one_over_2pi_rc(self):
+        r, c = 1e3, 1e-12
+        result = ac_analysis(rc_lowpass(r, c), 1e6, 1e12,
+                             points_per_decade=60)
+        corner = result.corner_frequency("out")
+        assert corner == pytest.approx(1.0 / (2 * np.pi * r * c), rel=0.01)
+
+    def test_phase_approaches_minus_90_degrees(self):
+        result = ac_analysis(rc_lowpass(), 1e6, 1e13)
+        phase = result.phase("out")
+        assert phase[0] == pytest.approx(0.0, abs=0.01)
+        assert phase[-1] == pytest.approx(-np.pi / 2, abs=0.05)
+
+    def test_dc_end_is_unity(self):
+        result = ac_analysis(rc_lowpass(), 1e3, 1e6)
+        assert result.magnitude("out")[0] == pytest.approx(1.0, rel=1e-6)
+        assert result.magnitude_db("out")[0] == pytest.approx(0.0, abs=1e-4)
+
+    def test_input_node_is_flat(self):
+        result = ac_analysis(rc_lowpass(), 1e6, 1e12)
+        assert np.allclose(result.magnitude("in"), 1.0)
+
+    def test_ground_is_zero(self):
+        result = ac_analysis(rc_lowpass(), 1e6, 1e9)
+        assert not result.voltage("0").any()
+
+
+class TestRLCResonance:
+    def test_peak_near_resonant_frequency(self):
+        r, ell, c = 1.0, 1e-9, 1e-12
+        ckt = Circuit()
+        ckt.add_voltage_source("vin", "in", GROUND, Step())
+        ckt.add_resistor("r1", "in", "a", r)
+        ckt.add_inductor("l1", "a", "out", ell)
+        ckt.add_capacitor("c1", "out", GROUND, c)
+        f0 = 1.0 / (2 * np.pi * np.sqrt(ell * c))
+        result = ac_analysis(ckt, f0 / 100, f0 * 100, points_per_decade=80)
+        mag = result.magnitude("out")
+        peak_f = result.frequencies[int(np.argmax(mag))]
+        assert peak_f == pytest.approx(f0, rel=0.05)
+        # Q = (1/R) sqrt(L/C) ~ 31: a strong peak.
+        assert mag.max() > 10.0
+
+
+class TestValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"f_start": 0.0, "f_stop": 1e9},
+        {"f_start": 1e9, "f_stop": 1e6},
+        {"f_start": 1e6, "f_stop": 1e9, "points_per_decade": 0},
+    ])
+    def test_bad_sweep_arguments(self, kwargs):
+        with pytest.raises(ValueError):
+            ac_analysis(rc_lowpass(), **kwargs)
+
+    def test_sourceless_circuit_rejected(self):
+        ckt = Circuit()
+        ckt.add_resistor("r1", "a", GROUND, 1e3)
+        ckt.add_capacitor("c1", "a", GROUND, 1e-12)
+        ckt.add_voltage_source("vz", "a", GROUND, 0.0)
+        with pytest.raises(CircuitError, match="nonzero source"):
+            ac_analysis(ckt, 1e6, 1e9)
+
+    def test_corner_none_when_sweep_too_short(self):
+        result = ac_analysis(rc_lowpass(), 1e3, 1e4)  # far below corner
+        assert result.corner_frequency("out") is None
+
+
+class TestConsistencyWithOtherEngines:
+    def test_corner_matches_elmore_timescale(self, tech, mst10):
+        """The routing's dominant AC corner sits at ~1/(2π·τ_dominant),
+        with τ_dominant between the critical sink's Elmore delay and the
+        slowest natural time constant — consistency across the moment,
+        eigenvalue, and frequency views."""
+        from repro.circuit.analytic import AnalyticRC
+        from repro.delay.rc_builder import (
+            build_interconnect_circuit,
+            build_reduced_rc,
+            node_label,
+        )
+        from repro.delay.elmore_graph import graph_elmore_delays
+
+        elmore = graph_elmore_delays(mst10, tech)
+        worst = max((s for s in range(1, 10)), key=elmore.get)
+        circuit = build_interconnect_circuit(mst10, tech, segments=1)
+        f_guess = 1.0 / (2 * np.pi * elmore[worst])
+        result = ac_analysis(circuit, f_guess / 1000, f_guess * 1000,
+                             points_per_decade=40)
+        corner = result.corner_frequency(node_label(worst))
+        assert corner is not None
+        tau_corner = 1.0 / (2 * np.pi * corner)
+        slowest = AnalyticRC(
+            build_reduced_rc(mst10, tech, segments=1)).time_constants[0]
+        assert 0.3 * tau_corner <= elmore[worst]
+        assert tau_corner <= slowest * 1.5

@@ -1,0 +1,126 @@
+"""The exact analytic RC solver vs closed forms and the MNA transient."""
+
+import numpy as np
+import pytest
+
+from repro.circuit.analytic import AnalyticRC, ReducedRC
+
+
+def single_rc(r=1e3, c=1e-12, rd=0.0) -> ReducedRC:
+    """Driver (rd ignored here) -> R -> C to ground, one node: the input
+    resistor doubles as driver, so G = 1/r, cap = c, b = 1/r."""
+    g = 1.0 / r
+    return ReducedRC(G=np.array([[g]]), c=np.array([c]),
+                     b=np.array([g]), labels=["out"])
+
+
+def two_node_ladder(r1=1e3, c1=1e-12, r2=2e3, c2=2e-12) -> ReducedRC:
+    """in --r1-- a --r2-- b with caps to ground; driven by unit step at in
+    through r1 (r1 acts as the driver resistance)."""
+    g1, g2 = 1.0 / r1, 1.0 / r2
+    G = np.array([[g1 + g2, -g2], [-g2, g2]])
+    return ReducedRC(G=G, c=np.array([c1, c2]), b=np.array([g1, 0.0]),
+                     labels=["a", "b"])
+
+
+class TestReducedRCValidation:
+    def test_rejects_zero_capacitance(self):
+        with pytest.raises(ValueError, match="positive capacitance"):
+            ReducedRC(G=np.eye(1), c=np.array([0.0]), b=np.array([1.0]))
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError, match="match"):
+            ReducedRC(G=np.eye(2), c=np.array([1.0]), b=np.array([1.0, 1.0]))
+
+    def test_rejects_wrong_label_count(self):
+        with pytest.raises(ValueError, match="labels"):
+            ReducedRC(G=np.eye(1), c=np.array([1.0]), b=np.array([1.0]),
+                      labels=["a", "b"])
+
+    def test_row_lookup(self):
+        sys = two_node_ladder()
+        assert sys.row("b") == 1
+        with pytest.raises(KeyError):
+            sys.row("zz")
+
+
+class TestSingleRC:
+    def test_final_value_is_one(self):
+        sol = AnalyticRC(single_rc())
+        assert sol.v_inf[0] == pytest.approx(1.0)
+
+    def test_waveform_is_exponential(self):
+        r, c = 1e3, 1e-12
+        sol = AnalyticRC(single_rc(r, c))
+        times = np.linspace(0, 5 * r * c, 50)
+        expected = 1.0 - np.exp(-times / (r * c))
+        assert np.allclose(sol.voltage("out", times), expected, atol=1e-12)
+
+    def test_elmore_equals_rc(self):
+        r, c = 1e3, 1e-12
+        sys = single_rc(r, c)
+        assert sys.elmore()[0] == pytest.approx(r * c)
+
+    def test_50pct_crossing_is_rc_ln2(self):
+        r, c = 1e3, 1e-12
+        sol = AnalyticRC(single_rc(r, c))
+        assert sol.crossing_time("out", 0.5) == pytest.approx(
+            r * c * np.log(2.0), rel=1e-9)
+
+    def test_time_constants(self):
+        r, c = 1e3, 1e-12
+        sol = AnalyticRC(single_rc(r, c))
+        assert sol.time_constants[0] == pytest.approx(r * c)
+
+
+class TestLadder:
+    def test_elmore_matches_hand_formula(self):
+        r1, c1, r2, c2 = 1e3, 1e-12, 2e3, 2e-12
+        sys = two_node_ladder(r1, c1, r2, c2)
+        elmore = sys.elmore()
+        assert elmore[0] == pytest.approx(r1 * (c1 + c2))
+        assert elmore[1] == pytest.approx(r1 * (c1 + c2) + r2 * c2)
+
+    def test_voltages_at_zero_and_infinity(self):
+        sol = AnalyticRC(two_node_ladder())
+        v0 = sol.voltages(0.0)
+        assert np.allclose(v0, 0.0, atol=1e-9)
+        far = sol.voltages(1.0)  # one full second: forever for ns circuits
+        assert np.allclose(far, 1.0, atol=1e-9)
+
+    def test_downstream_node_lags(self):
+        sol = AnalyticRC(two_node_ladder())
+        t_a = sol.crossing_time("a", 0.5)
+        t_b = sol.crossing_time("b", 0.5)
+        assert t_b > t_a
+
+    def test_batched_crossings_match_scalar(self):
+        sol = AnalyticRC(two_node_ladder())
+        batched = sol.crossing_times(["a", "b"], np.array([0.5, 0.5]))
+        assert batched[0] == pytest.approx(sol.crossing_time("a", 0.5), rel=1e-9)
+        assert batched[1] == pytest.approx(sol.crossing_time("b", 0.5), rel=1e-9)
+
+    def test_higher_threshold_is_later(self):
+        sol = AnalyticRC(two_node_ladder())
+        t_lo, t_hi = sol.crossing_times(["b", "b"], np.array([0.3, 0.9]))
+        assert t_hi > t_lo
+
+    def test_threshold_above_settle_raises(self):
+        sol = AnalyticRC(two_node_ladder())
+        with pytest.raises(ValueError, match="settle below"):
+            sol.crossing_times(["b"], np.array([1.5]))
+
+    def test_mismatched_thresholds_raise(self):
+        sol = AnalyticRC(two_node_ladder())
+        with pytest.raises(ValueError, match="one threshold per label"):
+            sol.crossing_times(["a", "b"], np.array([0.5]))
+
+
+class TestStability:
+    def test_unstable_system_rejected(self):
+        # No driver conductance: pure Laplacian is singular (lambda = 0).
+        G = np.array([[1.0, -1.0], [-1.0, 1.0]])
+        sys = ReducedRC(G=G, c=np.array([1e-12, 1e-12]),
+                        b=np.array([0.0, 0.0]), labels=["a", "b"])
+        with pytest.raises((ValueError, np.linalg.LinAlgError)):
+            AnalyticRC(sys)

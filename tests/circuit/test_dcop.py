@@ -1,0 +1,83 @@
+"""Unit tests for the DC operating point against hand-solved circuits."""
+
+import pytest
+
+from repro.circuit.dcop import dc_operating_point
+from repro.circuit.netlist import GROUND, Circuit
+
+
+class TestVoltageDividers:
+    def test_equal_divider(self):
+        ckt = Circuit()
+        ckt.add_voltage_source("v1", "in", GROUND, 10.0)
+        ckt.add_resistor("r1", "in", "mid", 1e3)
+        ckt.add_resistor("r2", "mid", GROUND, 1e3)
+        v = dc_operating_point(ckt)
+        assert v["mid"] == pytest.approx(5.0)
+        assert v["in"] == pytest.approx(10.0)
+        assert v["0"] == 0.0
+
+    def test_unequal_divider(self):
+        ckt = Circuit()
+        ckt.add_voltage_source("v1", "in", GROUND, 9.0)
+        ckt.add_resistor("r1", "in", "mid", 2e3)
+        ckt.add_resistor("r2", "mid", GROUND, 1e3)
+        assert dc_operating_point(ckt)["mid"] == pytest.approx(3.0)
+
+
+class TestSourceTypes:
+    def test_current_source_into_resistor(self):
+        ckt = Circuit()
+        ckt.add_current_source("i1", GROUND, "a", 2e-3)
+        ckt.add_resistor("r1", "a", GROUND, 500.0)
+        assert dc_operating_point(ckt)["a"] == pytest.approx(1.0)
+
+    def test_superposition_of_two_sources(self):
+        # Two current sources into one resistor add linearly.
+        ckt = Circuit()
+        ckt.add_current_source("i1", GROUND, "a", 1e-3)
+        ckt.add_current_source("i2", GROUND, "a", 2e-3)
+        ckt.add_resistor("r1", "a", GROUND, 1e3)
+        assert dc_operating_point(ckt)["a"] == pytest.approx(3.0)
+
+
+class TestReactiveElementsAtDC:
+    def test_capacitor_is_open(self):
+        # No DC path through the cap: the divider output is unloaded.
+        ckt = Circuit()
+        ckt.add_voltage_source("v1", "in", GROUND, 4.0)
+        ckt.add_resistor("r1", "in", "mid", 1e3)
+        ckt.add_resistor("r2", "mid", GROUND, 1e3)
+        ckt.add_capacitor("c1", "mid", "float", 1e-12)
+        ckt.add_resistor("r3", "float", GROUND, 1e3)
+        v = dc_operating_point(ckt)
+        assert v["mid"] == pytest.approx(2.0)
+        assert v["float"] == pytest.approx(0.0, abs=1e-6)
+
+    def test_inductor_is_short(self):
+        ckt = Circuit()
+        ckt.add_voltage_source("v1", "in", GROUND, 3.0)
+        ckt.add_inductor("l1", "in", "out", 1e-9)
+        ckt.add_resistor("r1", "out", GROUND, 1e3)
+        v = dc_operating_point(ckt)
+        assert v["out"] == pytest.approx(3.0)
+
+    def test_floating_cap_node_is_regularized(self):
+        # A node touching only capacitors would make G singular; GMIN
+        # pins it instead of crashing.
+        ckt = Circuit()
+        ckt.add_voltage_source("v1", "in", GROUND, 1.0)
+        ckt.add_capacitor("c1", "in", "island", 1e-12)
+        ckt.add_capacitor("c2", "island", GROUND, 1e-12)
+        v = dc_operating_point(ckt)
+        assert "island" in v  # solvable, value finite
+        assert abs(v["island"]) < 10.0
+
+    def test_time_dependent_source_sampled(self):
+        from repro.circuit.waveform import Step
+
+        ckt = Circuit()
+        ckt.add_voltage_source("v1", "in", GROUND, Step(delay=5.0))
+        ckt.add_resistor("r1", "in", GROUND, 1.0)
+        assert dc_operating_point(ckt, t=0.0)["in"] == pytest.approx(0.0, abs=1e-9)
+        assert dc_operating_point(ckt, t=10.0)["in"] == pytest.approx(1.0)

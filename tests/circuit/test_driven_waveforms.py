@@ -1,0 +1,97 @@
+"""Transient analysis driven by non-step waveforms (PWL, pulse, ramps).
+
+The paper's decks use ideal steps, but a simulator that only handles
+steps is not a simulator. These tests drive RC loads with ramps and
+pulses and check against hand-derivable behaviour.
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuit.measure import threshold_crossing
+from repro.circuit.netlist import GROUND, Circuit
+from repro.circuit.transient import transient
+from repro.circuit.waveform import PWL, Pulse, Step
+
+
+def rc_with_source(waveform, r=1e3, c=1e-12) -> Circuit:
+    ckt = Circuit()
+    ckt.add_voltage_source("vin", "in", GROUND, waveform)
+    ckt.add_resistor("r1", "in", "out", r)
+    ckt.add_capacitor("c1", "out", GROUND, c)
+    return ckt
+
+
+class TestRampDrive:
+    def test_slow_ramp_output_tracks_input(self):
+        """For a ramp much slower than tau, the output follows the input
+        with a lag of ~tau."""
+        r, c = 1e3, 1e-12
+        tau = r * c
+        ramp = Step(rise=100 * tau)
+        result = transient(rc_with_source(ramp, r, c),
+                           t_stop=200 * tau, num_steps=4000)
+        out = result.voltage("out")
+        vin = np.array([ramp.value(t) for t in result.times])
+        mid = slice(1000, 1900)  # well inside the ramp
+        lag = vin[mid] - out[mid]
+        expected_lag = tau / (100 * tau)  # dV/dt * tau in volts
+        assert np.allclose(lag, expected_lag, atol=expected_lag * 0.2)
+
+    def test_ramp_delays_crossing_by_half_rise(self):
+        """A finite input rise shifts the 50% output crossing by about
+        half the rise time (for rise >> tau)."""
+        r, c = 1e3, 1e-12
+        tau = r * c
+        ideal = transient(rc_with_source(Step(), r, c),
+                          t_stop=20 * tau, num_steps=2000)
+        t_ideal = threshold_crossing(ideal.times, ideal.voltage("out"), 0.5)
+        rise = 10 * tau
+        ramped = transient(rc_with_source(Step(rise=rise), r, c),
+                           t_stop=40 * tau, num_steps=4000)
+        t_ramped = threshold_crossing(ramped.times, ramped.voltage("out"),
+                                      0.5)
+        assert t_ramped - t_ideal == pytest.approx(rise / 2, rel=0.15)
+
+
+class TestPulseDrive:
+    def test_short_pulse_charges_then_discharges(self):
+        r, c = 1e3, 1e-12
+        tau = r * c
+        pulse = Pulse(v0=0, v1=1, delay=0, rise=0, fall=0,
+                      width=3 * tau, period=20 * tau)
+        result = transient(rc_with_source(pulse, r, c),
+                           t_stop=10 * tau, num_steps=4000)
+        out = result.voltage("out")
+        peak = out.max()
+        assert peak == pytest.approx(1 - np.exp(-3.0), rel=0.02)
+        # After the pulse the cap discharges toward zero.
+        assert out[-1] < 0.1
+
+    def test_periodic_pulse_reaches_steady_oscillation(self):
+        r, c = 1e3, 1e-12
+        tau = r * c
+        pulse = Pulse(v0=0, v1=1, delay=0, rise=0, fall=0,
+                      width=5 * tau, period=10 * tau)
+        result = transient(rc_with_source(pulse, r, c),
+                           t_stop=100 * tau, num_steps=8000)
+        out = result.voltage("out")
+        # Sample the last two periods: the waveform has become periodic.
+        steps_per_period = 800
+        last = out[-steps_per_period:]
+        prev = out[-2 * steps_per_period:-steps_per_period]
+        assert np.allclose(last, prev, atol=5e-3)
+
+
+class TestPwlDrive:
+    def test_staircase_settles_between_steps(self):
+        r, c = 1e3, 1e-12
+        tau = r * c
+        wave = PWL([(0.0, 0.0), (1e-15, 0.5),
+                    (20 * tau, 0.5), (20 * tau + 1e-15, 1.0)])
+        result = transient(rc_with_source(wave, r, c),
+                           t_stop=40 * tau, num_steps=4000)
+        out = result.voltage("out")
+        halfway = out[len(out) // 2 - 50]
+        assert halfway == pytest.approx(0.5, abs=0.01)
+        assert out[-1] == pytest.approx(1.0, abs=0.01)

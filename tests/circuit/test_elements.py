@@ -1,0 +1,63 @@
+"""Unit tests for circuit elements."""
+
+import pytest
+
+from repro.circuit.elements import (
+    Capacitor,
+    CurrentSource,
+    Inductor,
+    Resistor,
+    VoltageSource,
+)
+from repro.circuit.waveform import DC, Step
+
+
+class TestResistor:
+    def test_conductance(self):
+        assert Resistor("r1", "a", "b", 50.0).conductance == pytest.approx(0.02)
+
+    @pytest.mark.parametrize("bad", [0.0, -5.0])
+    def test_rejects_non_positive(self, bad):
+        with pytest.raises(ValueError, match="non-positive"):
+            Resistor("r1", "a", "b", bad)
+
+
+class TestCapacitor:
+    def test_defaults(self):
+        cap = Capacitor("c1", "a", "0", 1e-12)
+        assert cap.ic == 0.0
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            Capacitor("c1", "a", "0", 0.0)
+
+
+class TestInductor:
+    def test_initial_current(self):
+        ind = Inductor("l1", "a", "b", 1e-9, ic=0.5)
+        assert ind.ic == 0.5
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            Inductor("l1", "a", "b", -1e-9)
+
+
+class TestSources:
+    def test_numeric_waveform_becomes_dc(self):
+        src = VoltageSource("v1", "a", "0", 3.3)
+        assert isinstance(src.waveform, DC)
+        assert src.value(0.0) == 3.3
+
+    def test_waveform_passthrough(self):
+        src = VoltageSource("v1", "a", "0", Step(delay=1.0))
+        assert src.value(0.5) == 0.0
+        assert src.value(2.0) == 1.0
+
+    def test_current_source_value(self):
+        src = CurrentSource("i1", "a", "0", 1e-3)
+        assert src.value(10.0) == 1e-3
+
+    def test_elements_are_immutable(self):
+        src = VoltageSource("v1", "a", "0", 1.0)
+        with pytest.raises(AttributeError):
+            src.pos = "b"

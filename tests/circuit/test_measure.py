@@ -1,0 +1,107 @@
+"""Unit tests for waveform measurements."""
+
+import numpy as np
+import pytest
+
+from repro.circuit.measure import (
+    delay_to_fraction,
+    rise_time,
+    threshold_crossing,
+)
+
+
+class TestThresholdCrossing:
+    def test_exact_interpolation_on_ramp(self):
+        times = np.array([0.0, 1.0, 2.0])
+        values = np.array([0.0, 1.0, 2.0])
+        assert threshold_crossing(times, values, 0.5) == pytest.approx(0.5)
+        assert threshold_crossing(times, values, 1.5) == pytest.approx(1.5)
+
+    def test_sample_exactly_at_threshold(self):
+        times = np.array([0.0, 1.0])
+        values = np.array([0.0, 1.0])
+        assert threshold_crossing(times, values, 1.0) == pytest.approx(1.0)
+
+    def test_never_crossing_returns_none(self):
+        times = np.linspace(0, 1, 5)
+        values = np.zeros(5)
+        assert threshold_crossing(times, values, 0.5) is None
+
+    def test_starts_above_returns_first_time(self):
+        times = np.array([2.0, 3.0])
+        values = np.array([0.9, 1.0])
+        assert threshold_crossing(times, values, 0.5) == 2.0
+
+    def test_falling_direction(self):
+        times = np.array([0.0, 1.0, 2.0])
+        values = np.array([2.0, 1.0, 0.0])
+        assert threshold_crossing(times, values, 0.5, rising=False) == \
+            pytest.approx(1.5)
+
+    def test_first_crossing_wins(self):
+        times = np.array([0.0, 1.0, 2.0, 3.0, 4.0])
+        values = np.array([0.0, 1.0, 0.0, 1.0, 0.0])  # crosses twice
+        assert threshold_crossing(times, values, 0.5) == pytest.approx(0.5)
+
+    def test_flat_segment_at_threshold(self):
+        times = np.array([0.0, 1.0, 2.0])
+        values = np.array([0.0, 0.5, 0.5])
+        assert threshold_crossing(times, values, 0.5) == pytest.approx(1.0)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError, match="same shape"):
+            threshold_crossing(np.zeros(3), np.zeros(4), 0.5)
+
+    def test_empty_input(self):
+        assert threshold_crossing(np.array([]), np.array([]), 0.5) is None
+
+
+class TestDelayToFraction:
+    def test_default_is_50_percent(self):
+        times = np.linspace(0, 1, 101)
+        values = times.copy()  # unit ramp to 1.0
+        assert delay_to_fraction(times, values, final_value=1.0) == \
+            pytest.approx(0.5)
+
+    def test_scales_with_final_value(self):
+        times = np.linspace(0, 1, 101)
+        values = 2.0 * times
+        assert delay_to_fraction(times, values, final_value=2.0,
+                                 fraction=0.25) == pytest.approx(0.25)
+
+    def test_negative_final_value_measures_falling(self):
+        times = np.linspace(0, 1, 101)
+        values = -times
+        assert delay_to_fraction(times, values, final_value=-1.0) == \
+            pytest.approx(0.5)
+
+    @pytest.mark.parametrize("fraction", [0.0, 1.0, -0.5, 2.0])
+    def test_rejects_bad_fraction(self, fraction):
+        with pytest.raises(ValueError, match="fraction"):
+            delay_to_fraction(np.zeros(2), np.zeros(2), 1.0, fraction)
+
+    def test_rejects_zero_final(self):
+        with pytest.raises(ValueError, match="final_value"):
+            delay_to_fraction(np.zeros(2), np.zeros(2), 0.0)
+
+
+class TestRiseTime:
+    def test_linear_ramp(self):
+        times = np.linspace(0, 1, 1001)
+        values = times.copy()
+        assert rise_time(times, values, final_value=1.0) == pytest.approx(0.8)
+
+    def test_custom_fractions(self):
+        times = np.linspace(0, 1, 1001)
+        values = times.copy()
+        assert rise_time(times, values, 1.0, low=0.2, high=0.7) == \
+            pytest.approx(0.5)
+
+    def test_incomplete_waveform_returns_none(self):
+        times = np.linspace(0, 1, 11)
+        values = np.full(11, 0.5)  # never reaches 90%
+        assert rise_time(times, values, final_value=1.0) is None
+
+    def test_rejects_bad_bounds(self):
+        with pytest.raises(ValueError):
+            rise_time(np.zeros(2), np.zeros(2), 1.0, low=0.9, high=0.1)

@@ -1,0 +1,66 @@
+"""Unit tests for the Circuit netlist container."""
+
+import pytest
+
+from repro.circuit.netlist import GROUND, Circuit, CircuitError
+
+
+@pytest.fixture
+def rc() -> Circuit:
+    ckt = Circuit("rc")
+    ckt.add_voltage_source("vin", "in", GROUND, 1.0)
+    ckt.add_resistor("r1", "in", "out", 1e3)
+    ckt.add_capacitor("c1", "out", GROUND, 1e-12)
+    return ckt
+
+
+class TestBuilding:
+    def test_nodes_created_implicitly(self, rc):
+        assert set(rc.nodes) == {GROUND, "in", "out"}
+
+    def test_ground_listed_first(self, rc):
+        assert rc.nodes[0] == GROUND
+
+    def test_duplicate_names_rejected(self, rc):
+        with pytest.raises(CircuitError, match="duplicate"):
+            rc.add_resistor("r1", "a", "b", 1.0)
+
+    def test_len_and_contains(self, rc):
+        assert len(rc) == 3
+        assert "r1" in rc
+        assert "zz" not in rc
+
+    def test_element_lookup(self, rc):
+        assert rc.element("c1").value == 1e-12
+        with pytest.raises(CircuitError, match="no element"):
+            rc.element("nope")
+
+    def test_typed_accessors(self, rc):
+        assert [r.name for r in rc.resistors()] == ["r1"]
+        assert [c.name for c in rc.capacitors()] == ["c1"]
+        assert [v.name for v in rc.voltage_sources()] == ["vin"]
+        assert rc.inductors() == []
+        assert rc.current_sources() == []
+
+    def test_add_returns_element(self, rc):
+        ind = rc.add_inductor("l1", "out", "tip", 1e-9)
+        assert ind.name == "l1"
+        assert "tip" in rc.nodes
+
+
+class TestValidation:
+    def test_valid_circuit_passes(self, rc):
+        rc.validate()
+
+    def test_empty_circuit_fails(self):
+        with pytest.raises(CircuitError, match="no elements"):
+            Circuit("empty").validate()
+
+    def test_floating_circuit_fails(self):
+        ckt = Circuit("floating")
+        ckt.add_resistor("r1", "a", "b", 1.0)
+        with pytest.raises(CircuitError, match="ground"):
+            ckt.validate()
+
+    def test_repr(self, rc):
+        assert "3 elements" in repr(rc)

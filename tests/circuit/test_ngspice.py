@@ -1,0 +1,82 @@
+"""Unit tests for the optional ngspice wrapper.
+
+The parser is tested against captured-format text (no binary needed);
+the execution path runs only where an ngspice binary actually exists.
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuit.ngspice import (
+    NgspiceError,
+    find_ngspice,
+    parse_print_output,
+    run_deck,
+)
+
+SAMPLE_OUTPUT = """
+Circuit: route_demo
+
+Index   time            v(n1)           v(n2)
+------------------------------------------------------------
+0\t0.000000e+00\t0.000000e+00\t0.000000e+00
+1\t1.000000e-12\t2.500000e-01\t1.000000e-01
+2\t2.000000e-12\t5.000000e-01\t3.000000e-01
+
+Index   time            v(n1)           v(n2)
+------------------------------------------------------------
+3\t3.000000e-12\t7.500000e-01\t6.000000e-01
+"""
+
+
+class TestParser:
+    def test_parses_rows_across_blocks(self):
+        result = parse_print_output(SAMPLE_OUTPUT)
+        assert result.times.shape == (4,)
+        assert result.times[-1] == pytest.approx(3e-12)
+        assert result.voltage("n1")[2] == pytest.approx(0.5)
+        assert result.voltage("N2")[3] == pytest.approx(0.6)
+
+    def test_unknown_node_raises(self):
+        result = parse_print_output(SAMPLE_OUTPUT)
+        with pytest.raises(NgspiceError, match="not in ngspice output"):
+            result.voltage("n9")
+
+    def test_no_table_raises(self):
+        with pytest.raises(NgspiceError, match="no .print tran table"):
+            parse_print_output("Circuit: empty\n")
+
+    def test_inconsistent_headers_raise(self):
+        broken = SAMPLE_OUTPUT.replace("v(n1)           v(n2)",
+                                       "v(n1)           v(n3)", 1)
+        with pytest.raises(NgspiceError, match="inconsistent"):
+            parse_print_output(broken)
+
+
+class TestExecution:
+    def test_missing_binary_raises_cleanly(self):
+        if find_ngspice() is not None:
+            pytest.skip("ngspice installed; the missing-binary path "
+                        "cannot be exercised")
+        with pytest.raises(NgspiceError, match="no ngspice binary"):
+            run_deck("* x\n.end\n")
+
+    @pytest.mark.skipif(find_ngspice() is None,
+                        reason="ngspice not installed")
+    def test_roundtrip_against_builtin_engine(self, tech, mst10):
+        """Where ngspice exists, the exported deck's 50% delays must match
+        the built-in engine within a few percent."""
+        from repro.circuit.deck import deck_from_circuit
+        from repro.circuit.measure import delay_to_fraction
+        from repro.delay.rc_builder import build_interconnect_circuit, node_label
+        from repro.delay.spice_delay import spice_delays
+
+        delays = spice_delays(mst10, tech)
+        worst = max(delays, key=delays.get)
+        circuit = build_interconnect_circuit(mst10, tech, segments=3)
+        deck = deck_from_circuit(circuit, t_stop=8 * delays[worst],
+                                 print_nodes=[node_label(worst)])
+        result = run_deck(deck)
+        measured = delay_to_fraction(result.times,
+                                     result.voltage(node_label(worst)), 1.0)
+        assert measured == pytest.approx(delays[worst], rel=0.05)

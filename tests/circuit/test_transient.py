@@ -1,0 +1,151 @@
+"""Transient analysis vs closed-form solutions.
+
+The single-RC charge curve, RL current ramp, and RLC ringing all have
+textbook answers; the integrator must reproduce them.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuit.netlist import GROUND, Circuit
+from repro.circuit.transient import transient
+from repro.circuit.waveform import Step
+
+
+def rc_circuit(r=1e3, c=1e-12) -> Circuit:
+    ckt = Circuit("rc")
+    ckt.add_voltage_source("vin", "in", GROUND, Step())
+    ckt.add_resistor("r1", "in", "out", r)
+    ckt.add_capacitor("c1", "out", GROUND, c)
+    return ckt
+
+
+class TestRCStepResponse:
+    def test_matches_analytic_exponential(self):
+        r, c = 1e3, 1e-12
+        tau = r * c
+        result = transient(rc_circuit(r, c), t_stop=5 * tau, num_steps=2000)
+        expected = 1.0 - np.exp(-result.times / tau)
+        assert np.allclose(result.voltage("out"), expected, atol=2e-4)
+
+    def test_starts_at_zero_settles_at_one(self):
+        result = transient(rc_circuit(), t_stop=10e-9, num_steps=500)
+        out = result.voltage("out")
+        assert out[0] == pytest.approx(0.0, abs=1e-12)
+        assert out[-1] == pytest.approx(1.0, abs=1e-3)
+
+    def test_backward_euler_converges_too(self):
+        r, c = 1e3, 1e-12
+        tau = r * c
+        result = transient(rc_circuit(r, c), t_stop=5 * tau,
+                           num_steps=4000, method="backward-euler")
+        expected = 1.0 - np.exp(-result.times / tau)
+        assert np.allclose(result.voltage("out"), expected, atol=2e-3)
+
+    def test_trapezoidal_more_accurate_than_be(self):
+        r, c = 1e3, 1e-12
+        tau = r * c
+        errors = {}
+        for method in ("trapezoidal", "backward-euler"):
+            result = transient(rc_circuit(r, c), t_stop=5 * tau,
+                               num_steps=200, method=method)
+            expected = 1.0 - np.exp(-result.times / tau)
+            errors[method] = np.max(np.abs(result.voltage("out") - expected))
+        assert errors["trapezoidal"] < errors["backward-euler"]
+
+    def test_capacitor_initial_condition_honored(self):
+        ckt = Circuit()
+        ckt.add_voltage_source("vin", "in", GROUND, Step())
+        ckt.add_resistor("r1", "in", "out", 1e3)
+        ckt.add_capacitor("c1", "out", GROUND, 1e-12, ic=0.5)
+        result = transient(ckt, t_stop=1e-9, num_steps=100)
+        assert result.voltage("out")[0] == pytest.approx(0.5)
+
+
+class TestRLCircuit:
+    def test_inductor_current_rises_to_v_over_r(self):
+        # V step into series RL: i(t) = (V/R)(1 - exp(-tR/L)).
+        r, ell = 10.0, 1e-9
+        tau = ell / r
+        ckt = Circuit()
+        ckt.add_voltage_source("vin", "in", GROUND, Step())
+        ckt.add_resistor("r1", "in", "mid", r)
+        ckt.add_inductor("l1", "mid", GROUND, ell)
+        result = transient(ckt, t_stop=8 * tau, num_steps=2000)
+        current = result.branch_current("l1")
+        assert current[-1] == pytest.approx(1.0 / r, rel=1e-3)
+        k = len(result.times) // 8  # roughly t = tau
+        expected = (1.0 / r) * (1 - math.exp(-result.times[k] / tau))
+        assert current[k] == pytest.approx(expected, rel=5e-3)
+
+
+class TestRLCRinging:
+    def test_underdamped_overshoot(self):
+        # Series RLC with Q >> 1 must overshoot the final value.
+        r, ell, c = 1.0, 1e-9, 1e-12
+        ckt = Circuit()
+        ckt.add_voltage_source("vin", "in", GROUND, Step())
+        ckt.add_resistor("r1", "in", "a", r)
+        ckt.add_inductor("l1", "a", "out", ell)
+        ckt.add_capacitor("c1", "out", GROUND, c)
+        period = 2 * math.pi * math.sqrt(ell * c)
+        # Decay constant is 2L/R = 2 ns ~ 10 periods; run 50 periods so
+        # the envelope has shrunk to < 1% for the settling check.
+        result = transient(ckt, t_stop=50 * period, num_steps=8000)
+        out = result.voltage("out")
+        assert out.max() > 1.5  # strong ringing at Q ~ 31
+        assert out[-1] == pytest.approx(1.0, abs=0.05)
+
+    def test_oscillation_frequency(self):
+        r, ell, c = 1.0, 1e-9, 1e-12
+        ckt = Circuit()
+        ckt.add_voltage_source("vin", "in", GROUND, Step())
+        ckt.add_resistor("r1", "in", "a", r)
+        ckt.add_inductor("l1", "a", "out", ell)
+        ckt.add_capacitor("c1", "out", GROUND, c)
+        period = 2 * math.pi * math.sqrt(ell * c)
+        result = transient(ckt, t_stop=6 * period, num_steps=6000)
+        out = result.voltage("out") - 1.0
+        # Count zero crossings: two per period.
+        crossings = int(np.sum(np.abs(np.diff(np.sign(out)))) // 2)
+        expected = 2 * 6
+        assert abs(crossings - expected) <= 2
+
+
+class TestAPI:
+    def test_result_shapes(self):
+        result = transient(rc_circuit(), t_stop=1e-9, num_steps=100)
+        assert result.times.shape == (101,)
+        assert result.states.shape[1] == 101
+
+    def test_ground_voltage_is_zero(self):
+        result = transient(rc_circuit(), t_stop=1e-9, num_steps=10)
+        assert not result.voltage("0").any()
+
+    def test_final_voltages_map(self):
+        result = transient(rc_circuit(), t_stop=20e-9, num_steps=500)
+        finals = result.final_voltages()
+        assert finals["out"] == pytest.approx(1.0, abs=1e-4)
+
+    def test_unknown_branch_raises(self):
+        from repro.circuit.netlist import CircuitError
+
+        result = transient(rc_circuit(), t_stop=1e-9, num_steps=10)
+        with pytest.raises(CircuitError, match="no branch current"):
+            result.branch_current("r1")
+
+    @pytest.mark.parametrize("bad_kwargs", [
+        {"t_stop": 0.0}, {"t_stop": -1.0},
+        {"t_stop": 1e-9, "num_steps": 0},
+        {"t_stop": 1e-9, "method": "rk4"},
+    ])
+    def test_rejects_bad_arguments(self, bad_kwargs):
+        with pytest.raises(ValueError):
+            transient(rc_circuit(), **bad_kwargs)
+
+    def test_rejects_bad_x0_shape(self):
+        with pytest.raises(ValueError, match="shape"):
+            transient(rc_circuit(), t_stop=1e-9, num_steps=10,
+                      x0=np.zeros(99))

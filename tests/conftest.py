@@ -1,0 +1,46 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.delay.parameters import Technology
+from repro.geometry.net import Net
+from repro.geometry.point import Point
+from repro.graph.mst import prim_mst
+
+
+@pytest.fixture(scope="session")
+def tech() -> Technology:
+    """The paper's Table 1 technology."""
+    return Technology.cmos08()
+
+
+@pytest.fixture
+def net4() -> Net:
+    """A tiny hand-placed 4-pin net with a corner-heavy shape."""
+    return Net.from_points(
+        [(0.0, 0.0), (4000.0, 0.0), (4000.0, 3000.0), (500.0, 3500.0)],
+        name="hand4")
+
+
+@pytest.fixture
+def net10() -> Net:
+    """The canonical seeded 10-pin random net used across tests."""
+    return Net.random(10, seed=42)
+
+
+@pytest.fixture
+def mst10(net10):
+    return prim_mst(net10)
+
+
+@pytest.fixture
+def line_net() -> Net:
+    """Three collinear pins — the simplest chain topology."""
+    return Net.from_points(
+        [(0.0, 0.0), (1000.0, 0.0), (2000.0, 0.0)], name="line3")
+
+
+def approx_point(p: Point, x: float, y: float, tol: float = 1e-9) -> bool:
+    return abs(p.x - x) < tol and abs(p.y - y) < tol

@@ -1,0 +1,105 @@
+"""Unit tests for the CSORG (critical-sink) extension."""
+
+import pytest
+
+from repro.core.critical_sink import (
+    csorg_ldrg,
+    single_critical_sink,
+    uniform_criticalities,
+)
+from repro.delay.models import ElmoreGraphModel
+from repro.geometry.net import Net
+from repro.graph.mst import prim_mst
+
+
+@pytest.fixture(scope="module")
+def oracle():
+    from repro.delay.parameters import Technology
+
+    return ElmoreGraphModel(Technology.cmos08())
+
+
+class TestCriticalityHelpers:
+    def test_uniform(self, net10):
+        weights = uniform_criticalities(net10)
+        assert weights == {s: 1.0 for s in range(1, 10)}
+
+    def test_uniform_custom_alpha(self, net10):
+        assert uniform_criticalities(net10, alpha=2.5)[3] == 2.5
+
+    def test_uniform_rejects_non_positive(self, net10):
+        with pytest.raises(ValueError):
+            uniform_criticalities(net10, alpha=0.0)
+
+    def test_single(self, net10):
+        weights = single_critical_sink(net10, 4)
+        assert weights[4] == 1.0
+        assert sum(weights.values()) == 1.0
+
+    def test_single_rejects_source_and_oob(self, net10):
+        with pytest.raises(ValueError):
+            single_critical_sink(net10, 0)
+        with pytest.raises(ValueError):
+            single_critical_sink(net10, 10)
+
+
+class TestCsorgLdrg:
+    def test_weighted_objective_never_worse(self, net10, tech, oracle):
+        result = csorg_ldrg(net10, tech, delay_model=oracle)
+        assert result.objective == "weighted-sum"
+        assert result.delay <= result.base_delay * (1 + 1e-12)
+
+    def test_single_critical_sink_improves_that_sink(self, tech, oracle):
+        """Concentrating all weight on one sink optimizes it (or leaves
+        it alone if no edge helps), never trades it away."""
+        for seed in range(6):
+            net = Net.random(10, seed=seed)
+            base = oracle.delays(prim_mst(net))
+            target = max(base, key=base.get)
+            result = csorg_ldrg(net, tech, critical_sink=target,
+                                delay_model=oracle)
+            assert result.delays[target] <= base[target] * (1 + 1e-12)
+
+    def test_targeting_beats_generic_for_the_target(self, tech, oracle):
+        """On at least one net, the targeted objective serves its sink at
+        least as well as the max-delay objective does."""
+        from repro.core.ldrg import ldrg
+
+        hits = 0
+        for seed in range(6):
+            net = Net.random(10, seed=seed)
+            base = oracle.delays(prim_mst(net))
+            target = max(base, key=base.get)
+            targeted = csorg_ldrg(net, tech, critical_sink=target,
+                                  delay_model=oracle)
+            generic = ldrg(net, tech, delay_model=oracle)
+            hits += (targeted.delays[target]
+                     <= generic.delays[target] * (1 + 1e-9))
+        assert hits >= 3
+
+    def test_argument_validation(self, net10, tech, oracle):
+        with pytest.raises(ValueError, match="not both"):
+            csorg_ldrg(net10, tech, criticalities={1: 1.0}, critical_sink=2,
+                       delay_model=oracle)
+        with pytest.raises(ValueError, match="non-negative"):
+            csorg_ldrg(net10, tech, criticalities={1: -1.0},
+                       delay_model=oracle)
+        with pytest.raises(ValueError, match="at least one"):
+            csorg_ldrg(net10, tech, criticalities={1: 0.0},
+                       delay_model=oracle)
+        with pytest.raises(ValueError, match="non-sink"):
+            csorg_ldrg(net10, tech, criticalities={0: 1.0},
+                       delay_model=oracle)
+
+    def test_uniform_weights_minimize_average_delay(self, net10, tech, oracle):
+        """Paper case (i): all alpha equal == average-delay objective."""
+        result = csorg_ldrg(net10, tech, delay_model=oracle)
+        base_sum = result.base_delay
+        final_sum = result.delay
+        # The objective is the sum; dividing by k gives the average.
+        assert final_sum <= base_sum
+
+    def test_max_added_edges(self, net10, tech, oracle):
+        result = csorg_ldrg(net10, tech, delay_model=oracle,
+                            max_added_edges=1)
+        assert result.num_added_edges <= 1

@@ -1,0 +1,57 @@
+"""Unit tests for the critical-sink tree variants (ERT-C / SERT-C)."""
+
+import pytest
+
+from repro.core.critical_sink import single_critical_sink
+from repro.core.ert import elmore_routing_tree
+from repro.core.sert import steiner_elmore_routing_tree
+from repro.delay.elmore_tree import elmore_delays
+from repro.geometry.net import Net
+
+
+@pytest.mark.parametrize("construct", [elmore_routing_tree,
+                                       steiner_elmore_routing_tree],
+                         ids=["ert_c", "sert_c"])
+class TestCriticalTrees:
+    def test_still_a_spanning_tree(self, construct, net10, tech):
+        weights = single_critical_sink(net10, 3)
+        tree = construct(net10, tech, criticalities=weights)
+        assert tree.is_tree()
+        assert tree.spans_net()
+
+    def test_targeted_sink_at_least_as_fast(self, construct, tech):
+        """Putting all weight on one sink serves it at least as well as
+        the max-delay objective does, across a seed batch."""
+        better_or_equal = 0
+        trials = 6
+        for seed in range(trials):
+            net = Net.random(9, seed=seed)
+            plain = construct(net, tech)
+            plain_delays = elmore_delays(plain, tech)
+            target = max((s for s in range(1, 9)),
+                         key=plain_delays.get)
+            targeted = construct(
+                net, tech,
+                criticalities=single_critical_sink(net, target))
+            targeted_delays = elmore_delays(targeted, tech)
+            better_or_equal += (targeted_delays[target]
+                                <= plain_delays[target] * (1 + 1e-9))
+        assert better_or_equal >= trials - 1
+
+    def test_uniform_weights_give_valid_tree(self, construct, net10, tech):
+        weights = {s: 1.0 for s in range(1, 10)}
+        tree = construct(net10, tech, criticalities=weights)
+        assert tree.spans_net()
+
+    def test_weight_validation(self, construct, net10, tech):
+        with pytest.raises(ValueError, match="non-negative"):
+            construct(net10, tech, criticalities={1: -1.0})
+        with pytest.raises(ValueError, match="non-sink"):
+            construct(net10, tech, criticalities={0: 1.0})
+
+    def test_zero_weight_sinks_still_spanned(self, construct, net10, tech):
+        """Sinks with zero criticality still must be wired (the routing
+        spans the net; only the objective ignores them)."""
+        weights = single_critical_sink(net10, 1)
+        tree = construct(net10, tech, criticalities=weights)
+        assert tree.spans_net()

@@ -1,0 +1,98 @@
+"""Unit tests for the Elmore Routing Tree and the ERT-based LDRG."""
+
+import pytest
+
+from repro.core.ert import elmore_routing_tree, ert, ert_ldrg
+from repro.delay.elmore_tree import elmore_tree_delay
+from repro.delay.models import SpiceDelayModel
+from repro.delay.parameters import Technology
+from repro.delay.spice_delay import SpiceOptions
+from repro.geometry.net import Net
+from repro.graph.mst import prim_mst
+
+
+@pytest.fixture(scope="module")
+def fast_model():
+    return SpiceDelayModel(Technology.cmos08(), SpiceOptions(segments=1))
+
+
+class TestConstruction:
+    def test_produces_spanning_tree(self, net10, tech):
+        tree = elmore_routing_tree(net10, tech)
+        assert tree.is_tree()
+        assert tree.spans_net()
+        assert tree.num_edges == 9
+
+    def test_deterministic(self, net10, tech):
+        a = elmore_routing_tree(net10, tech)
+        b = elmore_routing_tree(net10, tech)
+        assert sorted(a.edges()) == sorted(b.edges())
+
+    def test_two_pin_net_is_single_edge(self, tech):
+        net = Net.from_points([(0, 0), (1000, 1000)])
+        tree = elmore_routing_tree(net, tech)
+        assert tree.edges() == [(0, 1)]
+
+    def test_star_when_driver_dominates(self, tech):
+        """With a huge driver resistance, delay ~ rd * C_total at every
+        sink, so the ERT minimizes capacitance — it converges toward the
+        MST topology cost-wise."""
+        sluggish = tech.with_driver(1e6)
+        net = Net.random(8, seed=2)
+        tree = elmore_routing_tree(net, sluggish)
+        mst = prim_mst(net)
+        assert tree.cost() == pytest.approx(mst.cost(), rel=0.05)
+
+
+class TestQuality:
+    def test_beats_mst_on_elmore_delay_usually(self, tech):
+        """Table 6: ERT delay is well below MST delay on most nets."""
+        wins = 0
+        for seed in range(8):
+            net = Net.random(10, seed=seed)
+            ert_delay = elmore_tree_delay(elmore_routing_tree(net, tech), tech)
+            mst_delay = elmore_tree_delay(prim_mst(net), tech)
+            wins += ert_delay < mst_delay
+        assert wins >= 6
+
+    def test_costs_more_wire_than_mst(self, tech):
+        """The MST is the cost optimum, so ERT cost ratios are >= 1."""
+        for seed in range(4):
+            net = Net.random(10, seed=seed)
+            assert (elmore_routing_tree(net, tech).cost()
+                    >= prim_mst(net).cost() - 1e-9)
+
+
+class TestErtDriver:
+    def test_normalizes_to_mst(self, net10, tech, fast_model):
+        result = ert(net10, tech, evaluation_model=fast_model)
+        mst = prim_mst(net10)
+        assert result.base_cost == pytest.approx(mst.cost())
+        assert result.algorithm == "ert"
+        assert result.graph.is_tree()
+
+
+class TestErtLdrg:
+    def test_normalizes_to_ert(self, net10, tech, fast_model):
+        result = ert_ldrg(net10, tech, delay_model=fast_model)
+        tree = elmore_routing_tree(net10, tech)
+        assert result.base_cost == pytest.approx(tree.cost())
+
+    def test_never_worse_than_ert(self, tech, fast_model):
+        for seed in (0, 5):
+            net = Net.random(8, seed=seed)
+            result = ert_ldrg(net, tech, delay_model=fast_model)
+            assert result.delay <= result.base_delay * (1 + 1e-12)
+
+    def test_paper_claim_some_net_beats_the_tree(self, tech, fast_model):
+        """Table 7's existence claim: for some net the ERT (a near-optimal
+        *tree*) is strictly beaten by a non-tree routing."""
+        assert any(
+            ert_ldrg(Net.random(10, seed=s), tech,
+                     delay_model=fast_model).improved
+            for s in range(10))
+
+    def test_max_added_edges(self, net10, tech, fast_model):
+        result = ert_ldrg(net10, tech, delay_model=fast_model,
+                          max_added_edges=1)
+        assert result.num_added_edges <= 1

@@ -1,0 +1,91 @@
+"""Unit tests for the exhaustive ORG/ORT solvers."""
+
+import pytest
+
+from repro.core.exhaustive import (
+    MAX_PINS,
+    optimal_routing_graph,
+    optimal_routing_tree,
+)
+from repro.core.ldrg import ldrg
+from repro.delay.models import ElmoreGraphModel
+from repro.geometry.net import Net
+from repro.graph.mst import prim_mst
+
+
+@pytest.fixture(scope="module")
+def oracle(tech=None):
+    from repro.delay.parameters import Technology
+
+    return ElmoreGraphModel(Technology.cmos08())
+
+
+class TestExhaustiveOrg:
+    def test_two_pin_net_is_single_edge(self, tech):
+        net = Net.from_points([(0, 0), (1000, 0)])
+        result = optimal_routing_graph(net, tech)
+        assert result.graph.edges() == [(0, 1)]
+        assert result.is_tree
+
+    def test_optimum_bounds_every_heuristic(self, tech, oracle):
+        for seed in range(4):
+            net = Net.random(5, seed=seed)
+            org = optimal_routing_graph(net, tech)
+            greedy = ldrg(net, tech, delay_model=oracle)
+            mst_delay = oracle.max_delay(prim_mst(net))
+            assert org.delay <= greedy.delay * (1 + 1e-9)
+            assert org.delay <= mst_delay * (1 + 1e-9)
+
+    def test_org_at_most_ort(self, tech):
+        """Trees are a subset of graphs, so ORG <= ORT always."""
+        for seed in range(4):
+            net = Net.random(5, seed=seed)
+            org = optimal_routing_graph(net, tech)
+            ort = optimal_routing_tree(net, tech)
+            assert org.delay <= ort.delay * (1 + 1e-9)
+
+    def test_result_spans_net(self, tech):
+        net = Net.random(5, seed=9)
+        assert optimal_routing_graph(net, tech).graph.spans_net()
+        assert optimal_routing_tree(net, tech).graph.is_tree()
+
+    def test_tie_break_prefers_fewer_edges(self, tech):
+        """Among delay-equal optima the sparsest/cheapest routing wins,
+        so the reported ORG never carries gratuitous edges."""
+        net = Net.random(4, seed=3)
+        org = optimal_routing_graph(net, tech)
+        assert org.graph.num_edges <= 6
+        # Removing any single edge of the reported optimum must either
+        # disconnect the net or strictly worsen the delay.
+        model = ElmoreGraphModel(tech)
+        for u, v in org.graph.edges():
+            trial = org.graph.copy()
+            trial.remove_edge(u, v)
+            if trial.is_connected():
+                assert model.max_delay(trial) > org.delay * (1 - 1e-9)
+
+    def test_size_limit_enforced(self, tech):
+        with pytest.raises(ValueError, match="limited to"):
+            optimal_routing_graph(Net.random(MAX_PINS + 1, seed=0), tech)
+
+    def test_evaluated_counts_reported(self, tech):
+        net = Net.random(4, seed=1)
+        org = optimal_routing_graph(net, tech)
+        ort = optimal_routing_tree(net, tech)
+        # 4 nodes: 16 spanning trees; connected graphs with >= 3 edges: 38.
+        assert ort.evaluated == 16
+        assert org.evaluated == 38
+
+
+class TestAgainstSpiceOracle:
+    def test_spice_and_elmore_optima_agree_often(self, tech):
+        """The oracle choice rarely changes the tiny-net optimum — a
+        fidelity check in Boese et al.'s sense."""
+        agreements = 0
+        for seed in range(4):
+            net = Net.random(4, seed=seed)
+            via_elmore = optimal_routing_graph(net, tech, "elmore")
+            via_spice = optimal_routing_graph(net, tech, "spice")
+            agreements += (sorted(via_elmore.graph.edges())
+                           == sorted(via_spice.graph.edges()))
+        assert agreements >= 3

@@ -1,0 +1,129 @@
+"""Unit tests for heuristics H1, H2, H3."""
+
+import pytest
+
+from repro.core.heuristics import h1, h2, h3
+from repro.delay.models import SpiceDelayModel
+from repro.delay.parameters import Technology
+from repro.delay.spice_delay import SpiceOptions
+from repro.geometry.net import Net
+from repro.graph.mst import prim_mst
+
+
+@pytest.fixture(scope="module")
+def fast_model():
+    return SpiceDelayModel(Technology.cmos08(), SpiceOptions(segments=1))
+
+
+class TestH1:
+    def test_never_worse_than_mst(self, tech, fast_model):
+        for seed in range(5):
+            result = h1(Net.random(8, seed=seed), tech,
+                        delay_model=fast_model)
+            assert result.delay <= result.base_delay * (1 + 1e-12)
+
+    def test_added_edges_emanate_from_source(self, tech, fast_model):
+        for seed in range(5):
+            result = h1(Net.random(10, seed=seed), tech,
+                        delay_model=fast_model)
+            for record in result.history:
+                assert 0 in record.edge
+
+    def test_iteration_cap(self, net10, tech, fast_model):
+        result = h1(net10, tech, max_iterations=1, delay_model=fast_model)
+        assert result.num_added_edges <= 1
+
+    def test_zero_iterations_is_mst(self, net10, tech, fast_model):
+        result = h1(net10, tech, max_iterations=0, delay_model=fast_model)
+        assert result.num_added_edges == 0
+        assert sorted(result.graph.edges()) == sorted(prim_mst(net10).edges())
+
+    def test_keeps_only_improving_edges(self, tech, fast_model):
+        """H1 verifies each candidate with its SPICE call; a kept edge
+        strictly improves the previous delay (Table 4's all-cases <= 1)."""
+        for seed in range(6):
+            result = h1(Net.random(10, seed=seed), tech,
+                        delay_model=fast_model)
+            delays = [result.base_delay] + [r.delay for r in result.history]
+            for earlier, later in zip(delays, delays[1:]):
+                assert later < earlier
+
+
+class TestH2:
+    def test_adds_exactly_one_edge_unconditionally(self, net10, tech, fast_model):
+        result = h2(net10, tech, evaluation_model=fast_model)
+        assert result.num_added_edges == 1
+        assert result.cost > result.base_cost
+
+    def test_edge_targets_longest_elmore_sink(self, net10, tech, fast_model):
+        from repro.delay.elmore_tree import elmore_delays
+
+        mst = prim_mst(net10)
+        elmore = elmore_delays(mst, tech)
+        eligible = {s: elmore[s] for s in range(1, 10)
+                    if not mst.has_edge(0, s)}
+        expected = max(eligible, key=eligible.get)
+        result = h2(net10, tech, evaluation_model=fast_model)
+        assert result.history[0].edge == (0, expected)
+
+    def test_may_regress_delay(self, tech, fast_model):
+        """H2 has no verification step, so some nets get worse (the paper
+        reports all-cases delay 1.14 at 5 pins)."""
+        ratios = [h2(Net.random(5, seed=s), tech,
+                     evaluation_model=fast_model).delay_ratio
+                  for s in range(12)]
+        assert any(r > 1.0 for r in ratios)
+
+    def test_no_candidate_when_star(self, tech, fast_model):
+        # A net whose MST is already a star from the source: every sink
+        # is adjacent, H2 has nothing to add.
+        net = Net.from_points([(5000, 5000), (5200, 5000), (5000, 5300),
+                               (4800, 5000)], name="star")
+        mst = prim_mst(net)
+        if any(not mst.has_edge(0, s) for s in range(1, 4)):
+            pytest.skip("geometry did not produce a star MST")
+        result = h2(net, tech, evaluation_model=fast_model)
+        assert result.num_added_edges == 0
+        assert result.delay_ratio == pytest.approx(1.0)
+
+
+class TestH3:
+    def test_adds_at_most_one_edge(self, net10, tech, fast_model):
+        result = h3(net10, tech, evaluation_model=fast_model)
+        assert result.num_added_edges <= 1
+
+    def test_score_formula(self, net10, tech, fast_model):
+        """H3 maximizes pathlength x Elmore / new-edge-length."""
+        from repro.delay.elmore_tree import elmore_delays
+        from repro.graph.paths import dijkstra_lengths
+
+        mst = prim_mst(net10)
+        elmore = elmore_delays(mst, tech)
+        path = dijkstra_lengths(mst)
+        scores = {
+            s: path[s] * elmore[s] / mst.distance(0, s)
+            for s in range(1, 10)
+            if not mst.has_edge(0, s) and mst.distance(0, s) > 0
+        }
+        expected = max(scores, key=scores.get)
+        result = h3(net10, tech, evaluation_model=fast_model)
+        assert result.history[0].edge == (0, expected)
+
+    def test_h3_spends_less_wire_than_h2_on_average(self, tech, fast_model):
+        """The length normalization makes H3 cheaper than H2 (Table 5)."""
+        h2_cost = h3_cost = 0.0
+        for seed in range(8):
+            net = Net.random(10, seed=seed)
+            h2_cost += h2(net, tech, evaluation_model=fast_model).cost_ratio
+            h3_cost += h3(net, tech, evaluation_model=fast_model).cost_ratio
+        assert h3_cost <= h2_cost + 1e-9
+
+
+class TestEvaluationModels:
+    def test_h2_h3_report_requested_model(self, net10, tech):
+        assert h2(net10, tech, evaluation_model="elmore").model == "elmore"
+        assert h3(net10, tech, evaluation_model="elmore").model == "elmore"
+
+    def test_h1_respects_model_argument(self, net10, tech):
+        result = h1(net10, tech, delay_model="elmore")
+        assert result.model == "elmore"

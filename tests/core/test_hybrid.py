@@ -1,0 +1,71 @@
+"""Unit tests for the HORG (hybrid) pipeline."""
+
+import pytest
+
+from repro.core.hybrid import horg
+from repro.delay.models import ElmoreGraphModel
+from repro.geometry.net import Net
+
+
+@pytest.fixture(scope="module")
+def oracle():
+    from repro.delay.parameters import Technology
+
+    return ElmoreGraphModel(Technology.cmos08())
+
+
+class TestPipeline:
+    def test_stage_objectives_monotone(self, net10, tech, oracle):
+        result = horg(net10, tech, delay_model=oracle)
+        base, after_edges, after_sizing = result.stage_objectives
+        assert after_edges <= base * (1 + 1e-12)
+        assert after_sizing <= after_edges * (1 + 1e-12)
+        assert result.delay == pytest.approx(after_sizing)
+
+    def test_weighted_objective(self, net10, tech, oracle):
+        result = horg(net10, tech, delay_model=oracle)
+        assert result.objective == "weighted-sum"
+
+    def test_steiner_base_by_default(self, net10, tech, oracle):
+        result = horg(net10, tech, delay_model=oracle)
+        from repro.graph.steiner import iterated_one_steiner
+
+        steiner = iterated_one_steiner(net10)
+        # Baseline cost equals the Steiner tree's cost.
+        assert result.base_cost == pytest.approx(steiner.cost())
+
+    def test_mst_base_on_request(self, net10, tech, oracle):
+        from repro.graph.mst import prim_mst
+
+        result = horg(net10, tech, use_steiner=False, delay_model=oracle)
+        assert result.base_cost == pytest.approx(prim_mst(net10).cost())
+
+    def test_criticalities_respected(self, net10, tech, oracle):
+        weights = {1: 10.0, 2: 0.0}
+        result = horg(net10, tech, criticalities=weights, delay_model=oracle)
+        # Objective is the weighted sum of per-sink delays over weights.
+        expected = 10.0 * result.delays[1]
+        assert result.delay == pytest.approx(expected, rel=1e-6)
+
+    def test_budgets(self, net10, tech, oracle):
+        result = horg(net10, tech, delay_model=oracle,
+                      max_added_edges=1, max_width_changes=1)
+        assert result.num_added_edges <= 2  # one edge + one sizing record
+
+    def test_widths_cover_all_edges(self, net10, tech, oracle):
+        result = horg(net10, tech, delay_model=oracle)
+        assert set(result.widths) == set(result.graph.edges())
+
+    def test_validation(self, net10, tech, oracle):
+        with pytest.raises(ValueError, match="non-negative"):
+            horg(net10, tech, criticalities={1: -1.0}, delay_model=oracle)
+        with pytest.raises(ValueError, match="width_levels"):
+            horg(net10, tech, width_levels=(), delay_model=oracle)
+
+    def test_beats_plain_steiner_tree_sometimes(self, tech, oracle):
+        improved = sum(
+            horg(Net.random(10, seed=s), tech, delay_model=oracle).delay
+            < horg(Net.random(10, seed=s), tech, delay_model=oracle,
+                   max_added_edges=0, max_width_changes=0).delay
+            for s in range(4))
+        assert improved >= 2

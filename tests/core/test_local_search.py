@@ -1,0 +1,114 @@
+"""Unit tests for the local-search ORG solver."""
+
+import pytest
+
+from repro.core.exhaustive import optimal_routing_graph
+from repro.core.ldrg import ldrg
+from repro.core.local_search import local_search_org
+from repro.delay.models import ElmoreGraphModel
+from repro.geometry.net import Net
+from repro.graph.mst import prim_mst
+from repro.graph.routing_graph import RoutingGraph, RoutingGraphError
+
+
+@pytest.fixture(scope="module")
+def oracle():
+    from repro.delay.parameters import Technology
+
+    return ElmoreGraphModel(Technology.cmos08())
+
+
+class TestInvariants:
+    @pytest.mark.parametrize("seed", [0, 3, 9])
+    def test_never_worse_than_start_and_spans(self, seed, tech, oracle):
+        net = Net.random(8, seed=seed)
+        result = local_search_org(net, tech, delay_model=oracle)
+        assert result.delay <= result.base_delay * (1 + 1e-12)
+        assert result.graph.spans_net()
+
+    def test_at_least_as_good_as_ldrg(self, tech, oracle):
+        """Local search's move set strictly contains LDRG's, and both are
+        greedy over it, so the richer search never loses — checked
+        empirically across a seed batch."""
+        for seed in range(6):
+            net = Net.random(8, seed=seed)
+            rich = local_search_org(net, tech, delay_model=oracle)
+            addonly = ldrg(net, tech, delay_model=oracle)
+            assert rich.delay <= addonly.delay * (1 + 1e-9)
+
+    def test_reaches_exhaustive_optimum_on_tiny_nets(self, tech, oracle):
+        hits = 0
+        for seed in range(6):
+            net = Net.random(5, seed=seed)
+            optimum = optimal_routing_graph(net, tech, oracle)
+            found = local_search_org(net, tech, delay_model=oracle)
+            hits += found.delay <= optimum.delay * (1 + 1e-9)
+        assert hits >= 5  # hill climbing, not a proof — but near-universal
+
+    def test_local_optimum_under_all_moves(self, tech, oracle):
+        net = Net.random(6, seed=2)
+        result = local_search_org(net, tech, delay_model=oracle)
+        final = oracle.max_delay(result.graph)
+        # no single addition helps
+        for edge in result.graph.candidate_edges():
+            assert oracle.max_delay(result.graph.with_edge(*edge)) >= \
+                final * (1 - 1e-9)
+        # no single removal helps
+        for edge in list(result.graph.edges()):
+            trial = result.graph.copy()
+            trial.remove_edge(*edge)
+            if trial.spans_net():
+                assert oracle.max_delay(trial) >= final * (1 - 1e-9)
+
+
+class TestMoveConfiguration:
+    def test_add_only_matches_ldrg(self, net10, tech, oracle):
+        """With removals and swaps disabled the search degenerates to
+        LDRG's greedy and lands on the same delay."""
+        restricted = local_search_org(net10, tech, delay_model=oracle,
+                                      allow_removals=False,
+                                      allow_swaps=False)
+        greedy = ldrg(net10, tech, delay_model=oracle)
+        assert restricted.delay == pytest.approx(greedy.delay, rel=1e-9)
+
+    def test_swaps_can_leave_the_mst_skeleton(self, tech, oracle):
+        """Some net's local optimum does NOT contain all MST edges —
+        the capability add-only greedy lacks by construction."""
+        for seed in range(8):
+            net = Net.random(6, seed=seed)
+            result = local_search_org(net, tech, delay_model=oracle)
+            mst_edges = set(prim_mst(net).edges())
+            if not mst_edges <= set(result.graph.edges()):
+                return
+        pytest.skip("no MST-departing optimum in scanned seeds (unusual)")
+
+    def test_explicit_initial_graph(self, net10, tech, oracle):
+        start = prim_mst(net10)
+        result = local_search_org(net10, tech, delay_model=oracle,
+                                  initial=start)
+        assert result.base_cost == pytest.approx(start.cost())
+        # the initial graph object is untouched
+        assert sorted(start.edges()) == sorted(prim_mst(net10).edges())
+
+    def test_non_spanning_initial_rejected(self, net10, tech, oracle):
+        with pytest.raises(RoutingGraphError):
+            local_search_org(net10, tech, delay_model=oracle,
+                             initial=RoutingGraph(net10))
+
+    def test_pure_removal_recorded_with_sentinel(self, tech, oracle):
+        """Start from an MST plus a gratuitous edge: the search should
+        remove it (or improve past it), and pure removals appear in the
+        history as the (-1, -1) sentinel."""
+        net = Net.random(6, seed=4)
+        start = prim_mst(net)
+        # Add the WORST candidate edge to create removable junk.
+        candidates = start.candidate_edges()
+        worst_edge = max(
+            candidates,
+            key=lambda e: oracle.max_delay(start.with_edge(*e)))
+        start.add_edge(*worst_edge)
+        result = local_search_org(net, tech, delay_model=oracle,
+                                  initial=start)
+        assert result.delay <= result.base_delay * (1 + 1e-12)
+        if any(rec.edge == (-1, -1) for rec in result.history):
+            assert result.cost < result.base_cost

@@ -1,0 +1,69 @@
+"""Unit tests for RoutingResult bookkeeping."""
+
+import pytest
+
+from repro.core.result import IterationRecord, RoutingResult
+from repro.graph.mst import prim_mst
+
+
+@pytest.fixture
+def result(net10, mst10) -> RoutingResult:
+    return RoutingResult(
+        graph=mst10,
+        delay=0.8e-9,
+        cost=1100.0,
+        delays={1: 0.8e-9, 2: 0.5e-9},
+        base_delay=1.0e-9,
+        base_cost=1000.0,
+        algorithm="test",
+        model="spice",
+        history=[IterationRecord(edge=(0, 3), delay=0.9e-9, cost=1050.0),
+                 IterationRecord(edge=(1, 4), delay=0.8e-9, cost=1100.0)],
+    )
+
+
+class TestRatios:
+    def test_delay_ratio(self, result):
+        assert result.delay_ratio == pytest.approx(0.8)
+
+    def test_cost_ratio(self, result):
+        assert result.cost_ratio == pytest.approx(1.1)
+
+    def test_improved_true(self, result):
+        assert result.improved
+
+    def test_improved_false_when_equal(self, result):
+        result.delay = result.base_delay
+        assert not result.improved
+
+    def test_improved_false_when_worse(self, result):
+        result.delay = 1.2e-9
+        assert not result.improved
+
+
+class TestIterations:
+    def test_at_iteration_zero_is_baseline(self, result):
+        assert result.at_iteration(0) == (1.0e-9, 1000.0)
+
+    def test_at_iteration_k(self, result):
+        assert result.at_iteration(1) == (0.9e-9, 1050.0)
+        assert result.at_iteration(2) == (0.8e-9, 1100.0)
+
+    def test_past_end_raises(self, result):
+        with pytest.raises(IndexError, match="iteration 3"):
+            result.at_iteration(3)
+
+    def test_num_added_edges(self, result):
+        assert result.num_added_edges == 2
+
+
+class TestSummary:
+    def test_mentions_key_numbers(self, result):
+        text = result.summary()
+        assert "0.800 ns" in text
+        assert "2 edge(s) added" in text
+        assert "improved" in text
+
+    def test_no_improvement_phrase(self, result):
+        result.delay = 1.5e-9
+        assert "no improvement" in result.summary()

@@ -1,0 +1,99 @@
+"""Unit tests for the Steiner Elmore Routing Tree (SERT)."""
+
+import pytest
+
+from repro.core.ert import elmore_routing_tree
+from repro.core.sert import (
+    closest_point_on_lpath,
+    sert,
+    steiner_elmore_routing_tree,
+)
+from repro.delay.elmore_tree import elmore_tree_delay
+from repro.geometry.net import Net
+from repro.geometry.point import Point
+
+
+class TestClosestPointOnLPath:
+    def test_point_beyond_horizontal_run(self):
+        a, b = Point(0, 0), Point(10, 10)
+        # L-path: (0,0) -> (10,0) -> (10,10). Query near (4,-3).
+        tap = closest_point_on_lpath(a, b, Point(4, -3))
+        assert tap == Point(4, 0)
+
+    def test_point_near_vertical_run(self):
+        a, b = Point(0, 0), Point(10, 10)
+        tap = closest_point_on_lpath(a, b, Point(14, 7))
+        assert tap == Point(10, 7)
+
+    def test_endpoint_when_query_past_corner(self):
+        a, b = Point(0, 0), Point(10, 10)
+        tap = closest_point_on_lpath(a, b, Point(-5, -5))
+        assert tap == Point(0, 0)
+
+    def test_tap_is_on_path(self):
+        a, b = Point(2, 3), Point(9, 8)
+        s = Point(6, 6)
+        tap = closest_point_on_lpath(a, b, s)
+        # On-path points satisfy d(a,tap) + d(tap,b) == d(a,b).
+        assert a.manhattan(tap) + tap.manhattan(b) == pytest.approx(
+            a.manhattan(b))
+
+    def test_degenerate_straight_edge(self):
+        a, b = Point(0, 0), Point(10, 0)
+        tap = closest_point_on_lpath(a, b, Point(5, 3))
+        assert tap == Point(5, 0)
+
+
+class TestConstruction:
+    def test_spanning_tree_with_steiner_points(self, net10, tech):
+        tree = steiner_elmore_routing_tree(net10, tech)
+        assert tree.is_tree()
+        assert tree.spans_net()
+
+    def test_wirelength_conserved_by_splits(self, net10, tech):
+        """Splitting an edge at an on-path tap adds no wire by itself, so
+        SERT's cost is at most ERT's cost plus its tap stubs — concretely,
+        SERT is never more expensive than ERT on these nets."""
+        sert_tree = steiner_elmore_routing_tree(net10, tech)
+        ert_tree = elmore_routing_tree(net10, tech)
+        assert sert_tree.cost() <= ert_tree.cost() + 1e-6
+
+    def test_at_least_as_fast_as_ert_on_average(self, tech):
+        """SERT searches a superset of ERT's attachments per step; over a
+        batch its Elmore delay should not lose to ERT."""
+        sert_total = ert_total = 0.0
+        for seed in range(6):
+            net = Net.random(9, seed=seed)
+            sert_total += elmore_tree_delay(
+                steiner_elmore_routing_tree(net, tech), tech)
+            ert_total += elmore_tree_delay(
+                elmore_routing_tree(net, tech), tech)
+        assert sert_total <= ert_total * 1.02
+
+    def test_two_pin_net(self, tech):
+        net = Net.from_points([(0, 0), (500, 700)])
+        tree = steiner_elmore_routing_tree(net, tech)
+        assert tree.edges() == [(0, 1)]
+        assert len(tree.steiner) == 0
+
+    def test_deterministic(self, net10, tech):
+        a = steiner_elmore_routing_tree(net10, tech)
+        b = steiner_elmore_routing_tree(net10, tech)
+        assert sorted(a.edges()) == sorted(b.edges())
+        assert a.cost() == pytest.approx(b.cost())
+
+
+class TestSertDriver:
+    def test_normalizes_to_mst(self, net10, tech):
+        from repro.graph.mst import prim_mst
+
+        result = sert(net10, tech, evaluation_model="elmore")
+        assert result.base_cost == pytest.approx(prim_mst(net10).cost())
+        assert result.algorithm == "sert"
+
+    def test_beats_mst_delay_usually(self, tech):
+        wins = sum(
+            sert(Net.random(10, seed=s), tech,
+                 evaluation_model="elmore").improved
+            for s in range(6))
+        assert wins >= 4

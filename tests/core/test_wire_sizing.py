@@ -1,0 +1,101 @@
+"""Unit tests for the WSORG (wire sizing) extension."""
+
+import pytest
+
+from repro.core.wire_sizing import DEFAULT_WIDTHS, wsorg
+from repro.delay.models import ElmoreGraphModel
+from repro.geometry.net import Net
+from repro.graph.mst import prim_mst
+
+
+@pytest.fixture(scope="module")
+def oracle():
+    from repro.delay.parameters import Technology
+
+    return ElmoreGraphModel(Technology.cmos08())
+
+
+@pytest.fixture(scope="module")
+def strong_driver_oracle():
+    """Wire-resistance-dominated regime where sizing clearly pays."""
+    from repro.delay.parameters import Technology
+
+    return ElmoreGraphModel(Technology(driver_resistance=5.0))
+
+
+class TestInvariants:
+    def test_delay_never_worse(self, net10, tech, oracle):
+        result = wsorg(net10, tech, delay_model=oracle)
+        assert result.delay <= result.base_delay * (1 + 1e-12)
+
+    def test_topology_unchanged(self, net10, tech, oracle):
+        mst = prim_mst(net10)
+        result = wsorg(net10, tech, delay_model=oracle)
+        assert sorted(result.graph.edges()) == sorted(mst.edges())
+        assert result.cost == pytest.approx(mst.cost())
+
+    def test_widths_stay_on_levels(self, net10, tech, oracle):
+        levels = (1.0, 2.0, 4.0)
+        result = wsorg(net10, tech, width_levels=levels, delay_model=oracle)
+        assert set(result.widths.values()) <= set(levels)
+        assert set(result.widths) == set(result.graph.edges())
+
+    def test_sizing_helps_with_strong_driver(self, strong_driver_oracle, net10):
+        result = wsorg(net10, strong_driver_oracle.tech,
+                       delay_model=strong_driver_oracle)
+        assert result.improved
+        assert len(result.widened_edges) >= 1
+
+    def test_wire_area_accounts_for_widths(self, net10, strong_driver_oracle):
+        tech = strong_driver_oracle.tech
+        result = wsorg(net10, tech, delay_model=strong_driver_oracle)
+        base_area = result.graph.cost()
+        assert result.total_wire_area() >= base_area
+        if result.widened_edges:
+            assert result.total_wire_area() > base_area
+
+    def test_single_level_means_no_changes(self, net10, tech, oracle):
+        result = wsorg(net10, tech, width_levels=(1.0,), delay_model=oracle)
+        assert result.num_added_edges == 0
+        assert result.delay_ratio == pytest.approx(1.0)
+
+    def test_max_changes_cap(self, net10, strong_driver_oracle):
+        result = wsorg(net10, strong_driver_oracle.tech,
+                       delay_model=strong_driver_oracle, max_changes=2)
+        assert result.num_added_edges <= 2
+
+
+class TestInputs:
+    def test_accepts_prebuilt_graph(self, net10, tech, oracle):
+        graph = prim_mst(net10)
+        extra = graph.candidate_edges()[0]
+        graph.add_edge(*extra)
+        result = wsorg(graph, tech, delay_model=oracle)
+        assert extra in result.widths or (extra[1], extra[0]) in result.widths
+
+    @pytest.mark.parametrize("levels", [(), (2.0, 1.0), (0.0, 1.0), (1.0, 1.0)])
+    def test_rejects_bad_levels(self, net10, tech, oracle, levels):
+        with pytest.raises(ValueError):
+            wsorg(net10, tech, width_levels=levels, delay_model=oracle)
+
+    def test_default_levels(self):
+        assert DEFAULT_WIDTHS == (1.0, 2.0, 3.0, 4.0)
+
+
+class TestGreedyShape:
+    def test_history_delays_decrease(self, net10, strong_driver_oracle):
+        result = wsorg(net10, strong_driver_oracle.tech,
+                       delay_model=strong_driver_oracle)
+        delays = [result.base_delay] + [r.delay for r in result.history]
+        for earlier, later in zip(delays, delays[1:]):
+            assert later < earlier
+
+    def test_stem_edges_get_widened_first(self, strong_driver_oracle):
+        """With a strong driver, the resistance bottleneck is near the
+        source, so the first widened edge touches the source's subtree
+        stem (a classic wire-sizing result)."""
+        net = Net.from_points([(0, 0), (5000, 0), (10000, 0), (10000, 5000)])
+        result = wsorg(net, strong_driver_oracle.tech,
+                       delay_model=strong_driver_oracle, max_changes=1)
+        assert result.history, "expected at least one widening"
+        assert result.history[0].edge == (0, 1)

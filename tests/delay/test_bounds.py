@@ -1,0 +1,86 @@
+"""Unit tests for the RPH delay bounds."""
+
+import pytest
+
+from repro.delay.bounds import delay_bounds, rph_quantities
+from repro.delay.elmore_tree import elmore_delays
+from repro.delay.spice_delay import SpiceOptions, spice_delays
+from repro.geometry.net import Net
+from repro.graph.mst import prim_mst
+from repro.graph.routing_graph import RoutingGraph, RoutingGraphError
+
+
+class TestRphQuantities:
+    def test_single_rc_collapses(self, tech):
+        """Two-pin net: T_R == T_D only if all cap hangs at the sink —
+        the wire's own cap splits the path, so T_R ≤ T_D ≤ T_P with
+        T_P = T_D (single path)."""
+        net = Net.from_points([(0, 0), (2000, 0)])
+        tree = prim_mst(net)
+        q = rph_quantities(tree, tech)[1]
+        assert q.t_r <= q.t_d * (1 + 1e-12)
+        assert q.t_d == pytest.approx(elmore_delays(tree, tech)[1])
+        # On a path graph every node lies on the single source-sink path,
+        # but the interior cap's own path resistance is smaller, so
+        # T_P >= T_D still holds with equality only in the lumped limit.
+        assert q.t_p >= q.t_d * (1 - 1e-12)
+
+    def test_ordering_t_r_t_d_t_p(self, mst10, tech):
+        for q in rph_quantities(mst10, tech).values():
+            assert q.t_r <= q.t_d * (1 + 1e-9)
+            assert q.t_d <= q.t_p * (1 + 1e-9)
+
+    def test_t_d_is_elmore(self, mst10, tech):
+        elmore = elmore_delays(mst10, tech)
+        for sink, q in rph_quantities(mst10, tech).items():
+            assert q.t_d == pytest.approx(elmore[sink], rel=1e-9)
+
+    def test_t_p_shared_across_sinks(self, mst10, tech):
+        values = {q.t_p for q in rph_quantities(mst10, tech).values()}
+        assert len(values) == 1
+
+    def test_rejects_cyclic_routing(self, mst10, tech):
+        cyclic = mst10.with_edge(*mst10.candidate_edges()[0])
+        with pytest.raises(RoutingGraphError):
+            rph_quantities(cyclic, tech)
+
+
+class TestDelayBounds:
+    @pytest.mark.parametrize("fraction", [0.3, 0.5, 0.9])
+    def test_bounds_sandwich_measured_delay(self, tech, fraction):
+        for seed in range(4):
+            net = Net.random(9, seed=seed)
+            tree = prim_mst(net)
+            measured = spice_delays(tree, tech,
+                                    SpiceOptions(segments=1,
+                                                 threshold=fraction))
+            bounds = delay_bounds(tree, tech, fraction=fraction)
+            for sink, t in measured.items():
+                lo, hi = bounds[sink]
+                assert lo <= t * (1 + 1e-9)
+                assert t <= hi * (1 + 1e-9)
+
+    def test_lower_bound_clamped_at_zero(self, mst10, tech):
+        bounds = delay_bounds(mst10, tech, fraction=0.01)
+        assert all(lo >= 0.0 for lo, _ in bounds.values())
+
+    def test_bounds_tighten_with_threshold_consistently(self, mst10, tech):
+        low = delay_bounds(mst10, tech, fraction=0.3)
+        high = delay_bounds(mst10, tech, fraction=0.9)
+        for sink in low:
+            assert high[sink][0] >= low[sink][0] - 1e-15  # lower rises
+            assert high[sink][1] >= low[sink][1] - 1e-15  # upper rises
+
+    def test_fraction_validation(self, mst10, tech):
+        with pytest.raises(ValueError, match="fraction"):
+            delay_bounds(mst10, tech, fraction=1.0)
+
+    def test_single_rc_exact_forms(self, tech):
+        """On one lumped RC the bounds reduce to u >= 1-e^-u analysis:
+        lower = T_D - T_P/2 and upper = 2 T_D - T_R at 50%."""
+        net = Net.from_points([(0, 0), (1000, 0)])
+        tree = prim_mst(net)
+        q = rph_quantities(tree, tech)[1]
+        lo, hi = delay_bounds(tree, tech, fraction=0.5)[1]
+        assert lo == pytest.approx(max(0.0, q.t_d - 0.5 * q.t_p))
+        assert hi == pytest.approx(2.0 * q.t_d - q.t_r)

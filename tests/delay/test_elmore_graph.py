@@ -1,0 +1,75 @@
+"""Unit tests for general-graph (first-moment) Elmore delay."""
+
+import pytest
+
+from repro.delay.elmore_graph import graph_elmore_delay, graph_elmore_delays
+from repro.delay.elmore_tree import elmore_delays
+from repro.geometry.net import Net
+from repro.graph.mst import prim_mst
+
+
+class TestAgreementOnTrees:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_equals_tree_formula_on_msts(self, seed, tech):
+        net = Net.random(10, seed=seed)
+        tree = prim_mst(net)
+        via_tree = elmore_delays(tree, tech)
+        via_graph = graph_elmore_delays(tree, tech)
+        for node in range(net.num_pins):
+            assert via_graph[node] == pytest.approx(via_tree[node], rel=1e-9)
+
+    def test_two_pin_hand_value(self, tech):
+        net = Net.from_points([(0, 0), (1000, 0)])
+        tree = prim_mst(net)
+        r_e = tech.wire_resistance * 1000.0
+        c_e = tech.wire_capacitance * 1000.0
+        expected = (tech.driver_resistance * (c_e + tech.sink_capacitance)
+                    + r_e * (c_e / 2.0 + tech.sink_capacitance))
+        assert graph_elmore_delays(tree, tech)[1] == pytest.approx(expected)
+
+
+class TestNonTreeBehavior:
+    def test_cycles_are_accepted(self, mst10, tech):
+        cyclic = mst10.with_edge(*mst10.candidate_edges()[0])
+        delays = graph_elmore_delays(cyclic, tech)
+        assert len(delays) == 10
+        assert all(d > 0 for d in delays.values())
+
+    def test_source_shortcut_speeds_up_detour_sink(self, tech):
+        # A hand-built "C" net: the MST path from the source to the last
+        # pin snakes ~19 mm while the direct distance is 5 mm. The
+        # shortcut's resistance saving dwarfs its capacitance cost, so
+        # the first-moment delay must drop.
+        net = Net.from_points([(0, 0), (4000, 0), (8000, 0), (8000, 4000),
+                               (4000, 4200), (800, 4200)], name="c_shape")
+        tree = prim_mst(net)
+        base = graph_elmore_delays(tree, tech)
+        assert not tree.has_edge(0, 5)
+        shortcut = tree.with_edge(0, 5)
+        after = graph_elmore_delays(shortcut, tech)
+        assert after[5] < base[5]
+
+    def test_paper_premise_extra_edge_can_cut_max_delay(self, tech):
+        """The paper's core claim at the Elmore level: for some net,
+        adding one edge reduces the max source-sink delay."""
+        improved = 0
+        for seed in range(10):
+            net = Net.random(10, seed=seed)
+            tree = prim_mst(net)
+            base = graph_elmore_delay(tree, tech)
+            best = min(graph_elmore_delay(tree.with_edge(u, v), tech)
+                       for u, v in tree.candidate_edges())
+            if best < base:
+                improved += 1
+        assert improved >= 5  # most nets benefit, per Table 2
+
+    def test_max_delay_helper(self, mst10, tech):
+        delays = graph_elmore_delays(mst10, tech)
+        expected = max(delays[s] for s in range(1, 10))
+        assert graph_elmore_delay(mst10, tech) == pytest.approx(expected)
+
+    def test_widths_thread_through(self, mst10, tech):
+        base = graph_elmore_delay(mst10, tech)
+        stem = next(iter(mst10.edges()))
+        wide = graph_elmore_delay(mst10, tech, widths={stem: 3.0})
+        assert wide != pytest.approx(base)

@@ -1,0 +1,116 @@
+"""Unit tests for the O(k) Elmore tree formula (paper equation (1))."""
+
+import pytest
+
+from repro.delay.elmore_tree import (
+    elmore_delays,
+    elmore_delays_component,
+    elmore_tree_delay,
+)
+from repro.geometry.net import Net
+from repro.geometry.point import Point
+from repro.graph.mst import prim_mst
+from repro.graph.routing_graph import RoutingGraph, RoutingGraphError
+
+
+class TestHandComputedChain:
+    def test_two_pin_net(self, tech):
+        net = Net.from_points([(0, 0), (1000, 0)])
+        tree = RoutingGraph.from_edges(net, [(0, 1)])
+        delays = elmore_delays(tree, tech)
+        r_e = tech.wire_resistance * 1000.0
+        c_e = tech.wire_capacitance * 1000.0
+        c_total = c_e + tech.sink_capacitance
+        expected_root = tech.driver_resistance * c_total
+        expected_sink = expected_root + r_e * (c_e / 2.0 + tech.sink_capacitance)
+        assert delays[0] == pytest.approx(expected_root)
+        assert delays[1] == pytest.approx(expected_sink)
+
+    def test_three_pin_chain(self, tech, line_net):
+        tree = RoutingGraph.from_edges(line_net, [(0, 1), (1, 2)])
+        delays = elmore_delays(tree, tech)
+        r = tech.wire_resistance * 1000.0
+        c = tech.wire_capacitance * 1000.0
+        cs = tech.sink_capacitance
+        total = 2 * c + 2 * cs
+        t0 = tech.driver_resistance * total
+        t1 = t0 + r * (c / 2.0 + (cs + c + cs))
+        t2 = t1 + r * (c / 2.0 + cs)
+        assert delays[1] == pytest.approx(t1)
+        assert delays[2] == pytest.approx(t2)
+
+    def test_max_delay_helper(self, tech, line_net):
+        tree = RoutingGraph.from_edges(line_net, [(0, 1), (1, 2)])
+        delays = elmore_delays(tree, tech)
+        assert elmore_tree_delay(tree, tech) == pytest.approx(delays[2])
+
+
+class TestStructuralBehavior:
+    def test_delay_increases_along_paths(self, mst10, tech):
+        delays = elmore_delays(mst10, tech)
+        parents = mst10.rooted_parents()
+        for node, parent in parents.items():
+            if parent is not None:
+                assert delays[node] > delays[parent]
+
+    def test_steiner_nodes_add_no_sink_load(self, tech):
+        # Same geometry, once with a pin and once with a Steiner point at
+        # the junction: the Steiner version must be strictly faster.
+        net_pin = Net.from_points([(0, 0), (500, 0), (1000, 0)])
+        tree_pin = RoutingGraph.from_edges(net_pin, [(0, 1), (1, 2)])
+        net_st = Net.from_points([(0, 0), (1000, 0)])
+        tree_st = RoutingGraph(net_st)
+        mid = tree_st.add_steiner_point(Point(500, 0))
+        tree_st.add_edge(0, mid)
+        tree_st.add_edge(mid, 1)
+        end_with_pin = elmore_delays(tree_pin, tech)[2]
+        end_with_steiner = elmore_delays(tree_st, tech)[1]
+        assert end_with_steiner < end_with_pin
+
+    def test_rejects_cyclic_routing(self, mst10, tech):
+        cyclic = mst10.with_edge(*mst10.candidate_edges()[0])
+        with pytest.raises(RoutingGraphError):
+            elmore_delays(cyclic, tech)
+
+    def test_width_tradeoff_depends_on_driver(self, tech):
+        # Widening the stem trades its resistance against extra driver-
+        # visible capacitance. With the paper's 100-ohm driver and short
+        # wires the capacitance side wins; with a strong driver and long
+        # wires the resistance side wins. Both directions are physics the
+        # model must reproduce.
+        long_net = Net.from_points([(0, 0), (5000, 0), (10000, 0)])
+        tree = RoutingGraph.from_edges(long_net, [(0, 1), (1, 2)])
+        widths = {(0, 1): 4.0}
+
+        weak_driver = tech  # 100 ohm, wire R per edge = 150 ohm
+        base = elmore_delays(tree, weak_driver)
+        wide = elmore_delays(tree, weak_driver, widths=widths)
+        strong_driver = tech.with_driver(5.0)
+        base_strong = elmore_delays(tree, strong_driver)
+        wide_strong = elmore_delays(tree, strong_driver, widths=widths)
+
+        assert wide_strong[2] < base_strong[2]  # widening pays off
+        # Relative benefit must shrink as the driver weakens.
+        assert (wide[2] / base[2]) > (wide_strong[2] / base_strong[2])
+
+
+class TestComponentVariant:
+    def test_matches_full_on_complete_tree(self, mst10, tech):
+        full = elmore_delays(mst10, tech)
+        component = elmore_delays_component(mst10, tech)
+        assert component == pytest.approx(full)
+
+    def test_partial_tree(self, tech, line_net):
+        graph = RoutingGraph.from_edges(line_net, [(0, 1)])  # pin 2 isolated
+        delays = elmore_delays_component(graph, tech)
+        assert set(delays) == {0, 1}
+        # The isolated pin contributes neither load nor delay.
+        solo_net = Net.from_points([(0, 0), (1000, 0)])
+        solo = RoutingGraph.from_edges(solo_net, [(0, 1)])
+        assert delays[1] == pytest.approx(elmore_delays(solo, tech)[1])
+
+    def test_cycle_in_component_rejected(self, tech):
+        net = Net.from_points([(0, 0), (10, 0), (10, 10), (5000, 5000)])
+        graph = RoutingGraph.from_edges(net, [(0, 1), (1, 2), (0, 2)])
+        with pytest.raises(RoutingGraphError, match="cycle"):
+            elmore_delays_component(graph, tech)

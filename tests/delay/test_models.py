@@ -1,0 +1,97 @@
+"""Unit tests for the DelayModel oracle interface."""
+
+import pytest
+
+from repro.delay.models import (
+    DelayModel,
+    ElmoreGraphModel,
+    ElmoreTreeModel,
+    SpiceDelayModel,
+    TwoPoleModel,
+    get_delay_model,
+)
+from repro.delay.spice_delay import SpiceOptions
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name,cls", [
+        ("spice", SpiceDelayModel),
+        ("elmore", ElmoreGraphModel),
+        ("elmore-graph", ElmoreGraphModel),
+        ("elmore-tree", ElmoreTreeModel),
+        ("two-pole", TwoPoleModel),
+    ])
+    def test_string_shortcuts(self, name, cls, tech):
+        model = get_delay_model(name, tech)
+        assert isinstance(model, cls)
+        assert model.tech is tech
+
+    def test_instances_pass_through(self, tech):
+        model = ElmoreGraphModel(tech)
+        assert get_delay_model(model, tech) is model
+
+    def test_unknown_name_rejected(self, tech):
+        with pytest.raises(ValueError, match="unknown delay model"):
+            get_delay_model("hspice", tech)
+
+
+class TestModelBehavior:
+    def test_all_models_agree_on_ordering(self, mst10, tech):
+        """Different estimators disagree on absolute numbers but must
+        agree on which sink is slowest for a clearly-skewed tree."""
+        models = [SpiceDelayModel(tech), ElmoreGraphModel(tech),
+                  ElmoreTreeModel(tech), TwoPoleModel(tech)]
+        worst = {type(m).__name__: max(m.delays(mst10), key=m.delays(mst10).get)
+                 for m in models}
+        assert len(set(worst.values())) == 1
+
+    def test_max_delay_consistent_with_delays(self, mst10, tech):
+        model = ElmoreGraphModel(tech)
+        assert model.max_delay(mst10) == pytest.approx(
+            max(model.delays(mst10).values()))
+
+    def test_weighted_delay(self, mst10, tech):
+        model = ElmoreGraphModel(tech)
+        delays = model.delays(mst10)
+        weights = {1: 2.0, 3: 1.0}
+        expected = 2.0 * delays[1] + delays[3]
+        assert model.weighted_delay(mst10, weights) == pytest.approx(expected)
+
+    def test_elmore_upper_bounds_spice(self, mst10, tech):
+        """Elmore is a (loose) upper bound for the 50% delay on RC trees
+        (Rubinstein-Penfield-Horowitz)."""
+        spice = SpiceDelayModel(tech).delays(mst10)
+        elmore = ElmoreGraphModel(tech).delays(mst10)
+        for sink in spice:
+            assert spice[sink] <= elmore[sink] * 1.001
+
+    def test_two_pole_closer_than_elmore(self, mst10, tech):
+        spice = SpiceDelayModel(tech, SpiceOptions(segments=1)).delays(mst10)
+        elmore = ElmoreGraphModel(tech).delays(mst10)
+        two_pole = TwoPoleModel(tech).delays(mst10)
+        worst = max(spice, key=spice.get)
+        assert (abs(two_pole[worst] - spice[worst])
+                < abs(elmore[worst] - spice[worst]))
+
+    def test_elmore_tree_rejects_cycles(self, mst10, tech):
+        from repro.graph.routing_graph import RoutingGraphError
+
+        cyclic = mst10.with_edge(*mst10.candidate_edges()[0])
+        with pytest.raises(RoutingGraphError):
+            ElmoreTreeModel(tech).delays(cyclic)
+        # while the graph model accepts them:
+        assert ElmoreGraphModel(tech).delays(cyclic)
+
+    def test_two_pole_threshold_validation(self, tech):
+        with pytest.raises(ValueError, match="threshold"):
+            TwoPoleModel(tech, threshold=1.5)
+
+    def test_spice_model_honors_options(self, mst10, tech):
+        coarse = SpiceDelayModel(tech, SpiceOptions(segments=1))
+        fine = SpiceDelayModel(tech, SpiceOptions(segments=8))
+        worst = max(fine.delays(mst10).values())
+        assert max(coarse.delays(mst10).values()) == pytest.approx(
+            worst, rel=0.05)
+
+    def test_repr(self, tech):
+        assert "spice" in repr(SpiceDelayModel(tech))

@@ -1,0 +1,87 @@
+"""Unit tests for the Technology parameter set (paper Table 1)."""
+
+import pytest
+
+from repro.delay.parameters import Technology
+
+
+class TestTable1Values:
+    def test_cmos08_matches_paper(self):
+        tech = Technology.cmos08()
+        assert tech.driver_resistance == 100.0
+        assert tech.wire_resistance == 0.03
+        assert tech.wire_capacitance == 0.352e-15
+        assert tech.wire_inductance == 492e-15
+        assert tech.sink_capacitance == 15.3e-15
+        assert tech.region == 10_000.0
+
+    def test_intrinsic_time_constant(self):
+        tech = Technology.cmos08()
+        assert tech.intrinsic_time_constant() == pytest.approx(
+            0.03 * 0.352e-15)
+
+
+class TestWidthLaws:
+    def test_unit_width_reproduces_table1(self, tech):
+        assert tech.resistance_per_um(1.0) == tech.wire_resistance
+        assert tech.capacitance_per_um(1.0) == pytest.approx(
+            tech.wire_capacitance)
+
+    def test_resistance_halves_at_double_width(self, tech):
+        assert tech.resistance_per_um(2.0) == pytest.approx(
+            tech.wire_resistance / 2.0)
+
+    def test_capacitance_grows_sublinearly(self, tech):
+        c1 = tech.capacitance_per_um(1.0)
+        c2 = tech.capacitance_per_um(2.0)
+        assert c1 < c2 < 2.0 * c1  # fringe term does not scale
+
+    def test_area_fraction_extremes(self):
+        all_area = Technology(cap_area_fraction=1.0)
+        assert all_area.capacitance_per_um(3.0) == pytest.approx(
+            3.0 * all_area.wire_capacitance)
+        all_fringe = Technology(cap_area_fraction=0.0)
+        assert all_fringe.capacitance_per_um(3.0) == pytest.approx(
+            all_fringe.wire_capacitance)
+
+    def test_edge_totals(self, tech):
+        assert tech.edge_resistance(1000.0) == pytest.approx(30.0)
+        assert tech.edge_capacitance(1000.0) == pytest.approx(0.352e-12)
+
+    @pytest.mark.parametrize("width", [0.0, -1.0])
+    def test_rejects_bad_width(self, tech, width):
+        with pytest.raises(ValueError, match="width"):
+            tech.resistance_per_um(width)
+        with pytest.raises(ValueError, match="width"):
+            tech.capacitance_per_um(width)
+        with pytest.raises(ValueError, match="width"):
+            tech.inductance_per_um(width)
+
+
+class TestValidation:
+    @pytest.mark.parametrize("field,value", [
+        ("driver_resistance", 0.0),
+        ("wire_resistance", -0.1),
+        ("wire_capacitance", 0.0),
+        ("sink_capacitance", -1e-15),
+        ("region", 0.0),
+    ])
+    def test_rejects_non_positive(self, field, value):
+        with pytest.raises(ValueError, match=field):
+            Technology(**{field: value})
+
+    def test_rejects_negative_inductance(self):
+        with pytest.raises(ValueError, match="inductance"):
+            Technology(wire_inductance=-1e-15)
+
+    def test_rejects_bad_area_fraction(self):
+        with pytest.raises(ValueError, match="cap_area_fraction"):
+            Technology(cap_area_fraction=1.5)
+
+    def test_zero_inductance_allowed(self):
+        assert Technology(wire_inductance=0.0).inductance_per_um() == 0.0
+
+    def test_with_driver(self, tech):
+        faster = tech.with_driver(25.0)
+        assert faster.driver_resistance == 25.0
+        assert faster.wire_resistance == tech.wire_resistance

@@ -1,0 +1,141 @@
+"""Unit tests for routing-graph → electrical-model builders."""
+
+import numpy as np
+import pytest
+
+from repro.delay.rc_builder import (
+    build_interconnect_circuit,
+    build_reduced_rc,
+    edge_key,
+    edge_width,
+    node_label,
+    segment_count_for,
+)
+from repro.geometry.net import Net
+from repro.graph.routing_graph import RoutingGraph, RoutingGraphError
+
+
+@pytest.fixture
+def two_pin() -> RoutingGraph:
+    net = Net.from_points([(0, 0), (1000, 0)], name="wire")
+    return RoutingGraph.from_edges(net, [(0, 1)])
+
+
+class TestHelpers:
+    def test_edge_key_sorts(self):
+        assert edge_key(3, 1) == (1, 3)
+        assert edge_key(1, 3) == (1, 3)
+
+    def test_edge_width_default(self):
+        assert edge_width(None, 0, 1) == 1.0
+        assert edge_width({(0, 1): 2.0}, 1, 0) == 2.0
+        assert edge_width({(0, 1): 2.0}, 0, 2) == 1.0
+
+    def test_node_label(self):
+        assert node_label(7) == "n7"
+
+    def test_segment_count(self):
+        assert segment_count_for(1000.0, 3) == 3
+        assert segment_count_for(0.0, 3) == 1
+        with pytest.raises(ValueError):
+            segment_count_for(1000.0, 0)
+
+
+class TestReducedRC:
+    def test_single_wire_values(self, two_pin, tech):
+        sys = build_reduced_rc(two_pin, tech, segments=1)
+        assert sys.size == 2
+        g_wire = 1.0 / (tech.wire_resistance * 1000.0)
+        g_drv = 1.0 / tech.driver_resistance
+        G_expected = np.array([[g_drv + g_wire, -g_wire],
+                               [-g_wire, g_wire]])
+        assert np.allclose(sys.G, G_expected)
+        half_wire_cap = tech.wire_capacitance * 1000.0 / 2.0
+        assert sys.c[0] == pytest.approx(half_wire_cap)
+        assert sys.c[1] == pytest.approx(half_wire_cap + tech.sink_capacitance)
+        assert sys.b[0] == pytest.approx(g_drv)
+        assert sys.b[1] == 0.0
+
+    def test_total_capacitance_independent_of_segments(self, two_pin, tech):
+        totals = [build_reduced_rc(two_pin, tech, segments=s).c.sum()
+                  for s in (1, 2, 5)]
+        assert totals[0] == pytest.approx(totals[1])
+        assert totals[0] == pytest.approx(totals[2])
+
+    def test_segmentation_adds_internal_nodes(self, two_pin, tech):
+        sys = build_reduced_rc(two_pin, tech, segments=4)
+        assert sys.size == 2 + 3  # 2 pins + 3 internal nodes
+
+    def test_width_scales_conductance_and_cap(self, two_pin, tech):
+        unit = build_reduced_rc(two_pin, tech)
+        wide = build_reduced_rc(two_pin, tech, widths={(0, 1): 2.0})
+        # Wider wire: conductance up...
+        assert wide.G[0, 1] == pytest.approx(2.0 * unit.G[0, 1])
+        # ...capacitance up but sublinearly (fringe term).
+        assert unit.c[0] < wide.c[0] < 2.0 * unit.c[0]
+
+    def test_final_voltages_are_unity(self, mst10, tech):
+        sys = build_reduced_rc(mst10, tech)
+        assert np.allclose(sys.final_voltages(), 1.0)
+
+    def test_rejects_non_spanning_graph(self, net10, tech):
+        graph = RoutingGraph(net10)  # no edges at all
+        with pytest.raises(RoutingGraphError, match="does not span"):
+            build_reduced_rc(graph, tech)
+
+    def test_labels_expose_graph_nodes(self, mst10, tech):
+        sys = build_reduced_rc(mst10, tech, segments=2)
+        graph_rows = [lbl for lbl in sys.labels if isinstance(lbl, int)]
+        assert sorted(graph_rows) == list(range(10))
+
+    def test_cycles_supported(self, mst10, tech):
+        cyclic = mst10.with_edge(*mst10.candidate_edges()[0])
+        sys = build_reduced_rc(cyclic, tech)
+        assert np.allclose(sys.final_voltages(), 1.0)
+
+
+class TestInterconnectCircuit:
+    def test_driver_chain(self, two_pin, tech):
+        ckt = build_interconnect_circuit(two_pin, tech)
+        assert "vin" in ckt and "rdrv" in ckt
+        assert ckt.element("rdrv").value == tech.driver_resistance
+
+    def test_sink_loads_present(self, mst10, tech):
+        ckt = build_interconnect_circuit(mst10, tech)
+        # Total capacitance = wire + 9 sink loads.
+        total_cap = sum(c.value for c in ckt.capacitors())
+        expected = (tech.wire_capacitance * mst10.cost()
+                    + 9 * tech.sink_capacitance)
+        assert total_cap == pytest.approx(expected)
+
+    def test_inductance_off_by_default(self, two_pin, tech):
+        ckt = build_interconnect_circuit(two_pin, tech)
+        assert ckt.inductors() == []
+
+    def test_inductance_on_request(self, two_pin, tech):
+        ckt = build_interconnect_circuit(two_pin, tech,
+                                         include_inductance=True)
+        total_l = sum(l.value for l in ckt.inductors())
+        assert total_l == pytest.approx(tech.wire_inductance * 1000.0)
+
+    def test_segment_resistances_sum_to_edge_total(self, two_pin, tech):
+        ckt = build_interconnect_circuit(two_pin, tech, segments=5)
+        wire_r = sum(r.value for r in ckt.resistors() if r.name != "rdrv")
+        assert wire_r == pytest.approx(tech.wire_resistance * 1000.0)
+
+    def test_rejects_non_spanning_graph(self, net10, tech):
+        with pytest.raises(RoutingGraphError, match="does not span"):
+            build_interconnect_circuit(RoutingGraph(net10), tech)
+
+    def test_matches_reduced_rc_electrically(self, mst10, tech):
+        """The two builders describe the same physics: equal Elmore."""
+        from repro.circuit.moments import elmore_from_moments, node_moments
+
+        sys = build_reduced_rc(mst10, tech, segments=2)
+        elmore_reduced = sys.elmore()
+        ckt = build_interconnect_circuit(mst10, tech, segments=2)
+        moments = node_moments(ckt, count=2)
+        for sink in range(1, 10):
+            via_mna = elmore_from_moments(moments[node_label(sink)])
+            assert via_mna == pytest.approx(
+                elmore_reduced[sys.row(sink)], rel=1e-6)

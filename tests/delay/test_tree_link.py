@@ -1,0 +1,110 @@
+"""Unit tests for Chan–Karplus tree/link partitioning."""
+
+import numpy as np
+import pytest
+
+from repro.delay.elmore_graph import graph_elmore_delays
+from repro.delay.elmore_tree import elmore_delays
+from repro.delay.tree_link import (
+    TreeLinkSystem,
+    partition_tree_links,
+    tree_link_elmore,
+)
+from repro.geometry.net import Net
+from repro.graph.mst import prim_mst
+from repro.graph.routing_graph import RoutingGraph, RoutingGraphError
+
+
+class TestTreeSolver:
+    def test_matches_dense_solve(self, mst10, tech):
+        parents, order, _ = partition_tree_links(mst10)
+        index = {node: i for i, node in enumerate(order)}
+        g_parent = {
+            node: 1.0 / (tech.wire_resistance * mst10.edge_length(node, p))
+            for node, p in parents.items() if p is not None}
+        tree = TreeLinkSystem(order, parents, g_parent,
+                              1.0 / tech.driver_resistance, 0)
+        n = len(order)
+        G = np.zeros((n, n))
+        G[index[0], index[0]] += 1.0 / tech.driver_resistance
+        for node, parent in parents.items():
+            if parent is None:
+                continue
+            i, j = index[node], index[parent]
+            g = g_parent[node]
+            G[i, i] += g
+            G[j, j] += g
+            G[i, j] -= g
+            G[j, i] -= g
+        rng = np.random.default_rng(7)
+        for _ in range(3):
+            b = rng.standard_normal(n)
+            assert np.allclose(tree.solve(b), np.linalg.solve(G, b),
+                               rtol=1e-9, atol=1e-12)
+
+    def test_rejects_wrong_shape(self, mst10, tech):
+        parents, order, _ = partition_tree_links(mst10)
+        g_parent = {node: 1.0 for node, p in parents.items()
+                    if p is not None}
+        tree = TreeLinkSystem(order, parents, g_parent, 1.0, 0)
+        with pytest.raises(ValueError, match="shape"):
+            tree.solve(np.zeros(3))
+
+
+class TestPartition:
+    def test_tree_has_no_links(self, mst10):
+        _, order, links = partition_tree_links(mst10)
+        assert links == []
+        assert len(order) == 10
+
+    def test_each_extra_edge_is_a_link(self, mst10):
+        graph = mst10.copy()
+        extras = graph.candidate_edges()[:2]
+        for edge in extras:
+            graph.add_edge(*edge)
+        _, _, links = partition_tree_links(graph)
+        assert len(links) == 2
+
+    def test_rejects_non_spanning(self, net10):
+        with pytest.raises(RoutingGraphError, match="does not span"):
+            partition_tree_links(RoutingGraph(net10))
+
+
+class TestElmoreAgreement:
+    def test_equals_tree_formula_on_trees(self, mst10, tech):
+        via_formula = elmore_delays(mst10, tech)
+        via_tree_link = tree_link_elmore(mst10, tech)
+        for node in range(10):
+            assert via_tree_link[node] == pytest.approx(
+                via_formula[node], rel=1e-9)
+
+    @pytest.mark.parametrize("num_links", [1, 2, 3])
+    def test_equals_dense_solve_with_links(self, num_links, tech):
+        for seed in range(3):
+            net = Net.random(10, seed=seed)
+            graph = prim_mst(net)
+            for edge in graph.candidate_edges()[:num_links]:
+                graph.add_edge(*edge)
+            dense = graph_elmore_delays(graph, tech)
+            tree_link = tree_link_elmore(graph, tech)
+            for node in dense:
+                assert tree_link[node] == pytest.approx(dense[node],
+                                                        rel=1e-9)
+
+    def test_widths_supported(self, mst10, tech):
+        graph = mst10.with_edge(*mst10.candidate_edges()[0])
+        widths = {edge: 2.0 for edge in graph.edges()}
+        dense = graph_elmore_delays(graph, tech, widths=widths)
+        tree_link = tree_link_elmore(graph, tech, widths=widths)
+        for node in dense:
+            assert tree_link[node] == pytest.approx(dense[node], rel=1e-9)
+
+    def test_link_correction_reduces_delay_at_shortcut(self, tech):
+        """Adding a direct source link must not slow the linked sink by
+        the first-moment measure on a long-detour net."""
+        net = Net.from_points([(0, 0), (4000, 0), (8000, 0), (8000, 4000),
+                               (4000, 4200), (800, 4200)])
+        tree = prim_mst(net)
+        base = tree_link_elmore(tree, tech)
+        linked = tree_link_elmore(tree.with_edge(0, 5), tech)
+        assert linked[5] < base[5]

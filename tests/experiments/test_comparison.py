@@ -1,0 +1,96 @@
+"""Unit tests for the paper-data transcription and comparison rendering."""
+
+import pytest
+
+from repro.experiments.comparison import (
+    compare_blocks,
+    compare_table,
+    parse_rendered_table,
+)
+from repro.experiments.harness import RowStats
+from repro.experiments.paper_data import PAPER_FIGURES, PAPER_TABLES, paper_row
+from repro.experiments.reporting import Table
+
+
+class TestPaperDataIntegrity:
+    def test_all_tables_have_all_sizes(self):
+        for number, blocks in PAPER_TABLES.items():
+            for label, sizes in blocks.items():
+                assert sorted(sizes) == [5, 10, 20, 30], (number, label)
+
+    @pytest.mark.parametrize("table,block,size,expected_delay", [
+        (2, "LDRG Iteration One", 30, 0.76),
+        (5, "H2 Heuristic", 5, 1.14),
+        (6, "", 30, 0.71),
+        (7, "", 20, 0.98),
+    ])
+    def test_spot_values(self, table, block, size, expected_delay):
+        assert paper_row(table, block, size)[0] == expected_delay
+
+    @pytest.mark.parametrize("table,block,size", [
+        (2, "LDRG Iteration Two", 10),
+        (4, "H1 Iteration Two", 10),
+        (4, "H1 Iteration Two", 30),
+    ])
+    def test_iteration_two_weighted_average_consistency(self, table, block,
+                                                        size):
+        """The paper's own arithmetic: all-cases = p·winners + (1-p)·1."""
+        all_delay, all_cost, pct, win_delay, win_cost = paper_row(
+            table, block, size)
+        p = pct / 100.0
+        assert all_delay == pytest.approx(p * win_delay + (1 - p) * 1.0,
+                                          abs=0.011)
+        assert all_cost == pytest.approx(p * win_cost + (1 - p) * 1.0,
+                                         abs=0.011)
+
+    def test_figures_transcribed(self):
+        assert PAPER_FIGURES[2] == (5.4, 3.6, 33.3, 21.5)
+        assert set(PAPER_FIGURES) == {1, 2, 3, 5}
+
+
+def _stats(size, delay=0.8, cost=1.2, winners=90.0) -> RowStats:
+    return RowStats(net_size=size, num_trials=10, all_delay=delay,
+                    all_cost=cost, percent_winners=winners,
+                    win_delay=delay, win_cost=cost)
+
+
+class TestParseRenderedTable:
+    def test_round_trip_through_render(self):
+        table = Table(title="Table X", blocks={
+            "A": [_stats(5), _stats(10)],
+            "B": [_stats(5, delay=0.9)],
+        })
+        parsed = parse_rendered_table(table.render())
+        assert set(parsed) == {"A", "B"}
+        assert parsed["A"][10].all_delay == pytest.approx(0.8)
+        assert parsed["B"][5].all_delay == pytest.approx(0.9)
+
+    def test_na_rows_preserved(self):
+        na = RowStats(net_size=5, num_trials=0, all_delay=0, all_cost=0,
+                      percent_winners=0, win_delay=None, win_cost=None,
+                      not_applicable=True)
+        table = Table(title="T", blocks={"": [na]})
+        parsed = parse_rendered_table(table.render())
+        assert parsed[""][5].not_applicable
+
+    def test_no_rows_rejected(self):
+        with pytest.raises(ValueError, match="no table rows"):
+            parse_rendered_table("just some text")
+
+
+class TestCompare:
+    def test_compare_table_mentions_both_columns(self):
+        measured = Table(title="Table 6", blocks={
+            "": [_stats(s) for s in (5, 10, 20, 30)]})
+        text = compare_table(6, measured)
+        assert "paper" in text and "measured" in text
+        assert "0.71" in text  # the paper's 30-pin value
+        assert "0.80 / 1.20 / 90%" in text
+
+    def test_missing_measurement_marked(self):
+        text = compare_blocks(6, {"": {5: _stats(5)}})
+        assert "(not run)" in text
+
+    def test_unknown_table_rejected(self):
+        with pytest.raises(ValueError, match="no published data"):
+            compare_blocks(1, {})

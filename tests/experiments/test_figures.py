@@ -1,0 +1,67 @@
+"""Integration tests for the figure drivers."""
+
+import pytest
+
+from repro.experiments.figures import (
+    FIGURE_DRIVERS,
+    figure1,
+    run_figure,
+)
+from repro.experiments.harness import ExperimentConfig
+
+
+@pytest.fixture(scope="module")
+def config() -> ExperimentConfig:
+    return ExperimentConfig(sizes=(5,), trials=1)
+
+
+@pytest.fixture(scope="module")
+def fig1(config):
+    return figure1(config)
+
+
+class TestFigure1:
+    def test_shape(self, fig1):
+        assert fig1.net.num_pins == 4
+        assert fig1.before.is_tree()
+        assert not fig1.after.is_tree()
+        assert len(fig1.added_edges) == 1
+
+    def test_improvement_metrics(self, fig1):
+        assert fig1.delay_improvement_pct >= 15.0
+        assert fig1.wire_penalty_pct > 0.0
+        assert fig1.after_delay < fig1.before_delay
+        assert fig1.after_cost > fig1.before_cost
+
+    def test_caption_mentions_numbers(self, fig1):
+        caption = fig1.caption()
+        assert "ns" in caption
+        assert "improvement" in caption
+
+    def test_before_graph_is_after_minus_added(self, fig1):
+        after_edges = set(fig1.after.edges())
+        before_edges = set(fig1.before.edges())
+        added = {(min(u, v), max(u, v)) for u, v in fig1.added_edges}
+        assert after_edges - before_edges == added
+
+    def test_svg_export(self, fig1, tmp_path):
+        before_path, after_path = fig1.save_svgs(tmp_path)
+        before_svg = open(before_path, encoding="utf-8").read()
+        after_svg = open(after_path, encoding="utf-8").read()
+        assert before_svg.startswith("<svg")
+        assert "stroke-dasharray" not in before_svg  # no added edges yet
+        assert "stroke-dasharray" in after_svg       # added edge highlighted
+
+    def test_deterministic(self, config, fig1):
+        again = figure1(config)
+        assert again.net.pins == fig1.net.pins
+        assert again.added_edges == fig1.added_edges
+
+
+class TestDispatch:
+    def test_registry(self):
+        assert sorted(FIGURE_DRIVERS) == [1, 2, 3, 5]
+
+    def test_unknown_figure(self, config):
+        with pytest.raises(ValueError, match="no such figure"):
+            run_figure(4, config)

@@ -1,0 +1,155 @@
+"""Unit tests for the experiment harness statistics.
+
+The aggregation arithmetic is checked against the paper's own numbers:
+the iteration-two rows of Tables 2 and 4 are weighted averages of the
+winners-only columns with 1.0 for non-participants, which pins down the
+statistics' semantics exactly.
+"""
+
+import pytest
+
+from repro.core.result import IterationRecord, RoutingResult
+from repro.experiments.harness import (
+    ExperimentConfig,
+    TrialRatios,
+    aggregate,
+    final_ratios,
+    iteration_ratios,
+    run_size_sweep,
+)
+from repro.graph.mst import prim_mst
+
+
+def make_result(net10, base_delay=1.0, history_delays=(), base_cost=100.0):
+    graph = prim_mst(net10)
+    history = []
+    cost = base_cost
+    for delay in history_delays:
+        cost += 10.0
+        history.append(IterationRecord(edge=(0, 1), delay=delay, cost=cost))
+    final_delay = history_delays[-1] if history_delays else base_delay
+    return RoutingResult(
+        graph=graph, delay=final_delay, cost=cost,
+        delays={1: final_delay}, base_delay=base_delay, base_cost=base_cost,
+        algorithm="x", model="y", history=history)
+
+
+class TestAggregate:
+    def test_all_cases_mean(self):
+        ratios = [TrialRatios(0.8, 1.2, True), TrialRatios(1.0, 1.0, False)]
+        row = aggregate(10, ratios)
+        assert row.all_delay == pytest.approx(0.9)
+        assert row.all_cost == pytest.approx(1.1)
+        assert row.percent_winners == pytest.approx(50.0)
+        assert row.win_delay == pytest.approx(0.8)
+        assert row.win_cost == pytest.approx(1.2)
+
+    def test_no_winners_gives_na(self):
+        row = aggregate(5, [TrialRatios(1.0, 1.0, False)])
+        assert row.win_delay is None
+        assert row.win_cost is None
+        assert row.percent_winners == 0.0
+
+    def test_paper_arithmetic_table2_iteration_two(self):
+        """10% winners at 0.79/1.40 + 90% at 1.0 -> 0.98/1.04 (Table 2)."""
+        ratios = ([TrialRatios(0.79, 1.40, True)] * 5
+                  + [TrialRatios(1.0, 1.0, False)] * 45)
+        row = aggregate(10, ratios)
+        assert row.all_delay == pytest.approx(0.979, abs=0.001)
+        assert row.all_cost == pytest.approx(1.04, abs=0.001)
+        assert row.percent_winners == pytest.approx(10.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="no trial outcomes"):
+            aggregate(5, [])
+
+
+class TestIterationRatios:
+    def test_first_iteration_vs_baseline(self, net10):
+        result = make_result(net10, base_delay=1.0, history_delays=(0.8, 0.7))
+        ratios = iteration_ratios(result, 1)
+        assert ratios.delay_ratio == pytest.approx(0.8)
+        assert ratios.improved
+
+    def test_second_iteration_is_marginal(self, net10):
+        result = make_result(net10, base_delay=1.0, history_delays=(0.8, 0.7))
+        ratios = iteration_ratios(result, 2)
+        assert ratios.delay_ratio == pytest.approx(0.7 / 0.8)
+        assert ratios.cost_ratio == pytest.approx(120.0 / 110.0)
+
+    def test_non_participant_contributes_unity(self, net10):
+        result = make_result(net10, history_delays=(0.8,))
+        ratios = iteration_ratios(result, 2)
+        assert ratios.delay_ratio == 1.0
+        assert not ratios.improved
+
+    def test_zero_iterations_rejected(self, net10):
+        with pytest.raises(ValueError, match="numbered from 1"):
+            iteration_ratios(make_result(net10), 0)
+
+    def test_final_ratios(self, net10):
+        result = make_result(net10, base_delay=1.0, history_delays=(0.5,))
+        ratios = final_ratios(result)
+        assert ratios.delay_ratio == pytest.approx(0.5)
+        assert ratios.improved
+
+
+class TestExperimentConfig:
+    def test_defaults_match_paper(self):
+        config = ExperimentConfig()
+        assert config.sizes == (5, 10, 20, 30)
+        assert config.trials == 50
+        assert config.tech.driver_resistance == 100.0
+
+    def test_env_overrides(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRIALS", "7")
+        monkeypatch.setenv("REPRO_SIZES", "4,8")
+        monkeypatch.setenv("REPRO_SEED", "123")
+        config = ExperimentConfig.from_env()
+        assert config.trials == 7
+        assert config.sizes == (4, 8)
+        assert config.seed == 123
+
+    def test_env_defaults(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TRIALS", raising=False)
+        monkeypatch.delenv("REPRO_SIZES", raising=False)
+        config = ExperimentConfig.from_env(default_trials=3,
+                                           default_sizes=(5,))
+        assert config.trials == 3
+        assert config.sizes == (5,)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(trials=0)
+        with pytest.raises(ValueError):
+            ExperimentConfig(sizes=(1,))
+
+    def test_nets_are_reproducible(self):
+        config = ExperimentConfig(trials=3, sizes=(5,))
+        first = [net.pins for net in config.nets(5)]
+        second = [net.pins for net in config.nets(5)]
+        assert first == second
+
+    def test_models_reflect_segments(self):
+        config = ExperimentConfig(segments_search=1, segments_eval=4)
+        assert config.search_model().options.segments == 1
+        assert config.eval_model().options.segments == 4
+
+
+class TestRunSizeSweep:
+    def test_rows_per_size(self, tech):
+        config = ExperimentConfig(sizes=(4, 5), trials=2)
+
+        def fake_run(net):
+            return make_result_net(net)
+
+        def make_result_net(net):
+            graph = prim_mst(net)
+            return RoutingResult(
+                graph=graph, delay=0.9, cost=110.0, delays={1: 0.9},
+                base_delay=1.0, base_cost=100.0, algorithm="x", model="y")
+
+        rows = run_size_sweep(config, fake_run)
+        assert [row.net_size for row in rows] == [4, 5]
+        assert all(row.num_trials == 2 for row in rows)
+        assert all(row.all_delay == pytest.approx(0.9) for row in rows)

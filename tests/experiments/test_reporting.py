@@ -1,0 +1,56 @@
+"""Unit tests for table rendering."""
+
+from repro.experiments.harness import RowStats
+from repro.experiments.reporting import Table, format_rows
+
+
+def row(size=10, all_delay=0.85, all_cost=1.2, winners=90.0,
+        win_delay=0.82, win_cost=1.25, na=False) -> RowStats:
+    return RowStats(net_size=size, num_trials=50, all_delay=all_delay,
+                    all_cost=all_cost, percent_winners=winners,
+                    win_delay=win_delay, win_cost=win_cost,
+                    not_applicable=na)
+
+
+class TestFormatRows:
+    def test_values_formatted_two_decimals(self):
+        text = format_rows([row()])
+        assert "0.85" in text
+        assert "1.20" in text
+        assert "90" in text
+
+    def test_na_row(self):
+        text = format_rows([row(na=True)])
+        assert text.count("NA") == 5
+
+    def test_no_winners_prints_na_in_winner_columns(self):
+        text = format_rows([row(winners=0.0, win_delay=None, win_cost=None)])
+        assert text.count("NA") == 2
+
+    def test_header_present(self):
+        text = format_rows([row()])
+        assert "net size" in text
+        assert "% Winners" in text
+
+
+class TestTable:
+    def test_render_single_block(self):
+        table = Table(title="T", blocks={"": [row()]})
+        text = table.render()
+        assert text.startswith("T\n=")
+        assert "--" not in text.splitlines()[2][:2]
+
+    def test_render_named_blocks(self):
+        table = Table(title="T", blocks={"A": [row()], "B": [row(size=20)]})
+        text = table.render()
+        assert "-- A --" in text
+        assert "-- B --" in text
+
+    def test_notes_rendered(self):
+        table = Table(title="T", blocks={"": [row()]}, notes="a note")
+        assert table.render().endswith("a note")
+
+    def test_rows_accessor(self):
+        rows = [row()]
+        table = Table(title="T", blocks={"": rows})
+        assert table.rows() is rows

@@ -1,0 +1,54 @@
+"""Unit tests for the parameter sweeps."""
+
+import pytest
+
+from repro.experiments.harness import ExperimentConfig
+from repro.experiments.sweeps import (
+    SweepPoint,
+    driver_sweep,
+    format_sweep,
+    size_scaling,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny() -> ExperimentConfig:
+    return ExperimentConfig(sizes=(5,), trials=3)
+
+
+class TestDriverSweep:
+    def test_points_cover_requested_drivers(self, tiny):
+        points = driver_sweep(tiny, driver_resistances=(50.0, 200.0),
+                              net_size=6)
+        assert [p.x for p in points] == [50.0, 200.0]
+
+    def test_ratios_within_greedy_bounds(self, tiny):
+        for point in driver_sweep(tiny, driver_resistances=(100.0,),
+                                  net_size=6):
+            assert 0.0 < point.delay_ratio <= 1.0 + 1e-9
+            assert point.cost_ratio >= 1.0 - 1e-9
+            assert 0.0 <= point.percent_winners <= 100.0
+
+    def test_empty_drivers_rejected(self, tiny):
+        with pytest.raises(ValueError, match="at least one driver"):
+            driver_sweep(tiny, driver_resistances=())
+
+
+class TestSizeScaling:
+    def test_points_cover_sizes(self, tiny):
+        points = size_scaling(tiny, sizes=(4, 6))
+        assert [p.x for p in points] == [4.0, 6.0]
+
+    def test_empty_sizes_rejected(self, tiny):
+        with pytest.raises(ValueError, match="at least one net size"):
+            size_scaling(tiny, sizes=())
+
+
+class TestFormat:
+    def test_text_layout(self):
+        points = [SweepPoint(x=10.0, delay_ratio=0.85, cost_ratio=1.2,
+                             percent_winners=90.0)]
+        text = format_sweep("T", "pins", points)
+        assert text.splitlines()[0] == "T"
+        assert "0.850" in text
+        assert "90" in text

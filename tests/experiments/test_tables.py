@@ -1,0 +1,78 @@
+"""Integration tests for the table drivers (tiny configurations).
+
+Full-scale reproduction lives in benchmarks/; here each driver runs on a
+minimal config to pin down its structure: block names, row order,
+normalization baselines, and the NA convention.
+"""
+
+import pytest
+
+from repro.experiments.harness import ExperimentConfig
+from repro.experiments.tables import (
+    TABLE_DRIVERS,
+    run_table,
+    table1,
+    table2,
+    table4,
+    table5,
+    table6,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny() -> ExperimentConfig:
+    return ExperimentConfig(sizes=(5, 6), trials=3)
+
+
+class TestTable1:
+    def test_lists_all_parameters(self):
+        text = table1()
+        for fragment in ("driver resistance", "wire resistance",
+                         "wire capacitance", "wire inductance",
+                         "sink loading capacitance", "layout area"):
+            assert fragment in text
+
+
+class TestTableStructure:
+    def test_table2_blocks_and_sizes(self, tiny):
+        table = table2(tiny)
+        assert list(table.blocks) == ["LDRG Iteration One",
+                                      "LDRG Iteration Two"]
+        assert [r.net_size for r in table.rows("LDRG Iteration One")] == [5, 6]
+
+    def test_table2_iteration_one_never_worse(self, tiny):
+        for row in table2(tiny).rows("LDRG Iteration One"):
+            assert row.all_delay <= 1.0 + 1e-9
+
+    def test_table4_h1_blocks(self, tiny):
+        table = table4(tiny)
+        assert list(table.blocks) == ["H1 Iteration One", "H1 Iteration Two"]
+
+    def test_table5_two_heuristics(self, tiny):
+        table = table5(tiny)
+        assert list(table.blocks) == ["H2 Heuristic", "H3 Heuristic"]
+        for rows in table.blocks.values():
+            for row in rows:
+                assert row.all_cost >= 1.0 - 1e-9
+
+    def test_table6_single_block(self, tiny):
+        table = table6(tiny)
+        assert list(table.blocks) == [""]
+        assert all(row.num_trials == 3 for row in table.rows())
+
+    def test_render_does_not_crash(self, tiny):
+        text = table6(tiny).render()
+        assert "Table 6" in text
+
+
+class TestRunTable:
+    def test_dispatch(self, tiny):
+        table = run_table(6, tiny)
+        assert "Elmore Routing Tree" in table.title
+
+    def test_unknown_number(self, tiny):
+        with pytest.raises(ValueError, match="no such experiment table"):
+            run_table(1, tiny)  # Table 1 has its own non-statistical driver
+
+    def test_driver_registry_complete(self):
+        assert sorted(TABLE_DRIVERS) == [2, 3, 4, 5, 6, 7]

@@ -1,0 +1,78 @@
+"""Unit tests for bounding boxes and the Hanan grid."""
+
+import pytest
+
+from repro.geometry.hanan import BoundingBox, bounding_box, hanan_points
+from repro.geometry.point import Point
+
+
+class TestBoundingBox:
+    def test_dimensions(self):
+        box = BoundingBox(0, 0, 4, 3)
+        assert box.width == 4
+        assert box.height == 3
+        assert box.half_perimeter == 7
+
+    def test_contains(self):
+        box = BoundingBox(0, 0, 2, 2)
+        assert box.contains(Point(1, 1))
+        assert box.contains(Point(0, 2))  # boundary counts
+        assert not box.contains(Point(3, 1))
+
+    def test_corners(self):
+        corners = BoundingBox(0, 0, 1, 2).corners()
+        assert set(corners) == {Point(0, 0), Point(1, 0),
+                                Point(1, 2), Point(0, 2)}
+
+    def test_rejects_inverted(self):
+        with pytest.raises(ValueError, match="degenerate"):
+            BoundingBox(5, 0, 0, 1)
+
+    def test_degenerate_line_box_allowed(self):
+        box = BoundingBox(0, 1, 5, 1)
+        assert box.height == 0
+
+
+class TestBoundingBoxOfPoints:
+    def test_of_points(self):
+        box = bounding_box([Point(1, 5), Point(-2, 0), Point(3, 3)])
+        assert (box.xmin, box.ymin, box.xmax, box.ymax) == (-2, 0, 3, 5)
+
+    def test_single_point(self):
+        box = bounding_box([Point(2, 2)])
+        assert box.half_perimeter == 0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            bounding_box([])
+
+
+class TestHananPoints:
+    def test_l_shape_yields_two_candidates(self):
+        # Two pins not axis-aligned: grid has 4 points, 2 are the pins.
+        pins = [Point(0, 0), Point(2, 3)]
+        grid = hanan_points(pins)
+        assert set(grid) == {Point(0, 3), Point(2, 0)}
+
+    def test_collinear_pins_have_no_candidates(self):
+        pins = [Point(0, 0), Point(1, 0), Point(5, 0)]
+        assert hanan_points(pins) == []
+
+    def test_grid_size_bound(self):
+        pins = [Point(x, y) for x, y in [(0, 0), (1, 2), (3, 1), (4, 4)]]
+        grid = hanan_points(pins)
+        assert len(grid) == 4 * 4 - 4  # |X| * |Y| minus the pins
+
+    def test_include_pins_flag(self):
+        pins = [Point(0, 0), Point(2, 3)]
+        grid = hanan_points(pins, exclude_pins=False)
+        assert set(pins) <= set(grid)
+        assert len(grid) == 4
+
+    def test_empty_input(self):
+        assert hanan_points([]) == []
+
+    def test_candidates_lie_inside_bounding_box(self):
+        pins = [Point(0, 0), Point(7, 2), Point(3, 9)]
+        box = bounding_box(pins)
+        assert all(box.contains(p) for p in hanan_points(pins))

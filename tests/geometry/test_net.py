@@ -1,0 +1,83 @@
+"""Unit tests for the Net container."""
+
+import pytest
+
+from repro.geometry.net import DEFAULT_REGION_UM, Net
+from repro.geometry.point import Point
+
+
+class TestConstruction:
+    def test_pins_puts_source_first(self):
+        net = Net(source=Point(0, 0), sinks=(Point(1, 1), Point(2, 2)))
+        assert net.pins[0] == net.source
+        assert net.pins[1:] == net.sinks
+
+    def test_counts(self):
+        net = Net(source=Point(0, 0), sinks=(Point(1, 1), Point(2, 2)))
+        assert net.num_pins == 3
+        assert net.num_sinks == 2
+        assert len(net) == 3
+
+    def test_sink_indices_skip_source(self):
+        net = Net(source=Point(0, 0), sinks=(Point(1, 1), Point(2, 2)))
+        assert list(net.sink_indices()) == [1, 2]
+
+    def test_rejects_empty_sinks(self):
+        with pytest.raises(ValueError, match="at least one sink"):
+            Net(source=Point(0, 0), sinks=())
+
+    def test_rejects_duplicate_pins(self):
+        with pytest.raises(ValueError, match="duplicate pin"):
+            Net(source=Point(0, 0), sinks=(Point(1, 1), Point(0, 0)))
+
+    def test_rejects_duplicate_sinks(self):
+        with pytest.raises(ValueError, match="duplicate pin"):
+            Net(source=Point(0, 0), sinks=(Point(1, 1), Point(1, 1)))
+
+    def test_list_sinks_coerced_to_tuple(self):
+        net = Net(source=Point(0, 0), sinks=[Point(1, 1)])  # type: ignore
+        assert isinstance(net.sinks, tuple)
+
+    def test_iteration_yields_pins(self):
+        net = Net(source=Point(0, 0), sinks=(Point(1, 1),))
+        assert list(net) == [Point(0, 0), Point(1, 1)]
+
+
+class TestFromPoints:
+    def test_accepts_tuples(self):
+        net = Net.from_points([(0, 0), (1, 1), (2, 0)])
+        assert net.source == Point(0, 0)
+        assert net.num_sinks == 2
+
+    def test_accepts_points(self):
+        net = Net.from_points([Point(0, 0), Point(5, 5)])
+        assert net.sinks == (Point(5, 5),)
+
+    def test_needs_two_points(self):
+        with pytest.raises(ValueError, match="source and at least one sink"):
+            Net.from_points([(0, 0)])
+
+
+class TestRandom:
+    def test_respects_num_pins(self):
+        assert Net.random(8, seed=1).num_pins == 8
+
+    def test_stays_in_region(self):
+        net = Net.random(30, seed=3)
+        for pin in net.pins:
+            assert 0 <= pin.x <= DEFAULT_REGION_UM
+            assert 0 <= pin.y <= DEFAULT_REGION_UM
+
+    def test_seeded_reproducibility(self):
+        assert Net.random(10, seed=5).pins == Net.random(10, seed=5).pins
+
+    def test_different_seeds_differ(self):
+        assert Net.random(10, seed=5).pins != Net.random(10, seed=6).pins
+
+
+class TestRenamed:
+    def test_changes_only_name(self):
+        net = Net.from_points([(0, 0), (1, 1)], name="a")
+        other = net.renamed("b")
+        assert other.name == "b"
+        assert other.pins == net.pins

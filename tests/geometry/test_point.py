@@ -1,0 +1,75 @@
+"""Unit tests for the Manhattan-plane Point."""
+
+import math
+
+import pytest
+
+from repro.geometry.point import Point, euclidean, manhattan
+
+
+class TestManhattanDistance:
+    def test_axis_aligned(self):
+        assert Point(0, 0).manhattan(Point(5, 0)) == 5
+        assert Point(0, 0).manhattan(Point(0, 7)) == 7
+
+    def test_diagonal_sums_components(self):
+        assert Point(1, 2).manhattan(Point(4, 6)) == 3 + 4
+
+    def test_self_distance_zero(self):
+        p = Point(3.5, -2.25)
+        assert p.manhattan(p) == 0.0
+
+    def test_symmetry(self):
+        a, b = Point(1.5, 2.5), Point(-3.0, 9.0)
+        assert a.manhattan(b) == b.manhattan(a)
+
+    def test_module_level_helper_matches_method(self):
+        a, b = Point(1, 2), Point(3, 5)
+        assert manhattan(a, b) == a.manhattan(b)
+
+    def test_dominates_euclidean(self):
+        a, b = Point(0, 0), Point(3, 4)
+        assert a.manhattan(b) >= a.euclidean(b)
+
+
+class TestEuclideanDistance:
+    def test_pythagorean_triple(self):
+        assert Point(0, 0).euclidean(Point(3, 4)) == pytest.approx(5.0)
+
+    def test_module_level_helper(self):
+        assert euclidean(Point(0, 0), Point(1, 1)) == pytest.approx(math.sqrt(2))
+
+
+class TestPointOps:
+    def test_midpoint(self):
+        mid = Point(0, 0).midpoint(Point(4, 6))
+        assert (mid.x, mid.y) == (2, 3)
+
+    def test_translated(self):
+        moved = Point(1, 2).translated(10, -5)
+        assert (moved.x, moved.y) == (11, -3)
+
+    def test_translated_returns_new_point(self):
+        p = Point(1, 2)
+        p.translated(1, 1)
+        assert (p.x, p.y) == (1, 2)
+
+    def test_as_tuple_and_iter(self):
+        p = Point(2.5, 7.0)
+        assert p.as_tuple() == (2.5, 7.0)
+        x, y = p
+        assert (x, y) == (2.5, 7.0)
+
+    def test_immutability(self):
+        p = Point(0, 0)
+        with pytest.raises(AttributeError):
+            p.x = 5.0
+
+    def test_equality_and_hash(self):
+        assert Point(1, 2) == Point(1, 2)
+        assert Point(1, 2) != Point(2, 1)
+        assert len({Point(1, 2), Point(1, 2), Point(2, 1)}) == 2
+
+    def test_ordering_is_lexicographic(self):
+        assert Point(1, 9) < Point(2, 0)
+        assert Point(1, 2) < Point(1, 3)

@@ -1,0 +1,69 @@
+"""Unit tests for the seeded random-net generator."""
+
+import pytest
+
+from repro.geometry.random_nets import random_net, random_nets
+
+
+class TestRandomNet:
+    def test_pin_count_and_region(self):
+        net = random_net(12, seed=0, region=500.0)
+        assert net.num_pins == 12
+        for pin in net.pins:
+            assert 0 <= pin.x <= 500.0
+            assert 0 <= pin.y <= 500.0
+
+    def test_deterministic_for_seed(self):
+        assert random_net(6, seed=9).pins == random_net(6, seed=9).pins
+
+    def test_rejects_tiny_nets(self):
+        with pytest.raises(ValueError, match="num_pins"):
+            random_net(1, seed=0)
+
+    def test_rejects_bad_region(self):
+        with pytest.raises(ValueError, match="region"):
+            random_net(5, seed=0, region=0.0)
+
+    def test_default_name_encodes_size_and_seed(self):
+        assert random_net(5, seed=3).name == "rand5_s3"
+
+    def test_explicit_name(self):
+        assert random_net(5, seed=3, name="x").name == "x"
+
+
+class TestRandomNets:
+    def test_yields_requested_count(self):
+        nets = list(random_nets(5, count=7, seed=1))
+        assert len(nets) == 7
+        assert all(net.num_pins == 5 for net in nets)
+
+    def test_trials_are_distinct(self):
+        nets = list(random_nets(5, count=5, seed=1))
+        pin_sets = {net.pins for net in nets}
+        assert len(pin_sets) == 5
+
+    def test_prefix_stability(self):
+        """Asking for more trials must not reshuffle earlier ones."""
+        short = [net.pins for net in random_nets(8, count=3, seed=2)]
+        long = [net.pins for net in random_nets(8, count=10, seed=2)]
+        assert long[:3] == short
+
+    def test_master_seed_changes_everything(self):
+        a = [net.pins for net in random_nets(8, count=3, seed=2)]
+        b = [net.pins for net in random_nets(8, count=3, seed=3)]
+        assert a != b
+
+    def test_size_is_part_of_the_seed(self):
+        """Different sizes draw independent streams, not prefixes."""
+        small = next(iter(random_nets(5, count=1, seed=2)))
+        large = next(iter(random_nets(6, count=1, seed=2)))
+        assert small.pins != large.pins[: small.num_pins]
+
+    def test_rejects_zero_count(self):
+        with pytest.raises(ValueError, match="count"):
+            list(random_nets(5, count=0))
+
+    def test_trial_names(self):
+        nets = list(random_nets(5, count=2, seed=1))
+        assert nets[0].name == "rand5_t0"
+        assert nets[1].name == "rand5_t1"

@@ -1,0 +1,92 @@
+"""Unit tests for the Prim–Dijkstra and bounded-radius tree baselines."""
+
+import pytest
+
+from repro.geometry.net import Net
+from repro.graph.baselines import bounded_radius_tree, prim_dijkstra_tree
+from repro.graph.mst import prim_mst
+from repro.graph.paths import dijkstra_lengths, graph_radius
+
+
+class TestPrimDijkstra:
+    def test_c_zero_is_prim(self, net10):
+        pd = prim_dijkstra_tree(net10, 0.0)
+        assert pd.cost() == pytest.approx(prim_mst(net10).cost())
+
+    def test_c_one_is_dijkstra(self, net10):
+        """At c = 1 every source–pin tree path is a shortest path."""
+        pd = prim_dijkstra_tree(net10, 1.0)
+        tree_paths = dijkstra_lengths(pd)
+        for sink in range(1, 10):
+            # Direct Manhattan distance is the shortest-path length in a
+            # complete geometric graph (triangle inequality).
+            assert tree_paths[sink] == pytest.approx(
+                pd.distance(0, sink), rel=1e-9)
+
+    def test_is_spanning_tree(self, net10):
+        for c in (0.0, 0.5, 1.0):
+            tree = prim_dijkstra_tree(net10, c)
+            assert tree.is_tree()
+            assert tree.spans_net()
+
+    def test_tradeoff_monotone_in_c(self):
+        """Cost grows and radius shrinks (weakly) as c rises — averaged
+        over nets, the AHHK tradeoff."""
+        total = {0.0: [0.0, 0.0], 0.5: [0.0, 0.0], 1.0: [0.0, 0.0]}
+        for seed in range(6):
+            net = Net.random(12, seed=seed)
+            for c in total:
+                tree = prim_dijkstra_tree(net, c)
+                total[c][0] += tree.cost()
+                total[c][1] += graph_radius(tree)
+        assert total[0.0][0] <= total[0.5][0] + 1e-6 <= total[1.0][0] + 1e-5
+        assert total[1.0][1] <= total[0.5][1] + 1e-6 <= total[0.0][1] + 1e-5
+
+    def test_rejects_out_of_range_c(self, net10):
+        with pytest.raises(ValueError, match="c must lie"):
+            prim_dijkstra_tree(net10, 1.5)
+
+    def test_deterministic(self, net10):
+        a = prim_dijkstra_tree(net10, 0.3)
+        b = prim_dijkstra_tree(net10, 0.3)
+        assert sorted(a.edges()) == sorted(b.edges())
+
+
+class TestBoundedRadius:
+    @pytest.mark.parametrize("epsilon", [0.0, 0.2, 1.0])
+    def test_radius_invariant(self, epsilon):
+        """pathlength(v) <= (1 + eps) * dist(source, v) for every pin."""
+        for seed in range(4):
+            net = Net.random(12, seed=seed)
+            tree = bounded_radius_tree(net, epsilon)
+            paths = dijkstra_lengths(tree)
+            for sink in range(1, 12):
+                assert paths[sink] <= ((1.0 + epsilon)
+                                       * tree.distance(0, sink) + 1e-6)
+
+    def test_is_spanning_tree(self, net10):
+        tree = bounded_radius_tree(net10, 0.5)
+        assert tree.is_tree()
+        assert tree.spans_net()
+
+    def test_epsilon_zero_gives_shortest_paths(self, net10):
+        tree = bounded_radius_tree(net10, 0.0)
+        paths = dijkstra_lengths(tree)
+        for sink in range(1, 10):
+            assert paths[sink] == pytest.approx(tree.distance(0, sink))
+
+    def test_large_epsilon_approaches_mst_cost(self, net10):
+        relaxed = bounded_radius_tree(net10, 100.0)
+        assert relaxed.cost() == pytest.approx(prim_mst(net10).cost(),
+                                               rel=0.01)
+
+    def test_cost_decreases_with_epsilon(self):
+        for seed in range(4):
+            net = Net.random(12, seed=seed)
+            tight = bounded_radius_tree(net, 0.0).cost()
+            loose = bounded_radius_tree(net, 1.0).cost()
+            assert loose <= tight + 1e-6
+
+    def test_rejects_negative_epsilon(self, net10):
+        with pytest.raises(ValueError, match="non-negative"):
+            bounded_radius_tree(net10, -0.1)

@@ -1,0 +1,53 @@
+"""Unit tests for the Batched 1-Steiner variant."""
+
+import pytest
+
+from repro.geometry.net import Net
+from repro.graph.mst import prim_mst
+from repro.graph.steiner import batched_one_steiner, iterated_one_steiner
+
+
+class TestBatchedOneSteiner:
+    def test_cross_net_center(self):
+        net = Net.from_points(
+            [(0, 10), (20, 10), (10, 0), (10, 20)], name="plus")
+        tree = batched_one_steiner(net)
+        assert tree.cost() == pytest.approx(40.0)
+        assert len(tree.steiner) == 1
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_never_worse_than_mst(self, seed):
+        net = Net.random(10, seed=seed)
+        assert batched_one_steiner(net).cost() <= prim_mst(net).cost() + 1e-6
+
+    @pytest.mark.parametrize("seed", [0, 2, 4])
+    def test_comparable_to_iterated(self, seed):
+        """Batched admits rounds greedily; its cost should track the
+        iterated version within a small factor."""
+        net = Net.random(10, seed=seed)
+        batched = batched_one_steiner(net).cost()
+        iterated = iterated_one_steiner(net).cost()
+        assert batched <= iterated * 1.05
+
+    def test_is_spanning_tree(self):
+        net = Net.random(11, seed=7)
+        tree = batched_one_steiner(net)
+        assert tree.is_tree()
+        assert tree.spans_net()
+
+    def test_steiner_degree_invariant(self):
+        net = Net.random(12, seed=9)
+        tree = batched_one_steiner(net)
+        for node in tree.steiner:
+            assert tree.degree(node) >= 3
+
+    def test_cap_respected(self):
+        net = Net.random(10, seed=3)
+        tree = batched_one_steiner(net, max_steiner_points=1)
+        assert len(tree.steiner) <= 1
+
+    def test_deterministic(self):
+        net = Net.random(10, seed=5)
+        a = batched_one_steiner(net)
+        b = batched_one_steiner(net)
+        assert a.cost() == pytest.approx(b.cost())

@@ -1,0 +1,125 @@
+"""Unit tests for minimum spanning tree construction."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.net import Net
+from repro.geometry.point import Point
+from repro.graph.mst import (
+    kruskal_mst,
+    kruskal_mst_from_edges,
+    manhattan_matrix,
+    mst_cost_with_extra_point,
+    prim_mst,
+    prim_mst_indices,
+)
+
+
+class TestManhattanMatrix:
+    def test_values(self):
+        points = [Point(0, 0), Point(1, 2), Point(3, 0)]
+        dist = manhattan_matrix(points)
+        assert dist[0, 1] == 3
+        assert dist[0, 2] == 3
+        assert dist[1, 2] == 4
+
+    def test_symmetric_zero_diagonal(self):
+        points = [Point(0, 0), Point(5, 7), Point(-1, 2)]
+        dist = manhattan_matrix(points)
+        assert np.allclose(dist, dist.T)
+        assert np.all(np.diag(dist) == 0)
+
+
+class TestPrim:
+    def test_two_points(self):
+        edges = prim_mst_indices([Point(0, 0), Point(1, 1)])
+        assert edges == [(0, 1)]
+
+    def test_single_point(self):
+        assert prim_mst_indices([Point(0, 0)]) == []
+
+    def test_chain_topology(self):
+        points = [Point(0, 0), Point(10, 0), Point(20, 0)]
+        edges = set(prim_mst_indices(points))
+        assert edges == {(0, 1), (1, 2)}
+
+    def test_edge_count(self, net10):
+        assert len(prim_mst_indices(net10.pins)) == net10.num_pins - 1
+
+    def test_result_is_spanning_tree(self, net10):
+        tree = prim_mst(net10)
+        assert tree.is_tree()
+        assert tree.spans_net()
+
+    def test_deterministic(self, net10):
+        assert prim_mst_indices(net10.pins) == prim_mst_indices(net10.pins)
+
+
+class TestKruskal:
+    def test_matches_prim_cost(self, net10):
+        assert kruskal_mst(net10).cost() == pytest.approx(
+            prim_mst(net10).cost())
+
+    def test_is_spanning_tree(self, net10):
+        tree = kruskal_mst(net10)
+        assert tree.is_tree()
+
+    def test_from_edges_minimal_triangle(self):
+        edges = [(1.0, 0, 1), (2.0, 1, 2), (10.0, 0, 2)]
+        chosen, total = kruskal_mst_from_edges(3, edges)
+        assert set(chosen) == {(0, 1), (1, 2)}
+        assert total == 3.0
+
+    def test_from_edges_disconnected_raises(self):
+        with pytest.raises(ValueError, match="does not connect"):
+            kruskal_mst_from_edges(3, [(1.0, 0, 1)])
+
+
+class TestMSTOptimality:
+    def test_mst_not_above_star_from_source(self, net10):
+        """The star from the source is *a* spanning tree, so MST <= it."""
+        star_cost = sum(net10.source.manhattan(s) for s in net10.sinks)
+        assert prim_mst(net10).cost() <= star_cost + 1e-9
+
+    def test_mst_not_above_chain(self):
+        net = Net.random(8, seed=11)
+        chain_cost = sum(net.pins[i].manhattan(net.pins[i + 1])
+                         for i in range(net.num_pins - 1))
+        assert prim_mst(net).cost() <= chain_cost + 1e-9
+
+    def test_translation_invariance(self):
+        net = Net.random(9, seed=13)
+        moved = Net.from_points([p.translated(1234.5, -777.0)
+                                 for p in net.pins])
+        assert prim_mst(net).cost() == pytest.approx(prim_mst(moved).cost())
+
+
+class TestIncrementalSteinerEval:
+    def test_center_of_cross_saves_wire(self):
+        # Four pins in a plus shape: a center Steiner point saves wire.
+        points = [Point(0, 10), Point(20, 10), Point(10, 0), Point(10, 20)]
+        tree_edges = prim_mst_indices(points)
+        base = sum(points[u].manhattan(points[v]) for u, v in tree_edges)
+        with_center = mst_cost_with_extra_point(tree_edges, points,
+                                                Point(10, 10))
+        assert with_center == pytest.approx(40.0)
+        assert with_center < base
+
+    def test_extra_point_must_be_spanned(self):
+        # The helper returns MST cost over points PLUS the candidate, so a
+        # far-away candidate adds its cheapest attachment wire.
+        points = [Point(0, 0), Point(10, 0)]
+        tree_edges = prim_mst_indices(points)
+        far = mst_cost_with_extra_point(tree_edges, points, Point(5, 1000))
+        assert far == pytest.approx(10.0 + 1005.0)
+
+    def test_incremental_matches_full_recompute(self, net10):
+        points = list(net10.pins)
+        tree_edges = prim_mst_indices(points)
+        candidate = Point(5000.0, 5000.0)
+        fast = mst_cost_with_extra_point(tree_edges, points, candidate)
+        full_edges = prim_mst_indices(points + [candidate])
+        all_points = points + [candidate]
+        full = sum(all_points[u].manhattan(all_points[v])
+                   for u, v in full_edges)
+        assert fast == pytest.approx(full)

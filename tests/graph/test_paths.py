@@ -1,0 +1,78 @@
+"""Unit tests for shortest-path queries."""
+
+import pytest
+
+from repro.geometry.net import Net
+from repro.graph.mst import prim_mst
+from repro.graph.paths import dijkstra_lengths, graph_radius, tree_path
+from repro.graph.routing_graph import RoutingGraph, RoutingGraphError
+
+
+@pytest.fixture
+def ring() -> RoutingGraph:
+    net = Net.from_points([(0, 0), (10, 0), (10, 10), (0, 10)], name="ring")
+    return RoutingGraph.from_edges(net, [(0, 1), (1, 2), (2, 3), (3, 0)])
+
+
+class TestDijkstra:
+    def test_chain_distances(self, line_net):
+        graph = RoutingGraph.from_edges(line_net, [(0, 1), (1, 2)])
+        lengths = dijkstra_lengths(graph)
+        assert lengths == {0: 0.0, 1: 1000.0, 2: 2000.0}
+
+    def test_cycle_takes_shorter_way_around(self, ring):
+        lengths = dijkstra_lengths(ring)
+        assert lengths[2] == 20.0  # both ways tie at 20
+        assert lengths[3] == 10.0  # direct edge, not 0-1-2-3
+
+    def test_unreachable_nodes_absent(self, line_net):
+        graph = RoutingGraph.from_edges(line_net, [(0, 1)])
+        lengths = dijkstra_lengths(graph)
+        assert 2 not in lengths
+
+    def test_custom_start(self, ring):
+        lengths = dijkstra_lengths(ring, start=2)
+        assert lengths[0] == 20.0
+
+    def test_unknown_start_raises(self, ring):
+        with pytest.raises(RoutingGraphError, match="unknown start"):
+            dijkstra_lengths(ring, start=77)
+
+    def test_shortcut_edge_reduces_distance(self, net10):
+        tree = prim_mst(net10)
+        before = dijkstra_lengths(tree)
+        far = max(range(1, 10), key=before.get)
+        shortcut = tree.with_edge(0, far)
+        after = dijkstra_lengths(shortcut)
+        assert after[far] <= before[far]
+        assert all(after[n] <= before[n] + 1e-9 for n in before)
+
+
+class TestGraphRadius:
+    def test_chain_radius(self, line_net):
+        graph = RoutingGraph.from_edges(line_net, [(0, 1), (1, 2)])
+        assert graph_radius(graph) == 2000.0
+
+    def test_disconnected_raises(self, line_net):
+        graph = RoutingGraph.from_edges(line_net, [(0, 1)])
+        with pytest.raises(RoutingGraphError, match="unreachable"):
+            graph_radius(graph)
+
+    def test_radius_only_counts_pins(self, line_net):
+        from repro.geometry.point import Point
+
+        graph = RoutingGraph.from_edges(line_net, [(0, 1), (1, 2)])
+        far = graph.add_steiner_point(Point(2000.0, 5000.0))
+        graph.add_edge(2, far)
+        assert graph_radius(graph) == 2000.0
+
+
+class TestTreePath:
+    def test_path_on_chain(self, line_net):
+        graph = RoutingGraph.from_edges(line_net, [(0, 1), (1, 2)])
+        assert tree_path(graph, 2) == [0, 1, 2]
+        assert tree_path(graph, 0) == [0]
+
+    def test_rejects_cyclic_graph(self, ring):
+        with pytest.raises(RoutingGraphError, match="only defined for trees"):
+            tree_path(ring, 2)

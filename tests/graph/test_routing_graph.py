@@ -1,0 +1,184 @@
+"""Unit tests for the RoutingGraph data structure."""
+
+import pytest
+
+from repro.geometry.net import Net
+from repro.geometry.point import Point
+from repro.graph.routing_graph import RoutingGraph, RoutingGraphError
+
+
+@pytest.fixture
+def square_net() -> Net:
+    return Net.from_points([(0, 0), (10, 0), (10, 10), (0, 10)], name="sq")
+
+
+@pytest.fixture
+def chain(square_net) -> RoutingGraph:
+    return RoutingGraph.from_edges(square_net, [(0, 1), (1, 2), (2, 3)])
+
+
+class TestNodes:
+    def test_source_is_zero(self, square_net):
+        assert RoutingGraph(square_net).source == 0
+
+    def test_nodes_start_as_pins(self, square_net):
+        graph = RoutingGraph(square_net)
+        assert sorted(graph.nodes()) == [0, 1, 2, 3]
+        assert graph.num_pins == 4
+
+    def test_positions_match_net(self, square_net):
+        graph = RoutingGraph(square_net)
+        for i, pin in enumerate(square_net.pins):
+            assert graph.position(i) == pin
+
+    def test_unknown_node_raises(self, square_net):
+        with pytest.raises(RoutingGraphError, match="unknown node"):
+            RoutingGraph(square_net).position(99)
+
+    def test_add_steiner_point(self, square_net):
+        graph = RoutingGraph(square_net)
+        idx = graph.add_steiner_point(Point(5, 5))
+        assert idx == 4
+        assert graph.is_steiner(idx)
+        assert not graph.is_steiner(0)
+        assert graph.position(idx) == Point(5, 5)
+
+    def test_remove_steiner_point_drops_edges(self, square_net):
+        graph = RoutingGraph(square_net)
+        idx = graph.add_steiner_point(Point(5, 5))
+        graph.add_edge(0, idx)
+        graph.add_edge(idx, 2)
+        graph.remove_node(idx)
+        assert idx not in set(graph.nodes())
+        assert graph.num_edges == 0
+
+    def test_cannot_remove_pin(self, square_net):
+        graph = RoutingGraph(square_net)
+        with pytest.raises(RoutingGraphError, match="net pin"):
+            graph.remove_node(1)
+
+
+class TestEdges:
+    def test_add_edge_returns_manhattan_length(self, square_net):
+        graph = RoutingGraph(square_net)
+        assert graph.add_edge(0, 2) == 20.0  # (0,0) -> (10,10)
+
+    def test_edges_are_undirected(self, square_net):
+        graph = RoutingGraph(square_net)
+        graph.add_edge(2, 0)
+        assert graph.has_edge(0, 2) and graph.has_edge(2, 0)
+        assert graph.edges() == [(0, 2)]
+
+    def test_rejects_self_loop(self, square_net):
+        with pytest.raises(RoutingGraphError, match="self-loop"):
+            RoutingGraph(square_net).add_edge(1, 1)
+
+    def test_rejects_duplicate_edge(self, square_net):
+        graph = RoutingGraph(square_net)
+        graph.add_edge(0, 1)
+        with pytest.raises(RoutingGraphError, match="already present"):
+            graph.add_edge(1, 0)
+
+    def test_rejects_unknown_endpoint(self, square_net):
+        with pytest.raises(RoutingGraphError, match="unknown node"):
+            RoutingGraph(square_net).add_edge(0, 7)
+
+    def test_remove_edge(self, chain):
+        chain.remove_edge(1, 2)
+        assert not chain.has_edge(1, 2)
+        assert chain.num_edges == 2
+
+    def test_remove_missing_edge_raises(self, chain):
+        with pytest.raises(RoutingGraphError, match="not present"):
+            chain.remove_edge(0, 3)
+
+    def test_edge_lengths_map(self, chain):
+        lengths = chain.edge_lengths()
+        assert lengths[(0, 1)] == 10.0
+        assert set(lengths) == {(0, 1), (1, 2), (2, 3)}
+
+    def test_degree_and_neighbors(self, chain):
+        assert chain.degree(1) == 2
+        assert sorted(chain.neighbors(1)) == [0, 2]
+
+    def test_candidate_edges_excludes_existing(self, chain):
+        candidates = chain.candidate_edges()
+        assert (0, 1) not in candidates
+        assert (0, 2) in candidates and (0, 3) in candidates and (1, 3) in candidates
+        assert len(candidates) == 3  # C(4,2) - 3 existing
+
+
+class TestProperties:
+    def test_cost_sums_lengths(self, chain):
+        assert chain.cost() == 30.0
+
+    def test_chain_is_tree(self, chain):
+        assert chain.is_tree()
+        assert chain.is_connected()
+        assert chain.spans_net()
+
+    def test_cycle_is_not_tree_but_connected(self, chain):
+        chain.add_edge(0, 3)
+        assert not chain.is_tree()
+        assert chain.is_connected()
+        assert chain.spans_net()
+
+    def test_disconnected_graph(self, square_net):
+        graph = RoutingGraph.from_edges(square_net, [(0, 1)])
+        assert not graph.is_connected()
+        assert not graph.spans_net()
+
+    def test_dangling_steiner_does_not_break_spanning(self, chain):
+        chain.add_steiner_point(Point(5, 5))
+        assert chain.spans_net()
+        assert not chain.is_connected()
+
+    def test_rooted_parents_on_chain(self, chain):
+        parents = chain.rooted_parents()
+        assert parents == {0: None, 1: 0, 2: 1, 3: 2}
+
+    def test_rooted_parents_rejects_cycles(self, chain):
+        chain.add_edge(0, 3)
+        with pytest.raises(RoutingGraphError, match="only defined for trees"):
+            chain.rooted_parents()
+
+
+class TestCopySemantics:
+    def test_copy_is_independent(self, chain):
+        clone = chain.copy()
+        clone.add_edge(0, 2)
+        assert not chain.has_edge(0, 2)
+        assert clone.has_edge(0, 2)
+
+    def test_with_edge_leaves_original(self, chain):
+        grown = chain.with_edge(0, 3)
+        assert grown.num_edges == chain.num_edges + 1
+        assert not chain.has_edge(0, 3)
+
+    def test_copy_preserves_steiner_markers(self, square_net):
+        graph = RoutingGraph(square_net)
+        idx = graph.add_steiner_point(Point(5, 5))
+        clone = graph.copy()
+        assert clone.is_steiner(idx)
+
+    def test_steiner_indices_never_reused_after_copy(self, square_net):
+        graph = RoutingGraph(square_net)
+        first = graph.add_steiner_point(Point(5, 5))
+        clone = graph.copy()
+        second = clone.add_steiner_point(Point(6, 6))
+        assert second > first
+
+
+class TestExport:
+    def test_to_networkx_roundtrip(self, chain):
+        nx_graph = chain.to_networkx()
+        assert nx_graph.number_of_nodes() == 4
+        assert nx_graph.number_of_edges() == 3
+        assert nx_graph[0][1]["weight"] == 10.0
+        assert nx_graph.nodes[0]["pos"] == (0.0, 0.0)
+        assert nx_graph.nodes[0]["steiner"] is False
+
+    def test_repr_mentions_kind(self, chain):
+        assert "tree" in repr(chain)
+        chain.add_edge(0, 2)
+        assert "graph" in repr(chain)

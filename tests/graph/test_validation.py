@@ -1,0 +1,45 @@
+"""Unit tests for routing-graph validation helpers."""
+
+import pytest
+
+from repro.geometry.point import Point
+from repro.graph.routing_graph import RoutingGraph, RoutingGraphError
+from repro.graph.validation import check_connected, check_spanning, check_tree
+
+
+class TestCheckConnected:
+    def test_passes_on_tree(self, line_net):
+        graph = RoutingGraph.from_edges(line_net, [(0, 1), (1, 2)])
+        check_connected(graph)  # no raise
+
+    def test_fails_on_disconnected(self, line_net):
+        graph = RoutingGraph.from_edges(line_net, [(0, 1)])
+        with pytest.raises(RoutingGraphError, match="disconnected"):
+            check_connected(graph)
+
+
+class TestCheckSpanning:
+    def test_ignores_dangling_steiner(self, line_net):
+        graph = RoutingGraph.from_edges(line_net, [(0, 1), (1, 2)])
+        graph.add_steiner_point(Point(500, 500))
+        check_spanning(graph)  # dangling Steiner point is fine
+
+    def test_fails_on_unreached_pin(self, line_net):
+        graph = RoutingGraph.from_edges(line_net, [(0, 1)])
+        with pytest.raises(RoutingGraphError, match="does not span"):
+            check_spanning(graph)
+
+
+class TestCheckTree:
+    def test_passes_on_tree(self, line_net):
+        check_tree(RoutingGraph.from_edges(line_net, [(0, 1), (1, 2)]))
+
+    def test_fails_on_cycle(self, line_net):
+        graph = RoutingGraph.from_edges(line_net, [(0, 1), (1, 2), (0, 2)])
+        with pytest.raises(RoutingGraphError, match="cycles"):
+            check_tree(graph)
+
+    def test_fails_on_disconnected(self, line_net):
+        graph = RoutingGraph.from_edges(line_net, [(0, 1)])
+        with pytest.raises(RoutingGraphError, match="disconnected"):
+            check_tree(graph)

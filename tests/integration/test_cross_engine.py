@@ -1,0 +1,82 @@
+"""Cross-engine agreement: every delay engine on the same routings.
+
+Four independent computations of interconnect delay exist in this repo:
+(1) the exact eigendecomposition solution, (2) MNA trapezoidal
+integration, (3) MNA backward-Euler integration, and (4) moment analysis
+(Elmore / two-pole). Agreement across them on nontrivial routing circuits
+is the strongest internal evidence that the "SPICE" numbers in the tables
+mean what they claim.
+"""
+
+import pytest
+
+from repro.circuit.moments import (
+    elmore_from_moments,
+    node_moments,
+    two_pole_delay,
+)
+from repro.delay.elmore_graph import graph_elmore_delays
+from repro.delay.rc_builder import build_interconnect_circuit, node_label
+from repro.delay.spice_delay import SpiceOptions, spice_delays
+from repro.geometry.net import Net
+from repro.graph.mst import prim_mst
+from repro.graph.steiner import iterated_one_steiner
+
+
+@pytest.fixture(scope="module", params=[11, 23])
+def routing(request):
+    net = Net.random(8, seed=request.param)
+    return prim_mst(net)
+
+
+class TestEngineAgreement:
+    def test_three_transient_engines_agree(self, routing, tech):
+        analytic = spice_delays(routing, tech, SpiceOptions(segments=2))
+        trap = spice_delays(routing, tech, SpiceOptions(
+            engine="transient", segments=2, num_steps=3000))
+        be = spice_delays(routing, tech, SpiceOptions(
+            engine="transient", segments=2, num_steps=3000,
+            method="backward-euler"))
+        worst = max(analytic, key=analytic.get)
+        assert trap[worst] == pytest.approx(analytic[worst], rel=0.01)
+        assert be[worst] == pytest.approx(analytic[worst], rel=0.03)
+
+    def test_mna_moments_match_reduced_elmore(self, routing, tech):
+        """Elmore via full MNA moments == Elmore via the reduced system."""
+        circuit = build_interconnect_circuit(routing, tech, segments=1)
+        moments = node_moments(circuit, count=2)
+        reduced = graph_elmore_delays(routing, tech)
+        for sink in routing.sink_indices():
+            via_mna = elmore_from_moments(moments[node_label(sink)])
+            assert via_mna == pytest.approx(reduced[sink], rel=1e-6)
+
+    def test_two_pole_between_elmore_and_spice(self, routing, tech):
+        """On the critical sink the two-pole estimate lands between the
+        50% measurement and the Elmore bound (or very close to the
+        measurement)."""
+        spice = spice_delays(routing, tech, SpiceOptions(segments=1))
+        worst = max(spice, key=spice.get)
+        circuit = build_interconnect_circuit(routing, tech, segments=1)
+        moments = node_moments(circuit, count=3)[node_label(worst)]
+        estimate = two_pole_delay(moments)
+        assert estimate == pytest.approx(spice[worst], rel=0.15)
+
+    def test_agreement_survives_cycles_and_steiner_points(self, tech):
+        net = Net.random(9, seed=31)
+        graph = iterated_one_steiner(net)
+        extra = graph.candidate_edges()[0]
+        graph.add_edge(*extra)
+        analytic = spice_delays(graph, tech, SpiceOptions(segments=2))
+        numeric = spice_delays(graph, tech, SpiceOptions(
+            engine="transient", segments=2, num_steps=3000))
+        worst = max(analytic, key=analytic.get)
+        assert numeric[worst] == pytest.approx(analytic[worst], rel=0.01)
+
+    def test_inductance_is_second_order(self, routing, tech):
+        rc = spice_delays(routing, tech, SpiceOptions(
+            engine="transient", segments=2, num_steps=3000))
+        rlc = spice_delays(routing, tech, SpiceOptions(
+            engine="transient", segments=2, num_steps=3000,
+            include_inductance=True))
+        worst = max(rc, key=rc.get)
+        assert rlc[worst] == pytest.approx(rc[worst], rel=0.02)

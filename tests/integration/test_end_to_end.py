@@ -1,0 +1,101 @@
+"""End-to-end integration: the full pipeline a library user would run."""
+
+import pytest
+
+from repro import (
+    Net,
+    Technology,
+    ert_ldrg,
+    h3,
+    ldrg,
+    prim_mst,
+    sldrg,
+    spice_delay,
+    spice_delays,
+)
+from repro.circuit import circuit_from_deck, deck_from_circuit, transient
+from repro.circuit.measure import delay_to_fraction
+from repro.delay import build_interconnect_circuit
+from repro.delay.models import SpiceDelayModel
+from repro.delay.rc_builder import node_label
+from repro.delay.spice_delay import SpiceOptions
+
+
+@pytest.fixture(scope="module")
+def fast_model():
+    return SpiceDelayModel(Technology.cmos08(), SpiceOptions(segments=1))
+
+
+class TestPublicApiFlow:
+    def test_route_and_measure(self, tech):
+        """The README quickstart, as a test."""
+        net = Net.random(num_pins=10, seed=7)
+        result = ldrg(net, tech)
+        assert result.graph.spans_net()
+        assert 0 < result.delay < 1e-6  # nanosecond regime
+        assert result.cost >= prim_mst(net).cost()
+
+    def test_all_algorithms_on_one_net(self, tech, fast_model):
+        net = Net.random(num_pins=8, seed=3)
+        mst_delay = spice_delay(prim_mst(net), tech)
+        for algorithm in (
+            lambda: ldrg(net, tech, delay_model=fast_model),
+            lambda: sldrg(net, tech, delay_model=fast_model),
+            lambda: h3(net, tech, evaluation_model=fast_model),
+            lambda: ert_ldrg(net, tech, delay_model=fast_model),
+        ):
+            result = algorithm()
+            assert result.graph.spans_net()
+            # Every result lands within 3x of the MST delay scale.
+            assert result.delay < 3 * mst_delay
+
+    def test_routing_to_deck_to_simulation(self, tech):
+        """Route -> export SPICE deck -> parse it back -> simulate ->
+        same worst-sink delay as the library reports."""
+        net = Net.random(num_pins=6, seed=9)
+        result = ldrg(net, tech, delay_model="elmore",
+                      evaluation_model="spice")
+        graph = result.graph
+        circuit = build_interconnect_circuit(graph, tech, segments=3)
+        deck = deck_from_circuit(circuit)
+        parsed = circuit_from_deck(deck)
+        horizon = 10 * result.delay
+        sim = transient(parsed, t_stop=horizon, num_steps=4000)
+        worst = max(
+            delay_to_fraction(sim.times, sim.voltage(node_label(s)), 1.0)
+            for s in graph.sink_indices())
+        assert worst == pytest.approx(result.delay, rel=0.03)
+
+    def test_delays_dict_matches_scalar_api(self, tech):
+        net = Net.random(num_pins=7, seed=13)
+        tree = prim_mst(net)
+        assert spice_delay(tree, tech) == pytest.approx(
+            max(spice_delays(tree, tech).values()))
+
+
+class TestPaperStory:
+    def test_nontree_beats_tree_on_some_net(self, tech, fast_model):
+        """The paper's one-sentence claim, end to end: there exists a net
+        whose best non-tree routing beats its MST routing in SPICE-level
+        delay by a meaningful margin at modest wirelength cost."""
+        best = None
+        for seed in range(10):
+            result = ldrg(Net.random(10, seed=seed), tech,
+                          delay_model=fast_model)
+            if best is None or result.delay_ratio < best.delay_ratio:
+                best = result
+        assert best is not None
+        assert best.delay_ratio < 0.85
+        assert best.cost_ratio < 2.0
+        assert not best.graph.is_tree()
+
+    def test_extensions_compose(self, tech):
+        """Critical-sink LDRG then wire sizing, sharing one oracle."""
+        from repro.core.critical_sink import csorg_ldrg
+        from repro.core.wire_sizing import wsorg
+
+        net = Net.random(num_pins=8, seed=17)
+        routed = csorg_ldrg(net, tech, critical_sink=1, delay_model="elmore")
+        sized = wsorg(routed.graph, tech, delay_model="elmore")
+        assert sized.delay <= sized.base_delay * (1 + 1e-12)
+        assert set(sized.widths) == set(routed.graph.edges())

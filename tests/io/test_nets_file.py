@@ -1,0 +1,74 @@
+"""Unit tests for the net-list text format."""
+
+import pytest
+
+from repro.geometry.net import Net
+from repro.io.nets_file import (
+    NetsFileError,
+    format_nets,
+    parse_nets,
+    read_nets,
+    write_nets,
+)
+
+SAMPLE = """
+# two nets
+net alpha
+  source 0 0
+  sink 100 200
+  sink 300.5 400
+
+net beta
+  sink 10 20        # sinks may precede the source
+  source 5 5
+"""
+
+
+class TestParse:
+    def test_two_nets(self):
+        nets = parse_nets(SAMPLE)
+        assert [n.name for n in nets] == ["alpha", "beta"]
+        assert nets[0].num_sinks == 2
+        assert nets[0].sinks[1].x == 300.5
+
+    def test_source_position_independent(self):
+        nets = parse_nets(SAMPLE)
+        assert nets[1].source.as_tuple() == (5.0, 5.0)
+
+    def test_comments_and_blanks_ignored(self):
+        nets = parse_nets("# c\n\nnet n\n source 0 0 # inline\n sink 1 1\n")
+        assert nets[0].name == "n"
+
+    @pytest.mark.parametrize("text,msg", [
+        ("net n\n sink 1 1\n", "no source"),
+        ("net n\n source 0 0\n", "no sinks"),
+        ("net n\n source 0 0\n source 1 1\n sink 2 2\n", "two sources"),
+        ("source 0 0\n", "outside a net"),
+        ("net n\n source 0 zero\n sink 1 1\n", "bad coordinates"),
+        ("net n\n source 0\n sink 1 1\n", "expected 'source"),
+        ("net\n", "expected 'net"),
+        ("net n\n wire 0 0\n", "unknown keyword"),
+        ("", "no nets"),
+    ])
+    def test_malformed_inputs(self, text, msg):
+        with pytest.raises(NetsFileError, match=msg):
+            parse_nets(text)
+
+
+class TestRoundTrip:
+    def test_format_then_parse(self):
+        nets = [Net.from_points([(0, 0), (1.25, 9), (88, 3)], name="x"),
+                Net.from_points([(5, 5), (6, 6)], name="y")]
+        recovered = parse_nets(format_nets(nets))
+        assert [n.name for n in recovered] == ["x", "y"]
+        assert recovered[0].pins == nets[0].pins
+
+    def test_file_round_trip(self, tmp_path):
+        nets = [Net.random(6, seed=1, name="demo")]
+        path = tmp_path / "demo.nets"
+        write_nets(nets, path)
+        recovered = read_nets(path)
+        assert recovered[0].name == "demo"
+        for original, parsed in zip(nets[0].pins, recovered[0].pins):
+            assert parsed.x == pytest.approx(original.x, rel=1e-6)
+            assert parsed.y == pytest.approx(original.y, rel=1e-6)

@@ -1,0 +1,70 @@
+"""Unit tests for routing-graph JSON serialization."""
+
+import pytest
+
+from repro.geometry.point import Point
+from repro.graph.steiner import iterated_one_steiner
+from repro.io.routing_json import (
+    load_routing,
+    routing_from_dict,
+    routing_to_dict,
+    save_routing,
+)
+
+
+class TestRoundTrip:
+    def test_tree_round_trip(self, mst10):
+        recovered = routing_from_dict(routing_to_dict(mst10))
+        assert sorted(recovered.edges()) == sorted(mst10.edges())
+        assert recovered.cost() == pytest.approx(mst10.cost())
+        assert recovered.net.pins == mst10.net.pins
+
+    def test_nontree_round_trip(self, mst10):
+        graph = mst10.with_edge(*mst10.candidate_edges()[0])
+        recovered = routing_from_dict(routing_to_dict(graph))
+        assert recovered.num_edges == graph.num_edges
+        assert not recovered.is_tree()
+
+    def test_steiner_round_trip(self, net10):
+        tree = iterated_one_steiner(net10)
+        recovered = routing_from_dict(routing_to_dict(tree))
+        assert len(recovered.steiner) == len(tree.steiner)
+        assert recovered.cost() == pytest.approx(tree.cost())
+        original = sorted(tree.position(s) for s in tree.steiner)
+        round_tripped = sorted(recovered.position(s)
+                               for s in recovered.steiner)
+        assert round_tripped == original
+
+    def test_file_round_trip(self, mst10, tmp_path):
+        path = tmp_path / "route.json"
+        save_routing(mst10, path)
+        recovered = load_routing(path)
+        assert recovered.cost() == pytest.approx(mst10.cost())
+
+    def test_net_name_preserved(self, mst10):
+        assert routing_from_dict(
+            routing_to_dict(mst10)).net.name == mst10.net.name
+
+
+class TestValidation:
+    def test_wrong_format_rejected(self):
+        with pytest.raises(ValueError, match="not a repro-routing"):
+            routing_from_dict({"format": "something-else"})
+
+    def test_gapped_steiner_indices_remapped(self, line_net):
+        from repro.graph.mst import prim_mst
+
+        graph = prim_mst(line_net)
+        a = graph.add_steiner_point(Point(100, 100))
+        b = graph.add_steiner_point(Point(200, 200))
+        graph.add_edge(0, a)
+        graph.add_edge(a, b)
+        graph.remove_edge(0, a)
+        graph.remove_edge(a, b)
+        graph.remove_node(a)  # leaves a gap before b
+        graph.add_edge(0, b)
+        recovered = routing_from_dict(routing_to_dict(graph))
+        assert len(recovered.steiner) == 1
+        steiner_node = next(iter(recovered.steiner))
+        assert recovered.position(steiner_node) == Point(200, 200)
+        assert recovered.has_edge(0, steiner_node)

@@ -1,0 +1,117 @@
+"""Property-based tests for the circuit simulator."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuit.analytic import AnalyticRC, ReducedRC
+from repro.circuit.measure import threshold_crossing
+from repro.circuit.netlist import GROUND, Circuit
+from repro.circuit.transient import transient
+from repro.circuit.waveform import Step
+
+resistances = st.floats(min_value=1.0, max_value=1e5)
+capacitances = st.floats(min_value=1e-15, max_value=1e-9)
+
+
+class TestSingleRCUniversality:
+    @given(resistances, capacitances)
+    @settings(max_examples=25, deadline=None)
+    def test_rc_charge_curve(self, r, c):
+        """v(t) = 1 - exp(-t/RC) for every R, C over 8 decades."""
+        ckt = Circuit()
+        ckt.add_voltage_source("vin", "in", GROUND, Step())
+        ckt.add_resistor("r1", "in", "out", r)
+        ckt.add_capacitor("c1", "out", GROUND, c)
+        tau = r * c
+        result = transient(ckt, t_stop=5 * tau, num_steps=800)
+        expected = 1.0 - np.exp(-result.times / tau)
+        assert np.allclose(result.voltage("out"), expected, atol=1e-3)
+
+    @given(resistances, capacitances)
+    @settings(max_examples=25, deadline=None)
+    def test_50pct_crossing_scale_invariance(self, r, c):
+        """The 50% crossing is RC ln2 regardless of absolute scale."""
+        g = 1.0 / r
+        system = ReducedRC(G=np.array([[g]]), c=np.array([c]),
+                           b=np.array([g]), labels=["out"])
+        sol = AnalyticRC(system)
+        expected = r * c * np.log(2.0)
+        measured = sol.crossing_time("out", 0.5)
+        assert abs(measured - expected) <= 1e-6 * expected
+
+
+def random_rc_ladder(draw_values):
+    """Build an n-stage RC ladder circuit from drawn element values."""
+    ckt = Circuit("ladder")
+    ckt.add_voltage_source("vin", "n0", GROUND, Step())
+    prev = "n0"
+    for i, (r, c) in enumerate(draw_values, start=1):
+        node = f"n{i}"
+        ckt.add_resistor(f"r{i}", prev, node, r)
+        ckt.add_capacitor(f"c{i}", node, GROUND, c)
+        prev = node
+    return ckt, prev
+
+
+ladder_stages = st.lists(st.tuples(resistances, capacitances),
+                         min_size=1, max_size=5)
+
+
+class TestLadderProperties:
+    @given(ladder_stages)
+    @settings(max_examples=15, deadline=None)
+    def test_everything_settles_to_source(self, stages):
+        ckt, last = random_rc_ladder(stages)
+        tau_bound = sum(r for r, _ in stages) * sum(c for _, c in stages)
+        result = transient(ckt, t_stop=10 * tau_bound, num_steps=600)
+        finals = result.final_voltages()
+        for node, value in finals.items():
+            assert abs(value - 1.0) < 0.02
+
+    @given(ladder_stages)
+    @settings(max_examples=15, deadline=None)
+    def test_monotone_rise_along_ladder(self, stages):
+        """RC ladders driven by a step rise monotonically (no ringing is
+        possible without inductance). Checked with backward Euler: the
+        L-stable method inherits the circuit's monotonicity even when the
+        fixed step is much larger than the fastest time constant, whereas
+        trapezoidal integration may micro-oscillate there (A-stable but
+        not L-stable) without that being a circuit property."""
+        ckt, last = random_rc_ladder(stages)
+        tau_bound = sum(r for r, _ in stages) * sum(c for _, c in stages)
+        result = transient(ckt, t_stop=5 * tau_bound, num_steps=600,
+                           method="backward-euler")
+        wave = result.voltage(last)
+        assert np.all(np.diff(wave) >= -1e-9)
+
+    @given(ladder_stages)
+    @settings(max_examples=15, deadline=None)
+    def test_downstream_nodes_lag_upstream(self, stages):
+        ckt, last = random_rc_ladder(stages)
+        if len(stages) < 2:
+            return
+        tau_bound = sum(r for r, _ in stages) * sum(c for _, c in stages)
+        result = transient(ckt, t_stop=10 * tau_bound, num_steps=1200)
+        t_first = threshold_crossing(result.times, result.voltage("n1"), 0.5)
+        t_last = threshold_crossing(result.times, result.voltage(last), 0.5)
+        if t_first is not None and t_last is not None:
+            assert t_last >= t_first - 1e-12
+
+
+class TestMeasureProperties:
+    @given(st.floats(min_value=0.01, max_value=0.99))
+    def test_crossing_inverse_of_ramp(self, threshold):
+        times = np.linspace(0.0, 1.0, 257)
+        values = times.copy()
+        measured = threshold_crossing(times, values, threshold)
+        assert abs(measured - threshold) < 1e-9
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=10.0),
+                    min_size=2, max_size=40))
+    def test_crossing_time_is_within_range(self, raw):
+        values = np.array(raw)
+        times = np.arange(len(values), dtype=float)
+        crossing = threshold_crossing(times, values, 5.0)
+        if crossing is not None:
+            assert times[0] <= crossing <= times[-1]

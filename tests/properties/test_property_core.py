@@ -1,0 +1,94 @@
+"""Property-based tests for the routing algorithms' invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.heuristics import h1, h2, h3
+from repro.core.ldrg import ldrg
+from repro.delay.models import ElmoreGraphModel
+from repro.delay.parameters import Technology
+from repro.geometry.net import Net
+from repro.graph.mst import prim_mst
+
+TECH = Technology.cmos08()
+ORACLE = ElmoreGraphModel(TECH)
+
+seeds = st.integers(min_value=0, max_value=100_000)
+sizes = st.integers(min_value=3, max_value=12)
+
+
+class TestLdrgInvariants:
+    @given(seeds, sizes)
+    @settings(max_examples=20, deadline=None)
+    def test_delay_never_worse_cost_never_lower(self, seed, size):
+        net = Net.random(size, seed=seed)
+        result = ldrg(net, TECH, delay_model=ORACLE)
+        assert result.delay <= result.base_delay * (1 + 1e-12)
+        assert result.cost >= result.base_cost - 1e-9
+
+    @given(seeds, sizes)
+    @settings(max_examples=20, deadline=None)
+    def test_mst_edges_preserved_and_spanning(self, seed, size):
+        net = Net.random(size, seed=seed)
+        mst_edges = set(prim_mst(net).edges())
+        result = ldrg(net, TECH, delay_model=ORACLE)
+        assert mst_edges <= set(result.graph.edges())
+        assert result.graph.spans_net()
+
+    @given(seeds, sizes)
+    @settings(max_examples=15, deadline=None)
+    def test_history_monotone(self, seed, size):
+        net = Net.random(size, seed=seed)
+        result = ldrg(net, TECH, delay_model=ORACLE)
+        delays = [result.base_delay] + [r.delay for r in result.history]
+        assert all(b < a for a, b in zip(delays, delays[1:]))
+
+    @given(seeds, sizes)
+    @settings(max_examples=15, deadline=None)
+    def test_converged_no_single_edge_helps(self, seed, size):
+        """After termination, no candidate edge improves the objective —
+        the definition of the greedy fixed point (Figure 4, step 2)."""
+        net = Net.random(size, seed=seed)
+        result = ldrg(net, TECH, delay_model=ORACLE)
+        final = ORACLE.max_delay(result.graph)
+        for u, v in result.graph.candidate_edges():
+            trial = ORACLE.max_delay(result.graph.with_edge(u, v))
+            assert trial >= final * (1 - 1e-9)
+
+
+class TestHeuristicInvariants:
+    @given(seeds, sizes)
+    @settings(max_examples=15, deadline=None)
+    def test_h1_never_worse(self, seed, size):
+        net = Net.random(size, seed=seed)
+        result = h1(net, TECH, delay_model=ORACLE)
+        assert result.delay <= result.base_delay * (1 + 1e-12)
+
+    @given(seeds, sizes)
+    @settings(max_examples=15, deadline=None)
+    def test_h2_h3_add_at_most_one_edge_from_source(self, seed, size):
+        net = Net.random(size, seed=seed)
+        for heuristic in (h2, h3):
+            result = heuristic(net, TECH, evaluation_model=ORACLE)
+            assert result.num_added_edges <= 1
+            for record in result.history:
+                assert 0 in record.edge
+
+    @given(seeds, sizes)
+    @settings(max_examples=15, deadline=None)
+    def test_heuristics_preserve_spanning(self, seed, size):
+        net = Net.random(size, seed=seed)
+        for heuristic in (h2, h3):
+            result = heuristic(net, TECH, evaluation_model=ORACLE)
+            assert result.graph.spans_net()
+
+    @given(seeds, sizes)
+    @settings(max_examples=10, deadline=None)
+    def test_ldrg_first_edge_at_least_as_good_as_h1_first(self, seed, size):
+        """LDRG's first edge is the best over ALL node pairs; H1's is the
+        best source shortcut only. After one iteration under the same
+        oracle, LDRG can therefore never be behind."""
+        net = Net.random(size, seed=seed)
+        full = ldrg(net, TECH, delay_model=ORACLE, max_added_edges=1)
+        shortcut_only = h1(net, TECH, delay_model=ORACLE, max_iterations=1)
+        assert full.delay <= shortcut_only.delay * (1 + 1e-9)

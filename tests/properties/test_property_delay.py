@@ -1,0 +1,140 @@
+"""Property-based tests for the delay models — the repo's key invariants.
+
+The heart of the reproduction is that three independent delay engines
+(O(k) tree formula, first-moment linear solve, exact eigendecomposition)
+describe the same physics. Hypothesis drives them across random trees and
+graphs.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.delay.elmore_graph import graph_elmore_delays
+from repro.delay.elmore_tree import elmore_delays
+from repro.delay.parameters import Technology
+from repro.delay.rc_builder import build_reduced_rc
+from repro.delay.spice_delay import SpiceOptions, spice_delays
+from repro.geometry.net import Net
+from repro.geometry.point import Point
+from repro.graph.mst import prim_mst
+
+TECH = Technology.cmos08()
+
+pin_lists = st.lists(
+    st.tuples(st.integers(0, 10_000), st.integers(0, 10_000)),
+    min_size=2, max_size=10, unique=True,
+)
+seeds = st.integers(min_value=0, max_value=10_000)
+
+
+def net_from(raw) -> Net:
+    return Net.from_points([Point(float(x), float(y)) for x, y in raw])
+
+
+class TestElmoreEquivalence:
+    @given(pin_lists)
+    @settings(max_examples=30, deadline=None)
+    def test_tree_formula_equals_first_moment(self, raw):
+        """The O(k) recursion and the G^-1*C solve are the same number."""
+        net = net_from(raw)
+        tree = prim_mst(net)
+        via_tree = elmore_delays(tree, TECH)
+        via_graph = graph_elmore_delays(tree, TECH)
+        for node in range(net.num_pins):
+            scale = max(via_tree[node], 1e-15)
+            assert abs(via_tree[node] - via_graph[node]) <= 1e-9 * scale
+
+    @given(pin_lists, seeds)
+    @settings(max_examples=20, deadline=None)
+    def test_first_moment_well_defined_on_graphs(self, raw, seed):
+        net = net_from(raw)
+        tree = prim_mst(net)
+        candidates = tree.candidate_edges()
+        if candidates:
+            tree.add_edge(*candidates[seed % len(candidates)])
+        delays = graph_elmore_delays(tree, TECH)
+        assert all(np.isfinite(d) and d > 0 for d in delays.values())
+
+
+class TestSpiceVsElmore:
+    @given(pin_lists)
+    @settings(max_examples=12, deadline=None)
+    def test_elmore_upper_bounds_50pct_delay(self, raw):
+        """Rubinstein-Penfield-Horowitz: the Elmore delay upper-bounds
+        the 50% threshold delay on RC trees."""
+        net = net_from(raw)
+        tree = prim_mst(net)
+        spice = spice_delays(tree, TECH, SpiceOptions(segments=1))
+        elmore = graph_elmore_delays(tree, TECH)
+        for sink, measured in spice.items():
+            assert measured <= elmore[sink] * (1 + 1e-6)
+
+    @given(pin_lists)
+    @settings(max_examples=12, deadline=None)
+    def test_50pct_delay_at_least_a_third_of_elmore(self, raw):
+        """The 50% delay of a monotone RC response cannot be arbitrarily
+        small relative to its first moment (ln2/2 ~ 0.35 is the single-
+        pole value; wire front-loading keeps real nets above ~0.2)."""
+        net = net_from(raw)
+        tree = prim_mst(net)
+        spice = spice_delays(tree, TECH, SpiceOptions(segments=1))
+        elmore = graph_elmore_delays(tree, TECH)
+        worst = max(spice, key=spice.get)
+        assert spice[worst] >= 0.2 * elmore[worst]
+
+
+class TestReducedRCStructure:
+    @given(pin_lists, st.integers(min_value=1, max_value=4))
+    @settings(max_examples=20, deadline=None)
+    def test_conductance_matrix_is_spd(self, raw, segments):
+        net = net_from(raw)
+        system = build_reduced_rc(prim_mst(net), TECH, segments=segments)
+        assert np.allclose(system.G, system.G.T)
+        eigenvalues = np.linalg.eigvalsh(system.G)
+        assert eigenvalues[0] > 0
+
+    @given(pin_lists, st.integers(min_value=1, max_value=4))
+    @settings(max_examples=20, deadline=None)
+    def test_dc_solution_is_all_ones(self, raw, segments):
+        net = net_from(raw)
+        system = build_reduced_rc(prim_mst(net), TECH, segments=segments)
+        assert np.allclose(system.final_voltages(), 1.0, atol=1e-9)
+
+    @given(pin_lists)
+    @settings(max_examples=20, deadline=None)
+    def test_total_capacitance_conserved(self, raw):
+        """Sum of node caps = wire cap x total length + sink loads,
+        regardless of topology or segmentation."""
+        net = net_from(raw)
+        tree = prim_mst(net)
+        for segments in (1, 3):
+            system = build_reduced_rc(tree, TECH, segments=segments)
+            expected = (TECH.wire_capacitance * tree.cost()
+                        + (net.num_pins - 1) * TECH.sink_capacitance)
+            assert np.isclose(system.c.sum(), expected, rtol=1e-9)
+
+
+class TestDelayMonotonicity:
+    @given(seeds)
+    @settings(max_examples=10, deadline=None)
+    def test_scaling_geometry_up_increases_delay(self, seed):
+        net = Net.random(6, seed=seed)
+        bigger = Net.from_points([Point(p.x * 2, p.y * 2) for p in net.pins])
+        base = max(spice_delays(prim_mst(net), TECH,
+                                SpiceOptions(segments=1)).values())
+        scaled = max(spice_delays(prim_mst(bigger), TECH,
+                                  SpiceOptions(segments=1)).values())
+        assert scaled > base
+
+    @given(seeds)
+    @settings(max_examples=10, deadline=None)
+    def test_weaker_driver_slows_everything(self, seed):
+        net = Net.random(6, seed=seed)
+        tree = prim_mst(net)
+        fast = spice_delays(tree, TECH.with_driver(50.0),
+                            SpiceOptions(segments=1))
+        slow = spice_delays(tree, TECH.with_driver(500.0),
+                            SpiceOptions(segments=1))
+        for sink in fast:
+            assert slow[sink] > fast[sink]

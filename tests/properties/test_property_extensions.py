@@ -1,0 +1,110 @@
+"""Property-based tests for the extension modules (baselines, tree/link,
+SERT taps, file formats)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.delay.elmore_graph import graph_elmore_delays
+from repro.delay.parameters import Technology
+from repro.delay.tree_link import tree_link_elmore
+from repro.core.sert import closest_point_on_lpath
+from repro.geometry.net import Net
+from repro.geometry.point import Point
+from repro.graph.baselines import bounded_radius_tree, prim_dijkstra_tree
+from repro.graph.mst import prim_mst
+from repro.graph.paths import dijkstra_lengths
+from repro.io.nets_file import format_nets, parse_nets
+from repro.io.routing_json import routing_from_dict, routing_to_dict
+
+TECH = Technology.cmos08()
+
+pin_lists = st.lists(
+    st.tuples(st.integers(0, 10_000), st.integers(0, 10_000)),
+    min_size=2, max_size=10, unique=True,
+)
+coords = st.floats(min_value=0.0, max_value=1e4,
+                   allow_nan=False, allow_infinity=False)
+points = st.builds(Point, coords, coords)
+
+
+def net_from(raw) -> Net:
+    return Net.from_points([Point(float(x), float(y)) for x, y in raw])
+
+
+class TestTreeLinkEquivalence:
+    @given(pin_lists, st.integers(min_value=0, max_value=3))
+    @settings(max_examples=25, deadline=None)
+    def test_matches_dense_solve(self, raw, num_links):
+        """The repo's two non-tree Elmore engines agree on every graph."""
+        graph = prim_mst(net_from(raw))
+        for edge in graph.candidate_edges()[:num_links]:
+            graph.add_edge(*edge)
+        dense = graph_elmore_delays(graph, TECH)
+        tree_link = tree_link_elmore(graph, TECH)
+        for node, value in dense.items():
+            assert abs(tree_link[node] - value) <= 1e-9 * max(value, 1e-15)
+
+
+class TestBaselineInvariants:
+    @given(pin_lists, st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=25, deadline=None)
+    def test_prim_dijkstra_is_spanning_tree(self, raw, c):
+        tree = prim_dijkstra_tree(net_from(raw), c)
+        assert tree.is_tree()
+        assert tree.spans_net()
+
+    @given(pin_lists, st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=25, deadline=None)
+    def test_prim_dijkstra_cost_at_least_mst(self, raw, c):
+        net = net_from(raw)
+        assert (prim_dijkstra_tree(net, c).cost()
+                >= prim_mst(net).cost() - 1e-6)
+
+    @given(pin_lists, st.floats(min_value=0.0, max_value=2.0))
+    @settings(max_examples=25, deadline=None)
+    def test_bounded_radius_invariant(self, raw, epsilon):
+        net = net_from(raw)
+        tree = bounded_radius_tree(net, epsilon)
+        paths = dijkstra_lengths(tree)
+        for sink in range(1, net.num_pins):
+            direct = tree.distance(0, sink)
+            assert paths[sink] <= (1.0 + epsilon) * direct + 1e-6
+
+
+class TestLPathTaps:
+    @given(points, points, points)
+    def test_tap_lies_on_the_path(self, a, b, s):
+        tap = closest_point_on_lpath(a, b, s)
+        assert a.manhattan(tap) + tap.manhattan(b) <= a.manhattan(b) + 1e-6
+
+    @given(points, points, points)
+    def test_tap_at_least_as_close_as_endpoints(self, a, b, s):
+        tap = closest_point_on_lpath(a, b, s)
+        assert s.manhattan(tap) <= min(s.manhattan(a), s.manhattan(b)) + 1e-6
+
+    @given(points, points)
+    def test_query_on_endpoint_returns_it(self, a, b):
+        assert closest_point_on_lpath(a, b, a) == a
+
+
+class TestFileFormatRoundTrips:
+    @given(st.lists(pin_lists, min_size=1, max_size=4))
+    @settings(max_examples=20, deadline=None)
+    def test_nets_file_round_trip(self, raw_nets):
+        nets = [net_from(raw).renamed(f"n{i}")
+                for i, raw in enumerate(raw_nets)]
+        recovered = parse_nets(format_nets(nets))
+        assert len(recovered) == len(nets)
+        for original, parsed in zip(nets, recovered):
+            assert parsed.pins == original.pins
+
+    @given(pin_lists, st.integers(min_value=0, max_value=3))
+    @settings(max_examples=20, deadline=None)
+    def test_routing_json_round_trip(self, raw, num_links):
+        graph = prim_mst(net_from(raw))
+        for edge in graph.candidate_edges()[:num_links]:
+            graph.add_edge(*edge)
+        recovered = routing_from_dict(routing_to_dict(graph))
+        assert sorted(recovered.edges()) == sorted(graph.edges())
+        assert abs(recovered.cost() - graph.cost()) <= 1e-9 * (
+            1 + graph.cost())

@@ -1,0 +1,98 @@
+"""Property-based tests (hypothesis) for the geometric substrate."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.hanan import bounding_box, hanan_points
+from repro.geometry.net import Net
+from repro.geometry.point import Point
+
+coords = st.floats(min_value=-1e6, max_value=1e6,
+                   allow_nan=False, allow_infinity=False)
+points = st.builds(Point, coords, coords)
+
+
+class TestManhattanMetricAxioms:
+    @given(points, points)
+    def test_non_negative(self, a, b):
+        assert a.manhattan(b) >= 0.0
+
+    @given(points)
+    def test_identity(self, a):
+        assert a.manhattan(a) == 0.0
+
+    @given(points, points)
+    def test_symmetry(self, a, b):
+        assert a.manhattan(b) == b.manhattan(a)
+
+    @given(points, points, points)
+    def test_triangle_inequality(self, a, b, c):
+        assert a.manhattan(c) <= a.manhattan(b) + b.manhattan(c) + 1e-6
+
+    @given(points, points)
+    def test_dominates_euclidean(self, a, b):
+        assert a.manhattan(b) >= a.euclidean(b) - 1e-9
+
+    @given(points, points, coords, coords)
+    def test_translation_invariance(self, a, b, dx, dy):
+        moved = a.translated(dx, dy).manhattan(b.translated(dx, dy))
+        assert moved == abs(a.x - b.x) + abs(a.y - b.y) or \
+            abs(moved - a.manhattan(b)) <= 1e-6 * (1 + a.manhattan(b))
+
+
+class TestMidpoint:
+    @given(points, points)
+    def test_midpoint_is_equidistant(self, a, b):
+        mid = a.midpoint(b)
+        da, db = mid.manhattan(a), mid.manhattan(b)
+        assert abs(da - db) <= 1e-6 * (1 + da + db)
+
+    @given(points, points)
+    def test_midpoint_halves_distance(self, a, b):
+        mid = a.midpoint(b)
+        total = a.manhattan(b)
+        assert abs(mid.manhattan(a) - total / 2) <= 1e-6 * (1 + total)
+
+
+class TestBoundingBoxProperties:
+    @given(st.lists(points, min_size=1, max_size=20))
+    def test_contains_all_points(self, pts):
+        box = bounding_box(pts)
+        assert all(box.contains(p) for p in pts)
+
+    @given(st.lists(points, min_size=2, max_size=20))
+    def test_half_perimeter_lower_bounds_any_spanning_cost(self, pts):
+        """HPWL never exceeds the diameter-pair Manhattan distance sum."""
+        box = bounding_box(pts)
+        max_pairwise = max(a.manhattan(b) for a in pts for b in pts)
+        assert box.half_perimeter <= max_pairwise * 2 + 1e-6
+
+
+class TestHananProperties:
+    @given(st.lists(points, min_size=2, max_size=8, unique=True))
+    def test_grid_size_bound(self, pts):
+        grid = hanan_points(pts)
+        xs = {p.x for p in pts}
+        ys = {p.y for p in pts}
+        assert len(grid) <= len(xs) * len(ys)
+
+    @given(st.lists(points, min_size=2, max_size=8, unique=True))
+    def test_pins_excluded(self, pts):
+        assert not set(pts) & set(hanan_points(pts))
+
+    @given(st.lists(points, min_size=2, max_size=8, unique=True))
+    def test_candidates_share_coordinates_with_pins(self, pts):
+        xs = {p.x for p in pts}
+        ys = {p.y for p in pts}
+        for candidate in hanan_points(pts):
+            assert candidate.x in xs and candidate.y in ys
+
+
+class TestRandomNetProperties:
+    @given(st.integers(min_value=2, max_value=20),
+           st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=25)
+    def test_random_nets_are_valid(self, num_pins, seed):
+        net = Net.random(num_pins, seed=seed)
+        assert net.num_pins == num_pins
+        assert len(set(net.pins)) == num_pins

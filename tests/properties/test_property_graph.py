@@ -1,0 +1,113 @@
+"""Property-based tests for spanning trees and routing graphs."""
+
+import networkx as nx
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.net import Net
+from repro.geometry.point import Point
+from repro.graph.mst import kruskal_mst, prim_mst
+from repro.graph.paths import dijkstra_lengths
+from repro.graph.steiner import iterated_one_steiner
+
+# Distinct integer-coordinate pins: float exactness keeps comparisons crisp.
+pin_lists = st.lists(
+    st.tuples(st.integers(0, 10_000), st.integers(0, 10_000)),
+    min_size=2, max_size=12, unique=True,
+)
+
+
+def net_from(raw) -> Net:
+    return Net.from_points([Point(float(x), float(y)) for x, y in raw])
+
+
+class TestMSTProperties:
+    @given(pin_lists)
+    @settings(max_examples=40)
+    def test_prim_is_spanning_tree(self, raw):
+        tree = prim_mst(net_from(raw))
+        assert tree.is_tree()
+        assert tree.num_edges == len(raw) - 1
+
+    @given(pin_lists)
+    @settings(max_examples=40)
+    def test_prim_and_kruskal_agree_on_cost(self, raw):
+        net = net_from(raw)
+        prim_cost = prim_mst(net).cost()
+        kruskal_cost = kruskal_mst(net).cost()
+        assert abs(prim_cost - kruskal_cost) <= 1e-6 * (1 + prim_cost)
+
+    @given(pin_lists)
+    @settings(max_examples=30)
+    def test_matches_networkx_mst(self, raw):
+        """Cross-validate against networkx's independent implementation."""
+        net = net_from(raw)
+        graph = nx.Graph()
+        pins = net.pins
+        for i in range(len(pins)):
+            for j in range(i + 1, len(pins)):
+                graph.add_edge(i, j, weight=pins[i].manhattan(pins[j]))
+        nx_cost = sum(d["weight"] for _, _, d in
+                      nx.minimum_spanning_edges(graph, data=True))
+        ours = prim_mst(net).cost()
+        assert abs(ours - nx_cost) <= 1e-6 * (1 + ours)
+
+    @given(pin_lists)
+    @settings(max_examples=30)
+    def test_cut_property_no_cheaper_swap(self, raw):
+        """Removing any MST edge and reconnecting with any cross edge
+        never gets cheaper (the exchange argument)."""
+        net = net_from(raw)
+        tree = prim_mst(net)
+        edges = tree.edges()
+        if not edges:
+            return
+        u, v = edges[0]
+        removed_len = tree.edge_length(u, v)
+        tree.remove_edge(u, v)
+        side = set(dijkstra_lengths(tree, start=u))
+        other = set(tree.nodes()) - side
+        cheapest_cross = min(tree.distance(a, b) for a in side for b in other)
+        assert removed_len <= cheapest_cross + 1e-6
+
+
+class TestSteinerProperties:
+    @given(pin_lists)
+    @settings(max_examples=15, deadline=None)
+    def test_steiner_never_above_mst(self, raw):
+        net = net_from(raw)
+        assert (iterated_one_steiner(net).cost()
+                <= prim_mst(net).cost() + 1e-6)
+
+    @given(pin_lists)
+    @settings(max_examples=15, deadline=None)
+    def test_steiner_at_least_half_mst(self, raw):
+        """Rectilinear Steiner ratio: SMT >= 2/3 MST (we use the weaker
+        1/2 bound to stay safely clear of float noise)."""
+        net = net_from(raw)
+        assert (iterated_one_steiner(net).cost()
+                >= 0.5 * prim_mst(net).cost() - 1e-6)
+
+
+class TestDijkstraProperties:
+    @given(pin_lists)
+    @settings(max_examples=30)
+    def test_tree_paths_at_least_direct_distance(self, raw):
+        net = net_from(raw)
+        tree = prim_mst(net)
+        lengths = dijkstra_lengths(tree)
+        for node in range(net.num_pins):
+            assert lengths[node] >= tree.distance(0, node) - 1e-6
+
+    @given(pin_lists)
+    @settings(max_examples=30)
+    def test_adding_edge_never_lengthens_paths(self, raw):
+        net = net_from(raw)
+        tree = prim_mst(net)
+        candidates = tree.candidate_edges()
+        if not candidates:
+            return
+        before = dijkstra_lengths(tree)
+        after = dijkstra_lengths(tree.with_edge(*candidates[0]))
+        for node, dist in before.items():
+            assert after[node] <= dist + 1e-6

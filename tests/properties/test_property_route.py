@@ -1,0 +1,88 @@
+"""Property-based tests for the detailed-routing substrate."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.net import Net
+from repro.geometry.point import Point
+from repro.graph.mst import prim_mst
+from repro.route.astar import astar_route, path_length
+from repro.route.embed import embed_routing
+from repro.route.grid import RoutingGrid
+
+cells = st.tuples(st.integers(0, 9), st.integers(0, 9))
+pin_lists = st.lists(
+    st.tuples(st.integers(100, 9_900), st.integers(100, 9_900)),
+    min_size=2, max_size=8, unique=True,
+)
+
+
+def small_grid(blocked=()) -> RoutingGrid:
+    grid = RoutingGrid(region=1_000.0, pitch=100.0)
+    for cell in blocked:
+        grid.block_cell(cell)
+    return grid
+
+
+class TestAstarProperties:
+    @given(cells, cells)
+    @settings(max_examples=40)
+    def test_open_grid_paths_have_manhattan_length(self, start, goal):
+        grid = small_grid()
+        path = astar_route(grid, start, goal)
+        manhattan = 100.0 * (abs(start[0] - goal[0])
+                             + abs(start[1] - goal[1]))
+        assert path_length(grid, path) == manhattan
+
+    @given(cells, cells, st.sets(cells, max_size=20))
+    @settings(max_examples=40)
+    def test_paths_avoid_obstacles(self, start, goal, blocked):
+        blocked -= {start, goal}
+        grid = small_grid(blocked)
+        from repro.route.grid import GridError
+
+        try:
+            path = astar_route(grid, start, goal)
+        except GridError:
+            return  # disconnected: a legal outcome
+        assert path[0] == start and path[-1] == goal
+        assert not any(grid.is_blocked(cell) for cell in path)
+
+    @given(cells, cells, st.sets(cells, max_size=20))
+    @settings(max_examples=40)
+    def test_obstacles_never_shorten_paths(self, start, goal, blocked):
+        blocked -= {start, goal}
+        from repro.route.grid import GridError
+
+        open_path = astar_route(small_grid(), start, goal)
+        try:
+            blocked_path = astar_route(small_grid(blocked), start, goal)
+        except GridError:
+            return
+        assert len(blocked_path) >= len(open_path)
+
+
+class TestEmbeddingProperties:
+    @given(pin_lists)
+    @settings(max_examples=15, deadline=None)
+    def test_embedding_preserves_spanning_and_cost_accounting(self, raw):
+        net = Net.from_points([Point(float(x), float(y)) for x, y in raw])
+        tree = prim_mst(net)
+        grid = RoutingGrid(region=10_000.0, pitch=250.0)
+        embedding = embed_routing(tree, grid)
+        embedded = embedding.to_routing_graph()
+        assert embedded.spans_net()
+        assert abs(embedded.cost() - embedding.total_length()) <= 1e-6 * (
+            1.0 + embedding.total_length())
+
+    @given(pin_lists)
+    @settings(max_examples=15, deadline=None)
+    def test_embedded_length_at_least_quantized_abstract(self, raw):
+        """Grid embedding can undercut the exact abstract length only by
+        the endpoint-quantization slack (one pitch per edge endpoint)."""
+        net = Net.from_points([Point(float(x), float(y)) for x, y in raw])
+        tree = prim_mst(net)
+        grid = RoutingGrid(region=10_000.0, pitch=250.0)
+        embedding = embed_routing(tree, grid)
+        slack = 2.0 * grid.pitch * tree.num_edges
+        assert embedding.total_length() >= tree.cost() - slack

@@ -1,0 +1,104 @@
+"""Unit tests for the A* maze router."""
+
+import pytest
+
+from repro.route.astar import astar_route, path_length
+from repro.route.grid import GridError, RoutingGrid
+
+
+@pytest.fixture
+def grid() -> RoutingGrid:
+    return RoutingGrid(region=1000.0, pitch=100.0)
+
+
+class TestShortestPaths:
+    def test_straight_line(self, grid):
+        path = astar_route(grid, (0, 0), (5, 0))
+        assert path[0] == (0, 0) and path[-1] == (5, 0)
+        assert len(path) == 6
+        assert path_length(grid, path) == pytest.approx(500.0)
+
+    def test_l_path_has_manhattan_length(self, grid):
+        path = astar_route(grid, (0, 0), (4, 7))
+        assert path_length(grid, path) == pytest.approx(100.0 * 11)
+
+    def test_trivial_path(self, grid):
+        assert astar_route(grid, (3, 3), (3, 3)) == [(3, 3)]
+
+    def test_path_is_4_connected_and_unblocked(self, grid):
+        grid.block_rect(200.0, 0.0, 250.0, 700.0)
+        path = astar_route(grid, (0, 0), (9, 0))
+        for a, b in zip(path, path[1:]):
+            assert abs(a[0] - b[0]) + abs(a[1] - b[1]) == 1
+            assert not grid.is_blocked(b)
+
+    def test_detour_around_wall(self, grid):
+        # A vertical wall with a gap at the top forces a measured detour.
+        grid.block_rect(450.0, 0.0, 450.0, 800.0)  # cells x=4, y=0..7
+        path = astar_route(grid, (0, 0), (9, 0))
+        direct = 9
+        assert len(path) - 1 > direct
+        assert path_length(grid, path) == pytest.approx(100.0 * (9 + 2 * 8))
+
+    def test_no_route_raises(self, grid):
+        grid.block_rect(450.0, 0.0, 450.0, 1000.0)  # full wall
+        with pytest.raises(GridError, match="no route"):
+            astar_route(grid, (0, 0), (9, 0))
+
+    def test_blocked_endpoint_raises(self, grid):
+        grid.block_cell((5, 5))
+        with pytest.raises(GridError, match="blocked"):
+            astar_route(grid, (5, 5), (0, 0))
+        with pytest.raises(GridError, match="blocked"):
+            astar_route(grid, (0, 0), (5, 5))
+
+    def test_matches_bfs_distance_on_random_mazes(self):
+        """A* with unit congestion-free costs equals BFS shortest paths."""
+        import numpy as np
+        from collections import deque
+
+        rng = np.random.default_rng(5)
+        for _ in range(5):
+            grid = RoutingGrid(region=1200.0, pitch=100.0)
+            for _ in range(40):
+                cell = (int(rng.integers(12)), int(rng.integers(12)))
+                if cell not in ((0, 0), (11, 11)):
+                    grid.block_cell(cell)
+            # BFS reference
+            dist = {(0, 0): 0}
+            queue = deque([(0, 0)])
+            while queue:
+                current = queue.popleft()
+                for nxt in grid.neighbors(current):
+                    if nxt not in dist:
+                        dist[nxt] = dist[current] + 1
+                        queue.append(nxt)
+            if (11, 11) not in dist:
+                continue
+            path = astar_route(grid, (0, 0), (11, 11))
+            assert len(path) - 1 == dist[(11, 11)]
+
+
+class TestCongestionAwareness:
+    def test_congestion_pushes_path_aside(self, grid):
+        # Pre-load the straight row with usage; with a positive weight
+        # the router must prefer a same-length parallel row.
+        grid.add_usage([(x, 0) for x in range(10)])
+        path = astar_route(grid, (0, 0), (9, 0), congestion_weight=2.0)
+        interior = path[1:-1]
+        assert any(cell[1] != 0 for cell in interior)
+
+    def test_zero_weight_ignores_usage(self, grid):
+        grid.add_usage([(x, 0) for x in range(10)] * 3)
+        path = astar_route(grid, (0, 0), (9, 0), congestion_weight=0.0)
+        assert all(cell[1] == 0 for cell in path)
+
+    def test_negative_weight_rejected(self, grid):
+        with pytest.raises(GridError, match="non-negative"):
+            astar_route(grid, (0, 0), (1, 0), congestion_weight=-1.0)
+
+    def test_deterministic(self, grid):
+        grid.block_rect(300.0, 0.0, 350.0, 500.0)
+        a = astar_route(grid, (0, 0), (9, 9))
+        b = astar_route(grid, (0, 0), (9, 9))
+        assert a == b

@@ -1,0 +1,74 @@
+"""Unit tests for design-level embedding (the full physical flow)."""
+
+import pytest
+
+from repro.graph.mst import prim_mst
+from repro.route.design_embed import embed_design
+from repro.route.grid import RoutingGrid
+from repro.timing.design import random_design
+from repro.timing.sta import analyze
+
+
+@pytest.fixture(scope="module")
+def design():
+    return random_design(num_stages=4, stage_width=4, seed=6,
+                         max_fanout=4)
+
+
+class TestEmbedDesign:
+    def test_every_net_embedded(self, design):
+        grid = RoutingGrid(region=10_000.0, pitch=250.0)
+        result = embed_design(design, grid)
+        assert set(result.embedded) == set(design.nets)
+        for graph in result.embedded.values():
+            assert graph.spans_net()
+
+    def test_detour_factor_reasonable_on_open_grid(self, design):
+        grid = RoutingGrid(region=10_000.0, pitch=200.0)
+        result = embed_design(design, grid)
+        assert 1.0 - 1e-9 <= result.detour_factor < 1.3
+
+    def test_shared_grid_accumulates_usage(self, design):
+        grid = RoutingGrid(region=10_000.0, pitch=250.0)
+        embed_design(design, grid)
+        assert grid.max_usage() >= 1
+
+    def test_congestion_weight_reduces_overflow(self, design):
+        blind = RoutingGrid(region=10_000.0, pitch=400.0)
+        embed_design(design, blind, congestion_weight=0.0)
+        aware = RoutingGrid(region=10_000.0, pitch=400.0)
+        embed_design(design, aware, congestion_weight=2.0)
+        assert (aware.total_overflow(capacity=2)
+                <= blind.total_overflow(capacity=2))
+
+    def test_pre_routed_topologies_respected(self, design):
+        grid = RoutingGrid(region=10_000.0, pitch=250.0)
+        name = next(iter(design.nets))
+        custom = prim_mst(design.geometry_of(name))
+        extra = custom.candidate_edges()
+        if extra:
+            custom.add_edge(*extra[0])
+        result = embed_design(design, grid, routings={name: custom})
+        embedded = result.embedded[name]
+        # A cyclic abstract topology stays cyclic after embedding.
+        if extra:
+            assert not embedded.is_tree()
+
+    def test_sta_accepts_embedded_routings(self, design, tech):
+        grid = RoutingGrid(region=10_000.0, pitch=250.0)
+        result = embed_design(design, grid)
+        abstract_report = analyze(design, tech, router=prim_mst)
+        embedded_report = analyze(design, tech, router=prim_mst,
+                                  routings=result.embedded)
+        # Embedded geometry is never shorter, so timing never improves.
+        assert (embedded_report.max_arrival
+                >= abstract_report.max_arrival * 0.999)
+
+    def test_blockage_inflates_design_wirelength(self, design):
+        open_grid = RoutingGrid(region=10_000.0, pitch=250.0)
+        open_result = embed_design(design, open_grid)
+        walled = RoutingGrid(region=10_000.0, pitch=250.0)
+        walled.block_rect(4000.0, 1000.0, 6000.0, 9000.0)
+        walled_result = embed_design(design, walled)
+        assert (walled_result.embedded_length
+                >= open_result.embedded_length * 0.999)

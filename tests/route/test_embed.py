@@ -1,0 +1,114 @@
+"""Unit tests for routing-graph embedding."""
+
+import pytest
+
+from repro.delay.spice_delay import spice_delay
+from repro.geometry.net import Net
+from repro.graph.mst import prim_mst
+from repro.graph.routing_graph import RoutingGraph, RoutingGraphError
+from repro.graph.steiner import iterated_one_steiner
+from repro.route.embed import embed_routing
+from repro.route.grid import GridError, RoutingGrid
+
+
+@pytest.fixture
+def tree():
+    return prim_mst(Net.random(8, seed=3))
+
+
+class TestEmbedding:
+    def test_every_edge_gets_a_path(self, tree):
+        grid = RoutingGrid(region=10_000.0, pitch=250.0)
+        embedding = embed_routing(tree, grid)
+        assert set(embedding.paths) == set(tree.edges())
+
+    def test_open_grid_detour_factor_near_one(self, tree):
+        grid = RoutingGrid(region=10_000.0, pitch=100.0)
+        embedding = embed_routing(tree, grid)
+        # Quantization to a 100 um pitch costs a few percent, no more.
+        assert 1.0 - 1e-9 <= embedding.detour_factor() < 1.15
+
+    def test_blockage_inflates_length(self):
+        net = Net.from_points([(500, 5000), (9500, 5000)], name="cross")
+        tree = prim_mst(net)
+        open_grid = RoutingGrid(region=10_000.0, pitch=250.0)
+        open_len = embed_routing(tree, open_grid).total_length()
+        walled = RoutingGrid(region=10_000.0, pitch=250.0)
+        walled.block_rect(4500.0, 0.0, 5500.0, 9000.0)  # wall with top gap
+        detour_len = embed_routing(tree, walled).total_length()
+        assert detour_len > open_len * 1.5
+
+    def test_usage_charged(self, tree):
+        grid = RoutingGrid(region=10_000.0, pitch=250.0)
+        embed_routing(tree, grid)
+        assert grid.max_usage() >= 1
+
+    def test_congestion_weight_spreads_wires(self):
+        # Two parallel long edges between the same rows: with congestion
+        # awareness their overlap must not exceed the no-awareness case.
+        net = Net.from_points([(500, 5000), (9500, 5000), (500, 5200),
+                               (9500, 5200)], name="bus")
+        graph = RoutingGraph.from_edges(net, [(0, 1), (0, 2), (2, 3)])
+        grid_blind = RoutingGrid(region=10_000.0, pitch=250.0)
+        embed_routing(graph, grid_blind, congestion_weight=0.0)
+        grid_aware = RoutingGrid(region=10_000.0, pitch=250.0)
+        embed_routing(graph, grid_aware, congestion_weight=2.0)
+        assert (grid_aware.total_overflow(capacity=1)
+                <= grid_blind.total_overflow(capacity=1))
+
+    def test_non_spanning_rejected(self):
+        net = Net.random(5, seed=0)
+        with pytest.raises(RoutingGraphError):
+            embed_routing(RoutingGraph(net), RoutingGrid())
+
+    def test_blocked_pin_strict_vs_snapped(self, tree):
+        grid = RoutingGrid(region=10_000.0, pitch=250.0)
+        pin_cell = grid.cell_of(tree.position(0))
+        grid.block_cell(pin_cell)
+        with pytest.raises(GridError, match="blocked"):
+            embed_routing(tree, grid)
+        relaxed = RoutingGrid(region=10_000.0, pitch=250.0)
+        relaxed.block_cell(pin_cell)
+        embedding = embed_routing(tree, relaxed, snap_blocked_pins=True)
+        assert embedding.total_length() > 0
+
+
+class TestBackToRoutingGraph:
+    def test_embedded_graph_spans_and_costs_match(self, tree):
+        grid = RoutingGrid(region=10_000.0, pitch=250.0)
+        embedding = embed_routing(tree, grid)
+        embedded = embedding.to_routing_graph()
+        assert embedded.spans_net()
+        assert embedded.cost() == pytest.approx(embedding.total_length(),
+                                                rel=1e-9)
+
+    def test_bend_nodes_are_steiner(self, tree):
+        grid = RoutingGrid(region=10_000.0, pitch=250.0)
+        embedded = embed_routing(tree, grid).to_routing_graph()
+        assert len(embedded.steiner) > 0
+        for node in embedded.steiner:
+            assert embedded.degree(node) >= 1
+
+    def test_delay_models_accept_embedded_graph(self, tree, tech):
+        grid = RoutingGrid(region=10_000.0, pitch=250.0)
+        embedded = embed_routing(tree, grid).to_routing_graph()
+        abstract_delay = spice_delay(tree, tech)
+        embedded_delay = spice_delay(embedded, tech)
+        # Real geometry is never shorter, so never faster (same topology).
+        assert embedded_delay >= abstract_delay * 0.98
+
+    def test_abstract_steiner_nodes_survive(self, tech):
+        net = Net.random(9, seed=11)
+        steiner_tree = iterated_one_steiner(net)
+        if not steiner_tree.steiner:
+            pytest.skip("no Steiner points on this net")
+        grid = RoutingGrid(region=10_000.0, pitch=250.0)
+        embedded = embed_routing(steiner_tree, grid).to_routing_graph()
+        assert embedded.spans_net()
+        assert len(embedded.steiner) >= len(steiner_tree.steiner)
+
+    def test_edge_accessor_validates(self, tree):
+        grid = RoutingGrid(region=10_000.0, pitch=250.0)
+        embedding = embed_routing(tree, grid)
+        with pytest.raises(RoutingGraphError, match="not embedded"):
+            embedding.embedded_length(0, 99)

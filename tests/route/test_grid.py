@@ -1,0 +1,88 @@
+"""Unit tests for the routing grid."""
+
+import pytest
+
+from repro.geometry.point import Point
+from repro.route.grid import GridError, RoutingGrid
+
+
+@pytest.fixture
+def grid() -> RoutingGrid:
+    return RoutingGrid(region=1000.0, pitch=100.0)
+
+
+class TestGeometry:
+    def test_dimensions(self, grid):
+        assert grid.cols == 10 and grid.rows == 10
+
+    def test_cell_of_and_center_roundtrip(self, grid):
+        cell = grid.cell_of(Point(250.0, 730.0))
+        assert cell == (2, 7)
+        center = grid.center_of(cell)
+        assert (center.x, center.y) == (250.0, 750.0)
+
+    def test_cell_of_clamps_to_grid(self, grid):
+        assert grid.cell_of(Point(-50.0, 2000.0)) == (0, 9)
+
+    def test_in_bounds(self, grid):
+        assert grid.in_bounds((0, 0)) and grid.in_bounds((9, 9))
+        assert not grid.in_bounds((10, 0))
+        assert not grid.in_bounds((0, -1))
+
+    def test_neighbors_corner(self, grid):
+        assert sorted(grid.neighbors((0, 0))) == [(0, 1), (1, 0)]
+
+    def test_validation(self):
+        with pytest.raises(GridError):
+            RoutingGrid(region=0.0)
+        with pytest.raises(GridError):
+            RoutingGrid(region=100.0, pitch=200.0)
+
+
+class TestObstacles:
+    def test_block_cell(self, grid):
+        grid.block_cell((3, 3))
+        assert grid.is_blocked((3, 3))
+        assert (3, 3) not in grid.neighbors((3, 4))
+
+    def test_block_rect_counts(self, grid):
+        count = grid.block_rect(100.0, 100.0, 350.0, 350.0)
+        assert count == 9  # centers at 150, 250, 350 in each axis
+        assert grid.blockage_fraction() == pytest.approx(0.09)
+
+    def test_degenerate_rect_rejected(self, grid):
+        with pytest.raises(GridError, match="degenerate"):
+            grid.block_rect(500.0, 0.0, 100.0, 100.0)
+
+    def test_nearest_free_cell(self, grid):
+        grid.block_rect(100.0, 100.0, 350.0, 350.0)
+        assert grid.nearest_free_cell((0, 0)) == (0, 0)  # already free
+        free = grid.nearest_free_cell((2, 2))
+        assert not grid.is_blocked(free)
+        assert abs(free[0] - 2) + abs(free[1] - 2) <= 2
+
+    def test_out_of_range_rejected(self, grid):
+        with pytest.raises(GridError, match="outside"):
+            grid.block_cell((99, 0))
+
+
+class TestUsage:
+    def test_usage_accumulates(self, grid):
+        grid.add_usage([(1, 1), (1, 2)])
+        grid.add_usage([(1, 1)])
+        assert grid.usage((1, 1)) == 2
+        assert grid.usage((1, 2)) == 1
+        assert grid.max_usage() == 2
+
+    def test_overflow_metric(self, grid):
+        grid.add_usage([(0, 0)] * 3)
+        grid.add_usage([(0, 1)])
+        assert grid.total_overflow(capacity=1) == 2
+        assert grid.total_overflow(capacity=3) == 0
+        with pytest.raises(GridError):
+            grid.total_overflow(capacity=0)
+
+    def test_clear_usage(self, grid):
+        grid.add_usage([(0, 0)])
+        grid.clear_usage()
+        assert grid.max_usage() == 0

@@ -1,0 +1,125 @@
+"""Unit tests for the command-line interface (in-process main calls)."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestParams:
+    def test_prints_table1(self, capsys):
+        assert main(["params"]) == 0
+        out = capsys.readouterr().out
+        assert "driver resistance" in out
+        assert "100 ohm" in out
+
+
+class TestRandomNet:
+    def test_writes_file(self, tmp_path, capsys):
+        out = tmp_path / "n.nets"
+        assert main(["random-net", "--pins", "6", "--seed", "3",
+                     "--out", str(out)]) == 0
+        assert "wrote 1 net(s)" in capsys.readouterr().out
+        assert out.read_text().count("sink") == 5
+
+    def test_multiple_nets(self, tmp_path):
+        out = tmp_path / "n.nets"
+        main(["random-net", "--pins", "4", "--count", "3",
+              "--out", str(out)])
+        assert out.read_text().count("net ") == 3
+
+
+class TestRoute:
+    @pytest.fixture
+    def net_file(self, tmp_path):
+        path = tmp_path / "demo.nets"
+        main(["random-net", "--pins", "8", "--seed", "4",
+              "--out", str(path)])
+        return path
+
+    def test_route_summary(self, net_file, capsys):
+        assert main(["route", str(net_file), "--algorithm", "h3",
+                     "--segments", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "h3 on" in out
+        assert "ns" in out
+
+    def test_artifacts_written(self, net_file, tmp_path, capsys):
+        svg = tmp_path / "r.svg"
+        js = tmp_path / "r.json"
+        deck = tmp_path / "r.cir"
+        assert main(["route", str(net_file), "--algorithm", "ldrg",
+                     "--segments", "1", "--svg", str(svg),
+                     "--json", str(js), "--deck", str(deck)]) == 0
+        assert svg.read_text().startswith("<svg")
+        assert json.loads(js.read_text())["format"] == "repro-routing-v1"
+        assert deck.read_text().rstrip().endswith(".end")
+
+    def test_bad_index(self, net_file, capsys):
+        assert main(["route", str(net_file), "--index", "5"]) == 2
+        assert "out of range" in capsys.readouterr().err
+
+    def test_artifacts_need_single_net(self, tmp_path, capsys):
+        path = tmp_path / "many.nets"
+        main(["random-net", "--pins", "4", "--count", "2",
+              "--out", str(path)])
+        assert main(["route", str(path), "--svg",
+                     str(tmp_path / "x.svg")]) == 2
+        assert "single net" in capsys.readouterr().err
+
+
+class TestTable:
+    def test_table1(self, capsys):
+        assert main(["table", "1"]) == 0
+        assert "Table 1" in capsys.readouterr().out
+
+    def test_small_table6(self, capsys):
+        assert main(["table", "6", "--trials", "2", "--sizes", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "Elmore Routing Tree" in out
+        assert "net size" in out
+
+    def test_unknown_table(self, capsys):
+        assert main(["table", "9", "--trials", "1", "--sizes", "5"]) == 2
+        assert "no such experiment table" in capsys.readouterr().err
+
+
+class TestFigure:
+    def test_figure1(self, tmp_path, capsys):
+        assert main(["figure", "1", "--out-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "improvement" in out
+        assert (tmp_path / "figure1_before.svg").exists()
+        assert (tmp_path / "figure1_after.svg").exists()
+
+
+class TestEmbed:
+    @pytest.fixture
+    def net_file(self, tmp_path):
+        path = tmp_path / "demo.nets"
+        main(["random-net", "--pins", "8", "--seed", "4",
+              "--out", str(path)])
+        return path
+
+    def test_embed_open_grid(self, net_file, capsys):
+        assert main(["embed", str(net_file), "--algorithm", "h3"]) == 0
+        out = capsys.readouterr().out
+        assert "embedded on a" in out
+        assert "detour" in out
+
+    def test_embed_with_blockage_and_svg(self, net_file, tmp_path, capsys):
+        svg = tmp_path / "e.svg"
+        assert main(["embed", str(net_file), "--algorithm", "h3",
+                     "--block", "3500,3500,6500,6500",
+                     "--svg", str(svg)]) == 0
+        assert svg.read_text().startswith("<svg")
+        assert "% blocked" in capsys.readouterr().out
+
+    def test_bad_block_spec(self, net_file, capsys):
+        assert main(["embed", str(net_file), "--block", "1,2,3"]) == 2
+        assert "bad --block" in capsys.readouterr().err
+
+    def test_bad_index(self, net_file, capsys):
+        assert main(["embed", str(net_file), "--index", "9"]) == 2
+        assert "out of range" in capsys.readouterr().err

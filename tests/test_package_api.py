@@ -1,0 +1,67 @@
+"""Public-API surface checks: everything advertised is importable and real."""
+
+import importlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.circuit",
+    "repro.core",
+    "repro.delay",
+    "repro.experiments",
+    "repro.geometry",
+    "repro.graph",
+    "repro.io",
+    "repro.route",
+    "repro.timing",
+    "repro.viz",
+]
+
+
+class TestExports:
+    @pytest.mark.parametrize("package", PACKAGES)
+    def test_all_names_resolve(self, package):
+        module = importlib.import_module(package)
+        assert hasattr(module, "__all__"), f"{package} lacks __all__"
+        for name in module.__all__:
+            assert hasattr(module, name), f"{package}.{name} missing"
+
+    @pytest.mark.parametrize("package", PACKAGES)
+    def test_all_is_sorted_for_discoverability(self, package):
+        module = importlib.import_module(package)
+        exported = list(module.__all__)
+        assert exported == sorted(exported), f"{package}.__all__ unsorted"
+
+    def test_version(self):
+        import repro
+
+        assert repro.__version__ == "1.0.0"
+
+    def test_top_level_quickstart_names(self):
+        """The names the README quickstart uses are top-level exports."""
+        import repro
+
+        for name in ("Net", "Technology", "ldrg", "sldrg", "h1", "h2",
+                     "h3", "ert", "ert_ldrg", "prim_mst", "spice_delay",
+                     "csorg_ldrg", "wsorg", "horg"):
+            assert hasattr(repro, name)
+
+    @pytest.mark.parametrize("package", PACKAGES)
+    def test_module_docstrings_present(self, package):
+        module = importlib.import_module(package)
+        assert module.__doc__ and len(module.__doc__.strip()) > 40
+
+
+class TestPublicDocstrings:
+    @pytest.mark.parametrize("package", PACKAGES)
+    def test_every_export_documented(self, package):
+        import typing
+
+        module = importlib.import_module(package)
+        for name in module.__all__:
+            obj = getattr(module, name)
+            if typing.get_origin(obj) is not None:
+                continue  # typing aliases (Unions) cannot carry docstrings
+            if callable(obj) or isinstance(obj, type):
+                assert obj.__doc__, f"{package}.{name} lacks a docstring"

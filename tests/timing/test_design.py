@@ -1,0 +1,115 @@
+"""Unit tests for placed designs and the random generator."""
+
+import pytest
+
+from repro.geometry.point import Point
+from repro.timing.design import (
+    Design,
+    DesignError,
+    DesignNet,
+    Instance,
+    random_design,
+)
+from repro.timing.gates import GateLibrary
+
+
+@pytest.fixture
+def lib():
+    return GateLibrary.cmos08()
+
+
+@pytest.fixture
+def tiny(lib) -> Design:
+    design = Design("tiny")
+    design.add_instance(Instance("ff1", lib["DFF"], Point(0, 0)))
+    design.add_instance(Instance("inv1", lib["INV"], Point(1000, 0)))
+    design.add_instance(Instance("inv2", lib["INV"], Point(2000, 500)))
+    design.add_net(DesignNet("n1", driver="ff1", loads=("inv1",)))
+    design.add_net(DesignNet("n2", driver="inv1", loads=("inv2",)))
+    design.primary_inputs.add("ff1")
+    return design
+
+
+class TestDesignStructure:
+    def test_validate_passes(self, tiny):
+        tiny.validate()
+
+    def test_topological_order(self, tiny):
+        order = tiny.topological_order()
+        assert order.index("ff1") < order.index("inv1") < order.index("inv2")
+
+    def test_fanin_fanout(self, tiny):
+        assert [n.name for n in tiny.fanout_nets("ff1")] == ["n1"]
+        assert [n.name for n in tiny.fanin_nets("inv2")] == ["n2"]
+        assert tiny.fanin_nets("ff1") == []
+
+    def test_geometry_of(self, tiny):
+        net = tiny.geometry_of("n2")
+        assert net.source == Point(1000, 0)
+        assert net.sinks == (Point(2000, 500),)
+        assert net.name == "n2"
+
+    def test_duplicate_instance_rejected(self, tiny, lib):
+        with pytest.raises(DesignError, match="duplicate instance"):
+            tiny.add_instance(Instance("ff1", lib["DFF"], Point(9, 9)))
+
+    def test_net_with_unknown_instance_rejected(self, tiny):
+        with pytest.raises(DesignError, match="unknown instance"):
+            tiny.add_net(DesignNet("bad", driver="ff1", loads=("ghost",)))
+
+    def test_self_driving_net_rejected(self):
+        with pytest.raises(ValueError, match="drives itself"):
+            DesignNet("loop", driver="a", loads=("a",))
+
+    def test_cycle_detected(self, tiny):
+        tiny.add_net(DesignNet("back", driver="inv2", loads=("inv1",)))
+        with pytest.raises(DesignError, match="cycle"):
+            tiny.topological_order()
+
+    def test_undeclared_start_point_rejected(self, tiny, lib):
+        tiny.add_instance(Instance("orphan", lib["INV"], Point(5, 5)))
+        tiny.add_net(DesignNet("n3", driver="orphan", loads=("inv2",)))
+        with pytest.raises(DesignError, match="not.*declared primary"):
+            tiny.validate()
+
+
+class TestRandomDesign:
+    def test_structure(self):
+        design = random_design(num_stages=4, stage_width=3, seed=0)
+        assert len(design.instances) == 12
+        design.validate()
+
+    def test_stage_zero_is_dff_inputs(self):
+        design = random_design(num_stages=3, stage_width=2, seed=1)
+        for name in design.primary_inputs:
+            assert design.instances[name].gate.name == "DFF"
+
+    def test_deterministic(self):
+        a = random_design(num_stages=4, stage_width=3, seed=5)
+        b = random_design(num_stages=4, stage_width=3, seed=5)
+        assert set(a.instances) == set(b.instances)
+        assert {n.name: (n.driver, n.loads) for n in a.nets.values()} == \
+            {n.name: (n.driver, n.loads) for n in b.nets.values()}
+
+    def test_placement_in_region(self):
+        region = 4000.0
+        design = random_design(num_stages=3, stage_width=3, seed=2,
+                               region=region)
+        for instance in design.instances.values():
+            assert 0 <= instance.position.x <= region
+            assert 0 <= instance.position.y <= region
+
+    def test_stages_ordered_left_to_right(self):
+        design = random_design(num_stages=4, stage_width=2, seed=3)
+        mean_x = {}
+        for name, inst in design.instances.items():
+            stage = int(name.split("_")[0][1:])
+            mean_x.setdefault(stage, []).append(inst.position.x)
+        means = [sum(v) / len(v) for _, v in sorted(mean_x.items())]
+        assert means == sorted(means)
+
+    def test_validation_of_arguments(self):
+        with pytest.raises(ValueError, match="two stages"):
+            random_design(num_stages=1, stage_width=3)
+        with pytest.raises(ValueError, match="stage_width"):
+            random_design(num_stages=3, stage_width=0)

@@ -1,0 +1,55 @@
+"""Unit tests for the iterative timing-driven routing flow."""
+
+import pytest
+
+from repro.timing.design import random_design
+from repro.timing.flow import timing_driven_flow
+
+
+class TestFlow:
+    @pytest.fixture(scope="class")
+    def flows(self, tech):
+        return [timing_driven_flow(
+                    random_design(num_stages=6, stage_width=8, seed=seed,
+                                  max_fanout=6),
+                    tech, rounds=3)
+                for seed in range(4)]
+
+    def test_baseline_report_always_present(self, flows):
+        for flow in flows:
+            assert len(flow.reports) >= 1
+            assert flow.initial_arrival > 0
+
+    def test_arrivals_monotone_nonincreasing(self, flows):
+        """Rounds are accept-if-better: the critical arrival never rises."""
+        for flow in flows:
+            arrivals = [report.max_arrival for report in flow.reports]
+            for earlier, later in zip(arrivals, arrivals[1:]):
+                assert later <= earlier * (1 + 1e-12)
+
+    def test_improvement_is_consistent(self, flows):
+        for flow in flows:
+            assert flow.improvement == pytest.approx(
+                1.0 - flow.final_arrival / flow.initial_arrival)
+            assert flow.improvement >= -1e-12
+
+    def test_rerouted_rounds_match_reports(self, flows):
+        for flow in flows:
+            assert len(flow.rerouted) == len(flow.reports) - 1
+            for round_nets in flow.rerouted:
+                assert round_nets  # committed rounds changed something
+
+    def test_some_design_improves(self, flows):
+        """Across seeds, at least one design's critical path gets faster
+        through non-tree re-routing."""
+        assert any(flow.improvement > 0 for flow in flows)
+
+    def test_summary_text(self, flows):
+        text = flows[0].summary()
+        assert "critical path" in text
+        assert "ns" in text
+
+    def test_rounds_validation(self, tech):
+        design = random_design(num_stages=3, stage_width=2, seed=0)
+        with pytest.raises(ValueError, match="rounds"):
+            timing_driven_flow(design, tech, rounds=0)

@@ -1,0 +1,63 @@
+"""Unit tests for the gate library."""
+
+import pytest
+
+from repro.timing.gates import Gate, GateLibrary
+
+
+class TestGate:
+    def test_valid_gate(self):
+        gate = Gate("INV", 120.0, 8e-15, 30e-12)
+        assert gate.drive_resistance == 120.0
+
+    @pytest.mark.parametrize("kwargs,msg", [
+        ({"drive_resistance": 0.0}, "drive resistance"),
+        ({"input_capacitance": -1e-15}, "input capacitance"),
+        ({"intrinsic_delay": -1e-12}, "intrinsic delay"),
+    ])
+    def test_validation(self, kwargs, msg):
+        base = {"name": "X", "drive_resistance": 100.0,
+                "input_capacitance": 1e-15, "intrinsic_delay": 1e-12}
+        base.update(kwargs)
+        with pytest.raises(ValueError, match=msg):
+            Gate(**base)
+
+    def test_zero_intrinsic_delay_allowed(self):
+        assert Gate("WIRE", 1.0, 1e-15, 0.0).intrinsic_delay == 0.0
+
+
+class TestGateLibrary:
+    def test_default_library_contents(self):
+        lib = GateLibrary.cmos08()
+        for name in ("INV", "BUF", "NAND2", "NOR2", "XOR2", "DFF"):
+            assert name in lib
+
+    def test_lookup(self):
+        lib = GateLibrary.cmos08()
+        assert lib["INV"].name == "INV"
+        with pytest.raises(KeyError, match="no gate named"):
+            lib["AOI22"]
+
+    def test_combinational_excludes_dff(self):
+        lib = GateLibrary.cmos08()
+        names = {gate.name for gate in lib.combinational()}
+        assert "DFF" not in names
+        assert "INV" in names
+
+    def test_duplicate_names_rejected(self):
+        gate = Gate("INV", 1.0, 1e-15, 0.0)
+        with pytest.raises(ValueError, match="duplicate"):
+            GateLibrary([gate, gate])
+
+    def test_empty_library_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            GateLibrary([])
+
+    def test_names_sorted(self):
+        names = GateLibrary.cmos08().names()
+        assert names == sorted(names)
+
+    def test_drive_resistances_near_table1_regime(self):
+        """The library is meant to live in Table 1's 100-ohm regime."""
+        for gate in GateLibrary.cmos08().combinational():
+            assert 50.0 <= gate.drive_resistance <= 500.0

@@ -1,0 +1,118 @@
+"""Unit tests for static timing analysis."""
+
+import pytest
+
+from repro.geometry.point import Point
+from repro.graph.mst import prim_mst
+from repro.timing.design import Design, DesignNet, Instance, random_design
+from repro.timing.gates import GateLibrary
+from repro.timing.sta import analyze, net_technology, sink_criticalities
+
+
+@pytest.fixture
+def lib():
+    return GateLibrary.cmos08()
+
+
+@pytest.fixture
+def chain(lib) -> Design:
+    """ff -> inv -> inv, 2 mm apart each: hand-checkable arithmetic."""
+    design = Design("chain")
+    design.add_instance(Instance("ff", lib["DFF"], Point(0, 0)))
+    design.add_instance(Instance("a", lib["INV"], Point(2000, 0)))
+    design.add_instance(Instance("b", lib["INV"], Point(4000, 0)))
+    design.add_net(DesignNet("n1", driver="ff", loads=("a",)))
+    design.add_net(DesignNet("n2", driver="a", loads=("b",)))
+    design.primary_inputs.add("ff")
+    return design
+
+
+class TestArrivalPropagation:
+    def test_chain_arithmetic(self, chain, tech, lib):
+        report = analyze(chain, tech, router=prim_mst)
+        # Start point: its own intrinsic delay.
+        assert report.arrivals["ff"] == pytest.approx(
+            lib["DFF"].intrinsic_delay)
+        # Each hop adds driver intrinsic + routed net delay.
+        hop1 = report.net_sink_delays["n1"]["a"]
+        expected_a = (lib["DFF"].intrinsic_delay
+                      + lib["DFF"].intrinsic_delay + hop1)
+        assert report.arrivals["a"] == pytest.approx(expected_a)
+        assert report.max_arrival == report.arrivals["b"]
+
+    def test_net_delays_positive_and_scale_with_length(self, chain, tech):
+        report = analyze(chain, tech, router=prim_mst)
+        assert report.net_sink_delays["n1"]["a"] > 0
+        # n1 and n2 are the same length/driver class; sanity order only.
+        assert report.net_sink_delays["n2"]["b"] > 0
+
+    def test_worst_slack(self, chain, tech):
+        report = analyze(chain, tech, router=prim_mst, clock_period=5e-9)
+        assert report.worst_slack == pytest.approx(
+            5e-9 - report.max_arrival)
+
+    def test_critical_path_of_chain(self, chain, tech):
+        report = analyze(chain, tech, router=prim_mst)
+        assert report.critical_path(chain) == ["ff", "a", "b"]
+
+    def test_tns_counts_only_endpoints(self, chain, tech):
+        report = analyze(chain, tech, router=prim_mst,
+                         clock_period=1e-15)  # everything fails
+        tns = report.total_negative_slack(chain)
+        # Exactly one endpoint ("b"); TNS is its (negative) slack.
+        assert tns == pytest.approx(1e-15 - report.arrivals["b"])
+
+    def test_prerouted_nets_reused(self, chain, tech):
+        base = analyze(chain, tech, router=prim_mst)
+        reused = analyze(chain, tech, router=prim_mst,
+                         routings=base.routings)
+        assert reused.max_arrival == pytest.approx(base.max_arrival)
+
+
+class TestNetTechnology:
+    def test_driver_and_load_substitution(self, chain, tech, lib):
+        local = net_technology(tech, chain, chain.nets["n1"])
+        assert local.driver_resistance == lib["DFF"].drive_resistance
+        assert local.sink_capacitance == lib["INV"].input_capacitance
+        # Wire parameters untouched.
+        assert local.wire_resistance == tech.wire_resistance
+
+    def test_worst_load_wins(self, lib, tech):
+        design = Design("fan")
+        design.add_instance(Instance("ff", lib["DFF"], Point(0, 0)))
+        design.add_instance(Instance("x", lib["INV"], Point(1000, 0)))
+        design.add_instance(Instance("y", lib["XOR2"], Point(1000, 800)))
+        design.add_net(DesignNet("n", driver="ff", loads=("x", "y")))
+        design.primary_inputs.add("ff")
+        local = net_technology(tech, design, design.nets["n"])
+        assert local.sink_capacitance == lib["XOR2"].input_capacitance
+
+
+class TestCriticalities:
+    def test_worst_pin_gets_weight_one(self, tech):
+        design = random_design(num_stages=4, stage_width=4, seed=0,
+                               max_fanout=4)
+        report = analyze(design, tech, router=prim_mst)
+        path = report.critical_path(design)
+        # Find a net on the critical path with >= 2 loads if one exists.
+        for net_name, net in design.nets.items():
+            weights = sink_criticalities(design, report, net_name)
+            assert max(weights.values()) == pytest.approx(1.0)
+            assert all(0.0 <= w <= 1.0 for w in weights.values())
+
+    def test_criticality_ranks_by_downstream_arrival(self, tech, lib):
+        design = Design("rank")
+        design.add_instance(Instance("ff", lib["DFF"], Point(0, 0)))
+        design.add_instance(Instance("near", lib["INV"], Point(500, 0)))
+        design.add_instance(Instance("far", lib["INV"], Point(9000, 0)))
+        design.add_instance(Instance("tail", lib["INV"], Point(9500, 500)))
+        design.add_net(DesignNet("n", driver="ff", loads=("near", "far")))
+        design.add_net(DesignNet("t", driver="far", loads=("tail",)))
+        design.primary_inputs.add("ff")
+        report = analyze(design, tech, router=prim_mst)
+        weights = sink_criticalities(design, report, "n")
+        loads = design.nets["n"].loads
+        far_index = loads.index("far") + 1
+        near_index = loads.index("near") + 1
+        assert weights[far_index] == pytest.approx(1.0)
+        assert weights[near_index] < weights[far_index]

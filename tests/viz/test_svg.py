@@ -1,0 +1,62 @@
+"""Unit tests for SVG rendering."""
+
+from repro.geometry.net import Net
+from repro.geometry.point import Point
+from repro.graph.mst import prim_mst
+from repro.viz.svg import render_routing_svg, save_routing_svg
+
+
+class TestRender:
+    def test_well_formed_document(self, mst10):
+        svg = render_routing_svg(mst10)
+        assert svg.startswith("<svg")
+        assert svg.endswith("</svg>")
+        assert 'xmlns="http://www.w3.org/2000/svg"' in svg
+
+    def test_one_path_per_edge(self, mst10):
+        svg = render_routing_svg(mst10)
+        assert svg.count("<path") == mst10.num_edges
+
+    def test_source_is_square_sinks_are_circles(self, mst10):
+        svg = render_routing_svg(mst10)
+        assert svg.count("<circle") == 9
+        # one filled source square
+        assert svg.count('style="fill:#c0392b"') == 1
+
+    def test_steiner_points_hollow_squares(self, line_net):
+        graph = prim_mst(line_net)
+        graph.add_steiner_point(Point(500.0, 500.0))
+        svg = render_routing_svg(graph)
+        assert "stroke-width:1.5" in svg  # the steiner style
+
+    def test_highlighted_edges_dashed(self, mst10):
+        extra = mst10.candidate_edges()[0]
+        graph = mst10.with_edge(*extra)
+        svg = render_routing_svg(graph, highlight_edges=[extra])
+        assert svg.count("stroke-dasharray") == 1
+
+    def test_highlight_edge_order_insensitive(self, mst10):
+        u, v = mst10.candidate_edges()[0]
+        graph = mst10.with_edge(u, v)
+        svg = render_routing_svg(graph, highlight_edges=[(v, u)])
+        assert "stroke-dasharray" in svg
+
+    def test_title_escaped(self, mst10):
+        svg = render_routing_svg(mst10, title="a < b & c")
+        assert "a &lt; b &amp; c" in svg
+
+    def test_node_labels(self, mst10):
+        svg = render_routing_svg(mst10, node_labels=True)
+        assert ">0</text>" in svg
+
+    def test_degenerate_collinear_net(self, line_net):
+        # Zero vertical span must not divide by zero.
+        svg = render_routing_svg(prim_mst(line_net))
+        assert "<svg" in svg
+
+
+class TestSave:
+    def test_writes_file(self, mst10, tmp_path):
+        path = save_routing_svg(mst10, str(tmp_path / "g.svg"))
+        content = open(path, encoding="utf-8").read()
+        assert content.startswith("<svg")

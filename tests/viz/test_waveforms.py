@@ -1,0 +1,82 @@
+"""Unit tests for waveform SVG rendering."""
+
+import numpy as np
+import pytest
+
+from repro.viz.waveforms import render_waveforms_svg, save_waveforms_svg
+
+
+@pytest.fixture
+def simple_waves():
+    times = np.linspace(0, 1e-9, 50)
+    return times, {"a": 1 - np.exp(-times / 2e-10),
+                   "b": 1 - np.exp(-times / 4e-10)}
+
+
+class TestRender:
+    def test_well_formed(self, simple_waves):
+        times, waves = simple_waves
+        svg = render_waveforms_svg(times, waves)
+        assert svg.startswith("<svg")
+        assert svg.endswith("</svg>")
+
+    def test_one_polyline_per_waveform(self, simple_waves):
+        times, waves = simple_waves
+        svg = render_waveforms_svg(times, waves)
+        assert svg.count("<polyline") == 2
+
+    def test_labels_rendered(self, simple_waves):
+        times, waves = simple_waves
+        svg = render_waveforms_svg(times, waves, title="t < test")
+        assert ">a</text>" in svg and ">b</text>" in svg
+        assert "t &lt; test" in svg
+
+    def test_threshold_marker(self, simple_waves):
+        times, waves = simple_waves
+        svg = render_waveforms_svg(times, waves, threshold=0.5)
+        assert "0.5V" in svg
+        assert "stroke-dasharray" in svg
+
+    def test_time_axis_labels_in_ns(self, simple_waves):
+        times, waves = simple_waves
+        svg = render_waveforms_svg(times, waves)
+        assert "ns</text>" in svg
+
+    def test_validation(self, simple_waves):
+        times, waves = simple_waves
+        with pytest.raises(ValueError, match="two timepoints"):
+            render_waveforms_svg([0.0], {"a": [0.0]})
+        with pytest.raises(ValueError, match="no waveforms"):
+            render_waveforms_svg(times, {})
+        with pytest.raises(ValueError, match="length mismatch"):
+            render_waveforms_svg(times, {"a": [0.0, 1.0]})
+
+    def test_flat_waveform_no_divide_by_zero(self):
+        times = [0.0, 1.0]
+        svg = render_waveforms_svg(times, {"flat": [0.5, 0.5]})
+        assert "<polyline" in svg
+
+
+class TestSave:
+    def test_writes_file(self, simple_waves, tmp_path):
+        times, waves = simple_waves
+        path = save_waveforms_svg(times, waves, str(tmp_path / "w.svg"))
+        assert open(path, encoding="utf-8").read().startswith("<svg")
+
+    def test_from_real_transient(self, tmp_path, tech, mst10):
+        """End to end: simulate a routing, plot the slow/fast sinks."""
+        from repro.delay.rc_builder import build_interconnect_circuit, node_label
+        from repro.circuit.transient import transient
+        from repro.delay.spice_delay import spice_delays
+
+        delays = spice_delays(mst10, tech)
+        slow = max(delays, key=delays.get)
+        fast = min(delays, key=delays.get)
+        circuit = build_interconnect_circuit(mst10, tech, segments=2)
+        result = transient(circuit, t_stop=8 * delays[slow], num_steps=400)
+        svg = render_waveforms_svg(
+            result.times,
+            {f"sink {slow}": result.voltage(node_label(slow)),
+             f"sink {fast}": result.voltage(node_label(fast))},
+            threshold=0.5)
+        assert svg.count("<polyline") == 2

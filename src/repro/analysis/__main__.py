@@ -1,0 +1,78 @@
+"""``python -m repro.analysis`` — lint the source tree.
+
+Runs the AST discipline rules of :mod:`repro.analysis.source_rules`
+over the given files/directories (default: ``src/repro``) and exits
+non-zero when any error-severity diagnostic is found. This is the
+code-side twin of ``repro-route lint``, which runs the same framework
+over routing data.
+
+Examples::
+
+    python -m repro.analysis src/repro
+    python -m repro.analysis src/repro --format json
+    python -m repro.analysis src --disable source-mutable-default
+    python -m repro.analysis --list-rules
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.analysis.diagnostics import LintConfig, has_errors, registry
+from repro.analysis.reporters import render_json, render_text
+from repro.analysis.source_rules import lint_source_tree
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="static source lint for the repro routing library")
+    parser.add_argument("paths", nargs="*", type=Path,
+                        default=[Path("src/repro")],
+                        help="files or directories to lint "
+                             "(default: src/repro)")
+    parser.add_argument("--format", choices=("text", "json"), default="text")
+    parser.add_argument("--disable", action="append", default=[],
+                        metavar="RULE", help="disable a rule id (repeatable)")
+    parser.add_argument("--severity", action="append", default=[],
+                        metavar="RULE=LEVEL",
+                        help="override a rule's severity (repeatable)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalog and exit")
+    return parser
+
+
+def list_rules() -> str:
+    lines = []
+    for rule in registry.rules():
+        lines.append(f"{rule.id:32s} {rule.severity!s:8s} "
+                     f"[{rule.category}] {rule.summary}")
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        print(list_rules())
+        return 0
+    try:
+        config = LintConfig.from_options(disable=args.disable,
+                                         severity=args.severity)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    missing = [p for p in args.paths if not p.exists()]
+    if missing:
+        print(f"error: no such path(s): "
+              f"{', '.join(str(p) for p in missing)}", file=sys.stderr)
+        return 2
+    diagnostics = lint_source_tree(args.paths, config)
+    render = render_json if args.format == "json" else render_text
+    print(render(diagnostics))
+    return 1 if has_errors(diagnostics) else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,348 @@
+"""Electrical lint rules over circuit netlists and reduced MNA systems.
+
+Two subjects, two rule categories:
+
+* ``circuit`` rules inspect a :class:`~repro.circuit.netlist.Circuit`
+  (the element-level netlist fed to the MNA transient engine and the
+  SPICE deck writer): element sign conventions, driver presence, ground
+  reference, and DC connectivity of every node.
+* ``rc`` rules inspect a reduced ground-referenced RC system — the
+  ``(G, c, b)`` triple of :class:`~repro.circuit.analytic.ReducedRC` —
+  for the matrix-level invariants the analytic solver relies on:
+  symmetry, diagonal dominance, MNA stamp signs, positive capacitances,
+  and a driven source row.
+
+A sign-flipped resistance or a floating node produces a *plausible*
+delay number from the eigendecomposition; these rules are what turn it
+into a diagnostic instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterator, Sequence
+
+import numpy as np
+
+from repro.analysis.diagnostics import (
+    Diagnostic,
+    LintConfig,
+    Location,
+    Severity,
+    registry,
+    rule,
+)
+from repro.circuit.elements import (
+    Capacitor,
+    CurrentSource,
+    Inductor,
+    Resistor,
+    VoltageSource,
+)
+from repro.circuit.netlist import GROUND, Circuit
+
+if TYPE_CHECKING:  # import cycle guard: rc_builder imports nothing from here
+    from repro.delay.parameters import Technology
+    from repro.graph.routing_graph import RoutingGraph
+
+#: Relative tolerance for symmetry / dominance comparisons.
+MATRIX_REL_TOL = 1e-9
+
+
+def _circuit_location(circuit: Circuit, obj: str | None = None) -> Location:
+    anchor = f"circuit {circuit.name!r}"
+    return Location(obj=f"{anchor}: {obj}" if obj else anchor)
+
+
+# --------------------------------------------------------------- circuit rules
+
+@rule("circuit-nonpositive-resistance", category="circuit",
+      severity=Severity.ERROR,
+      summary="a resistor has R <= 0",
+      rationale="a zero or negative resistance makes the conductance "
+                "stamp infinite or sign-flipped, and the Elmore/transient "
+                "numbers computed from it are garbage")
+def check_nonpositive_resistance(circuit: Circuit) -> Iterator[Diagnostic]:
+    r = registry.get("circuit-nonpositive-resistance")
+    for element in circuit.resistors():
+        if element.value <= 0:
+            yield r.diagnostic(
+                f"resistor {element.name!r} has R = {element.value:g} ohm",
+                location=_circuit_location(circuit, element.name),
+                hint="wire resistances are r_per_um * length > 0")
+
+
+@rule("circuit-nonpositive-capacitance", category="circuit",
+      severity=Severity.ERROR,
+      summary="a capacitor has C <= 0",
+      rationale="negative capacitance flips the sign of a charge term; "
+                "zero capacitance is a node the builder should not have "
+                "emitted at all")
+def check_nonpositive_capacitance(circuit: Circuit) -> Iterator[Diagnostic]:
+    r = registry.get("circuit-nonpositive-capacitance")
+    for element in circuit.capacitors():
+        if element.value <= 0:
+            yield r.diagnostic(
+                f"capacitor {element.name!r} has C = {element.value:g} F",
+                location=_circuit_location(circuit, element.name),
+                hint="wire and sink capacitances are strictly positive")
+
+
+@rule("circuit-nonpositive-inductance", category="circuit",
+      severity=Severity.ERROR,
+      summary="an inductor has L <= 0",
+      rationale="the inductance ablation only ever adds positive series "
+                "inductance; a non-positive value is a sign error")
+def check_nonpositive_inductance(circuit: Circuit) -> Iterator[Diagnostic]:
+    r = registry.get("circuit-nonpositive-inductance")
+    for element in circuit.inductors():
+        if element.value <= 0:
+            yield r.diagnostic(
+                f"inductor {element.name!r} has L = {element.value:g} H",
+                location=_circuit_location(circuit, element.name),
+                hint="drop the element instead of zeroing it")
+
+
+@rule("circuit-no-source", category="circuit", severity=Severity.ERROR,
+      summary="the circuit has no voltage or current source",
+      rationale="an interconnect circuit with no driver has the trivial "
+                "all-zero response; a missing source means the builder "
+                "forgot the step input")
+def check_no_source(circuit: Circuit) -> Iterator[Diagnostic]:
+    r = registry.get("circuit-no-source")
+    if not circuit.voltage_sources() and not circuit.current_sources():
+        yield r.diagnostic(
+            "no voltage or current source drives the circuit",
+            location=_circuit_location(circuit),
+            hint="interconnect decks need the step source behind the "
+                 "driver resistance")
+
+
+@rule("circuit-no-ground", category="circuit", severity=Severity.ERROR,
+      summary="no element references the ground node",
+      rationale="nodal analysis needs a reference; without ground the "
+                "conductance matrix is singular")
+def check_no_ground(circuit: Circuit) -> Iterator[Diagnostic]:
+    r = registry.get("circuit-no-ground")
+    if circuit.elements and not any(
+            GROUND in _terminals(e) for e in circuit.elements):
+        yield r.diagnostic(
+            f"no element touches the reference node {GROUND!r}",
+            location=_circuit_location(circuit),
+            hint="sink loads and the step source return to ground")
+
+
+@rule("circuit-floating-node", category="circuit", severity=Severity.ERROR,
+      summary="a node has no DC path to ground",
+      rationale="a node reachable only through capacitors (or not at "
+                "all) has an undefined operating point; in a routing "
+                "circuit it means a wire chain was broken mid-edge")
+def check_floating_node(circuit: Circuit) -> Iterator[Diagnostic]:
+    r = registry.get("circuit-floating-node")
+    parent: dict[str, str] = {node: node for node in circuit.nodes}
+
+    def find(node: str) -> str:
+        while parent[node] != node:
+            parent[node] = parent[parent[node]]
+            node = parent[node]
+        return node
+
+    for element in circuit.elements:
+        # Only R, L and V sources conduct at DC.
+        if isinstance(element, (Resistor, Inductor, VoltageSource)):
+            a, b = _terminals(element)
+            parent[find(a)] = find(b)
+    ground_root = find(GROUND)
+    floating = sorted(node for node in circuit.nodes
+                      if find(node) != ground_root)
+    for node in floating:
+        yield r.diagnostic(
+            f"node {node!r} has no DC path to ground",
+            location=_circuit_location(circuit, f"node {node!r}"),
+            hint="every node must reach ground through resistors, "
+                 "inductors, or sources")
+
+
+@rule("circuit-dangling-node", category="circuit", severity=Severity.WARNING,
+      summary="a node is touched by exactly one element terminal",
+      rationale="current cannot flow through a one-terminal node; it is "
+                "dead weight from an incomplete edit of the netlist")
+def check_dangling_node(circuit: Circuit) -> Iterator[Diagnostic]:
+    r = registry.get("circuit-dangling-node")
+    touches: dict[str, int] = {}
+    for element in circuit.elements:
+        for node in _terminals(element):
+            touches[node] = touches.get(node, 0) + 1
+    for node in sorted(touches):
+        if node != GROUND and touches[node] == 1:
+            yield r.diagnostic(
+                f"node {node!r} is touched by a single element terminal",
+                location=_circuit_location(circuit, f"node {node!r}"),
+                hint="a live node needs at least two connections")
+
+
+def _terminals(element: object) -> tuple[str, str]:
+    if isinstance(element, (Resistor, Capacitor, Inductor)):
+        return (element.n1, element.n2)
+    assert isinstance(element, (VoltageSource, CurrentSource))
+    return (element.pos, element.neg)
+
+
+def lint_circuit(circuit: Circuit,
+                 config: LintConfig | None = None) -> list[Diagnostic]:
+    """Run every enabled circuit rule against ``circuit``."""
+    return registry.run("circuit", circuit, config)
+
+
+# -------------------------------------------------------------------- rc rules
+
+@dataclass(frozen=True)
+class RCSystem:
+    """A reduced RC system ``(G, c, b)`` presented for linting.
+
+    Mirrors :class:`~repro.circuit.analytic.ReducedRC` but performs no
+    validation of its own, so deliberately broken systems can be linted
+    (``ReducedRC`` raises on construction).
+    """
+
+    G: np.ndarray
+    c: np.ndarray
+    b: np.ndarray
+    labels: Sequence[object] = field(default_factory=tuple)
+    name: str = "rc"
+
+    def label(self, row: int) -> object:
+        return self.labels[row] if row < len(self.labels) else row
+
+
+def _rc_location(system: RCSystem, obj: str | None = None) -> Location:
+    anchor = f"rc system {system.name!r}"
+    return Location(obj=f"{anchor}: {obj}" if obj else anchor)
+
+
+@rule("rc-asymmetric-conductance", category="rc", severity=Severity.ERROR,
+      summary="the conductance matrix is not symmetric",
+      rationale="a reciprocal RC network always stamps symmetrically; "
+                "asymmetry means a one-sided stamp, and the symmetrized "
+                "eigendecomposition would silently solve a different "
+                "circuit")
+def check_asymmetric_conductance(system: RCSystem) -> Iterator[Diagnostic]:
+    r = registry.get("rc-asymmetric-conductance")
+    G = np.asarray(system.G, dtype=float)
+    scale = max(float(np.abs(G).max()), 1.0)
+    mismatch = np.abs(G - G.T)
+    if float(mismatch.max()) > MATRIX_REL_TOL * scale:
+        i, j = np.unravel_index(int(mismatch.argmax()), mismatch.shape)
+        yield r.diagnostic(
+            f"G[{i}, {j}] = {G[i, j]:g} but G[{j}, {i}] = {G[j, i]:g} "
+            f"(nodes {system.label(int(i))!r}, {system.label(int(j))!r})",
+            location=_rc_location(system),
+            hint="stamp each conductance into both (i, j) and (j, i)")
+
+
+@rule("rc-positive-offdiagonal", category="rc", severity=Severity.ERROR,
+      summary="an off-diagonal conductance entry is positive",
+      rationale="pure-RC MNA stamps put -g on off-diagonals; a positive "
+                "entry is a sign-flipped resistance, which produces "
+                "plausible but wrong delays")
+def check_positive_offdiagonal(system: RCSystem) -> Iterator[Diagnostic]:
+    r = registry.get("rc-positive-offdiagonal")
+    G = np.asarray(system.G, dtype=float)
+    scale = max(float(np.abs(G).max()), 1.0)
+    mask = G > MATRIX_REL_TOL * scale
+    np.fill_diagonal(mask, False)
+    for i, j in zip(*np.nonzero(mask)):
+        if i < j:  # report each (symmetric) offense once
+            yield r.diagnostic(
+                f"G[{i}, {j}] = {G[i, j]:g} > 0 (nodes "
+                f"{system.label(int(i))!r}, {system.label(int(j))!r})",
+                location=_rc_location(system),
+                hint="off-diagonal stamps are -1/R; check the sign")
+
+
+@rule("rc-not-diagonally-dominant", category="rc", severity=Severity.WARNING,
+      summary="a row of G is not weakly diagonally dominant",
+      rationale="a grounded RC conductance matrix is a Laplacian plus "
+                "non-negative shunt terms, hence weakly diagonally "
+                "dominant; violation signals a corrupted or sign-flipped "
+                "stamp even when symmetry still holds")
+def check_diagonal_dominance(system: RCSystem) -> Iterator[Diagnostic]:
+    r = registry.get("rc-not-diagonally-dominant")
+    G = np.asarray(system.G, dtype=float)
+    scale = max(float(np.abs(G).max()), 1.0)
+    for i in range(G.shape[0]):
+        off = float(np.abs(G[i]).sum() - np.abs(G[i, i]))
+        if np.abs(G[i, i]) < off - MATRIX_REL_TOL * scale:
+            yield r.diagnostic(
+                f"row {i} (node {system.label(i)!r}): |diag| = "
+                f"{abs(G[i, i]):g} < off-diagonal sum {off:g}",
+                location=_rc_location(system),
+                hint="every branch conductance must appear on the "
+                     "diagonal of both endpoint rows")
+
+
+@rule("rc-nonpositive-capacitance", category="rc", severity=Severity.ERROR,
+      summary="a node capacitance is zero or negative",
+      rationale="the state equation C dv/dt = b - G v needs C positive "
+                "definite; a non-positive entry makes the node's dynamics "
+                "ill-posed")
+def check_rc_nonpositive_capacitance(system: RCSystem) -> Iterator[Diagnostic]:
+    r = registry.get("rc-nonpositive-capacitance")
+    c = np.asarray(system.c, dtype=float)
+    for i in np.nonzero(c <= 0)[0]:
+        yield r.diagnostic(
+            f"node {system.label(int(i))!r} has capacitance {c[i]:g} F",
+            location=_rc_location(system),
+            hint="every node carries wire or sink capacitance > 0")
+
+
+@rule("rc-undriven", category="rc", severity=Severity.ERROR,
+      summary="the excitation vector is identically zero",
+      rationale="b carries the driver conductance on the source row; an "
+                "all-zero b means the source node is missing its driver "
+                "and the step response is identically zero")
+def check_rc_undriven(system: RCSystem) -> Iterator[Diagnostic]:
+    r = registry.get("rc-undriven")
+    b = np.asarray(system.b, dtype=float)
+    if b.size and not np.any(b != 0.0):
+        yield r.diagnostic(
+            "excitation vector b is identically zero",
+            location=_rc_location(system),
+            hint="the source row gets g_driver = 1/R_driver")
+
+
+def lint_rc_system(G: np.ndarray, c: np.ndarray, b: np.ndarray,
+                   labels: Sequence[object] = (),
+                   name: str = "rc",
+                   config: LintConfig | None = None) -> list[Diagnostic]:
+    """Run every enabled rc rule against a raw ``(G, c, b)`` system."""
+    system = RCSystem(G=np.asarray(G, dtype=float),
+                      c=np.asarray(c, dtype=float),
+                      b=np.asarray(b, dtype=float),
+                      labels=tuple(labels), name=name)
+    return registry.run("rc", system, config)
+
+
+def lint_routing_rc(graph: "RoutingGraph", tech: "Technology",
+                    segments: int = 1,
+                    config: LintConfig | None = None) -> list[Diagnostic]:
+    """Build the routing's reduced RC system and lint it.
+
+    When the routing does not span its net the electrical model cannot
+    even be built; that is reported as a diagnostic rather than raised,
+    so data linting never crashes on bad inputs.
+    """
+    from repro.delay.rc_builder import build_reduced_rc
+    from repro.graph.routing_graph import RoutingGraphError
+
+    try:
+        reduced = build_reduced_rc(graph, tech, segments=segments)
+    except RoutingGraphError as exc:
+        return [Diagnostic(
+            rule="rc-unbuildable", severity=Severity.ERROR,
+            message=f"cannot build the RC model: {exc}",
+            location=Location(obj=f"net {graph.net.name!r}"),
+            hint="fix the graph-level errors first")]
+    return lint_rc_system(reduced.G, reduced.c, reduced.b,
+                          labels=reduced.labels,
+                          name=f"route_{graph.net.name}", config=config)

@@ -1,0 +1,238 @@
+"""Structural lint rules over routing graphs.
+
+These generalize :mod:`repro.graph.validation` to the non-tree graphs the
+paper is about: a routing graph is allowed to have cycles, but it must
+still span its net from the source, keep its Steiner points useful, and
+stay inside the geometry the net defines. Each rule inspects one
+:class:`~repro.graph.routing_graph.RoutingGraph` and yields
+:class:`~repro.analysis.diagnostics.Diagnostic` records.
+
+Run them all through :func:`lint_graph`.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterator
+
+from repro.analysis.diagnostics import (
+    Diagnostic,
+    LintConfig,
+    Location,
+    Severity,
+    registry,
+    rule,
+)
+from repro.graph.routing_graph import RoutingGraph
+
+#: Edge lengths below this (µm) count as zero — coincident endpoints.
+ZERO_LENGTH_TOL = 1e-9
+
+#: Slack (µm) allowed outside the pin bounding box before a node is "out".
+BBOX_TOL = 1e-6
+
+#: Relative tolerance when comparing an edge against an alternative path.
+REDUNDANT_REL_TOL = 1e-9
+
+
+def _net_location(graph: RoutingGraph, obj: str | None = None) -> Location:
+    anchor = f"net {graph.net.name!r}"
+    return Location(obj=f"{anchor}: {obj}" if obj else anchor)
+
+
+@rule("graph-disconnected", category="graph", severity=Severity.ERROR,
+      summary="some node is unreachable from the source",
+      rationale="delay is only defined over the component driven by the "
+                "source; an unreachable node means the routing is broken "
+                "or the file is corrupt")
+def check_disconnected(graph: RoutingGraph) -> Iterator[Diagnostic]:
+    reachable = graph.reachable_from()
+    unreachable = sorted(set(graph.nodes()) - reachable)
+    if unreachable:
+        r = registry.get("graph-disconnected")
+        yield r.diagnostic(
+            f"{len(unreachable)} of {graph.num_nodes} nodes unreachable "
+            f"from the source (nodes {unreachable[:8]}"
+            f"{'...' if len(unreachable) > 8 else ''})",
+            location=_net_location(graph),
+            hint="every node must be wired into the source's component")
+
+
+@rule("graph-nonspanning", category="graph", severity=Severity.ERROR,
+      summary="some net pin is unreachable from the source",
+      rationale="a routing must span its net; a floating pin receives no "
+                "signal and its delay would be infinite, yet tree-delay "
+                "code may silently report a number for the rest")
+def check_nonspanning(graph: RoutingGraph) -> Iterator[Diagnostic]:
+    reachable = graph.reachable_from()
+    missing = [pin for pin in range(graph.num_pins) if pin not in reachable]
+    if missing:
+        r = registry.get("graph-nonspanning")
+        yield r.diagnostic(
+            f"pins {missing} are not reachable from the source",
+            location=_net_location(graph),
+            hint="add edges connecting every pin to the source component")
+
+
+@rule("graph-dangling-steiner", category="graph", severity=Severity.WARNING,
+      summary="a Steiner point has degree < 2",
+      rationale="a degree-0/1 Steiner point contributes capacitance (and "
+                "wirelength) without joining wires, so it only slows the "
+                "net down; well-formed outputs never contain one")
+def check_dangling_steiner(graph: RoutingGraph) -> Iterator[Diagnostic]:
+    r = registry.get("graph-dangling-steiner")
+    for node in sorted(graph.steiner):
+        degree = graph.degree(node)
+        if degree < 2:
+            yield r.diagnostic(
+                f"Steiner point {node} at {graph.position(node).as_tuple()} "
+                f"has degree {degree}",
+                location=_net_location(graph, f"node {node}"),
+                hint="remove the point or wire it into at least two edges")
+
+
+@rule("graph-zero-length-edge", category="graph", severity=Severity.WARNING,
+      summary="an edge has (near-)zero Manhattan length",
+      rationale="zero-length wires have zero resistance and capacitance, "
+                "degenerate the RC discretization into pseudo-shorts, and "
+                "usually indicate a Steiner point stacked on a pin")
+def check_zero_length_edge(graph: RoutingGraph) -> Iterator[Diagnostic]:
+    r = registry.get("graph-zero-length-edge")
+    for (u, v), length in sorted(graph.edge_lengths().items()):
+        if length <= ZERO_LENGTH_TOL:
+            yield r.diagnostic(
+                f"edge ({u}, {v}) has length {length:g} um",
+                location=_net_location(graph, f"edge ({u}, {v})"),
+                hint="merge the coincident endpoints into one node")
+
+
+@rule("graph-coincident-nodes", category="graph", severity=Severity.WARNING,
+      summary="two distinct nodes occupy the same position",
+      rationale="coincident nodes make wirelength accounting ambiguous "
+                "and almost always mean a Steiner point duplicated a pin "
+                "instead of reusing it")
+def check_coincident_nodes(graph: RoutingGraph) -> Iterator[Diagnostic]:
+    r = registry.get("graph-coincident-nodes")
+    by_position: dict[tuple[float, float], list[int]] = {}
+    for node, point in sorted(graph.positions().items()):
+        by_position.setdefault(point.as_tuple(), []).append(node)
+    for position, nodes in sorted(by_position.items()):
+        if len(nodes) > 1:
+            yield r.diagnostic(
+                f"nodes {nodes} all sit at {position}",
+                location=_net_location(graph, f"nodes {nodes}"),
+                hint="collapse duplicates into a single node")
+
+
+@rule("graph-out-of-bounds", category="graph", severity=Severity.WARNING,
+      summary="a node lies outside the net's pin bounding box",
+      rationale="in the Manhattan metric no optimal routing ever leaves "
+                "the pins' bounding box (the Hanan grid is inside it); an "
+                "outside node is either corrupted coordinates or a detour "
+                "that only adds wirelength and delay")
+def check_out_of_bounds(graph: RoutingGraph) -> Iterator[Diagnostic]:
+    r = registry.get("graph-out-of-bounds")
+    xs = [p.x for p in graph.net.pins]
+    ys = [p.y for p in graph.net.pins]
+    xmin, xmax = min(xs) - BBOX_TOL, max(xs) + BBOX_TOL
+    ymin, ymax = min(ys) - BBOX_TOL, max(ys) + BBOX_TOL
+    for node, point in sorted(graph.positions().items()):
+        if not (xmin <= point.x <= xmax and ymin <= point.y <= ymax):
+            yield r.diagnostic(
+                f"node {node} at {point.as_tuple()} lies outside the pin "
+                f"bounding box [{min(xs):g}, {max(xs):g}] x "
+                f"[{min(ys):g}, {max(ys):g}]",
+                location=_net_location(graph, f"node {node}"),
+                hint="check the coordinates; routing outside the box "
+                     "cannot be optimal")
+
+
+@rule("graph-excess-cycles", category="graph", severity=Severity.WARNING,
+      summary="cyclomatic number exceeds the net's pin count",
+      rationale="LDRG/SLDRG add an extra edge only while it lowers delay, "
+                "which the paper observes converges after a handful of "
+                "additions; more independent cycles than pins signals a "
+                "runaway construction or a corrupted edge list")
+def check_excess_cycles(graph: RoutingGraph) -> Iterator[Diagnostic]:
+    r = registry.get("graph-excess-cycles")
+    components = _component_count(graph)
+    cycles = graph.num_edges - graph.num_nodes + components
+    if cycles > graph.num_pins:
+        yield r.diagnostic(
+            f"routing has {cycles} independent cycles over "
+            f"{graph.num_pins} pins",
+            location=_net_location(graph),
+            hint="verify the routing really came from a delay-driven "
+                 "construction")
+
+
+@rule("graph-redundant-parallel", category="graph", severity=Severity.INFO,
+      summary="an edge duplicates an equal-length alternative path",
+      rationale="when an edge's length equals the shortest alternative "
+                "path between its endpoints, removing it would keep every "
+                "source-sink path length and beat the claimed cost; such "
+                "parallel wiring is only justified when its extra "
+                "conductance measurably lowers delay")
+def check_redundant_parallel(graph: RoutingGraph) -> Iterator[Diagnostic]:
+    r = registry.get("graph-redundant-parallel")
+    for (u, v), length in sorted(graph.edge_lengths().items()):
+        if length <= ZERO_LENGTH_TOL:
+            continue  # zero-length edges have their own rule
+        alternative = _shortest_path_without_edge(graph, u, v)
+        if alternative <= length * (1.0 + REDUNDANT_REL_TOL):
+            yield r.diagnostic(
+                f"edge ({u}, {v}) of length {length:g} um parallels an "
+                f"alternative path of length {alternative:g} um",
+                location=_net_location(graph, f"edge ({u}, {v})"),
+                hint="dropping the edge saves its wirelength without "
+                     "lengthening any path; keep it only for the delay win")
+
+
+def _component_count(graph: RoutingGraph) -> int:
+    seen: set[int] = set()
+    components = 0
+    for start in graph.nodes():
+        if start in seen:
+            continue
+        components += 1
+        stack = [start]
+        seen.add(start)
+        while stack:
+            node = stack.pop()
+            for neighbor in graph.neighbors(node):
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    stack.append(neighbor)
+    return components
+
+
+def _shortest_path_without_edge(graph: RoutingGraph, u: int, v: int) -> float:
+    """Shortest u → v wire length ignoring the direct edge ``(u, v)``."""
+    done: set[int] = set()
+    frontier: list[tuple[float, int]] = [(0.0, u)]
+    while frontier:
+        dist, node = heapq.heappop(frontier)
+        if node in done:
+            continue
+        if node == v:
+            return dist
+        done.add(node)
+        for neighbor in graph.neighbors(node):
+            if {node, neighbor} == {u, v}:
+                continue
+            if neighbor not in done:
+                heapq.heappush(
+                    frontier, (dist + graph.edge_length(node, neighbor),
+                               neighbor))
+    return float("inf")
+
+
+def lint_graph(graph: RoutingGraph,
+               config: LintConfig | None = None) -> list[Diagnostic]:
+    """Run every enabled graph rule against ``graph``.
+
+    Returns diagnostics sorted most-severe first. A structurally sound
+    routing produced by any of the paper's algorithms comes back with no
+    errors (the property tests assert exactly that).
+    """
+    return registry.run("graph", graph, config)

@@ -1,0 +1,45 @@
+"""Render diagnostics as text or JSON.
+
+Shared by ``repro-route lint`` (data linting) and
+``python -m repro.analysis`` (source linting), so both tools speak the
+same output format and the CI gate can parse either.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable
+
+from repro.analysis.diagnostics import Diagnostic, Severity
+
+
+def summarize(diagnostics: Iterable[Diagnostic]) -> dict[str, int]:
+    """Counts per severity, e.g. ``{"error": 1, "warning": 2, "info": 0}``."""
+    counts = {str(severity): 0 for severity in Severity}
+    for diag in diagnostics:
+        counts[str(diag.severity)] += 1
+    return counts
+
+
+def render_text(diagnostics: Iterable[Diagnostic]) -> str:
+    """Human-readable report: one line per diagnostic plus a summary line."""
+    diags = list(diagnostics)
+    lines = [diag.render() for diag in diags]
+    counts = summarize(diags)
+    if diags:
+        lines.append(f"{len(diags)} diagnostic(s): "
+                     f"{counts['error']} error(s), "
+                     f"{counts['warning']} warning(s), "
+                     f"{counts['info']} info")
+    else:
+        lines.append("clean: no diagnostics")
+    return "\n".join(lines)
+
+
+def render_json(diagnostics: Iterable[Diagnostic]) -> str:
+    """Machine-readable report with a ``summary`` and a ``diagnostics`` list."""
+    diags = list(diagnostics)
+    return json.dumps({
+        "summary": summarize(diags),
+        "diagnostics": [diag.to_dict() for diag in diags],
+    }, indent=2)

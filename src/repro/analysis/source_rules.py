@@ -1,0 +1,245 @@
+"""AST-level lint rules enforcing repo discipline on the Python sources.
+
+The routing library has a few conventions that a type checker cannot
+express but whose violation has burned EDA codebases forever:
+
+* coordinates are floats, so ``==``/``!=`` on them (or on Manhattan
+  distances and costs) is a latent nondeterminism bug — compare against
+  tolerances instead;
+* :class:`~repro.geometry.net.Net` and
+  :class:`~repro.geometry.point.Point` are frozen; sneaking past the
+  freeze with ``object.__setattr__`` from outside the class invalidates
+  hashes and every cached routing built on them;
+* every algorithm module in ``core/`` must validate its routing at the
+  boundary (via :mod:`repro.graph.validation` or :mod:`repro.analysis`)
+  so malformed graphs fail at construction, not deep in delay code;
+* mutable default arguments alias state across calls.
+
+Run one file through :func:`lint_source` or a whole tree through
+:func:`lint_source_tree` (also exposed as ``python -m repro.analysis``).
+A violation can be locally waived with a ``# repro: allow=<rule-id>``
+comment on the offending line.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from repro.analysis.diagnostics import (
+    Diagnostic,
+    LintConfig,
+    Location,
+    Severity,
+    registry,
+    rule,
+)
+
+#: Attribute names treated as plane coordinates.
+COORDINATE_ATTRS = frozenset({"x", "y"})
+
+#: Functions/methods returning geometric lengths — never compare with ==.
+LENGTH_FUNCTIONS = frozenset(
+    {"manhattan", "euclidean", "distance", "cost", "edge_length"})
+
+#: Names that count as a routing-boundary validation call.
+BOUNDARY_CHECKS = frozenset({
+    "check_connected", "check_spanning", "check_tree",
+    "lint_graph", "validate_routing",
+})
+
+#: ``core/`` modules that define no routing-producing algorithms.
+BOUNDARY_EXEMPT = frozenset({"__init__.py", "result.py"})
+
+#: Comment waiving a rule on its line: ``# repro: allow=<rule-id>``.
+ALLOW_PRAGMA = "# repro: allow="
+
+
+@dataclass(frozen=True)
+class ParsedSource:
+    """One Python file parsed for linting."""
+
+    path: Path
+    tree: ast.Module
+    lines: tuple[str, ...]
+
+    def allows(self, rule_id: str, line: int) -> bool:
+        """Whether ``line`` carries an allow-pragma for ``rule_id``."""
+        if not 1 <= line <= len(self.lines):
+            return False
+        text = self.lines[line - 1]
+        marker = text.find(ALLOW_PRAGMA)
+        if marker < 0:
+            return False
+        allowed = text[marker + len(ALLOW_PRAGMA):].split()[0]
+        return allowed in (rule_id, "all")
+
+    def location(self, node: ast.AST) -> Location:
+        return Location(file=str(self.path),
+                        line=getattr(node, "lineno", None))
+
+
+def _call_name(node: ast.AST) -> str | None:
+    """The bare name of a called function, for ``f(...)`` and ``o.f(...)``."""
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Name):
+            return func.id
+        if isinstance(func, ast.Attribute):
+            return func.attr
+    return None
+
+
+def _is_coordinate_expr(node: ast.expr) -> bool:
+    if isinstance(node, ast.Attribute) and node.attr in COORDINATE_ATTRS:
+        return True
+    return _call_name(node) in LENGTH_FUNCTIONS
+
+
+@rule("source-float-eq", category="source", severity=Severity.ERROR,
+      summary="== or != on coordinates or geometric lengths",
+      rationale="coordinates and wirelengths are floats; exact equality "
+                "depends on summation order and silently flips between "
+                "platforms — compare against a tolerance instead")
+def check_float_eq(source: ParsedSource) -> Iterator[Diagnostic]:
+    r = registry.get("source-float-eq")
+    for node in ast.walk(source.tree):
+        if not isinstance(node, ast.Compare):
+            continue
+        if not any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops):
+            continue
+        operands = [node.left, *node.comparators]
+        offender = next((o for o in operands if _is_coordinate_expr(o)), None)
+        if offender is None or source.allows(r.id, node.lineno):
+            continue
+        yield r.diagnostic(
+            f"floating-point equality on {ast.unparse(offender)!r}",
+            location=source.location(node),
+            hint="use abs(a - b) <= tol, or math.isclose")
+
+
+@rule("source-frozen-mutation", category="source", severity=Severity.ERROR,
+      summary="object.__setattr__ used outside the defining class",
+      rationale="Net and Point are frozen and hashable; mutating one "
+                "from outside its own __post_init__ corrupts every dict "
+                "or set the instance already lives in")
+def check_frozen_mutation(source: ParsedSource) -> Iterator[Diagnostic]:
+    r = registry.get("source-frozen-mutation")
+    for node in ast.walk(source.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if not (isinstance(func, ast.Attribute)
+                and func.attr == "__setattr__"
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "object"):
+            continue
+        target = node.args[0] if node.args else None
+        if isinstance(target, ast.Name) and target.id == "self":
+            continue  # a class may complete its own frozen __init__
+        if source.allows(r.id, node.lineno):
+            continue
+        yield r.diagnostic(
+            f"object.__setattr__ on {ast.unparse(target) if target else '?'}",
+            location=source.location(node),
+            hint="build a new instance instead of mutating a frozen one")
+
+
+@rule("source-missing-boundary-check", category="source",
+      severity=Severity.ERROR,
+      summary="a core/ algorithm module performs no boundary validation",
+      rationale="core algorithms must call a graph.validation or "
+                "analysis check before trusting a routing, so malformed "
+                "graphs fail at the boundary instead of producing a "
+                "plausible-looking delay downstream")
+def check_boundary_validation(source: ParsedSource) -> Iterator[Diagnostic]:
+    r = registry.get("source-missing-boundary-check")
+    if "core" not in source.path.parent.parts:
+        return
+    if (source.path.name in BOUNDARY_EXEMPT
+            or source.path.name.startswith("test_")
+            or source.path.name == "conftest.py"):
+        return
+    for node in ast.walk(source.tree):
+        if _call_name(node) in BOUNDARY_CHECKS:
+            return
+    yield r.diagnostic(
+        f"module {source.path.name} never calls any of "
+        f"{', '.join(sorted(BOUNDARY_CHECKS))}",
+        location=Location(file=str(source.path), line=1),
+        hint="call check_spanning/check_tree (or lint_graph) on the "
+             "routing the module builds or consumes")
+
+
+@rule("source-mutable-default", category="source", severity=Severity.ERROR,
+      summary="a function has a mutable default argument",
+      rationale="list/dict/set defaults are evaluated once and shared "
+                "across calls; state leaks between independent routings")
+def check_mutable_default(source: ParsedSource) -> Iterator[Diagnostic]:
+    r = registry.get("source-mutable-default")
+    mutable = (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp,
+               ast.SetComp)
+    constructors = frozenset({"list", "dict", "set"})
+    for node in ast.walk(source.tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        defaults = [*node.args.defaults, *node.args.kw_defaults]
+        for default in defaults:
+            if default is None:
+                continue
+            bad = (isinstance(default, mutable)
+                   or _call_name(default) in constructors)
+            if bad and not source.allows(r.id, default.lineno):
+                yield r.diagnostic(
+                    f"function {node.name!r} has mutable default "
+                    f"{ast.unparse(default)!r}",
+                    location=source.location(default),
+                    hint="default to None and build inside the function")
+
+
+def parse_source(path: str | Path) -> ParsedSource | Diagnostic:
+    """Parse one file; a syntax error comes back as a diagnostic."""
+    file_path = Path(path)
+    text = file_path.read_text(encoding="utf-8")
+    try:
+        tree = ast.parse(text, filename=str(file_path))
+    except SyntaxError as exc:
+        return Diagnostic(
+            rule="source-syntax-error", severity=Severity.ERROR,
+            message=f"syntax error: {exc.msg}",
+            location=Location(file=str(file_path), line=exc.lineno))
+    return ParsedSource(path=file_path, tree=tree,
+                        lines=tuple(text.splitlines()))
+
+
+def lint_source(path: str | Path,
+                config: LintConfig | None = None) -> list[Diagnostic]:
+    """Run every enabled source rule against one Python file."""
+    parsed = parse_source(path)
+    if isinstance(parsed, Diagnostic):
+        return [parsed]
+    return registry.run("source", parsed, config)
+
+
+def iter_python_files(paths: Iterable[str | Path]) -> Iterator[Path]:
+    """Expand files/directories into the .py files they contain."""
+    for path in paths:
+        p = Path(path)
+        if p.is_dir():
+            yield from sorted(
+                f for f in p.rglob("*.py")
+                if "__pycache__" not in f.parts
+                and not any(part.startswith(".") for part in f.parts))
+        else:
+            yield p
+
+
+def lint_source_tree(paths: Iterable[str | Path],
+                     config: LintConfig | None = None) -> list[Diagnostic]:
+    """Lint every Python file under ``paths`` (files or directories)."""
+    out: list[Diagnostic] = []
+    for file_path in iter_python_files(paths):
+        out.extend(lint_source(file_path, config))
+    return out

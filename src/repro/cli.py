@@ -9,6 +9,9 @@ Usage examples::
     python -m repro table 2 --trials 5 --sizes 5,10
     python -m repro figure 1 --out-dir figures/
 
+    python -m repro lint route.json demo.nets
+    python -m repro lint route.json --format json --no-rc
+
 Every subcommand prints a human-readable report to stdout; artifact
 flags (``--svg``, ``--deck``, ``--json``, ``--out``) write files.
 """
@@ -17,8 +20,22 @@ from __future__ import annotations
 
 import argparse
 import sys
+from dataclasses import replace
 from pathlib import Path
 
+from repro.analysis import (
+    LintConfig,
+    lint_graph,
+    lint_routing_rc,
+    render_json,
+    render_text,
+)
+from repro.analysis.diagnostics import (
+    Diagnostic,
+    Location,
+    Severity,
+    has_errors,
+)
 from repro.core.ert import ert, ert_ldrg
 from repro.core.heuristics import h1, h2, h3
 from repro.core.ldrg import ldrg
@@ -33,7 +50,11 @@ from repro.experiments.harness import ExperimentConfig
 from repro.experiments.tables import run_table, table1
 from repro.geometry.random_nets import random_net
 from repro.io.nets_file import read_nets, write_nets
-from repro.io.routing_json import save_routing
+from repro.io.routing_json import (
+    RoutingFormatError,
+    load_routing,
+    save_routing,
+)
 from repro.viz.svg import save_routing_svg
 
 _ALGORITHMS = {
@@ -103,6 +124,24 @@ def build_parser() -> argparse.ArgumentParser:
                        help="blocked rectangle (repeatable)")
     embed.add_argument("--svg", type=Path, default=None,
                        help="render the embedded routing as SVG")
+
+    lint = sub.add_parser(
+        "lint", help="lint routing JSON / net files and their RC models")
+    lint.add_argument("inputs", nargs="*", type=Path,
+                      help="routing .json files and/or .nets files")
+    lint.add_argument("--format", choices=("text", "json"), default="text",
+                      help="report format (default: text)")
+    lint.add_argument("--disable", action="append", default=[],
+                      metavar="RULE", help="disable a rule id (repeatable)")
+    lint.add_argument("--severity", action="append", default=[],
+                      metavar="RULE=LEVEL",
+                      help="override a rule's severity (repeatable)")
+    lint.add_argument("--no-rc", action="store_true",
+                      help="skip the electrical (RC) lint pass")
+    lint.add_argument("--segments", type=int, default=1,
+                      help="pi-sections per wire for the RC pass")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="print the rule catalog and exit")
     return parser
 
 
@@ -115,6 +154,7 @@ def main(argv: list[str] | None = None) -> int:
         "table": _cmd_table,
         "figure": _cmd_figure,
         "embed": _cmd_embed,
+        "lint": _cmd_lint,
     }[args.command]
     return handler(args)
 
@@ -239,6 +279,83 @@ def _cmd_embed(args: argparse.Namespace) -> int:
                                f"({embedded_delay * 1e9:.2f} ns)")
         print(f"  svg -> {args.svg}")
     return 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    """Lint routing JSON files and net files with the analysis framework.
+
+    Exit status: 0 clean (warnings allowed), 1 when any error-severity
+    diagnostic fires, 2 on usage errors.
+    """
+    if args.list_rules:
+        from repro.analysis.__main__ import list_rules
+
+        print(list_rules())
+        return 0
+    if not args.inputs:
+        print("error: no input files (give routing .json or .nets files)",
+              file=sys.stderr)
+        return 2
+    try:
+        config = LintConfig.from_options(disable=args.disable,
+                                         severity=args.severity)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    tech = Technology.cmos08()
+    diagnostics: list[Diagnostic] = []
+    for path in args.inputs:
+        if not path.exists():
+            print(f"error: no such file: {path}", file=sys.stderr)
+            return 2
+        if path.suffix == ".json":
+            diagnostics.extend(_lint_routing_file(
+                path, tech, config, with_rc=not args.no_rc,
+                segments=args.segments))
+        else:
+            diagnostics.extend(_lint_nets_file(path))
+
+    render = render_json if args.format == "json" else render_text
+    print(render(diagnostics))
+    return 1 if has_errors(diagnostics) else 0
+
+
+def _lint_routing_file(path: Path, tech: Technology, config: LintConfig,
+                       *, with_rc: bool, segments: int) -> list[Diagnostic]:
+    """Diagnostics for one routing JSON file, tagged with the file path."""
+    try:
+        graph = load_routing(path, validate=False)
+    except RoutingFormatError as exc:
+        return exc.diagnostics
+    found = lint_graph(graph, config)
+    if with_rc:
+        found = found + lint_routing_rc(graph, tech, segments=segments,
+                                        config=config)
+    return [replace(d, location=replace(d.location, file=str(path)))
+            if d.location.file is None else d
+            for d in found]
+
+
+def _lint_nets_file(path: Path) -> list[Diagnostic]:
+    """Diagnostics for one net file (parse-level checks)."""
+    try:
+        nets = read_nets(path)
+    except (ValueError, OSError) as exc:
+        return [Diagnostic(
+            rule="nets-malformed", severity=Severity.ERROR,
+            message=f"cannot read net file: {exc}",
+            location=Location(file=str(path)),
+            hint="net stanzas are 'net <name>' followed by one source "
+                 "and one or more sink coordinate lines")]
+    out: list[Diagnostic] = []
+    for index, net in enumerate(nets):
+        if net.num_sinks == 0:  # read_nets normally refuses this already
+            out.append(Diagnostic(
+                rule="nets-degenerate", severity=Severity.ERROR,
+                message=f"net {net.name!r} (index {index}) has no sinks",
+                location=Location(file=str(path), obj=f"net {net.name!r}")))
+    return out
 
 
 def _cmd_figure(args: argparse.Namespace) -> int:

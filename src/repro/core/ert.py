@@ -17,6 +17,7 @@ from repro.delay.models import DelayModel, get_delay_model
 from repro.delay.parameters import Technology
 from repro.geometry.net import Net
 from repro.graph.routing_graph import RoutingGraph
+from repro.graph.validation import check_tree
 
 
 def elmore_routing_tree(net: Net, tech: Technology,
@@ -50,6 +51,7 @@ def elmore_routing_tree(net: Net, tech: Technology,
         graph.add_edge(*best_edge)
         in_tree.append(best_edge[1])
         remaining.discard(best_edge[1])
+    check_tree(graph)
     return graph
 
 

@@ -22,6 +22,7 @@ from repro.delay.models import DelayModel, get_delay_model
 from repro.delay.parameters import Technology
 from repro.geometry.net import Net
 from repro.graph.routing_graph import RoutingGraph
+from repro.graph.validation import check_spanning
 
 #: Enumeration ceiling: nets above this size are refused loudly.
 MAX_PINS = 7
@@ -70,6 +71,7 @@ def optimal_routing_graph(net: Net, tech: Technology,
             best = _keep_better(best, graph, delay, evaluated)
     assert best is not None
     best.evaluated = evaluated
+    check_spanning(best.graph)
     return best
 
 
@@ -90,6 +92,7 @@ def optimal_routing_tree(net: Net, tech: Technology,
         best = _keep_better(best, graph, delay, evaluated)
     assert best is not None
     best.evaluated = evaluated
+    check_spanning(best.graph)
     return best
 
 

@@ -27,6 +27,7 @@ from repro.geometry.net import Net
 from repro.graph.mst import prim_mst
 from repro.graph.paths import dijkstra_lengths
 from repro.graph.routing_graph import RoutingGraph
+from repro.graph.validation import check_spanning
 
 
 def h1(net: Net, tech: Technology,
@@ -40,6 +41,7 @@ def h1(net: Net, tech: Technology,
     """
     model = get_delay_model(delay_model, tech)
     graph = prim_mst(net)
+    check_spanning(graph)
     base_delays = model.delays(graph)
     base_delay = max(base_delays.values())
     base_cost = graph.cost()
@@ -116,6 +118,7 @@ def _one_shot(graph: RoutingGraph, tech: Technology,
               scores: dict[int, float], algorithm: str,
               evaluation_model: str | DelayModel) -> RoutingResult:
     """Add the single best-scoring source shortcut and evaluate."""
+    check_spanning(graph)
     evaluate = get_delay_model(evaluation_model, tech)
     base_delays = evaluate.delays(graph)
     base_delay = max(base_delays.values())

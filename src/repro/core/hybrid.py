@@ -29,6 +29,7 @@ from repro.geometry.net import Net
 from repro.graph.mst import prim_mst
 from repro.graph.routing_graph import RoutingGraph
 from repro.graph.steiner import iterated_one_steiner
+from repro.graph.validation import check_spanning
 
 
 @dataclass
@@ -69,6 +70,7 @@ def horg(net: Net, tech: Technology,
         raise ValueError("width_levels must be strictly increasing and non-empty")
 
     base = iterated_one_steiner(net) if use_steiner else prim_mst(net)
+    check_spanning(base)
 
     def weighted(graph: RoutingGraph,
                  widths: dict[tuple[int, int], float] | None = None) -> float:

@@ -25,6 +25,7 @@ from repro.delay.parameters import Technology
 from repro.geometry.net import Net
 from repro.geometry.point import Point
 from repro.graph.routing_graph import RoutingGraph
+from repro.graph.validation import check_tree
 
 
 @dataclass(frozen=True)
@@ -81,6 +82,7 @@ def steiner_elmore_routing_tree(net: Net, tech: Technology,
         new_nodes = _apply(graph, best[1])
         in_tree.extend(new_nodes)
         remaining.discard(best[1].sink)
+    check_tree(graph)
     return graph
 
 

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Iterator
 
 
 @dataclass(frozen=True, order=True)
@@ -39,7 +40,7 @@ class Point:
         """The point as a plain ``(x, y)`` tuple."""
         return (self.x, self.y)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[float]:
         yield self.x
         yield self.y
 

@@ -66,7 +66,7 @@ def prim_mst(net: Net) -> RoutingGraph:
 class _DisjointSet:
     """Union-find with path compression and union by size."""
 
-    def __init__(self, n: int):
+    def __init__(self, n: int) -> None:
         self.parent = list(range(n))
         self.size = [1] * n
 

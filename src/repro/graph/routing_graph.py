@@ -15,7 +15,7 @@ Node indexing convention:
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator
+from typing import Any, Iterable, Iterator
 
 from repro.geometry.net import Net
 from repro.geometry.point import Point
@@ -28,7 +28,7 @@ class RoutingGraphError(ValueError):
 class RoutingGraph:
     """An undirected geometric graph over a net's pins and Steiner points."""
 
-    def __init__(self, net: Net):
+    def __init__(self, net: Net) -> None:
         self.net = net
         self._positions: dict[int, Point] = dict(enumerate(net.pins))
         self._adj: dict[int, dict[int, float]] = {
@@ -184,6 +184,13 @@ class RoutingGraph:
         """Connected with exactly ``|V| - 1`` edges."""
         return self.is_connected() and self.num_edges == self.num_nodes - 1
 
+    def reachable_from(self, start: int | None = None) -> set[int]:
+        """All nodes reachable from ``start`` (default: the source)."""
+        origin = self.source if start is None else start
+        if origin not in self._adj:
+            raise RoutingGraphError(f"unknown node {origin}")
+        return self._reachable(origin)
+
     def _reachable(self, start: int) -> set[int]:
         seen = {start}
         stack = [start]
@@ -245,7 +252,7 @@ class RoutingGraph:
 
     # ----------------------------------------------------------------- export
 
-    def to_networkx(self):
+    def to_networkx(self) -> Any:
         """Export to a ``networkx.Graph`` (positions in the ``pos`` attribute)."""
         import networkx as nx
 

@@ -117,7 +117,9 @@ def _edge_cost(points: list[Point], edges: list[tuple[int, int]]) -> float:
     return sum(points[u].manhattan(points[v]) for u, v in edges)
 
 
-def _best_candidate(pins, steiner, points, tree_edges, base_cost):
+def _best_candidate(pins: list[Point], steiner: list[Point],
+                    points: list[Point], tree_edges: list[tuple[int, int]],
+                    base_cost: float) -> tuple[Point | None, float]:
     """The Hanan candidate with the largest positive MST-cost saving."""
     taken = set(points)
     threshold = _GAIN_TOLERANCE * max(base_cost, 1.0)

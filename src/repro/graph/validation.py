@@ -3,25 +3,78 @@
 Algorithms in :mod:`repro.core` call these at their boundaries so that a
 malformed routing fails loudly at the point of construction rather than
 producing a silently wrong delay number downstream.
+
+Since the static-analysis subsystem landed, the checks are thin raising
+wrappers over the :mod:`repro.analysis.graph_rules` lint rules: each
+``check_*`` runs the corresponding rule, and raises
+:class:`~repro.graph.routing_graph.RoutingGraphError` carrying the
+rule's diagnostic when it fires. The ``*_diagnostics`` functions expose
+the non-raising form for callers (CLI lint, JSON loading) that want to
+collect findings instead of aborting on the first.
 """
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.graph.routing_graph import RoutingGraph, RoutingGraphError
+
+if TYPE_CHECKING:
+    from repro.analysis.diagnostics import Diagnostic
+
+
+def connectivity_diagnostics(graph: RoutingGraph) -> list[Diagnostic]:
+    """Diagnostics from the ``graph-disconnected`` rule (empty = connected)."""
+    from repro.analysis.diagnostics import registry
+
+    import repro.analysis.graph_rules  # noqa: F401  (registers the rules)
+    return list(registry.get("graph-disconnected").check(graph))
+
+
+def spanning_diagnostics(graph: RoutingGraph) -> list[Diagnostic]:
+    """Diagnostics from the ``graph-nonspanning`` rule (empty = spanning)."""
+    from repro.analysis.diagnostics import registry
+
+    import repro.analysis.graph_rules  # noqa: F401
+    return list(registry.get("graph-nonspanning").check(graph))
+
+
+def tree_diagnostics(graph: RoutingGraph) -> list[Diagnostic]:
+    """Connectivity diagnostics plus a finding when the graph has cycles.
+
+    Being a non-tree is *not* a lint rule — cycles are the entire point
+    of the paper — so the cycle finding is built here, only for callers
+    that explicitly demand a tree (Elmore recursion, parent maps).
+    """
+    from repro.analysis.diagnostics import Diagnostic, Location, Severity
+
+    diagnostics = connectivity_diagnostics(graph)
+    if graph.num_edges != graph.num_nodes - 1:
+        diagnostics.append(Diagnostic(
+            rule="graph-not-a-tree", severity=Severity.ERROR,
+            message=f"{graph.num_edges} edges over {graph.num_nodes} nodes",
+            location=Location(obj=f"net {graph.net.name!r}"),
+            hint="tree-only consumers (Elmore recursion, parent maps) "
+                 "cannot accept routing graphs with cycles"))
+    return diagnostics
 
 
 def check_connected(graph: RoutingGraph) -> None:
     """Raise unless every node is reachable from the source."""
-    if not graph.is_connected():
+    diagnostics = connectivity_diagnostics(graph)
+    if diagnostics:
         raise RoutingGraphError(
-            f"routing over net {graph.net.name!r} is disconnected")
+            f"routing over net {graph.net.name!r} is disconnected: "
+            f"{diagnostics[0].message}")
 
 
 def check_spanning(graph: RoutingGraph) -> None:
     """Raise unless every *pin* of the net is reachable from the source."""
-    if not graph.spans_net():
+    diagnostics = spanning_diagnostics(graph)
+    if diagnostics:
         raise RoutingGraphError(
-            f"routing over net {graph.net.name!r} does not span all pins")
+            f"routing over net {graph.net.name!r} does not span all pins: "
+            f"{diagnostics[0].message}")
 
 
 def check_tree(graph: RoutingGraph) -> None:

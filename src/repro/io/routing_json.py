@@ -3,13 +3,26 @@
 A routing dict is self-contained: it embeds the net's pins, every Steiner
 point's coordinates, and the edge list, so a routing can be archived and
 reloaded without the original :class:`~repro.geometry.net.Net` object.
+
+Loading validates by default: structural problems in the document
+(missing keys, malformed coordinates, duplicate or dangling edges) and
+error-severity findings from the routing-graph lint pass
+(:func:`repro.analysis.lint_graph`) are rejected with a
+:class:`RoutingFormatError` carrying the diagnostics, instead of letting
+a malformed routing fail deep inside delay code.
 """
 
 from __future__ import annotations
 
 import json
 from pathlib import Path
+from typing import Any
 
+from repro.analysis.diagnostics import (
+    Diagnostic,
+    Location,
+    Severity,
+)
 from repro.geometry.net import Net
 from repro.geometry.point import Point
 from repro.graph.routing_graph import RoutingGraph
@@ -17,7 +30,20 @@ from repro.graph.routing_graph import RoutingGraph
 _FORMAT = "repro-routing-v1"
 
 
-def routing_to_dict(graph: RoutingGraph) -> dict:
+class RoutingFormatError(ValueError):
+    """A routing document failed validation.
+
+    Attributes:
+        diagnostics: the findings that caused the rejection.
+    """
+
+    def __init__(self, message: str,
+                 diagnostics: list[Diagnostic] | None = None) -> None:
+        super().__init__(message)
+        self.diagnostics: list[Diagnostic] = diagnostics or []
+
+
+def routing_to_dict(graph: RoutingGraph) -> dict[str, Any]:
     """The routing graph as a JSON-ready dict."""
     steiner = {str(node): list(graph.position(node).as_tuple())
                for node in sorted(graph.steiner)}
@@ -33,28 +59,95 @@ def routing_to_dict(graph: RoutingGraph) -> dict:
     }
 
 
-def routing_from_dict(data: dict) -> RoutingGraph:
+def _format_diagnostic(message: str, *, source: str,
+                       hint: str | None = None) -> Diagnostic:
+    return Diagnostic(rule="json-malformed", severity=Severity.ERROR,
+                      message=message, location=Location(file=source),
+                      hint=hint)
+
+
+def _build_graph(data: dict[str, Any], source: str) -> RoutingGraph:
+    """Construct the graph, translating structural problems to diagnostics."""
+    try:
+        net_spec = data["net"]
+        net = Net(source=Point(*net_spec["source"]),
+                  sinks=tuple(Point(*coords) for coords in net_spec["sinks"]),
+                  name=net_spec.get("name", "net"))
+    except (KeyError, TypeError, ValueError) as exc:
+        raise RoutingFormatError(
+            f"{source}: malformed net specification: {exc}",
+            [_format_diagnostic(f"malformed net specification: {exc}",
+                                source=source,
+                                hint="expected net.source = [x, y] and "
+                                     "net.sinks = [[x, y], ...]")]) from exc
+    graph = RoutingGraph(net)
+    remap: dict[int, int] = {}
+    try:
+        steiner_spec = data.get("steiner", {})
+        for original in sorted(int(k) for k in steiner_spec):
+            coords = steiner_spec[str(original)]
+            remap[original] = graph.add_steiner_point(Point(*coords))
+    except (TypeError, ValueError) as exc:
+        raise RoutingFormatError(
+            f"{source}: malformed steiner table: {exc}",
+            [_format_diagnostic(f"malformed steiner table: {exc}",
+                                source=source,
+                                hint="expected {index: [x, y]} with "
+                                     "integer keys")]) from exc
+    for entry in data.get("edges", []):
+        try:
+            u, v = (int(end) for end in entry)
+            graph.add_edge(remap.get(u, u), remap.get(v, v))
+        except (TypeError, ValueError) as exc:
+            # RoutingGraphError (a ValueError) covers self-loops, unknown
+            # nodes, and duplicate edges with a precise message.
+            raise RoutingFormatError(
+                f"{source}: bad edge {entry!r}: {exc}",
+                [_format_diagnostic(f"bad edge {entry!r}: {exc}",
+                                    source=source,
+                                    hint="edges are [u, v] pairs of "
+                                         "existing distinct nodes, each "
+                                         "listed once")]) from exc
+    return graph
+
+
+def routing_from_dict(data: dict[str, Any], *, validate: bool = True,
+                      source: str = "<routing>") -> RoutingGraph:
     """Rebuild a routing graph from :func:`routing_to_dict` output.
 
     Steiner node indices are remapped densely in ascending original
     order, so round-trips preserve edge structure even if the original
     indices had gaps.
+
+    With ``validate`` (the default), the rebuilt graph is run through
+    the routing-graph lint pass and any error-severity finding raises
+    :class:`RoutingFormatError`; pass ``validate=False`` to load a known
+    -broken routing for inspection (``repro-route lint`` does).
     """
     if data.get("format") != _FORMAT:
-        raise ValueError(f"not a {_FORMAT} document: "
-                         f"format={data.get('format')!r}")
-    net_spec = data["net"]
-    net = Net(source=Point(*net_spec["source"]),
-              sinks=tuple(Point(*coords) for coords in net_spec["sinks"]),
-              name=net_spec.get("name", "net"))
-    graph = RoutingGraph(net)
-    remap: dict[int, int] = {}
-    for original in sorted(int(k) for k in data.get("steiner", {})):
-        coords = data["steiner"][str(original)]
-        remap[original] = graph.add_steiner_point(Point(*coords))
-    for u, v in data["edges"]:
-        graph.add_edge(remap.get(u, u), remap.get(v, v))
+        raise RoutingFormatError(
+            f"{source}: not a {_FORMAT} document: "
+            f"format={data.get('format')!r}",
+            [_format_diagnostic(
+                f"not a {_FORMAT} document: format={data.get('format')!r}",
+                source=source,
+                hint=f'the document must carry "format": "{_FORMAT}"')])
+    graph = _build_graph(data, source)
+    if validate:
+        errors = [d for d in lint_routing_graph(graph)
+                  if d.severity is Severity.ERROR]
+        if errors:
+            detail = "; ".join(d.render() for d in errors)
+            raise RoutingFormatError(
+                f"{source}: routing failed validation: {detail}", errors)
     return graph
+
+
+def lint_routing_graph(graph: RoutingGraph) -> list[Diagnostic]:
+    """The graph lint pass (imported lazily to keep io importable alone)."""
+    from repro.analysis.graph_rules import lint_graph
+
+    return lint_graph(graph)
 
 
 def save_routing(graph: RoutingGraph, path: str | Path) -> None:
@@ -63,6 +156,20 @@ def save_routing(graph: RoutingGraph, path: str | Path) -> None:
                           encoding="utf-8")
 
 
-def load_routing(path: str | Path) -> RoutingGraph:
-    """Read a routing graph from a JSON file."""
-    return routing_from_dict(json.loads(Path(path).read_text(encoding="utf-8")))
+def load_routing(path: str | Path, *, validate: bool = True) -> RoutingGraph:
+    """Read a routing graph from a JSON file (validated by default)."""
+    text = Path(path).read_text(encoding="utf-8")
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise RoutingFormatError(
+            f"{path}: not valid JSON: {exc}",
+            [_format_diagnostic(f"not valid JSON: {exc}",
+                                source=str(path))]) from exc
+    if not isinstance(data, dict):
+        raise RoutingFormatError(
+            f"{path}: expected a JSON object, got {type(data).__name__}",
+            [_format_diagnostic(
+                f"expected a JSON object, got {type(data).__name__}",
+                source=str(path))])
+    return routing_from_dict(data, validate=validate, source=str(path))

@@ -1,0 +1,58 @@
+"""Acceptance: ``repro-route lint`` is clean on all six algorithms.
+
+Routes 50 random nets with each of MST, LDRG, SLDRG, H1, H2, H3 (the
+Elmore oracle keeps this fast) and asserts the lint pass reports zero
+error-severity diagnostics, plus an end-to-end CLI run over saved JSON.
+"""
+
+import pytest
+
+from repro.analysis import lint_graph, lint_routing_rc
+from repro.analysis.diagnostics import has_errors
+from repro.cli import main as cli_main
+from repro.core.heuristics import h1, h2, h3
+from repro.core.ldrg import ldrg
+from repro.core.sldrg import sldrg
+from repro.delay.models import ElmoreGraphModel
+from repro.delay.parameters import Technology
+from repro.geometry.net import Net
+from repro.graph.mst import prim_mst
+from repro.io.routing_json import save_routing
+
+TECH = Technology.cmos08()
+ORACLE = ElmoreGraphModel(TECH)
+
+NUM_NETS = 50
+
+ALGORITHMS = {
+    "mst": lambda net: prim_mst(net),
+    "ldrg": lambda net: ldrg(net, TECH, delay_model=ORACLE).graph,
+    "sldrg": lambda net: sldrg(net, TECH, delay_model=ORACLE).graph,
+    "h1": lambda net: h1(net, TECH, delay_model=ORACLE).graph,
+    "h2": lambda net: h2(net, TECH, evaluation_model=ORACLE).graph,
+    "h3": lambda net: h3(net, TECH, evaluation_model=ORACLE).graph,
+}
+
+
+def random_nets():
+    return [Net.random(4 + seed % 5, seed=seed, name=f"acc{seed}")
+            for seed in range(NUM_NETS)]
+
+
+@pytest.mark.parametrize("algorithm", sorted(ALGORITHMS))
+def test_fifty_nets_lint_error_free(algorithm):
+    route = ALGORITHMS[algorithm]
+    for net in random_nets():
+        graph = route(net)
+        diags = lint_graph(graph) + lint_routing_rc(graph, TECH)
+        assert not has_errors(diags), (
+            algorithm, net.name, [d.render() for d in diags])
+
+
+def test_cli_lint_clean_on_each_algorithm(tmp_path, net10, capsys):
+    paths = []
+    for algorithm, route in ALGORITHMS.items():
+        path = tmp_path / f"{algorithm}.json"
+        save_routing(route(net10), path)
+        paths.append(str(path))
+    assert cli_main(["lint", *paths]) == 0

@@ -1,0 +1,212 @@
+"""One passing and one violating fixture for every electrical lint rule."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.circuit_rules import (
+    lint_circuit,
+    lint_rc_system,
+    lint_routing_rc,
+)
+from repro.circuit.elements import Capacitor, Inductor, Resistor
+from repro.circuit.netlist import GROUND, Circuit
+from repro.circuit.waveform import Step
+from repro.delay.parameters import Technology
+from repro.delay.rc_builder import build_interconnect_circuit, build_reduced_rc
+from repro.graph.mst import prim_mst
+
+
+def circuit_rules_fired(circuit):
+    return {d.rule for d in lint_circuit(circuit)}
+
+
+def forge(cls, name, n1, n2, value):
+    """Build an element bypassing its constructor validation.
+
+    The element dataclasses reject non-positive values on construction,
+    so violating fixtures (as produced by a buggy deserializer or
+    builder) have to be forged field by field.
+    """
+    element = cls.__new__(cls)
+    for attr, val in (("name", name), ("n1", n1), ("n2", n2),
+                      ("value", value), ("ic", 0.0)):
+        object.__setattr__(element, attr, val)
+    return element
+
+
+def rc_rules_fired(G, c, b, **kwargs):
+    return {d.rule for d in lint_rc_system(G, c, b, **kwargs)}
+
+
+@pytest.fixture
+def rc_ladder():
+    """A well-formed driver + two-section RC ladder."""
+    ckt = Circuit("ladder")
+    ckt.add_voltage_source("vin", "in", GROUND, Step())
+    ckt.add_resistor("rdrv", "in", "a", 100.0)
+    ckt.add_resistor("r1", "a", "b", 50.0)
+    ckt.add_capacitor("ca", "a", GROUND, 1e-12)
+    ckt.add_capacitor("cb", "b", GROUND, 2e-12)
+    return ckt
+
+
+class TestCleanCircuits:
+    def test_ladder_is_clean(self, rc_ladder):
+        assert lint_circuit(rc_ladder) == []
+
+    def test_built_interconnect_circuit_is_clean(self, net10):
+        tech = Technology.cmos08()
+        circuit = build_interconnect_circuit(prim_mst(net10), tech,
+                                             segments=2)
+        assert lint_circuit(circuit) == []
+
+    def test_built_reduced_rc_is_clean(self, net10):
+        tech = Technology.cmos08()
+        reduced = build_reduced_rc(prim_mst(net10), tech, segments=2)
+        assert lint_rc_system(reduced.G, reduced.c, reduced.b,
+                              labels=reduced.labels) == []
+
+
+class TestNonpositiveResistance:
+    def test_fires(self, rc_ladder):
+        rc_ladder.add(forge(Resistor, "rbad", "b", GROUND, -5.0))
+        assert "circuit-nonpositive-resistance" in \
+            circuit_rules_fired(rc_ladder)
+
+    def test_quiet(self, rc_ladder):
+        assert "circuit-nonpositive-resistance" not in \
+            circuit_rules_fired(rc_ladder)
+
+
+class TestNonpositiveCapacitance:
+    def test_fires(self, rc_ladder):
+        rc_ladder.add(forge(Capacitor, "cbad", "a", GROUND, 0.0))
+        assert "circuit-nonpositive-capacitance" in \
+            circuit_rules_fired(rc_ladder)
+
+    def test_quiet(self, rc_ladder):
+        assert "circuit-nonpositive-capacitance" not in \
+            circuit_rules_fired(rc_ladder)
+
+
+class TestNonpositiveInductance:
+    def test_fires(self, rc_ladder):
+        rc_ladder.add(forge(Inductor, "lbad", "b", GROUND, -1e-15))
+        assert "circuit-nonpositive-inductance" in \
+            circuit_rules_fired(rc_ladder)
+
+    def test_quiet(self, rc_ladder):
+        rc_ladder.add_inductor("lok", "b", GROUND, 1e-15)
+        assert "circuit-nonpositive-inductance" not in \
+            circuit_rules_fired(rc_ladder)
+
+
+class TestNoSource:
+    def test_fires(self):
+        ckt = Circuit("dead")
+        ckt.add_resistor("r1", "a", GROUND, 10.0)
+        assert "circuit-no-source" in circuit_rules_fired(ckt)
+
+    def test_quiet(self, rc_ladder):
+        assert "circuit-no-source" not in circuit_rules_fired(rc_ladder)
+
+
+class TestNoGround:
+    def test_fires(self):
+        ckt = Circuit("adrift")
+        ckt.add_voltage_source("vin", "a", "b", Step())
+        ckt.add_resistor("r1", "a", "b", 10.0)
+        assert "circuit-no-ground" in circuit_rules_fired(ckt)
+
+    def test_quiet(self, rc_ladder):
+        assert "circuit-no-ground" not in circuit_rules_fired(rc_ladder)
+
+
+class TestFloatingNode:
+    def test_fires_on_capacitor_only_node(self, rc_ladder):
+        rc_ladder.add_capacitor("cfloat", "b", "island", 1e-12)
+        assert "circuit-floating-node" in circuit_rules_fired(rc_ladder)
+
+    def test_quiet_when_all_nodes_reach_ground(self, rc_ladder):
+        assert "circuit-floating-node" not in circuit_rules_fired(rc_ladder)
+
+
+class TestDanglingNode:
+    def test_fires_on_single_terminal_node(self, rc_ladder):
+        rc_ladder.add_resistor("rstub", "b", "stub", 10.0)
+        assert "circuit-dangling-node" in circuit_rules_fired(rc_ladder)
+
+    def test_quiet_on_ladder(self, rc_ladder):
+        assert "circuit-dangling-node" not in circuit_rules_fired(rc_ladder)
+
+
+def healthy_rc():
+    """A 2-node reduced RC system with driver on row 0."""
+    G = np.array([[0.03, -0.01], [-0.01, 0.01]])
+    c = np.array([1e-12, 1e-12])
+    b = np.array([0.02, 0.0])
+    return G, c, b
+
+
+class TestAsymmetricConductance:
+    def test_fires(self):
+        G, c, b = healthy_rc()
+        G[0, 1] = -0.02  # one-sided stamp
+        assert "rc-asymmetric-conductance" in rc_rules_fired(G, c, b)
+
+    def test_quiet(self):
+        assert "rc-asymmetric-conductance" not in rc_rules_fired(*healthy_rc())
+
+
+class TestPositiveOffdiagonal:
+    def test_fires_on_sign_flip(self):
+        G, c, b = healthy_rc()
+        G[0, 1] = G[1, 0] = +0.01  # sign-flipped resistance
+        assert "rc-positive-offdiagonal" in rc_rules_fired(G, c, b)
+
+    def test_quiet(self):
+        assert "rc-positive-offdiagonal" not in rc_rules_fired(*healthy_rc())
+
+
+class TestDiagonalDominance:
+    def test_fires_on_undersized_diagonal(self):
+        G, c, b = healthy_rc()
+        G[1, 1] = 0.001  # smaller than |G[1, 0]|
+        assert "rc-not-diagonally-dominant" in rc_rules_fired(G, c, b)
+
+    def test_quiet(self):
+        assert "rc-not-diagonally-dominant" not in \
+            rc_rules_fired(*healthy_rc())
+
+
+class TestRCNonpositiveCapacitance:
+    def test_fires(self):
+        G, c, b = healthy_rc()
+        c[1] = -1e-12
+        assert "rc-nonpositive-capacitance" in rc_rules_fired(G, c, b)
+
+    def test_quiet(self):
+        assert "rc-nonpositive-capacitance" not in \
+            rc_rules_fired(*healthy_rc())
+
+
+class TestUndriven:
+    def test_fires_on_zero_excitation(self):
+        G, c, b = healthy_rc()
+        b[:] = 0.0
+        assert "rc-undriven" in rc_rules_fired(G, c, b)
+
+    def test_quiet(self):
+        assert "rc-undriven" not in rc_rules_fired(*healthy_rc())
+
+
+class TestLintRoutingRC:
+    def test_clean_on_mst(self, net10):
+        assert lint_routing_rc(prim_mst(net10), Technology.cmos08()) == []
+
+    def test_unbuildable_on_nonspanning_graph(self, line_net):
+        from repro.graph.routing_graph import RoutingGraph
+
+        graph = RoutingGraph.from_edges(line_net, [(0, 1)])
+        diags = lint_routing_rc(graph, Technology.cmos08())
+        assert [d.rule for d in diags] == ["rc-unbuildable"]

@@ -1,0 +1,157 @@
+"""Unit tests for the diagnostic framework itself."""
+
+import json
+
+import pytest
+
+from repro.analysis.diagnostics import (
+    Diagnostic,
+    LintConfig,
+    Location,
+    Severity,
+    has_errors,
+    max_severity,
+    registry,
+)
+from repro.analysis.reporters import render_json, render_text, summarize
+
+
+def make(rule="graph-disconnected", severity=Severity.ERROR, message="boom",
+         **kwargs):
+    return Diagnostic(rule=rule, severity=severity, message=message, **kwargs)
+
+
+class TestSeverity:
+    def test_ordering(self):
+        assert Severity.ERROR > Severity.WARNING > Severity.INFO
+
+    def test_parse(self):
+        assert Severity.parse("error") is Severity.ERROR
+        assert Severity.parse(" Warning ") is Severity.WARNING
+
+    def test_parse_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown severity"):
+            Severity.parse("fatal")
+
+    def test_str(self):
+        assert str(Severity.WARNING) == "warning"
+
+
+class TestDiagnostic:
+    def test_render_with_location_and_hint(self):
+        diag = make(location=Location(file="a.json", obj="edge (0, 1)"),
+                    hint="fix it")
+        text = diag.render()
+        assert "a.json" in text
+        assert "edge (0, 1)" in text
+        assert "error[graph-disconnected]" in text
+        assert "(hint: fix it)" in text
+
+    def test_render_bare(self):
+        assert make().render() == "error[graph-disconnected] boom"
+
+    def test_location_with_line(self):
+        assert str(Location(file="x.py", line=12)) == "x.py:12"
+
+    def test_to_dict_round_trips_through_json(self):
+        diag = make(location=Location(file="a.json", line=3))
+        data = json.loads(json.dumps(diag.to_dict()))
+        assert data["rule"] == "graph-disconnected"
+        assert data["severity"] == "error"
+        assert data["line"] == 3
+
+
+class TestRegistry:
+    def test_rules_are_registered_by_category(self):
+        categories = {rule.category for rule in registry}
+        assert {"graph", "circuit", "rc", "source"} <= categories
+
+    def test_get_unknown_rule(self):
+        with pytest.raises(KeyError, match="unknown rule"):
+            registry.get("no-such-rule")
+
+    def test_every_rule_documents_itself(self):
+        for rule in registry:
+            assert rule.summary, rule.id
+            assert rule.rationale, rule.id
+            assert rule.id == rule.id.lower()
+
+    def test_disable_filters_rule(self, line_net):
+        from repro.graph.routing_graph import RoutingGraph
+
+        graph = RoutingGraph.from_edges(line_net, [(0, 1)])
+        config = LintConfig(disabled=frozenset(
+            {"graph-disconnected", "graph-nonspanning"}))
+        diags = registry.run("graph", graph, config)
+        assert not any(d.rule in config.disabled for d in diags)
+
+    def test_severity_override_applied(self, line_net):
+        from repro.graph.routing_graph import RoutingGraph
+
+        graph = RoutingGraph.from_edges(line_net, [(0, 1)])
+        config = LintConfig(severity_overrides={
+            "graph-disconnected": Severity.INFO})
+        diags = registry.run("graph", graph, config)
+        by_rule = {d.rule: d for d in diags}
+        assert by_rule["graph-disconnected"].severity is Severity.INFO
+        assert by_rule["graph-nonspanning"].severity is Severity.ERROR
+
+    def test_run_sorts_most_severe_first(self, line_net):
+        from repro.graph.routing_graph import RoutingGraph
+
+        graph = RoutingGraph.from_edges(line_net, [(0, 1)])
+        config = LintConfig(severity_overrides={
+            "graph-disconnected": Severity.INFO})
+        diags = registry.run("graph", graph, config)
+        severities = [d.severity for d in diags]
+        assert severities == sorted(severities, reverse=True)
+
+
+class TestLintConfig:
+    def test_from_options(self):
+        config = LintConfig.from_options(
+            disable=["graph-excess-cycles"],
+            severity=["graph-zero-length-edge=error"])
+        assert not config.enabled("graph-excess-cycles")
+        assert config.severity_overrides[
+            "graph-zero-length-edge"] is Severity.ERROR
+
+    def test_from_options_rejects_unknown_rule(self):
+        with pytest.raises(ValueError, match="unknown rule"):
+            LintConfig.from_options(disable=["bogus-rule"])
+
+    def test_from_options_rejects_bad_override(self):
+        with pytest.raises(ValueError, match="expected rule=level"):
+            LintConfig.from_options(severity=["graph-disconnected"])
+
+
+class TestHelpers:
+    def test_has_errors(self):
+        assert has_errors([make()])
+        assert not has_errors([make(severity=Severity.WARNING)])
+        assert not has_errors([])
+
+    def test_max_severity(self):
+        assert max_severity([]) is None
+        assert max_severity([make(severity=Severity.INFO),
+                             make(severity=Severity.WARNING)]) \
+            is Severity.WARNING
+
+
+class TestReporters:
+    def test_summarize(self):
+        counts = summarize([make(), make(severity=Severity.WARNING)])
+        assert counts == {"error": 1, "warning": 1, "info": 0}
+
+    def test_render_text_clean(self):
+        assert "clean" in render_text([])
+
+    def test_render_text_counts(self):
+        text = render_text([make(), make(severity=Severity.INFO)])
+        assert "2 diagnostic(s)" in text
+        assert "1 error(s)" in text
+
+    def test_render_json_parses(self):
+        report = json.loads(render_json([make()]))
+        assert report["summary"]["error"] == 1
+        assert report["diagnostics"][0]["rule"] == "graph-disconnected"

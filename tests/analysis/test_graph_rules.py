@@ -1,0 +1,149 @@
+"""One passing and one violating fixture for every routing-graph lint rule."""
+
+import pytest
+
+from repro.analysis.graph_rules import lint_graph
+from repro.geometry.net import Net
+from repro.geometry.point import Point
+from repro.graph.mst import prim_mst
+from repro.graph.routing_graph import RoutingGraph
+
+
+def rules_fired(graph):
+    return {d.rule for d in lint_graph(graph)}
+
+
+@pytest.fixture
+def square_net():
+    return Net.from_points(
+        [(0.0, 0.0), (1000.0, 0.0), (1000.0, 1000.0), (0.0, 1000.0)],
+        name="square4")
+
+
+class TestCleanRoutings:
+    def test_mst_is_clean(self, net10):
+        assert lint_graph(prim_mst(net10)) == []
+
+    def test_tree_with_useful_steiner_is_clean(self, square_net):
+        graph = RoutingGraph(square_net)
+        hub = graph.add_steiner_point(Point(500.0, 500.0))
+        for pin in range(4):
+            graph.add_edge(pin, hub)
+        assert lint_graph(graph) == []
+
+
+class TestDisconnected:
+    def test_fires_on_unreachable_node(self, line_net):
+        graph = RoutingGraph.from_edges(line_net, [(1, 2)])
+        assert "graph-disconnected" in rules_fired(graph)
+
+    def test_quiet_on_connected(self, line_net):
+        graph = RoutingGraph.from_edges(line_net, [(0, 1), (1, 2)])
+        assert "graph-disconnected" not in rules_fired(graph)
+
+
+class TestNonspanning:
+    def test_fires_on_floating_pin(self, line_net):
+        graph = RoutingGraph.from_edges(line_net, [(0, 1)])
+        assert "graph-nonspanning" in rules_fired(graph)
+
+    def test_quiet_when_only_steiner_dangles(self, line_net):
+        graph = RoutingGraph.from_edges(line_net, [(0, 1), (1, 2)])
+        graph.add_steiner_point(Point(500.0, 0.0))
+        fired = rules_fired(graph)
+        assert "graph-nonspanning" not in fired
+        assert "graph-disconnected" in fired  # still not fully connected
+
+
+class TestDanglingSteiner:
+    def test_fires_on_degree_one_steiner(self, line_net):
+        graph = RoutingGraph.from_edges(line_net, [(0, 1), (1, 2)])
+        stub = graph.add_steiner_point(Point(500.0, 0.0))
+        graph.add_edge(0, stub)
+        assert "graph-dangling-steiner" in rules_fired(graph)
+
+    def test_quiet_on_through_steiner(self, line_net):
+        graph = RoutingGraph(line_net)
+        mid = graph.add_steiner_point(Point(500.0, 0.0))
+        graph.add_edge(0, mid)
+        graph.add_edge(mid, 1)
+        graph.add_edge(1, 2)
+        assert "graph-dangling-steiner" not in rules_fired(graph)
+
+
+class TestZeroLengthEdge:
+    def test_fires_on_steiner_stacked_on_pin(self, line_net):
+        graph = RoutingGraph.from_edges(line_net, [(0, 1), (1, 2)])
+        twin = graph.add_steiner_point(Point(1000.0, 0.0))  # == pin 1
+        graph.add_edge(1, twin)
+        graph.add_edge(0, twin)
+        assert "graph-zero-length-edge" in rules_fired(graph)
+
+    def test_quiet_on_positive_lengths(self, mst10):
+        assert "graph-zero-length-edge" not in rules_fired(mst10)
+
+
+class TestCoincidentNodes:
+    def test_fires_on_duplicate_position(self, line_net):
+        graph = RoutingGraph.from_edges(line_net, [(0, 1), (1, 2)])
+        twin = graph.add_steiner_point(Point(1000.0, 0.0))  # == pin 1
+        graph.add_edge(0, twin)
+        graph.add_edge(twin, 2)
+        assert "graph-coincident-nodes" in rules_fired(graph)
+
+    def test_quiet_on_distinct_positions(self, mst10):
+        assert "graph-coincident-nodes" not in rules_fired(mst10)
+
+
+class TestOutOfBounds:
+    def test_fires_on_steiner_outside_pin_bbox(self, line_net):
+        graph = RoutingGraph.from_edges(line_net, [(0, 1), (1, 2)])
+        out = graph.add_steiner_point(Point(500.0, 900.0))  # pins sit at y=0
+        graph.add_edge(0, out)
+        graph.add_edge(out, 1)
+        assert "graph-out-of-bounds" in rules_fired(graph)
+
+    def test_quiet_inside_bbox(self, square_net):
+        graph = RoutingGraph(square_net)
+        hub = graph.add_steiner_point(Point(500.0, 500.0))
+        for pin in range(4):
+            graph.add_edge(pin, hub)
+        assert "graph-out-of-bounds" not in rules_fired(graph)
+
+
+class TestExcessCycles:
+    def test_fires_on_complete_graph(self):
+        net = Net.from_points(
+            [(0.0, 0.0), (1000.0, 0.0), (0.0, 1000.0),
+             (1000.0, 1000.0), (500.0, 200.0)], name="k5")
+        edges = [(i, j) for i in range(5) for j in range(i + 1, 5)]
+        graph = RoutingGraph.from_edges(net, edges)  # 6 cycles over 5 pins
+        assert "graph-excess-cycles" in rules_fired(graph)
+
+    def test_quiet_on_single_shortcut(self, mst10):
+        graph = mst10.with_edge(*mst10.candidate_edges()[0])
+        assert "graph-excess-cycles" not in rules_fired(graph)
+
+
+class TestRedundantParallel:
+    def test_fires_on_collinear_chord(self, line_net):
+        graph = RoutingGraph.from_edges(line_net, [(0, 1), (1, 2), (0, 2)])
+        assert "graph-redundant-parallel" in rules_fired(graph)
+
+    def test_quiet_on_genuine_shortcut(self):
+        # Pin 1 lies off the monotone staircase between 0 and 2, so the
+        # direct chord (0, 2) is strictly shorter than the detour via 1.
+        net = Net.from_points(
+            [(0.0, 0.0), (1000.0, 0.0), (500.0, 800.0)], name="tri")
+        graph = RoutingGraph.from_edges(net, [(0, 1), (1, 2), (0, 2)])
+        assert "graph-redundant-parallel" not in rules_fired(graph)
+
+
+class TestSeverities:
+    def test_connectivity_problems_are_errors(self, line_net):
+        from repro.analysis.diagnostics import Severity
+
+        graph = RoutingGraph.from_edges(line_net, [(0, 1)])
+        severities = {d.rule: d.severity for d in lint_graph(graph)}
+        assert severities["graph-disconnected"] is Severity.ERROR
+        assert severities["graph-nonspanning"] is Severity.ERROR

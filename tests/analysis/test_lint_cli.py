@@ -1,0 +1,137 @@
+"""End-to-end tests for ``repro-route lint`` and ``python -m repro.analysis``."""
+
+import json
+
+import pytest
+
+from repro.analysis.__main__ import main as analysis_main
+from repro.cli import main as cli_main
+from repro.graph.mst import prim_mst
+from repro.io.nets_file import write_nets
+from repro.io.routing_json import save_routing
+
+
+@pytest.fixture
+def clean_routing(tmp_path, net10):
+    path = tmp_path / "mst.json"
+    save_routing(prim_mst(net10), path)
+    return path
+
+
+@pytest.fixture
+def corrupted_routing(tmp_path, net10):
+    """A routing JSON with edges dropped: disconnected and non-spanning."""
+    path = tmp_path / "broken.json"
+    save_routing(prim_mst(net10), path)
+    data = json.loads(path.read_text())
+    data["edges"] = data["edges"][: len(data["edges"]) // 2]
+    path.write_text(json.dumps(data))
+    return path
+
+
+class TestLintCommand:
+    def test_clean_routing_exits_zero(self, clean_routing, capsys):
+        assert cli_main(["lint", str(clean_routing)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_corrupted_routing_exits_nonzero(self, corrupted_routing, capsys):
+        assert cli_main(["lint", str(corrupted_routing)]) == 1
+        out = capsys.readouterr().out
+        assert "graph-disconnected" in out
+        assert str(corrupted_routing) in out
+
+    def test_unparseable_json_exits_nonzero(self, tmp_path, capsys):
+        path = tmp_path / "garbage.json"
+        path.write_text("{not json at all")
+        assert cli_main(["lint", str(path)]) == 1
+        assert "json-malformed" in capsys.readouterr().out
+
+    def test_json_format_report(self, corrupted_routing, capsys):
+        assert cli_main(["lint", "--format", "json",
+                         str(corrupted_routing)]) == 1
+        report = json.loads(capsys.readouterr().out)
+        assert report["summary"]["error"] >= 1
+        rules = {d["rule"] for d in report["diagnostics"]}
+        assert "graph-disconnected" in rules
+
+    def test_disable_turns_rules_off(self, corrupted_routing, capsys):
+        code = cli_main([
+            "lint", str(corrupted_routing), "--no-rc",
+            "--disable", "graph-disconnected",
+            "--disable", "graph-nonspanning",
+            "--disable", "graph-dangling-steiner"])
+        out = capsys.readouterr().out
+        assert "graph-disconnected" not in out
+        assert code == 0
+
+    def test_severity_override_demotes_error(self, corrupted_routing, capsys):
+        code = cli_main([
+            "lint", str(corrupted_routing), "--no-rc",
+            "--severity", "graph-disconnected=info",
+            "--severity", "graph-nonspanning=info"])
+        assert code == 0
+        assert "info[graph-disconnected]" in capsys.readouterr().out
+
+    def test_unknown_rule_is_usage_error(self, clean_routing, capsys):
+        assert cli_main(["lint", str(clean_routing),
+                         "--disable", "bogus"]) == 2
+
+    def test_missing_file_is_usage_error(self, tmp_path, capsys):
+        assert cli_main(["lint", str(tmp_path / "nope.json")]) == 2
+
+    def test_no_inputs_is_usage_error(self, capsys):
+        assert cli_main(["lint"]) == 2
+
+    def test_list_rules(self, capsys):
+        assert cli_main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        assert "graph-disconnected" in out
+        assert "rc-asymmetric-conductance" in out
+
+    def test_clean_nets_file(self, tmp_path, net10, capsys):
+        path = tmp_path / "good.nets"
+        write_nets([net10], path)
+        assert cli_main(["lint", str(path)]) == 0
+
+    def test_malformed_nets_file(self, tmp_path, capsys):
+        path = tmp_path / "bad.nets"
+        path.write_text("net broken\n  sink 1.0 2.0\n")  # no source line
+        assert cli_main(["lint", str(path)]) == 1
+        assert "nets-malformed" in capsys.readouterr().out
+
+
+class TestAnalysisMain:
+    def test_clean_tree_exits_zero(self, tmp_path, capsys):
+        (tmp_path / "ok.py").write_text("def f(a=None):\n    return a\n")
+        assert analysis_main([str(tmp_path)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_violation_exits_one(self, tmp_path, capsys):
+        (tmp_path / "bad.py").write_text("def f(a=[]):\n    return a\n")
+        assert analysis_main([str(tmp_path)]) == 1
+        assert "source-mutable-default" in capsys.readouterr().out
+
+    def test_json_format(self, tmp_path, capsys):
+        (tmp_path / "bad.py").write_text("def f(a=[]):\n    return a\n")
+        assert analysis_main(["--format", "json", str(tmp_path)]) == 1
+        report = json.loads(capsys.readouterr().out)
+        assert report["summary"]["error"] == 1
+
+    def test_disable_flag(self, tmp_path, capsys):
+        (tmp_path / "bad.py").write_text("def f(a=[]):\n    return a\n")
+        assert analysis_main(["--disable", "source-mutable-default",
+                              str(tmp_path)]) == 0
+
+    def test_unknown_rule_is_usage_error(self, tmp_path, capsys):
+        assert analysis_main(["--disable", "bogus", str(tmp_path)]) == 2
+
+    def test_list_rules(self, capsys):
+        assert analysis_main(["--list-rules"]) == 0
+        assert "source-float-eq" in capsys.readouterr().out
+
+    def test_repo_package_is_clean(self, capsys):
+        from pathlib import Path
+
+        import repro
+
+        assert analysis_main([str(Path(repro.__file__).parent)]) == 0

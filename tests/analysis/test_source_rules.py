@@ -1,0 +1,174 @@
+"""Unit tests for the AST source-discipline rules."""
+
+import textwrap
+
+from repro.analysis.diagnostics import LintConfig
+from repro.analysis.source_rules import (
+    iter_python_files,
+    lint_source,
+    lint_source_tree,
+)
+
+
+def write(tmp_path, name, code, subdir=None):
+    directory = tmp_path if subdir is None else tmp_path / subdir
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / name
+    path.write_text(textwrap.dedent(code), encoding="utf-8")
+    return path
+
+
+def rules_fired(path, config=None):
+    return {d.rule for d in lint_source(path, config)}
+
+
+class TestFloatEq:
+    def test_fires_on_coordinate_equality(self, tmp_path):
+        path = write(tmp_path, "bad.py", """
+            def same_column(a, b):
+                return a.x == b.x
+        """)
+        assert "source-float-eq" in rules_fired(path)
+
+    def test_fires_on_length_call_equality(self, tmp_path):
+        path = write(tmp_path, "bad.py", """
+            def is_direct(graph, u, v):
+                return graph.distance(u, v) == graph.edge_length(u, v)
+        """)
+        assert "source-float-eq" in rules_fired(path)
+
+    def test_quiet_on_tolerance_comparison(self, tmp_path):
+        path = write(tmp_path, "good.py", """
+            def same_column(a, b, tol=1e-9):
+                return abs(a.x - b.x) <= tol
+        """)
+        assert "source-float-eq" not in rules_fired(path)
+
+    def test_quiet_on_non_coordinate_equality(self, tmp_path):
+        path = write(tmp_path, "good.py", """
+            def is_source(node):
+                return node == 0
+        """)
+        assert "source-float-eq" not in rules_fired(path)
+
+    def test_allow_pragma_waives_line(self, tmp_path):
+        path = write(tmp_path, "waived.py", """
+            def same_column(a, b):
+                return a.x == b.x  # repro: allow=source-float-eq
+        """)
+        assert "source-float-eq" not in rules_fired(path)
+
+
+class TestFrozenMutation:
+    def test_fires_on_external_setattr(self, tmp_path):
+        path = write(tmp_path, "bad.py", """
+            def hack(net):
+                object.__setattr__(net, "name", "other")
+        """)
+        assert "source-frozen-mutation" in rules_fired(path)
+
+    def test_quiet_on_self_in_post_init(self, tmp_path):
+        path = write(tmp_path, "good.py", """
+            class Frozen:
+                def __post_init__(self):
+                    object.__setattr__(self, "sinks", ())
+        """)
+        assert "source-frozen-mutation" not in rules_fired(path)
+
+    def test_quiet_on_plain_setattr_builtin(self, tmp_path):
+        path = write(tmp_path, "good.py", """
+            def label(thing):
+                setattr(thing, "label", "x")
+        """)
+        assert "source-frozen-mutation" not in rules_fired(path)
+
+
+class TestBoundaryCheck:
+    ALGO = """
+        def route(net):
+            graph = build(net)
+            {check}
+            return graph
+    """
+
+    def test_fires_on_core_module_without_check(self, tmp_path):
+        path = write(tmp_path, "algo.py", self.ALGO.format(check="pass"),
+                     subdir="core")
+        assert "source-missing-boundary-check" in rules_fired(path)
+
+    def test_quiet_with_check_call(self, tmp_path):
+        path = write(tmp_path, "algo.py",
+                     self.ALGO.format(check="check_spanning(graph)"),
+                     subdir="core")
+        assert "source-missing-boundary-check" not in rules_fired(path)
+
+    def test_quiet_with_lint_call(self, tmp_path):
+        path = write(tmp_path, "algo.py",
+                     self.ALGO.format(check="lint_graph(graph)"),
+                     subdir="core")
+        assert "source-missing-boundary-check" not in rules_fired(path)
+
+    def test_quiet_outside_core(self, tmp_path):
+        path = write(tmp_path, "algo.py", self.ALGO.format(check="pass"))
+        assert "source-missing-boundary-check" not in rules_fired(path)
+
+    def test_exempt_modules(self, tmp_path):
+        path = write(tmp_path, "result.py", "X = 1\n", subdir="core")
+        assert "source-missing-boundary-check" not in rules_fired(path)
+
+
+class TestMutableDefault:
+    def test_fires_on_list_default(self, tmp_path):
+        path = write(tmp_path, "bad.py", """
+            def gather(items=[]):
+                return items
+        """)
+        assert "source-mutable-default" in rules_fired(path)
+
+    def test_fires_on_dict_call_default(self, tmp_path):
+        path = write(tmp_path, "bad.py", """
+            def gather(*, table=dict()):
+                return table
+        """)
+        assert "source-mutable-default" in rules_fired(path)
+
+    def test_quiet_on_none_default(self, tmp_path):
+        path = write(tmp_path, "good.py", """
+            def gather(items=None):
+                return items or []
+        """)
+        assert "source-mutable-default" not in rules_fired(path)
+
+
+class TestInfrastructure:
+    def test_syntax_error_is_reported_not_raised(self, tmp_path):
+        path = write(tmp_path, "broken.py", "def oops(:\n")
+        diags = lint_source(path)
+        assert [d.rule for d in diags] == ["source-syntax-error"]
+        assert diags[0].location.file == str(path)
+
+    def test_disable_via_config(self, tmp_path):
+        path = write(tmp_path, "bad.py", "def f(a=[]):\n    return a\n")
+        config = LintConfig(disabled=frozenset({"source-mutable-default"}))
+        assert rules_fired(path, config) == set()
+
+    def test_iter_python_files_recurses_and_skips_caches(self, tmp_path):
+        write(tmp_path, "a.py", "A = 1\n")
+        write(tmp_path, "b.py", "B = 1\n", subdir="pkg")
+        write(tmp_path, "ignored.py", "C = 1\n", subdir="__pycache__")
+        names = {p.name for p in iter_python_files([tmp_path])}
+        assert names == {"a.py", "b.py"}
+
+    def test_lint_source_tree_aggregates(self, tmp_path):
+        write(tmp_path, "bad.py", "def f(a=[]):\n    return a\n")
+        write(tmp_path, "worse.py", "def g(b={}):\n    return b\n")
+        diags = lint_source_tree([tmp_path])
+        assert len(diags) == 2
+
+    def test_repo_source_is_clean(self):
+        from pathlib import Path
+
+        import repro
+
+        package_root = Path(repro.__file__).parent
+        assert lint_source_tree([package_root]) == []

@@ -1,0 +1,70 @@
+"""Property tests: every routing algorithm's output is lint-clean.
+
+The static-analysis acceptance criterion for the lint pass is that it
+never flags a routing produced by the repo's own algorithms as broken
+— clean outputs are the quiet fixture, corrupted JSON the loud one.
+Warnings and infos are allowed (e.g. LDRG legitimately adds chords of
+equal Manhattan length); error-severity diagnostics are not.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import lint_graph, lint_routing_rc
+from repro.analysis.diagnostics import Severity, has_errors
+from repro.core.heuristics import h1, h2, h3
+from repro.core.ldrg import ldrg
+from repro.core.sldrg import sldrg
+from repro.delay.models import ElmoreGraphModel
+from repro.delay.parameters import Technology
+from repro.geometry.net import Net
+from repro.graph.mst import prim_mst
+
+TECH = Technology.cmos08()
+ORACLE = ElmoreGraphModel(TECH)
+
+seeds = st.integers(min_value=0, max_value=100_000)
+sizes = st.integers(min_value=3, max_value=10)
+
+
+def assert_lint_clean(graph):
+    diags = lint_graph(graph) + lint_routing_rc(graph, TECH)
+    errors = [d for d in diags if d.severity >= Severity.ERROR]
+    assert not has_errors(diags), [d.render() for d in errors]
+
+
+class TestRoutingsAreLintClean:
+    @given(seeds, sizes)
+    @settings(max_examples=20, deadline=None)
+    def test_mst(self, seed, size):
+        assert_lint_clean(prim_mst(Net.random(size, seed=seed)))
+
+    @given(seeds, sizes)
+    @settings(max_examples=15, deadline=None)
+    def test_ldrg(self, seed, size):
+        net = Net.random(size, seed=seed)
+        assert_lint_clean(ldrg(net, TECH, delay_model=ORACLE).graph)
+
+    @given(seeds, sizes)
+    @settings(max_examples=10, deadline=None)
+    def test_sldrg(self, seed, size):
+        net = Net.random(size, seed=seed)
+        assert_lint_clean(sldrg(net, TECH, delay_model=ORACLE).graph)
+
+    @given(seeds, sizes)
+    @settings(max_examples=10, deadline=None)
+    def test_h1(self, seed, size):
+        net = Net.random(size, seed=seed)
+        assert_lint_clean(h1(net, TECH, delay_model=ORACLE).graph)
+
+    @given(seeds, sizes)
+    @settings(max_examples=15, deadline=None)
+    def test_h2(self, seed, size):
+        net = Net.random(size, seed=seed)
+        assert_lint_clean(h2(net, TECH, evaluation_model=ORACLE).graph)
+
+    @given(seeds, sizes)
+    @settings(max_examples=15, deadline=None)
+    def test_h3(self, seed, size):
+        net = Net.random(size, seed=seed)
+        assert_lint_clean(h3(net, TECH, evaluation_model=ORACLE).graph)

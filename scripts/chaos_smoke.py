@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""CI chaos smoke: a faulty sweep must complete, reproduce, and resume.
+
+Drives the real CLI (``python -m repro table``) end to end:
+
+1. runs a small sweep with 20% injected oracle faults and asserts it
+   exits 0 with per-row ``[N ok, M failed]`` annotations;
+2. reruns it and asserts the output is byte-identical (chaos is
+   deterministic);
+3. resumes from the journal and asserts the output is again identical
+   *and* no journaled trial was re-executed (record mtimes unchanged).
+
+Exit status 0 = all invariants hold; 1 = a violation, with a message.
+
+Usage:  python scripts/chaos_smoke.py [--trials 10] [--sizes 5,10] [--rate 0.2]
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+
+def run_table(args: argparse.Namespace, extra: list[str]) -> str:
+    cmd = [sys.executable, "-m", "repro", "table", "6",
+           "--trials", str(args.trials), "--sizes", args.sizes,
+           "--chaos", str(args.rate), "--chaos-seed", str(args.seed),
+           *extra]
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    if proc.returncode != 0:
+        fail(f"{' '.join(cmd)} exited {proc.returncode}:\n{proc.stderr}")
+    return proc.stdout
+
+
+def fail(message: str) -> None:
+    print(f"chaos-smoke: FAIL: {message}", file=sys.stderr)
+    raise SystemExit(1)
+
+
+def journal_state(run_dir: Path) -> dict[str, float]:
+    return {str(p.relative_to(run_dir)): p.stat().st_mtime_ns
+            for p in run_dir.glob("*/trial_*.json")}
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--trials", type=int, default=10)
+    parser.add_argument("--sizes", type=str, default="5,10")
+    parser.add_argument("--rate", type=float, default=0.2)
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args()
+    num_sizes = len(args.sizes.split(","))
+
+    # 1. The faulty sweep completes, with failure counts surfaced.
+    first = run_table(args, [])
+    annotations = re.findall(r"\[(\d+) ok, (\d+) failed\]", first)
+    failed = sum(int(m) for _, m in annotations)
+    completed = sum(int(n) for n, _ in annotations)
+    if failed == 0:
+        fail(f"no injected faults surfaced at rate {args.rate}:\n{first}")
+    if completed + failed != args.trials * num_sizes:
+        fail(f"rows account for {completed}+{failed} trials, expected "
+             f"{args.trials * num_sizes}:\n{first}")
+
+    # 2. Chaos is deterministic: a rerun reproduces the output exactly.
+    if run_table(args, []) != first:
+        fail("two identical chaos runs produced different output")
+
+    # 3. A journaled run resumes byte-identically without re-executing.
+    with tempfile.TemporaryDirectory(prefix="chaos-smoke-") as tmp:
+        run_dir = Path(tmp) / "runs"
+        journaled = run_table(args, ["--run-dir", str(run_dir)])
+        if journaled != first:
+            fail("journaled run output differs from in-memory run")
+        before = journal_state(run_dir)
+        if len(before) != args.trials * num_sizes:
+            fail(f"journal holds {len(before)} records, expected "
+                 f"{args.trials * num_sizes}")
+        resumed = run_table(args, ["--run-dir", str(run_dir), "--resume"])
+        if resumed != first:
+            fail("resumed run output differs from original")
+        if journal_state(run_dir) != before:
+            fail("resume re-wrote journal records (trials were re-run)")
+
+    print(f"chaos-smoke: OK — {completed} completed / {failed} failed "
+          f"trials at rate {args.rate}; reproducible; resume exact")
+
+
+if __name__ == "__main__":
+    main()

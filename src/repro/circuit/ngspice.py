@@ -2,9 +2,16 @@
 
 The built-in engines are validated against closed forms and each other,
 but where a real ngspice binary exists this module lets any exported deck
-be re-run through it and compared (`the repo's decks are standard SPICE).
+be re-run through it and compared (the repo's decks are standard SPICE).
 Everything degrades gracefully: :func:`find_ngspice` returns ``None``
 when no binary is on PATH, and the test suite skips accordingly.
+
+Failure handling is explicit because an external simulator is the least
+reliable component in the system: every run gets a subprocess timeout,
+temp decks are cleaned up on *every* exit path (``try/finally``), and a
+failed run's :class:`NgspiceError` carries the deck path — preserved on
+disk when :class:`NgspiceRunner` is configured with
+``keep_failed_decks=True`` — so the offending deck can be replayed.
 """
 
 from __future__ import annotations
@@ -20,7 +27,16 @@ import numpy as np
 
 
 class NgspiceError(RuntimeError):
-    """Raised when an external ngspice run fails or can't be parsed."""
+    """Raised when an external ngspice run fails or can't be parsed.
+
+    Attributes:
+        deck_path: where the offending deck lives (or lived) on disk —
+            only still readable if the runner was told to keep it.
+    """
+
+    def __init__(self, message: str, deck_path: Path | None = None):
+        super().__init__(message)
+        self.deck_path = deck_path
 
 
 @dataclass
@@ -44,33 +60,84 @@ def find_ngspice() -> str | None:
     return shutil.which("ngspice")
 
 
+class NgspiceRunner:
+    """Configured ngspice execution: binary, timeout, deck retention.
+
+    Args:
+        binary: explicit binary path (default: first ``ngspice`` on PATH
+            at call time).
+        timeout: subprocess wall-clock budget in seconds; an overrun
+            kills the process and raises :class:`NgspiceError`.
+        keep_failed_decks: leave the temp deck of a failed run on disk
+            (its path is reported in the error) instead of deleting it.
+    """
+
+    def __init__(self, binary: str | None = None, timeout: float = 60.0,
+                 keep_failed_decks: bool = False):
+        if timeout <= 0:
+            raise ValueError("timeout must be positive")
+        self.binary = binary
+        self.timeout = timeout
+        self.keep_failed_decks = keep_failed_decks
+
+    def run(self, deck: str) -> NgspiceResult:
+        """Run a deck in batch mode and parse the printed waveforms.
+
+        The deck must contain ``.tran`` and ``.print tran v(...)`` cards
+        (as produced by :func:`repro.circuit.deck.deck_from_circuit` with
+        ``t_stop``/``print_nodes``). Raises :class:`NgspiceError` when no
+        binary is available, the run times out or fails, or no waveform
+        table is found — never leaking the temp deck except on request.
+        """
+        executable = self.binary or find_ngspice()
+        if executable is None:
+            raise NgspiceError("no ngspice binary on PATH")
+        workdir = Path(tempfile.mkdtemp(prefix="repro-ngspice-"))
+        deck_path = workdir / "deck.cir"
+        keep = False
+        try:
+            deck_path.write_text(deck, encoding="utf-8")
+            try:
+                proc = subprocess.run(
+                    [executable, "-b", str(deck_path)],
+                    capture_output=True, text=True, timeout=self.timeout,
+                    check=False)
+            except subprocess.TimeoutExpired as exc:
+                keep = self.keep_failed_decks
+                raise NgspiceError(
+                    f"ngspice timed out after {self.timeout}s"
+                    + self._deck_note(deck_path, keep),
+                    deck_path=deck_path) from exc
+            except OSError as exc:
+                raise NgspiceError(
+                    f"ngspice binary {executable!r} could not be run: "
+                    f"{exc}") from exc
+            if proc.returncode != 0:
+                keep = self.keep_failed_decks
+                raise NgspiceError(
+                    f"ngspice exited with {proc.returncode}: "
+                    f"{proc.stderr[:500]}" + self._deck_note(deck_path, keep),
+                    deck_path=deck_path)
+            try:
+                return parse_print_output(proc.stdout)
+            except NgspiceError as exc:
+                keep = self.keep_failed_decks
+                raise NgspiceError(
+                    str(exc) + self._deck_note(deck_path, keep),
+                    deck_path=deck_path) from exc
+        finally:
+            if not keep:
+                shutil.rmtree(workdir, ignore_errors=True)
+
+    @staticmethod
+    def _deck_note(deck_path: Path, kept: bool) -> str:
+        return f" (deck kept at {deck_path})" if kept else ""
+
+
 def run_deck(deck: str, binary: str | None = None,
              timeout: float = 60.0) -> NgspiceResult:
-    """Run a deck under ngspice in batch mode and parse printed waveforms.
-
-    The deck must contain ``.tran`` and ``.print tran v(...)`` cards (as
-    produced by :func:`repro.circuit.deck.deck_from_circuit` with
-    ``t_stop``/``print_nodes``).
-
-    Raises :class:`NgspiceError` when no binary is available, the run
-    fails, or no waveform table is found in the output.
-    """
-    executable = binary or find_ngspice()
-    if executable is None:
-        raise NgspiceError("no ngspice binary on PATH")
-    with tempfile.TemporaryDirectory() as tmp:
-        deck_path = Path(tmp) / "deck.cir"
-        deck_path.write_text(deck, encoding="utf-8")
-        try:
-            proc = subprocess.run(
-                [executable, "-b", str(deck_path)],
-                capture_output=True, text=True, timeout=timeout, check=False)
-        except subprocess.TimeoutExpired as exc:
-            raise NgspiceError(f"ngspice timed out after {timeout}s") from exc
-    if proc.returncode != 0:
-        raise NgspiceError(
-            f"ngspice exited with {proc.returncode}: {proc.stderr[:500]}")
-    return parse_print_output(proc.stdout)
+    """One-shot convenience wrapper around :class:`NgspiceRunner`."""
+    return NgspiceRunner(binary=binary, timeout=timeout).run(deck)
 
 
 def parse_print_output(text: str) -> NgspiceResult:

@@ -12,8 +12,20 @@ Usage examples::
     python -m repro lint route.json demo.nets
     python -m repro lint route.json --format json --no-rc
 
+    python -m repro table 2 --workers 4 --run-dir runs/ --resume
+    python -m repro table 6 --trials 20 --chaos 0.2 --run-dir runs/
+
 Every subcommand prints a human-readable report to stdout; artifact
 flags (``--svg``, ``--deck``, ``--json``, ``--out``) write files.
+
+Robustness contract (see ``docs/robustness.md``): table runs given
+``--run-dir`` journal every completed trial atomically, so a killed run
+resumed with ``--resume`` loses at most one trial and reproduces the
+uninterrupted output byte for byte. ``Ctrl-C`` exits with status 130
+(the journal is already flushed — records are durable the moment each
+trial completes); known operational errors (bad env config, ngspice
+trouble, malformed routing files) exit 2 with a one-line message
+instead of a traceback.
 """
 
 from __future__ import annotations
@@ -55,6 +67,8 @@ from repro.io.routing_json import (
     load_routing,
     save_routing,
 )
+from repro.runtime import ChaosPolicy, ConfigError, RuntimePolicy
+from repro.circuit.ngspice import NgspiceError
 from repro.viz.svg import save_routing_svg
 
 _ALGORITHMS = {
@@ -104,6 +118,30 @@ def build_parser() -> argparse.ArgumentParser:
     table.add_argument("--trials", type=int, default=None)
     table.add_argument("--sizes", type=str, default=None)
     table.add_argument("--seed", type=int, default=1994)
+    table.add_argument("--workers", type=int, default=0,
+                       help="isolated worker processes for trials "
+                            "(0 = in-process; results are identical "
+                            "for any worker count)")
+    table.add_argument("--trial-timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="per-trial wall-clock budget; an overrun is "
+                            "recorded as a failed trial, not a hang")
+    table.add_argument("--run-dir", type=Path, default=None,
+                       help="journal directory: every completed trial is "
+                            "recorded atomically so a killed run can be "
+                            "resumed")
+    table.add_argument("--resume", action="store_true",
+                       help="skip trials already journaled in --run-dir "
+                            "(byte-identical output to an uninterrupted "
+                            "run)")
+    table.add_argument("--retry-failures", action="store_true",
+                       help="with --resume, re-run journaled failures "
+                            "instead of keeping them")
+    table.add_argument("--chaos", type=float, default=0.0, metavar="RATE",
+                       help="inject deterministic oracle faults at this "
+                            "rate (testing/CI; see repro.runtime.chaos)")
+    table.add_argument("--chaos-seed", type=int, default=0,
+                       help="seed of the injected-fault stream")
 
     figure = sub.add_parser("figure", help="regenerate a paper figure")
     figure.add_argument("number", type=int, choices=(1, 2, 3, 5))
@@ -146,6 +184,25 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: list[str] | None = None) -> int:
+    """Dispatch, mapping operational failures to clean exit codes.
+
+    ``KeyboardInterrupt`` exits 130 (any journal is already flushed —
+    trial records are written atomically as each trial completes, so
+    there is nothing left to save); known repro errors exit 2 with a
+    one-line message instead of a traceback.
+    """
+    try:
+        return _dispatch(argv)
+    except KeyboardInterrupt:
+        print("\ninterrupted (journaled trials are preserved; rerun with "
+              "--resume to continue)", file=sys.stderr)
+        return 130
+    except (ConfigError, NgspiceError, RoutingFormatError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+def _dispatch(argv: list[str] | None) -> int:
     args = build_parser().parse_args(argv)
     handler = {
         "params": _cmd_params,
@@ -220,8 +277,45 @@ def _table_config(args: argparse.Namespace) -> ExperimentConfig:
     if args.trials is not None:
         kwargs["trials"] = args.trials
     if args.sizes is not None:
-        kwargs["sizes"] = tuple(int(tok) for tok in args.sizes.split(","))
-    return ExperimentConfig(**kwargs)
+        try:
+            kwargs["sizes"] = tuple(
+                int(tok) for tok in args.sizes.split(",") if tok.strip())
+        except ValueError:
+            raise ConfigError(
+                f"--sizes {args.sizes!r} is invalid: expected a "
+                f"comma-separated list of integers (e.g. 5,10,20)") from None
+    try:
+        if args.chaos:
+            kwargs["chaos"] = ChaosPolicy(seed=args.chaos_seed,
+                                          raise_rate=args.chaos)
+        return ExperimentConfig(**kwargs)
+    except ValueError as exc:
+        raise ConfigError(str(exc)) from exc
+
+
+def _table_runtime(args: argparse.Namespace) -> RuntimePolicy | None:
+    """The execution policy the table flags describe (None = legacy).
+
+    Any runtime flag opts into fault-tolerant execution: failed trials
+    become per-row counts instead of aborting the sweep.
+    """
+    if args.resume and args.run_dir is None:
+        raise ConfigError("--resume requires --run-dir (the journal to "
+                          "resume from)")
+    wants_runtime = (args.workers or args.run_dir is not None
+                     or args.trial_timeout is not None or args.chaos)
+    if not wants_runtime:
+        return None
+    try:
+        return RuntimePolicy(
+            workers=args.workers,
+            trial_timeout=args.trial_timeout,
+            run_root=args.run_dir,
+            resume=args.resume,
+            retry_failures=args.retry_failures,
+        )
+    except ValueError as exc:
+        raise ConfigError(str(exc)) from exc
 
 
 def _cmd_table(args: argparse.Namespace) -> int:
@@ -229,7 +323,8 @@ def _cmd_table(args: argparse.Namespace) -> int:
         print(table1())
         return 0
     try:
-        table = run_table(args.number, _table_config(args))
+        table = run_table(args.number, _table_config(args),
+                          _table_runtime(args))
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

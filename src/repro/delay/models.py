@@ -5,6 +5,9 @@ routing graph"; which estimator answers that question is a knob:
 
 * :class:`SpiceDelayModel` — circuit-level 50% delay (the paper's choice
   for LDRG/SLDRG/H1 and for all final reported numbers);
+* :class:`NgspiceDelayModel` — the same measurement through an external
+  ngspice binary (highest fidelity, least reliable — pair it with
+  :class:`repro.runtime.resilience.ResilientDelayModel`);
 * :class:`ElmoreGraphModel` — first-moment delay of the graph (fast, no
   simulation; what H2/H3 lean on, generalized to cycles);
 * :class:`ElmoreTreeModel` — the O(k) tree formula (trees only);
@@ -22,11 +25,19 @@ from abc import ABC, abstractmethod
 import numpy as np
 from scipy.linalg import lu_factor, lu_solve
 
+from repro.circuit.deck import deck_from_circuit
+from repro.circuit.measure import threshold_crossing
 from repro.circuit.moments import two_pole_delay
+from repro.circuit.ngspice import NgspiceError, NgspiceRunner
 from repro.delay.elmore_tree import elmore_delays
 from repro.delay.elmore_graph import graph_elmore_delays
 from repro.delay.parameters import Technology
-from repro.delay.rc_builder import EdgeWidths, build_reduced_rc
+from repro.delay.rc_builder import (
+    EdgeWidths,
+    build_interconnect_circuit,
+    build_reduced_rc,
+    node_label,
+)
 from repro.delay.spice_delay import SpiceOptions, spice_delays
 from repro.graph.routing_graph import RoutingGraph
 
@@ -75,6 +86,54 @@ class SpiceDelayModel(DelayModel):
                widths: EdgeWidths | None = None) -> dict[int, float]:
         all_delays = spice_delays(graph, self.tech, self.options, widths)
         return {sink: all_delays[sink] for sink in graph.sink_indices()}
+
+
+class NgspiceDelayModel(DelayModel):
+    """50% delay measured by an external ngspice binary.
+
+    The most faithful oracle in the repo — and the least reliable, since
+    it shells out to a subprocess that may be missing, hang, or crash.
+    Raises :class:`~repro.circuit.ngspice.NgspiceError` on any such
+    fault; wrap in :class:`repro.runtime.resilience.ResilientDelayModel`
+    to retry and degrade to the in-process engines instead.
+    """
+
+    name = "ngspice"
+
+    #: Simulation window as a multiple of the worst Elmore delay.
+    HORIZON_FACTOR = 10.0
+
+    def __init__(self, tech: Technology, options: SpiceOptions | None = None,
+                 runner: NgspiceRunner | None = None):
+        super().__init__(tech)
+        self.options = options or SpiceOptions()
+        self.runner = runner or NgspiceRunner()
+
+    def delays(self, graph: RoutingGraph,
+               widths: EdgeWidths | None = None) -> dict[int, float]:
+        circuit = build_interconnect_circuit(
+            graph, self.tech, segments=self.options.segments, widths=widths,
+            include_inductance=self.options.include_inductance)
+        rc_system = build_reduced_rc(graph, self.tech, segments=1,
+                                     widths=widths)
+        t_stop = self.HORIZON_FACTOR * max(float(max(rc_system.elmore())),
+                                           1e-15)
+        sinks = list(graph.sink_indices())
+        deck = deck_from_circuit(circuit, t_stop=t_stop,
+                                 print_nodes=[node_label(s) for s in sinks])
+        result = self.runner.run(deck)
+        delays: dict[int, float] = {}
+        for sink in sinks:
+            crossing = threshold_crossing(
+                result.times, result.voltage(node_label(sink)),
+                self.options.threshold * 1.0)
+            if crossing is None:
+                raise NgspiceError(
+                    f"sink {node_label(sink)} never crossed "
+                    f"{self.options.threshold:.0%} within {t_stop:.3g}s "
+                    f"of ngspice simulation")
+            delays[sink] = float(crossing)
+        return delays
 
 
 class ElmoreGraphModel(DelayModel):
@@ -128,6 +187,7 @@ class TwoPoleModel(DelayModel):
 
 _FACTORIES = {
     "spice": SpiceDelayModel,
+    "ngspice": NgspiceDelayModel,
     "elmore": ElmoreGraphModel,
     "elmore-graph": ElmoreGraphModel,
     "elmore-tree": ElmoreTreeModel,

@@ -18,26 +18,75 @@ reproduces the paper's own arithmetic — e.g. Table 2, 10 pins, iteration
 two: 10% winners at 0.79/1.40 winners-only gives all-cases
 0.1·0.79 + 0.9·1.0 = 0.98 and 0.1·1.40 + 0.9·1.0 = 1.04, exactly the
 printed row (see EXPERIMENTS.md).
+
+Execution runs through :mod:`repro.runtime`: pass a
+:class:`~repro.runtime.RuntimePolicy` to get crash-safe journaling with
+``--resume``, isolated parallel workers, and failure-tolerant rows
+(failed trials are counted, not fatal). With no policy the historical
+strict in-memory semantics apply unchanged. Trials are keyed by
+``(net size, trial index)``, so aggregated rows are bit-identical for
+any worker count and across kill/resume cycles.
 """
 
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from statistics import mean
-from typing import Callable, Iterable, Sequence
+from typing import Any, Callable, Iterable, Protocol, Sequence
 
 from repro.core.result import RoutingResult, WIN_TOLERANCE
-from repro.delay.models import SpiceDelayModel
+from repro.delay.models import DelayModel, SpiceDelayModel
 from repro.delay.parameters import Technology
 from repro.delay.spice_delay import SpiceOptions
 from repro.geometry.random_nets import random_nets
 from repro.geometry.net import Net
+from repro.runtime import (
+    ChaosDelayModel,
+    ChaosPolicy,
+    ConfigError,
+    LEGACY_POLICY,
+    RunJournal,
+    RuntimePolicy,
+    TrialFailure,
+    TrialKey,
+    TrialOutcome,
+    TrialResult,
+    describe_runner,
+    open_journal,
+    run_trials,
+    sweep_tasks,
+)
 
 #: The paper's evaluation net sizes.
 PAPER_SIZES: tuple[int, ...] = (5, 10, 20, 30)
 #: The paper's trial count per net size.
 PAPER_TRIALS = 50
+
+#: Not-a-number placeholder for rows where no trial completed.
+_NAN = float("nan")
+
+
+class RatioSource(Protocol):
+    """What an extract function needs from a trial outcome.
+
+    Satisfied by both :class:`~repro.core.result.RoutingResult` and its
+    journalable projection :class:`~repro.runtime.TrialResult`.
+    """
+
+    @property
+    def delay_ratio(self) -> float: ...
+
+    @property
+    def cost_ratio(self) -> float: ...
+
+    @property
+    def improved(self) -> bool: ...
+
+    @property
+    def num_added_edges(self) -> int: ...
+
+    def at_iteration(self, k: int) -> tuple[float, float]: ...
 
 
 @dataclass(frozen=True)
@@ -49,6 +98,10 @@ class ExperimentConfig:
     producing reported numbers. (1, 3) keeps full-table runtimes modest at
     a measured worst-case discretization error well under 1% — see the
     segmentation ablation benchmark.
+
+    ``chaos`` wires a :class:`~repro.runtime.ChaosPolicy` into every
+    model the config builds — the deterministic fault-injection hook the
+    robustness tests and the CI chaos smoke run use.
     """
 
     sizes: tuple[int, ...] = PAPER_SIZES
@@ -57,6 +110,7 @@ class ExperimentConfig:
     segments_search: int = 1
     segments_eval: int = 3
     tech: Technology = field(default_factory=Technology.cmos08)
+    chaos: ChaosPolicy | None = None
 
     def __post_init__(self) -> None:
         if self.trials < 1:
@@ -71,31 +125,84 @@ class ExperimentConfig:
 
         Benchmarks default to a reduced trial count for CI-scale runtimes;
         set ``REPRO_TRIALS=50`` to regenerate the paper-scale tables with
-        the identical code path.
+        the identical code path. Malformed values raise
+        :class:`~repro.runtime.ConfigError` naming the variable and the
+        offending text instead of a bare ``ValueError``.
         """
-        trials = int(os.environ.get("REPRO_TRIALS", default_trials))
-        sizes_env = os.environ.get("REPRO_SIZES")
-        if sizes_env:
-            sizes = tuple(int(tok) for tok in sizes_env.split(",") if tok.strip())
-        else:
-            sizes = default_sizes
-        seed = int(os.environ.get("REPRO_SEED", 1994))
-        return cls(sizes=sizes, trials=trials, seed=seed)
+        trials = _env_int("REPRO_TRIALS", default_trials)
+        sizes = _env_sizes("REPRO_SIZES", default_sizes)
+        seed = _env_int("REPRO_SEED", 1994)
+        try:
+            return cls(sizes=sizes, trials=trials, seed=seed)
+        except ValueError as exc:
+            raise ConfigError(
+                f"invalid experiment configuration from environment "
+                f"(REPRO_TRIALS/REPRO_SIZES/REPRO_SEED): {exc}") from exc
 
-    def search_model(self) -> SpiceDelayModel:
+    def search_model(self, chaos_salt: str = "") -> DelayModel:
         """The oracle used inside greedy loops."""
-        return SpiceDelayModel(
-            self.tech, SpiceOptions(segments=self.segments_search))
+        return self._wrap(SpiceDelayModel(
+            self.tech, SpiceOptions(segments=self.segments_search)),
+            chaos_salt)
 
-    def eval_model(self) -> SpiceDelayModel:
+    def eval_model(self, chaos_salt: str = "") -> DelayModel:
         """The oracle used for all reported delays."""
-        return SpiceDelayModel(
-            self.tech, SpiceOptions(segments=self.segments_eval))
+        return self._wrap(SpiceDelayModel(
+            self.tech, SpiceOptions(segments=self.segments_eval)),
+            chaos_salt)
+
+    def _wrap(self, model: SpiceDelayModel, chaos_salt: str) -> DelayModel:
+        if self.chaos is None:
+            return model
+        return ChaosDelayModel(model, self.chaos, salt=chaos_salt)
 
     def nets(self, size: int) -> Iterable[Net]:
         """The reproducible trial nets for one size."""
         return random_nets(size, self.trials, seed=self.seed,
                            region=self.tech.region)
+
+    def fingerprint_data(self) -> dict[str, Any]:
+        """Everything that determines trial outcomes, JSON-ready.
+
+        This is what keys a journal run directory: two configs with the
+        same fingerprint data produce bit-identical trials, so their
+        journal records are interchangeable.
+        """
+        return {
+            "sizes": list(self.sizes),
+            "trials": self.trials,
+            "seed": self.seed,
+            "segments_search": self.segments_search,
+            "segments_eval": self.segments_eval,
+            "tech": asdict(self.tech),
+            "chaos": None if self.chaos is None else self.chaos.to_json_dict(),
+        }
+
+
+def _env_int(var: str, default: int) -> int:
+    raw = os.environ.get(var)
+    if raw is None:
+        return default
+    try:
+        return int(raw)
+    except ValueError:
+        raise ConfigError.for_env(var, raw, "an integer") from None
+
+
+def _env_sizes(var: str, default: tuple[int, ...]) -> tuple[int, ...]:
+    raw = os.environ.get(var)
+    if not raw:
+        return default
+    try:
+        sizes = tuple(int(tok) for tok in raw.split(",") if tok.strip())
+    except ValueError:
+        raise ConfigError.for_env(
+            var, raw, "a comma-separated list of integers (e.g. 5,10,20)"
+        ) from None
+    if not sizes:
+        raise ConfigError.for_env(
+            var, raw, "at least one net size") from None
+    return sizes
 
 
 @dataclass(frozen=True)
@@ -109,7 +216,15 @@ class TrialRatios:
 
 @dataclass(frozen=True)
 class RowStats:
-    """One table row: aggregate statistics for one net size."""
+    """One table row: aggregate statistics for one net size.
+
+    ``num_trials`` counts *completed* trials; ``failed`` counts trials
+    that crashed, hung, or errored (only ever nonzero under a
+    fault-tolerant :class:`~repro.runtime.RuntimePolicy`); ``degraded``
+    counts completed trials whose numbers involved a fallback engine —
+    provenance the rendering surfaces so degraded numbers are never
+    silently mixed into paper rows.
+    """
 
     net_size: int
     num_trials: int
@@ -121,12 +236,25 @@ class RowStats:
     #: True when no trial even *attempted* this row (paper prints NA rows
     #: when, e.g., no 5-pin net ever received a second edge).
     not_applicable: bool = False
+    failed: int = 0
+    degraded: int = 0
 
 
 def aggregate(net_size: int, ratios: Sequence[TrialRatios],
-              not_applicable: bool = False) -> RowStats:
-    """Fold per-trial ratios into a paper-style table row."""
+              not_applicable: bool = False, failures: int = 0,
+              degraded: int = 0) -> RowStats:
+    """Fold per-trial ratios into a paper-style table row.
+
+    With no completed ratios the row is only representable when failures
+    explain the gap — it then renders as NA with its failure count.
+    """
     if not ratios:
+        if failures:
+            return RowStats(
+                net_size=net_size, num_trials=0, all_delay=_NAN,
+                all_cost=_NAN, percent_winners=_NAN, win_delay=None,
+                win_cost=None, not_applicable=True, failed=failures,
+                degraded=degraded)
         raise ValueError("no trial outcomes to aggregate")
     winners = [r for r in ratios if r.improved]
     return RowStats(
@@ -138,10 +266,12 @@ def aggregate(net_size: int, ratios: Sequence[TrialRatios],
         win_delay=mean(r.delay_ratio for r in winners) if winners else None,
         win_cost=mean(r.cost_ratio for r in winners) if winners else None,
         not_applicable=not_applicable,
+        failed=failures,
+        degraded=degraded,
     )
 
 
-def final_ratios(result: RoutingResult) -> TrialRatios:
+def final_ratios(result: RatioSource) -> TrialRatios:
     """Converged-result ratios against the result's own baseline."""
     return TrialRatios(
         delay_ratio=result.delay_ratio,
@@ -150,7 +280,7 @@ def final_ratios(result: RoutingResult) -> TrialRatios:
     )
 
 
-def iteration_ratios(result: RoutingResult, k: int) -> TrialRatios:
+def iteration_ratios(result: RatioSource, k: int) -> TrialRatios:
     """Marginal ratios of iteration ``k`` (see module docstring).
 
     A net whose run stopped before iteration ``k`` contributes ratio 1.0
@@ -169,37 +299,83 @@ def iteration_ratios(result: RoutingResult, k: int) -> TrialRatios:
     )
 
 
+def _sweep_outcomes(config: ExperimentConfig,
+                    run_one: Callable[[Net], RoutingResult],
+                    policy: RuntimePolicy, kind: str,
+                    extra: dict[str, Any] | None = None
+                    ) -> dict[TrialKey, TrialOutcome]:
+    """Run the full (size, trial) grid through the execution runtime."""
+    journal: RunJournal | None = None
+    if policy.run_root is not None:
+        manifest = {"kind": kind, "runner": describe_runner(run_one),
+                    "config": config.fingerprint_data()}
+        if extra:
+            manifest.update(extra)
+        journal = open_journal(policy, manifest)
+    nets_by_size = {size: list(config.nets(size)) for size in config.sizes}
+    return run_trials(sweep_tasks(nets_by_size, run_one), policy, journal)
+
+
+def _split_row(outcomes: dict[TrialKey, TrialOutcome], size: int,
+               trials: int) -> tuple[list[TrialResult], list[TrialFailure]]:
+    """One row's outcomes in trial order, split into results/failures."""
+    results: list[TrialResult] = []
+    failures: list[TrialFailure] = []
+    for trial in range(trials):
+        outcome = outcomes.get((size, trial))
+        if isinstance(outcome, TrialResult):
+            results.append(outcome)
+        elif isinstance(outcome, TrialFailure):
+            failures.append(outcome)
+    return results, failures
+
+
 def run_size_sweep(config: ExperimentConfig,
                    run_one: Callable[[Net], RoutingResult],
-                   extract: Callable[[RoutingResult], TrialRatios] = final_ratios,
+                   extract: Callable[[RatioSource], TrialRatios] = final_ratios,
+                   runtime: RuntimePolicy | None = None,
                    ) -> list[RowStats]:
-    """Run ``run_one`` over every (size, trial) net and aggregate rows."""
+    """Run ``run_one`` over every (size, trial) net and aggregate rows.
+
+    Without a ``runtime`` policy the first trial error aborts the sweep
+    (the historical behavior); with one, failures become per-row counts
+    and the sweep may journal, resume, and parallelize.
+    """
+    policy = runtime if runtime is not None else LEGACY_POLICY
+    outcomes = _sweep_outcomes(config, run_one, policy, "size-sweep")
     rows = []
     for size in config.sizes:
-        ratios = [extract(run_one(net)) for net in config.nets(size)]
-        rows.append(aggregate(size, ratios))
+        results, failures = _split_row(outcomes, size, config.trials)
+        ratios = [extract(r) for r in results]
+        rows.append(aggregate(
+            size, ratios, failures=len(failures),
+            degraded=sum(1 for r in results if r.degraded)))
     return rows
 
 
 def iteration_sweep(config: ExperimentConfig,
                     run_one: Callable[[Net], RoutingResult],
                     iterations: Sequence[int] = (1, 2),
+                    runtime: RuntimePolicy | None = None,
                     ) -> dict[int, list[RowStats]]:
     """One pass per size, sliced into per-iteration marginal rows.
 
     Returns iteration number → rows. Rows where *no* net reached the
     iteration are flagged ``not_applicable`` (printed as NA).
     """
-    results_by_size: dict[int, list[RoutingResult]] = {}
-    for size in config.sizes:
-        results_by_size[size] = [run_one(net) for net in config.nets(size)]
+    policy = runtime if runtime is not None else LEGACY_POLICY
+    outcomes = _sweep_outcomes(config, run_one, policy, "iteration-sweep",
+                               {"iterations": list(iterations)})
     table: dict[int, list[RowStats]] = {}
     for k in iterations:
         rows = []
         for size in config.sizes:
-            results = results_by_size[size]
+            results, failures = _split_row(outcomes, size, config.trials)
             ratios = [iteration_ratios(r, k) for r in results]
             reached = any(r.num_added_edges >= k for r in results)
-            rows.append(aggregate(size, ratios, not_applicable=not reached))
+            rows.append(aggregate(
+                size, ratios, not_applicable=not reached,
+                failures=len(failures),
+                degraded=sum(1 for r in results if r.degraded)))
         table[k] = rows
     return table

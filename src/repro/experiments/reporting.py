@@ -39,7 +39,13 @@ class Table:
 
 
 def format_rows(rows: Sequence[RowStats]) -> str:
-    """Rows as aligned text with the paper's NA convention."""
+    """Rows as aligned text with the paper's NA convention.
+
+    Rows produced under a fault-tolerant runtime may carry failed or
+    engine-degraded trial counts; those are appended as a bracketed
+    annotation so degraded or incomplete statistics are never presented
+    as clean paper numbers. Fully clean rows render exactly as before.
+    """
     widths = [9, 10, 9, 10, 10, 9]
     header = "  ".join(h.ljust(w) for h, w in zip(_HEADERS, widths))
     out = [header, "-" * len(header)]
@@ -55,5 +61,17 @@ def format_rows(rows: Sequence[RowStats]) -> str:
                 "NA" if row.win_delay is None else f"{row.win_delay:.2f}",
                 "NA" if row.win_cost is None else f"{row.win_cost:.2f}",
             ]
-        out.append("  ".join(c.ljust(w) for c, w in zip(cells, widths)))
+        line = "  ".join(c.ljust(w) for c, w in zip(cells, widths))
+        note = _reliability_note(row)
+        out.append(line + note if note else line)
     return "\n".join(out)
+
+
+def _reliability_note(row: RowStats) -> str:
+    """Bracketed failed/degraded annotation; empty for clean rows."""
+    parts = []
+    if row.failed:
+        parts.append(f"{row.num_trials} ok, {row.failed} failed")
+    if row.degraded:
+        parts.append(f"{row.degraded} degraded-engine")
+    return f"[{'; '.join(parts)}]" if parts else ""

@@ -9,13 +9,23 @@ protocol is ``trials=50, sizes=(5, 10, 20, 30)``).
 Every algorithm *searches* with the config's fast oracle and is *scored*
 with the config's evaluation oracle, mirroring the paper's use of SPICE
 for all reported numbers.
+
+Every driver accepts a :class:`~repro.runtime.RuntimePolicy` and routes
+through :mod:`repro.runtime`, so any table run can journal, resume after
+a kill, tolerate failed trials, and fan out over worker processes. The
+per-table trial runners are module-level functions (bound to their
+config with :func:`functools.partial`) precisely so they can cross a
+process boundary: closures don't pickle, these do.
 """
 
 from __future__ import annotations
 
-from repro.core.ert import elmore_routing_tree, ert, ert_ldrg
+from functools import partial
+
+from repro.core.ert import ert, ert_ldrg
 from repro.core.heuristics import h1, h2, h3
 from repro.core.ldrg import ldrg
+from repro.core.result import RoutingResult
 from repro.core.sldrg import sldrg
 from repro.experiments.harness import (
     ExperimentConfig,
@@ -25,6 +35,7 @@ from repro.experiments.harness import (
 )
 from repro.experiments.reporting import Table
 from repro.geometry.net import Net
+from repro.runtime import RuntimePolicy
 
 
 def table1(config: ExperimentConfig | None = None) -> str:
@@ -45,16 +56,63 @@ def table1(config: ExperimentConfig | None = None) -> str:
     return "\n".join(lines)
 
 
-def table2(config: ExperimentConfig) -> Table:
+# ---------------------------------------------------------------------------
+# Trial runners — module-level (picklable) so sweeps can cross process
+# boundaries. Each builds its models per trial; models are cheap handles
+# and per-trial construction keys chaos fault streams to the net's name.
+# ---------------------------------------------------------------------------
+
+
+def run_ldrg_trial(config: ExperimentConfig, net: Net) -> RoutingResult:
+    """Table 2: LDRG from an MST."""
+    return ldrg(net, config.tech,
+                delay_model=config.search_model(chaos_salt=net.name),
+                evaluation_model=config.eval_model(chaos_salt=net.name))
+
+
+def run_sldrg_trial(config: ExperimentConfig, net: Net) -> RoutingResult:
+    """Table 3: SLDRG from a Steiner tree."""
+    return sldrg(net, config.tech,
+                 delay_model=config.search_model(chaos_salt=net.name),
+                 evaluation_model=config.eval_model(chaos_salt=net.name))
+
+
+def run_h1_trial(config: ExperimentConfig, net: Net) -> RoutingResult:
+    """Table 4: the H1 heuristic (SPICE-guided, evaluation oracle only)."""
+    return h1(net, config.tech,
+              delay_model=config.eval_model(chaos_salt=net.name))
+
+
+def run_h2_trial(config: ExperimentConfig, net: Net) -> RoutingResult:
+    """Table 5 (block 1): the H2 heuristic (no SPICE in the loop)."""
+    return h2(net, config.tech,
+              evaluation_model=config.eval_model(chaos_salt=net.name))
+
+
+def run_h3_trial(config: ExperimentConfig, net: Net) -> RoutingResult:
+    """Table 5 (block 2): the H3 heuristic (no SPICE in the loop)."""
+    return h3(net, config.tech,
+              evaluation_model=config.eval_model(chaos_salt=net.name))
+
+
+def run_ert_trial(config: ExperimentConfig, net: Net) -> RoutingResult:
+    """Table 6: the ERT baseline of Boese et al."""
+    return ert(net, config.tech,
+               evaluation_model=config.eval_model(chaos_salt=net.name))
+
+
+def run_ert_ldrg_trial(config: ExperimentConfig, net: Net) -> RoutingResult:
+    """Table 7: LDRG started from an ERT."""
+    return ert_ldrg(net, config.tech,
+                    delay_model=config.search_model(chaos_salt=net.name),
+                    evaluation_model=config.eval_model(chaos_salt=net.name))
+
+
+def table2(config: ExperimentConfig,
+           runtime: RuntimePolicy | None = None) -> Table:
     """Table 2: LDRG vs MST, marginal statistics for iterations one & two."""
-    search = config.search_model()
-    evaluate = config.eval_model()
-
-    def run(net: Net):
-        return ldrg(net, config.tech, delay_model=search,
-                    evaluation_model=evaluate)
-
-    sweep = iteration_sweep(config, run, iterations=(1, 2))
+    sweep = iteration_sweep(config, partial(run_ldrg_trial, config),
+                            iterations=(1, 2), runtime=runtime)
     return Table(
         title="Table 2: LDRG Algorithm Statistics (normalized to MST)",
         blocks={"LDRG Iteration One": sweep[1],
@@ -63,30 +121,22 @@ def table2(config: ExperimentConfig) -> Table:
     )
 
 
-def table3(config: ExperimentConfig) -> Table:
+def table3(config: ExperimentConfig,
+           runtime: RuntimePolicy | None = None) -> Table:
     """Table 3: SLDRG vs the Steiner tree it starts from."""
-    search = config.search_model()
-    evaluate = config.eval_model()
-
-    def run(net: Net):
-        return sldrg(net, config.tech, delay_model=search,
-                     evaluation_model=evaluate)
-
-    rows = run_size_sweep(config, run, final_ratios)
+    rows = run_size_sweep(config, partial(run_sldrg_trial, config),
+                          final_ratios, runtime=runtime)
     return Table(
         title="Table 3: SLDRG Algorithm Statistics (normalized to Steiner tree)",
         blocks={"": rows},
     )
 
 
-def table4(config: ExperimentConfig) -> Table:
+def table4(config: ExperimentConfig,
+           runtime: RuntimePolicy | None = None) -> Table:
     """Table 4: heuristic H1 vs MST, iterations one & two."""
-    evaluate = config.eval_model()
-
-    def run(net: Net):
-        return h1(net, config.tech, delay_model=evaluate)
-
-    sweep = iteration_sweep(config, run, iterations=(1, 2))
+    sweep = iteration_sweep(config, partial(run_h1_trial, config),
+                            iterations=(1, 2), runtime=runtime)
     return Table(
         title="Table 4: H1 Heuristic Statistics (normalized to MST)",
         blocks={"H1 Iteration One": sweep[1],
@@ -95,40 +145,35 @@ def table4(config: ExperimentConfig) -> Table:
     )
 
 
-def table5(config: ExperimentConfig) -> Table:
+def table5(config: ExperimentConfig,
+           runtime: RuntimePolicy | None = None) -> Table:
     """Table 5: heuristics H2 and H3 vs MST (no SPICE in the loop)."""
-    evaluate = config.eval_model()
-    rows_h2 = run_size_sweep(
-        config, lambda net: h2(net, config.tech, evaluation_model=evaluate))
-    rows_h3 = run_size_sweep(
-        config, lambda net: h3(net, config.tech, evaluation_model=evaluate))
+    rows_h2 = run_size_sweep(config, partial(run_h2_trial, config),
+                             runtime=runtime)
+    rows_h3 = run_size_sweep(config, partial(run_h3_trial, config),
+                             runtime=runtime)
     return Table(
         title="Table 5: H2 and H3 Heuristic Statistics (normalized to MST)",
         blocks={"H2 Heuristic": rows_h2, "H3 Heuristic": rows_h3},
     )
 
 
-def table6(config: ExperimentConfig) -> Table:
+def table6(config: ExperimentConfig,
+           runtime: RuntimePolicy | None = None) -> Table:
     """Table 6: the ERT baseline of Boese et al. vs MST."""
-    evaluate = config.eval_model()
-    rows = run_size_sweep(
-        config, lambda net: ert(net, config.tech, evaluation_model=evaluate))
+    rows = run_size_sweep(config, partial(run_ert_trial, config),
+                          runtime=runtime)
     return Table(
         title="Table 6: Elmore Routing Tree Statistics (normalized to MST)",
         blocks={"": rows},
     )
 
 
-def table7(config: ExperimentConfig) -> Table:
+def table7(config: ExperimentConfig,
+           runtime: RuntimePolicy | None = None) -> Table:
     """Table 7: LDRG started from an ERT, normalized to the ERT."""
-    search = config.search_model()
-    evaluate = config.eval_model()
-
-    def run(net: Net):
-        return ert_ldrg(net, config.tech, delay_model=search,
-                        evaluation_model=evaluate)
-
-    rows = run_size_sweep(config, run, final_ratios)
+    rows = run_size_sweep(config, partial(run_ert_ldrg_trial, config),
+                          final_ratios, runtime=runtime)
     return Table(
         title="Table 7: ERT-Based LDRG Algorithm Statistics (normalized to ERT)",
         blocks={"": rows},
@@ -146,12 +191,19 @@ TABLE_DRIVERS = {
 }
 
 
-def run_table(number: int, config: ExperimentConfig) -> Table:
-    """Regenerate one of the paper's tables by number (2–7)."""
+def run_table(number: int, config: ExperimentConfig,
+              runtime: RuntimePolicy | None = None) -> Table:
+    """Regenerate one of the paper's tables by number (2–7).
+
+    ``runtime`` selects the execution policy — journaling, resume,
+    parallel workers, fault tolerance (see
+    :class:`~repro.runtime.RuntimePolicy`). ``None`` keeps the strict
+    in-memory semantics.
+    """
     try:
         driver = TABLE_DRIVERS[number]
     except KeyError:
         raise ValueError(
             f"no such experiment table {number}; available: "
             f"{sorted(TABLE_DRIVERS)}") from None
-    return driver(config)
+    return driver(config, runtime)

@@ -1,0 +1,88 @@
+"""Fault-tolerant sweep execution: journal, workers, retries, chaos.
+
+The paper's evaluation is thousands of oracle-driven trials; at that
+scale something always goes wrong eventually. This package makes the
+sweep layer survive it:
+
+* :mod:`repro.runtime.journal` — crash-safe per-trial journal with
+  atomic writes and config-fingerprinted run directories (resume);
+* :mod:`repro.runtime.pool` — isolated serial/parallel trial execution
+  where crashes, hangs, and exceptions become structured failures;
+* :mod:`repro.runtime.retry` / :mod:`repro.runtime.resilience` —
+  backoff-retries around transient oracle faults and an engine
+  degradation ladder (ngspice → transient → analytic) with provenance;
+* :mod:`repro.runtime.chaos` — deterministic fault injection used to
+  prove all of the above actually works.
+
+See ``docs/robustness.md`` for the journal format and semantics.
+"""
+
+from repro.runtime.chaos import ChaosDelayModel, ChaosPolicy
+from repro.runtime.errors import (
+    ConfigError,
+    FaultInjected,
+    NonFiniteDelay,
+    ReproRuntimeError,
+    RetryExhausted,
+    TrialTimeout,
+)
+from repro.runtime.execute import (
+    LEGACY_POLICY,
+    RuntimePolicy,
+    describe_runner,
+    open_journal,
+    run_trial,
+    run_trials,
+    sweep_tasks,
+)
+from repro.runtime.journal import RunJournal, atomic_write_text, fingerprint
+from repro.runtime.pool import PoolTask, run_tasks, trial_deadline
+from repro.runtime.provenance import ProvenanceEvent, collecting, record
+from repro.runtime.resilience import (
+    DEFAULT_TRANSIENT,
+    ResilientDelayModel,
+    resilient_spice_model,
+)
+from repro.runtime.retry import RetryPolicy, call_with_retries
+from repro.runtime.trial import (
+    TrialFailure,
+    TrialKey,
+    TrialOutcome,
+    TrialResult,
+)
+
+__all__ = [
+    "ChaosDelayModel",
+    "ChaosPolicy",
+    "ConfigError",
+    "DEFAULT_TRANSIENT",
+    "FaultInjected",
+    "LEGACY_POLICY",
+    "NonFiniteDelay",
+    "PoolTask",
+    "ProvenanceEvent",
+    "ReproRuntimeError",
+    "ResilientDelayModel",
+    "RetryExhausted",
+    "RetryPolicy",
+    "RunJournal",
+    "RuntimePolicy",
+    "TrialFailure",
+    "TrialKey",
+    "TrialOutcome",
+    "TrialResult",
+    "TrialTimeout",
+    "atomic_write_text",
+    "call_with_retries",
+    "collecting",
+    "describe_runner",
+    "fingerprint",
+    "open_journal",
+    "record",
+    "resilient_spice_model",
+    "run_tasks",
+    "run_trial",
+    "run_trials",
+    "sweep_tasks",
+    "trial_deadline",
+]

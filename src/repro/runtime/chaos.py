@@ -1,0 +1,128 @@
+"""Deterministic fault injection for the execution layer's own tests.
+
+Claims like "the pool survives a hung oracle" are only credible if a
+test can actually hang an oracle on demand. :class:`ChaosDelayModel`
+wraps any :class:`~repro.delay.models.DelayModel` and makes each
+``delays()`` call raise, hang, or return NaN at configured rates, from a
+seeded stream — so every fault pattern is reproducible bit-for-bit,
+independent of worker count or scheduling.
+
+Determinism model: the injector's RNG is seeded from
+``(policy.seed, salt)`` where the salt is normally the trial net's name.
+A fresh model is built per trial (the table runners already do this), so
+trial *k* sees the same fault sequence no matter which worker runs it or
+in what order trials complete.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import time
+import zlib
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from repro.delay.models import DelayModel
+from repro.delay.rc_builder import EdgeWidths
+from repro.graph.routing_graph import RoutingGraph
+from repro.runtime.errors import FaultInjected
+from repro.runtime.provenance import KIND_FAULT, ProvenanceEvent, record
+from repro.runtime.retry import SleepFn
+
+
+@dataclass(frozen=True)
+class ChaosPolicy:
+    """Fault rates and determinism knobs of the injector.
+
+    Each oracle call draws once; the outcome is *raise* with probability
+    ``raise_rate``, *hang* with ``hang_rate``, *NaN* with ``nan_rate``,
+    otherwise the call passes through untouched.
+    """
+
+    seed: int = 0
+    raise_rate: float = 0.0
+    hang_rate: float = 0.0
+    nan_rate: float = 0.0
+    #: How long a "hang" sleeps — long enough that only a timeout ends it.
+    hang_seconds: float = 3600.0
+
+    def __post_init__(self) -> None:
+        for label, rate in (("raise_rate", self.raise_rate),
+                            ("hang_rate", self.hang_rate),
+                            ("nan_rate", self.nan_rate)):
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{label} must lie in [0, 1], got {rate}")
+        if self.raise_rate + self.hang_rate + self.nan_rate > 1.0:
+            raise ValueError("fault rates must sum to at most 1")
+        if self.hang_seconds < 0:
+            raise ValueError("hang_seconds must be non-negative")
+
+    @property
+    def fault_rate(self) -> float:
+        return self.raise_rate + self.hang_rate + self.nan_rate
+
+    def to_json_dict(self) -> dict[str, Any]:
+        return {"seed": self.seed, "raise_rate": self.raise_rate,
+                "hang_rate": self.hang_rate, "nan_rate": self.nan_rate,
+                "hang_seconds": self.hang_seconds}
+
+    @classmethod
+    def from_json_dict(cls, data: Mapping[str, Any]) -> "ChaosPolicy":
+        return cls(seed=int(data.get("seed", 0)),
+                   raise_rate=float(data.get("raise_rate", 0.0)),
+                   hang_rate=float(data.get("hang_rate", 0.0)),
+                   nan_rate=float(data.get("nan_rate", 0.0)),
+                   hang_seconds=float(data.get("hang_seconds", 3600.0)))
+
+
+def chaos_seed(policy: ChaosPolicy, salt: str) -> int:
+    """Stable per-(policy, salt) RNG seed."""
+    return policy.seed ^ zlib.crc32(salt.encode("utf-8"))
+
+
+class ChaosDelayModel(DelayModel):
+    """A delay oracle that fails on purpose, reproducibly.
+
+    Args:
+        inner: the real oracle to wrap.
+        policy: fault rates and seed.
+        salt: extra seed material — pass the trial net's name so
+            different trials see different (but stable) fault patterns.
+        sleep: injectable sleep, so tests can observe "hangs" instantly.
+    """
+
+    name = "chaos"
+
+    def __init__(self, inner: DelayModel, policy: ChaosPolicy,
+                 salt: str = "", sleep: SleepFn = time.sleep):
+        super().__init__(inner.tech)
+        self.inner = inner
+        self.policy = policy
+        self.salt = salt
+        self.name = f"chaos({inner.name})"
+        self._sleep = sleep
+        self._rng = random.Random(chaos_seed(policy, salt))
+
+    def delays(self, graph: RoutingGraph,
+               widths: EdgeWidths | None = None) -> dict[int, float]:
+        roll = self._rng.random()
+        policy = self.policy
+        if roll < policy.raise_rate:
+            record(ProvenanceEvent(
+                kind=KIND_FAULT, source=self.inner.name, detail="raise"))
+            raise FaultInjected(
+                f"injected oracle fault (salt={self.salt!r})")
+        if roll < policy.raise_rate + policy.hang_rate:
+            record(ProvenanceEvent(
+                kind=KIND_FAULT, source=self.inner.name, detail="hang"))
+            self._sleep(policy.hang_seconds)
+            raise FaultInjected(
+                f"injected hang elapsed after {policy.hang_seconds}s "
+                f"(salt={self.salt!r})")
+        if roll < policy.fault_rate:
+            record(ProvenanceEvent(
+                kind=KIND_FAULT, source=self.inner.name, detail="nan"))
+            return {sink: math.nan
+                    for sink in self.inner.delays(graph, widths)}
+        return self.inner.delays(graph, widths)

@@ -1,0 +1,56 @@
+"""Exception taxonomy of the fault-tolerant execution layer.
+
+Every error the runtime can *handle* (retry, degrade, record as a trial
+failure) derives from :class:`ReproRuntimeError`, so callers can separate
+"a trial went wrong" from genuine bugs. The CLI maps these (plus the
+simulator/IO errors from other packages) to clean exit codes instead of
+tracebacks.
+"""
+
+from __future__ import annotations
+
+
+class ReproRuntimeError(Exception):
+    """Base class for errors raised by the execution runtime."""
+
+
+class ConfigError(ReproRuntimeError):
+    """A malformed configuration value (CLI flag or environment variable).
+
+    Carries enough context to tell the user *which* knob was bad::
+
+        ConfigError.for_env("REPRO_TRIALS", "ten", "an integer")
+    """
+
+    @classmethod
+    def for_env(cls, var: str, value: str, expected: str) -> "ConfigError":
+        return cls(f"environment variable {var}={value!r} is invalid: "
+                   f"expected {expected}")
+
+
+class TrialTimeout(ReproRuntimeError):
+    """A single trial exceeded its wall-clock budget."""
+
+
+class FaultInjected(ReproRuntimeError):
+    """A fault deliberately raised by :mod:`repro.runtime.chaos`.
+
+    Classified as *transient* by the resilience layer, so retry/degrade
+    machinery treats injected faults exactly like real simulator flakes.
+    """
+
+
+class NonFiniteDelay(ReproRuntimeError):
+    """A delay oracle returned NaN or infinity.
+
+    Non-finite delays would silently poison table statistics (NaN
+    propagates through every mean), so the runtime converts them into a
+    hard, attributable failure at the oracle boundary.
+    """
+
+
+class RetryExhausted(ReproRuntimeError):
+    """All retry attempts (and all degradation rungs) failed.
+
+    The original final error is available as ``__cause__``.
+    """

@@ -1,0 +1,153 @@
+"""Orchestration: journal + resume + pool, behind one policy object.
+
+This is the layer every sweep entry point runs through. A
+:class:`RuntimePolicy` says *how* to execute (worker count, per-trial
+budget, journal directory, resume semantics); :func:`run_trials` applies
+it to a keyed task list: already-journaled trials are skipped on resume,
+fresh outcomes are journaled the moment they complete (atomic writes, so
+a kill at any instant loses at most the in-flight trial), and the
+returned mapping is keyed by ``(size, trial)`` regardless of execution
+order or worker count.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from functools import partial
+from pathlib import Path
+from typing import Any, Callable, Mapping, Sequence
+
+from repro.core.result import RoutingResult
+from repro.geometry.net import Net
+from repro.runtime import provenance
+from repro.runtime.journal import RunJournal, fingerprint
+from repro.runtime.pool import PoolTask, run_tasks
+from repro.runtime.trial import (
+    TrialKey,
+    TrialOutcome,
+    TrialResult,
+)
+
+#: A per-net trial runner, as the harness passes it around.
+TrialFn = Callable[[Net], RoutingResult]
+
+
+@dataclass(frozen=True)
+class RuntimePolicy:
+    """How a sweep executes — fault tolerance, parallelism, durability.
+
+    Attributes:
+        workers: 0 runs trials in-process; N >= 1 uses N isolated worker
+            processes (results are identical either way).
+        trial_timeout: per-trial wall-clock budget in seconds (``None``
+            disables); overruns become structured timeout failures.
+        run_root: journal root directory; ``None`` disables journaling.
+        resume: skip trials already recorded in the journal (requires
+            ``run_root``).
+        retry_failures: on resume, re-run journaled *failures* (completed
+            results are always kept).
+        strict: abort on the first trial error instead of recording it —
+            the historical in-memory semantics, used when no fault
+            tolerance was requested. Serial only.
+    """
+
+    workers: int = 0
+    trial_timeout: float | None = None
+    run_root: Path | None = None
+    resume: bool = False
+    retry_failures: bool = False
+    strict: bool = False
+
+    def __post_init__(self) -> None:
+        if self.workers < 0:
+            raise ValueError("workers must be >= 0")
+        if self.trial_timeout is not None and self.trial_timeout <= 0:
+            raise ValueError("trial_timeout must be positive")
+        if self.resume and self.run_root is None:
+            raise ValueError("resume requires a journal (run_root)")
+        if self.strict and self.workers > 0:
+            raise ValueError("strict mode is serial-only (workers=0)")
+
+    @classmethod
+    def tolerant(cls) -> "RuntimePolicy":
+        """In-process execution that records failures instead of aborting."""
+        return cls(strict=False)
+
+
+#: The legacy abort-on-first-error behavior, used when callers pass no
+#: policy — existing call sites keep their exact semantics.
+LEGACY_POLICY = RuntimePolicy(strict=True)
+
+
+def open_journal(policy: RuntimePolicy,
+                 manifest: Mapping[str, Any]) -> RunJournal | None:
+    """The policy's journal, keyed by a fingerprint of ``manifest``."""
+    if policy.run_root is None:
+        return None
+    return RunJournal(policy.run_root, fingerprint(manifest),
+                      manifest=manifest)
+
+
+def run_trials(tasks: Sequence[PoolTask], policy: RuntimePolicy,
+               journal: RunJournal | None = None
+               ) -> dict[TrialKey, TrialOutcome]:
+    """Execute (or resume) a keyed task list under ``policy``."""
+    outcomes: dict[TrialKey, TrialOutcome] = {}
+    todo = list(tasks)
+    if journal is not None and policy.resume:
+        recorded = journal.load()
+        todo = []
+        for task in tasks:
+            previous = recorded.get(task.key)
+            keep = previous is not None and (
+                isinstance(previous, TrialResult)
+                or not policy.retry_failures)
+            if keep and previous is not None:
+                outcomes[task.key] = previous
+            else:
+                todo.append(task)
+    on_outcome = None if journal is None else journal.record
+    fresh = run_tasks(todo, workers=policy.workers,
+                      timeout=policy.trial_timeout, strict=policy.strict,
+                      on_outcome=on_outcome)
+    outcomes.update(fresh)
+    return outcomes
+
+
+def run_trial(run_one: TrialFn, net: Net) -> TrialResult:
+    """Run one net through a runner, collecting provenance and timing.
+
+    This is the function that actually executes inside pool workers; it
+    is module-level (hence picklable) and converts the heavyweight
+    :class:`~repro.core.result.RoutingResult` into its journalable
+    projection before anything crosses a process boundary.
+    """
+    start = time.perf_counter()
+    with provenance.collecting() as events:
+        result = run_one(net)
+    return TrialResult.from_routing(
+        result, provenance=tuple(events),
+        elapsed=time.perf_counter() - start)
+
+
+def sweep_tasks(nets_by_size: Mapping[int, Sequence[Net]],
+                run_one: TrialFn) -> list[PoolTask]:
+    """The keyed task grid for a sweep: one task per (size, trial) net."""
+    return [PoolTask(key=(size, index), fn=run_trial, args=(run_one, net))
+            for size, nets in nets_by_size.items()
+            for index, net in enumerate(nets)]
+
+
+def describe_runner(run_one: TrialFn) -> str:
+    """A stable identity string for a runner, for journal fingerprints.
+
+    ``functools.partial`` of a module-level function (the picklable form
+    the table drivers use) is unwrapped to the underlying function.
+    """
+    fn: object = run_one
+    while isinstance(fn, partial):
+        fn = fn.func
+    module = getattr(fn, "__module__", "?")
+    qualname = getattr(fn, "__qualname__", repr(fn))
+    return f"{module}:{qualname}"

@@ -1,0 +1,133 @@
+"""Crash-safe trial journal: atomic per-trial records keyed by config.
+
+A run directory is ``<root>/<fingerprint>/`` where the fingerprint
+digests everything that determines trial outcomes (sizes, trials, seed,
+oracle segmentation, technology, chaos policy, runner identity). Each
+completed trial is one JSON file written atomically — tmp file in the
+same directory, ``fsync``, ``os.replace``, directory ``fsync`` — so a
+run killed at any instant (including SIGKILL) loses at most the trial
+that was in flight, and a partially-written record can never be
+observed under the final name.
+
+Resuming is therefore trivial: load every record whose key belongs to
+the current grid and skip those trials. Because trials are keyed by
+``(size, trial index)`` and aggregation sorts by key, a resumed run's
+table rows are byte-identical to an uninterrupted run's.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.runtime.trial import (
+    TrialKey,
+    TrialOutcome,
+    outcome_from_json_dict,
+    outcome_to_json_dict,
+)
+
+#: Journal format version, bumped on incompatible record changes.
+JOURNAL_VERSION = 1
+
+
+def fingerprint(payload: Mapping[str, Any]) -> str:
+    """Stable hex digest of a JSON-serializable config description."""
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+
+def atomic_write_text(path: Path, text: str) -> None:
+    """Write ``text`` to ``path`` so a crash never leaves a partial file.
+
+    tmp file in the same directory (same filesystem, so ``os.replace``
+    is atomic) → flush → fsync → rename → fsync the directory entry.
+    """
+    tmp = path.with_name(path.name + f".tmp{os.getpid()}")
+    fd = os.open(tmp, os.O_WRONLY | os.O_CREAT | os.O_TRUNC, 0o644)
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    _fsync_dir(path.parent)
+
+
+def _fsync_dir(directory: Path) -> None:
+    try:
+        dir_fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # platform without directory opens — best effort
+        return
+    try:
+        os.fsync(dir_fd)
+    except OSError:
+        pass
+    finally:
+        os.close(dir_fd)
+
+
+def _record_name(key: TrialKey) -> str:
+    size, trial = key
+    return f"trial_s{size:04d}_t{trial:05d}.json"
+
+
+class RunJournal:
+    """Per-trial append-only journal for one fingerprinted run.
+
+    Args:
+        root: journal root directory (one subdirectory per fingerprint).
+        run_fingerprint: digest from :func:`fingerprint`.
+        manifest: human-readable description of the run configuration,
+            written once as ``manifest.json`` for later inspection.
+    """
+
+    def __init__(self, root: Path, run_fingerprint: str,
+                 manifest: Mapping[str, Any] | None = None):
+        self.root = Path(root)
+        self.fingerprint = run_fingerprint
+        self.directory = self.root / run_fingerprint
+        self.directory.mkdir(parents=True, exist_ok=True)
+        manifest_path = self.directory / "manifest.json"
+        if manifest is not None and not manifest_path.exists():
+            atomic_write_text(manifest_path, json.dumps(
+                {"version": JOURNAL_VERSION, "fingerprint": run_fingerprint,
+                 "config": dict(manifest)},
+                indent=2, sort_keys=True) + "\n")
+
+    def record(self, key: TrialKey, outcome: TrialOutcome) -> None:
+        """Durably record one trial outcome (atomic, idempotent)."""
+        path = self.directory / _record_name(key)
+        atomic_write_text(path, json.dumps(
+            outcome_to_json_dict(key, outcome), sort_keys=True) + "\n")
+
+    def load(self) -> dict[TrialKey, TrialOutcome]:
+        """Every readable trial record in the journal.
+
+        Unreadable or malformed files (e.g. alien files dropped into the
+        directory) are skipped: the worst case is re-running a trial.
+        """
+        outcomes: dict[TrialKey, TrialOutcome] = {}
+        for path in sorted(self.directory.glob("trial_*.json")):
+            try:
+                data = json.loads(path.read_text(encoding="utf-8"))
+                key, outcome = outcome_from_json_dict(data)
+            except (OSError, ValueError):
+                continue
+            outcomes[key] = outcome
+        return outcomes
+
+    def completed_keys(self) -> set[TrialKey]:
+        return set(self.load())
+
+    def __repr__(self) -> str:
+        return f"RunJournal({str(self.directory)!r})"

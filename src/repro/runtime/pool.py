@@ -1,0 +1,315 @@
+"""Isolated trial execution: serial fault containment and a process pool.
+
+One crashed, hung, or exception-raising trial must never take down a
+sweep. Two execution paths provide that guarantee:
+
+* **serial** (``workers=0``) — trials run in-process; exceptions are
+  caught and converted to :class:`~repro.runtime.trial.TrialFailure`,
+  and a per-trial wall-clock budget is enforced with ``SIGALRM`` where
+  the platform allows.
+* **parallel** (``workers >= 1``) — each worker is its own OS process
+  with a dedicated pipe; the parent hands out one task at a time, so it
+  always knows exactly which trial a worker holds. A worker that dies
+  (segfault, ``os._exit``, OOM-kill) yields a ``"crash"`` failure for
+  its in-flight trial and is replaced; one that overruns its deadline
+  past a grace period is killed and replaced (``"timeout"``).
+
+Results are keyed by trial, never by completion order, so aggregation
+is bit-identical for any worker count.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import signal
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from multiprocessing.connection import Connection, wait as connection_wait
+from multiprocessing.context import BaseContext
+from multiprocessing.process import BaseProcess
+from typing import Any, Callable, Iterator, Sequence
+
+from repro.runtime.errors import TrialTimeout
+from repro.runtime.trial import (
+    FAILURE_CRASH,
+    FAILURE_TIMEOUT,
+    TrialFailure,
+    TrialKey,
+    TrialOutcome,
+    TrialResult,
+)
+
+#: Extra seconds past the in-worker alarm before the parent hard-kills.
+PARENT_KILL_GRACE = 2.0
+
+#: Parent poll tick while waiting on worker pipes (seconds).
+_WAIT_TICK = 0.25
+
+#: Callback fired as each outcome lands (journaling hook).
+OutcomeHook = Callable[[TrialKey, TrialOutcome], None]
+
+
+@dataclass(frozen=True)
+class PoolTask:
+    """One unit of work: ``fn(*args)`` must return a journalable payload.
+
+    For parallel execution ``fn`` and every element of ``args`` must be
+    picklable (module-level functions and ``functools.partial`` of them
+    qualify; closures and lambdas do not).
+    """
+
+    key: TrialKey
+    fn: Callable[..., TrialResult]
+    args: tuple[Any, ...] = ()
+
+
+@contextmanager
+def trial_deadline(seconds: float | None) -> Iterator[None]:
+    """Raise :class:`TrialTimeout` in the current frame after ``seconds``.
+
+    Uses ``SIGALRM``, so it only arms on the main thread of a Unix
+    process (worker processes qualify); elsewhere it is a no-op and the
+    parent-side kill remains the only enforcement.
+    """
+    if (seconds is None or not hasattr(signal, "SIGALRM")
+            or threading.current_thread() is not threading.main_thread()):
+        yield
+        return
+
+    def _on_alarm(signum: int, frame: object) -> None:
+        raise TrialTimeout(f"trial exceeded its {seconds:g}s budget")
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def run_tasks(tasks: Sequence[PoolTask], *,
+              workers: int = 0,
+              timeout: float | None = None,
+              strict: bool = False,
+              on_outcome: OutcomeHook | None = None
+              ) -> dict[TrialKey, TrialOutcome]:
+    """Execute every task, converting failures into structured records.
+
+    Args:
+        tasks: the work list (keys must be unique).
+        workers: 0 = in-process serial; N >= 1 = N isolated processes.
+        timeout: per-trial wall-clock budget (seconds), or ``None``.
+        strict: serial only — re-raise the first trial exception instead
+            of recording it (the historical abort-on-error semantics).
+        on_outcome: called with each ``(key, outcome)`` as it completes,
+            before the next trial starts — the journaling hook.
+    """
+    if len({task.key for task in tasks}) != len(tasks):
+        raise ValueError("pool task keys must be unique")
+    if workers < 0:
+        raise ValueError("workers must be >= 0")
+    if strict and workers > 0:
+        raise ValueError("strict mode is serial-only (workers=0)")
+    if workers == 0:
+        return _run_serial(tasks, timeout=timeout, strict=strict,
+                           on_outcome=on_outcome)
+    return _run_parallel(tasks, workers=workers, timeout=timeout,
+                         on_outcome=on_outcome)
+
+
+def _run_serial(tasks: Sequence[PoolTask], *, timeout: float | None,
+                strict: bool, on_outcome: OutcomeHook | None
+                ) -> dict[TrialKey, TrialOutcome]:
+    outcomes: dict[TrialKey, TrialOutcome] = {}
+    for task in tasks:
+        start = time.perf_counter()
+        outcome: TrialOutcome
+        try:
+            with trial_deadline(timeout):
+                outcome = task.fn(*task.args)
+        except Exception as exc:
+            if strict:
+                raise
+            outcome = TrialFailure.from_exception(
+                exc, elapsed=time.perf_counter() - start)
+        outcomes[task.key] = outcome
+        if on_outcome is not None:
+            on_outcome(task.key, outcome)
+    return outcomes
+
+
+# ---------------------------------------------------------------------------
+# Parallel pool
+# ---------------------------------------------------------------------------
+
+_STOP = ("stop",)
+
+
+def _worker_main(conn: Connection) -> None:
+    """Worker loop: receive one task, run it, send one outcome, repeat."""
+    signal.signal(signal.SIGINT, signal.SIG_IGN)  # parent owns Ctrl-C
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            return
+        if message[0] == "stop":
+            return
+        _tag, key, fn, args, timeout = message
+        start = time.perf_counter()
+        outcome: TrialOutcome
+        try:
+            with trial_deadline(timeout):
+                outcome = fn(*args)
+        except Exception as exc:
+            outcome = TrialFailure.from_exception(
+                exc, elapsed=time.perf_counter() - start)
+        try:
+            conn.send((key, outcome))
+        except Exception:
+            # Unpicklable payload: report the failure instead of dying.
+            try:
+                conn.send((key, TrialFailure(
+                    kind="exception", error_type="PicklingError",
+                    message="trial payload could not be pickled",
+                    elapsed=time.perf_counter() - start)))
+            except Exception:
+                os._exit(1)
+
+
+class _Worker:
+    """Parent-side handle: process, pipe, and the in-flight assignment."""
+
+    def __init__(self, context: BaseContext):
+        parent_conn, child_conn = multiprocessing.Pipe()
+        process = context.Process(target=_worker_main, args=(child_conn,),
+                                  daemon=True)
+        process.start()
+        child_conn.close()  # parent copy — close so worker death gives EOF
+        self.process: BaseProcess = process
+        self.conn: Connection = parent_conn
+        self.task: PoolTask | None = None
+        self.started_at = 0.0
+
+    def assign(self, task: PoolTask, timeout: float | None) -> None:
+        self.conn.send(("task", task.key, task.fn, task.args, timeout))
+        self.task = task
+        self.started_at = time.monotonic()
+
+    def overdue(self, timeout: float | None) -> bool:
+        if self.task is None or timeout is None:
+            return False
+        return time.monotonic() - self.started_at > timeout + PARENT_KILL_GRACE
+
+    def elapsed(self) -> float:
+        return time.monotonic() - self.started_at
+
+    def kill(self) -> None:
+        try:
+            self.process.kill()
+        except (OSError, ValueError):
+            pass
+        self.process.join(timeout=5.0)
+        try:
+            self.conn.close()
+        except OSError:
+            pass
+
+    def stop(self) -> None:
+        try:
+            self.conn.send(_STOP)
+            self.conn.close()
+        except (OSError, ValueError, BrokenPipeError):
+            pass
+
+
+def _run_parallel(tasks: Sequence[PoolTask], *, workers: int,
+                  timeout: float | None, on_outcome: OutcomeHook | None
+                  ) -> dict[TrialKey, TrialOutcome]:
+    context = _pool_context()
+    pending = list(reversed(tasks))  # pop() serves tasks in given order
+    outcomes: dict[TrialKey, TrialOutcome] = {}
+    live: list[_Worker] = [_Worker(context)
+                           for _ in range(min(workers, len(tasks)))]
+    idle = list(live)
+
+    def settle(key: TrialKey, outcome: TrialOutcome) -> None:
+        outcomes[key] = outcome
+        if on_outcome is not None:
+            on_outcome(key, outcome)
+
+    try:
+        while len(outcomes) < len(tasks):
+            while idle and pending:
+                worker, task = idle.pop(), pending.pop()
+                try:
+                    worker.assign(task, timeout)
+                except Exception as exc:  # unpicklable task
+                    settle(task.key, TrialFailure.from_exception(exc))
+                    idle.append(worker)
+            busy = [w for w in live if w.task is not None]
+            if not busy:
+                continue
+            ready = connection_wait([w.conn for w in busy],
+                                    timeout=_WAIT_TICK)
+            for worker in [w for w in busy if w.conn in ready]:
+                task = worker.task
+                assert task is not None
+                try:
+                    key, outcome = worker.conn.recv()
+                except (EOFError, OSError):
+                    settle(task.key, _crash_failure(worker))
+                    live.remove(worker)
+                    worker.kill()
+                    if pending:
+                        replacement = _Worker(context)
+                        live.append(replacement)
+                        idle.append(replacement)
+                    continue
+                worker.task = None
+                settle(key, outcome)
+                idle.append(worker)
+            for worker in [w for w in live if w.overdue(timeout)]:
+                task = worker.task
+                assert task is not None
+                settle(task.key, TrialFailure(
+                    kind=FAILURE_TIMEOUT, error_type="TrialTimeout",
+                    message=f"worker exceeded the {timeout:g}s trial budget "
+                            f"(hard-killed after grace period)",
+                    elapsed=worker.elapsed()))
+                live.remove(worker)
+                worker.kill()
+                if pending:
+                    replacement = _Worker(context)
+                    live.append(replacement)
+                    idle.append(replacement)
+    finally:
+        for worker in live:
+            if worker.task is None:
+                worker.stop()
+            else:
+                worker.kill()
+        for worker in live:
+            worker.process.join(timeout=5.0)
+            if worker.process.is_alive():
+                worker.kill()
+    return outcomes
+
+
+def _crash_failure(worker: _Worker) -> TrialFailure:
+    worker.process.join(timeout=5.0)  # reap, so the exit code is readable
+    exitcode = worker.process.exitcode
+    return TrialFailure(
+        kind=FAILURE_CRASH, error_type="WorkerCrash",
+        message=f"worker process died mid-trial (exit code {exitcode})",
+        elapsed=worker.elapsed())
+
+
+def _pool_context() -> BaseContext:
+    """Prefer fork (fast, inherits imports); fall back to the default."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else None)

@@ -1,0 +1,78 @@
+"""Provenance events: an auditable trail of what actually computed a number.
+
+The resilience layer may retry a flaky oracle call or degrade to a
+cheaper engine mid-trial. Reported numbers must never silently come from
+a different engine than the one configured, so every such decision is
+recorded as a :class:`ProvenanceEvent` and journaled with the trial.
+
+Recording is context-based so the machinery stays decoupled: the trial
+executor opens a :func:`collecting` scope around the whole trial, and any
+wrapper deep inside the call stack (retry loops, degradation ladders,
+chaos injectors) calls :func:`record` without threading a collector
+through every signature. Outside a scope, :func:`record` is a no-op.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass
+from typing import Any, Iterator, Mapping
+
+#: Event kinds with defined semantics (free-form kinds are allowed too).
+KIND_RETRY = "retry"
+KIND_DEGRADE = "degrade"
+KIND_FAULT = "fault-injected"
+
+
+@dataclass(frozen=True)
+class ProvenanceEvent:
+    """One recorded runtime decision.
+
+    Attributes:
+        kind: event class — ``"retry"``, ``"degrade"``, ``"fault-injected"``.
+        source: the model/engine the event happened in (e.g. ``"ngspice"``).
+        target: for degradations, the engine control fell back to.
+        detail: human-readable cause (usually the triggering error).
+    """
+
+    kind: str
+    source: str = ""
+    target: str = ""
+    detail: str = ""
+
+    def to_json_dict(self) -> dict[str, str]:
+        return {"kind": self.kind, "source": self.source,
+                "target": self.target, "detail": self.detail}
+
+    @classmethod
+    def from_json_dict(cls, data: Mapping[str, Any]) -> "ProvenanceEvent":
+        return cls(kind=str(data.get("kind", "")),
+                   source=str(data.get("source", "")),
+                   target=str(data.get("target", "")),
+                   detail=str(data.get("detail", "")))
+
+
+_collector: ContextVar[list[ProvenanceEvent] | None] = ContextVar(
+    "repro_runtime_provenance", default=None)
+
+
+def record(event: ProvenanceEvent) -> None:
+    """Append ``event`` to the active collector, if any."""
+    events = _collector.get()
+    if events is not None:
+        events.append(event)
+
+
+@contextmanager
+def collecting() -> Iterator[list[ProvenanceEvent]]:
+    """Scope within which :func:`record` accumulates into the yielded list.
+
+    Scopes nest: the innermost active scope receives the events.
+    """
+    events: list[ProvenanceEvent] = []
+    token = _collector.set(events)
+    try:
+        yield events
+    finally:
+        _collector.reset(token)

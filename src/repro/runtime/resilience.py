@@ -1,0 +1,148 @@
+"""Resilient delay oracles: retry transient faults, then degrade engines.
+
+The oracle ladder mirrors the fidelity ladder of the repo's engines:
+an external ``ngspice`` binary (most faithful, least reliable — it is a
+subprocess that can hang, crash, or be missing), then the in-process
+``transient`` integrator, then the ``analytic`` RC solution. A
+:class:`ResilientDelayModel` tries each rung with bounded
+backoff-retries and only then falls to the next, recording every retry
+and every degradation as provenance — so a journal row can never
+contain a degraded-engine number without saying so.
+
+Non-finite oracle output (NaN/inf) is treated as a transient fault at
+this boundary: it is either a simulator flake or injected chaos, and in
+both cases silently averaging it into a table would be worse than
+retrying.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Sequence
+
+from repro.circuit.ngspice import NgspiceError
+from repro.delay.models import DelayModel, NgspiceDelayModel, SpiceDelayModel
+from repro.delay.parameters import Technology
+from repro.delay.rc_builder import EdgeWidths
+from repro.delay.spice_delay import SpiceOptions
+from repro.graph.routing_graph import RoutingGraph
+from repro.runtime.errors import (
+    FaultInjected,
+    NonFiniteDelay,
+    RetryExhausted,
+)
+from repro.runtime.provenance import (
+    KIND_DEGRADE,
+    KIND_RETRY,
+    ProvenanceEvent,
+    record,
+)
+from repro.runtime.retry import RetryPolicy, SleepFn, call_with_retries
+
+#: Errors worth retrying: simulator subprocess trouble and injected chaos.
+DEFAULT_TRANSIENT: tuple[type[BaseException], ...] = (
+    FaultInjected, NonFiniteDelay, NgspiceError, OSError)
+
+
+class ResilientDelayModel(DelayModel):
+    """A delay oracle hardened by retries and an engine-degradation ladder.
+
+    Args:
+        ladder: oracles in decreasing fidelity order; the first is the
+            engine of record, later rungs are fallbacks.
+        retry: backoff policy applied *per rung*.
+        transient: exception types treated as retryable/degradable.
+        sleep: injectable sleep for the backoff (tests pass a stub).
+    """
+
+    name = "resilient"
+
+    def __init__(self, ladder: Sequence[DelayModel],
+                 retry: RetryPolicy | None = None,
+                 transient: tuple[type[BaseException], ...]
+                 = DEFAULT_TRANSIENT,
+                 sleep: SleepFn = time.sleep):
+        if not ladder:
+            raise ValueError("need at least one delay model in the ladder")
+        super().__init__(ladder[0].tech)
+        self.ladder = tuple(ladder)
+        self.retry = retry or RetryPolicy()
+        self.transient = transient
+        self.name = f"resilient({ladder[0].name})"
+        self._sleep = sleep
+
+    def delays(self, graph: RoutingGraph,
+               widths: EdgeWidths | None = None) -> dict[int, float]:
+        last_error: BaseException | None = None
+        for rung, model in enumerate(self.ladder):
+            try:
+                return self._attempt_rung(model, graph, widths)
+            except RetryExhausted as exc:
+                last_error = exc.__cause__ or exc
+                if rung + 1 < len(self.ladder):
+                    record(ProvenanceEvent(
+                        kind=KIND_DEGRADE, source=model.name,
+                        target=self.ladder[rung + 1].name,
+                        detail=f"{type(last_error).__name__}: {last_error}"))
+        raise RetryExhausted(
+            f"all {len(self.ladder)} engine(s) failed; last error: "
+            f"{type(last_error).__name__}: {last_error}") from last_error
+
+    def _attempt_rung(self, model: DelayModel, graph: RoutingGraph,
+                      widths: EdgeWidths | None) -> dict[int, float]:
+        def on_retry(attempt: int, exc: BaseException) -> None:
+            record(ProvenanceEvent(
+                kind=KIND_RETRY, source=model.name,
+                detail=f"attempt {attempt}: {type(exc).__name__}: {exc}"))
+
+        def run_once() -> dict[int, float]:
+            return _checked_delays(model, graph, widths)
+
+        return call_with_retries(run_once, self.retry, self.transient,
+                                 on_retry=on_retry, sleep=self._sleep)
+
+
+def _checked_delays(model: DelayModel, graph: RoutingGraph,
+                    widths: EdgeWidths | None) -> dict[int, float]:
+    """The model's delays, with non-finite output promoted to a fault."""
+    delays = model.delays(graph, widths)
+    bad = {sink: value for sink, value in delays.items()
+           if not math.isfinite(value)}
+    if bad:
+        raise NonFiniteDelay(
+            f"{model.name} returned non-finite delay(s): {bad}")
+    return delays
+
+
+def resilient_spice_model(
+    tech: Technology,
+    options: SpiceOptions | None = None,
+    engines: Sequence[str] = ("ngspice", "transient", "analytic"),
+    retry: RetryPolicy | None = None,
+    sleep: SleepFn = time.sleep,
+) -> ResilientDelayModel:
+    """The standard degradation ladder over the repo's SPICE engines.
+
+    ``engines`` names the rungs in order; each becomes an oracle bound to
+    the same technology and segmentation. ``"ngspice"`` requires an
+    external binary at call time — with the default ladder its absence
+    simply degrades (with provenance) to the in-process engines.
+    """
+    opts = options or SpiceOptions()
+    ladder: list[DelayModel] = []
+    for engine in engines:
+        if engine == "ngspice":
+            ladder.append(NgspiceDelayModel(tech, opts))
+        elif engine in ("transient", "analytic"):
+            base = opts if opts.engine == engine else SpiceOptions(
+                segments=opts.segments, threshold=opts.threshold,
+                engine=engine)
+            model: DelayModel = SpiceDelayModel(tech, base)
+            model.name = f"spice-{engine}"
+            ladder.append(model)
+        else:
+            raise ValueError(
+                f"unknown resilience engine {engine!r}; expected "
+                f"'ngspice', 'transient' or 'analytic'")
+    return ResilientDelayModel(ladder, retry=retry, sleep=sleep)

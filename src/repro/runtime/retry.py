@@ -1,0 +1,94 @@
+"""Bounded retry with exponential backoff and deterministic jitter.
+
+Transient simulator faults (a flaky ngspice subprocess, an injected
+chaos fault) deserve a few more chances before a trial is declared
+failed. The policy here is the standard one — capped exponential
+backoff with jitter so parallel workers don't retry in lockstep — with
+one repro-specific twist: the jitter stream is seeded, so a retried run
+is reproducible end to end.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import Callable, Iterator, TypeVar
+
+from repro.runtime.errors import RetryExhausted
+
+T = TypeVar("T")
+
+#: Sleep function signature, injectable for tests.
+SleepFn = Callable[[float], None]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Knobs of the retry loop.
+
+    Attributes:
+        max_attempts: total tries, including the first (1 = no retries).
+        base_delay: backoff before the first retry (seconds).
+        multiplier: backoff growth factor per retry.
+        max_delay: backoff cap (seconds).
+        jitter: extra random fraction of each delay, in ``[0, jitter)``.
+        seed: seed of the jitter stream (determinism across reruns).
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 2.0
+    jitter: float = 0.5
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("backoff delays must be non-negative")
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1")
+        if self.jitter < 0:
+            raise ValueError("jitter must be non-negative")
+
+    def backoff_delays(self) -> Iterator[float]:
+        """The sleep before retry 1, 2, ... (``max_attempts - 1`` values)."""
+        rng = random.Random(self.seed)
+        delay = self.base_delay
+        for _ in range(self.max_attempts - 1):
+            jittered = delay * (1.0 + self.jitter * rng.random())
+            yield min(jittered, self.max_delay)
+            delay = min(delay * self.multiplier, self.max_delay)
+
+
+def call_with_retries(
+    fn: Callable[[], T],
+    policy: RetryPolicy,
+    transient: tuple[type[BaseException], ...],
+    on_retry: Callable[[int, BaseException], None] | None = None,
+    sleep: SleepFn = time.sleep,
+) -> T:
+    """Call ``fn`` up to ``policy.max_attempts`` times.
+
+    Only exceptions in ``transient`` are retried; anything else
+    propagates immediately (a programming error is not a flake). After
+    the final attempt the last transient error is re-raised as
+    :class:`~repro.runtime.errors.RetryExhausted` with the original as
+    ``__cause__``. ``on_retry(attempt, error)`` fires before each
+    backoff sleep — attempt numbering starts at 1 for the first failure.
+    """
+    delays = policy.backoff_delays()
+    for attempt in range(1, policy.max_attempts + 1):
+        try:
+            return fn()
+        except transient as exc:
+            if attempt == policy.max_attempts:
+                raise RetryExhausted(
+                    f"{policy.max_attempts} attempt(s) failed; last error: "
+                    f"{type(exc).__name__}: {exc}") from exc
+            if on_retry is not None:
+                on_retry(attempt, exc)
+            sleep(next(delays))
+    raise AssertionError("unreachable")  # pragma: no cover

@@ -1,0 +1,245 @@
+"""Journalable trial outcomes: results and structured failures.
+
+A sweep is a grid of trials keyed by ``(net size, trial index)``. Each
+trial either produces a :class:`TrialResult` — a compact, JSON-safe
+projection of a :class:`~repro.core.result.RoutingResult` carrying
+everything the table statistics need (ratios, per-iteration history,
+provenance) — or a :class:`TrialFailure` recording *how* it died
+(exception, timeout, worker crash) without taking the sweep down.
+
+Results deliberately exclude the routing graph itself: journal records
+must stay small, and the statistics never look at geometry. Floats
+round-trip exactly through JSON (``repr`` serialization), so rows
+aggregated from journaled results are bit-identical to an in-memory run.
+"""
+
+from __future__ import annotations
+
+import math
+import traceback as traceback_module
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Mapping, Union
+
+from repro.runtime.errors import NonFiniteDelay, TrialTimeout
+from repro.runtime.provenance import KIND_DEGRADE, ProvenanceEvent
+
+if TYPE_CHECKING:
+    from repro.core.result import RoutingResult
+
+#: A trial's grid coordinates: (net size, trial index).
+TrialKey = tuple[int, int]
+
+#: Relative tolerance below which a delay change does not count as a win
+#: (mirrors :data:`repro.core.result.WIN_TOLERANCE`).
+_WIN_TOLERANCE = 1e-9
+
+FAILURE_EXCEPTION = "exception"
+FAILURE_TIMEOUT = "timeout"
+FAILURE_CRASH = "crash"
+
+
+@dataclass(frozen=True)
+class TrialResult:
+    """A completed trial, reduced to what the statistics consume.
+
+    Mirrors the ratio interface of
+    :class:`~repro.core.result.RoutingResult` (``delay_ratio``,
+    ``cost_ratio``, ``improved``, ``num_added_edges``, ``at_iteration``)
+    so the harness's extract functions accept either.
+    """
+
+    algorithm: str
+    model: str
+    delay: float
+    cost: float
+    base_delay: float
+    base_cost: float
+    #: (delay, cost) after each greedy edge addition, in order.
+    history: tuple[tuple[float, float], ...] = ()
+    provenance: tuple[ProvenanceEvent, ...] = ()
+    elapsed: float = 0.0
+
+    @property
+    def delay_ratio(self) -> float:
+        return self.delay / self.base_delay
+
+    @property
+    def cost_ratio(self) -> float:
+        return self.cost / self.base_cost
+
+    @property
+    def improved(self) -> bool:
+        return self.delay < self.base_delay * (1.0 - _WIN_TOLERANCE)
+
+    @property
+    def num_added_edges(self) -> int:
+        return len(self.history)
+
+    @property
+    def degraded(self) -> bool:
+        """Whether any delay came from a degraded (fallback) engine."""
+        return any(e.kind == KIND_DEGRADE for e in self.provenance)
+
+    def at_iteration(self, k: int) -> tuple[float, float]:
+        """(delay, cost) after the first ``k`` edge additions (0 = base)."""
+        if k == 0:
+            return (self.base_delay, self.base_cost)
+        if k > len(self.history):
+            raise IndexError(
+                f"iteration {k} requested but only {len(self.history)} "
+                f"edges were added")
+        return self.history[k - 1]
+
+    def to_json_dict(self) -> dict[str, Any]:
+        return {
+            "algorithm": self.algorithm,
+            "model": self.model,
+            "delay": self.delay,
+            "cost": self.cost,
+            "base_delay": self.base_delay,
+            "base_cost": self.base_cost,
+            "history": [list(step) for step in self.history],
+            "provenance": [e.to_json_dict() for e in self.provenance],
+            "elapsed": self.elapsed,
+        }
+
+    @classmethod
+    def from_json_dict(cls, data: Mapping[str, Any]) -> "TrialResult":
+        try:
+            return cls(
+                algorithm=str(data["algorithm"]),
+                model=str(data["model"]),
+                delay=float(data["delay"]),
+                cost=float(data["cost"]),
+                base_delay=float(data["base_delay"]),
+                base_cost=float(data["base_cost"]),
+                history=tuple((float(d), float(c))
+                              for d, c in data.get("history", [])),
+                provenance=tuple(ProvenanceEvent.from_json_dict(e)
+                                 for e in data.get("provenance", [])),
+                elapsed=float(data.get("elapsed", 0.0)),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ValueError(f"malformed trial result record: {exc}") from exc
+
+    @classmethod
+    def from_routing(cls, result: "RoutingResult",
+                     provenance: tuple[ProvenanceEvent, ...] = (),
+                     elapsed: float = 0.0) -> "TrialResult":
+        """Project a routing result, refusing non-finite delays.
+
+        NaN would propagate silently through every table mean, so a
+        non-finite objective is converted into a hard
+        :class:`~repro.runtime.errors.NonFiniteDelay` here, at the
+        boundary where it is still attributable to one trial.
+        """
+        for label, value in (("delay", result.delay),
+                             ("base delay", result.base_delay)):
+            if not math.isfinite(value):
+                raise NonFiniteDelay(
+                    f"{result.algorithm} on {result.graph.net.name}: "
+                    f"{label} is {value!r}")
+        return cls(
+            algorithm=result.algorithm,
+            model=result.model,
+            delay=result.delay,
+            cost=result.cost,
+            base_delay=result.base_delay,
+            base_cost=result.base_cost,
+            history=tuple((rec.delay, rec.cost) for rec in result.history),
+            provenance=provenance,
+            elapsed=elapsed,
+        )
+
+
+@dataclass(frozen=True)
+class TrialFailure:
+    """A trial that did not produce a result — and why.
+
+    Attributes:
+        kind: ``"exception"``, ``"timeout"`` or ``"crash"`` (worker died).
+        error_type: exception class name, for grouping.
+        message: one-line cause.
+        traceback: full formatted traceback where one exists.
+        elapsed: wall time spent before the failure (seconds).
+        provenance: events recorded before the trial died.
+    """
+
+    kind: str
+    error_type: str
+    message: str
+    traceback: str = ""
+    elapsed: float = 0.0
+    provenance: tuple[ProvenanceEvent, ...] = field(default=())
+
+    @classmethod
+    def from_exception(cls, exc: BaseException, elapsed: float = 0.0,
+                       provenance: tuple[ProvenanceEvent, ...] = ()
+                       ) -> "TrialFailure":
+        kind = (FAILURE_TIMEOUT if isinstance(exc, TrialTimeout)
+                else FAILURE_EXCEPTION)
+        return cls(
+            kind=kind,
+            error_type=type(exc).__name__,
+            message=str(exc),
+            traceback="".join(traceback_module.format_exception(exc)),
+            elapsed=elapsed,
+            provenance=provenance,
+        )
+
+    def summary(self) -> str:
+        return f"[{self.kind}] {self.error_type}: {self.message}"
+
+    def to_json_dict(self) -> dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "error_type": self.error_type,
+            "message": self.message,
+            "traceback": self.traceback,
+            "elapsed": self.elapsed,
+            "provenance": [e.to_json_dict() for e in self.provenance],
+        }
+
+    @classmethod
+    def from_json_dict(cls, data: Mapping[str, Any]) -> "TrialFailure":
+        try:
+            return cls(
+                kind=str(data["kind"]),
+                error_type=str(data["error_type"]),
+                message=str(data["message"]),
+                traceback=str(data.get("traceback", "")),
+                elapsed=float(data.get("elapsed", 0.0)),
+                provenance=tuple(ProvenanceEvent.from_json_dict(e)
+                                 for e in data.get("provenance", [])),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ValueError(f"malformed trial failure record: {exc}") from exc
+
+
+#: What one trial yields: a result, or a structured failure.
+TrialOutcome = Union[TrialResult, TrialFailure]
+
+
+def outcome_to_json_dict(key: TrialKey, outcome: TrialOutcome
+                         ) -> dict[str, Any]:
+    """The journal-record form of one keyed outcome."""
+    size, trial = key
+    status = "ok" if isinstance(outcome, TrialResult) else "failed"
+    body_key = "result" if status == "ok" else "failure"
+    return {"key": [size, trial], "status": status,
+            body_key: outcome.to_json_dict()}
+
+
+def outcome_from_json_dict(data: Mapping[str, Any]
+                           ) -> tuple[TrialKey, TrialOutcome]:
+    """Inverse of :func:`outcome_to_json_dict`; raises ``ValueError``."""
+    try:
+        size, trial = (int(v) for v in data["key"])
+        status = data["status"]
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ValueError(f"malformed journal record: {exc}") from exc
+    if status == "ok":
+        return (size, trial), TrialResult.from_json_dict(data["result"])
+    if status == "failed":
+        return (size, trial), TrialFailure.from_json_dict(data["failure"])
+    raise ValueError(f"malformed journal record: unknown status {status!r}")

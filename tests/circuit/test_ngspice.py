@@ -4,6 +4,8 @@ The parser is tested against captured-format text (no binary needed);
 the execution path runs only where an ngspice binary actually exists.
 """
 
+from pathlib import Path
+
 import numpy as np
 import pytest
 
@@ -80,3 +82,168 @@ class TestExecution:
         measured = delay_to_fraction(result.times,
                                      result.voltage(node_label(worst)), 1.0)
         assert measured == pytest.approx(delays[worst], rel=0.05)
+
+
+class FakeCompleted:
+    def __init__(self, returncode=0, stdout="", stderr=""):
+        self.returncode = returncode
+        self.stdout = stdout
+        self.stderr = stderr
+
+
+class TestFailurePaths:
+    """Mocked-subprocess coverage of every runner failure mode.
+
+    No ngspice binary is involved: ``subprocess.run`` is monkeypatched,
+    so these run everywhere and exercise timeout, nonzero exit, missing
+    binary, unparseable stdout, and deck cleanup/retention.
+    """
+
+    DECK = "* mocked deck\n.end\n"
+
+    @pytest.fixture
+    def runner(self):
+        from repro.circuit.ngspice import NgspiceRunner
+
+        return NgspiceRunner(binary="/fake/ngspice", timeout=2.0)
+
+    def test_timeout_raises_and_cleans_up(self, runner, monkeypatch):
+        import subprocess
+
+        from repro.circuit import ngspice
+
+        def fake_run(cmd, **kwargs):
+            raise subprocess.TimeoutExpired(cmd, kwargs["timeout"])
+
+        monkeypatch.setattr(ngspice.subprocess, "run", fake_run)
+        with pytest.raises(NgspiceError, match="timed out after 2") as info:
+            runner.run(self.DECK)
+        assert info.value.deck_path is not None
+        assert not info.value.deck_path.exists()
+        assert not info.value.deck_path.parent.exists()
+
+    def test_nonzero_exit_raises_with_stderr(self, runner, monkeypatch):
+        from repro.circuit import ngspice
+
+        monkeypatch.setattr(
+            ngspice.subprocess, "run",
+            lambda cmd, **kw: FakeCompleted(returncode=1,
+                                            stderr="singular matrix"))
+        with pytest.raises(NgspiceError,
+                           match="exited with 1: singular matrix") as info:
+            runner.run(self.DECK)
+        assert not info.value.deck_path.parent.exists()
+
+    def test_missing_binary_exec_failure(self, runner, monkeypatch):
+        from repro.circuit import ngspice
+
+        def fake_run(cmd, **kwargs):
+            raise FileNotFoundError("/fake/ngspice")
+
+        monkeypatch.setattr(ngspice.subprocess, "run", fake_run)
+        with pytest.raises(NgspiceError, match="could not be run"):
+            runner.run(self.DECK)
+
+    def test_no_binary_on_path(self, monkeypatch):
+        from repro.circuit import ngspice
+
+        monkeypatch.setattr(ngspice, "find_ngspice", lambda: None)
+        with pytest.raises(NgspiceError, match="no ngspice binary"):
+            ngspice.NgspiceRunner().run(self.DECK)
+
+    def test_garbage_stdout_raises_and_cleans_up(self, runner, monkeypatch):
+        from repro.circuit import ngspice
+
+        monkeypatch.setattr(
+            ngspice.subprocess, "run",
+            lambda cmd, **kw: FakeCompleted(stdout="%%% not spice %%%"))
+        with pytest.raises(NgspiceError, match="no .print tran table") as info:
+            runner.run(self.DECK)
+        assert not info.value.deck_path.parent.exists()
+
+    def test_keep_failed_decks_preserves_deck(self, monkeypatch):
+        from repro.circuit import ngspice
+
+        runner = ngspice.NgspiceRunner(binary="/fake/ngspice",
+                                       keep_failed_decks=True)
+        monkeypatch.setattr(
+            ngspice.subprocess, "run",
+            lambda cmd, **kw: FakeCompleted(returncode=9, stderr="boom"))
+        with pytest.raises(NgspiceError, match="deck kept at") as info:
+            runner.run(self.DECK)
+        deck_path = info.value.deck_path
+        try:
+            assert deck_path.read_text() == self.DECK
+        finally:
+            import shutil
+
+            shutil.rmtree(deck_path.parent, ignore_errors=True)
+
+    def test_success_path_cleans_up_workdir(self, runner, monkeypatch):
+        from repro.circuit import ngspice
+
+        seen = {}
+
+        def fake_run(cmd, **kwargs):
+            seen["deck"] = Path(cmd[-1]).read_text()
+            seen["workdir"] = Path(cmd[-1]).parent
+            return FakeCompleted(stdout=SAMPLE_OUTPUT)
+
+        monkeypatch.setattr(ngspice.subprocess, "run", fake_run)
+        result = runner.run(self.DECK)
+        assert seen["deck"] == self.DECK
+        assert not seen["workdir"].exists()
+        assert result.voltage("n1")[2] == pytest.approx(0.5)
+
+    def test_invalid_timeout_rejected(self):
+        from repro.circuit.ngspice import NgspiceRunner
+
+        with pytest.raises(ValueError, match="timeout must be positive"):
+            NgspiceRunner(timeout=0.0)
+
+
+class TestNgspiceDelayModel:
+    def test_registered_as_oracle(self):
+        from repro.delay.models import _FACTORIES, NgspiceDelayModel
+
+        assert _FACTORIES["ngspice"] is NgspiceDelayModel
+
+    def test_delays_via_stub_runner(self, tech, mst10, monkeypatch):
+        """A stubbed runner feeding a synthetic ramp yields 50% crossings."""
+        from repro.circuit.ngspice import NgspiceResult
+        from repro.delay.models import NgspiceDelayModel
+        from repro.delay.rc_builder import node_label
+
+        sinks = list(mst10.sink_indices())
+        times = np.linspace(0.0, 1e-9, 101)
+
+        class StubRunner:
+            def run(self, deck):
+                # Every sink follows the same linear 0→1V ramp.
+                volts = {node_label(s).lower(): times / times[-1]
+                         for s in sinks}
+                return NgspiceResult(times=times, voltages=volts)
+
+        model = NgspiceDelayModel(tech, runner=StubRunner())
+        delays = model.delays(mst10)
+        assert set(delays) == set(sinks)
+        for value in delays.values():
+            assert value == pytest.approx(0.5e-9, rel=1e-6)
+
+    def test_never_crossing_raises(self, tech, mst10):
+        from repro.circuit.ngspice import NgspiceResult
+        from repro.delay.models import NgspiceDelayModel
+        from repro.delay.rc_builder import node_label
+
+        sinks = list(mst10.sink_indices())
+        times = np.linspace(0.0, 1e-9, 11)
+
+        class FlatRunner:
+            def run(self, deck):
+                volts = {node_label(s).lower(): np.zeros_like(times)
+                         for s in sinks}
+                return NgspiceResult(times=times, voltages=volts)
+
+        model = NgspiceDelayModel(tech, runner=FlatRunner())
+        with pytest.raises(NgspiceError, match="never crossed"):
+            model.delays(mst10)

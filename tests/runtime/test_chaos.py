@@ -1,0 +1,126 @@
+"""Deterministic fault injection: rates, modes, and reproducibility."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.delay.models import DelayModel
+from repro.runtime import ChaosDelayModel, ChaosPolicy, FaultInjected, collecting
+from repro.runtime.chaos import chaos_seed
+from repro.runtime.provenance import KIND_FAULT
+
+
+class FixedModel(DelayModel):
+    """An oracle that always answers the same, counting its calls."""
+
+    name = "fixed"
+
+    def __init__(self, tech, value=1e-9):
+        super().__init__(tech)
+        self.value = value
+        self.calls = 0
+
+    def delays(self, graph, widths=None):
+        self.calls += 1
+        return {1: self.value, 2: self.value * 2}
+
+
+def outcome_sequence(model, n=24):
+    """Categorize ``n`` oracle calls: 'ok', 'nan', or 'raise'."""
+    out = []
+    for _ in range(n):
+        try:
+            delays = model.delays(None)
+        except FaultInjected:
+            out.append("raise")
+            continue
+        out.append("nan" if any(math.isnan(v) for v in delays.values())
+                   else "ok")
+    return out
+
+
+class TestChaosPolicy:
+    @pytest.mark.parametrize("bad", [
+        {"raise_rate": -0.1},
+        {"nan_rate": 1.5},
+        {"raise_rate": 0.6, "hang_rate": 0.6},
+        {"hang_seconds": -1.0},
+    ])
+    def test_validation(self, bad):
+        with pytest.raises(ValueError):
+            ChaosPolicy(**bad)
+
+    def test_json_round_trip(self):
+        policy = ChaosPolicy(seed=3, raise_rate=0.2, hang_rate=0.1,
+                             nan_rate=0.05, hang_seconds=12.0)
+        assert ChaosPolicy.from_json_dict(policy.to_json_dict()) == policy
+
+    def test_fault_rate(self):
+        policy = ChaosPolicy(raise_rate=0.2, hang_rate=0.1, nan_rate=0.05)
+        assert policy.fault_rate == pytest.approx(0.35)
+
+    def test_seed_mixes_salt(self):
+        policy = ChaosPolicy(seed=5)
+        assert chaos_seed(policy, "net_a") != chaos_seed(policy, "net_b")
+        assert chaos_seed(policy, "net_a") == chaos_seed(policy, "net_a")
+
+
+class TestChaosDelayModel:
+    def test_rate_zero_is_passthrough(self, tech):
+        inner = FixedModel(tech)
+        chaos = ChaosDelayModel(inner, ChaosPolicy(seed=1))
+        for _ in range(10):
+            assert chaos.delays(None) == {1: 1e-9, 2: 2e-9}
+        assert inner.calls == 10
+
+    def test_raise_rate_one_always_raises(self, tech):
+        inner = FixedModel(tech)
+        chaos = ChaosDelayModel(inner, ChaosPolicy(seed=1, raise_rate=1.0))
+        for _ in range(5):
+            with pytest.raises(FaultInjected):
+                chaos.delays(None)
+        assert inner.calls == 0  # the real oracle is never consulted
+
+    def test_nan_rate_one_poisons_every_sink(self, tech):
+        chaos = ChaosDelayModel(FixedModel(tech),
+                                ChaosPolicy(seed=1, nan_rate=1.0))
+        delays = chaos.delays(None)
+        assert set(delays) == {1, 2}
+        assert all(math.isnan(v) for v in delays.values())
+
+    def test_hang_sleeps_then_raises(self, tech):
+        sleeps = []
+        chaos = ChaosDelayModel(
+            FixedModel(tech),
+            ChaosPolicy(seed=1, hang_rate=1.0, hang_seconds=99.0),
+            sleep=sleeps.append)
+        with pytest.raises(FaultInjected, match="hang"):
+            chaos.delays(None)
+        assert sleeps == [99.0]
+
+    def test_same_seed_same_salt_same_fault_pattern(self, tech):
+        policy = ChaosPolicy(seed=7, raise_rate=0.3, nan_rate=0.2)
+        a = ChaosDelayModel(FixedModel(tech), policy, salt="rand10_t3")
+        b = ChaosDelayModel(FixedModel(tech), policy, salt="rand10_t3")
+        assert outcome_sequence(a) == outcome_sequence(b)
+
+    def test_different_salt_different_pattern(self, tech):
+        policy = ChaosPolicy(seed=7, raise_rate=0.5)
+        a = ChaosDelayModel(FixedModel(tech), policy, salt="rand10_t3")
+        b = ChaosDelayModel(FixedModel(tech), policy, salt="rand10_t4")
+        assert outcome_sequence(a) != outcome_sequence(b)
+
+    def test_faults_record_provenance(self, tech):
+        chaos = ChaosDelayModel(FixedModel(tech),
+                                ChaosPolicy(seed=1, raise_rate=1.0))
+        with collecting() as events:
+            with pytest.raises(FaultInjected):
+                chaos.delays(None)
+        assert [e.kind for e in events] == [KIND_FAULT]
+        assert events[0].detail == "raise"
+
+    def test_name_wraps_inner(self, tech):
+        chaos = ChaosDelayModel(FixedModel(tech), ChaosPolicy())
+        assert chaos.name == "chaos(fixed)"

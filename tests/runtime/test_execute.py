@@ -1,0 +1,174 @@
+"""Policy orchestration: resume semantics, provenance capture, wiring."""
+
+from __future__ import annotations
+
+import math
+from functools import partial
+from types import SimpleNamespace
+
+import pytest
+
+from repro.runtime import (
+    NonFiniteDelay,
+    PoolTask,
+    ProvenanceEvent,
+    RuntimePolicy,
+    TrialFailure,
+    TrialResult,
+    describe_runner,
+    open_journal,
+    record,
+    run_trial,
+    run_trials,
+    sweep_tasks,
+)
+from repro.runtime.provenance import KIND_RETRY
+
+
+class CountingTrial:
+    """A trial fn that remembers which keys it actually executed."""
+
+    def __init__(self, fail_keys=()):
+        self.executed = []
+        self.fail_keys = set(fail_keys)
+
+    def __call__(self, size, trial):
+        self.executed.append((size, trial))
+        if (size, trial) in self.fail_keys:
+            raise RuntimeError(f"scripted failure for {(size, trial)}")
+        return TrialResult(algorithm="test", model="none",
+                           delay=float(size) + trial, cost=1.0,
+                           base_delay=1.0, base_cost=1.0)
+
+
+def tasks_for(fn, keys):
+    return [PoolTask(key=key, fn=fn, args=key) for key in keys]
+
+
+def fake_routing(delay=2.0, base_delay=4.0):
+    """The minimal RoutingResult surface TrialResult.from_routing reads."""
+    return SimpleNamespace(
+        algorithm="ldrg", model="spice", delay=delay, cost=10.0,
+        base_delay=base_delay, base_cost=20.0,
+        history=[SimpleNamespace(delay=3.0, cost=15.0)],
+        graph=SimpleNamespace(net=SimpleNamespace(name="fake")))
+
+
+class TestRuntimePolicy:
+    def test_defaults_are_serial_tolerant(self):
+        policy = RuntimePolicy.tolerant()
+        assert policy.workers == 0
+        assert not policy.strict
+
+    @pytest.mark.parametrize("bad", [
+        {"workers": -1},
+        {"trial_timeout": 0.0},
+        {"resume": True},                      # resume without a journal
+        {"strict": True, "workers": 2},
+    ])
+    def test_validation(self, bad):
+        with pytest.raises(ValueError):
+            RuntimePolicy(**bad)
+
+
+class TestRunTrials:
+    KEYS = [(5, 0), (5, 1), (10, 0)]
+
+    def test_plain_run_executes_everything(self, tmp_path):
+        fn = CountingTrial()
+        policy = RuntimePolicy(run_root=tmp_path)
+        journal = open_journal(policy, {"kind": "t"})
+        outcomes = run_trials(tasks_for(fn, self.KEYS), policy, journal)
+        assert sorted(fn.executed) == sorted(self.KEYS)
+        assert set(outcomes) == set(self.KEYS)
+        assert journal.completed_keys() == set(self.KEYS)
+
+    def test_resume_skips_journaled_trials(self, tmp_path):
+        policy = RuntimePolicy(run_root=tmp_path)
+        journal = open_journal(policy, {"kind": "t"})
+        first = CountingTrial()
+        before = run_trials(tasks_for(first, self.KEYS[:2]), policy, journal)
+
+        resumed_policy = RuntimePolicy(run_root=tmp_path, resume=True)
+        second = CountingTrial()
+        after = run_trials(tasks_for(second, self.KEYS), resumed_policy,
+                           open_journal(resumed_policy, {"kind": "t"}))
+        assert second.executed == [(10, 0)]  # only the missing trial ran
+        assert after[(5, 0)] == before[(5, 0)]
+        assert after[(5, 1)] == before[(5, 1)]
+
+    def test_resume_keeps_failures_by_default(self, tmp_path):
+        policy = RuntimePolicy(run_root=tmp_path)
+        journal = open_journal(policy, {"kind": "t"})
+        run_trials(tasks_for(CountingTrial(fail_keys=[(5, 0)]),
+                             self.KEYS[:1]), policy, journal)
+
+        resumed = RuntimePolicy(run_root=tmp_path, resume=True)
+        fn = CountingTrial()
+        outcomes = run_trials(tasks_for(fn, self.KEYS[:1]), resumed,
+                              open_journal(resumed, {"kind": "t"}))
+        assert fn.executed == []
+        assert isinstance(outcomes[(5, 0)], TrialFailure)
+
+    def test_retry_failures_reruns_only_failures(self, tmp_path):
+        policy = RuntimePolicy(run_root=tmp_path)
+        journal = open_journal(policy, {"kind": "t"})
+        run_trials(tasks_for(CountingTrial(fail_keys=[(5, 0)]),
+                             self.KEYS[:2]), policy, journal)
+
+        resumed = RuntimePolicy(run_root=tmp_path, resume=True,
+                                retry_failures=True)
+        fn = CountingTrial()  # healthy this time
+        outcomes = run_trials(tasks_for(fn, self.KEYS[:2]), resumed,
+                              open_journal(resumed, {"kind": "t"}))
+        assert fn.executed == [(5, 0)]
+        assert isinstance(outcomes[(5, 0)], TrialResult)
+        assert isinstance(outcomes[(5, 1)], TrialResult)
+
+    def test_no_journal_runs_everything(self):
+        fn = CountingTrial()
+        run_trials(tasks_for(fn, self.KEYS), RuntimePolicy.tolerant())
+        assert sorted(fn.executed) == sorted(self.KEYS)
+
+
+class TestRunTrial:
+    def test_projects_routing_result(self):
+        result = run_trial(lambda net: fake_routing(), None)
+        assert isinstance(result, TrialResult)
+        assert result.delay_ratio == pytest.approx(0.5)
+        assert result.history == ((3.0, 15.0),)
+        assert result.elapsed >= 0.0
+
+    def test_collects_provenance(self):
+        def run_one(net):
+            record(ProvenanceEvent(kind=KIND_RETRY, source="x", detail="d"))
+            return fake_routing()
+
+        result = run_trial(run_one, None)
+        assert [e.kind for e in result.provenance] == [KIND_RETRY]
+
+    def test_non_finite_delay_refused(self):
+        with pytest.raises(NonFiniteDelay, match="delay is nan"):
+            run_trial(lambda net: fake_routing(delay=math.nan), None)
+
+
+class TestSweepTasks:
+    def test_grid_keys(self):
+        nets = {5: ["a", "b"], 10: ["c"]}
+        tasks = sweep_tasks(nets, lambda net: None)
+        assert [t.key for t in tasks] == [(5, 0), (5, 1), (10, 0)]
+        assert tasks[0].args[1] == "a"
+        assert tasks[2].args[1] == "c"
+
+
+class TestDescribeRunner:
+    def test_unwraps_partial(self):
+        def runner(config, net):
+            return None
+
+        described = describe_runner(partial(runner, "cfg"))
+        assert described.endswith(":TestDescribeRunner.test_unwraps_partial."
+                                  "<locals>.runner")
+
+    def test_module_function(self):
+        assert describe_runner(run_trial) == "repro.runtime.execute:run_trial"

@@ -1,0 +1,154 @@
+"""End-to-end robustness: chaos sweeps, parallel/resume determinism.
+
+Includes the headline acceptance test: SIGKILL a journaled table run
+mid-sweep, resume it, and require byte-identical output to a run that
+was never interrupted.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import time
+from functools import partial
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.harness import ExperimentConfig, run_size_sweep
+from repro.experiments.reporting import format_rows
+from repro.experiments.tables import run_ert_trial, run_ldrg_trial, table6
+from repro.runtime import ChaosPolicy, FaultInjected, RuntimePolicy
+
+SMALL = dict(sizes=(5,), trials=6, segments_search=1, segments_eval=1)
+
+
+def small_config(**overrides):
+    return ExperimentConfig(**{**SMALL, **overrides})
+
+
+class TestChaosSweep:
+    CHAOS = ChaosPolicy(seed=7, raise_rate=0.2)
+
+    def test_completes_and_counts_failures(self):
+        config = small_config(trials=10, chaos=self.CHAOS)
+        rows = run_size_sweep(config, partial(run_ert_trial, config),
+                              runtime=RuntimePolicy.tolerant())
+        (row,) = rows
+        assert row.failed > 0  # 20% per-call chaos must cost some trials
+        assert row.num_trials + row.failed == 10
+        assert row.num_trials > 0
+
+    def test_chaos_rows_are_reproducible(self):
+        def run():
+            config = small_config(trials=10, chaos=self.CHAOS)
+            return run_size_sweep(config, partial(run_ert_trial, config),
+                                  runtime=RuntimePolicy.tolerant())
+
+        assert run() == run()
+
+    def test_legacy_strict_path_aborts_on_fault(self):
+        config = small_config(chaos=ChaosPolicy(seed=1, raise_rate=1.0))
+        with pytest.raises(FaultInjected):
+            run_size_sweep(config, partial(run_ert_trial, config))
+
+    def test_failed_rows_render_annotation(self):
+        config = small_config(trials=10, chaos=self.CHAOS)
+        rows = run_size_sweep(config, partial(run_ert_trial, config),
+                              runtime=RuntimePolicy.tolerant())
+        text = format_rows(rows)
+        assert f"{rows[0].num_trials} ok, {rows[0].failed} failed" in text
+
+    def test_clean_rows_render_without_annotation(self):
+        config = small_config(trials=3)
+        rows = run_size_sweep(config, partial(run_ert_trial, config))
+        text = format_rows(rows)
+        assert "ok" not in text
+        assert "[" not in text
+
+
+class TestWorkerDeterminism:
+    def test_parallel_rows_match_serial(self):
+        config = small_config(trials=4)
+        runner = partial(run_ldrg_trial, config)
+        serial = run_size_sweep(config, runner,
+                                runtime=RuntimePolicy.tolerant())
+        parallel = run_size_sweep(config, runner,
+                                  runtime=RuntimePolicy(workers=2))
+        assert parallel == serial
+
+    def test_table_render_identical_across_workers(self):
+        config = small_config(trials=4)
+        serial = table6(config, runtime=RuntimePolicy.tolerant()).render()
+        parallel = table6(config, runtime=RuntimePolicy(workers=3)).render()
+        assert parallel == serial
+
+
+class TestJournalResume:
+    def test_resumed_rows_identical(self, tmp_path):
+        config = small_config(trials=4)
+        runner = partial(run_ldrg_trial, config)
+        first = run_size_sweep(config, runner,
+                               runtime=RuntimePolicy(run_root=tmp_path))
+        resumed = run_size_sweep(
+            config, runner,
+            runtime=RuntimePolicy(run_root=tmp_path, resume=True))
+        assert resumed == first
+        # Exactly one run directory, with one record per trial.
+        (run_dir,) = [p for p in tmp_path.iterdir() if p.is_dir()]
+        assert len(list(run_dir.glob("trial_*.json"))) == 4
+        assert (run_dir / "manifest.json").exists()
+
+    def test_different_config_different_run_dir(self, tmp_path):
+        for seed in (1, 2):
+            config = small_config(trials=2, seed=seed)
+            run_size_sweep(config, partial(run_ldrg_trial, config),
+                           runtime=RuntimePolicy(run_root=tmp_path))
+        assert len([p for p in tmp_path.iterdir() if p.is_dir()]) == 2
+
+
+CLI_TABLE = ["table", "6", "--trials", "4", "--sizes", "5,10"]
+
+
+def run_cli(args, **kwargs):
+    env = {**os.environ,
+           "PYTHONPATH": str(Path(__file__).parents[2] / "src")}
+    return subprocess.run([sys.executable, "-m", "repro", *args],
+                          capture_output=True, text=True, env=env, **kwargs)
+
+
+@pytest.mark.slow
+class TestKillResumeAcceptance:
+    def test_sigkill_then_resume_is_byte_identical(self, tmp_path):
+        """Kill a journaled run mid-sweep; resume must reproduce exactly."""
+        reference = run_cli(CLI_TABLE)
+        assert reference.returncode == 0
+
+        run_dir = tmp_path / "journal"
+        env = {**os.environ,
+               "PYTHONPATH": str(Path(__file__).parents[2] / "src")}
+        victim = subprocess.Popen(
+            [sys.executable, "-m", "repro", *CLI_TABLE,
+             "--run-dir", str(run_dir)],
+            stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL, env=env)
+        try:
+            # SIGKILL as soon as at least one trial is journaled.
+            deadline = time.monotonic() + 60.0
+            while time.monotonic() < deadline:
+                if list(run_dir.glob("*/trial_*.json")):
+                    break
+                if victim.poll() is not None:
+                    break  # finished before we could kill it — still valid
+                time.sleep(0.02)
+            victim.kill()
+        finally:
+            victim.wait(timeout=30)
+
+        journaled = list(run_dir.glob("*/trial_*.json"))
+        assert journaled, "run died before journaling anything"
+
+        resumed = run_cli([*CLI_TABLE, "--run-dir", str(run_dir),
+                           "--resume"])
+        assert resumed.returncode == 0
+        assert resumed.stdout == reference.stdout

@@ -1,0 +1,144 @@
+"""Crash-safety and round-trip tests for the trial journal."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.runtime import (
+    ProvenanceEvent,
+    RunJournal,
+    TrialFailure,
+    TrialResult,
+    atomic_write_text,
+    fingerprint,
+)
+from repro.runtime.journal import _record_name
+from repro.runtime.provenance import KIND_DEGRADE, KIND_RETRY
+from repro.runtime.trial import outcome_from_json_dict, outcome_to_json_dict
+
+
+def make_result(delay=0.1 + 0.2, cost=12345.678901234567) -> TrialResult:
+    """A result with floats that expose any lossy serialization."""
+    return TrialResult(
+        algorithm="ldrg", model="spice", delay=delay, cost=cost,
+        base_delay=1.0 / 3.0, base_cost=9876.5,
+        history=((0.25, 100.0), (delay, cost)),
+        provenance=(
+            ProvenanceEvent(kind=KIND_RETRY, source="ngspice",
+                            detail="attempt 1: OSError: boom"),
+            ProvenanceEvent(kind=KIND_DEGRADE, source="ngspice",
+                            target="spice-transient", detail="gave up"),
+        ),
+        elapsed=0.0421)
+
+
+def make_failure() -> TrialFailure:
+    return TrialFailure(kind="timeout", error_type="TrialTimeout",
+                        message="trial exceeded its 2s budget",
+                        traceback="Traceback ...\n", elapsed=2.5)
+
+
+class TestFingerprint:
+    def test_stable_across_key_order(self):
+        a = {"sizes": [5, 10], "seed": 1994}
+        b = {"seed": 1994, "sizes": [5, 10]}
+        assert fingerprint(a) == fingerprint(b)
+
+    def test_sensitive_to_values(self):
+        base = {"sizes": [5, 10], "seed": 1994}
+        assert fingerprint(base) != fingerprint({**base, "seed": 1995})
+        assert fingerprint(base) != fingerprint({**base, "sizes": [5, 20]})
+
+    def test_is_short_hex(self):
+        digest = fingerprint({"x": 1})
+        assert len(digest) == 16
+        int(digest, 16)  # must parse as hex
+
+
+class TestAtomicWrite:
+    def test_writes_content(self, tmp_path):
+        path = tmp_path / "f.json"
+        atomic_write_text(path, "hello\n")
+        assert path.read_text() == "hello\n"
+
+    def test_overwrites_atomically(self, tmp_path):
+        path = tmp_path / "f.json"
+        atomic_write_text(path, "old")
+        atomic_write_text(path, "new")
+        assert path.read_text() == "new"
+
+    def test_no_tmp_files_left_behind(self, tmp_path):
+        atomic_write_text(tmp_path / "a.json", "x")
+        atomic_write_text(tmp_path / "b.json", "y")
+        leftovers = [p.name for p in tmp_path.iterdir()
+                     if ".tmp" in p.name]
+        assert leftovers == []
+
+
+class TestOutcomeRoundTrip:
+    def test_result_round_trips_exact_floats(self):
+        result = make_result()
+        data = outcome_to_json_dict((10, 3), result)
+        # Simulate the real journal path: through JSON text and back.
+        key, loaded = outcome_from_json_dict(json.loads(json.dumps(data)))
+        assert key == (10, 3)
+        assert loaded == result
+        assert loaded.delay == result.delay  # bit-identical, not approx
+        assert loaded.provenance == result.provenance
+
+    def test_failure_round_trips(self):
+        failure = make_failure()
+        data = outcome_to_json_dict((5, 0), failure)
+        key, loaded = outcome_from_json_dict(json.loads(json.dumps(data)))
+        assert key == (5, 0)
+        assert loaded == failure
+        assert loaded.kind == "timeout"
+
+    def test_unknown_status_rejected(self):
+        with pytest.raises(ValueError, match="unknown status"):
+            outcome_from_json_dict({"key": [5, 0], "status": "weird"})
+
+    def test_missing_fields_rejected(self):
+        with pytest.raises(ValueError, match="malformed"):
+            outcome_from_json_dict({"status": "ok"})
+
+
+class TestRunJournal:
+    def test_record_and_load(self, tmp_path):
+        journal = RunJournal(tmp_path, "abc123", manifest={"kind": "test"})
+        result, failure = make_result(), make_failure()
+        journal.record((5, 0), result)
+        journal.record((10, 1), failure)
+        loaded = journal.load()
+        assert loaded == {(5, 0): result, (10, 1): failure}
+        assert journal.completed_keys() == {(5, 0), (10, 1)}
+
+    def test_manifest_written_once(self, tmp_path):
+        RunJournal(tmp_path, "abc123", manifest={"kind": "first"})
+        RunJournal(tmp_path, "abc123", manifest={"kind": "second"})
+        manifest = json.loads(
+            (tmp_path / "abc123" / "manifest.json").read_text())
+        assert manifest["config"] == {"kind": "first"}
+        assert manifest["fingerprint"] == "abc123"
+
+    def test_record_is_idempotent(self, tmp_path):
+        journal = RunJournal(tmp_path, "abc123")
+        journal.record((5, 0), make_result())
+        journal.record((5, 0), make_result())
+        assert len(journal.load()) == 1
+
+    def test_malformed_record_skipped(self, tmp_path):
+        journal = RunJournal(tmp_path, "abc123")
+        journal.record((5, 0), make_result())
+        # A truncated write under the final name must not kill resume.
+        (journal.directory / _record_name((5, 1))).write_text('{"key": [5')
+        (journal.directory / "trial_alien.json").write_text("not json")
+        assert set(journal.load()) == {(5, 0)}
+
+    def test_separate_fingerprints_isolated(self, tmp_path):
+        a = RunJournal(tmp_path, "aaaa")
+        b = RunJournal(tmp_path, "bbbb")
+        a.record((5, 0), make_result())
+        assert b.load() == {}

@@ -1,0 +1,135 @@
+"""Engine ladder: retries, degradation with provenance, NaN promotion."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.delay.models import DelayModel, SpiceDelayModel
+from repro.runtime import (
+    NonFiniteDelay,
+    ResilientDelayModel,
+    RetryExhausted,
+    RetryPolicy,
+    collecting,
+    resilient_spice_model,
+)
+from repro.runtime.provenance import KIND_DEGRADE, KIND_RETRY
+
+FAST_RETRY = RetryPolicy(max_attempts=3, base_delay=0.0, jitter=0.0)
+
+
+class ScriptedModel(DelayModel):
+    """An oracle that fails its first ``failures`` calls, then answers."""
+
+    def __init__(self, tech, name, failures=0, exc=OSError("engine down"),
+                 value=1e-9):
+        super().__init__(tech)
+        self.name = name
+        self.failures = failures
+        self.exc = exc
+        self.value = value
+        self.calls = 0
+
+    def delays(self, graph, widths=None):
+        self.calls += 1
+        if self.calls <= self.failures:
+            raise self.exc
+        return {1: self.value}
+
+
+def resilient(tech, *models, retry=FAST_RETRY):
+    return ResilientDelayModel(models, retry=retry, sleep=lambda _: None)
+
+
+class TestResilientDelayModel:
+    def test_healthy_first_rung_no_events(self, tech):
+        good = ScriptedModel(tech, "a")
+        with collecting() as events:
+            delays = resilient(tech, good).delays(None)
+        assert delays == {1: 1e-9}
+        assert events == []
+
+    def test_transient_flake_retries_same_rung(self, tech):
+        flaky = ScriptedModel(tech, "a", failures=2)
+        backup = ScriptedModel(tech, "b")
+        with collecting() as events:
+            delays = resilient(tech, flaky, backup).delays(None)
+        assert delays == {1: 1e-9}
+        assert flaky.calls == 3
+        assert backup.calls == 0
+        assert [e.kind for e in events] == [KIND_RETRY, KIND_RETRY]
+
+    def test_dead_rung_degrades_with_provenance(self, tech):
+        dead = ScriptedModel(tech, "primary", failures=99)
+        backup = ScriptedModel(tech, "fallback", value=2e-9)
+        with collecting() as events:
+            delays = resilient(tech, dead, backup).delays(None)
+        assert delays == {1: 2e-9}
+        degrades = [e for e in events if e.kind == KIND_DEGRADE]
+        assert len(degrades) == 1
+        assert degrades[0].source == "primary"
+        assert degrades[0].target == "fallback"
+        assert "OSError" in degrades[0].detail
+
+    def test_all_rungs_dead_raises_exhausted(self, tech):
+        a = ScriptedModel(tech, "a", failures=99)
+        b = ScriptedModel(tech, "b", failures=99)
+        with pytest.raises(RetryExhausted, match="all 2 engine"):
+            resilient(tech, a, b).delays(None)
+
+    def test_non_transient_error_propagates(self, tech):
+        buggy = ScriptedModel(tech, "a", failures=99, exc=KeyError("bug"))
+        backup = ScriptedModel(tech, "b")
+        with pytest.raises(KeyError):
+            resilient(tech, buggy, backup).delays(None)
+        assert buggy.calls == 1
+        assert backup.calls == 0
+
+    def test_nan_output_promoted_and_degraded(self, tech):
+        poisoned = ScriptedModel(tech, "a", value=math.nan)
+        backup = ScriptedModel(tech, "b")
+        with collecting() as events:
+            delays = resilient(tech, poisoned, backup).delays(None)
+        assert delays == {1: 1e-9}
+        assert any(e.kind == KIND_DEGRADE and "NonFiniteDelay" in e.detail
+                   for e in events)
+
+    def test_nan_with_no_fallback_raises(self, tech):
+        poisoned = ScriptedModel(tech, "a", value=math.inf)
+        with pytest.raises(RetryExhausted) as info:
+            resilient(tech, poisoned).delays(None)
+        assert isinstance(info.value.__cause__, NonFiniteDelay)
+
+    def test_empty_ladder_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            ResilientDelayModel([])
+
+    def test_name_reflects_engine_of_record(self, tech):
+        model = resilient(tech, ScriptedModel(tech, "primary"))
+        assert model.name == "resilient(primary)"
+
+
+class TestResilientSpiceModel:
+    def test_default_ladder_rungs(self, tech):
+        model = resilient_spice_model(tech)
+        assert [m.name for m in model.ladder] == [
+            "ngspice", "spice-transient", "spice-analytic"]
+
+    def test_inprocess_only_ladder(self, tech):
+        model = resilient_spice_model(tech,
+                                      engines=("transient", "analytic"))
+        assert all(isinstance(m, SpiceDelayModel) for m in model.ladder)
+
+    def test_unknown_engine_rejected(self, tech):
+        with pytest.raises(ValueError, match="unknown resilience engine"):
+            resilient_spice_model(tech, engines=("ngspice", "hspice"))
+
+    def test_inprocess_rungs_work(self, tech, mst10):
+        model = resilient_spice_model(tech,
+                                      engines=("analytic",),
+                                      retry=FAST_RETRY)
+        delays = model.delays(mst10)
+        assert delays
+        assert all(math.isfinite(v) and v > 0 for v in delays.values())

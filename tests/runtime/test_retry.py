@@ -1,0 +1,113 @@
+"""Retry/backoff behavior: determinism, bounds, and escalation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runtime import RetryExhausted, RetryPolicy, call_with_retries
+
+
+class Flaky:
+    """Callable that fails ``failures`` times, then returns ``value``."""
+
+    def __init__(self, failures, exc=OSError("flake"), value=42):
+        self.failures = failures
+        self.exc = exc
+        self.value = value
+        self.calls = 0
+
+    def __call__(self):
+        self.calls += 1
+        if self.calls <= self.failures:
+            raise self.exc
+        return self.value
+
+
+class TestRetryPolicy:
+    def test_backoff_is_deterministic(self):
+        policy = RetryPolicy(max_attempts=5, seed=7)
+        assert list(policy.backoff_delays()) == list(policy.backoff_delays())
+
+    def test_backoff_grows_and_caps(self):
+        policy = RetryPolicy(max_attempts=10, base_delay=0.1,
+                             multiplier=3.0, max_delay=0.5, jitter=0.0)
+        delays = list(policy.backoff_delays())
+        assert delays[0] == pytest.approx(0.1)
+        assert delays[1] == pytest.approx(0.3)
+        assert all(d <= 0.5 for d in delays)
+        assert delays[-1] == pytest.approx(0.5)
+
+    def test_jitter_bounded(self):
+        policy = RetryPolicy(max_attempts=20, base_delay=1.0,
+                             multiplier=1.0, max_delay=10.0, jitter=0.5)
+        for delay in policy.backoff_delays():
+            assert 1.0 <= delay < 1.5
+
+    def test_seed_changes_jitter_stream(self):
+        kwargs = dict(max_attempts=8, base_delay=1.0, multiplier=1.0,
+                      max_delay=10.0, jitter=0.5)
+        a = list(RetryPolicy(seed=1, **kwargs).backoff_delays())
+        b = list(RetryPolicy(seed=2, **kwargs).backoff_delays())
+        assert a != b
+
+    @pytest.mark.parametrize("bad", [
+        {"max_attempts": 0},
+        {"base_delay": -1.0},
+        {"multiplier": 0.5},
+        {"jitter": -0.1},
+    ])
+    def test_validation(self, bad):
+        with pytest.raises(ValueError):
+            RetryPolicy(**bad)
+
+
+class TestCallWithRetries:
+    def test_success_first_try_no_sleep(self):
+        sleeps = []
+        fn = Flaky(failures=0)
+        out = call_with_retries(fn, RetryPolicy(), (OSError,),
+                                sleep=sleeps.append)
+        assert out == 42
+        assert fn.calls == 1
+        assert sleeps == []
+
+    def test_transient_failures_then_success(self):
+        sleeps = []
+        fn = Flaky(failures=2)
+        policy = RetryPolicy(max_attempts=3, jitter=0.0,
+                             base_delay=0.05, multiplier=2.0)
+        assert call_with_retries(fn, policy, (OSError,),
+                                 sleep=sleeps.append) == 42
+        assert fn.calls == 3
+        assert sleeps == pytest.approx([0.05, 0.1])
+
+    def test_exhaustion_raises_with_cause(self):
+        fn = Flaky(failures=99)
+        with pytest.raises(RetryExhausted) as info:
+            call_with_retries(fn, RetryPolicy(max_attempts=3), (OSError,),
+                              sleep=lambda _: None)
+        assert fn.calls == 3
+        assert isinstance(info.value.__cause__, OSError)
+        assert "3 attempt(s)" in str(info.value)
+
+    def test_non_transient_propagates_immediately(self):
+        fn = Flaky(failures=99, exc=KeyError("bug"))
+        with pytest.raises(KeyError):
+            call_with_retries(fn, RetryPolicy(), (OSError,),
+                              sleep=lambda _: None)
+        assert fn.calls == 1
+
+    def test_on_retry_callback_numbering(self):
+        seen = []
+        fn = Flaky(failures=2)
+        call_with_retries(fn, RetryPolicy(max_attempts=4), (OSError,),
+                          on_retry=lambda n, e: seen.append((n, type(e))),
+                          sleep=lambda _: None)
+        assert seen == [(1, OSError), (2, OSError)]
+
+    def test_single_attempt_means_no_retry(self):
+        fn = Flaky(failures=1)
+        with pytest.raises(RetryExhausted):
+            call_with_retries(fn, RetryPolicy(max_attempts=1), (OSError,),
+                              sleep=lambda _: None)
+        assert fn.calls == 1

@@ -123,3 +123,100 @@ class TestEmbed:
     def test_bad_index(self, net_file, capsys):
         assert main(["embed", str(net_file), "--index", "9"]) == 2
         assert "out of range" in capsys.readouterr().err
+
+
+class TestRobustnessFlags:
+    """The fault-tolerance surface of the table subcommand."""
+
+    def test_help_documents_runtime_flags(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["table", "--help"])
+        out = capsys.readouterr().out
+        for flag in ("--workers", "--resume", "--run-dir",
+                     "--trial-timeout", "--chaos"):
+            assert flag in out
+
+    def test_workers_match_serial_output(self, capsys):
+        base = ["table", "6", "--trials", "2", "--sizes", "5"]
+        assert main(base) == 0
+        serial = capsys.readouterr().out
+        assert main([*base, "--workers", "2"]) == 0
+        assert capsys.readouterr().out == serial
+
+    def test_run_dir_journals_and_resumes(self, tmp_path, capsys):
+        base = ["table", "6", "--trials", "2", "--sizes", "5",
+                "--run-dir", str(tmp_path / "runs")]
+        assert main(base) == 0
+        first = capsys.readouterr().out
+        records = list((tmp_path / "runs").glob("*/trial_*.json"))
+        assert len(records) == 2
+        assert main([*base, "--resume"]) == 0
+        assert capsys.readouterr().out == first
+
+    def test_chaos_sweep_reports_failures(self, capsys):
+        assert main(["table", "6", "--trials", "10", "--sizes", "5",
+                     "--chaos", "0.2", "--chaos-seed", "7"]) == 0
+        out = capsys.readouterr().out
+        assert "failed]" in out
+
+    def test_resume_without_run_dir_exits_2(self, capsys):
+        assert main(["table", "6", "--trials", "1", "--sizes", "5",
+                     "--resume"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "--run-dir" in err
+
+    def test_bad_sizes_exits_2(self, capsys):
+        assert main(["table", "6", "--trials", "1",
+                     "--sizes", "5,ten"]) == 2
+        assert "comma-separated" in capsys.readouterr().err
+
+    def test_bad_chaos_rate_exits_2(self, capsys):
+        assert main(["table", "6", "--trials", "1", "--sizes", "5",
+                     "--chaos", "1.5"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestErrorExitCodes:
+    def test_keyboard_interrupt_exits_130(self, monkeypatch, capsys):
+        import repro.cli as cli
+
+        def interrupted(argv):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(cli, "_dispatch", interrupted)
+        assert main(["params"]) == 130
+        err = capsys.readouterr().err
+        assert "interrupted" in err
+        assert "--resume" in err
+
+    def test_config_error_from_env(self, monkeypatch, capsys):
+        from repro.experiments.harness import ExperimentConfig
+        from repro.runtime import ConfigError
+
+        monkeypatch.setenv("REPRO_TRIALS", "ten")
+        with pytest.raises(ConfigError, match="REPRO_TRIALS='ten'"):
+            ExperimentConfig.from_env()
+
+    def test_config_error_exits_2(self, monkeypatch, capsys):
+        import repro.cli as cli
+        from repro.runtime import ConfigError
+
+        def bad_dispatch(argv):
+            raise ConfigError("environment variable REPRO_TRIALS='ten' "
+                              "is invalid: expected an integer")
+
+        monkeypatch.setattr(cli, "_dispatch", bad_dispatch)
+        assert main(["params"]) == 2
+        assert "REPRO_TRIALS" in capsys.readouterr().err
+
+    def test_ngspice_error_exits_2(self, monkeypatch, capsys):
+        import repro.cli as cli
+        from repro.circuit.ngspice import NgspiceError
+
+        monkeypatch.setattr(
+            cli, "_dispatch",
+            lambda argv: (_ for _ in ()).throw(
+                NgspiceError("ngspice timed out after 60s")))
+        assert main(["params"]) == 2
+        assert "ngspice timed out" in capsys.readouterr().err

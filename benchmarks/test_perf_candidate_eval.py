@@ -1,0 +1,122 @@
+"""Performance benchmark: incremental vs naive candidate evaluation.
+
+The tentpole claim of the incremental engine is quantitative: on the
+|N| = 30 Elmore-oracle LDRG run the Sherman–Morrison evaluator must be
+at least 10× faster end-to-end than per-candidate re-evaluation while
+choosing the *identical* edge sequence. This module measures both and
+writes the numbers to ``benchmarks/results/BENCH_candidate_eval.json``.
+
+The smoke half (``-k smoke``) is a fast |N| = 10 agreement check meant
+for CI: no timing assertions, just incremental-vs-naive equivalence
+through the full greedy loop.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import pytest
+
+from repro.core.ldrg import ldrg
+from repro.delay.incremental import (
+    IncrementalElmoreEvaluator,
+    NaiveCandidateEvaluator,
+)
+from repro.delay.models import ElmoreGraphModel
+from repro.delay.parameters import Technology
+from repro.geometry.net import Net
+from repro.graph.mst import prim_mst
+
+BENCH_SEED = 7
+BENCH_PINS = 30
+SMOKE_PINS = 10
+REPEATS = 3
+RELATIVE_TOLERANCE = 1e-9
+#: The tentpole acceptance floor for the |N| = 30 end-to-end run.
+REQUIRED_SPEEDUP = 10.0
+
+
+def _best_time(fn):
+    """Best-of-N wall time — the standard noise-resistant estimate."""
+    best = float("inf")
+    result = None
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def test_candidate_eval_smoke():
+    """|N| = 10 agreement: same edges, same delay, ≤ 1e-9 relative."""
+    tech = Technology.cmos08()
+    net = Net.random(SMOKE_PINS, seed=BENCH_SEED)
+    incremental = ldrg(net, tech, delay_model="elmore",
+                       candidate_evaluator="incremental")
+    naive = ldrg(net, tech, delay_model="elmore",
+                 candidate_evaluator="naive")
+    assert ([r.edge for r in incremental.history]
+            == [r.edge for r in naive.history])
+    assert incremental.delay == pytest.approx(
+        naive.delay, rel=RELATIVE_TOLERANCE)
+    for sink, delay in naive.delays.items():
+        assert incremental.delays[sink] == pytest.approx(
+            delay, rel=RELATIVE_TOLERANCE)
+
+
+def test_perf_candidate_eval(results_dir):
+    """|N| = 30 end-to-end LDRG: ≥ 10× faster, identical edge choices."""
+    tech = Technology.cmos08()
+    net = Net.random(BENCH_PINS, seed=BENCH_SEED)
+
+    def run(mode):
+        return ldrg(net, tech, delay_model="elmore",
+                    candidate_evaluator=mode)
+
+    naive_time, naive_result = _best_time(lambda: run("naive"))
+    incremental_time, incremental_result = _best_time(
+        lambda: run("incremental"))
+
+    naive_edges = [r.edge for r in naive_result.history]
+    incremental_edges = [r.edge for r in incremental_result.history]
+    assert incremental_edges == naive_edges
+    assert incremental_result.delay == pytest.approx(
+        naive_result.delay, rel=RELATIVE_TOLERANCE)
+
+    # The scoring batch alone, without the greedy loop around it.
+    graph = prim_mst(net)
+    candidates = graph.candidate_edges()
+    naive_eval = NaiveCandidateEvaluator(ElmoreGraphModel(tech))
+    incremental_eval = IncrementalElmoreEvaluator(tech)
+    naive_batch, naive_scores = _best_time(
+        lambda: naive_eval.score_additions(graph, candidates))
+    incremental_batch, incremental_scores = _best_time(
+        lambda: incremental_eval.score_additions(graph, candidates))
+    for got, want in zip(incremental_scores, naive_scores):
+        assert got == pytest.approx(want, rel=RELATIVE_TOLERANCE)
+
+    speedup = naive_time / incremental_time
+    batch_speedup = naive_batch / incremental_batch
+    record = {
+        "benchmark": "candidate_eval",
+        "pins": BENCH_PINS,
+        "seed": BENCH_SEED,
+        "oracle": "elmore",
+        "candidates_per_batch": len(candidates),
+        "added_edges": len(incremental_edges),
+        "identical_chosen_edges": incremental_edges == naive_edges,
+        "naive_ldrg_seconds": naive_time,
+        "incremental_ldrg_seconds": incremental_time,
+        "speedup": speedup,
+        "naive_batch_seconds": naive_batch,
+        "incremental_batch_seconds": incremental_batch,
+        "batch_speedup": batch_speedup,
+        "required_speedup": REQUIRED_SPEEDUP,
+    }
+    path = results_dir / "BENCH_candidate_eval.json"
+    path.write_text(json.dumps(record, indent=2) + "\n", encoding="utf-8")
+    print(f"\nLDRG speedup {speedup:.1f}x, batch speedup "
+          f"{batch_speedup:.1f}x [saved to {path}]")
+
+    assert speedup >= REQUIRED_SPEEDUP

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from repro.core.ldrg import greedy_edge_addition
 from repro.core.result import RoutingResult
-from repro.delay.models import DelayModel, get_delay_model
+from repro.delay.models import CandidateEvaluator, DelayModel, get_delay_model
 from repro.delay.parameters import Technology
 from repro.geometry.net import Net
 from repro.graph.mst import prim_mst
@@ -44,7 +44,9 @@ def csorg_ldrg(net: Net, tech: Technology,
                critical_sink: int | None = None,
                delay_model: str | DelayModel = "spice",
                initial: RoutingGraph | None = None,
-               max_added_edges: int | None = None) -> RoutingResult:
+               max_added_edges: int | None = None,
+               candidate_evaluator: str | CandidateEvaluator = "auto"
+               ) -> RoutingResult:
     """Greedy edge addition minimizing the weighted sink-delay sum.
 
     Args:
@@ -56,6 +58,8 @@ def csorg_ldrg(net: Net, tech: Technology,
         delay_model: delay oracle for both search and reporting.
         initial: optional starting topology (defaults to the MST).
         max_added_edges: optional cap on greedy iterations.
+        candidate_evaluator: candidate-scoring strategy (the incremental
+            engine supports the weighted objective directly).
 
     Returns:
         A :class:`RoutingResult` whose ``delay``/``base_delay`` hold the
@@ -82,14 +86,11 @@ def csorg_ldrg(net: Net, tech: Technology,
     graph = initial if initial is not None else prim_mst(net)
     check_spanning(graph)
 
-    def weighted(g: RoutingGraph) -> float:
-        return model.weighted_delay(g, weights)
-
     return greedy_edge_addition(
         graph, model, model,
-        objective=weighted,
-        eval_objective=weighted,
         algorithm="csorg-ldrg",
+        weights=weights,
         max_added_edges=max_added_edges,
         objective_name="weighted-sum",
+        evaluator=candidate_evaluator,
     )

@@ -119,8 +119,6 @@ def ert_ldrg(net: Net, tech: Technology,
     tree = elmore_routing_tree(net, tech)
     result = greedy_edge_addition(
         tree, search, evaluate,
-        objective=search.max_delay,
-        eval_objective=evaluate.max_delay,
         algorithm="ert-ldrg",
         max_added_edges=max_added_edges,
     )

@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from itertools import combinations
 
 from repro.core.result import WIN_TOLERANCE
+from repro.delay.incremental import memoize_model
 from repro.delay.models import DelayModel, get_delay_model
 from repro.delay.parameters import Technology
 from repro.geometry.net import Net
@@ -101,7 +102,9 @@ def _setup(net: Net, tech: Technology, delay_model):
         raise ValueError(
             f"exhaustive search is limited to {MAX_PINS} pins "
             f"(got {net.num_pins}); use the heuristics for larger nets")
-    model = get_delay_model(delay_model, tech)
+    # Memoized: the ORT enumeration is a strict subset of the ORG one, so
+    # running both solvers on a net scores every tree exactly once.
+    model = memoize_model(get_delay_model(delay_model, tech))
     edges = [(i, j) for i in range(net.num_pins)
              for j in range(i + 1, net.num_pins)]
     return model, edges

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from repro.core.result import IterationRecord, RoutingResult, WIN_TOLERANCE
 from repro.delay.elmore_tree import elmore_delays
+from repro.delay.incremental import memoize_model
 from repro.delay.models import DelayModel, get_delay_model
 from repro.delay.parameters import Technology
 from repro.geometry.net import Net
@@ -39,7 +40,7 @@ def h1(net: Net, tech: Technology,
     (the paper observes ~2 iterations on average). ``max_iterations``
     caps the number of *kept* edges, for the Table 4 iteration rows.
     """
-    model = get_delay_model(delay_model, tech)
+    model = memoize_model(get_delay_model(delay_model, tech))
     graph = prim_mst(net)
     check_spanning(graph)
     base_delays = model.delays(graph)
@@ -119,7 +120,9 @@ def _one_shot(graph: RoutingGraph, tech: Technology,
               evaluation_model: str | DelayModel) -> RoutingResult:
     """Add the single best-scoring source shortcut and evaluate."""
     check_spanning(graph)
-    evaluate = get_delay_model(evaluation_model, tech)
+    # Memoized: H2 and H3 on the same net share the MST baseline
+    # evaluation, so a Table 5 sweep pays for it once.
+    evaluate = memoize_model(get_delay_model(evaluation_model, tech))
     base_delays = evaluate.delays(graph)
     base_delay = max(base_delays.values())
     base_cost = graph.cost()

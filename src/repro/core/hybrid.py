@@ -23,6 +23,7 @@ from typing import Sequence
 from repro.core.ldrg import greedy_edge_addition
 from repro.core.result import IterationRecord, RoutingResult, WIN_TOLERANCE
 from repro.core.wire_sizing import DEFAULT_WIDTHS
+from repro.delay.incremental import get_candidate_evaluator, memoize_model
 from repro.delay.models import DelayModel, get_delay_model
 from repro.delay.parameters import Technology
 from repro.geometry.net import Net
@@ -60,7 +61,7 @@ def horg(net: Net, tech: Technology,
         max_added_edges: optional cap for the edge stage.
         max_width_changes: optional cap for the sizing stage.
     """
-    model = get_delay_model(delay_model, tech)
+    model = memoize_model(get_delay_model(delay_model, tech))
     weights = (dict(criticalities) if criticalities is not None
                else {s: 1.0 for s in range(1, net.num_pins)})
     if any(alpha < 0 for alpha in weights.values()):
@@ -72,6 +73,8 @@ def horg(net: Net, tech: Technology,
     base = iterated_one_steiner(net) if use_steiner else prim_mst(net)
     check_spanning(base)
 
+    evaluator = get_candidate_evaluator(model, weights=weights)
+
     def weighted(graph: RoutingGraph,
                  widths: dict[tuple[int, int], float] | None = None) -> float:
         return model.weighted_delay(graph, weights, widths)
@@ -79,16 +82,17 @@ def horg(net: Net, tech: Technology,
     # Stage 1+2: CSORG-style greedy edge addition over the base topology.
     edge_stage = greedy_edge_addition(
         base, model, model,
-        objective=weighted,
-        eval_objective=weighted,
         algorithm="horg",
+        weights=weights,
         max_added_edges=max_added_edges,
         objective_name="weighted-sum",
+        evaluator=evaluator,
     )
     graph = edge_stage.graph
     after_edges = edge_stage.delay
 
-    # Stage 3: greedy wire sizing under the same weighted objective.
+    # Stage 3: greedy wire sizing under the same weighted objective,
+    # batch-scored through the same candidate evaluator as the edge stage.
     widths = {edge: levels[0] for edge in graph.edges()}
     level_index = {edge: 0 for edge in widths}
     current = weighted(graph, widths)
@@ -96,23 +100,19 @@ def horg(net: Net, tech: Technology,
     budget = max_width_changes if max_width_changes is not None else float("inf")
     sizing_steps = 0
     while sizing_steps < budget:
-        best_edge: tuple[int, int] | None = None
-        best_value = current
-        threshold = current * (1.0 - WIN_TOLERANCE)
-        for edge, idx in level_index.items():
-            if idx + 1 >= len(levels):
-                continue
-            trial = dict(widths)
-            trial[edge] = levels[idx + 1]
-            value = weighted(graph, trial)
-            if value < best_value and value < threshold:
-                best_value = value
-                best_edge = edge
-        if best_edge is None:
+        upgrades = [(edge, levels[idx + 1])
+                    for edge, idx in level_index.items()
+                    if idx + 1 < len(levels)]
+        if not upgrades:
             break
+        scores = evaluator.score_width_upgrades(graph, widths, upgrades)
+        best_index = min(range(len(upgrades)), key=scores.__getitem__)
+        if not scores[best_index] < current * (1.0 - WIN_TOLERANCE):
+            break
+        best_edge = upgrades[best_index][0]
         level_index[best_edge] += 1
         widths[best_edge] = levels[level_index[best_edge]]
-        current = best_value
+        current = weighted(graph, widths)
         sizing_steps += 1
         history.append(IterationRecord(
             edge=best_edge, delay=current, cost=graph.cost()))

@@ -4,27 +4,40 @@ Start from the MST; while some extra edge lowers the routing graph's max
 source–sink delay, add the best such edge. The delay oracle is pluggable
 (:mod:`repro.delay.models`): the paper uses SPICE inside the loop, and the
 oracle ablation benchmark quantifies what the cheaper oracles give up.
+
+Candidate scoring goes through the :class:`~repro.delay.models.\
+CandidateEvaluator` protocol: with the graph-Elmore search oracle the
+greedy loop uses the Sherman–Morrison incremental engine
+(:mod:`repro.delay.incremental`) — one factorization per iteration shared
+by every candidate — and falls back to naive per-candidate re-evaluation
+for oracles without an incremental form.
 """
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import Mapping
 
 from repro.core.result import IterationRecord, RoutingResult, WIN_TOLERANCE
-from repro.delay.models import DelayModel, get_delay_model
+from repro.delay.incremental import get_candidate_evaluator, memoize_model
+from repro.delay.models import (
+    CandidateEvaluator,
+    DelayModel,
+    get_delay_model,
+    reduce_delays,
+)
 from repro.delay.parameters import Technology
 from repro.graph.mst import prim_mst
 from repro.graph.routing_graph import RoutingGraph
 from repro.graph.validation import check_spanning
-
-Objective = Callable[[RoutingGraph], float]
 
 
 def ldrg(net_or_graph, tech: Technology,
          delay_model: str | DelayModel = "spice",
          initial: RoutingGraph | None = None,
          max_added_edges: int | None = None,
-         evaluation_model: str | DelayModel | None = None) -> RoutingResult:
+         evaluation_model: str | DelayModel | None = None,
+         candidate_evaluator: str | CandidateEvaluator = "auto"
+         ) -> RoutingResult:
     """Run the LDRG algorithm.
 
     Args:
@@ -40,6 +53,10 @@ def ldrg(net_or_graph, tech: Technology,
         evaluation_model: oracle used to *report* delays (defaults to the
             search oracle). H2/H3-style splits — search cheap, report
             SPICE — are expressed this way.
+        candidate_evaluator: how candidate edges are scored — a mode for
+            :func:`~repro.delay.incremental.get_candidate_evaluator`
+            (``"auto"``, ``"incremental"``, ``"naive"``, ``"parallel"``)
+            or a ready :class:`CandidateEvaluator` instance.
 
     Returns:
         A :class:`RoutingResult` whose baseline is the starting topology.
@@ -51,60 +68,78 @@ def ldrg(net_or_graph, tech: Technology,
     check_spanning(graph)
     return greedy_edge_addition(
         graph, search, evaluate,
-        objective=search.max_delay,
-        eval_objective=evaluate.max_delay,
         algorithm="ldrg",
         max_added_edges=max_added_edges,
+        evaluator=candidate_evaluator,
     )
 
 
 def greedy_edge_addition(graph: RoutingGraph,
                          search: DelayModel,
                          evaluate: DelayModel,
-                         objective: Objective,
-                         eval_objective: Objective,
                          algorithm: str,
+                         weights: Mapping[int, float] | None = None,
                          max_added_edges: int | None = None,
-                         objective_name: str = "max") -> RoutingResult:
+                         objective_name: str = "max",
+                         evaluator: str | CandidateEvaluator = "auto"
+                         ) -> RoutingResult:
     """The greedy loop shared by LDRG, SLDRG, and the CSORG variant.
 
-    ``objective`` scores candidate graphs during the search;
-    ``eval_objective`` produces the reported numbers. Iterates until no
-    candidate edge improves the search objective (or the edge budget runs
-    out) — the termination rule of Figure 4, step 2.
+    ``search`` scores candidate graphs (through ``evaluator``);
+    ``evaluate`` produces the reported numbers. ``weights`` switches the
+    objective from max delay to the weighted sink-delay sum. Iterates
+    until no candidate edge improves the search objective (or the edge
+    budget runs out) — the termination rule of Figure 4, step 2.
+
+    The evaluation oracle is consulted exactly once per evaluation point
+    (the starting topology and each accepted edge); the reported
+    ``delay``, ``delays``, and history rows are all derived from those
+    same per-sink results, so a retrying or degrading oracle can never
+    report an objective that disagrees with its own delay map.
     """
+    same_oracle = search is evaluate
+    search = memoize_model(search)
+    evaluate = search if same_oracle else memoize_model(evaluate)
+    if isinstance(evaluator, str):
+        evaluator = get_candidate_evaluator(search, weights=weights,
+                                            mode=evaluator)
     graph = graph.copy()
-    base_delay = eval_objective(graph)
+    base_delays = evaluate.delays(graph)
+    base_delay = reduce_delays(base_delays, weights)
     base_cost = graph.cost()
-    current = objective(graph)
+    current = (base_delay if same_oracle
+               else reduce_delays(search.delays(graph), weights))
+    last_delays = base_delays
     history: list[IterationRecord] = []
     budget = max_added_edges if max_added_edges is not None else float("inf")
 
     while len(history) < budget:
-        best_edge: tuple[int, int] | None = None
-        best_value = current
-        threshold = current * (1.0 - WIN_TOLERANCE)
-        for u, v in graph.candidate_edges():
-            value = objective(graph.with_edge(u, v))
-            if value < best_value and value < threshold:
-                best_value = value
-                best_edge = (u, v)
-        if best_edge is None:
+        candidates = graph.candidate_edges()
+        if not candidates:
             break
-        graph.add_edge(*best_edge)
-        current = best_value
+        scores = evaluator.score_additions(graph, candidates)
+        best_index = min(range(len(candidates)), key=scores.__getitem__)
+        best_value = scores[best_index]
+        if not best_value < current * (1.0 - WIN_TOLERANCE):
+            break
+        graph.add_edge(*candidates[best_index])
+        last_delays = evaluate.delays(graph)
+        eval_value = reduce_delays(last_delays, weights)
+        # When one oracle both searches and reports, its exact value
+        # re-anchors the termination threshold each iteration, so
+        # incremental scoring error can never accumulate across rounds.
+        current = eval_value if same_oracle else best_value
         history.append(IterationRecord(
-            edge=best_edge,
-            delay=eval_objective(graph),
+            edge=candidates[best_index],
+            delay=eval_value,
             cost=graph.cost(),
         ))
 
-    final_delays = evaluate.delays(graph)
     return RoutingResult(
         graph=graph,
-        delay=eval_objective(graph),
+        delay=reduce_delays(last_delays, weights),
         cost=graph.cost(),
-        delays=final_delays,
+        delays=last_delays,
         base_delay=base_delay,
         base_cost=base_cost,
         algorithm=algorithm,
@@ -116,6 +151,11 @@ def greedy_edge_addition(graph: RoutingGraph,
 
 def _starting_graph(net_or_graph, initial: RoutingGraph | None) -> RoutingGraph:
     if initial is not None:
+        if isinstance(net_or_graph, RoutingGraph):
+            raise ValueError(
+                "ambiguous starting topology: net_or_graph is already a "
+                "RoutingGraph and initial= was passed as well — pass the "
+                "starting graph exactly once (drop one of the two)")
         return initial
     if isinstance(net_or_graph, RoutingGraph):
         return net_or_graph

@@ -21,7 +21,8 @@ practical well beyond exhaustive sizes.
 from __future__ import annotations
 
 from repro.core.result import IterationRecord, RoutingResult, WIN_TOLERANCE
-from repro.delay.models import DelayModel, get_delay_model
+from repro.delay.incremental import get_candidate_evaluator, memoize_model
+from repro.delay.models import CandidateEvaluator, DelayModel, get_delay_model
 from repro.delay.parameters import Technology
 from repro.graph.mst import prim_mst
 from repro.graph.routing_graph import RoutingGraph
@@ -37,6 +38,7 @@ def local_search_org(net_or_graph, tech: Technology,
                      allow_removals: bool = True,
                      allow_swaps: bool = True,
                      evaluation_model: str | DelayModel | None = None,
+                     candidate_evaluator: str | CandidateEvaluator = "auto",
                      ) -> RoutingResult:
     """Hill-climb the ORG objective from an initial routing.
 
@@ -50,6 +52,11 @@ def local_search_org(net_or_graph, tech: Technology,
         allow_swaps: enable the swap move (remove+add in one step).
         evaluation_model: oracle for reported numbers (defaults to the
             search oracle).
+        candidate_evaluator: how add and swap candidates are scored — a
+            mode for :func:`~repro.delay.incremental.\
+get_candidate_evaluator` or an instance. Swaps whose removal disconnects
+            the net fall back to per-edge evaluation (the incremental
+            base needs a connected graph).
 
     Returns:
         A :class:`RoutingResult` whose baseline is the starting topology;
@@ -59,6 +66,12 @@ def local_search_org(net_or_graph, tech: Technology,
     search = get_delay_model(delay_model, tech)
     evaluate = (search if evaluation_model is None
                 else get_delay_model(evaluation_model, tech))
+    search = memoize_model(search)
+    evaluate = memoize_model(evaluate)
+    if isinstance(candidate_evaluator, str):
+        evaluator = get_candidate_evaluator(search, mode=candidate_evaluator)
+    else:
+        evaluator = candidate_evaluator
     if initial is not None:
         graph = initial.copy()
     elif isinstance(net_or_graph, RoutingGraph):
@@ -67,13 +80,16 @@ def local_search_org(net_or_graph, tech: Technology,
         graph = prim_mst(net_or_graph)
     check_spanning(graph)
 
-    base_delay = evaluate.max_delay(graph)
+    base_delays = evaluate.delays(graph)
+    base_delay = max(base_delays.values())
     base_cost = graph.cost()
     current = search.max_delay(graph)
+    last_delays = base_delays
     history: list[IterationRecord] = []
 
     for _ in range(_MAX_MOVES):
-        move = _best_move(graph, search, current, allow_removals, allow_swaps)
+        move = _best_move(graph, search, evaluator, current,
+                          allow_removals, allow_swaps)
         if move is None:
             break
         value, removed, added = move
@@ -82,17 +98,17 @@ def local_search_org(net_or_graph, tech: Technology,
         if added is not None:
             graph.add_edge(*added)
         current = value
+        last_delays = evaluate.delays(graph)
         history.append(IterationRecord(
             edge=added if added is not None else (-1, -1),
-            delay=evaluate.max_delay(graph),
+            delay=max(last_delays.values()),
             cost=graph.cost()))
 
-    delays = evaluate.delays(graph)
     return RoutingResult(
         graph=graph,
-        delay=max(delays.values()),
+        delay=max(last_delays.values()),
         cost=graph.cost(),
-        delays=delays,
+        delays=last_delays,
         base_delay=base_delay,
         base_cost=base_cost,
         algorithm="local-search-org",
@@ -101,7 +117,8 @@ def local_search_org(net_or_graph, tech: Technology,
     )
 
 
-def _best_move(graph: RoutingGraph, search: DelayModel, current: float,
+def _best_move(graph: RoutingGraph, search: DelayModel,
+               evaluator: CandidateEvaluator, current: float,
                allow_removals: bool, allow_swaps: bool):
     """The best strictly-improving (value, removed, added) move, if any."""
     threshold = current * (1.0 - WIN_TOLERANCE)
@@ -113,8 +130,8 @@ def _best_move(graph: RoutingGraph, search: DelayModel, current: float,
             best = (value, removed, added)
 
     absent = graph.candidate_edges()
-    for edge in absent:
-        consider(search.max_delay(graph.with_edge(*edge)), None, edge)
+    for edge, value in zip(absent, evaluator.score_additions(graph, absent)):
+        consider(value, None, edge)
 
     if not (allow_removals or allow_swaps):
         return best
@@ -125,11 +142,21 @@ def _best_move(graph: RoutingGraph, search: DelayModel, current: float,
             if allow_removals and still_spans:
                 consider(search.max_delay(graph), present, None)
             if allow_swaps:
-                for edge in absent:
-                    graph.add_edge(*edge)
-                    if graph.spans_net():
-                        consider(search.max_delay(graph), present, edge)
-                    graph.remove_edge(*edge)
+                if still_spans:
+                    # The reduced graph is a valid evaluator base: batch
+                    # all swap completions against one factorization.
+                    swap_scores = evaluator.score_additions(graph, absent)
+                    for edge, value in zip(absent, swap_scores):
+                        consider(value, present, edge)
+                else:
+                    # Removal split the net — only some additions restore
+                    # spanning, and the incremental base would be singular,
+                    # so fall back to per-edge evaluation.
+                    for edge in absent:
+                        graph.add_edge(*edge)
+                        if graph.spans_net():
+                            consider(search.max_delay(graph), present, edge)
+                        graph.remove_edge(*edge)
         finally:
             graph.add_edge(*present)
     return best

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from repro.core.ldrg import greedy_edge_addition
 from repro.core.result import RoutingResult
-from repro.delay.models import DelayModel, get_delay_model
+from repro.delay.models import CandidateEvaluator, DelayModel, get_delay_model
 from repro.delay.parameters import Technology
 from repro.geometry.net import Net
 from repro.graph.routing_graph import RoutingGraph
@@ -22,7 +22,9 @@ def sldrg(net: Net, tech: Technology,
           delay_model: str | DelayModel = "spice",
           initial: RoutingGraph | None = None,
           max_added_edges: int | None = None,
-          evaluation_model: str | DelayModel | None = None) -> RoutingResult:
+          evaluation_model: str | DelayModel | None = None,
+          candidate_evaluator: str | CandidateEvaluator = "auto"
+          ) -> RoutingResult:
     """Run the SLDRG algorithm.
 
     The baseline of the returned result is the *Steiner tree* (Table 3
@@ -37,6 +39,10 @@ def sldrg(net: Net, tech: Technology,
         max_added_edges: optional cap on greedy iterations.
         evaluation_model: oracle used to report delays (defaults to the
             search oracle).
+        candidate_evaluator: candidate-scoring strategy (mode string or
+            instance), as in :func:`~repro.core.ldrg.ldrg`. Candidates
+            include Steiner-point pairs, which the incremental engine
+            handles like any other node.
     """
     search = get_delay_model(delay_model, tech)
     evaluate = (search if evaluation_model is None
@@ -45,9 +51,8 @@ def sldrg(net: Net, tech: Technology,
     check_spanning(start)
     result = greedy_edge_addition(
         start, search, evaluate,
-        objective=search.max_delay,
-        eval_objective=evaluate.max_delay,
         algorithm="sldrg",
         max_added_edges=max_added_edges,
+        evaluator=candidate_evaluator,
     )
     return result

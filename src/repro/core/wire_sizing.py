@@ -20,7 +20,8 @@ from dataclasses import dataclass, field
 from typing import Sequence
 
 from repro.core.result import IterationRecord, RoutingResult, WIN_TOLERANCE
-from repro.delay.models import DelayModel, get_delay_model
+from repro.delay.incremental import get_candidate_evaluator, memoize_model
+from repro.delay.models import CandidateEvaluator, DelayModel, get_delay_model
 from repro.delay.parameters import Technology
 from repro.geometry.net import Net
 from repro.graph.mst import prim_mst
@@ -53,7 +54,9 @@ def wsorg(net_or_graph, tech: Technology,
           width_levels: Sequence[float] = DEFAULT_WIDTHS,
           delay_model: str | DelayModel = "spice",
           initial: RoutingGraph | None = None,
-          max_changes: int | None = None) -> WireSizingResult:
+          max_changes: int | None = None,
+          candidate_evaluator: str | CandidateEvaluator = "auto",
+          ) -> WireSizingResult:
     """Greedy wire sizing of a routing graph.
 
     Args:
@@ -66,6 +69,10 @@ def wsorg(net_or_graph, tech: Technology,
         delay_model: delay oracle (widths are threaded through it).
         initial: explicit starting topology (overrides ``net_or_graph``).
         max_changes: optional cap on the number of upgrade steps.
+        candidate_evaluator: how width upgrades are scored — a mode for
+            :func:`~repro.delay.incremental.get_candidate_evaluator` or
+            an instance (a width upgrade is the same low-rank update as
+            an edge addition, with Δg/Δc the deltas between levels).
 
     Returns:
         A :class:`WireSizingResult`; its baseline is the same topology at
@@ -78,7 +85,11 @@ def wsorg(net_or_graph, tech: Technology,
     if any(w <= 0 for w in levels):
         raise ValueError("widths must be positive")
 
-    model = get_delay_model(delay_model, tech)
+    model = memoize_model(get_delay_model(delay_model, tech))
+    if isinstance(candidate_evaluator, str):
+        evaluator = get_candidate_evaluator(model, mode=candidate_evaluator)
+    else:
+        evaluator = candidate_evaluator
     if initial is not None:
         graph = initial
     elif isinstance(net_or_graph, RoutingGraph):
@@ -90,29 +101,29 @@ def wsorg(net_or_graph, tech: Technology,
     widths: dict[tuple[int, int], float] = {
         edge: levels[0] for edge in graph.edges()}
     level_index = {edge: 0 for edge in widths}
-    base_delay = model.max_delay(graph, widths)
+    last_delays = model.delays(graph, widths)
+    base_delay = max(last_delays.values())
     current = base_delay
     history: list[IterationRecord] = []
     budget = max_changes if max_changes is not None else float("inf")
 
     while len(history) < budget:
-        best_edge: tuple[int, int] | None = None
-        best_value = current
-        threshold = current * (1.0 - WIN_TOLERANCE)
-        for edge, idx in level_index.items():
-            if idx + 1 >= len(levels):
-                continue
-            trial = dict(widths)
-            trial[edge] = levels[idx + 1]
-            value = model.max_delay(graph, trial)
-            if value < best_value and value < threshold:
-                best_value = value
-                best_edge = edge
-        if best_edge is None:
+        upgrades = [(edge, levels[idx + 1])
+                    for edge, idx in level_index.items()
+                    if idx + 1 < len(levels)]
+        if not upgrades:
             break
+        scores = evaluator.score_width_upgrades(graph, widths, upgrades)
+        best_index = min(range(len(upgrades)), key=scores.__getitem__)
+        if not scores[best_index] < current * (1.0 - WIN_TOLERANCE):
+            break
+        best_edge = upgrades[best_index][0]
         level_index[best_edge] += 1
         widths[best_edge] = levels[level_index[best_edge]]
-        current = best_value
+        # Re-anchor on the exact oracle so incremental scoring error
+        # cannot accumulate across upgrade rounds.
+        last_delays = model.delays(graph, widths)
+        current = max(last_delays.values())
         history.append(IterationRecord(
             edge=best_edge, delay=current, cost=graph.cost()))
 
@@ -120,7 +131,7 @@ def wsorg(net_or_graph, tech: Technology,
         graph=graph,
         delay=current,
         cost=graph.cost(),
-        delays=model.delays(graph, widths),
+        delays=last_delays,
         base_delay=base_delay,
         base_cost=graph.cost(),
         algorithm="wsorg",

@@ -10,7 +10,11 @@ technology description (Table 1):
 * :func:`spice_delays` / :func:`spice_delay` — 50%-threshold delay from a
   full circuit-level simulation of the interconnect (the repo's SPICE);
 * :class:`DelayModel` — the pluggable oracle interface the routing
-  algorithms consume (``"spice"``, ``"elmore"``, ``"two-pole"``, ...).
+  algorithms consume (``"spice"``, ``"elmore"``, ``"two-pole"``, ...);
+* :class:`CandidateEvaluator` implementations — batched candidate
+  scoring for the greedy loops, including the Sherman–Morrison
+  incremental engine and the fingerprint-keyed delay memo
+  (:mod:`repro.delay.incremental`).
 """
 
 from repro.delay.parameters import Technology
@@ -25,18 +29,37 @@ from repro.delay.tree_link import tree_link_elmore
 from repro.delay.bounds import RphQuantities, delay_bounds, rph_quantities
 from repro.delay.spice_delay import SpiceOptions, spice_delay, spice_delays
 from repro.delay.models import (
+    CandidateEvaluator,
     DelayModel,
     ElmoreGraphModel,
     ElmoreTreeModel,
     SpiceDelayModel,
     TwoPoleModel,
     get_delay_model,
+    reduce_delays,
+)
+from repro.delay.incremental import (
+    DelayMemo,
+    IncrementalElmoreEvaluator,
+    MemoizedDelayModel,
+    NaiveCandidateEvaluator,
+    ParallelCandidateEvaluator,
+    default_memo,
+    get_candidate_evaluator,
+    graph_fingerprint,
+    memoize_model,
 )
 
 __all__ = [
+    "CandidateEvaluator",
+    "DelayMemo",
     "DelayModel",
     "ElmoreGraphModel",
     "ElmoreTreeModel",
+    "IncrementalElmoreEvaluator",
+    "MemoizedDelayModel",
+    "NaiveCandidateEvaluator",
+    "ParallelCandidateEvaluator",
     "RphQuantities",
     "SpiceDelayModel",
     "SpiceOptions",
@@ -44,12 +67,17 @@ __all__ = [
     "TwoPoleModel",
     "build_interconnect_circuit",
     "build_reduced_rc",
+    "default_memo",
     "delay_bounds",
     "elmore_delays",
     "elmore_tree_delay",
+    "get_candidate_evaluator",
     "get_delay_model",
     "graph_elmore_delay",
     "graph_elmore_delays",
+    "graph_fingerprint",
+    "memoize_model",
+    "reduce_delays",
     "rph_quantities",
     "segment_count_for",
     "spice_delay",

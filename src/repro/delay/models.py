@@ -21,6 +21,8 @@ algorithms can treat delay as a pure function of the routing graph.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from dataclasses import astuple
+from typing import Mapping, Protocol, Sequence, runtime_checkable
 
 import numpy as np
 from scipy.linalg import lu_factor, lu_solve
@@ -42,11 +44,70 @@ from repro.delay.spice_delay import SpiceOptions, spice_delays
 from repro.graph.routing_graph import RoutingGraph
 
 
+def reduce_delays(delays: Mapping[int, float],
+                  weights: Mapping[int, float] | None = None) -> float:
+    """Reduce per-sink delays to a scalar objective.
+
+    ``weights=None`` is the ORG objective ``t(G) = max_i t(n_i)``; a
+    weight map is the CSORG objective ``Σ αᵢ·t(nᵢ)`` (Section 5.1).
+    Every greedy loop and candidate evaluator shares this one reduction,
+    so search scores and reported numbers cannot use different formulas.
+    """
+    if weights is None:
+        return max(delays.values())
+    return sum(alpha * delays[sink] for sink, alpha in weights.items())
+
+
+#: A candidate edge addition: a ``(u, v)`` node pair absent from the base.
+CandidateEdge = tuple[int, int]
+
+#: A candidate wire-width upgrade: ``(edge, new_width)``.
+WidthUpgrade = tuple[tuple[int, int], float]
+
+
+@runtime_checkable
+class CandidateEvaluator(Protocol):
+    """Scores batches of candidate modifications against one base graph.
+
+    The greedy loops (LDRG/SLDRG/CSORG, local search, wire sizing) spend
+    almost all of their time asking "what would the objective be if I
+    applied this one modification?" for every candidate in turn. This
+    protocol lets the answer be produced any way that is profitable:
+
+    * naively, re-evaluating the oracle on a copied graph per candidate
+      (the reference semantics);
+    * incrementally, via a low-rank update against a factorization of
+      the base graph shared by the whole batch
+      (:class:`repro.delay.incremental.IncrementalElmoreEvaluator`);
+    * in parallel, fanning candidates out over the
+      :mod:`repro.runtime` worker pool for expensive oracles.
+
+    Scores are objective values (see :func:`reduce_delays`), returned in
+    candidate order so callers can argmin with stable tie-breaking.
+    """
+
+    def score_additions(self, graph: RoutingGraph,
+                        candidates: Sequence[CandidateEdge]) -> list[float]:
+        """Objective of ``graph`` with each candidate edge added."""
+        ...
+
+    def score_width_upgrades(self, graph: RoutingGraph,
+                             widths: Mapping[tuple[int, int], float],
+                             upgrades: Sequence[WidthUpgrade]) -> list[float]:
+        """Objective of ``graph`` with each single width upgrade applied."""
+        ...
+
+
 class DelayModel(ABC):
     """A delay oracle: routing graph → per-sink delays."""
 
     #: short name used in reports and results
     name: str = "abstract"
+
+    #: whether evaluations are pure functions of (graph, widths, tech) and
+    #: may therefore be memoized (subprocess-backed and provenance-recording
+    #: oracles opt out)
+    cacheable: bool = True
 
     def __init__(self, tech: Technology):
         self.tech = tech
@@ -65,9 +126,16 @@ class DelayModel(ABC):
                        criticalities: dict[int, float],
                        widths: EdgeWidths | None = None) -> float:
         """``Σ αᵢ·t(nᵢ)``, the CSORG objective (Section 5.1)."""
-        delays = self.delays(graph, widths)
-        return sum(alpha * delays[sink]
-                   for sink, alpha in criticalities.items())
+        return reduce_delays(self.delays(graph, widths), criticalities)
+
+    def memo_key(self) -> tuple:
+        """Hashable identity of this oracle's full configuration.
+
+        Two models with equal keys must return identical delays for any
+        graph — the memo cache relies on it. Subclasses with extra knobs
+        (options, thresholds) must extend the tuple.
+        """
+        return (type(self).__name__, self.name, astuple(self.tech))
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}(name={self.name!r})"
@@ -87,6 +155,9 @@ class SpiceDelayModel(DelayModel):
         all_delays = spice_delays(graph, self.tech, self.options, widths)
         return {sink: all_delays[sink] for sink in graph.sink_indices()}
 
+    def memo_key(self) -> tuple:
+        return super().memo_key() + astuple(self.options)
+
 
 class NgspiceDelayModel(DelayModel):
     """50% delay measured by an external ngspice binary.
@@ -99,6 +170,10 @@ class NgspiceDelayModel(DelayModel):
     """
 
     name = "ngspice"
+
+    #: Shells out to a subprocess that can fail or be retried — results
+    #: must stay attributable to a live run, so never memoize them.
+    cacheable = False
 
     #: Simulation window as a multiple of the worst Elmore delay.
     HORIZON_FACTOR = 10.0
@@ -170,6 +245,9 @@ class TwoPoleModel(DelayModel):
             raise ValueError("threshold must lie strictly between 0 and 1")
         self.segments = segments
         self.threshold = threshold
+
+    def memo_key(self) -> tuple:
+        return super().memo_key() + (self.segments, self.threshold)
 
     def delays(self, graph: RoutingGraph,
                widths: EdgeWidths | None = None) -> dict[int, float]:

@@ -15,6 +15,7 @@ Node indexing convention:
 
 from __future__ import annotations
 
+from collections import deque
 from typing import Any, Iterable, Iterator
 
 from repro.geometry.net import Net
@@ -225,9 +226,9 @@ class RoutingGraph:
                 f"graph has {self.num_edges} edges over {self.num_nodes} nodes")
         start = self.source if root is None else root
         parents: dict[int, int | None] = {start: None}
-        queue = [start]
+        queue = deque([start])
         while queue:
-            node = queue.pop(0)
+            node = queue.popleft()
             for neighbor in self._adj[node]:
                 if neighbor not in parents:
                     parents[neighbor] = node

@@ -58,6 +58,10 @@ class ResilientDelayModel(DelayModel):
 
     name = "resilient"
 
+    #: Records provenance events and may degrade between engines per call;
+    #: memoizing would silently replay a possibly-degraded answer.
+    cacheable = False
+
     def __init__(self, ladder: Sequence[DelayModel],
                  retry: RetryPolicy | None = None,
                  transient: tuple[type[BaseException], ...]

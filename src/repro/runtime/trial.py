@@ -20,6 +20,7 @@ import traceback as traceback_module
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Mapping, Union
 
+from repro.core.result import WIN_TOLERANCE
 from repro.runtime.errors import NonFiniteDelay, TrialTimeout
 from repro.runtime.provenance import KIND_DEGRADE, ProvenanceEvent
 
@@ -28,10 +29,6 @@ if TYPE_CHECKING:
 
 #: A trial's grid coordinates: (net size, trial index).
 TrialKey = tuple[int, int]
-
-#: Relative tolerance below which a delay change does not count as a win
-#: (mirrors :data:`repro.core.result.WIN_TOLERANCE`).
-_WIN_TOLERANCE = 1e-9
 
 FAILURE_EXCEPTION = "exception"
 FAILURE_TIMEOUT = "timeout"
@@ -69,7 +66,7 @@ class TrialResult:
 
     @property
     def improved(self) -> bool:
-        return self.delay < self.base_delay * (1.0 - _WIN_TOLERANCE)
+        return self.delay < self.base_delay * (1.0 - WIN_TOLERANCE)
 
     @property
     def num_added_edges(self) -> int:

@@ -132,3 +132,62 @@ class TestPaperBehavior:
                 assert gain1 >= gain2 * 0.999
                 return
         pytest.skip("no two-iteration net in the scanned seeds")
+
+
+class TestCandidateEvaluators:
+    def test_incremental_matches_naive_choices(self, net10, tech):
+        incremental = ldrg(net10, tech, delay_model="elmore",
+                           candidate_evaluator="incremental")
+        naive = ldrg(net10, tech, delay_model="elmore",
+                     candidate_evaluator="naive")
+        assert ([r.edge for r in incremental.history]
+                == [r.edge for r in naive.history])
+        assert incremental.delay == pytest.approx(naive.delay, rel=1e-9)
+
+    def test_evaluator_instance_accepted(self, net10, tech):
+        from repro.delay.incremental import IncrementalElmoreEvaluator
+
+        result = ldrg(net10, tech, delay_model="elmore",
+                      candidate_evaluator=IncrementalElmoreEvaluator(tech))
+        reference = ldrg(net10, tech, delay_model="elmore")
+        assert ([r.edge for r in result.history]
+                == [r.edge for r in reference.history])
+
+    def test_incremental_rejected_for_spice(self, net10, tech, fast_model):
+        with pytest.raises(ValueError, match="graph-Elmore"):
+            ldrg(net10, tech, delay_model=fast_model,
+                 candidate_evaluator="incremental")
+
+
+class TestOracleCallDiscipline:
+    def test_evaluation_oracle_called_once_per_point(self, net10, tech):
+        """One evaluation per evaluation point: the base topology plus
+        each accepted edge — never a redundant objective re-ask."""
+
+        class CountingModel(ElmoreGraphModel):
+            cacheable = False  # keep the memo out of the count
+
+            def __init__(self, tech):
+                super().__init__(tech)
+                self.calls = 0
+
+            def delays(self, graph, widths=None):
+                self.calls += 1
+                return super().delays(graph, widths)
+
+        counting = CountingModel(tech)
+        result = ldrg(net10, tech, delay_model="elmore",
+                      evaluation_model=counting)
+        assert counting.calls == 1 + result.num_added_edges
+
+
+class TestAmbiguousStartingGraph:
+    def test_graph_plus_initial_rejected(self, net10, tech, fast_model):
+        start = prim_mst(net10)
+        with pytest.raises(ValueError, match="ambiguous"):
+            ldrg(start, tech, delay_model=fast_model, initial=prim_mst(net10))
+
+    def test_graph_alone_still_works(self, net10, tech, fast_model):
+        start = prim_mst(net10)
+        result = ldrg(start, tech, delay_model=fast_model)
+        assert result.base_cost == pytest.approx(start.cost())

@@ -1,0 +1,268 @@
+"""Tests for the incremental candidate-evaluation engine and delay memo."""
+
+import pytest
+
+from repro.delay.incremental import (
+    DelayMemo,
+    IncrementalElmoreEvaluator,
+    MemoizedDelayModel,
+    NaiveCandidateEvaluator,
+    ParallelCandidateEvaluator,
+    get_candidate_evaluator,
+    graph_fingerprint,
+    memoize_model,
+)
+from repro.delay.models import (
+    CandidateEvaluator,
+    ElmoreGraphModel,
+    SpiceDelayModel,
+)
+from repro.delay.parameters import Technology
+from repro.geometry.net import Net
+from repro.geometry.point import Point
+from repro.graph.mst import prim_mst
+
+RELATIVE_TOLERANCE = 1e-9
+
+
+class CountingElmoreModel(ElmoreGraphModel):
+    """An Elmore oracle that counts evaluations (and refuses the memo,
+    so the count reflects actual calls through any wrapper)."""
+
+    cacheable = False
+
+    def __init__(self, tech):
+        super().__init__(tech)
+        self.calls = 0
+
+    def delays(self, graph, widths=None):
+        self.calls += 1
+        return super().delays(graph, widths)
+
+
+def cyclic_graph(num_pins=7, seed=11, extra_edges=2):
+    """An MST plus a couple of chords — a genuinely cyclic routing."""
+    graph = prim_mst(Net.random(num_pins, seed=seed))
+    for edge in graph.candidate_edges()[:extra_edges]:
+        graph.add_edge(*edge)
+    return graph
+
+
+def assert_scores_match(incremental, naive):
+    assert len(incremental) == len(naive)
+    for got, want in zip(incremental, naive):
+        assert got == pytest.approx(want, rel=RELATIVE_TOLERANCE)
+
+
+class TestGraphFingerprint:
+    def test_equal_graphs_collide(self, net10):
+        a, b = prim_mst(net10), prim_mst(net10)
+        assert graph_fingerprint(a) == graph_fingerprint(b)
+
+    def test_edge_set_distinguishes(self, net10):
+        base = prim_mst(net10)
+        chord = base.candidate_edges()[0]
+        assert graph_fingerprint(base) != graph_fingerprint(
+            base.with_edge(*chord))
+
+    def test_widths_distinguish(self, net10):
+        graph = prim_mst(net10)
+        edge = next(iter(graph.edges()))
+        assert graph_fingerprint(graph, None) != graph_fingerprint(
+            graph, {edge: 2.0})
+        assert graph_fingerprint(graph, {edge: 2.0}) == graph_fingerprint(
+            graph, {edge: 2.0})
+
+    def test_steiner_position_distinguishes(self, net4):
+        a, b = prim_mst(net4), prim_mst(net4)
+        sa = a.add_steiner_point(Point(100.0, 100.0))
+        sb = b.add_steiner_point(Point(200.0, 100.0))
+        a.add_edge(0, sa)
+        b.add_edge(0, sb)
+        assert graph_fingerprint(a) != graph_fingerprint(b)
+
+
+class TestDelayMemo:
+    def test_hit_and_miss_accounting(self):
+        memo = DelayMemo(capacity=4)
+        assert memo.get(("k",)) is None
+        memo.put(("k",), {1: 1.0})
+        assert memo.get(("k",)) == {1: 1.0}
+        assert (memo.hits, memo.misses) == (1, 1)
+
+    def test_lru_eviction(self):
+        memo = DelayMemo(capacity=2)
+        memo.put(("a",), {1: 1.0})
+        memo.put(("b",), {1: 2.0})
+        memo.get(("a",))  # refresh "a": "b" is now least-recent
+        memo.put(("c",), {1: 3.0})
+        assert memo.get(("b",)) is None
+        assert memo.get(("a",)) is not None
+        assert memo.get(("c",)) is not None
+
+    def test_copies_in_and_out(self):
+        memo = DelayMemo()
+        original = {1: 1.0}
+        memo.put(("k",), original)
+        original[1] = 99.0
+        first = memo.get(("k",))
+        first[1] = 42.0
+        assert memo.get(("k",)) == {1: 1.0}
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            DelayMemo(capacity=0)
+
+
+class TestMemoizedDelayModel:
+    def test_repeated_evaluations_hit_the_cache(self, net10, tech):
+        inner = CountingElmoreModel(tech)
+        inner.cacheable = True
+        model = MemoizedDelayModel(inner, memo=DelayMemo())
+        graph = prim_mst(net10)
+        first = model.delays(graph)
+        second = model.delays(prim_mst(net10))
+        assert inner.calls == 1
+        assert first == second
+
+    def test_widths_are_part_of_the_key(self, net10, tech):
+        inner = CountingElmoreModel(tech)
+        inner.cacheable = True
+        model = MemoizedDelayModel(inner, memo=DelayMemo())
+        graph = prim_mst(net10)
+        edge = next(iter(graph.edges()))
+        model.delays(graph)
+        model.delays(graph, {edge: 3.0})
+        assert inner.calls == 2
+
+    def test_name_is_transparent(self, tech):
+        assert MemoizedDelayModel(ElmoreGraphModel(tech)).name == "elmore"
+
+    def test_different_models_do_not_collide(self, net10, tech):
+        memo = DelayMemo()
+        elmore = MemoizedDelayModel(ElmoreGraphModel(tech), memo=memo)
+        spice = MemoizedDelayModel(SpiceDelayModel(tech), memo=memo)
+        graph = prim_mst(net10)
+        assert elmore.delays(graph) != spice.delays(graph)
+
+    def test_memoize_model_passthrough(self, tech):
+        wrapped = memoize_model(ElmoreGraphModel(tech))
+        assert isinstance(wrapped, MemoizedDelayModel)
+        assert memoize_model(wrapped) is wrapped
+        uncacheable = CountingElmoreModel(tech)
+        assert memoize_model(uncacheable) is uncacheable
+
+
+class TestIncrementalAgainstNaive:
+    def evaluators(self, tech, weights=None):
+        model = ElmoreGraphModel(tech)
+        return (IncrementalElmoreEvaluator(tech, weights=weights),
+                NaiveCandidateEvaluator(model, weights=weights))
+
+    def test_additions_on_cyclic_graph(self, tech):
+        graph = cyclic_graph()
+        incremental, naive = self.evaluators(tech)
+        candidates = graph.candidate_edges()
+        assert candidates
+        assert_scores_match(incremental.score_additions(graph, candidates),
+                            naive.score_additions(graph, candidates))
+
+    def test_additions_weighted_objective(self, tech):
+        graph = cyclic_graph(seed=5)
+        weights = {s: float(s) for s in graph.sink_indices()}
+        incremental, naive = self.evaluators(tech, weights)
+        candidates = graph.candidate_edges()
+        assert_scores_match(incremental.score_additions(graph, candidates),
+                            naive.score_additions(graph, candidates))
+
+    def test_zero_length_candidate_uses_pseudo_short(self, net4, tech):
+        graph = prim_mst(net4)
+        # A Steiner point coincident with pin 2: the candidate edge to it
+        # has zero length and must be scored as the 1 µΩ pseudo-short.
+        steiner = graph.add_steiner_point(graph.position(2))
+        graph.add_edge(0, steiner)
+        incremental, naive = self.evaluators(tech)
+        candidates = [(steiner, 2), (1, steiner)]
+        assert graph.distance(steiner, 2) == 0.0
+        assert_scores_match(incremental.score_additions(graph, candidates),
+                            naive.score_additions(graph, candidates))
+
+    def test_steiner_point_candidates(self, net10, tech):
+        graph = prim_mst(net10)
+        steiner = graph.add_steiner_point(Point(1500.0, 2500.0))
+        graph.add_edge(0, steiner)
+        incremental, naive = self.evaluators(tech)
+        candidates = [(steiner, s) for s in graph.sink_indices()]
+        assert_scores_match(incremental.score_additions(graph, candidates),
+                            naive.score_additions(graph, candidates))
+
+    def test_width_upgrades(self, tech):
+        graph = cyclic_graph(seed=23)
+        widths = {edge: 1.0 for edge in graph.edges()}
+        upgrades = [(edge, 2.0) for edge in graph.edges()]
+        incremental, naive = self.evaluators(tech)
+        assert_scores_match(
+            incremental.score_width_upgrades(graph, widths, upgrades),
+            naive.score_width_upgrades(graph, widths, upgrades))
+
+    def test_width_upgrade_on_zero_length_edge_is_noop(self, net4, tech):
+        graph = prim_mst(net4)
+        steiner = graph.add_steiner_point(graph.position(1))
+        graph.add_edge(1, steiner)
+        graph.add_edge(0, steiner)
+        widths = {edge: 1.0 for edge in graph.edges()}
+        upgrades = [((1, steiner), 4.0)]
+        incremental, naive = self.evaluators(tech)
+        assert_scores_match(
+            incremental.score_width_upgrades(graph, widths, upgrades),
+            naive.score_width_upgrades(graph, widths, upgrades))
+
+    def test_empty_batches(self, net10, tech):
+        graph = prim_mst(net10)
+        incremental, _ = self.evaluators(tech)
+        assert incremental.score_additions(graph, []) == []
+        assert incremental.score_width_upgrades(graph, {}, []) == []
+
+
+class TestParallelEvaluator:
+    def test_matches_naive(self, tech):
+        graph = cyclic_graph(num_pins=5, seed=2, extra_edges=1)
+        model = ElmoreGraphModel(tech)
+        parallel = ParallelCandidateEvaluator(model, workers=2)
+        naive = NaiveCandidateEvaluator(model)
+        candidates = graph.candidate_edges()[:4]
+        assert_scores_match(parallel.score_additions(graph, candidates),
+                            naive.score_additions(graph, candidates))
+
+    def test_rejects_zero_workers(self, tech):
+        with pytest.raises(ValueError):
+            ParallelCandidateEvaluator(ElmoreGraphModel(tech), workers=0)
+
+
+class TestGetCandidateEvaluator:
+    def test_auto_picks_incremental_for_elmore(self, tech):
+        evaluator = get_candidate_evaluator(ElmoreGraphModel(tech))
+        assert isinstance(evaluator, IncrementalElmoreEvaluator)
+
+    def test_auto_unwraps_memoized_models(self, tech):
+        memoized = memoize_model(ElmoreGraphModel(tech))
+        evaluator = get_candidate_evaluator(memoized)
+        assert isinstance(evaluator, IncrementalElmoreEvaluator)
+
+    def test_auto_falls_back_to_naive(self, tech):
+        evaluator = get_candidate_evaluator(SpiceDelayModel(tech))
+        assert isinstance(evaluator, NaiveCandidateEvaluator)
+
+    def test_incremental_requires_elmore(self, tech):
+        with pytest.raises(ValueError, match="graph-Elmore"):
+            get_candidate_evaluator(SpiceDelayModel(tech), mode="incremental")
+
+    def test_unknown_mode_raises(self, tech):
+        with pytest.raises(ValueError, match="unknown candidate evaluator"):
+            get_candidate_evaluator(ElmoreGraphModel(tech), mode="bogus")
+
+    def test_all_evaluators_satisfy_the_protocol(self, tech):
+        for mode in ("incremental", "naive", "parallel"):
+            evaluator = get_candidate_evaluator(
+                ElmoreGraphModel(tech), mode=mode)
+            assert isinstance(evaluator, CandidateEvaluator)

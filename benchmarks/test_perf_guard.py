@@ -1,0 +1,97 @@
+"""Performance benchmark: the guard layer's overhead budget.
+
+The sentinels are sold as "cheap enough to leave on": the acceptance
+criterion is **< 5% overhead** for ``sentinel`` mode on the |N| = 30
+Elmore-oracle LDRG candidate-evaluation workload, measured against the
+same run with the guard off. Audit mode is *expected* to cost real time
+(each sampled batch pays a full naive re-score); its numbers are
+reported for the record, not asserted. Results land in
+``benchmarks/results/BENCH_guard.json``.
+
+The smoke half (``-k smoke``) is a fast |N| = 10 run for CI: full-rate
+audit, zero divergences, identical routing to the unguarded run.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import pytest
+
+from repro.core.ldrg import ldrg
+from repro.delay.parameters import Technology
+from repro.geometry.net import Net
+from repro.guard.policy import GuardPolicy, OFF, guard_scope
+
+BENCH_SEED = 7
+BENCH_PINS = 30
+SMOKE_PINS = 10
+REPEATS = 3
+#: Acceptance ceiling for sentinel-mode overhead on the candidate-eval
+#: workload (relative to guard-off wall time).
+MAX_SENTINEL_OVERHEAD = 0.05
+
+
+def _best_time(fn):
+    """Best-of-N wall time — the standard noise-resistant estimate."""
+    best = float("inf")
+    result = None
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def _run(net, policy):
+    with guard_scope(policy):
+        return ldrg(net, Technology.cmos08(), delay_model="elmore")
+
+
+def test_guard_smoke():
+    """|N| = 10 full-rate audit: clean, and identical to the plain run."""
+    net = Net.random(SMOKE_PINS, seed=BENCH_SEED)
+    plain = _run(net, OFF)
+    audited = _run(net, GuardPolicy(mode="audit", audit_rate=1.0))
+    assert [r.edge for r in audited.history] \
+        == [r.edge for r in plain.history]
+    assert audited.delay == pytest.approx(plain.delay, rel=1e-9)
+
+
+def test_perf_guard_overhead(results_dir):
+    """|N| = 30 LDRG: sentinel mode must cost < 5% over guard-off."""
+    net = Net.random(BENCH_PINS, seed=BENCH_SEED)
+
+    # Warm-up outside the timed region (imports, caches, allocator).
+    _run(net, OFF)
+
+    off_time, off_result = _best_time(lambda: _run(net, OFF))
+    sentinel_time, sentinel_result = _best_time(
+        lambda: _run(net, GuardPolicy(mode="sentinel")))
+    audit_time, audit_result = _best_time(
+        lambda: _run(net, GuardPolicy(mode="audit", audit_rate=1.0)))
+
+    for guarded in (sentinel_result, audit_result):
+        assert [r.edge for r in guarded.history] \
+            == [r.edge for r in off_result.history]
+
+    overhead = sentinel_time / off_time - 1.0
+    record = {
+        "benchmark": "guard_overhead",
+        "pins": BENCH_PINS,
+        "seed": BENCH_SEED,
+        "oracle": "elmore",
+        "off_seconds": off_time,
+        "sentinel_seconds": sentinel_time,
+        "audit_full_rate_seconds": audit_time,
+        "sentinel_overhead": overhead,
+        "audit_overhead": audit_time / off_time - 1.0,
+        "max_sentinel_overhead": MAX_SENTINEL_OVERHEAD,
+    }
+    path = results_dir / "BENCH_guard.json"
+    path.write_text(json.dumps(record, indent=2) + "\n", encoding="utf-8")
+    print(f"\nsentinel overhead {overhead * 100.0:+.2f}%, full-rate audit "
+          f"{record['audit_overhead'] * 100.0:+.1f}% [saved to {path}]")
+
+    assert overhead < MAX_SENTINEL_OVERHEAD

@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""CI guard smoke: the self-verification layer must verify — and catch.
+
+Drives Elmore-oracle LDRG sweeps (the configuration whose candidate
+path is the shadow-audited incremental engine; the stock SPICE-searched
+tables use the naive path, where there is nothing to audit) through the
+real sweep runtime with journaling on, and asserts:
+
+1. a **full-rate audit** (``--guard audit=1.0`` equivalent) completes
+   with every candidate batch re-scored and **zero divergences**, and
+   the rendered rows carry the ``[audited N, diverged 0]`` annotation;
+2. an **injected fast-path perturbation** (the ``inject_error`` test
+   hook) is detected, the fast path is quarantined, the sweep still
+   completes, and the divergence + quarantine events are recorded in
+   the journal;
+3. the perturbed run's aggregate numbers equal the clean run's — the
+   naive fallback kept the statistics trustworthy.
+
+Exit status 0 = all invariants hold; 1 = a violation, with a message.
+
+Usage:  python scripts/guard_smoke.py [--trials 5] [--sizes 5,10] [--seed 1994]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+from functools import partial
+from pathlib import Path
+
+from repro.core.ldrg import ldrg
+from repro.experiments.harness import ExperimentConfig, run_size_sweep
+from repro.experiments.reporting import format_rows
+from repro.geometry.net import Net
+from repro.guard.incidents import KIND_DIVERGE, KIND_QUARANTINE
+from repro.guard.policy import GuardPolicy
+from repro.runtime import RuntimePolicy
+
+
+def fail(message: str) -> None:
+    print(f"guard-smoke: FAIL: {message}", file=sys.stderr)
+    raise SystemExit(1)
+
+
+def run_elmore_ldrg(config: ExperimentConfig, net: Net):
+    """Module-level (picklable) Elmore-oracle trial runner."""
+    with config.guard_scope():
+        return ldrg(net, config.tech, delay_model="elmore")
+
+
+def run_sweep(args: argparse.Namespace, guard: GuardPolicy,
+              run_dir: Path):
+    config = ExperimentConfig(
+        sizes=tuple(int(s) for s in args.sizes.split(",")),
+        trials=args.trials, seed=args.seed, guard=guard)
+    rows = run_size_sweep(config, partial(run_elmore_ldrg, config),
+                          runtime=RuntimePolicy(run_root=run_dir))
+    return rows
+
+
+def journaled_kinds(run_dir: Path) -> set[str]:
+    kinds: set[str] = set()
+    for record in run_dir.glob("*/trial_*.json"):
+        data = json.loads(record.read_text(encoding="utf-8"))
+        result = data.get("result") or {}
+        kinds.update(e["kind"] for e in result.get("provenance", ()))
+    return kinds
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--trials", type=int, default=5)
+    parser.add_argument("--sizes", type=str, default="5,10")
+    parser.add_argument("--seed", type=int, default=1994)
+    args = parser.parse_args()
+
+    with tempfile.TemporaryDirectory(prefix="guard-smoke-") as tmp:
+        tmp_path = Path(tmp)
+
+        # 1. Full-rate audit of a clean sweep: everything checked,
+        #    nothing diverged.
+        clean = run_sweep(args, GuardPolicy(mode="audit", audit_rate=1.0),
+                          tmp_path / "clean")
+        for row in clean:
+            if row.audited == 0:
+                fail(f"size-{row.net_size} row was never audited "
+                     f"(audit mode did not engage)")
+            if row.diverged != 0:
+                fail(f"size-{row.net_size} row reports {row.diverged} "
+                     f"divergences on a clean run:\n{format_rows(clean)}")
+        rendered = format_rows(clean)
+        if "[audited " not in rendered:
+            fail(f"rendered rows lack the audit annotation:\n{rendered}")
+
+        # 2. An injected fast-path error must be caught and quarantined.
+        perturbed = run_sweep(
+            args, GuardPolicy(mode="audit", audit_rate=1.0,
+                              inject_error=1e-4),
+            tmp_path / "perturbed")
+        diverged = sum(row.diverged for row in perturbed)
+        if diverged == 0:
+            fail("injected 1e-4 perturbation was not detected")
+        kinds = journaled_kinds(tmp_path / "perturbed")
+        for required in (KIND_DIVERGE, KIND_QUARANTINE):
+            if required not in kinds:
+                fail(f"journal lacks {required!r} provenance "
+                     f"(found: {sorted(kinds)})")
+
+        # 3. Quarantine means the naive fallback produced the numbers:
+        #    the perturbed sweep's statistics equal the clean sweep's.
+        for clean_row, hit_row in zip(clean, perturbed):
+            if (clean_row.all_delay, clean_row.all_cost) \
+                    != (hit_row.all_delay, hit_row.all_cost):
+                fail(f"size-{clean_row.net_size} statistics drifted under "
+                     f"quarantine: {clean_row} vs {hit_row}")
+
+    audited = sum(row.audited for row in clean)
+    print(f"guard-smoke: OK (audited {audited} candidate scores clean; "
+          f"injected fault caught, quarantined, and survived with "
+          f"{diverged} journaled divergences)")
+
+
+if __name__ == "__main__":
+    main()

@@ -199,6 +199,32 @@ def check_mutable_default(source: ParsedSource) -> Iterator[Diagnostic]:
                     hint="default to None and build inside the function")
 
 
+@rule("source-invariant-assert", category="source", severity=Severity.ERROR,
+      summary="a core/ algorithm guards a runtime invariant with assert",
+      rationale="assert statements disappear under python -O, silently "
+                "disabling the invariant they guard; core algorithms "
+                "must raise through the guard sentinels instead so the "
+                "check survives every interpreter mode")
+def check_invariant_assert(source: ParsedSource) -> Iterator[Diagnostic]:
+    r = registry.get("source-invariant-assert")
+    if "core" not in source.path.parent.parts:
+        return
+    if (source.path.name.startswith("test_")
+            or source.path.name == "conftest.py"):
+        return
+    for node in ast.walk(source.tree):
+        if not isinstance(node, ast.Assert):
+            continue
+        if source.allows(r.id, node.lineno):
+            continue
+        yield r.diagnostic(
+            f"runtime invariant asserted: {ast.unparse(node.test)!r}",
+            location=source.location(node),
+            hint="use repro.guard.sentinels.ensure(...) or "
+                 "ensure_found(...) — they raise InvariantViolation in "
+                 "every interpreter mode (python -O included)")
+
+
 def parse_source(path: str | Path) -> ParsedSource | Diagnostic:
     """Parse one file; a syntax error comes back as a diagnostic."""
     file_path = Path(path)

@@ -22,6 +22,8 @@ from dataclasses import dataclass, field
 import numpy as np
 from scipy.linalg import eigh
 
+from repro.guard.numerics import GuardedFactorization
+
 #: Hard cap on bracket expansion when hunting for a threshold crossing.
 _MAX_BRACKET_DOUBLINGS = 60
 
@@ -73,9 +75,18 @@ class ReducedRC:
         except KeyError:
             raise KeyError(f"unknown node label {label!r}") from None
 
+    def _factored(self) -> GuardedFactorization:
+        """Conditioned Cholesky factorization of G, shared by all solves."""
+        factorization = getattr(self, "_factorization", None)
+        if factorization is None:
+            factorization = GuardedFactorization(
+                self.G, spd=True, context=f"reduced-rc[n={self.size}]")
+            self._factorization = factorization
+        return factorization
+
     def final_voltages(self) -> np.ndarray:
         """DC asymptote ``v∞ = G⁻¹ b`` (all ones for a lossless-to-DC net)."""
-        return np.linalg.solve(self.G, self.b)
+        return self._factored().solve(self.b)
 
     def elmore(self) -> np.ndarray:
         """First-moment (Elmore) delays, exact for arbitrary RC graphs.
@@ -83,10 +94,12 @@ class ReducedRC:
         ``T = ∫ (v∞ − v(t)) dt = G⁻¹ C (v∞ − v0)`` with ``v0 = 0``. On tree
         topologies this equals the classic O(k) Elmore formula; on graphs
         it is the Chan–Karplus generalization, obtained here by a single
-        linear solve.
+        linear solve (conditioned — a pathological RC system raises a
+        structured NumericalIncident instead of returning noise).
         """
-        v_inf = self.final_voltages()
-        return np.linalg.solve(self.G, self.c * v_inf)
+        factorization = self._factored()
+        v_inf = factorization.solve(self.b)
+        return factorization.solve(self.c * v_inf)
 
 
 class AnalyticRC:

@@ -13,6 +13,7 @@ import numpy as np
 
 from repro.circuit.mna import MNASystem, build_mna
 from repro.circuit.netlist import Circuit
+from repro.guard.numerics import guarded_solve
 
 #: Regularization conductance added to every node row (SPICE's GMIN default).
 GMIN = 1e-12
@@ -33,8 +34,15 @@ def dc_operating_point(circuit: Circuit, t: float = 0.0,
 
 
 def solve_dc(mna: MNASystem, t: float = 0.0, gmin: float = GMIN) -> np.ndarray:
-    """The raw DC state vector (node voltages + branch currents)."""
+    """The raw DC state vector (node voltages + branch currents).
+
+    The MNA matrix is indefinite (voltage-source branch rows), so this is
+    a conditioned LU solve: a floating subcircuit GMIN cannot rescue
+    raises :class:`~repro.guard.incidents.NumericalIncident` instead of
+    propagating ``LinAlgError``.
+    """
     G = mna.G.copy()
     for row in mna.node_index.values():
         G[row, row] += gmin
-    return np.linalg.solve(G, mna.rhs(t))
+    return guarded_solve(G, mna.rhs(t), spd=False,
+                         context=f"dc-operating-point[n={mna.size}]")

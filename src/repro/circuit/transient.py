@@ -27,7 +27,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
-from scipy.linalg import lu_factor, lu_solve
+from repro.guard.numerics import GuardedFactorization
 
 from repro.circuit.mna import MNASystem, build_mna
 from repro.circuit.netlist import Circuit, CircuitError
@@ -94,19 +94,25 @@ def transient(circuit: Circuit, t_stop: float, num_steps: int = 1000,
     states[:, 0] = x
 
     C_h = mna.C / h
-    lu_be = lu_factor(C_h + mna.G)
+    # Conditioned LU factorizations: a singular integration matrix (bad
+    # step size, degenerate netlist) surfaces as a NumericalIncident with
+    # the system's fingerprint, not a LinAlgError mid-sweep.
+    fact_be = GuardedFactorization(
+        C_h + mna.G, spd=False, context=f"transient-be[n={mna.size},h={h:g}]")
     if method == "trapezoidal":
-        lu_trap = lu_factor(C_h + mna.G / 2.0)
+        fact_trap = GuardedFactorization(
+            C_h + mna.G / 2.0, spd=False,
+            context=f"transient-trap[n={mna.size},h={h:g}]")
         rhs_trap = C_h - mna.G / 2.0
     u_prev = mna.rhs(times[0])
     for k in range(1, num_steps + 1):
         u_next = mna.rhs(times[k])
         if method == "trapezoidal" and k > 1:
-            x = lu_solve(lu_trap, rhs_trap @ x + 0.5 * (u_next + u_prev))
+            x = fact_trap.solve(rhs_trap @ x + 0.5 * (u_next + u_prev))
         else:
             # Backward Euler: every step of the BE method, and the damped
             # startup step of the trapezoidal method.
-            x = lu_solve(lu_be, C_h @ x + u_next)
+            x = fact_be.solve(C_h @ x + u_next)
         states[:, k] = x
         u_prev = u_next
     return TransientResult(times=times, states=states, mna=mna, method=method)

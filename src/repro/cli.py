@@ -61,6 +61,7 @@ from repro.experiments.figures import run_figure
 from repro.experiments.harness import ExperimentConfig
 from repro.experiments.tables import run_table, table1
 from repro.geometry.random_nets import random_net
+from repro.guard.policy import parse_guard
 from repro.io.nets_file import read_nets, write_nets
 from repro.io.routing_json import (
     RoutingFormatError,
@@ -142,6 +143,13 @@ def build_parser() -> argparse.ArgumentParser:
                             "rate (testing/CI; see repro.runtime.chaos)")
     table.add_argument("--chaos-seed", type=int, default=0,
                        help="seed of the injected-fault stream")
+    table.add_argument("--guard", type=str, default="off",
+                       metavar="{off,sentinel,audit=RATE}",
+                       help="self-verification level: 'sentinel' enables "
+                            "runtime invariant checks, 'audit=RATE' also "
+                            "shadow re-scores that fraction of fast-path "
+                            "candidate batches against the naive oracle "
+                            "(see docs/robustness.md)")
 
     figure = sub.add_parser("figure", help="regenerate a paper figure")
     figure.add_argument("number", type=int, choices=(1, 2, 3, 5))
@@ -288,6 +296,8 @@ def _table_config(args: argparse.Namespace) -> ExperimentConfig:
         if args.chaos:
             kwargs["chaos"] = ChaosPolicy(seed=args.chaos_seed,
                                           raise_rate=args.chaos)
+        if args.guard != "off":
+            kwargs["guard"] = parse_guard(args.guard)
         return ExperimentConfig(**kwargs)
     except ValueError as exc:
         raise ConfigError(str(exc)) from exc

@@ -18,6 +18,7 @@ from repro.delay.parameters import Technology
 from repro.geometry.net import Net
 from repro.graph.routing_graph import RoutingGraph
 from repro.graph.validation import check_tree
+from repro.guard.sentinels import ensure_found
 
 
 def elmore_routing_tree(net: Net, tech: Technology,
@@ -47,7 +48,11 @@ def elmore_routing_tree(net: Net, tech: Technology,
                 if score < best_score:
                     best_score = score
                     best_edge = (anchor, sink)
-        assert best_edge is not None
+        best_edge = ensure_found(
+            best_edge,
+            "ERT growth scored no attachment for the remaining sinks "
+            "(every candidate objective was non-finite or the net is "
+            "malformed)")
         graph.add_edge(*best_edge)
         in_tree.append(best_edge[1])
         remaining.discard(best_edge[1])

@@ -24,6 +24,7 @@ from repro.delay.parameters import Technology
 from repro.geometry.net import Net
 from repro.graph.routing_graph import RoutingGraph
 from repro.graph.validation import check_spanning
+from repro.guard.sentinels import ensure_found
 
 #: Enumeration ceiling: nets above this size are refused loudly.
 MAX_PINS = 7
@@ -70,7 +71,9 @@ def optimal_routing_graph(net: Net, tech: Technology,
             evaluated += 1
             delay = model.max_delay(graph)
             best = _keep_better(best, graph, delay, evaluated)
-    assert best is not None
+    best = ensure_found(
+        best, "ORG enumeration scored no spanning subgraph — the complete "
+              "candidate edge set failed to span the net")
     best.evaluated = evaluated
     check_spanning(best.graph)
     return best
@@ -91,7 +94,9 @@ def optimal_routing_tree(net: Net, tech: Technology,
         evaluated += 1
         delay = model.max_delay(graph)
         best = _keep_better(best, graph, delay, evaluated)
-    assert best is not None
+    best = ensure_found(
+        best, "ORT enumeration scored no spanning tree — the complete "
+              "candidate edge set failed to span the net")
     best.evaluated = evaluated
     check_spanning(best.graph)
     return best

@@ -29,6 +29,12 @@ from repro.delay.parameters import Technology
 from repro.graph.mst import prim_mst
 from repro.graph.routing_graph import RoutingGraph
 from repro.graph.validation import check_spanning
+from repro.guard.sentinels import (
+    sentinel_connected,
+    sentinel_delay_non_increase,
+    sentinel_finite_delays,
+    sentinel_monotone_cost,
+)
 
 
 def ldrg(net_or_graph, tech: Technology,
@@ -105,11 +111,13 @@ def greedy_edge_addition(graph: RoutingGraph,
                                             mode=evaluator)
     graph = graph.copy()
     base_delays = evaluate.delays(graph)
+    sentinel_finite_delays(base_delays, source=f"{algorithm}:base")
     base_delay = reduce_delays(base_delays, weights)
     base_cost = graph.cost()
     current = (base_delay if same_oracle
                else reduce_delays(search.delays(graph), weights))
     last_delays = base_delays
+    last_cost = base_cost
     history: list[IterationRecord] = []
     budget = max_added_edges if max_added_edges is not None else float("inf")
 
@@ -122,9 +130,24 @@ def greedy_edge_addition(graph: RoutingGraph,
         best_value = scores[best_index]
         if not best_value < current * (1.0 - WIN_TOLERANCE):
             break
+        previous = current
         graph.add_edge(*candidates[best_index])
+        sentinel_connected(graph, source=f"{algorithm}:iter{len(history)}")
         last_delays = evaluate.delays(graph)
+        sentinel_finite_delays(
+            last_delays, source=f"{algorithm}:iter{len(history)}")
         eval_value = reduce_delays(last_delays, weights)
+        if same_oracle:
+            # The loop only accepted this edge because it improved the
+            # objective; the full re-evaluation disagreeing means the
+            # candidate scoring path has drifted.
+            sentinel_delay_non_increase(
+                previous, eval_value,
+                source=f"{algorithm}:iter{len(history)}")
+        cost = graph.cost()
+        sentinel_monotone_cost(last_cost, cost,
+                               source=f"{algorithm}:iter{len(history)}")
+        last_cost = cost
         # When one oracle both searches and reports, its exact value
         # re-anchors the termination threshold each iteration, so
         # incremental scoring error can never accumulate across rounds.
@@ -132,7 +155,7 @@ def greedy_edge_addition(graph: RoutingGraph,
         history.append(IterationRecord(
             edge=candidates[best_index],
             delay=eval_value,
-            cost=graph.cost(),
+            cost=cost,
         ))
 
     return RoutingResult(

@@ -26,6 +26,7 @@ from repro.geometry.net import Net
 from repro.geometry.point import Point
 from repro.graph.routing_graph import RoutingGraph
 from repro.graph.validation import check_tree
+from repro.guard.sentinels import ensure_found
 
 
 @dataclass(frozen=True)
@@ -78,7 +79,11 @@ def steiner_elmore_routing_tree(net: Net, tech: Technology,
                 score = _evaluate(graph, tech, attachment, criticalities)
                 if best is None or score < best[0]:
                     best = (score, attachment)
-        assert best is not None
+        best = ensure_found(
+            best,
+            "SERT growth scored no attachment for the remaining sinks "
+            "(every candidate objective was non-finite or the net is "
+            "malformed)")
         new_nodes = _apply(graph, best[1])
         in_tree.extend(new_nodes)
         remaining.discard(best[1].sink)
@@ -141,9 +146,12 @@ def _apply(graph: RoutingGraph, attachment: _Attachment) -> list[int]:
     if attachment.anchor is not None:
         graph.add_edge(attachment.anchor, attachment.sink)
         return [attachment.sink]
-    assert attachment.split_edge is not None and attachment.tap is not None
-    u, v = attachment.split_edge
-    tap_node = graph.add_steiner_point(attachment.tap)
+    u, v = ensure_found(
+        attachment.split_edge,
+        "attachment has neither an anchor node nor a split edge")
+    tap = ensure_found(
+        attachment.tap, "split-edge attachment is missing its tap point")
+    tap_node = graph.add_steiner_point(tap)
     graph.remove_edge(u, v)
     graph.add_edge(u, tap_node)
     graph.add_edge(tap_node, v)
@@ -156,8 +164,9 @@ def _revert(graph: RoutingGraph, attachment: _Attachment,
     if attachment.anchor is not None:
         graph.remove_edge(attachment.anchor, attachment.sink)
         return
-    assert attachment.split_edge is not None
-    u, v = attachment.split_edge
+    u, v = ensure_found(
+        attachment.split_edge,
+        "cannot revert a split-edge attachment without its split edge")
     tap_node = added[-1]
     graph.remove_node(tap_node)  # drops its three edges
     graph.add_edge(u, v)

@@ -62,6 +62,9 @@ from repro.delay.models import (
 from repro.delay.parameters import Technology
 from repro.delay.rc_builder import EdgeWidths, build_reduced_rc, edge_width
 from repro.graph.routing_graph import RoutingGraph
+from repro.guard.audit import ShadowAuditedEvaluator
+from repro.guard.numerics import GuardedFactorization
+from repro.guard.policy import active_guard
 
 #: Conductance of a zero-length pseudo-short edge (1 µΩ, mirrors
 #: :func:`repro.delay.rc_builder.build_reduced_rc`).
@@ -244,7 +247,14 @@ class _ElmoreBase:
                  widths: EdgeWidths | None):
         system = build_reduced_rc(graph, tech, segments=1, widths=widths)
         self.system = system
-        self.Ginv = np.linalg.inv(system.G)
+        # Conditioned Cholesky factorization (the reduced G is SPD), not
+        # np.linalg.inv: ill-conditioning is detected and either repaired
+        # or raised as a structured NumericalIncident, never returned as
+        # garbage delays.
+        self.Ginv = GuardedFactorization(
+            system.G, spd=True,
+            context=f"incremental-elmore-base[n={system.G.shape[0]}]",
+        ).inverse()
         self.v_inf = self.Ginv @ system.b
         self.T0 = self.Ginv @ (system.c * self.v_inf)
         self.sinks = list(graph.sink_indices())
@@ -448,6 +458,12 @@ def get_candidate_evaluator(model: DelayModel,
     and the naive reference path otherwise. ``"parallel"`` fans the naive
     path out over ``workers`` pool processes — opt-in, for SPICE-class
     oracles. Memoized wrappers are looked through when deciding.
+
+    When the active :class:`~repro.guard.policy.GuardPolicy` enables
+    shadow auditing, the incremental engine is wrapped in a
+    :class:`~repro.guard.audit.ShadowAuditedEvaluator` that re-scores a
+    sampled fraction of batches through the naive reference and
+    quarantines the fast path on divergence.
     """
     inner = model.inner if isinstance(model, MemoizedDelayModel) else model
     if mode == "auto":
@@ -459,7 +475,13 @@ def get_candidate_evaluator(model: DelayModel,
                 f"oracle (its delays are linear-solve moments with a "
                 f"closed-form low-rank update); got {inner!r} — use "
                 f"mode='naive' or 'parallel' for other oracles")
-        return IncrementalElmoreEvaluator(inner.tech, weights=weights)
+        fast = IncrementalElmoreEvaluator(inner.tech, weights=weights)
+        policy = active_guard()
+        if policy.audit_enabled:
+            return ShadowAuditedEvaluator(
+                fast, NaiveCandidateEvaluator(model, weights=weights),
+                policy, source="incremental-elmore")
+        return fast
     if mode == "naive":
         return NaiveCandidateEvaluator(model, weights=weights)
     if mode == "parallel":

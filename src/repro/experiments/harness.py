@@ -41,6 +41,8 @@ from repro.delay.parameters import Technology
 from repro.delay.spice_delay import SpiceOptions
 from repro.geometry.random_nets import random_nets
 from repro.geometry.net import Net
+from repro.guard.policy import GuardPolicy, OFF
+from repro.guard.policy import guard_scope as _guard_scope
 from repro.runtime import (
     ChaosDelayModel,
     ChaosPolicy,
@@ -102,6 +104,11 @@ class ExperimentConfig:
     ``chaos`` wires a :class:`~repro.runtime.ChaosPolicy` into every
     model the config builds — the deterministic fault-injection hook the
     robustness tests and the CI chaos smoke run use.
+
+    ``guard`` selects the :class:`~repro.guard.policy.GuardPolicy` the
+    trial runners activate around each trial (invariant sentinels,
+    shadow audit of the incremental candidate engine) — the CLI's
+    ``--guard`` flag lands here.
     """
 
     sizes: tuple[int, ...] = PAPER_SIZES
@@ -111,6 +118,7 @@ class ExperimentConfig:
     segments_eval: int = 3
     tech: Technology = field(default_factory=Technology.cmos08)
     chaos: ChaosPolicy | None = None
+    guard: GuardPolicy | None = None
 
     def __post_init__(self) -> None:
         if self.trials < 1:
@@ -156,6 +164,15 @@ class ExperimentConfig:
             return model
         return ChaosDelayModel(model, self.chaos, salt=chaos_salt)
 
+    def guard_scope(self):
+        """Context manager activating this config's guard policy.
+
+        Entered *inside* each trial runner (not around the sweep), so the
+        scope exists in whichever process — parent or pool worker —
+        actually executes the trial.
+        """
+        return _guard_scope(self.guard if self.guard is not None else OFF)
+
     def nets(self, size: int) -> Iterable[Net]:
         """The reproducible trial nets for one size."""
         return random_nets(size, self.trials, seed=self.seed,
@@ -176,6 +193,7 @@ class ExperimentConfig:
             "segments_eval": self.segments_eval,
             "tech": asdict(self.tech),
             "chaos": None if self.chaos is None else self.chaos.to_json_dict(),
+            "guard": None if self.guard is None else self.guard.to_json_dict(),
         }
 
 
@@ -223,7 +241,10 @@ class RowStats:
     fault-tolerant :class:`~repro.runtime.RuntimePolicy`); ``degraded``
     counts completed trials whose numbers involved a fallback engine —
     provenance the rendering surfaces so degraded numbers are never
-    silently mixed into paper rows.
+    silently mixed into paper rows. ``audited``/``diverged`` count
+    candidate scores the guard layer shadow re-checked against the naive
+    oracle and how many of those disagreed (nonzero ``diverged`` means
+    the fast path was quarantined mid-row).
     """
 
     net_size: int
@@ -238,11 +259,14 @@ class RowStats:
     not_applicable: bool = False
     failed: int = 0
     degraded: int = 0
+    audited: int = 0
+    diverged: int = 0
 
 
 def aggregate(net_size: int, ratios: Sequence[TrialRatios],
               not_applicable: bool = False, failures: int = 0,
-              degraded: int = 0) -> RowStats:
+              degraded: int = 0, audited: int = 0,
+              diverged: int = 0) -> RowStats:
     """Fold per-trial ratios into a paper-style table row.
 
     With no completed ratios the row is only representable when failures
@@ -254,7 +278,7 @@ def aggregate(net_size: int, ratios: Sequence[TrialRatios],
                 net_size=net_size, num_trials=0, all_delay=_NAN,
                 all_cost=_NAN, percent_winners=_NAN, win_delay=None,
                 win_cost=None, not_applicable=True, failed=failures,
-                degraded=degraded)
+                degraded=degraded, audited=audited, diverged=diverged)
         raise ValueError("no trial outcomes to aggregate")
     winners = [r for r in ratios if r.improved]
     return RowStats(
@@ -268,6 +292,8 @@ def aggregate(net_size: int, ratios: Sequence[TrialRatios],
         not_applicable=not_applicable,
         failed=failures,
         degraded=degraded,
+        audited=audited,
+        diverged=diverged,
     )
 
 
@@ -349,7 +375,9 @@ def run_size_sweep(config: ExperimentConfig,
         ratios = [extract(r) for r in results]
         rows.append(aggregate(
             size, ratios, failures=len(failures),
-            degraded=sum(1 for r in results if r.degraded)))
+            degraded=sum(1 for r in results if r.degraded),
+            audited=sum(r.audited for r in results),
+            diverged=sum(r.diverged for r in results)))
     return rows
 
 
@@ -376,6 +404,8 @@ def iteration_sweep(config: ExperimentConfig,
             rows.append(aggregate(
                 size, ratios, not_applicable=not reached,
                 failures=len(failures),
-                degraded=sum(1 for r in results if r.degraded)))
+                degraded=sum(1 for r in results if r.degraded),
+                audited=sum(r.audited for r in results),
+                diverged=sum(r.diverged for r in results)))
         table[k] = rows
     return table

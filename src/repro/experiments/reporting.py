@@ -68,10 +68,12 @@ def format_rows(rows: Sequence[RowStats]) -> str:
 
 
 def _reliability_note(row: RowStats) -> str:
-    """Bracketed failed/degraded annotation; empty for clean rows."""
+    """Bracketed failed/degraded/audit annotation; empty for clean rows."""
     parts = []
     if row.failed:
         parts.append(f"{row.num_trials} ok, {row.failed} failed")
     if row.degraded:
         parts.append(f"{row.degraded} degraded-engine")
+    if row.audited:
+        parts.append(f"audited {row.audited}, diverged {row.diverged}")
     return f"[{'; '.join(parts)}]" if parts else ""

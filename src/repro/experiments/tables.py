@@ -60,52 +60,62 @@ def table1(config: ExperimentConfig | None = None) -> str:
 # Trial runners — module-level (picklable) so sweeps can cross process
 # boundaries. Each builds its models per trial; models are cheap handles
 # and per-trial construction keys chaos fault streams to the net's name.
+# Each runner enters the config's guard scope itself (rather than the
+# sweep doing it once) so the policy is active in whichever process —
+# parent or pool worker — executes the trial.
 # ---------------------------------------------------------------------------
 
 
 def run_ldrg_trial(config: ExperimentConfig, net: Net) -> RoutingResult:
     """Table 2: LDRG from an MST."""
-    return ldrg(net, config.tech,
-                delay_model=config.search_model(chaos_salt=net.name),
-                evaluation_model=config.eval_model(chaos_salt=net.name))
+    with config.guard_scope():
+        return ldrg(net, config.tech,
+                    delay_model=config.search_model(chaos_salt=net.name),
+                    evaluation_model=config.eval_model(chaos_salt=net.name))
 
 
 def run_sldrg_trial(config: ExperimentConfig, net: Net) -> RoutingResult:
     """Table 3: SLDRG from a Steiner tree."""
-    return sldrg(net, config.tech,
-                 delay_model=config.search_model(chaos_salt=net.name),
-                 evaluation_model=config.eval_model(chaos_salt=net.name))
+    with config.guard_scope():
+        return sldrg(net, config.tech,
+                     delay_model=config.search_model(chaos_salt=net.name),
+                     evaluation_model=config.eval_model(chaos_salt=net.name))
 
 
 def run_h1_trial(config: ExperimentConfig, net: Net) -> RoutingResult:
     """Table 4: the H1 heuristic (SPICE-guided, evaluation oracle only)."""
-    return h1(net, config.tech,
-              delay_model=config.eval_model(chaos_salt=net.name))
+    with config.guard_scope():
+        return h1(net, config.tech,
+                  delay_model=config.eval_model(chaos_salt=net.name))
 
 
 def run_h2_trial(config: ExperimentConfig, net: Net) -> RoutingResult:
     """Table 5 (block 1): the H2 heuristic (no SPICE in the loop)."""
-    return h2(net, config.tech,
-              evaluation_model=config.eval_model(chaos_salt=net.name))
+    with config.guard_scope():
+        return h2(net, config.tech,
+                  evaluation_model=config.eval_model(chaos_salt=net.name))
 
 
 def run_h3_trial(config: ExperimentConfig, net: Net) -> RoutingResult:
     """Table 5 (block 2): the H3 heuristic (no SPICE in the loop)."""
-    return h3(net, config.tech,
-              evaluation_model=config.eval_model(chaos_salt=net.name))
+    with config.guard_scope():
+        return h3(net, config.tech,
+                  evaluation_model=config.eval_model(chaos_salt=net.name))
 
 
 def run_ert_trial(config: ExperimentConfig, net: Net) -> RoutingResult:
     """Table 6: the ERT baseline of Boese et al."""
-    return ert(net, config.tech,
-               evaluation_model=config.eval_model(chaos_salt=net.name))
+    with config.guard_scope():
+        return ert(net, config.tech,
+                   evaluation_model=config.eval_model(chaos_salt=net.name))
 
 
 def run_ert_ldrg_trial(config: ExperimentConfig, net: Net) -> RoutingResult:
     """Table 7: LDRG started from an ERT."""
-    return ert_ldrg(net, config.tech,
-                    delay_model=config.search_model(chaos_salt=net.name),
-                    evaluation_model=config.eval_model(chaos_salt=net.name))
+    with config.guard_scope():
+        return ert_ldrg(net, config.tech,
+                        delay_model=config.search_model(chaos_salt=net.name),
+                        evaluation_model=config.eval_model(chaos_salt=net.name))
 
 
 def table2(config: ExperimentConfig,

@@ -1,0 +1,87 @@
+"""Numerical robustness and self-verification for the solver core.
+
+PR 2 made the sweep *harness* fault-tolerant and the incremental engine
+made the delay oracle fast; this package makes the numerical core that
+both lean on defend itself. Four pieces:
+
+* :mod:`repro.guard.numerics` — :class:`GuardedFactorization`, a
+  conditioned dense factorization (Cholesky for SPD systems, LU
+  otherwise) that estimates the condition number, retries with a
+  regularized factorization on ill-conditioning, and raises a
+  structured :class:`NumericalIncident` (never a raw ``LinAlgError``)
+  carrying the offending system's fingerprint;
+* :mod:`repro.guard.audit` — :class:`ShadowAuditedEvaluator`, a seeded,
+  rate-configurable sampler that re-scores a fraction of incremental
+  candidate evaluations through the naive oracle, quarantines the fast
+  path on divergence, and records every audit as provenance;
+* :mod:`repro.guard.sentinels` — runtime invariant checks at algorithm
+  boundaries (finite non-negative delays, delay non-increase on
+  accepted edges, monotone cost), replacing erasable ``assert``
+  statements with real exceptions;
+* :mod:`repro.guard.policy` — :class:`GuardPolicy` and the context
+  scope that switches the layer between ``off``, ``sentinel``, and
+  ``audit`` modes (the CLI's ``--guard`` flag).
+
+See ``docs/robustness.md`` ("Numerical robustness & self-verification")
+for modes, audit-rate guidance, and the incident schema.
+"""
+
+from repro.guard.audit import ShadowAuditedEvaluator
+from repro.guard.incidents import (
+    GuardError,
+    InvariantViolation,
+    KIND_AUDIT,
+    KIND_DIVERGE,
+    KIND_INCIDENT,
+    KIND_QUARANTINE,
+    NumericalIncident,
+    SystemFingerprint,
+    fingerprint_system,
+)
+from repro.guard.numerics import (
+    DEFAULT_RCOND_FLOOR,
+    GuardedFactorization,
+    guarded_solve,
+)
+from repro.guard.policy import (
+    GuardPolicy,
+    OFF,
+    active_guard,
+    guard_scope,
+    parse_guard,
+)
+from repro.guard.sentinels import (
+    ensure,
+    ensure_found,
+    sentinel_connected,
+    sentinel_delay_non_increase,
+    sentinel_finite_delays,
+    sentinel_monotone_cost,
+)
+
+__all__ = [
+    "DEFAULT_RCOND_FLOOR",
+    "GuardError",
+    "GuardPolicy",
+    "GuardedFactorization",
+    "InvariantViolation",
+    "KIND_AUDIT",
+    "KIND_DIVERGE",
+    "KIND_INCIDENT",
+    "KIND_QUARANTINE",
+    "NumericalIncident",
+    "OFF",
+    "ShadowAuditedEvaluator",
+    "SystemFingerprint",
+    "active_guard",
+    "ensure",
+    "ensure_found",
+    "fingerprint_system",
+    "guard_scope",
+    "guarded_solve",
+    "parse_guard",
+    "sentinel_connected",
+    "sentinel_delay_non_increase",
+    "sentinel_finite_delays",
+    "sentinel_monotone_cost",
+]

@@ -1,0 +1,145 @@
+"""Shadow auditing: the fast path proving itself against the oracle.
+
+The Sherman–Morrison candidate engine is ~13× faster than naive
+re-evaluation and equivalent to floating-point noise — *when its
+assumptions hold*. A drifting fast path corrupts every downstream table
+silently, because its scores are only ever compared against each other.
+:class:`ShadowAuditedEvaluator` closes that loop at runtime: a seeded
+sampler picks a fraction of candidate batches and re-scores them through
+the naive reference evaluator; any score diverging beyond the policy
+tolerance **quarantines** the fast path — the remainder of the run is
+served by the reference evaluator — and the audit, the divergence, and
+the quarantine are all recorded as provenance events in the PR-2
+journal, surfacing in sweep tables as ``[audited N, diverged M]``.
+
+Sampling is per *batch*, not per candidate: a batch shares one
+factorization, so auditing it means re-scoring all of its candidates
+(that is what makes the comparison meaningful), and the audit rate is
+the fraction of greedy iterations paying the naive cost.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING, Mapping, Sequence
+
+from repro.guard.incidents import (
+    KIND_AUDIT,
+    KIND_DIVERGE,
+    KIND_QUARANTINE,
+    record_event,
+)
+from repro.guard.policy import GuardPolicy
+
+if TYPE_CHECKING:  # import-cycle guard: delay imports circuit imports guard
+    from repro.delay.models import (
+        CandidateEdge,
+        CandidateEvaluator,
+        WidthUpgrade,
+    )
+    from repro.graph.routing_graph import RoutingGraph
+
+
+class ShadowAuditedEvaluator:
+    """A candidate evaluator that spot-checks its own fast path.
+
+    Wraps a fast evaluator and a reference (naive) evaluator sharing the
+    same oracle semantics. Batches flow through the fast path; a seeded
+    sampler re-scores ``policy.audit_rate`` of them through the
+    reference, and the first divergence beyond ``policy.tolerance``
+    (relative) quarantines the fast path for the rest of this
+    evaluator's life.
+
+    Attributes:
+        quarantined: whether a divergence has retired the fast path.
+        audited: candidate scores re-checked so far.
+        diverged: scores found divergent so far.
+    """
+
+    def __init__(self, fast: "CandidateEvaluator",
+                 reference: "CandidateEvaluator",
+                 policy: GuardPolicy, *, source: str = "candidate-eval"):
+        self.fast = fast
+        self.reference = reference
+        self.policy = policy
+        self.source = source
+        self.quarantined = False
+        self.audited = 0
+        self.diverged = 0
+        self._rng = random.Random(policy.seed)
+
+    def score_additions(self, graph: "RoutingGraph",
+                        candidates: Sequence["CandidateEdge"]) -> list[float]:
+        if self.quarantined:
+            return self.reference.score_additions(graph, candidates)
+        fast = self._perturb(self.fast.score_additions(graph, candidates))
+        if not self._sampled(len(fast)):
+            return fast
+        reference = self.reference.score_additions(graph, candidates)
+        return self._audit(fast, reference, "addition")
+
+    def score_width_upgrades(self, graph: "RoutingGraph",
+                             widths: Mapping[tuple[int, int], float],
+                             upgrades: Sequence["WidthUpgrade"]) -> list[float]:
+        if self.quarantined:
+            return self.reference.score_width_upgrades(graph, widths, upgrades)
+        fast = self._perturb(
+            self.fast.score_width_upgrades(graph, widths, upgrades))
+        if not self._sampled(len(fast)):
+            return fast
+        reference = self.reference.score_width_upgrades(graph, widths,
+                                                        upgrades)
+        return self._audit(fast, reference, "width-upgrade")
+
+    def _sampled(self, batch_size: int) -> bool:
+        """Decide (seeded) whether this batch gets a shadow re-score.
+
+        The draw happens even for batches below the rate so the sampled
+        subset depends only on the seed and the batch sequence, not on
+        which batches happen to be empty.
+        """
+        draw = self._rng.random()
+        return batch_size > 0 and draw < self.policy.audit_rate
+
+    def _perturb(self, scores: list[float]) -> list[float]:
+        """Apply the ``inject_error`` test hook to fast-path scores."""
+        if self.policy.inject_error == 0.0:
+            return scores
+        return [s * (1.0 + self.policy.inject_error) for s in scores]
+
+    def _audit(self, fast: list[float], reference: list[float],
+               batch_kind: str) -> list[float]:
+        """Compare a batch, record provenance, quarantine on divergence.
+
+        Returns the scores the caller should use: the fast batch when it
+        checks out, the reference batch once quarantined.
+        """
+        tolerance = self.policy.tolerance
+        worst = 0.0
+        divergent = 0
+        for fast_score, ref_score in zip(fast, reference):
+            scale = max(abs(fast_score), abs(ref_score), 1e-30)
+            relative = abs(fast_score - ref_score) / scale
+            worst = max(worst, relative)
+            if relative > tolerance:
+                divergent += 1
+        self.audited += len(fast)
+        record_event(KIND_AUDIT, source=self.source,
+                     detail=f"{batch_kind} batch of {len(fast)} re-scored "
+                            f"(max rel err {worst:.3e})",
+                     count=len(fast))
+        if divergent == 0:
+            return fast
+        self.diverged += divergent
+        record_event(KIND_DIVERGE, source=self.source,
+                     detail=f"{divergent}/{len(fast)} {batch_kind} scores "
+                            f"diverged beyond rel tol {tolerance:g} "
+                            f"(max rel err {worst:.3e})",
+                     count=divergent)
+        if not self.quarantined:
+            self.quarantined = True
+            record_event(KIND_QUARANTINE, source=self.source,
+                         target="naive",
+                         detail="fast candidate path quarantined; naive "
+                                "reference serves the rest of the run")
+        return reference

@@ -1,0 +1,115 @@
+"""Structured numerical incidents and the guard's provenance vocabulary.
+
+A numerical failure deep inside a solve must surface as something a
+sweep can *handle*: attributable to one system, classified, and carrying
+enough provenance to reproduce the offending matrix. A raw
+``LinAlgError`` (or worse, a silent NaN) is none of those things, so the
+guard layer converts every numerical fault into a
+:class:`NumericalIncident` carrying a :class:`SystemFingerprint` — a
+compact, loggable identity of the linear system that failed.
+
+This module deliberately imports nothing from the rest of ``repro``
+(numpy and the standard library only): the circuit and delay layers wrap
+their solves in the guard, so the guard must sit *below* them in the
+import graph. Provenance recording goes through a lazy import of
+:mod:`repro.runtime.provenance` at call time, which breaks the would-be
+cycle ``circuit → guard → runtime → delay → circuit``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+import numpy as np
+import numpy.typing as npt
+
+#: Provenance kinds recorded by the guard layer (see
+#: :mod:`repro.runtime.provenance`; free-form kinds are allowed there).
+KIND_AUDIT = "audit"
+KIND_DIVERGE = "diverge"
+KIND_QUARANTINE = "quarantine"
+KIND_INCIDENT = "numerical-incident"
+
+
+class GuardError(Exception):
+    """Base class for errors raised by the guard layer."""
+
+
+class InvariantViolation(GuardError):
+    """A runtime invariant at an algorithm boundary does not hold.
+
+    Replaces the bare ``assert`` statements that used to guard the
+    greedy loops: unlike ``assert``, this survives ``python -O`` and
+    carries a message naming the violated invariant.
+    """
+
+
+@dataclass(frozen=True)
+class SystemFingerprint:
+    """The loggable identity of one dense linear system.
+
+    Attributes:
+        shape: system dimension ``n`` (the matrix is ``n × n``).
+        digest: first 16 hex chars of the SHA-256 of the matrix bytes —
+            two systems with equal digests are bit-identical.
+        norm: 1-norm of the matrix.
+        rcond: reciprocal condition estimate where one was computed
+            (``None`` when factorization failed before estimation).
+        context: caller-supplied origin string (which solve, which net).
+    """
+
+    shape: int
+    digest: str
+    norm: float
+    rcond: float | None
+    context: str
+
+    def describe(self) -> str:
+        rcond = "n/a" if self.rcond is None else f"{self.rcond:.3e}"
+        return (f"system[{self.shape}x{self.shape}] digest={self.digest} "
+                f"norm={self.norm:.6g} rcond={rcond}"
+                + (f" context={self.context!r}" if self.context else ""))
+
+
+def fingerprint_system(matrix: npt.NDArray[np.float64], context: str = "",
+                       rcond: float | None = None) -> SystemFingerprint:
+    """Fingerprint a dense matrix for incident provenance."""
+    contiguous = np.ascontiguousarray(matrix, dtype=float)
+    digest = hashlib.sha256(contiguous.tobytes()).hexdigest()[:16]
+    finite = np.isfinite(contiguous)
+    norm = (float(np.linalg.norm(contiguous, 1)) if bool(finite.all())
+            else float("nan"))
+    return SystemFingerprint(shape=int(contiguous.shape[0]), digest=digest,
+                             norm=norm, rcond=rcond, context=context)
+
+
+class NumericalIncident(GuardError):
+    """A linear system could not be solved trustworthily.
+
+    Raised instead of ``numpy.linalg.LinAlgError`` (and instead of
+    returning NaN/inf) by every guarded solve. Carries the offending
+    system's :class:`SystemFingerprint` so a journaled trial failure
+    identifies *which* matrix failed, not just that one did.
+    """
+
+    def __init__(self, reason: str, fingerprint: SystemFingerprint):
+        super().__init__(f"{reason} [{fingerprint.describe()}]")
+        self.reason = reason
+        self.fingerprint = fingerprint
+
+
+def record_event(kind: str, *, source: str = "", target: str = "",
+                 detail: str = "", count: int = 1) -> None:
+    """Record a guard provenance event in the active collector, if any.
+
+    The import is deliberately local: :mod:`repro.runtime` imports the
+    delay layer, which imports the circuit layer, which imports this
+    package — a module-level import here would close that loop during
+    interpreter start-up. By the time an event is recorded, everything
+    is fully imported.
+    """
+    from repro.runtime.provenance import ProvenanceEvent, record
+
+    record(ProvenanceEvent(kind=kind, source=source, target=target,
+                           detail=detail, count=count))

@@ -1,0 +1,140 @@
+"""Guard modes and the context scope that activates them.
+
+The guard layer has a cost gradient — ``off`` (nothing), ``sentinel``
+(cheap invariant checks at algorithm boundaries), ``audit`` (sentinels
+plus shadow re-scoring of a sampled fraction of fast-path candidate
+evaluations through the naive oracle). :class:`GuardPolicy` names a
+point on that gradient; :func:`guard_scope` activates it for a dynamic
+extent, exactly like :func:`repro.runtime.provenance.collecting`
+activates event collection. Deep call sites (the greedy loops, the
+evaluator factory) consult :func:`active_guard` instead of threading a
+policy through every signature — and because the scope is entered
+*inside* the per-trial runner function, it works unchanged in pool
+worker processes.
+
+The conditioned solves of :mod:`repro.guard.numerics` are **not**
+gated here: a silently wrong linear solve corrupts results in any mode,
+so they are always on.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass
+from typing import Any, Iterator, Mapping
+
+#: Modes accepted by :func:`parse_guard` / the CLI ``--guard`` flag.
+GUARD_MODES = ("off", "sentinel", "audit")
+
+#: Default relative tolerance for fast-vs-naive score agreement.
+DEFAULT_AUDIT_TOLERANCE = 1e-9
+
+
+@dataclass(frozen=True)
+class GuardPolicy:
+    """Configuration of the self-verification layer for one run.
+
+    Attributes:
+        mode: ``"off"``, ``"sentinel"``, or ``"audit"`` (audit implies
+            sentinels — a run paying for shadow re-scoring certainly
+            wants the cheap invariant checks too).
+        audit_rate: fraction of candidate-evaluation batches shadow
+            re-scored through the naive oracle (audit mode only);
+            ``1.0`` re-scores every batch.
+        tolerance: relative divergence between fast and naive scores
+            beyond which the fast path is quarantined.
+        seed: seeds the audit sampler, so a sweep's audited subset is
+            reproducible run-to-run.
+        inject_error: test hook — relative perturbation applied to the
+            fast path's scores *before* auditing, to prove end-to-end
+            that a drifting fast path is detected and quarantined.
+            Always ``0.0`` outside tests.
+    """
+
+    mode: str = "off"
+    audit_rate: float = 1.0
+    tolerance: float = DEFAULT_AUDIT_TOLERANCE
+    seed: int = 0
+    inject_error: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.mode not in GUARD_MODES:
+            raise ValueError(f"unknown guard mode {self.mode!r}; "
+                             f"expected one of {GUARD_MODES}")
+        if not 0.0 <= self.audit_rate <= 1.0:
+            raise ValueError(f"audit rate must be in [0, 1], "
+                             f"got {self.audit_rate}")
+        if self.tolerance <= 0.0:
+            raise ValueError(f"audit tolerance must be positive, "
+                             f"got {self.tolerance}")
+
+    @property
+    def sentinels_enabled(self) -> bool:
+        return self.mode in ("sentinel", "audit")
+
+    @property
+    def audit_enabled(self) -> bool:
+        return self.mode == "audit" and self.audit_rate > 0.0
+
+    def to_json_dict(self) -> dict[str, Any]:
+        return {"mode": self.mode, "audit_rate": self.audit_rate,
+                "tolerance": self.tolerance, "seed": self.seed,
+                "inject_error": self.inject_error}
+
+    @classmethod
+    def from_json_dict(cls, data: Mapping[str, Any]) -> "GuardPolicy":
+        return cls(mode=str(data.get("mode", "off")),
+                   audit_rate=float(data.get("audit_rate", 1.0)),
+                   tolerance=float(data.get("tolerance",
+                                            DEFAULT_AUDIT_TOLERANCE)),
+                   seed=int(data.get("seed", 0)),
+                   inject_error=float(data.get("inject_error", 0.0)))
+
+
+#: The do-nothing policy returned by :func:`active_guard` outside any scope.
+OFF = GuardPolicy(mode="off")
+
+_active: ContextVar[GuardPolicy] = ContextVar("repro_guard_policy",
+                                              default=OFF)
+
+
+def active_guard() -> GuardPolicy:
+    """The policy in effect at this point of the call stack."""
+    return _active.get()
+
+
+@contextmanager
+def guard_scope(policy: GuardPolicy) -> Iterator[GuardPolicy]:
+    """Activate ``policy`` for the dynamic extent of the ``with`` block.
+
+    Scopes nest; the innermost wins. Entering with :data:`OFF` is valid
+    and cheap, which lets callers write ``with guard_scope(config.guard)``
+    unconditionally.
+    """
+    token = _active.set(policy)
+    try:
+        yield policy
+    finally:
+        _active.reset(token)
+
+
+def parse_guard(spec: str) -> GuardPolicy:
+    """Parse a CLI ``--guard`` value into a policy.
+
+    Accepted forms: ``off``, ``sentinel``, ``audit`` (rate 1.0), and
+    ``audit=RATE`` with ``RATE`` in [0, 1] (e.g. ``audit=0.05``).
+    """
+    text = spec.strip().lower()
+    if text in ("off", "sentinel", "audit"):
+        return GuardPolicy(mode=text)
+    if text.startswith("audit="):
+        try:
+            rate = float(text[len("audit="):])
+        except ValueError:
+            raise ValueError(
+                f"invalid guard audit rate in {spec!r}; expected "
+                f"audit=RATE with RATE a number in [0, 1]") from None
+        return GuardPolicy(mode="audit", audit_rate=rate)
+    raise ValueError(f"invalid guard spec {spec!r}; expected "
+                     f"'off', 'sentinel', 'audit', or 'audit=RATE'")

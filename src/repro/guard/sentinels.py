@@ -1,0 +1,123 @@
+"""Runtime invariant sentinels at algorithm boundaries.
+
+Two tiers live here:
+
+* :func:`ensure` / :func:`ensure_found` — unconditional replacements for
+  the bare ``assert`` statements that used to guard the greedy and
+  exhaustive solvers. ``assert`` vanishes under ``python -O``; these
+  raise :class:`~repro.guard.incidents.InvariantViolation` in every
+  interpreter mode and are always on, because the conditions they check
+  ("the candidate loop found a best edge") are load-bearing control
+  flow, not optional debugging.
+
+* ``sentinel_*`` — physics/algorithm invariants (finite non-negative
+  delays, delay non-increase on accepted LDRG edges, monotone wire-cost
+  accounting) that are *gated* on the active
+  :class:`~repro.guard.policy.GuardPolicy`: they no-op unless the run
+  opted into ``sentinel`` or ``audit`` mode, keeping the zero-guard hot
+  path free of per-iteration scans.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Protocol, TypeVar
+
+from repro.guard.incidents import InvariantViolation
+from repro.guard.policy import active_guard
+
+T = TypeVar("T")
+
+
+class _Connectable(Protocol):
+    """Anything with a connectivity predicate (structurally, RoutingGraph —
+    kept as a protocol so the guard layer stays import-free of the graph
+    package)."""
+
+    def is_connected(self) -> bool: ...
+
+#: Relative slack for the delay-non-increase sentinel: greedy acceptance
+#: uses a win tolerance, and re-anchored oracles may differ in the last
+#: few ulps, so "non-increase" means "no increase beyond noise".
+NON_INCREASE_SLACK = 1e-6
+
+
+def ensure(condition: bool, message: str) -> None:
+    """Raise :class:`InvariantViolation` unless ``condition`` holds.
+
+    Unconditional — not gated on the guard policy (see module docstring).
+    """
+    if not condition:
+        raise InvariantViolation(message)
+
+
+def ensure_found(value: T | None, message: str) -> T:
+    """Narrow an ``Optional`` search result, raising if the search failed.
+
+    Replaces the ``assert best is not None`` idiom: returns ``value``
+    with its ``None``-ness discharged, or raises
+    :class:`InvariantViolation` with a message naming what was expected.
+    """
+    if value is None:
+        raise InvariantViolation(message)
+    return value
+
+
+def sentinel_finite_delays(delays: Mapping[int, float], *,
+                           source: str) -> None:
+    """Every sink delay must be a finite, non-negative number."""
+    if not active_guard().sentinels_enabled:
+        return
+    for sink, delay in delays.items():
+        if not math.isfinite(delay):
+            raise InvariantViolation(
+                f"{source}: non-finite delay {delay!r} at sink {sink}")
+        if delay < 0.0:
+            raise InvariantViolation(
+                f"{source}: negative delay {delay!r} at sink {sink} "
+                f"(RC delays are non-negative)")
+
+
+def sentinel_delay_non_increase(before: float, after: float, *,
+                                source: str) -> None:
+    """An accepted greedy edge must not increase the objective.
+
+    Greedy loops only accept a candidate that improved the objective, so
+    the re-evaluated post-acceptance value exceeding the pre-acceptance
+    one (beyond relative noise slack) means the candidate scoring and
+    the full evaluation disagree — exactly the fast-path-drift failure
+    this layer exists to catch. Only meaningful when the same oracle
+    scored both sides; the caller is responsible for that check.
+    """
+    if not active_guard().sentinels_enabled:
+        return
+    slack = NON_INCREASE_SLACK * max(abs(before), abs(after), 1e-30)
+    if after > before + slack:
+        raise InvariantViolation(
+            f"{source}: accepted edge increased the objective "
+            f"({before!r} -> {after!r}); candidate scoring and full "
+            f"evaluation disagree")
+
+
+def sentinel_connected(graph: _Connectable, *, source: str) -> None:
+    """The routing graph must stay connected across mutations."""
+    if not active_guard().sentinels_enabled:
+        return
+    if not graph.is_connected():
+        raise InvariantViolation(
+            f"{source}: routing graph lost connectivity")
+
+
+def sentinel_monotone_cost(previous: float, current: float, *,
+                           source: str) -> None:
+    """Total wire cost must not decrease as edges are added."""
+    if not active_guard().sentinels_enabled:
+        return
+    if not math.isfinite(current):
+        raise InvariantViolation(
+            f"{source}: non-finite wire cost {current!r}")
+    slack = NON_INCREASE_SLACK * max(abs(previous), abs(current), 1e-30)
+    if current < previous - slack:
+        raise InvariantViolation(
+            f"{source}: wire cost decreased from {previous!r} to "
+            f"{current!r} while adding edges")

@@ -30,27 +30,35 @@ class ProvenanceEvent:
     """One recorded runtime decision.
 
     Attributes:
-        kind: event class — ``"retry"``, ``"degrade"``, ``"fault-injected"``.
+        kind: event class — ``"retry"``, ``"degrade"``, ``"fault-injected"``,
+            or a guard kind (``"audit"``, ``"diverge"``, ``"quarantine"``,
+            ``"numerical-incident"``).
         source: the model/engine the event happened in (e.g. ``"ngspice"``).
         target: for degradations, the engine control fell back to.
         detail: human-readable cause (usually the triggering error).
+        count: how many occurrences this event stands for — batched
+            recorders (the shadow auditor re-scoring a whole candidate
+            batch) emit one event with a count instead of hundreds.
     """
 
     kind: str
     source: str = ""
     target: str = ""
     detail: str = ""
+    count: int = 1
 
-    def to_json_dict(self) -> dict[str, str]:
+    def to_json_dict(self) -> dict[str, Any]:
         return {"kind": self.kind, "source": self.source,
-                "target": self.target, "detail": self.detail}
+                "target": self.target, "detail": self.detail,
+                "count": self.count}
 
     @classmethod
     def from_json_dict(cls, data: Mapping[str, Any]) -> "ProvenanceEvent":
         return cls(kind=str(data.get("kind", "")),
                    source=str(data.get("source", "")),
                    target=str(data.get("target", "")),
-                   detail=str(data.get("detail", "")))
+                   detail=str(data.get("detail", "")),
+                   count=int(data.get("count", 1)))
 
 
 _collector: ContextVar[list[ProvenanceEvent] | None] = ContextVar(

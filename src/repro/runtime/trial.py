@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Mapping, Union
 
 from repro.core.result import WIN_TOLERANCE
+from repro.guard.incidents import KIND_AUDIT, KIND_DIVERGE
 from repro.runtime.errors import NonFiniteDelay, TrialTimeout
 from repro.runtime.provenance import KIND_DEGRADE, ProvenanceEvent
 
@@ -76,6 +77,16 @@ class TrialResult:
     def degraded(self) -> bool:
         """Whether any delay came from a degraded (fallback) engine."""
         return any(e.kind == KIND_DEGRADE for e in self.provenance)
+
+    @property
+    def audited(self) -> int:
+        """Candidate scores shadow re-checked by the guard layer."""
+        return sum(e.count for e in self.provenance if e.kind == KIND_AUDIT)
+
+    @property
+    def diverged(self) -> int:
+        """Audited scores that disagreed with the naive reference."""
+        return sum(e.count for e in self.provenance if e.kind == KIND_DIVERGE)
 
     def at_iteration(self, k: int) -> tuple[float, float]:
         """(delay, cost) after the first ``k`` edge additions (0 = base)."""

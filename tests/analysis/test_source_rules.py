@@ -117,6 +117,45 @@ class TestBoundaryCheck:
         assert "source-missing-boundary-check" not in rules_fired(path)
 
 
+class TestInvariantAssert:
+    BAD = """
+        def pick(candidates):
+            best = search(candidates)
+            assert best is not None
+            return best
+    """
+
+    def test_fires_on_core_assert(self, tmp_path):
+        path = write(tmp_path, "algo.py", self.BAD, subdir="core")
+        assert "source-invariant-assert" in rules_fired(path)
+
+    def test_quiet_outside_core(self, tmp_path):
+        path = write(tmp_path, "algo.py", self.BAD)
+        assert "source-invariant-assert" not in rules_fired(path)
+
+    def test_quiet_in_core_tests(self, tmp_path):
+        path = write(tmp_path, "test_algo.py", self.BAD, subdir="core")
+        assert "source-invariant-assert" not in rules_fired(path)
+
+    def test_allow_pragma_waives_line(self, tmp_path):
+        path = write(tmp_path, "algo.py", """
+            def pick(candidates):
+                best = search(candidates)
+                assert best is not None  # repro: allow=source-invariant-assert
+                return best
+        """, subdir="core")
+        assert "source-invariant-assert" not in rules_fired(path)
+
+    def test_quiet_with_sentinel_helpers(self, tmp_path):
+        path = write(tmp_path, "algo.py", """
+            from repro.guard.sentinels import ensure_found
+
+            def pick(candidates):
+                return ensure_found(search(candidates), "no candidate scored")
+        """, subdir="core")
+        assert "source-invariant-assert" not in rules_fired(path)
+
+
 class TestMutableDefault:
     def test_fires_on_list_default(self, tmp_path):
         path = write(tmp_path, "bad.py", """

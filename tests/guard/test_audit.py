@@ -1,0 +1,183 @@
+"""Unit tests for the shadow-audited candidate evaluator.
+
+These use duck-typed fake evaluators (the audit wrapper only calls
+``score_additions``/``score_width_upgrades``), so every sampling and
+quarantine path can be exercised without building routing graphs.
+The integration with the real incremental/naive pair lives in
+``test_plumbing.py``.
+"""
+
+import pytest
+
+from repro.guard.audit import ShadowAuditedEvaluator
+from repro.guard.incidents import (
+    KIND_AUDIT,
+    KIND_DIVERGE,
+    KIND_QUARANTINE,
+)
+from repro.guard.policy import GuardPolicy
+from repro.runtime.provenance import collecting
+
+AUDIT_ALL = GuardPolicy(mode="audit", audit_rate=1.0)
+
+
+class FakeEvaluator:
+    """Scores each candidate via ``score_of``; counts batch calls."""
+
+    def __init__(self, score_of):
+        self.score_of = score_of
+        self.calls = 0
+
+    def score_additions(self, graph, candidates):
+        self.calls += 1
+        return [self.score_of(c) for c in candidates]
+
+    def score_width_upgrades(self, graph, widths, upgrades):
+        self.calls += 1
+        return [self.score_of(u) for u in upgrades]
+
+
+def agreeing_pair():
+    return FakeEvaluator(float), FakeEvaluator(float)
+
+
+class TestCleanAudit:
+    def test_agreeing_scores_pass_and_are_counted(self):
+        fast, reference = agreeing_pair()
+        auditor = ShadowAuditedEvaluator(fast, reference, AUDIT_ALL)
+        with collecting() as events:
+            scores = auditor.score_additions(None, [1, 2, 3])
+        assert scores == [1.0, 2.0, 3.0]
+        assert auditor.audited == 3
+        assert auditor.diverged == 0
+        assert not auditor.quarantined
+        assert [e.kind for e in events] == [KIND_AUDIT]
+        assert events[0].count == 3
+
+    def test_width_upgrade_path_is_audited_too(self):
+        fast, reference = agreeing_pair()
+        auditor = ShadowAuditedEvaluator(fast, reference, AUDIT_ALL)
+        scores = auditor.score_width_upgrades(None, {}, [4, 5])
+        assert scores == [4.0, 5.0]
+        assert auditor.audited == 2
+
+    def test_empty_batch_is_not_counted(self):
+        fast, reference = agreeing_pair()
+        auditor = ShadowAuditedEvaluator(fast, reference, AUDIT_ALL)
+        assert auditor.score_additions(None, []) == []
+        assert auditor.audited == 0
+        assert reference.calls == 0
+
+
+class TestDivergence:
+    def test_divergence_quarantines_and_serves_reference(self):
+        fast = FakeEvaluator(lambda c: float(c) * 1.001)  # drifting
+        reference = FakeEvaluator(float)
+        auditor = ShadowAuditedEvaluator(fast, reference, AUDIT_ALL,
+                                         source="unit-audit")
+        with collecting() as events:
+            scores = auditor.score_additions(None, [1, 2])
+        # The divergent batch is replaced by the reference scores.
+        assert scores == [1.0, 2.0]
+        assert auditor.quarantined
+        assert auditor.diverged == 2
+        kinds = [e.kind for e in events]
+        assert kinds == [KIND_AUDIT, KIND_DIVERGE, KIND_QUARANTINE]
+        diverge = events[kinds.index(KIND_DIVERGE)]
+        assert diverge.count == 2
+        assert diverge.source == "unit-audit"
+        quarantine = events[kinds.index(KIND_QUARANTINE)]
+        assert quarantine.target == "naive"
+
+    def test_quarantine_is_sticky(self):
+        fast = FakeEvaluator(lambda c: float(c) * 2.0)
+        reference = FakeEvaluator(float)
+        auditor = ShadowAuditedEvaluator(fast, reference, AUDIT_ALL)
+        auditor.score_additions(None, [1])
+        assert auditor.quarantined
+        fast_calls_before = fast.calls
+        with collecting() as events:
+            scores = auditor.score_additions(None, [7, 8])
+        # The fast path is never consulted again; no new quarantine event.
+        assert scores == [7.0, 8.0]
+        assert fast.calls == fast_calls_before
+        assert [e.kind for e in events] == []
+
+    def test_tolerance_is_relative(self):
+        # 1e-12 relative drift is inside the default 1e-9 tolerance.
+        fast = FakeEvaluator(lambda c: float(c) * (1.0 + 1e-12))
+        reference = FakeEvaluator(float)
+        auditor = ShadowAuditedEvaluator(fast, reference, AUDIT_ALL)
+        scores = auditor.score_additions(None, [1e6, 2e6])
+        assert not auditor.quarantined
+        assert scores == [1e6 * (1.0 + 1e-12), 2e6 * (1.0 + 1e-12)]
+
+
+class TestSampling:
+    def test_rate_zero_never_audits(self):
+        fast, reference = agreeing_pair()
+        policy = GuardPolicy(mode="audit", audit_rate=0.0)
+        auditor = ShadowAuditedEvaluator(fast, reference, policy)
+        for _ in range(20):
+            auditor.score_additions(None, [1, 2])
+        assert auditor.audited == 0
+        assert reference.calls == 0
+
+    def test_sampling_is_seed_deterministic(self):
+        def audited_batches(seed):
+            fast, reference = agreeing_pair()
+            policy = GuardPolicy(mode="audit", audit_rate=0.5, seed=seed)
+            auditor = ShadowAuditedEvaluator(fast, reference, policy)
+            picked = []
+            for batch in range(30):
+                before = auditor.audited
+                auditor.score_additions(None, [batch])
+                picked.append(auditor.audited > before)
+            return picked
+
+        first = audited_batches(seed=11)
+        assert first == audited_batches(seed=11)
+        assert first != audited_batches(seed=12)
+        assert any(first) and not all(first)
+
+    def test_empty_batches_do_not_shift_the_sample(self):
+        """The sampled subset depends on seed + sequence position only."""
+        def picks(batches):
+            fast, reference = agreeing_pair()
+            policy = GuardPolicy(mode="audit", audit_rate=0.5, seed=5)
+            auditor = ShadowAuditedEvaluator(fast, reference, policy)
+            out = []
+            for batch in batches:
+                before = auditor.audited
+                auditor.score_additions(None, batch)
+                out.append(auditor.audited > before)
+            return out
+
+        plain = picks([[1], [2], [3]])
+        with_empty = picks([[1], [], [3]])
+        # Position 1 can never be audited when empty, but position 2's
+        # draw must be unaffected by position 1's emptiness.
+        assert plain[0] == with_empty[0]
+        assert plain[2] == with_empty[2]
+
+
+class TestInjectError:
+    def test_inject_error_hook_triggers_detection(self):
+        fast, reference = agreeing_pair()
+        policy = GuardPolicy(mode="audit", audit_rate=1.0,
+                             inject_error=1e-4)
+        auditor = ShadowAuditedEvaluator(fast, reference, policy)
+        scores = auditor.score_additions(None, [1, 2, 3])
+        assert auditor.quarantined
+        assert auditor.diverged == 3
+        # The reference answer — not the perturbed one — is served.
+        assert scores == [1.0, 2.0, 3.0]
+
+    def test_inject_error_within_tolerance_is_invisible(self):
+        fast, reference = agreeing_pair()
+        policy = GuardPolicy(mode="audit", audit_rate=1.0,
+                             tolerance=1e-3, inject_error=1e-6)
+        auditor = ShadowAuditedEvaluator(fast, reference, policy)
+        scores = auditor.score_additions(None, [2.0])
+        assert not auditor.quarantined
+        assert scores == pytest.approx([2.0 * (1.0 + 1e-6)])

@@ -1,0 +1,102 @@
+"""Unit tests for guard policies, scoping, and the --guard grammar."""
+
+import pytest
+
+from repro.guard.policy import (
+    DEFAULT_AUDIT_TOLERANCE,
+    GuardPolicy,
+    OFF,
+    active_guard,
+    guard_scope,
+    parse_guard,
+)
+
+
+class TestGuardPolicy:
+    def test_defaults(self):
+        policy = GuardPolicy()
+        assert policy.mode == "off"
+        assert policy.audit_rate == 1.0
+        assert policy.tolerance == DEFAULT_AUDIT_TOLERANCE
+        assert policy.inject_error == 0.0
+
+    def test_mode_gating(self):
+        assert not GuardPolicy(mode="off").sentinels_enabled
+        assert not GuardPolicy(mode="off").audit_enabled
+        assert GuardPolicy(mode="sentinel").sentinels_enabled
+        assert not GuardPolicy(mode="sentinel").audit_enabled
+        assert GuardPolicy(mode="audit").sentinels_enabled
+        assert GuardPolicy(mode="audit").audit_enabled
+        assert not GuardPolicy(mode="audit", audit_rate=0.0).audit_enabled
+
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(ValueError, match="unknown guard mode"):
+            GuardPolicy(mode="paranoid")
+
+    def test_rejects_bad_rate_and_tolerance(self):
+        with pytest.raises(ValueError, match="audit rate"):
+            GuardPolicy(mode="audit", audit_rate=1.5)
+        with pytest.raises(ValueError, match="tolerance"):
+            GuardPolicy(mode="audit", tolerance=0.0)
+
+    def test_json_round_trip(self):
+        policy = GuardPolicy(mode="audit", audit_rate=0.25, tolerance=1e-8,
+                             seed=7, inject_error=1e-4)
+        assert GuardPolicy.from_json_dict(policy.to_json_dict()) == policy
+
+    def test_from_json_dict_defaults(self):
+        assert GuardPolicy.from_json_dict({}) == GuardPolicy()
+
+
+class TestGuardScope:
+    def test_default_is_off(self):
+        assert active_guard() is OFF
+
+    def test_scope_activates_and_restores(self):
+        policy = GuardPolicy(mode="sentinel")
+        with guard_scope(policy) as active:
+            assert active is policy
+            assert active_guard() is policy
+        assert active_guard() is OFF
+
+    def test_scopes_nest_innermost_wins(self):
+        outer = GuardPolicy(mode="sentinel")
+        inner = GuardPolicy(mode="audit", audit_rate=0.5)
+        with guard_scope(outer):
+            with guard_scope(inner):
+                assert active_guard() is inner
+            assert active_guard() is outer
+
+    def test_scope_restores_after_exception(self):
+        with pytest.raises(RuntimeError):
+            with guard_scope(GuardPolicy(mode="audit")):
+                raise RuntimeError("boom")
+        assert active_guard() is OFF
+
+
+class TestParseGuard:
+    def test_plain_modes(self):
+        assert parse_guard("off") == GuardPolicy(mode="off")
+        assert parse_guard("sentinel") == GuardPolicy(mode="sentinel")
+        assert parse_guard("audit") == GuardPolicy(mode="audit",
+                                                   audit_rate=1.0)
+
+    def test_audit_rate_form(self):
+        policy = parse_guard("audit=0.05")
+        assert policy.mode == "audit"
+        assert policy.audit_rate == 0.05
+
+    def test_whitespace_and_case_are_forgiven(self):
+        assert parse_guard("  AUDIT=0.5 ").audit_rate == 0.5
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ValueError, match="invalid guard spec"):
+            parse_guard("bogus")
+
+    def test_rejects_non_numeric_rate(self):
+        with pytest.raises(ValueError, match="audit rate"):
+            parse_guard("audit=lots")
+
+    def test_rejects_out_of_range_rate(self):
+        with pytest.raises(ValueError, match="audit rate"):
+            parse_guard("audit=2.0")

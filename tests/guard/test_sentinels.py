@@ -1,0 +1,114 @@
+"""Unit tests for the invariant sentinels (repro.guard.sentinels)."""
+
+import math
+
+import pytest
+
+from repro.guard.incidents import InvariantViolation
+from repro.guard.policy import GuardPolicy, guard_scope
+from repro.guard.sentinels import (
+    ensure,
+    ensure_found,
+    sentinel_connected,
+    sentinel_delay_non_increase,
+    sentinel_finite_delays,
+    sentinel_monotone_cost,
+)
+
+SENTINEL = GuardPolicy(mode="sentinel")
+
+
+class FakeGraph:
+    def __init__(self, connected):
+        self._connected = connected
+
+    def is_connected(self):
+        return self._connected
+
+
+class TestUnconditionalHelpers:
+    def test_ensure_passes_and_raises(self):
+        ensure(True, "fine")
+        with pytest.raises(InvariantViolation, match="broken"):
+            ensure(False, "broken")
+
+    def test_ensure_found_narrows(self):
+        assert ensure_found(42, "missing") == 42
+        assert ensure_found(0, "falsy zero is still found") == 0
+        assert ensure_found((), "empty tuple is still found") == ()
+
+    def test_ensure_found_raises_on_none(self):
+        with pytest.raises(InvariantViolation, match="no best edge"):
+            ensure_found(None, "no best edge")
+
+    def test_helpers_ignore_guard_mode(self):
+        # ensure/ensure_found replace load-bearing asserts: always on.
+        with guard_scope(GuardPolicy(mode="off")):
+            with pytest.raises(InvariantViolation):
+                ensure_found(None, "still raises in off mode")
+
+
+class TestFiniteDelays:
+    def test_noop_when_off(self):
+        sentinel_finite_delays({1: math.nan, 2: -1.0}, source="t")
+
+    def test_raises_on_nan(self):
+        with guard_scope(SENTINEL):
+            with pytest.raises(InvariantViolation, match="non-finite"):
+                sentinel_finite_delays({1: math.nan}, source="t")
+
+    def test_raises_on_negative(self):
+        with guard_scope(SENTINEL):
+            with pytest.raises(InvariantViolation, match="negative"):
+                sentinel_finite_delays({1: -2.5e-9}, source="t")
+
+    def test_passes_clean_delays(self):
+        with guard_scope(SENTINEL):
+            sentinel_finite_delays({1: 0.0, 2: 3.2e-9}, source="t")
+
+
+class TestDelayNonIncrease:
+    def test_noop_when_off(self):
+        sentinel_delay_non_increase(1.0, 2.0, source="t")
+
+    def test_passes_decrease_and_noise(self):
+        with guard_scope(SENTINEL):
+            sentinel_delay_non_increase(2.0e-9, 1.5e-9, source="t")
+            sentinel_delay_non_increase(2.0e-9, 2.0e-9 * (1 + 1e-9),
+                                        source="t")
+
+    def test_raises_on_real_increase(self):
+        with guard_scope(SENTINEL):
+            with pytest.raises(InvariantViolation, match="increased"):
+                sentinel_delay_non_increase(2.0e-9, 2.1e-9, source="t")
+
+
+class TestConnected:
+    def test_noop_when_off(self):
+        sentinel_connected(FakeGraph(connected=False), source="t")
+
+    def test_raises_on_disconnect(self):
+        with guard_scope(SENTINEL):
+            with pytest.raises(InvariantViolation, match="connectivity"):
+                sentinel_connected(FakeGraph(connected=False), source="t")
+            sentinel_connected(FakeGraph(connected=True), source="t")
+
+
+class TestMonotoneCost:
+    def test_noop_when_off(self):
+        sentinel_monotone_cost(10.0, 1.0, source="t")
+
+    def test_passes_increase_and_noise(self):
+        with guard_scope(SENTINEL):
+            sentinel_monotone_cost(10.0, 12.0, source="t")
+            sentinel_monotone_cost(10.0, 10.0 * (1 - 1e-9), source="t")
+
+    def test_raises_on_decrease(self):
+        with guard_scope(SENTINEL):
+            with pytest.raises(InvariantViolation, match="decreased"):
+                sentinel_monotone_cost(10.0, 9.0, source="t")
+
+    def test_raises_on_non_finite(self):
+        with guard_scope(SENTINEL):
+            with pytest.raises(InvariantViolation, match="non-finite"):
+                sentinel_monotone_cost(10.0, math.inf, source="t")

@@ -1,0 +1,131 @@
+"""Property tests: degenerate inputs never yield silent numerical garbage.
+
+The guard layer's contract on the solver core: every dense solve either
+returns fully finite numbers or raises a structured
+:class:`~repro.guard.incidents.NumericalIncident` — never NaN/inf in a
+result, never a raw ``LinAlgError``. These tests push the degenerate
+corners of that contract:
+
+* **coincident pins** — Steiner points placed exactly on a pin create
+  zero-length edges, i.e. 1 µΩ pseudo-shorts stacking huge conductances
+  into the RC system;
+* **collinear pins** — all pins on one line, the classic
+  degenerate-geometry stressor;
+* **conductance stacking** — parallel zero-length chords multiplying
+  the pseudo-short conductance by the chord count;
+* **raw near-singular systems** — rank-deficient SPD matrices fed
+  straight to :class:`~repro.guard.numerics.GuardedFactorization`.
+"""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.ldrg import ldrg
+from repro.delay.models import ElmoreGraphModel
+from repro.delay.parameters import Technology
+from repro.geometry.net import Net
+from repro.geometry.point import Point
+from repro.graph.mst import prim_mst
+from repro.guard.incidents import NumericalIncident
+from repro.guard.numerics import GuardedFactorization
+
+TECH = Technology.cmos08()
+
+seeds = st.integers(min_value=0, max_value=100_000)
+sizes = st.integers(min_value=3, max_value=8)
+
+
+def assert_clean_or_incident(compute):
+    """``compute`` must finish with all-finite delays or raise the
+    structured incident — anything else (NaN, inf, LinAlgError) fails."""
+    try:
+        delays = compute()
+    except NumericalIncident as incident:
+        assert incident.fingerprint.shape > 0
+        return
+    for sink, delay in delays.items():
+        assert math.isfinite(delay), f"non-finite delay at sink {sink}"
+        assert delay >= 0.0
+
+
+class TestDegenerateNets:
+    @given(seeds, sizes, st.integers(min_value=1, max_value=3))
+    @settings(max_examples=30, deadline=None)
+    def test_coincident_steiner_points(self, seed, size, stacked):
+        """Pseudo-shorts: Steiner points exactly on existing pins."""
+        graph = prim_mst(Net.random(size, seed=seed))
+        for k in range(stacked):
+            node = graph.add_steiner_point(graph.position(k % size))
+            graph.add_edge(k % size, node)
+        assert_clean_or_incident(
+            lambda: ElmoreGraphModel(TECH).delays(graph))
+
+    @given(seeds, sizes)
+    @settings(max_examples=30, deadline=None)
+    def test_collinear_pins(self, seed, size):
+        """All pins on one horizontal line (distinct x positions)."""
+        rng = np.random.default_rng(seed)
+        xs = np.cumsum(1.0 + rng.random(size)) * 100.0
+        pins = [Point(float(x), 500.0) for x in xs]
+        net = Net(source=pins[0], sinks=tuple(pins[1:]))
+        graph = prim_mst(net)
+        assert_clean_or_incident(
+            lambda: ElmoreGraphModel(TECH).delays(graph))
+
+    @given(seeds, st.integers(min_value=2, max_value=6))
+    @settings(max_examples=20, deadline=None)
+    def test_conductance_stacking(self, seed, shorts):
+        """Many parallel pseudo-shorts onto one pin stack ~1e6-scale
+        conductances into a single row of the RC system."""
+        graph = prim_mst(Net.random(4, seed=seed))
+        anchor = graph.position(1)
+        for _ in range(shorts):
+            node = graph.add_steiner_point(anchor)
+            graph.add_edge(1, node)
+        assert_clean_or_incident(
+            lambda: ElmoreGraphModel(TECH).delays(graph))
+
+    @given(seeds)
+    @settings(max_examples=10, deadline=None)
+    def test_full_ldrg_on_degenerate_start(self, seed):
+        """The whole greedy loop over a graph carrying a pseudo-short."""
+        graph = prim_mst(Net.random(5, seed=seed))
+        node = graph.add_steiner_point(graph.position(4))
+        graph.add_edge(0, node)
+
+        def run():
+            return ldrg(graph, TECH, delay_model="elmore").delays
+
+        assert_clean_or_incident(run)
+
+
+class TestNearSingularSystems:
+    @given(seeds, st.integers(min_value=2, max_value=10),
+           st.integers(min_value=0, max_value=12))
+    @settings(max_examples=40, deadline=None)
+    def test_rank_deficient_spd_never_returns_garbage(self, seed, n, rank):
+        """Gram matrices of ``rank`` vectors: singular whenever
+        ``rank < n``. The factorization must regularize or raise."""
+        rng = np.random.default_rng(seed)
+        V = rng.standard_normal((n, min(rank, n) + 1))
+        A = V @ V.T  # PSD, rank-deficient when rank+1 < n
+        try:
+            fact = GuardedFactorization(A, spd=True, context="property")
+        except NumericalIncident:
+            return
+        x = fact.solve(rng.standard_normal(n))
+        assert np.isfinite(x).all()
+
+    @given(seeds, st.floats(min_value=0.0, max_value=16.0))
+    @settings(max_examples=40, deadline=None)
+    def test_extreme_scaling(self, seed, exponent):
+        """Well-posed systems stay solvable across 16 decades of scale."""
+        rng = np.random.default_rng(seed)
+        M = rng.standard_normal((5, 5))
+        A = (M @ M.T + 5.0 * np.eye(5)) * 10.0 ** exponent
+        b = rng.standard_normal(5)
+        x = GuardedFactorization(A, spd=True).solve(b)
+        assert np.allclose(A @ x, b, rtol=1e-8, atol=1e-8 * np.abs(b).max())

@@ -1,0 +1,151 @@
+#!/usr/bin/env python3
+"""CI determinism smoke: serial and parallel sweeps must journal alike.
+
+The dataflow analyzer (``python -m repro.analysis --pass dataflow``)
+*statically* claims the experiment pipeline is deterministic; this
+script checks the claim dynamically:
+
+1. runs a 10-pin sweep twice through the real CLI — once serially, once
+   with ``--workers 4`` — each into its own journal directory;
+2. asserts both runs land in the *same* fingerprint directory name
+   (worker count must not leak into the config identity);
+3. asserts the canonical journal bytes match exactly. Canonical =
+   volatile wall-clock fields (``elapsed``) stripped; those are the one
+   sanctioned nondeterminism, produced only inside ``repro.runtime``
+   where the analyzer allows wall-clock reads;
+4. asserts both table printouts are byte-identical;
+5. runs the dataflow analyzer itself and requires a clean exit, so a
+   dynamic failure always arrives with the static view (and vice
+   versa: a new static violation fails CI before it can flake here).
+
+Exit status 0 = all invariants hold; 1 = a violation, with a message.
+
+Usage:  python scripts/determinism_smoke.py [--trials 3] [--sizes 10]
+"""
+
+from __future__ import annotations
+
+import argparse
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+from repro.runtime.journal import canonical_journal_bytes  # noqa: E402
+
+
+def fail(message: str) -> None:
+    print(f"determinism-smoke: FAIL: {message}", file=sys.stderr)
+    raise SystemExit(1)
+
+
+def run_table(args: argparse.Namespace, run_dir: Path,
+              extra: list[str]) -> str:
+    cmd = [sys.executable, "-m", "repro", "table", "2",
+           "--trials", str(args.trials), "--sizes", args.sizes,
+           "--seed", str(args.seed), "--run-dir", str(run_dir), *extra]
+    proc = subprocess.run(cmd, capture_output=True, text=True,
+                          cwd=REPO_ROOT,
+                          env=_env_with_src())
+    if proc.returncode != 0:
+        fail(f"{' '.join(cmd)} exited {proc.returncode}:\n{proc.stderr}")
+    return proc.stdout
+
+
+def _env_with_src() -> dict[str, str]:
+    import os
+
+    env = dict(os.environ)
+    pythonpath = env.get("PYTHONPATH", "")
+    env["PYTHONPATH"] = (f"{SRC}:{pythonpath}" if pythonpath else str(SRC))
+    return env
+
+
+def journal_dir(run_root: Path) -> Path:
+    subdirs = [p for p in run_root.iterdir() if p.is_dir()]
+    if len(subdirs) != 1:
+        fail(f"expected exactly one fingerprint directory under "
+             f"{run_root}, found {[p.name for p in subdirs]}")
+    return subdirs[0]
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--trials", type=int, default=3)
+    parser.add_argument("--sizes", type=str, default="10")
+    parser.add_argument("--seed", type=int, default=1994)
+    parser.add_argument("--workers", type=int, default=4)
+    args = parser.parse_args()
+
+    with tempfile.TemporaryDirectory(prefix="determinism-smoke-") as tmp:
+        serial_root = Path(tmp) / "serial"
+        parallel_root = Path(tmp) / "parallel"
+
+        serial_out = run_table(args, serial_root, [])
+        parallel_out = run_table(args, parallel_root,
+                                 ["--workers", str(args.workers)])
+
+        if serial_out != parallel_out:
+            fail("serial and parallel table output differ:\n"
+                 f"--- serial ---\n{serial_out}\n"
+                 f"--- workers={args.workers} ---\n{parallel_out}")
+
+        serial_dir = journal_dir(serial_root)
+        parallel_dir = journal_dir(parallel_root)
+        if serial_dir.name != parallel_dir.name:
+            fail(f"worker count leaked into the run fingerprint: "
+                 f"{serial_dir.name} != {parallel_dir.name}")
+
+        serial_bytes = canonical_journal_bytes(serial_dir)
+        parallel_bytes = canonical_journal_bytes(parallel_dir)
+        records = sum(1 for _ in serial_dir.glob("trial_*.json"))
+        expected = args.trials * len(args.sizes.split(","))
+        if records != expected:
+            fail(f"serial journal holds {records} records, expected "
+                 f"{expected}")
+        if serial_bytes != parallel_bytes:
+            _report_divergence(serial_bytes, parallel_bytes)
+
+    # The static analyzer must agree the tree is deterministic.
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.analysis", "--pass", "dataflow",
+         "src/repro"],
+        capture_output=True, text=True, cwd=REPO_ROOT, env=_env_with_src())
+    if proc.returncode != 0:
+        fail(f"dataflow analyzer found violations:\n{proc.stdout}")
+
+    print(f"determinism-smoke: OK — {records} trials journaled "
+          f"byte-identically serial vs {args.workers} workers; "
+          f"dataflow analyzer clean")
+
+
+def _report_divergence(serial_bytes: bytes, parallel_bytes: bytes) -> None:
+    """Fail with the first diverging record plus the analyzer's view."""
+    serial_lines = serial_bytes.decode("utf-8").splitlines()
+    parallel_lines = parallel_bytes.decode("utf-8").splitlines()
+    detail = ""
+    for a, b in zip(serial_lines, parallel_lines):
+        if a != b:
+            detail = f"first divergence:\n  serial:   {a}\n  parallel: {b}"
+            break
+    else:
+        detail = (f"record counts differ: {len(serial_lines)} serial vs "
+                  f"{len(parallel_lines)} parallel")
+    try:
+        from repro.analysis.dataflow import build_dataflow_model, purity_report
+
+        model = build_dataflow_model([SRC / "repro"])
+        effects = "\n" + purity_report(model, model.worker_roots)
+    except Exception as exc:  # the report is best-effort context
+        effects = f" (purity report unavailable: {exc})"
+    fail("serial and parallel journals diverge after canonicalization; "
+         f"{detail}\nanalyzer effects for worker entry points:{effects}")
+
+
+if __name__ == "__main__":
+    main()

@@ -21,8 +21,13 @@ plausible-looking but wrong delay number:
   discipline on the Python sources (no float ``==`` on coordinates, no
   mutation of frozen ``Net``/``Point`` values, boundary validation in
   every ``core/`` algorithm module, no mutable default arguments);
-* :mod:`repro.analysis.reporters` — text and JSON renderers shared by
-  ``repro-route lint`` and ``python -m repro.analysis``.
+* :mod:`repro.analysis.dataflow` — the whole-program determinism &
+  concurrency analyzer: an AST call graph over ``src/repro``, purity
+  and effect inference, and the ``dataflow-*`` rule pack (unseeded
+  RNG, worker-pool races, ContextVar discipline, cache-key
+  completeness), run via ``python -m repro.analysis --pass dataflow``;
+* :mod:`repro.analysis.reporters` — text, JSON, and SARIF renderers
+  shared by ``repro-route lint`` and ``python -m repro.analysis``.
 
 The same framework gates both *data* (``repro-route lint routing.json``)
 and *code* (``python -m repro.analysis src/repro``), and
@@ -43,7 +48,12 @@ from repro.analysis.diagnostics import (
 from repro.analysis.graph_rules import lint_graph
 from repro.analysis.circuit_rules import lint_circuit, lint_rc_system, lint_routing_rc
 from repro.analysis.source_rules import lint_source, lint_source_tree
-from repro.analysis.reporters import render_json, render_text, summarize
+from repro.analysis.reporters import (
+    render_json,
+    render_sarif,
+    render_text,
+    summarize,
+)
 
 __all__ = [
     "Diagnostic",
@@ -60,6 +70,7 @@ __all__ = [
     "lint_source_tree",
     "registry",
     "render_json",
+    "render_sarif",
     "render_text",
     "summarize",
 ]

@@ -1,16 +1,19 @@
 """``python -m repro.analysis`` — lint the source tree.
 
 Runs the AST discipline rules of :mod:`repro.analysis.source_rules`
-over the given files/directories (default: ``src/repro``) and exits
-non-zero when any error-severity diagnostic is found. This is the
-code-side twin of ``repro-route lint``, which runs the same framework
-over routing data.
+and/or the whole-program determinism pass of
+:mod:`repro.analysis.dataflow` over the given files/directories
+(default: ``src/repro``) and exits non-zero when any error-severity
+diagnostic is found. This is the code-side twin of ``repro-route
+lint``, which runs the same framework over routing data.
 
 Examples::
 
     python -m repro.analysis src/repro
-    python -m repro.analysis src/repro --format json
-    python -m repro.analysis src --disable source-mutable-default
+    python -m repro.analysis --pass dataflow src/repro
+    python -m repro.analysis --pass all --format sarif src/repro
+    python -m repro.analysis src --ignore source-mutable-default
+    python -m repro.analysis --select dataflow-unseeded-rng src/repro
     python -m repro.analysis --list-rules
 """
 
@@ -20,9 +23,15 @@ import argparse
 import sys
 from pathlib import Path
 
+# Importing the dataflow engine registers the dataflow-* rules, so
+# --list-rules / --select / --ignore see the full catalog.
+from repro.analysis.dataflow.engine import analyze_dataflow
 from repro.analysis.diagnostics import LintConfig, has_errors, registry
-from repro.analysis.reporters import render_json, render_text
+from repro.analysis.reporters import render_json, render_sarif, render_text
 from repro.analysis.source_rules import lint_source_tree
+
+#: The analyses ``--pass`` can name.
+PASSES = ("source", "dataflow", "all")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -33,9 +42,21 @@ def build_parser() -> argparse.ArgumentParser:
                         default=[Path("src/repro")],
                         help="files or directories to lint "
                              "(default: src/repro)")
-    parser.add_argument("--format", choices=("text", "json"), default="text")
-    parser.add_argument("--disable", action="append", default=[],
-                        metavar="RULE", help="disable a rule id (repeatable)")
+    parser.add_argument("--pass", dest="lint_pass", choices=PASSES,
+                        default="source",
+                        help="which analysis to run: per-file AST rules "
+                             "(source), the whole-program determinism & "
+                             "concurrency analyzer (dataflow), or both "
+                             "(all); default: source")
+    parser.add_argument("--format", choices=("text", "json", "sarif"),
+                        default="text")
+    parser.add_argument("--select", action="append", default=[],
+                        metavar="RULE",
+                        help="run only these rule ids (repeatable); "
+                             "all other rules are disabled")
+    parser.add_argument("--ignore", "--disable", action="append",
+                        default=[], dest="ignore", metavar="RULE",
+                        help="disable a rule id (repeatable)")
     parser.add_argument("--severity", action="append", default=[],
                         metavar="RULE=LEVEL",
                         help="override a rule's severity (repeatable)")
@@ -45,11 +66,31 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def list_rules() -> str:
+    """The catalog: id, severity, pass (category), one-line summary."""
     lines = []
-    for rule in registry.rules():
-        lines.append(f"{rule.id:32s} {rule.severity!s:8s} "
+    for rule in registry.rules():  # sorted by id
+        lines.append(f"{rule.id:36s} {rule.severity!s:8s} "
                      f"[{rule.category}] {rule.summary}")
     return "\n".join(lines)
+
+
+def build_config(select: list[str], ignore: list[str],
+                 severity: list[str]) -> LintConfig:
+    """A :class:`LintConfig` from ``--select``/``--ignore``/``--severity``.
+
+    ``--select`` keeps only the named rules (every other rule is
+    disabled); ``--ignore`` disables rules on top of that. Unknown rule
+    ids raise ``ValueError`` so typos fail loudly.
+    """
+    disabled = set(ignore)
+    if select:
+        for rule_id in select:
+            if rule_id not in registry:
+                raise ValueError(f"cannot select unknown rule {rule_id!r}")
+        disabled |= {rule.id for rule in registry
+                     if rule.id not in set(select)}
+    return LintConfig.from_options(disable=sorted(disabled),
+                                   severity=severity)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -58,8 +99,7 @@ def main(argv: list[str] | None = None) -> int:
         print(list_rules())
         return 0
     try:
-        config = LintConfig.from_options(disable=args.disable,
-                                         severity=args.severity)
+        config = build_config(args.select, args.ignore, args.severity)
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -68,8 +108,13 @@ def main(argv: list[str] | None = None) -> int:
         print(f"error: no such path(s): "
               f"{', '.join(str(p) for p in missing)}", file=sys.stderr)
         return 2
-    diagnostics = lint_source_tree(args.paths, config)
-    render = render_json if args.format == "json" else render_text
+    diagnostics = []
+    if args.lint_pass in ("source", "all"):
+        diagnostics.extend(lint_source_tree(args.paths, config))
+    if args.lint_pass in ("dataflow", "all"):
+        diagnostics.extend(analyze_dataflow(args.paths, config))
+    render = {"json": render_json, "sarif": render_sarif,
+              "text": render_text}[args.format]
     print(render(diagnostics))
     return 1 if has_errors(diagnostics) else 0
 

@@ -1,0 +1,74 @@
+"""Whole-program determinism and concurrency analysis.
+
+The repo's headline guarantees are *determinism* guarantees: resumed
+sweeps reproduce byte-identical output, the memoized candidate evaluator
+is only correct while its cache keys capture everything a delay depends
+on, and parallel worker pools must aggregate to the same rows as a
+serial run. One unseeded ``np.random`` call in a greedy loop, one
+mutable module global shared across the fork boundary, or one field
+missing from ``graph_fingerprint`` silently breaks all of that.
+
+This package enforces those guarantees statically, as a second
+generation pass on the :mod:`repro.analysis` rule framework:
+
+* :mod:`repro.analysis.dataflow.callgraph` — an AST project model over
+  ``src/repro`` (modules, functions, module-level globals, ContextVars)
+  and a call graph with import/alias resolution, ``self`` dispatch, and
+  reference edges for functions passed as values;
+* :mod:`repro.analysis.dataflow.effects` — purity & effect inference:
+  intrinsic effects (unseeded RNG, wall clock, filesystem, subprocess,
+  env reads, global mutation, ContextVar writes) detected per function
+  and propagated transitively through the call graph to a fixpoint;
+* :mod:`repro.analysis.dataflow.rules` — the determinism rule pack
+  (stable ``dataflow-*`` ids, pragma-waivable like the source rules):
+  unseeded RNG or wall-clock dependence reachable from the experiment
+  entry points, the worker-pool race detector, ContextVar-write
+  discipline, memo-poisoning oracles, and the cache-key completeness
+  cross-check against ``graph_fingerprint`` / ``ExperimentConfig``;
+* :mod:`repro.analysis.dataflow.engine` — orchestration:
+  ``analyze_dataflow(paths)`` builds the model, runs the rules, and
+  audits unused waiver pragmas.
+
+Run it via ``python -m repro.analysis --pass dataflow`` (CI gates on
+it), or cross-check it dynamically with
+``scripts/determinism_smoke.py``, which proves the analyzed entry
+points really do journal byte-identically serial vs. parallel.
+"""
+
+from repro.analysis.dataflow.callgraph import (
+    CallGraph,
+    FunctionInfo,
+    ModuleInfo,
+    ProjectModel,
+    build_project,
+)
+from repro.analysis.dataflow.effects import (
+    EFFECTS,
+    EffectAnalysis,
+    EffectSite,
+    analyze_effects,
+)
+from repro.analysis.dataflow.engine import (
+    DataflowModel,
+    DataflowOptions,
+    analyze_dataflow,
+    build_dataflow_model,
+    purity_report,
+)
+
+__all__ = [
+    "CallGraph",
+    "DataflowModel",
+    "DataflowOptions",
+    "EFFECTS",
+    "EffectAnalysis",
+    "EffectSite",
+    "FunctionInfo",
+    "ModuleInfo",
+    "ProjectModel",
+    "analyze_dataflow",
+    "analyze_effects",
+    "build_dataflow_model",
+    "build_project",
+    "purity_report",
+]

@@ -1,0 +1,395 @@
+"""Purity and effect inference over the project call graph.
+
+Every function gets a set of *effects* — the ways its result or behavior
+can depend on something other than its arguments:
+
+========================  ==================================================
+effect                    source pattern
+========================  ==================================================
+``rng-unseeded``          module-level RNG draws (``random.random``,
+                          ``np.random.rand``), seedless generator
+                          construction (``default_rng()``), or seeding the
+                          *global* stream (``np.random.seed``)
+``rng-seeded``            explicitly seeded generator construction —
+                          deterministic, recorded for the purity table only
+``wall-clock``            ``time.time``/``perf_counter``/``monotonic``,
+                          ``datetime.now`` and friends
+``filesystem``            ``open``, ``tempfile.*``, path write/replace ops
+``subprocess``            ``subprocess.*``, ``os.system``, ``Popen``
+``env-read``              ``os.environ`` / ``os.getenv``
+``global-write``          in-place mutation or rebinding of a module-level
+                          name (the shared-state hazard across trials and
+                          the worker-pool fork boundary)
+``contextvar-write``      ``.set()``/``.reset()`` on a module-level
+                          ``ContextVar``
+========================  ==================================================
+
+Intrinsic effects are detected per function body; :func:`analyze_effects`
+then propagates them transitively through call *and* reference edges to a
+fixpoint, so ``run_table → run_size_sweep → runner → oracle`` chains
+carry their leaves' effects. Each intrinsic effect keeps its
+:class:`EffectSite` (file, line, detail), which is where the rules anchor
+their diagnostics.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.dataflow.callgraph import (
+    CallGraph,
+    ExternalCall,
+    FunctionInfo,
+    MUTATING_METHODS,
+    ProjectModel,
+    _dotted_name,
+)
+
+RNG_UNSEEDED = "rng-unseeded"
+RNG_SEEDED = "rng-seeded"
+WALL_CLOCK = "wall-clock"
+FILESYSTEM = "filesystem"
+SUBPROCESS = "subprocess"
+ENV_READ = "env-read"
+GLOBAL_WRITE = "global-write"
+CONTEXTVAR_WRITE = "contextvar-write"
+
+#: Every effect kind, in report order (determinism-relevant first).
+EFFECTS = (RNG_UNSEEDED, GLOBAL_WRITE, CONTEXTVAR_WRITE, WALL_CLOCK,
+           ENV_READ, SUBPROCESS, FILESYSTEM, RNG_SEEDED)
+
+#: ``random`` module draws that consume the hidden global stream.
+_RANDOM_MODULE_DRAWS = frozenset({
+    "random", "randint", "randrange", "choice", "choices", "shuffle",
+    "sample", "uniform", "triangular", "gauss", "normalvariate",
+    "expovariate", "betavariate", "gammavariate", "lognormvariate",
+    "vonmisesvariate", "paretovariate", "weibullvariate", "getrandbits",
+    "randbytes",
+})
+
+#: ``numpy.random`` module-level draws (legacy global-state API).
+_NUMPY_MODULE_DRAWS = frozenset({
+    "rand", "randn", "randint", "random", "random_sample", "ranf",
+    "sample", "choice", "shuffle", "permutation", "bytes", "uniform",
+    "normal", "standard_normal", "exponential", "poisson", "binomial",
+    "beta", "gamma", "laplace", "logistic",
+})
+
+#: Generator constructors: seeded iff called with an argument.
+_RNG_CONSTRUCTORS = frozenset({
+    "random.Random", "random.SystemRandom",
+    "numpy.random.default_rng", "numpy.random.RandomState",
+    "numpy.random.Generator", "numpy.random.Philox", "numpy.random.PCG64",
+})
+
+_WALL_CLOCK_CALLS = frozenset({
+    "time.time", "time.time_ns", "time.perf_counter",
+    "time.perf_counter_ns", "time.monotonic", "time.monotonic_ns",
+    "time.process_time", "time.process_time_ns", "time.clock_gettime",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today",
+})
+
+_FILESYSTEM_CALLS = frozenset({
+    "open", "os.replace", "os.rename", "os.unlink", "os.remove",
+    "os.makedirs", "os.mkdir", "os.rmdir", "os.fsync", "os.open",
+    "tempfile.mkdtemp", "tempfile.mkstemp", "tempfile.TemporaryDirectory",
+    "tempfile.NamedTemporaryFile", "shutil.rmtree", "shutil.copy",
+    "shutil.copytree", "shutil.move",
+})
+
+#: Bare method names treated as filesystem writes on any receiver
+#: (``path.write_text`` — receiver types are unknown statically).
+_FILESYSTEM_METHODS = frozenset({
+    "write_text", "write_bytes", "mkdir", "unlink", "touch", "rmdir",
+})
+
+_SUBPROCESS_PATTERN = re.compile(
+    r"^(subprocess\.|os\.system$|os\.popen$|os\.spawn|os\.exec"
+    r"|.*\.Popen$)")
+
+_ENV_READS = frozenset({"os.getenv", "os.environ.get", "os.environ"})
+
+
+@dataclass(frozen=True)
+class EffectSite:
+    """Where an intrinsic effect enters the program."""
+
+    function: str
+    effect: str
+    path: Path
+    lineno: int
+    detail: str
+
+
+@dataclass
+class EffectAnalysis:
+    """Per-function effect sets plus every intrinsic site."""
+
+    #: qualname → transitive effect set (fixpoint over the call graph).
+    effects: dict[str, frozenset[str]] = field(default_factory=dict)
+    #: every intrinsic effect site, in source order.
+    sites: list[EffectSite] = field(default_factory=list)
+    #: qualname → its own intrinsic effects only.
+    intrinsic: dict[str, frozenset[str]] = field(default_factory=dict)
+
+    def of(self, qualname: str) -> frozenset[str]:
+        return self.effects.get(qualname, frozenset())
+
+    def sites_in(self, qualname: str,
+                 effect: str | None = None) -> list[EffectSite]:
+        return [site for site in self.sites
+                if site.function == qualname
+                and (effect is None or site.effect == effect)]
+
+    def is_pure(self, qualname: str) -> bool:
+        """No effects beyond explicitly seeded RNG."""
+        return not (self.of(qualname) - {RNG_SEEDED})
+
+
+def _classify_external(call: ExternalCall) -> tuple[str, str] | None:
+    """(effect, detail) for one unresolved call, or None."""
+    name = call.name
+    tail = name.rsplit(".", 1)[-1]
+    if name.startswith("random.") and tail in _RANDOM_MODULE_DRAWS:
+        return (RNG_UNSEEDED,
+                f"{name}() draws from the hidden global random stream")
+    if name.startswith("numpy.random.") and tail in _NUMPY_MODULE_DRAWS:
+        return (RNG_UNSEEDED,
+                f"{name}() draws from numpy's global random state")
+    if name in ("numpy.random.seed", "random.seed"):
+        return (RNG_UNSEEDED,
+                f"{name}() reseeds a process-global stream; draws remain "
+                f"call-order dependent")
+    if name in _RNG_CONSTRUCTORS:
+        if call.has_args:
+            return (RNG_SEEDED, f"{name}(seed) — explicitly seeded generator")
+        return (RNG_UNSEEDED,
+                f"{name}() built without a seed falls back to OS entropy")
+    if name in _WALL_CLOCK_CALLS:
+        return (WALL_CLOCK, f"{name}() reads the wall clock")
+    if name in _FILESYSTEM_CALLS or tail in _FILESYSTEM_METHODS:
+        return (FILESYSTEM, f"{name}() touches the filesystem")
+    if _SUBPROCESS_PATTERN.match(name):
+        return (SUBPROCESS, f"{name}() launches a subprocess")
+    if name in _ENV_READS or name.startswith("os.environ."):
+        return (ENV_READ, f"{name} reads the process environment")
+    return None
+
+
+def _binding_names(target: ast.expr) -> set[str]:
+    """Names a target expression *binds* — ``x``, ``(a, b)``, ``*rest``.
+
+    ``x[k] = ...`` and ``x.attr = ...`` do NOT bind ``x``; they mutate
+    whatever it already names, so the base name is excluded here (it is
+    exactly the case the global-write detector must keep seeing).
+    """
+    if isinstance(target, ast.Name):
+        return {target.id}
+    if isinstance(target, (ast.Tuple, ast.List)):
+        out: set[str] = set()
+        for elt in target.elts:
+            out |= _binding_names(elt)
+        return out
+    if isinstance(target, ast.Starred):
+        return _binding_names(target.value)
+    return set()
+
+
+def _local_names(node: ast.FunctionDef | ast.AsyncFunctionDef) -> set[str]:
+    """Names bound locally (params, assignments, loop/with targets)."""
+    declared_global = _global_declared(node)
+    args = node.args
+    local = {a.arg for a in [*args.posonlyargs, *args.args,
+                             *args.kwonlyargs]}
+    if args.vararg:
+        local.add(args.vararg.arg)
+    if args.kwarg:
+        local.add(args.kwarg.arg)
+    for stmt in ast.walk(node):
+        targets: list[ast.expr] = []
+        if isinstance(stmt, ast.Assign):
+            targets = list(stmt.targets)
+        elif isinstance(stmt, (ast.AnnAssign, ast.AugAssign)):
+            targets = [stmt.target]
+        elif isinstance(stmt, ast.For):
+            targets = [stmt.target]
+        elif isinstance(stmt, ast.withitem) and stmt.optional_vars:
+            targets = [stmt.optional_vars]
+        elif isinstance(stmt, ast.comprehension):
+            targets = [stmt.target]
+        for target in targets:
+            local |= _binding_names(target)
+    return local - declared_global
+
+
+def _global_declared(node: ast.FunctionDef | ast.AsyncFunctionDef
+                     ) -> set[str]:
+    return {name for stmt in ast.walk(node)
+            if isinstance(stmt, ast.Global) for name in stmt.names}
+
+
+def _global_write_sites(fn: FunctionInfo,
+                        project: ProjectModel) -> list[EffectSite]:
+    """Direct mutations of module-level names inside one function."""
+    module = project.modules[fn.module]
+    module_globals = {g.name: g for g in module.globals.values()}
+    local = _local_names(fn.node)
+    declared_global = _global_declared(fn.node)
+
+    def is_module_global(name: str) -> bool:
+        if name in declared_global:
+            return True
+        return name in module_globals and name not in local
+
+    sites: list[EffectSite] = []
+
+    def add(name: str, lineno: int, how: str) -> None:
+        g = module_globals.get(name)
+        target = g.qualname if g is not None else f"{fn.module}.{name}"
+        sites.append(EffectSite(
+            function=fn.qualname, effect=GLOBAL_WRITE, path=fn.path,
+            lineno=lineno,
+            detail=f"{how} module-level {target}"))
+
+    for node in ast.walk(fn.node):
+        if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            targets = (node.targets if isinstance(node, ast.Assign)
+                       else [node.target])
+            for target in targets:
+                # X = / X += ...  with `global X` declared
+                if (isinstance(target, ast.Name)
+                        and target.id in declared_global):
+                    add(target.id, node.lineno, "rebinds")
+                # X[...] = ... / X.attr = ... on a module global
+                elif isinstance(target, (ast.Subscript, ast.Attribute)):
+                    root = target.value
+                    while isinstance(root, (ast.Subscript, ast.Attribute)):
+                        root = root.value
+                    if (isinstance(root, ast.Name)
+                            and is_module_global(root.id)):
+                        add(root.id, node.lineno, "writes into")
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                if isinstance(target, (ast.Subscript, ast.Attribute)):
+                    root = target.value
+                    if (isinstance(root, ast.Name)
+                            and is_module_global(root.id)):
+                        add(root.id, node.lineno, "deletes from")
+        elif isinstance(node, ast.Call):
+            func = node.func
+            if (isinstance(func, ast.Attribute)
+                    and func.attr in MUTATING_METHODS
+                    and isinstance(func.value, ast.Name)
+                    and is_module_global(func.value.id)):
+                g = module_globals.get(func.value.id)
+                if g is not None and g.immutable:
+                    continue  # .add on a frozenset alias etc. — impossible
+                add(func.value.id, node.lineno,
+                    f"calls .{func.attr}() on")
+    return sites
+
+
+def _contextvar_write_sites(fn: FunctionInfo,
+                            project: ProjectModel) -> list[EffectSite]:
+    module = project.modules[fn.module]
+    contextvars = {g.name for g in module.globals.values()
+                   if g.is_contextvar}
+    # ContextVars imported from another project module count too.
+    for local, target in module.imports.items():
+        g = project.globals.get(target)
+        if g is not None and g.is_contextvar:
+            contextvars.add(local)
+    if not contextvars:
+        return []
+    sites: list[EffectSite] = []
+    for node in ast.walk(fn.node):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if (isinstance(func, ast.Attribute)
+                and func.attr in ("set", "reset")
+                and isinstance(func.value, ast.Name)
+                and func.value.id in contextvars):
+            sites.append(EffectSite(
+                function=fn.qualname, effect=CONTEXTVAR_WRITE,
+                path=fn.path, lineno=node.lineno,
+                detail=f"{func.value.id}.{func.attr}() mutates ambient "
+                       f"context state"))
+    return sites
+
+
+def _env_attribute_sites(fn: FunctionInfo,
+                         graph: CallGraph) -> list[EffectSite]:
+    """``os.environ[...]`` subscripts (non-call env reads)."""
+    sites: list[EffectSite] = []
+    for node in ast.walk(fn.node):
+        if isinstance(node, ast.Subscript):
+            parts = _dotted_name(node.value)
+            if parts == ["os", "environ"]:
+                sites.append(EffectSite(
+                    function=fn.qualname, effect=ENV_READ, path=fn.path,
+                    lineno=node.lineno,
+                    detail="os.environ[...] reads the process environment"))
+    return sites
+
+
+def intrinsic_effects(project: ProjectModel,
+                      graph: CallGraph) -> list[EffectSite]:
+    """Every function's own effect sites, in deterministic order."""
+    sites: list[EffectSite] = []
+    for qualname in sorted(project.functions):
+        fn = project.functions[qualname]
+        for call in graph.external.get(qualname, ()):
+            classified = _classify_external(call)
+            if classified is None:
+                continue
+            effect, detail = classified
+            sites.append(EffectSite(
+                function=qualname, effect=effect, path=fn.path,
+                lineno=call.node.lineno, detail=detail))
+        sites.extend(_global_write_sites(fn, project))
+        sites.extend(_contextvar_write_sites(fn, project))
+        sites.extend(_env_attribute_sites(fn, graph))
+    sites.sort(key=lambda s: (str(s.path), s.lineno, s.effect, s.detail))
+    return sites
+
+
+def analyze_effects(project: ProjectModel,
+                    graph: CallGraph) -> EffectAnalysis:
+    """Intrinsic detection plus transitive fixpoint propagation."""
+    analysis = EffectAnalysis()
+    analysis.sites = intrinsic_effects(project, graph)
+
+    intrinsic: dict[str, set[str]] = {q: set() for q in project.functions}
+    for site in analysis.sites:
+        intrinsic[site.function].add(site.effect)
+    analysis.intrinsic = {q: frozenset(v) for q, v in intrinsic.items()}
+
+    effects: dict[str, set[str]] = {q: set(v) for q, v in intrinsic.items()}
+    # Worklist fixpoint over reversed edges: when a callee's set grows,
+    # every caller is revisited.
+    callers: dict[str, set[str]] = {q: set() for q in project.functions}
+    for caller, callees in graph.edges.items():
+        for callee in callees:
+            if callee in callers:
+                callers[callee].add(caller)
+    worklist = sorted(project.functions)
+    pending = set(worklist)
+    while worklist:
+        qualname = worklist.pop()
+        pending.discard(qualname)
+        merged = set(effects[qualname])
+        for callee in graph.callees(qualname):
+            merged |= effects.get(callee, set())
+        if merged != effects[qualname]:
+            effects[qualname] = merged
+            for caller in callers.get(qualname, ()):
+                if caller not in pending:
+                    pending.add(caller)
+                    worklist.append(caller)
+    analysis.effects = {q: frozenset(v) for q, v in effects.items()}
+    return analysis

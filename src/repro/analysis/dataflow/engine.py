@@ -1,0 +1,208 @@
+"""The dataflow pass driver: options, model assembly, rule execution.
+
+:func:`analyze_dataflow` is the whole-program counterpart to
+:func:`repro.analysis.source_rules.lint_source`: it parses every file
+under the given paths into one :class:`~repro.analysis.dataflow
+.callgraph.ProjectModel`, runs effect inference, computes reachability
+from the experiment entry points and from the worker-pool trial
+functions, and hands the resulting :class:`DataflowModel` to every
+registered ``dataflow``-category rule.
+
+:class:`DataflowOptions` carries the project conventions the rules
+check against — which modules are entry points, where wall-clock reads
+are sanctioned, which functions are the blessed ContextVar scope
+managers, and which function/class pair defines the cache identity. The
+defaults describe this repository; tests override them to point at
+fixture trees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Iterable
+
+from repro.analysis.diagnostics import (
+    Diagnostic,
+    LintConfig,
+    Location,
+    Severity,
+    registry,
+    sort_diagnostics,
+)
+from repro.analysis.dataflow.callgraph import (
+    CallGraph,
+    ModuleInfo,
+    ProjectModel,
+    build_project,
+)
+from repro.analysis.dataflow.effects import (
+    EFFECTS,
+    EffectAnalysis,
+    analyze_effects,
+)
+
+
+@dataclass(frozen=True)
+class DataflowOptions:
+    """Project conventions the dataflow rules check against."""
+
+    #: Modules whose public module-level functions are determinism entry
+    #: points: everything reachable from them must be replayable.
+    entry_prefixes: tuple[str, ...] = ("repro.core", "repro.experiments")
+    #: Worker-pool trial functions (in addition to every function found
+    #: at a ``PoolTask(fn=...)`` construction site). The incremental
+    #: scorers are listed explicitly because they reach the pool through
+    #: a local variable the resolver cannot follow.
+    worker_entries: tuple[str, ...] = (
+        "repro.runtime.execute.run_trial",
+        "repro.delay.incremental._addition_score",
+        "repro.delay.incremental._upgrade_score",
+    )
+    #: Modules allowed to read the wall clock (the timing shims that
+    #: land measurements in declared-volatile fields).
+    timing_modules: tuple[str, ...] = ("repro.runtime",)
+    #: The only functions allowed to write ContextVars — the
+    #: token-restoring scope managers.
+    scope_functions: tuple[str, ...] = (
+        "repro.guard.policy.guard_scope",
+        "repro.runtime.provenance.collecting",
+    )
+    #: Modules forming the config boundary where env reads are expected.
+    env_modules: tuple[str, ...] = ("repro.experiments.harness",
+                                    "repro.cli")
+    #: Modules allowed to launch subprocesses (the hardened simulator
+    #: runner).
+    subprocess_modules: tuple[str, ...] = ("repro.circuit.ngspice",)
+    #: The function whose body defines the delay-cache identity.
+    fingerprint_function: str = "repro.delay.incremental.graph_fingerprint"
+    #: Modules whose graph reads must be covered by the fingerprint.
+    eval_modules: tuple[str, ...] = (
+        "repro.delay.rc_builder",
+        "repro.delay.elmore_graph",
+        "repro.delay.incremental",
+    )
+    #: Parameter names under which routing graphs flow into eval code.
+    graph_params: tuple[str, ...] = ("graph",)
+    #: The experiment config dataclass and its fingerprint method.
+    config_class: str = "repro.experiments.harness.ExperimentConfig"
+    config_fingerprint: str = "fingerprint_data"
+
+
+class DataflowModel:
+    """Everything a dataflow rule may consult, precomputed once."""
+
+    def __init__(self, project: ProjectModel, graph: CallGraph,
+                 effects: EffectAnalysis, options: DataflowOptions,
+                 entry_roots: tuple[str, ...],
+                 worker_roots: tuple[str, ...]):
+        self.project = project
+        self.graph = graph
+        self.effects = effects
+        self.options = options
+        self.entry_roots = entry_roots
+        self.worker_roots = worker_roots
+        #: function → BFS parent, for everything entry-reachable.
+        self.entry_parents = graph.reachable_from(entry_roots)
+        #: function → BFS parent, for everything worker-reachable.
+        self.worker_parents = graph.reachable_from(worker_roots)
+        self._module_by_path: dict[Path, ModuleInfo] = {
+            info.path: info for info in project.modules.values()}
+
+    def module_at(self, path: str | Path) -> ModuleInfo | None:
+        return self._module_by_path.get(Path(path))
+
+    def allows(self, rule_id: str, path: str | Path, lineno: int) -> bool:
+        """Whether an allow-pragma waives ``rule_id`` at this site."""
+        module = self.module_at(path)
+        if module is None:
+            return False
+        return module.source.allows(rule_id, lineno)
+
+
+def discover_entries(project: ProjectModel,
+                     options: DataflowOptions) -> set[str]:
+    """Public module-level functions under the entry prefixes."""
+    entries: set[str] = set()
+    for prefix in options.entry_prefixes:
+        for fn in project.functions_in(prefix):
+            if fn.is_public and not fn.is_method:
+                entries.add(fn.qualname)
+    return entries
+
+
+def build_dataflow_model(paths: Iterable[str | Path],
+                         options: DataflowOptions | None = None
+                         ) -> DataflowModel:
+    """Parse, build the call graph, infer effects, compute reachability."""
+    from repro.analysis.dataflow.rules import detect_pool_entries
+
+    opts = options or DataflowOptions()
+    project = build_project(paths)
+    graph = CallGraph(project)
+    effects = analyze_effects(project, graph)
+    entry_roots = tuple(sorted(discover_entries(project, opts)))
+    worker_roots = tuple(sorted(
+        set(opts.worker_entries) | detect_pool_entries(project, graph)))
+    return DataflowModel(project=project, graph=graph, effects=effects,
+                         options=opts, entry_roots=entry_roots,
+                         worker_roots=worker_roots)
+
+
+def analyze_dataflow(paths: Iterable[str | Path],
+                     config: LintConfig | None = None,
+                     options: DataflowOptions | None = None
+                     ) -> list[Diagnostic]:
+    """Run every enabled dataflow rule over the tree under ``paths``.
+
+    Like :func:`lint_source`, the waiver audit runs *after* every other
+    rule so it can see which pragmas went unused; the audit's findings
+    are appended under the same config filtering.
+    """
+    from repro.analysis.dataflow.rules import WAIVER_AUDIT_RULE
+
+    model = build_dataflow_model(paths, options)
+    cfg = config or LintConfig()
+
+    out: list[Diagnostic] = []
+    for path, (lineno, message) in sorted(model.project.parse_errors.items()):
+        out.append(Diagnostic(
+            rule="source-syntax-error", severity=Severity.ERROR,
+            message=f"syntax error: {message}",
+            location=Location(file=str(path), line=lineno)))
+
+    main_cfg = LintConfig(
+        disabled=cfg.disabled | {WAIVER_AUDIT_RULE},
+        severity_overrides=cfg.severity_overrides)
+    out.extend(registry.run("dataflow", model, main_cfg))
+    if cfg.enabled(WAIVER_AUDIT_RULE):
+        audit = registry.get(WAIVER_AUDIT_RULE)
+        severity = cfg.severity_for(audit)
+        out.extend(replace(d, severity=severity) if d.severity != severity
+                   else d for d in audit.check(model))
+        sort_diagnostics(out)
+    return out
+
+
+def purity_report(model: DataflowModel,
+                  qualnames: Iterable[str] | None = None) -> str:
+    """A plain-text effects table, one line per function.
+
+    With no explicit ``qualnames``, reports the entry points. The smoke
+    scripts embed this in their output so a determinism regression comes
+    with the analyzer's view of where the nondeterminism entered.
+    """
+    names = sorted(qualnames if qualnames is not None else model.entry_roots)
+    width = max((len(n) for n in names), default=0)
+    lines = []
+    for name in names:
+        effects = model.effects.of(name)
+        shown = [e for e in EFFECTS if e in effects]
+        lines.append(f"{name:<{width}}  "
+                     + (", ".join(shown) if shown else "pure"))
+    return "\n".join(lines)
+
+
+# Importing the rule pack registers every dataflow-* rule; it lives at
+# the bottom because the rules type-annotate against DataflowModel.
+from repro.analysis.dataflow import rules as _rules  # noqa: E402,F401

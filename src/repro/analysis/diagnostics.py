@@ -171,10 +171,17 @@ class RuleRegistry:
                 if diag.severity != severity:
                     diag = replace(diag, severity=severity)
                 out.append(diag)
-        out.sort(key=lambda d: (-int(d.severity), d.rule,
-                                d.location.file or "", d.location.line or 0,
-                                d.location.obj or "", d.message))
+        sort_diagnostics(out)
         return out
+
+
+def sort_diagnostics(diagnostics: list[Diagnostic]) -> list[Diagnostic]:
+    """Sort in place into report order: gravest first, then rule, place."""
+    diagnostics.sort(key=lambda d: (-int(d.severity), d.rule,
+                                    d.location.file or "",
+                                    d.location.line or 0,
+                                    d.location.obj or "", d.message))
+    return diagnostics
 
 
 #: The process-wide default registry; the rule modules populate it on import.

@@ -24,7 +24,8 @@ comment on the offending line.
 from __future__ import annotations
 
 import ast
-from dataclasses import dataclass
+import re
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Iterable, Iterator
 
@@ -35,6 +36,7 @@ from repro.analysis.diagnostics import (
     Severity,
     registry,
     rule,
+    sort_diagnostics,
 )
 
 #: Attribute names treated as plane coordinates.
@@ -56,25 +58,84 @@ BOUNDARY_EXEMPT = frozenset({"__init__.py", "result.py"})
 #: Comment waiving a rule on its line: ``# repro: allow=<rule-id>``.
 ALLOW_PRAGMA = "# repro: allow="
 
+#: What a waiver's rule-id token may look like (``all`` included).
+_RULE_ID_TOKEN = re.compile(r"[a-z][a-z0-9-]*")
+
 
 @dataclass(frozen=True)
 class ParsedSource:
-    """One Python file parsed for linting."""
+    """One Python file parsed for linting.
+
+    Waiver pragmas are consulted through :meth:`allows` (one line) or
+    :meth:`allows_statement` (a whole statement's span, including the
+    decorator lines of a decorated def). Every *consulted-and-matched*
+    pragma is recorded in ``used_waivers`` so an audit pass can flag
+    pragmas that waive nothing.
+    """
 
     path: Path
     tree: ast.Module
     lines: tuple[str, ...]
+    #: ``(lineno, rule-id-as-written)`` of every pragma that waived a
+    #: diagnostic this run. Mutable bookkeeping, excluded from equality.
+    used_waivers: set[tuple[int, str]] = field(
+        default_factory=set, compare=False, repr=False)
 
-    def allows(self, rule_id: str, line: int) -> bool:
-        """Whether ``line`` carries an allow-pragma for ``rule_id``."""
+    def _pragma_on(self, line: int) -> tuple[int, str] | None:
+        """The ``(lineno, rule_id)`` pragma on ``line``, if any.
+
+        Only well-formed rule-id tokens count: mentions of the pragma
+        syntax inside docstrings or string literals are not pragmas.
+        """
         if not 1 <= line <= len(self.lines):
-            return False
+            return None
         text = self.lines[line - 1]
         marker = text.find(ALLOW_PRAGMA)
         if marker < 0:
+            return None
+        tokens = text[marker + len(ALLOW_PRAGMA):].split()
+        if not tokens or not _RULE_ID_TOKEN.fullmatch(tokens[0]):
+            return None
+        return (line, tokens[0])
+
+    def waiver_lines(self) -> list[tuple[int, str]]:
+        """Every pragma in the file as ``(lineno, rule-id-as-written)``."""
+        found = []
+        for line in range(1, len(self.lines) + 1):
+            pragma = self._pragma_on(line)
+            if pragma is not None:
+                found.append(pragma)
+        return found
+
+    def allows(self, rule_id: str, line: int) -> bool:
+        """Whether ``line`` carries an allow-pragma for ``rule_id``."""
+        pragma = self._pragma_on(line)
+        if pragma is None or pragma[1] not in (rule_id, "all"):
             return False
-        allowed = text[marker + len(ALLOW_PRAGMA):].split()[0]
-        return allowed in (rule_id, "all")
+        self.used_waivers.add(pragma)
+        return True
+
+    def allows_statement(self, rule_id: str, node: ast.AST) -> bool:
+        """Whether any line of ``node``'s statement waives ``rule_id``.
+
+        The span runs from the first decorator (for decorated defs)
+        through the statement's last line — but for function/class
+        definitions it stops at the signature, so a pragma deep inside a
+        body never waives a definition-level diagnostic.
+        """
+        start = getattr(node, "lineno", None)
+        if start is None:
+            return False
+        decorators = getattr(node, "decorator_list", [])
+        if decorators:
+            start = min(start, decorators[0].lineno)
+        end = getattr(node, "end_lineno", None) or start
+        body = getattr(node, "body", None)
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)) and body:
+            end = min(end, max(node.lineno, body[0].lineno - 1))
+        return any(self.allows(rule_id, line)
+                   for line in range(start, end + 1))
 
     def location(self, node: ast.AST) -> Location:
         return Location(file=str(self.path),
@@ -112,7 +173,7 @@ def check_float_eq(source: ParsedSource) -> Iterator[Diagnostic]:
             continue
         operands = [node.left, *node.comparators]
         offender = next((o for o in operands if _is_coordinate_expr(o)), None)
-        if offender is None or source.allows(r.id, node.lineno):
+        if offender is None or source.allows_statement(r.id, node):
             continue
         yield r.diagnostic(
             f"floating-point equality on {ast.unparse(offender)!r}",
@@ -139,7 +200,7 @@ def check_frozen_mutation(source: ParsedSource) -> Iterator[Diagnostic]:
         target = node.args[0] if node.args else None
         if isinstance(target, ast.Name) and target.id == "self":
             continue  # a class may complete its own frozen __init__
-        if source.allows(r.id, node.lineno):
+        if source.allows_statement(r.id, node):
             continue
         yield r.diagnostic(
             f"object.__setattr__ on {ast.unparse(target) if target else '?'}",
@@ -191,7 +252,8 @@ def check_mutable_default(source: ParsedSource) -> Iterator[Diagnostic]:
                 continue
             bad = (isinstance(default, mutable)
                    or _call_name(default) in constructors)
-            if bad and not source.allows(r.id, default.lineno):
+            if bad and not (source.allows(r.id, default.lineno)
+                            or source.allows_statement(r.id, node)):
                 yield r.diagnostic(
                     f"function {node.name!r} has mutable default "
                     f"{ast.unparse(default)!r}",
@@ -215,7 +277,7 @@ def check_invariant_assert(source: ParsedSource) -> Iterator[Diagnostic]:
     for node in ast.walk(source.tree):
         if not isinstance(node, ast.Assert):
             continue
-        if source.allows(r.id, node.lineno):
+        if source.allows_statement(r.id, node):
             continue
         yield r.diagnostic(
             f"runtime invariant asserted: {ast.unparse(node.test)!r}",
@@ -223,6 +285,39 @@ def check_invariant_assert(source: ParsedSource) -> Iterator[Diagnostic]:
             hint="use repro.guard.sentinels.ensure(...) or "
                  "ensure_found(...) — they raise InvariantViolation in "
                  "every interpreter mode (python -O included)")
+
+
+#: The waiver-audit rule id; it must run *after* every other rule of its
+#: pass so the used-waiver bookkeeping is complete (see lint_source).
+WAIVER_AUDIT_RULE = "source-unused-waiver"
+
+
+@rule(WAIVER_AUDIT_RULE, category="source", severity=Severity.WARNING,
+      summary="an allow-pragma waives nothing (stale or misspelled)",
+      rationale="a pragma that no longer suppresses a diagnostic hides "
+                "the next real violation on its line; stale waivers must "
+                "be deleted, and a typo in the rule id means the "
+                "intended waiver never worked at all")
+def check_unused_waiver(source: ParsedSource) -> Iterator[Diagnostic]:
+    r = registry.get(WAIVER_AUDIT_RULE)
+    for lineno, rule_id in source.waiver_lines():
+        if rule_id == "all":
+            continue  # blanket waivers cannot be attributed to one rule
+        location = Location(file=str(source.path), line=lineno)
+        if rule_id not in registry:
+            yield r.diagnostic(
+                f"waiver names unknown rule {rule_id!r}",
+                location=location,
+                hint="check the rule id against --list-rules")
+            continue
+        if registry.get(rule_id).category != "source":
+            continue  # audited by that rule's own pass (e.g. dataflow)
+        if (lineno, rule_id) not in source.used_waivers:
+            yield r.diagnostic(
+                f"pragma waives {rule_id!r} but nothing on this "
+                f"statement violates it",
+                location=location,
+                hint="delete the stale pragma (or fix the rule id)")
 
 
 def parse_source(path: str | Path) -> ParsedSource | Diagnostic:
@@ -242,11 +337,27 @@ def parse_source(path: str | Path) -> ParsedSource | Diagnostic:
 
 def lint_source(path: str | Path,
                 config: LintConfig | None = None) -> list[Diagnostic]:
-    """Run every enabled source rule against one Python file."""
+    """Run every enabled source rule against one Python file.
+
+    The waiver audit runs last, explicitly: it inspects which pragmas the
+    other rules consumed, so it must never run before them regardless of
+    what rule-id sort order would say.
+    """
     parsed = parse_source(path)
     if isinstance(parsed, Diagnostic):
         return [parsed]
-    return registry.run("source", parsed, config)
+    cfg = config or LintConfig()
+    main_cfg = LintConfig(
+        disabled=cfg.disabled | {WAIVER_AUDIT_RULE},
+        severity_overrides=cfg.severity_overrides)
+    out = registry.run("source", parsed, main_cfg)
+    if cfg.enabled(WAIVER_AUDIT_RULE):
+        audit = registry.get(WAIVER_AUDIT_RULE)
+        severity = cfg.severity_for(audit)
+        out.extend(replace(d, severity=severity) if d.severity != severity
+                   else d for d in audit.check(parsed))
+        sort_diagnostics(out)
+    return out
 
 
 def iter_python_files(paths: Iterable[str | Path]) -> Iterator[Path]:

@@ -172,10 +172,21 @@ def build_parser() -> argparse.ArgumentParser:
                        help="render the embedded routing as SVG")
 
     lint = sub.add_parser(
-        "lint", help="lint routing JSON / net files and their RC models")
+        "lint", help="lint routing JSON / net files and their RC models, "
+                     "or the source tree itself (--pass source/dataflow)")
     lint.add_argument("inputs", nargs="*", type=Path,
-                      help="routing .json files and/or .nets files")
-    lint.add_argument("--format", choices=("text", "json"), default="text",
+                      help="routing .json files and/or .nets files "
+                           "(with --pass source/dataflow: source files "
+                           "or directories, default src/repro)")
+    lint.add_argument("--pass", dest="lint_pass",
+                      choices=("data", "source", "dataflow", "all"),
+                      default="data",
+                      help="what to lint: routing/RC data files (data, "
+                           "the default), per-file AST rules (source), "
+                           "the whole-program determinism analyzer "
+                           "(dataflow), or both code passes (all)")
+    lint.add_argument("--format", choices=("text", "json", "sarif"),
+                      default="text",
                       help="report format (default: text)")
     lint.add_argument("--disable", action="append", default=[],
                       metavar="RULE", help="disable a rule id (repeatable)")
@@ -387,20 +398,24 @@ def _cmd_embed(args: argparse.Namespace) -> int:
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
-    """Lint routing JSON files and net files with the analysis framework.
+    """Lint routing/net data files or the source tree itself.
 
-    Exit status: 0 clean (warnings allowed), 1 when any error-severity
-    diagnostic fires, 2 on usage errors.
+    ``--pass data`` (the default) checks routing JSON and net files;
+    ``--pass source``/``dataflow``/``all`` runs the code passes of
+    :mod:`repro.analysis` over source paths instead. Exit status: 0
+    clean (warnings allowed), 1 when any error-severity diagnostic
+    fires, 2 on usage errors.
     """
+    # Registers the dataflow-* rules so --disable/--list-rules see them.
+    from repro.analysis.dataflow.engine import analyze_dataflow
+    from repro.analysis.reporters import render_sarif
+    from repro.analysis.source_rules import lint_source_tree
+
     if args.list_rules:
         from repro.analysis.__main__ import list_rules
 
         print(list_rules())
         return 0
-    if not args.inputs:
-        print("error: no input files (give routing .json or .nets files)",
-              file=sys.stderr)
-        return 2
     try:
         config = LintConfig.from_options(disable=args.disable,
                                          severity=args.severity)
@@ -408,20 +423,37 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
-    tech = Technology.cmos08()
     diagnostics: list[Diagnostic] = []
-    for path in args.inputs:
-        if not path.exists():
-            print(f"error: no such file: {path}", file=sys.stderr)
+    if args.lint_pass == "data":
+        if not args.inputs:
+            print("error: no input files (give routing .json or .nets "
+                  "files)", file=sys.stderr)
             return 2
-        if path.suffix == ".json":
-            diagnostics.extend(_lint_routing_file(
-                path, tech, config, with_rc=not args.no_rc,
-                segments=args.segments))
-        else:
-            diagnostics.extend(_lint_nets_file(path))
+        tech = Technology.cmos08()
+        for path in args.inputs:
+            if not path.exists():
+                print(f"error: no such file: {path}", file=sys.stderr)
+                return 2
+            if path.suffix == ".json":
+                diagnostics.extend(_lint_routing_file(
+                    path, tech, config, with_rc=not args.no_rc,
+                    segments=args.segments))
+            else:
+                diagnostics.extend(_lint_nets_file(path))
+    else:
+        paths = args.inputs or [Path("src/repro")]
+        missing = [p for p in paths if not p.exists()]
+        if missing:
+            print(f"error: no such path(s): "
+                  f"{', '.join(str(p) for p in missing)}", file=sys.stderr)
+            return 2
+        if args.lint_pass in ("source", "all"):
+            diagnostics.extend(lint_source_tree(paths, config))
+        if args.lint_pass in ("dataflow", "all"):
+            diagnostics.extend(analyze_dataflow(paths, config))
 
-    render = render_json if args.format == "json" else render_text
+    render = {"json": render_json, "sarif": render_sarif,
+              "text": render_text}[args.format]
     print(render(diagnostics))
     return 1 if has_errors(diagnostics) else 0
 

@@ -35,7 +35,13 @@ from repro.runtime.execute import (
     run_trials,
     sweep_tasks,
 )
-from repro.runtime.journal import RunJournal, atomic_write_text, fingerprint
+from repro.runtime.journal import (
+    RunJournal,
+    atomic_write_text,
+    canonical_journal_bytes,
+    canonical_record,
+    fingerprint,
+)
 from repro.runtime.pool import PoolTask, run_tasks, trial_deadline
 from repro.runtime.provenance import ProvenanceEvent, collecting, record
 from repro.runtime.resilience import (
@@ -74,6 +80,8 @@ __all__ = [
     "TrialTimeout",
     "atomic_write_text",
     "call_with_retries",
+    "canonical_journal_bytes",
+    "canonical_record",
     "collecting",
     "describe_runner",
     "fingerprint",

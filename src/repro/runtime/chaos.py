@@ -93,6 +93,9 @@ class ChaosDelayModel(DelayModel):
     """
 
     name = "chaos"
+    #: The fault RNG advances per call: a memo hit would skip a draw and
+    #: shift every later fault, so this oracle must never be cached.
+    cacheable = False
 
     def __init__(self, inner: DelayModel, policy: ChaosPolicy,
                  salt: str = "", sleep: SleepFn = time.sleep):

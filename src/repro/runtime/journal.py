@@ -33,6 +33,47 @@ from repro.runtime.trial import (
 #: Journal format version, bumped on incompatible record changes.
 JOURNAL_VERSION = 1
 
+#: Record fields fed by the wall clock — the only nondeterminism the
+#: runtime knowingly journals (``repro.runtime`` is the one place the
+#: dataflow analyzer sanctions wall-clock reads, and they land here).
+#: :func:`canonical_record` strips these so byte comparison of two
+#: journals checks everything that is *supposed* to be deterministic.
+VOLATILE_FIELDS = frozenset({"elapsed"})
+
+
+def canonical_record(data: Any) -> Any:
+    """``data`` with every volatile field removed, at any nesting depth."""
+    if isinstance(data, dict):
+        return {key: canonical_record(value) for key, value in data.items()
+                if key not in VOLATILE_FIELDS}
+    if isinstance(data, list):
+        return [canonical_record(item) for item in data]
+    return data
+
+
+def canonical_journal_bytes(directory: Path) -> bytes:
+    """The journal's trial records as canonical bytes for comparison.
+
+    Records are read in sorted filename order (the key order), volatile
+    fields stripped, and re-serialized with sorted keys — two runs of
+    the same fingerprinted config must produce identical output here
+    whether they ran serially, in a worker pool, or across a
+    kill/resume boundary. Malformed records are kept verbatim so a
+    corrupt journal can never masquerade as a match.
+    """
+    chunks: list[bytes] = []
+    for path in sorted(Path(directory).glob("trial_*.json")):
+        raw = path.read_text(encoding="utf-8")
+        try:
+            data = json.loads(raw)
+        except ValueError:
+            chunks.append(f"{path.name}\t{raw}".encode("utf-8"))
+            continue
+        canonical = json.dumps(canonical_record(data), sort_keys=True,
+                               separators=(",", ":"))
+        chunks.append(f"{path.name}\t{canonical}".encode("utf-8"))
+    return b"\n".join(chunks)
+
 
 def fingerprint(payload: Mapping[str, Any]) -> str:
     """Stable hex digest of a JSON-serializable config description."""

@@ -1,0 +1,187 @@
+"""Unit tests for the project model and call graph."""
+
+from pathlib import Path
+
+from repro.analysis.dataflow.callgraph import (
+    CallGraph,
+    build_project,
+    module_name_for,
+)
+
+
+class TestModuleNames:
+    def test_anchors_at_last_repro_directory(self):
+        path = Path("/x/src/repro/core/ldrg.py")
+        assert module_name_for(path) == "repro.core.ldrg"
+
+    def test_tmp_fixture_layout_resolves_identically(self, tmp_path):
+        path = tmp_path / "src" / "repro" / "runtime" / "pool.py"
+        assert module_name_for(path) == "repro.runtime.pool"
+
+    def test_init_file_names_the_package(self):
+        path = Path("/x/src/repro/delay/__init__.py")
+        assert module_name_for(path) == "repro.delay"
+
+    def test_non_repro_path_falls_back_to_stem(self):
+        assert module_name_for(Path("/elsewhere/script.py")) == "script"
+
+
+class TestProjectModel:
+    def test_collects_functions_methods_globals(self, tree):
+        tree.write("core/algo.py", """
+            STATE = {}
+            LIMIT = 7
+
+            def run(net):
+                return net
+
+            class Helper:
+                cacheable = False
+
+                def assist(self):
+                    return self
+        """)
+        project = build_project([tree.root])
+        assert "repro.core.algo.run" in project.functions
+        assert "repro.core.algo.Helper.assist" in project.functions
+        assert project.functions["repro.core.algo.Helper.assist"].cls == "Helper"
+        assert "repro.core.algo.STATE" in project.globals
+        assert not project.globals["repro.core.algo.STATE"].immutable
+        assert project.globals["repro.core.algo.LIMIT"].immutable
+        cls = project.classes["repro.core.algo.Helper"]
+        assert cls.assigns_name("cacheable")
+
+    def test_contextvar_globals_are_marked(self, tree):
+        tree.write("guard/policy.py", """
+            from contextvars import ContextVar
+
+            _active = ContextVar("active", default=None)
+        """)
+        project = build_project([tree.root])
+        assert project.globals["repro.guard.policy._active"].is_contextvar
+
+    def test_syntax_errors_are_collected_not_raised(self, tree):
+        path = tree.write("broken.py", "def oops(:\n")
+        project = build_project([tree.root])
+        assert path in project.parse_errors
+
+
+class TestCallEdges:
+    def test_same_module_and_from_import_calls(self, tree):
+        tree.write("core/helpers.py", """
+            def leaf():
+                return 1
+        """)
+        tree.write("core/algo.py", """
+            from repro.core.helpers import leaf
+
+            def local():
+                return leaf()
+
+            def run():
+                return local()
+        """)
+        graph = CallGraph(build_project([tree.root]))
+        assert "repro.core.algo.local" in graph.callees("repro.core.algo.run")
+        assert ("repro.core.helpers.leaf"
+                in graph.callees("repro.core.algo.local"))
+
+    def test_dotted_module_alias_calls(self, tree):
+        tree.write("core/helpers.py", """
+            def leaf():
+                return 1
+        """)
+        tree.write("core/algo.py", """
+            import repro.core.helpers as helpers
+
+            def run():
+                return helpers.leaf()
+        """)
+        graph = CallGraph(build_project([tree.root]))
+        assert ("repro.core.helpers.leaf"
+                in graph.callees("repro.core.algo.run"))
+
+    def test_self_method_dispatch(self, tree):
+        tree.write("core/algo.py", """
+            class Router:
+                def _inner(self):
+                    return 1
+
+                def route(self):
+                    return self._inner()
+        """)
+        graph = CallGraph(build_project([tree.root]))
+        assert ("repro.core.algo.Router._inner"
+                in graph.callees("repro.core.algo.Router.route"))
+
+    def test_reference_edge_for_function_passed_as_value(self, tree):
+        tree.write("core/algo.py", """
+            def trial(net):
+                return net
+
+            def sweep(pool):
+                return pool.map(trial, range(3))
+        """)
+        graph = CallGraph(build_project([tree.root]))
+        assert "repro.core.algo.trial" in graph.callees("repro.core.algo.sweep")
+
+    def test_class_reference_links_to_its_methods(self, tree):
+        tree.write("delay/models.py", """
+            class Oracle:
+                def delays(self, graph):
+                    return {}
+        """)
+        tree.write("core/algo.py", """
+            from repro.delay.models import Oracle
+
+            def run():
+                oracle = Oracle()
+                return oracle
+        """)
+        graph = CallGraph(build_project([tree.root]))
+        assert ("repro.delay.models.Oracle.delays"
+                in graph.callees("repro.core.algo.run"))
+
+    def test_unresolved_calls_kept_as_externals(self, tree):
+        tree.write("core/algo.py", """
+            import numpy as np
+
+            def run():
+                return np.random.default_rng(7)
+        """)
+        graph = CallGraph(build_project([tree.root]))
+        names = [c.name for c in graph.external["repro.core.algo.run"]]
+        assert "numpy.random.default_rng" in names
+
+
+class TestReachability:
+    def test_bfs_parents_and_witness_chain(self, tree):
+        tree.write("core/algo.py", """
+            def leaf():
+                return 1
+
+            def mid():
+                return leaf()
+
+            def entry():
+                return mid()
+        """)
+        graph = CallGraph(build_project([tree.root]))
+        parents = graph.reachable_from(["repro.core.algo.entry"])
+        assert parents["repro.core.algo.entry"] is None
+        assert parents["repro.core.algo.leaf"] == "repro.core.algo.mid"
+        chain = graph.witness_chain(parents, "repro.core.algo.leaf")
+        assert chain == ["repro.core.algo.entry", "repro.core.algo.mid",
+                        "repro.core.algo.leaf"]
+
+    def test_unreachable_function_is_absent(self, tree):
+        tree.write("core/algo.py", """
+            def entry():
+                return 1
+
+            def island():
+                return 2
+        """)
+        graph = CallGraph(build_project([tree.root]))
+        parents = graph.reachable_from(["repro.core.algo.entry"])
+        assert "repro.core.algo.island" not in parents

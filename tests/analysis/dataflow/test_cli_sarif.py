@@ -1,0 +1,143 @@
+"""CLI UX (--pass/--select/--ignore) and the SARIF reporter."""
+
+import json
+
+from repro.analysis.__main__ import main as analysis_main
+from repro.analysis.diagnostics import (
+    Diagnostic,
+    Location,
+    Severity,
+)
+from repro.analysis.reporters import render_sarif
+from repro.cli import main as cli_main
+
+UNSEEDED = """
+import random
+
+def route(net):
+    return random.random()
+"""
+
+
+def fixture_tree(tree):
+    tree.write("experiments/algo.py", UNSEEDED)
+    return tree.root
+
+
+class TestAnalysisMain:
+    def test_pass_dataflow_finds_the_violation(self, tree, capsys):
+        code = analysis_main(["--pass", "dataflow", str(fixture_tree(tree))])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "dataflow-unseeded-rng" in out
+
+    def test_source_pass_ignores_dataflow_violations(self, tree, capsys):
+        code = analysis_main(["--pass", "source", str(fixture_tree(tree))])
+        assert code == 0
+
+    def test_pass_all_runs_both(self, tree, capsys):
+        tree.write("experiments/algo.py", UNSEEDED)
+        tree.write("experiments/bad.py", "def f(a=[]):\n    return a\n")
+        code = analysis_main(["--pass", "all", str(tree.root)])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "dataflow-unseeded-rng" in out
+        assert "source-mutable-default" in out
+
+    def test_select_runs_only_named_rules(self, tree, capsys):
+        tree.write("experiments/algo.py", UNSEEDED)
+        tree.write("experiments/bad.py", "def f(a=[]):\n    return a\n")
+        code = analysis_main(["--pass", "all", "--select",
+                              "source-mutable-default", str(tree.root)])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "source-mutable-default" in out
+        assert "dataflow-unseeded-rng" not in out
+
+    def test_select_unknown_rule_is_a_usage_error(self, tree, capsys):
+        code = analysis_main(["--select", "no-such-rule",
+                              str(fixture_tree(tree))])
+        assert code == 2
+        assert "no-such-rule" in capsys.readouterr().err
+
+    def test_ignore_disables_a_rule(self, tree, capsys):
+        code = analysis_main(["--pass", "dataflow", "--ignore",
+                              "dataflow-unseeded-rng",
+                              str(fixture_tree(tree))])
+        assert code == 0
+
+    def test_list_rules_is_sorted_and_covers_both_passes(self, capsys):
+        code = analysis_main(["--list-rules"])
+        out = capsys.readouterr().out
+        assert code == 0
+        ids = [line.split()[0] for line in out.splitlines()]
+        assert ids == sorted(ids)
+        assert any(i.startswith("dataflow-") for i in ids)
+        assert any(i.startswith("source-") for i in ids)
+
+    def test_sarif_output_is_valid_sarif(self, tree, capsys):
+        code = analysis_main(["--pass", "dataflow", "--format", "sarif",
+                              str(fixture_tree(tree))])
+        assert code == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["version"] == "2.1.0"
+        run = doc["runs"][0]
+        assert run["tool"]["driver"]["name"] == "repro.analysis"
+        results = run["results"]
+        assert results and results[0]["ruleId"] == "dataflow-unseeded-rng"
+        assert results[0]["level"] == "error"
+        rules = run["tool"]["driver"]["rules"]
+        assert rules[results[0]["ruleIndex"]]["id"] == "dataflow-unseeded-rng"
+        region = results[0]["locations"][0]["physicalLocation"]["region"]
+        assert region["startLine"] == 5
+
+
+class TestReproRouteLint:
+    def test_lint_pass_dataflow(self, tree, capsys):
+        code = cli_main(["lint", "--pass", "dataflow",
+                         str(fixture_tree(tree))])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "dataflow-unseeded-rng" in out
+
+    def test_lint_pass_dataflow_sarif(self, tree, capsys):
+        code = cli_main(["lint", "--pass", "dataflow", "--format", "sarif",
+                         str(fixture_tree(tree))])
+        doc = json.loads(capsys.readouterr().out)
+        assert code == 1
+        assert doc["runs"][0]["results"]
+
+    def test_lint_data_pass_still_requires_inputs(self, capsys):
+        assert cli_main(["lint"]) == 2
+
+    def test_lint_missing_source_path_is_usage_error(self, tmp_path, capsys):
+        code = cli_main(["lint", "--pass", "dataflow",
+                         str(tmp_path / "nope")])
+        assert code == 2
+
+
+class TestRenderSarif:
+    def test_unregistered_rule_gets_minimal_descriptor(self):
+        diags = [Diagnostic(rule="nets-malformed", severity=Severity.ERROR,
+                            message="cannot read",
+                            location=Location(file="x.nets"))]
+        doc = json.loads(render_sarif(diags))
+        rules = doc["runs"][0]["tool"]["driver"]["rules"]
+        assert rules == [{"id": "nets-malformed"}]
+
+    def test_severity_levels_map_to_sarif_levels(self):
+        diags = [
+            Diagnostic(rule="a", severity=Severity.ERROR, message="m"),
+            Diagnostic(rule="b", severity=Severity.WARNING, message="m"),
+            Diagnostic(rule="c", severity=Severity.INFO, message="m"),
+        ]
+        doc = json.loads(render_sarif(diags))
+        levels = [r["level"] for r in doc["runs"][0]["results"]]
+        assert levels == ["error", "warning", "note"]
+
+    def test_hint_is_appended_to_the_message(self):
+        diags = [Diagnostic(rule="a", severity=Severity.ERROR, message="m",
+                            hint="do the thing")]
+        doc = json.loads(render_sarif(diags))
+        text = doc["runs"][0]["results"][0]["message"]["text"]
+        assert "do the thing" in text

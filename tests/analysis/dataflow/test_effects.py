@@ -1,0 +1,225 @@
+"""Unit tests for purity and effect inference."""
+
+from repro.analysis.dataflow.callgraph import CallGraph, build_project
+from repro.analysis.dataflow.effects import (
+    CONTEXTVAR_WRITE,
+    ENV_READ,
+    FILESYSTEM,
+    GLOBAL_WRITE,
+    RNG_SEEDED,
+    RNG_UNSEEDED,
+    SUBPROCESS,
+    WALL_CLOCK,
+    analyze_effects,
+)
+
+
+def effects_of(tree, qualname):
+    project = build_project([tree.root])
+    graph = CallGraph(project)
+    return analyze_effects(project, graph), project, graph
+
+
+class TestIntrinsicDetection:
+    def test_module_level_random_draw_is_unseeded(self, tree):
+        tree.write("core/algo.py", """
+            import random
+
+            def run():
+                return random.random()
+        """)
+        analysis, _, _ = effects_of(tree, None)
+        assert RNG_UNSEEDED in analysis.intrinsic["repro.core.algo.run"]
+
+    def test_numpy_global_draw_is_unseeded(self, tree):
+        tree.write("core/algo.py", """
+            import numpy as np
+
+            def run():
+                return np.random.rand(3)
+        """)
+        analysis, _, _ = effects_of(tree, None)
+        assert RNG_UNSEEDED in analysis.intrinsic["repro.core.algo.run"]
+
+    def test_seeded_constructor_is_deterministic(self, tree):
+        tree.write("core/algo.py", """
+            import numpy as np
+
+            def run(seed):
+                return np.random.default_rng(seed)
+        """)
+        analysis, _, _ = effects_of(tree, None)
+        intrinsic = analysis.intrinsic["repro.core.algo.run"]
+        assert RNG_SEEDED in intrinsic
+        assert RNG_UNSEEDED not in intrinsic
+
+    def test_seedless_constructor_is_unseeded(self, tree):
+        tree.write("core/algo.py", """
+            import numpy as np
+
+            def run():
+                return np.random.default_rng()
+        """)
+        analysis, _, _ = effects_of(tree, None)
+        assert RNG_UNSEEDED in analysis.intrinsic["repro.core.algo.run"]
+
+    def test_wall_clock_and_filesystem_and_subprocess(self, tree):
+        tree.write("runtime/stuff.py", """
+            import subprocess
+            import time
+
+            def timed():
+                return time.perf_counter()
+
+            def saver(path, text):
+                path.write_text(text)
+
+            def shell(cmd):
+                return subprocess.run(cmd)
+        """)
+        analysis, _, _ = effects_of(tree, None)
+        assert WALL_CLOCK in analysis.intrinsic["repro.runtime.stuff.timed"]
+        assert FILESYSTEM in analysis.intrinsic["repro.runtime.stuff.saver"]
+        assert SUBPROCESS in analysis.intrinsic["repro.runtime.stuff.shell"]
+
+    def test_env_reads_via_call_and_subscript(self, tree):
+        tree.write("experiments/config.py", """
+            import os
+
+            def from_getenv():
+                return os.getenv("REPRO_TRIALS")
+
+            def from_subscript():
+                return os.environ["REPRO_TRIALS"]
+        """)
+        analysis, _, _ = effects_of(tree, None)
+        assert ENV_READ in analysis.intrinsic[
+            "repro.experiments.config.from_getenv"]
+        assert ENV_READ in analysis.intrinsic[
+            "repro.experiments.config.from_subscript"]
+
+
+class TestGlobalWrites:
+    def test_global_rebind_and_container_writes(self, tree):
+        tree.write("core/state.py", """
+            CACHE = {}
+            COUNT = 0
+
+            def fill(key, value):
+                CACHE[key] = value
+
+            def bump():
+                global COUNT
+                COUNT += 1
+
+            def grow(items):
+                CACHE.update(items)
+        """)
+        analysis, _, _ = effects_of(tree, None)
+        for fn in ("fill", "bump", "grow"):
+            assert GLOBAL_WRITE in analysis.intrinsic[f"repro.core.state.{fn}"]
+
+    def test_local_shadowing_is_not_a_global_write(self, tree):
+        tree.write("core/state.py", """
+            CACHE = {}
+
+            def pure():
+                CACHE = {}
+                CACHE["k"] = 1
+                return CACHE
+        """)
+        analysis, _, _ = effects_of(tree, None)
+        assert GLOBAL_WRITE not in analysis.intrinsic["repro.core.state.pure"]
+
+    def test_mutating_method_on_immutable_binding_is_skipped(self, tree):
+        tree.write("core/state.py", """
+            NAMES = frozenset({"a"})
+
+            def touch(other):
+                NAMES.add(other)  # AttributeError at runtime, not a race
+        """)
+        analysis, _, _ = effects_of(tree, None)
+        assert GLOBAL_WRITE not in analysis.intrinsic["repro.core.state.touch"]
+
+
+class TestContextVarWrites:
+    def test_set_on_module_contextvar(self, tree):
+        tree.write("guard/policy.py", """
+            from contextvars import ContextVar
+
+            _active = ContextVar("active", default=None)
+
+            def activate(policy):
+                return _active.set(policy)
+        """)
+        analysis, _, _ = effects_of(tree, None)
+        assert CONTEXTVAR_WRITE in analysis.intrinsic[
+            "repro.guard.policy.activate"]
+
+    def test_set_on_imported_contextvar(self, tree):
+        tree.write("guard/policy.py", """
+            from contextvars import ContextVar
+
+            _active = ContextVar("active", default=None)
+        """)
+        tree.write("core/algo.py", """
+            from repro.guard.policy import _active
+
+            def sneaky(policy):
+                _active.set(policy)
+        """)
+        analysis, _, _ = effects_of(tree, None)
+        assert CONTEXTVAR_WRITE in analysis.intrinsic["repro.core.algo.sneaky"]
+
+
+class TestPropagation:
+    def test_effects_flow_through_call_chain(self, tree):
+        tree.write("core/algo.py", """
+            import random
+
+            def leaf():
+                return random.random()
+
+            def mid():
+                return leaf()
+
+            def entry():
+                return mid()
+        """)
+        analysis, _, _ = effects_of(tree, None)
+        assert RNG_UNSEEDED in analysis.of("repro.core.algo.entry")
+        assert RNG_UNSEEDED not in analysis.intrinsic["repro.core.algo.entry"]
+
+    def test_effects_flow_through_reference_edges(self, tree):
+        tree.write("core/algo.py", """
+            import random
+
+            def trial(net):
+                return random.random()
+
+            def sweep(pool):
+                return pool.map(trial, range(3))
+        """)
+        analysis, _, _ = effects_of(tree, None)
+        assert RNG_UNSEEDED in analysis.of("repro.core.algo.sweep")
+
+    def test_pure_function_is_pure(self, tree):
+        tree.write("core/algo.py", """
+            def pure(xs):
+                return sorted(xs)
+        """)
+        analysis, _, _ = effects_of(tree, None)
+        assert analysis.is_pure("repro.core.algo.pure")
+
+    def test_sites_carry_file_and_line(self, tree):
+        path = tree.write("core/algo.py", """
+            import random
+
+            def run():
+                return random.random()
+        """)
+        analysis, _, _ = effects_of(tree, None)
+        sites = analysis.sites_in("repro.core.algo.run", RNG_UNSEEDED)
+        assert len(sites) == 1
+        assert sites[0].path == path
+        assert sites[0].lineno == 5

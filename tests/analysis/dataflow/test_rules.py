@@ -1,0 +1,379 @@
+"""The determinism rule pack against seeded negative fixtures.
+
+Each test plants exactly the defect the rule exists for in a fixture
+tree shaped like the real repo, and asserts the rule (and only the
+expected rule) fires — or stays quiet on the compliant variant.
+"""
+
+from pathlib import Path
+
+import repro
+from repro.analysis.diagnostics import Severity, has_errors
+from repro.analysis.dataflow import DataflowOptions, analyze_dataflow
+
+#: Options pointing the analyzer at fixture conventions (no implicit
+#: worker roots beyond what PoolTask detection finds).
+FIXTURE_OPTIONS = DataflowOptions(
+    entry_prefixes=("repro.core", "repro.experiments"),
+    worker_entries=(),
+    timing_modules=("repro.runtime",),
+    scope_functions=("repro.guard.policy.guard_scope",),
+    env_modules=("repro.experiments.harness",),
+    subprocess_modules=("repro.circuit.ngspice",),
+    fingerprint_function="repro.delay.incremental.graph_fingerprint",
+    eval_modules=("repro.delay.incremental",),
+    config_class="repro.experiments.harness.ExperimentConfig",
+)
+
+
+def run(tree, options=FIXTURE_OPTIONS, config=None):
+    return analyze_dataflow([tree.root], config=config, options=options)
+
+
+def fired(diags):
+    return {d.rule for d in diags}
+
+
+class TestUnseededRng:
+    def test_unseeded_rng_in_core_path_fires(self, tree):
+        tree.write("core/algo.py", """
+            import random
+
+            def _jitter():
+                return random.random()
+
+            def route(net):
+                return net, _jitter()
+        """)
+        diags = run(tree)
+        assert fired(diags) == {"dataflow-unseeded-rng"}
+        assert "entry point repro.core.algo.route" in diags[0].message
+
+    def test_seeded_rng_is_quiet(self, tree):
+        tree.write("core/algo.py", """
+            import numpy as np
+
+            def route(net, seed):
+                rng = np.random.default_rng(seed)
+                return net, rng.random()
+        """)
+        assert fired(run(tree)) == set()
+
+    def test_unreachable_unseeded_rng_is_quiet(self, tree):
+        tree.write("viz/wobble.py", """
+            import random
+
+            def jitter():
+                return random.random()
+        """)
+        assert fired(run(tree)) == set()
+
+    def test_waiver_pragma_suppresses_and_is_consumed(self, tree):
+        tree.write("core/algo.py", """
+            import random
+
+            def route(net):
+                return random.random()  # repro: allow=dataflow-unseeded-rng
+        """)
+        assert fired(run(tree)) == set()
+
+
+class TestWallClock:
+    def test_wall_clock_outside_runtime_fires(self, tree):
+        tree.write("core/algo.py", """
+            import time
+
+            def route(net):
+                return net, time.perf_counter()
+        """)
+        assert fired(run(tree)) == {"dataflow-wall-clock"}
+
+    def test_wall_clock_inside_runtime_is_sanctioned(self, tree):
+        tree.write("runtime/execute.py", """
+            import time
+
+            def run_trial(fn, net):
+                start = time.perf_counter()
+                return fn(net), time.perf_counter() - start
+        """)
+        tree.write("core/algo.py", """
+            from repro.runtime.execute import run_trial
+
+            def route(net):
+                return run_trial(len, net)
+        """)
+        assert fired(run(tree)) == set()
+
+
+class TestWorkerSharedState:
+    def test_global_mutated_in_worker_trial_fn_fires(self, tree):
+        tree.write("runtime/execute.py", """
+            _SCRATCH = {}
+
+            def run_trial(fn, net):
+                _SCRATCH[net] = fn(net)  # racy across pool workers
+                return _SCRATCH[net]
+
+            def sweep(tasks, pool):
+                jobs = [PoolTask(key=k, fn=run_trial, args=a)
+                        for k, a in tasks]
+                return pool(jobs)
+        """)
+        diags = run(tree)
+        assert "dataflow-worker-shared-state" in fired(diags)
+
+    def test_explicitly_configured_worker_entry(self, tree):
+        tree.write("runtime/execute.py", """
+            _SCRATCH = {}
+
+            def run_trial(fn, net):
+                _SCRATCH[net] = fn(net)
+                return _SCRATCH[net]
+        """)
+        options = DataflowOptions(
+            entry_prefixes=(), worker_entries=(
+                "repro.runtime.execute.run_trial",))
+        diags = run(tree, options=options)
+        assert "dataflow-worker-shared-state" in fired(diags)
+
+    def test_pure_worker_trial_fn_is_quiet(self, tree):
+        tree.write("runtime/execute.py", """
+            def run_trial(fn, net):
+                return fn(net)
+
+            def sweep(tasks, pool):
+                jobs = [PoolTask(key=k, fn=run_trial, args=a)
+                        for k, a in tasks]
+                return pool(jobs)
+        """)
+        assert fired(run(tree)) == set()
+
+
+class TestGlobalMutation:
+    def test_global_mutation_on_experiment_path_fires(self, tree):
+        tree.write("experiments/tables.py", """
+            _RESULTS = {}
+
+            def run_table(sizes):
+                for size in sizes:
+                    _RESULTS[size] = size * 2
+                return _RESULTS
+        """)
+        assert fired(run(tree)) == {"dataflow-global-mutation"}
+
+
+class TestContextVarDiscipline:
+    def test_write_outside_scope_manager_fires(self, tree):
+        tree.write("guard/policy.py", """
+            from contextvars import ContextVar
+            from contextlib import contextmanager
+
+            _active = ContextVar("active", default=None)
+
+            @contextmanager
+            def guard_scope(policy):
+                token = _active.set(policy)
+                try:
+                    yield
+                finally:
+                    _active.reset(token)
+        """)
+        tree.write("core/algo.py", """
+            from repro.guard.policy import _active
+
+            def route(net, policy):
+                _active.set(policy)  # leaks: no token restore
+                return net
+        """)
+        diags = run(tree)
+        assert fired(diags) == {"dataflow-contextvar-write"}
+        assert all("guard_scope" not in (d.location.obj or "")
+                   for d in diags)
+
+    def test_scope_manager_itself_is_sanctioned(self, tree):
+        tree.write("guard/policy.py", """
+            from contextvars import ContextVar
+            from contextlib import contextmanager
+
+            _active = ContextVar("active", default=None)
+
+            @contextmanager
+            def guard_scope(policy):
+                token = _active.set(policy)
+                try:
+                    yield
+                finally:
+                    _active.reset(token)
+        """)
+        assert fired(run(tree)) == set()
+
+
+class TestEnvRead:
+    def test_env_read_outside_boundary_warns(self, tree):
+        tree.write("core/algo.py", """
+            import os
+
+            def route(net):
+                return net, os.getenv("REPRO_FAST")
+        """)
+        diags = run(tree)
+        assert fired(diags) == {"dataflow-env-read"}
+        assert diags[0].severity is Severity.WARNING
+        assert not has_errors(diags)
+
+    def test_env_read_at_config_boundary_is_quiet(self, tree):
+        tree.write("experiments/harness.py", """
+            import os
+
+            def from_env():
+                return os.getenv("REPRO_TRIALS")
+        """)
+        assert fired(run(tree)) == set()
+
+
+class TestUnstableIteration:
+    def test_sum_over_set_warns(self, tree):
+        tree.write("delay/approx.py", """
+            def total(lengths):
+                unique = set(lengths)
+                return sum(unique)
+        """)
+        assert fired(run(tree)) == {"dataflow-unstable-iteration"}
+
+    def test_loop_accumulation_over_set_literal_warns(self, tree):
+        tree.write("delay/approx.py", """
+            def total(a, b, c):
+                acc = 0.0
+                for v in {a, b, c}:
+                    acc += v
+                return acc
+        """)
+        assert fired(run(tree)) == {"dataflow-unstable-iteration"}
+
+    def test_sorted_set_is_quiet(self, tree):
+        tree.write("delay/approx.py", """
+            def total(lengths):
+                return sum(sorted(set(lengths)))
+        """)
+        assert fired(run(tree)) == set()
+
+
+class TestUncacheableOracle:
+    def test_stateful_rng_oracle_without_declaration_fires(self, tree):
+        tree.write("delay/models.py", """
+            import random
+
+            class JitterModel:
+                def __init__(self, seed):
+                    self._rng = random.Random(seed)
+
+                def delays(self, graph):
+                    return {0: self._rng.random()}
+        """)
+        assert fired(run(tree)) == {"dataflow-uncacheable-oracle"}
+
+    def test_explicit_cacheable_false_is_a_decision(self, tree):
+        tree.write("delay/models.py", """
+            import random
+
+            class JitterModel:
+                cacheable = False
+
+                def __init__(self, seed):
+                    self._rng = random.Random(seed)
+
+                def delays(self, graph):
+                    return {0: self._rng.random()}
+        """)
+        assert fired(run(tree)) == set()
+
+    def test_pure_oracle_is_quiet(self, tree):
+        tree.write("delay/models.py", """
+            class ElmoreModel:
+                def delays(self, graph):
+                    return {0: 1.0}
+        """)
+        assert fired(run(tree)) == set()
+
+
+class TestCacheKeyCompleteness:
+    def test_attribute_read_missing_from_fingerprint_fires(self, tree):
+        tree.write("delay/incremental.py", """
+            def graph_fingerprint(graph):
+                return (graph.num_pins, tuple(graph.positions))
+
+            def evaluate(graph):
+                return sum(len(e) for e in graph.edges)
+        """)
+        diags = run(tree)
+        assert fired(diags) == {"dataflow-cache-key-completeness"}
+        assert "graph.edges" in diags[0].message
+
+    def test_covered_reads_are_quiet(self, tree):
+        tree.write("delay/incremental.py", """
+            def graph_fingerprint(graph):
+                return (graph.num_pins, tuple(graph.positions),
+                        tuple(graph.edges))
+
+            def evaluate(graph):
+                total = 0.0
+                for u, v in graph.edges:
+                    total += graph.distance(u, v)
+                return total + graph.num_pins
+        """)
+        assert fired(run(tree)) == set()
+
+    def test_config_field_missing_from_fingerprint_fires(self, tree):
+        tree.write("experiments/harness.py", """
+            from dataclasses import dataclass
+
+            @dataclass(frozen=True)
+            class ExperimentConfig:
+                sizes: tuple
+                seed: int
+                oracle_backend: str = "elmore"
+
+                def fingerprint_data(self):
+                    return {"sizes": list(self.sizes), "seed": self.seed}
+        """)
+        diags = run(tree)
+        assert fired(diags) == {"dataflow-cache-key-completeness"}
+        assert "oracle_backend" in diags[0].message
+
+    def test_fully_hashed_config_is_quiet(self, tree):
+        tree.write("experiments/harness.py", """
+            from dataclasses import dataclass
+
+            @dataclass(frozen=True)
+            class ExperimentConfig:
+                sizes: tuple
+                seed: int
+
+                def fingerprint_data(self):
+                    return {"sizes": list(self.sizes), "seed": self.seed}
+        """)
+        assert fired(run(tree)) == set()
+
+
+class TestWaiverAudit:
+    def test_unused_dataflow_pragma_is_flagged(self, tree):
+        tree.write("core/algo.py", """
+            def route(net):
+                return net  # repro: allow=dataflow-unseeded-rng
+        """)
+        diags = run(tree)
+        assert fired(diags) == {"dataflow-unused-waiver"}
+
+    def test_source_pragmas_are_not_this_passes_business(self, tree):
+        tree.write("core/algo.py", """
+            def route(net, acc=[]):  # repro: allow=source-mutable-default
+                return net
+        """)
+        assert fired(run(tree)) == set()
+
+
+class TestRepoIsClean:
+    def test_dataflow_pass_is_clean_on_the_real_tree(self):
+        src = Path(repro.__file__).resolve().parent
+        diags = analyze_dataflow([src])
+        assert diags == [], "\n".join(d.render() for d in diags)

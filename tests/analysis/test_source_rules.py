@@ -211,3 +211,87 @@ class TestInfrastructure:
 
         package_root = Path(repro.__file__).parent
         assert lint_source_tree([package_root]) == []
+
+
+class TestWaivers:
+    def test_pragma_anywhere_on_a_multiline_statement(self, tmp_path):
+        path = write(tmp_path, "multi.py", """
+            def f(a, b):
+                return (a.x ==  # repro: allow=source-float-eq
+                        b.x)
+        """)
+        assert rules_fired(path) == set()
+
+    def test_pragma_on_the_last_line_of_the_statement(self, tmp_path):
+        path = write(tmp_path, "multi.py", """
+            def f(a, b):
+                return (a.x ==
+                        b.x)  # repro: allow=source-float-eq
+        """)
+        assert rules_fired(path) == set()
+
+    def test_pragma_on_a_decorator_waives_the_def(self, tmp_path):
+        path = write(tmp_path, "deco.py", """
+            import functools
+
+            @functools.cache  # repro: allow=source-mutable-default
+            def f(a=[]):
+                return a
+        """)
+        assert rules_fired(path) == set()
+
+    def test_pragma_inside_a_def_body_does_not_waive_the_def(self, tmp_path):
+        path = write(tmp_path, "deco.py", """
+            def f(a=[]):
+                return a  # repro: allow=source-mutable-default
+        """)
+        assert rules_fired(path) == {"source-mutable-default",
+                                     "source-unused-waiver"}
+
+    def test_unused_pragma_is_itself_a_diagnostic(self, tmp_path):
+        path = write(tmp_path, "stale.py", """
+            def f(a, b):
+                return a + b  # repro: allow=source-float-eq
+        """)
+        diags = lint_source(path)
+        assert [d.rule for d in diags] == ["source-unused-waiver"]
+        assert diags[0].location.line == 3
+
+    def test_unknown_rule_id_in_pragma_is_flagged(self, tmp_path):
+        path = write(tmp_path, "typo.py", """
+            def f(a, b):
+                return a.x == b.x  # repro: allow=source-flaot-eq
+        """)
+        fired = rules_fired(path)
+        assert "source-unused-waiver" in fired
+        assert "source-float-eq" in fired  # the typo waives nothing
+
+    def test_used_pragma_is_not_reported_stale(self, tmp_path):
+        path = write(tmp_path, "used.py", """
+            def f(a, b):
+                return a.x == b.x  # repro: allow=source-float-eq
+        """)
+        assert rules_fired(path) == set()
+
+    def test_allow_all_pragma_is_never_stale(self, tmp_path):
+        path = write(tmp_path, "all.py", """
+            def f(a, b):
+                return a + b  # repro: allow=all
+        """)
+        assert rules_fired(path) == set()
+
+    def test_docstring_mention_of_the_pragma_is_not_a_pragma(self, tmp_path):
+        path = write(tmp_path, "doc.py", '''
+            def f():
+                """Waive with ``# repro: allow=<rule-id>`` on the line."""
+                return 1
+        ''')
+        assert rules_fired(path) == set()
+
+    def test_waiver_audit_respects_disable(self, tmp_path):
+        path = write(tmp_path, "stale.py", """
+            def f(a, b):
+                return a + b  # repro: allow=source-float-eq
+        """)
+        config = LintConfig(disabled=frozenset({"source-unused-waiver"}))
+        assert rules_fired(path, config) == set()

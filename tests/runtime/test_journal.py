@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import json
+from dataclasses import replace
 
 import pytest
 
@@ -14,7 +15,11 @@ from repro.runtime import (
     atomic_write_text,
     fingerprint,
 )
-from repro.runtime.journal import _record_name
+from repro.runtime.journal import (
+    _record_name,
+    canonical_journal_bytes,
+    canonical_record,
+)
 from repro.runtime.provenance import KIND_DEGRADE, KIND_RETRY
 from repro.runtime.trial import outcome_from_json_dict, outcome_to_json_dict
 
@@ -142,3 +147,42 @@ class TestRunJournal:
         b = RunJournal(tmp_path, "bbbb")
         a.record((5, 0), make_result())
         assert b.load() == {}
+
+
+class TestCanonicalization:
+    def test_volatile_fields_stripped_at_any_depth(self):
+        data = {"elapsed": 1.5,
+                "result": {"delay": 0.3, "elapsed": 0.1,
+                           "steps": [{"elapsed": 0.2, "cost": 1.0}]}}
+        assert canonical_record(data) == {
+            "result": {"delay": 0.3, "steps": [{"cost": 1.0}]}}
+
+    def test_journals_differing_only_in_elapsed_match(self, tmp_path):
+        a = RunJournal(tmp_path / "a", "f0")
+        b = RunJournal(tmp_path / "b", "f0")
+        a.record((5, 0), make_result())
+        b.record((5, 0), replace(make_result(), elapsed=99.9))
+        assert (canonical_journal_bytes(a.directory)
+                == canonical_journal_bytes(b.directory))
+
+    def test_real_divergence_is_detected(self, tmp_path):
+        a = RunJournal(tmp_path / "a", "f0")
+        b = RunJournal(tmp_path / "b", "f0")
+        a.record((5, 0), make_result())
+        b.record((5, 0), replace(make_result(), delay=0.9999))
+        assert (canonical_journal_bytes(a.directory)
+                != canonical_journal_bytes(b.directory))
+
+    def test_missing_and_extra_records_are_detected(self, tmp_path):
+        a = RunJournal(tmp_path / "a", "f0")
+        b = RunJournal(tmp_path / "b", "f0")
+        a.record((5, 0), make_result())
+        a.record((5, 1), make_result())
+        b.record((5, 0), make_result())
+        assert (canonical_journal_bytes(a.directory)
+                != canonical_journal_bytes(b.directory))
+
+    def test_malformed_record_kept_verbatim(self, tmp_path):
+        journal = RunJournal(tmp_path, "f0")
+        (journal.directory / _record_name((5, 0))).write_text('{"key": [5')
+        assert b'{"key": [5' in canonical_journal_bytes(journal.directory)

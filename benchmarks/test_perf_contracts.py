@@ -1,0 +1,88 @@
+"""Performance benchmark: the contracts analyzer's wall-time budget.
+
+Like the dataflow pass, the contracts pass gates CI on every push and
+must stay cheap enough to run locally before each commit: one full
+whole-program analysis of ``src/repro`` — parse, call graph, may-raise
+fixpoint, lifecycle CFGs, all rules — must finish in **< 10 seconds**.
+Phase timings and model-size counters land in
+``benchmarks/results/BENCH_contracts.json`` so a slowdown can be
+attributed (fixpoint vs CFG vs rules) instead of just detected.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import repro
+from repro.analysis.contracts import (
+    analyze_contracts,
+    analyze_raises,
+    build_contracts_model,
+)
+from repro.analysis.dataflow.callgraph import CallGraph, build_project
+
+#: Hard acceptance ceiling for one full analysis of src/repro (seconds).
+MAX_ANALYSIS_SECONDS = 10.0
+REPEATS = 3
+
+SRC = Path(repro.__file__).resolve().parent
+
+
+def _best_time(fn):
+    """Best-of-N wall time — the standard noise-resistant estimate."""
+    best = float("inf")
+    result = None
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def test_contracts_full_repo_analysis(results_dir):
+    """End-to-end analysis of the real tree, phase-attributed."""
+    parse_time, project = _best_time(lambda: build_project([SRC]))
+    graph_time, graph = _best_time(lambda: CallGraph(project))
+    raises_time, raises = _best_time(
+        lambda: analyze_raises(project, graph))
+    total_time, diagnostics = _best_time(lambda: analyze_contracts([SRC]))
+
+    model = build_contracts_model([SRC])
+    payload = {
+        "workload": "analyze_contracts(src/repro), best of "
+                    f"{REPEATS}",
+        "seconds": {
+            "parse_and_symbols": parse_time,
+            "call_graph": graph_time,
+            "may_raise_fixpoint": raises_time,
+            "total_analysis": total_time,
+        },
+        "model": {
+            "modules": len(project.modules),
+            "functions": len(project.functions),
+            "call_edges": sum(len(e) for e in graph.edges.values()),
+            "escaping_functions": sum(
+                1 for qualname in project.functions
+                if raises.of(qualname)),
+            "escape_types": sum(
+                len(raises.of(qualname))
+                for qualname in project.functions),
+            "declared_boundaries": len(model.boundaries),
+            "pool_entries": len(model.pool_entries),
+        },
+        "diagnostics": len(diagnostics),
+        "budget_seconds": MAX_ANALYSIS_SECONDS,
+    }
+    out = results_dir / "BENCH_contracts.json"
+    out.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(f"\ncontracts analysis: {total_time:.3f}s "
+          f"({len(project.functions)} functions, "
+          f"{payload['model']['escape_types']} escape types, "
+          f"{len(model.boundaries)} boundaries) [saved to {out}]")
+
+    assert diagnostics == [], "\n".join(d.render() for d in diagnostics)
+    assert total_time < MAX_ANALYSIS_SECONDS, (
+        f"contracts analysis took {total_time:.2f}s, "
+        f"budget is {MAX_ANALYSIS_SECONDS:.0f}s")

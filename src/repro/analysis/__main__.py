@@ -23,15 +23,16 @@ import argparse
 import sys
 from pathlib import Path
 
-# Importing the dataflow engine registers the dataflow-* rules, so
+# Importing the dataflow/contracts engines registers their rules, so
 # --list-rules / --select / --ignore see the full catalog.
+from repro.analysis.contracts.engine import analyze_contracts
 from repro.analysis.dataflow.engine import analyze_dataflow
 from repro.analysis.diagnostics import LintConfig, has_errors, registry
 from repro.analysis.reporters import render_json, render_sarif, render_text
 from repro.analysis.source_rules import lint_source_tree
 
 #: The analyses ``--pass`` can name.
-PASSES = ("source", "dataflow", "all")
+PASSES = ("source", "dataflow", "contracts", "all")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -46,8 +47,10 @@ def build_parser() -> argparse.ArgumentParser:
                         default="source",
                         help="which analysis to run: per-file AST rules "
                              "(source), the whole-program determinism & "
-                             "concurrency analyzer (dataflow), or both "
-                             "(all); default: source")
+                             "concurrency analyzer (dataflow), the "
+                             "exception-contract & resource-lifecycle "
+                             "analyzer (contracts), or everything (all); "
+                             "default: source")
     parser.add_argument("--format", choices=("text", "json", "sarif"),
                         default="text")
     parser.add_argument("--select", action="append", default=[],
@@ -113,6 +116,8 @@ def main(argv: list[str] | None = None) -> int:
         diagnostics.extend(lint_source_tree(args.paths, config))
     if args.lint_pass in ("dataflow", "all"):
         diagnostics.extend(analyze_dataflow(args.paths, config))
+    if args.lint_pass in ("contracts", "all"):
+        diagnostics.extend(analyze_contracts(args.paths, config))
     render = {"json": render_json, "sarif": render_sarif,
               "text": render_text}[args.format]
     print(render(diagnostics))

@@ -1,0 +1,73 @@
+"""Service-readiness contracts: exception flow and resource lifecycle.
+
+ROADMAP item 1 turns this repo into a long-running routing service;
+there, a leaked file descriptor, an unbounded cache, or a raw
+``LinAlgError`` escaping the worker boundary is an outage, not a failed
+trial. PR 2 (``TrialFailure``) and PR 4 (``NumericalIncident``)
+established the structured-failure contracts; this package verifies
+statically that they hold on every path, as a third-generation pass on
+the :mod:`repro.analysis` rule framework:
+
+* :mod:`repro.analysis.contracts.raises` — whole-program may-raise
+  analysis: explicit ``raise`` statements plus intrinsic raisers
+  (``np.linalg.*``, ``open``/``os.open``, ``subprocess``,
+  ``json.loads``) propagated through the PR-5 call graph to a worklist
+  fixpoint, with ``try``/``except`` filtering over a builtin + project
+  exception hierarchy;
+* :mod:`repro.analysis.contracts.lifecycle` — a statement-level CFG per
+  function proving every acquired handle (``open``, ``tempfile.*``,
+  ``Popen``, ``multiprocessing.Pipe``) reaches a release on all paths,
+  and the unbounded-growth detector for long-lived containers (the
+  bounded-LRU eviction idiom of ``repro.delay`` memoization is
+  recognized as safe);
+* :mod:`repro.analysis.contracts.rules` — the contracts rule pack
+  (stable ``contracts-*`` ids, pragma-waivable like every other pass):
+  boundary escapes (guard layer, pool workers, CLI exit codes),
+  silent swallows, undeclared raises against
+  :func:`repro.contracts.boundary` declarations, resource leaks, and
+  unbounded growth;
+* :mod:`repro.analysis.contracts.engine` — orchestration:
+  ``analyze_contracts(paths)`` builds the model, runs the rules, and
+  audits unused waiver pragmas.
+
+Run it via ``python -m repro.analysis --pass contracts`` or
+``repro-route lint --pass contracts`` (CI gates on it).
+"""
+
+from repro.analysis.contracts.engine import (
+    BoundaryDecl,
+    ContractOptions,
+    ContractsModel,
+    analyze_contracts,
+    build_contracts_model,
+)
+from repro.analysis.contracts.lifecycle import (
+    GrowthSite,
+    ResourceLeak,
+    find_resource_leaks,
+    find_unbounded_cache_attrs,
+    find_unbounded_globals,
+)
+from repro.analysis.contracts.raises import (
+    Hierarchy,
+    RaiseAnalysis,
+    RaiseSite,
+    analyze_raises,
+)
+
+__all__ = [
+    "BoundaryDecl",
+    "ContractOptions",
+    "ContractsModel",
+    "GrowthSite",
+    "Hierarchy",
+    "RaiseAnalysis",
+    "RaiseSite",
+    "ResourceLeak",
+    "analyze_contracts",
+    "analyze_raises",
+    "build_contracts_model",
+    "find_resource_leaks",
+    "find_unbounded_cache_attrs",
+    "find_unbounded_globals",
+]

@@ -1,0 +1,523 @@
+"""Resource-lifecycle and container-growth analyses.
+
+Two intraprocedural checks complement the whole-program may-raise
+fixpoint:
+
+* **Resource leaks** — a statement-level control-flow graph per function
+  tracks handles acquired by ``open``/``os.open``/``tempfile.*``/
+  ``subprocess.Popen``/``multiprocessing.Pipe``: every CFG path from the
+  acquisition must hit a *release* (``.close()``, ``.cleanup()``,
+  ``os.close(fd)``, …) before the function exit. Passing the handle to
+  any other expression — returning it, storing it on ``self``, handing
+  it to another call — is a *transfer*: ownership moved, tracking stops.
+  ``with``-managed acquisitions never enter tracking (the context
+  manager is the release).
+
+* **Unbounded growth** — module-level raw containers (dict/list/set
+  literals or constructor calls) that functions grow (``append``,
+  ``update``, subscript-assignment, …) with no shrink operation
+  anywhere in the module, and ``*Memo``/``*Cache`` classes whose
+  instance containers grow in methods with no bounding eviction. The
+  bounded-LRU idiom (``popitem``/``pop`` under a length guard, or
+  ``deque(maxlen=...)``) is recognized as safe.
+
+The CFG is deliberately modest: explicit ``raise``/``return`` are exit
+edges (routed through enclosing ``finally`` blocks), every statement in
+a ``try`` body may jump to each handler, and implicit exceptions from
+arbitrary calls are *not* modeled — that is the may-raise analysis' job.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+
+from repro.analysis.dataflow.callgraph import _dotted_name
+
+#: Acquisition calls, full dotted spelling → human-readable handle kind.
+_ACQUISITION_CALLS = {
+    "open": "file handle",
+    "os.open": "file descriptor",
+    "os.fdopen": "file handle",
+    "os.pipe": "pipe descriptor pair",
+    "tempfile.NamedTemporaryFile": "temporary file",
+    "tempfile.TemporaryDirectory": "temporary directory",
+    "tempfile.mkstemp": "temporary file descriptor",
+    "subprocess.Popen": "child process",
+    "multiprocessing.Pipe": "connection pair",
+}
+
+#: Bare-name spellings (``from subprocess import Popen``) accepted too.
+_ACQUISITION_TAILS = {
+    "Popen": "subprocess.Popen",
+    "NamedTemporaryFile": "tempfile.NamedTemporaryFile",
+    "TemporaryDirectory": "tempfile.TemporaryDirectory",
+    "mkstemp": "tempfile.mkstemp",
+    "Pipe": "multiprocessing.Pipe",
+}
+
+#: Methods that relinquish the handle they are called on.
+_RELEASE_METHODS = frozenset({
+    "close", "cleanup", "terminate", "kill", "wait", "communicate",
+    "release", "shutdown",
+})
+
+_GROW_METHODS = frozenset({
+    "append", "appendleft", "add", "insert", "extend", "setdefault",
+    "update",
+})
+_SHRINK_METHODS = frozenset({
+    "pop", "popitem", "popleft", "clear", "remove", "discard",
+})
+
+_RAW_CONTAINER_CALLS = frozenset({
+    "dict", "list", "set", "defaultdict", "collections.defaultdict",
+    "OrderedDict", "collections.OrderedDict", "deque",
+    "collections.deque",
+})
+
+
+# ---------------------------------------------------------------------------
+# statement-level CFG
+
+
+class _Node:
+    __slots__ = ("stmt", "succ", "exc")
+
+    def __init__(self, stmt: ast.stmt | None = None):
+        self.stmt = stmt
+        self.succ: list[_Node] = []
+        #: Exception edges: taken only when this statement raises. An
+        #: acquisition's own exception edge means the handle was never
+        #: acquired, so leak traversal skips it at the origin.
+        self.exc: list[_Node] = []
+
+
+class _CFG:
+    def __init__(self) -> None:
+        self.exit = _Node()
+        self.nodes: list[_Node] = []
+
+    def node(self, stmt: ast.stmt | None = None) -> _Node:
+        fresh = _Node(stmt)
+        self.nodes.append(fresh)
+        return fresh
+
+
+class _Builder:
+    """Build a conservative statement CFG for one function body."""
+
+    def __init__(self) -> None:
+        self.cfg = _CFG()
+        # (finally-entry node, [entered-abnormally flag]) innermost last
+        self._finallies: list[tuple[_Node, list[bool]]] = []
+        # (continue target, break sinks) innermost last
+        self._loops: list[tuple[_Node, list[_Node]]] = []
+
+    def build(self, body: list[ast.stmt]) -> _CFG:
+        frontier = self._block(body, [self.cfg.node()])
+        self._link(frontier, self.cfg.exit)
+        return self.cfg
+
+    @staticmethod
+    def _link(frontier: list[_Node], target: _Node) -> None:
+        for node in frontier:
+            node.succ.append(target)
+
+    def _abnormal(self, node: _Node) -> None:
+        """Route a function-exiting statement through pending finallys."""
+        if self._finallies:
+            entry, flag = self._finallies[-1]
+            node.succ.append(entry)
+            flag[0] = True
+        else:
+            node.succ.append(self.cfg.exit)
+
+    def _block(self, stmts: list[ast.stmt],
+               frontier: list[_Node]) -> list[_Node]:
+        for stmt in stmts:
+            frontier = self._stmt(stmt, frontier)
+        return frontier
+
+    def _stmt(self, stmt: ast.stmt,
+              frontier: list[_Node]) -> list[_Node]:
+        if isinstance(stmt, (ast.Return, ast.Raise)):
+            node = self.cfg.node(stmt)
+            self._link(frontier, node)
+            self._abnormal(node)
+            return []
+        if isinstance(stmt, ast.Break):
+            node = self.cfg.node(stmt)
+            self._link(frontier, node)
+            if self._loops:
+                self._loops[-1][1].append(node)
+            return []
+        if isinstance(stmt, ast.Continue):
+            node = self.cfg.node(stmt)
+            self._link(frontier, node)
+            if self._loops:
+                node.succ.append(self._loops[-1][0])
+            return []
+        if isinstance(stmt, ast.If):
+            head = self.cfg.node(stmt)
+            self._link(frontier, head)
+            taken = self._block(stmt.body, [head])
+            skipped = self._block(stmt.orelse, [head])
+            return taken + skipped if stmt.orelse else taken + [head]
+        if isinstance(stmt, (ast.For, ast.AsyncFor, ast.While)):
+            return self._loop(stmt, frontier)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            head = self.cfg.node(stmt)
+            self._link(frontier, head)
+            return self._block(stmt.body, [head])
+        if isinstance(stmt, ast.Try):
+            return self._try(stmt, frontier)
+        # Nested defs, simple statements: one node, straight through.
+        node = self.cfg.node(stmt)
+        self._link(frontier, node)
+        return [node]
+
+    def _loop(self, stmt: ast.For | ast.AsyncFor | ast.While,
+              frontier: list[_Node]) -> list[_Node]:
+        head = self.cfg.node(stmt)
+        self._link(frontier, head)
+        breaks: list[_Node] = []
+        self._loops.append((head, breaks))
+        body = self._block(stmt.body, [head])
+        self._loops.pop()
+        self._link(body, head)  # back edge
+        out = self._block(stmt.orelse, [head]) if stmt.orelse else [head]
+        return out + breaks
+
+    def _try(self, stmt: ast.Try,
+             frontier: list[_Node]) -> list[_Node]:
+        fin_entry: _Node | None = None
+        flag = [False]
+        if stmt.finalbody:
+            fin_entry = self.cfg.node()
+            self._finallies.append((fin_entry, flag))
+        handler_entries = [self.cfg.node() for _ in stmt.handlers]
+        before = len(self.cfg.nodes)
+        body_frontier = self._block(stmt.body, frontier)
+        # Any statement in the body region may raise into any handler
+        # (or straight into the finally when there is no handler).
+        for node in self.cfg.nodes[before:]:
+            node.exc.extend(handler_entries)
+            if fin_entry is not None and not handler_entries:
+                node.exc.append(fin_entry)
+                flag[0] = True
+        out = self._block(stmt.orelse, body_frontier)
+        for entry, handler in zip(handler_entries, stmt.handlers):
+            out = out + self._block(handler.body, [entry])
+        if fin_entry is not None:
+            self._finallies.pop()
+            self._link(out, fin_entry)
+            out = self._block(stmt.finalbody, [fin_entry])
+            if flag[0]:
+                # A return/raise passed through: after the finally it
+                # keeps exiting the function.
+                for node in out:
+                    self._abnormal(node)
+        return out
+
+
+# ---------------------------------------------------------------------------
+# resource-leak check
+
+
+@dataclass(frozen=True)
+class ResourceLeak:
+    """A handle that can reach the function exit without release."""
+
+    variable: str
+    resource: str
+    lineno: int
+
+
+def _acquisition_kind(call: ast.Call) -> str | None:
+    parts = _dotted_name(call.func)
+    if parts is None:
+        return None
+    dotted = ".".join(parts)
+    if dotted in _ACQUISITION_CALLS:
+        return dotted
+    return _ACQUISITION_TAILS.get(parts[-1])
+
+
+def _acquired_names(stmt: ast.stmt) -> list[tuple[str, str, int]]:
+    """``(variable, resource, lineno)`` for tracked acquisitions."""
+    if not (isinstance(stmt, ast.Assign) and len(stmt.targets) == 1
+            and isinstance(stmt.value, ast.Call)):
+        return []
+    kind = _acquisition_kind(stmt.value)
+    if kind is None:
+        return []
+    label = _ACQUISITION_CALLS[kind]
+    target = stmt.targets[0]
+    if isinstance(target, ast.Name):
+        return [(target.id, label, stmt.lineno)]
+    if isinstance(target, ast.Tuple) and kind in (
+            "os.pipe", "multiprocessing.Pipe", "tempfile.mkstemp"):
+        names = [e.id for e in target.elts if isinstance(e, ast.Name)]
+        if kind == "tempfile.mkstemp":
+            names = names[:1]  # (fd, path): only the fd needs closing
+        return [(n, label, stmt.lineno) for n in names]
+    return []
+
+
+def _releases(stmt: ast.stmt, var: str) -> bool:
+    for node in ast.walk(stmt):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if (isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and func.value.id == var
+                and func.attr in _RELEASE_METHODS):
+            return True
+        parts = _dotted_name(func)
+        if parts is not None and ".".join(parts) == "os.close":
+            if any(isinstance(a, ast.Name) and a.id == var
+                   for a in node.args):
+                return True
+    return False
+
+
+def _rebinds(stmt: ast.stmt, var: str) -> bool:
+    if isinstance(stmt, ast.Delete):
+        return any(isinstance(t, ast.Name) and t.id == var
+                   for t in stmt.targets)
+    for node in ast.walk(stmt):
+        if (isinstance(node, ast.Name) and node.id == var
+                and isinstance(node.ctx, ast.Store)):
+            return True
+    return False
+
+
+#: fd-consuming calls that merely *use* the descriptor: passing the
+#: handle to these does not move ownership (unlike ``os.fdopen`` or a
+#: worker spawn, which do).
+_HANDLE_USE_CALLS = frozenset({
+    "os.read", "os.write", "os.pread", "os.pwrite", "os.lseek",
+    "os.fsync", "os.fstat", "os.ftruncate", "os.isatty",
+    "os.get_blocking", "os.set_blocking",
+})
+
+
+def _transfers(stmt: ast.stmt, var: str) -> bool:
+    """A Name-load of ``var`` outside a method receiver moves ownership."""
+    for parent in ast.walk(stmt):
+        if isinstance(parent, ast.Call):
+            parts = _dotted_name(parent.func)
+            if parts is not None and ".".join(parts) in _HANDLE_USE_CALLS:
+                continue  # reading/seeking through the fd, not handing it off
+        for child in ast.iter_child_nodes(parent):
+            if (isinstance(child, ast.Name) and child.id == var
+                    and isinstance(child.ctx, ast.Load)
+                    and not isinstance(parent, ast.Attribute)):
+                return True
+    return False
+
+
+def find_resource_leaks(fn_node: ast.FunctionDef | ast.AsyncFunctionDef
+                        ) -> list[ResourceLeak]:
+    """Handles in one function that may escape without a release."""
+    cfg = _Builder().build(fn_node.body)
+    leaks: list[ResourceLeak] = []
+    for node in cfg.nodes:
+        if node.stmt is None:
+            continue
+        for var, resource, lineno in _acquired_names(node.stmt):
+            if _escapes_unreleased(cfg, node, var):
+                leaks.append(ResourceLeak(variable=var, resource=resource,
+                                          lineno=lineno))
+    leaks.sort(key=lambda leak: (leak.lineno, leak.variable))
+    return leaks
+
+
+def _escapes_unreleased(cfg: _CFG, origin: _Node, var: str) -> bool:
+    seen: set[int] = set()
+    stack = list(origin.succ)
+    while stack:
+        node = stack.pop()
+        if id(node) in seen:
+            continue
+        seen.add(id(node))
+        if node is cfg.exit:
+            return True
+        stmt = node.stmt
+        if stmt is not None:
+            if _releases(stmt, var):
+                continue
+            if _rebinds(stmt, var) or _transfers(stmt, var):
+                continue
+        stack.extend(node.succ)
+        stack.extend(node.exc)
+    return False
+
+
+# ---------------------------------------------------------------------------
+# unbounded-growth check
+
+
+@dataclass(frozen=True)
+class GrowthSite:
+    """A long-lived container grown without any bounding eviction."""
+
+    owner: str  # global name, or ``Class.attr`` for cache classes
+    lineno: int
+    grow_lineno: int
+
+
+def _is_raw_container(value: ast.expr) -> bool:
+    if isinstance(value, (ast.Dict, ast.List, ast.Set, ast.DictComp,
+                          ast.ListComp, ast.SetComp)):
+        return True
+    if isinstance(value, ast.Call):
+        parts = _dotted_name(value.func)
+        if parts is None or ".".join(parts) not in _RAW_CONTAINER_CALLS:
+            return False
+        if parts[-1] == "deque":
+            for kw in value.keywords:
+                if kw.arg == "maxlen" and not (
+                        isinstance(kw.value, ast.Constant)
+                        and kw.value.value is None):
+                    return False  # deque(maxlen=...) is bounded
+        return True
+    return False
+
+
+def _receiver_matches(node: ast.expr, name: str, *,
+                      attr: str | None = None) -> bool:
+    """Whether ``node`` is ``name`` (attr None) or ``name.attr``."""
+    if attr is None:
+        return isinstance(node, ast.Name) and node.id == name
+    return (isinstance(node, ast.Attribute) and node.attr == attr
+            and isinstance(node.value, ast.Name)
+            and node.value.id == name)
+
+
+def _growth_lineno(scope: ast.AST, name: str, *,
+                   attr: str | None = None) -> int | None:
+    """Line of the first growth operation on the container, if any."""
+    for node in ast.walk(scope):
+        if isinstance(node, ast.Call):
+            func = node.func
+            if (isinstance(func, ast.Attribute)
+                    and func.attr in _GROW_METHODS
+                    and _receiver_matches(func.value, name, attr=attr)):
+                return node.lineno
+        elif isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            targets = (node.targets if isinstance(node, ast.Assign)
+                       else [node.target])
+            for target in targets:
+                if (isinstance(target, ast.Subscript)
+                        and _receiver_matches(target.value, name,
+                                              attr=attr)):
+                    return node.lineno
+            if (isinstance(node, ast.AugAssign)
+                    and _receiver_matches(node.target, name, attr=attr)
+                    and (isinstance(node.op, ast.BitOr)
+                         or _is_raw_container(node.value))):
+                # ``d |= other`` / ``xs += [item]`` grow; ``n += 1`` is
+                # a scalar counter, not a container.
+                return node.lineno
+    return None
+
+
+def _shrinks(scope: ast.AST, name: str, *,
+             attr: str | None = None) -> bool:
+    for node in ast.walk(scope):
+        if isinstance(node, ast.Call):
+            func = node.func
+            if (isinstance(func, ast.Attribute)
+                    and func.attr in _SHRINK_METHODS
+                    and _receiver_matches(func.value, name, attr=attr)):
+                return True
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                if (isinstance(target, ast.Subscript)
+                        and _receiver_matches(target.value, name,
+                                              attr=attr)):
+                    return True
+    return False
+
+
+def find_unbounded_globals(module: ast.Module) -> list[GrowthSite]:
+    """Module-level raw containers grown inside functions with no shrink.
+
+    Growth at module top level runs once at import and is bounded by the
+    source itself; only growth reachable from function bodies (which run
+    arbitrarily often in a long-lived process) counts.
+    """
+    candidates: dict[str, int] = {}
+    for stmt in module.body:
+        if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+            target, value = stmt.targets[0], stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            target, value = stmt.target, stmt.value
+        else:
+            continue
+        if isinstance(target, ast.Name) and _is_raw_container(value):
+            candidates[target.id] = stmt.lineno
+
+    functions = [node for node in ast.walk(module)
+                 if isinstance(node, (ast.FunctionDef,
+                                      ast.AsyncFunctionDef))]
+    out = []
+    for name, lineno in candidates.items():
+        grow = None
+        for fn in functions:
+            grow = _growth_lineno(fn, name)
+            if grow is not None:
+                break
+        if grow is not None and not _shrinks(module, name):
+            out.append(GrowthSite(owner=name, lineno=lineno,
+                                  grow_lineno=grow))
+    out.sort(key=lambda site: site.lineno)
+    return out
+
+
+def find_unbounded_cache_attrs(module: ast.Module,
+                               markers: tuple[str, ...]) -> list[GrowthSite]:
+    """``*Memo``/``*Cache`` classes growing instance containers unboundedly.
+
+    A class whose name carries one of ``markers`` is assumed long-lived;
+    every ``self.<attr>`` its methods grow must also be shrunk somewhere
+    in the class (the bounded-LRU ``popitem`` under a length guard
+    qualifies), else the attribute is flagged.
+    """
+    out = []
+    for node in ast.walk(module):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        if not any(marker in node.name for marker in markers):
+            continue
+        grown: dict[str, int] = {}
+        for method in node.body:
+            if not isinstance(method, (ast.FunctionDef,
+                                       ast.AsyncFunctionDef)):
+                continue
+            for attr in _self_container_attrs(method):
+                lineno = _growth_lineno(method, "self", attr=attr)
+                if lineno is not None and attr not in grown:
+                    grown[attr] = lineno
+        for attr, lineno in sorted(grown.items()):
+            if not _shrinks(node, "self", attr=attr):
+                out.append(GrowthSite(owner=f"{node.name}.{attr}",
+                                      lineno=node.lineno,
+                                      grow_lineno=lineno))
+    out.sort(key=lambda site: (site.lineno, site.owner))
+    return out
+
+
+def _self_container_attrs(method: ast.AST) -> list[str]:
+    """Attribute names the method touches as ``self.<attr>`` receivers."""
+    attrs = []
+    for node in ast.walk(method):
+        if (isinstance(node, ast.Attribute)
+                and isinstance(node.value, ast.Name)
+                and node.value.id == "self"
+                and node.attr not in attrs):
+            attrs.append(node.attr)
+    return attrs

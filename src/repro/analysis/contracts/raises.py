@@ -1,0 +1,550 @@
+"""Whole-program may-raise analysis over the project call graph.
+
+Each function gets an *escape set*: the exception types that may
+propagate out of a call to it, as a mapping ``type name → origin site``
+(the raise statement or intrinsic raiser call where the exception
+actually enters the program). The analysis is a worklist fixpoint in the
+style of :func:`repro.analysis.dataflow.effects.analyze_effects`:
+
+1. scan each function body, collecting explicit ``raise`` statements and
+   *intrinsic raisers* — library calls with a documented failure type
+   (``np.linalg.solve`` → ``LinAlgError``, ``open`` → ``OSError``,
+   ``json.loads`` → ``JSONDecodeError``, ``subprocess.run`` →
+   ``OSError``);
+2. at every call site, fold in the callee's current escape set;
+3. filter everything through the enclosing ``try`` handlers — a handler
+   catches a type when the type is the handler's class or a subclass of
+   it in the :class:`Hierarchy` (builtin bases plus project class
+   bases), a bare ``raise`` in a handler re-raises exactly the types the
+   handler caught, and ``finally``/``else`` bodies are (correctly) not
+   covered by the handlers;
+4. iterate to a fixpoint (escape sets only grow, so this terminates).
+
+The analysis is deliberately *under*-approximate outside its alphabet:
+exceptions Python can raise anywhere (``MemoryError``, ``TypeError``
+from arbitrary operators) are not tracked, calls through unresolvable
+values (``fn(*args)`` where ``fn`` is a parameter) contribute nothing,
+and nested ``def``/``lambda`` bodies are skipped (defining a function
+raises nothing). That keeps boundary contracts checkable without
+drowning them in "anything may raise anything".
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Iterator
+
+from repro.analysis.dataflow.callgraph import (
+    CallGraph,
+    FunctionInfo,
+    ProjectModel,
+    _dotted_name,
+)
+
+#: Alternate spellings canonicalized before hierarchy lookups.
+_ALIASES = {
+    "IOError": "OSError",
+    "EnvironmentError": "OSError",
+    "socket.error": "OSError",
+    "scipy.linalg.LinAlgError": "numpy.linalg.LinAlgError",
+    "json.decoder.JSONDecodeError": "json.JSONDecodeError",
+}
+
+#: Base-class table for builtin and well-known external exceptions.
+_BUILTIN_BASES: dict[str, str] = {
+    "Exception": "BaseException",
+    "KeyboardInterrupt": "BaseException",
+    "SystemExit": "BaseException",
+    "GeneratorExit": "BaseException",
+    "ArithmeticError": "Exception",
+    "ZeroDivisionError": "ArithmeticError",
+    "OverflowError": "ArithmeticError",
+    "FloatingPointError": "ArithmeticError",
+    "AssertionError": "Exception",
+    "AttributeError": "Exception",
+    "BufferError": "Exception",
+    "EOFError": "Exception",
+    "ImportError": "Exception",
+    "ModuleNotFoundError": "ImportError",
+    "LookupError": "Exception",
+    "IndexError": "LookupError",
+    "KeyError": "LookupError",
+    "MemoryError": "Exception",
+    "NameError": "Exception",
+    "UnboundLocalError": "NameError",
+    "OSError": "Exception",
+    "FileNotFoundError": "OSError",
+    "FileExistsError": "OSError",
+    "PermissionError": "OSError",
+    "IsADirectoryError": "OSError",
+    "NotADirectoryError": "OSError",
+    "InterruptedError": "OSError",
+    "BlockingIOError": "OSError",
+    "ChildProcessError": "OSError",
+    "ProcessLookupError": "OSError",
+    "TimeoutError": "OSError",
+    "ConnectionError": "OSError",
+    "BrokenPipeError": "ConnectionError",
+    "ConnectionAbortedError": "ConnectionError",
+    "ConnectionRefusedError": "ConnectionError",
+    "ConnectionResetError": "ConnectionError",
+    "ReferenceError": "Exception",
+    "RuntimeError": "Exception",
+    "NotImplementedError": "RuntimeError",
+    "RecursionError": "RuntimeError",
+    "StopIteration": "Exception",
+    "StopAsyncIteration": "Exception",
+    "SyntaxError": "Exception",
+    "SystemError": "Exception",
+    "TypeError": "Exception",
+    "ValueError": "Exception",
+    "UnicodeError": "ValueError",
+    "UnicodeDecodeError": "UnicodeError",
+    "UnicodeEncodeError": "UnicodeError",
+    # well-known externals (the intrinsic-raiser alphabet)
+    "numpy.linalg.LinAlgError": "ValueError",
+    "json.JSONDecodeError": "ValueError",
+    "pickle.PickleError": "Exception",
+    "pickle.PicklingError": "pickle.PickleError",
+    "pickle.UnpicklingError": "pickle.PickleError",
+    "subprocess.SubprocessError": "Exception",
+    "subprocess.TimeoutExpired": "subprocess.SubprocessError",
+    "subprocess.CalledProcessError": "subprocess.SubprocessError",
+}
+
+#: ``numpy.linalg`` functions that raise ``LinAlgError`` on singular or
+#: non-convergent systems.
+_NUMPY_LINALG_RAISERS = frozenset({
+    "solve", "inv", "cholesky", "eig", "eigh", "eigvals", "eigvalsh",
+    "lstsq", "pinv", "svd", "qr", "matrix_power", "tensorsolve",
+    "tensorinv",
+})
+
+#: ``scipy.linalg`` *decomposition* functions that raise ``LinAlgError``.
+#: ``lu_factor``/``lu_solve``/``cho_solve`` are excluded: applying an
+#: existing factorization cannot fail, and scipy's LU only *warns* on
+#: singularity (the guard layer's rcond estimate is the real verdict).
+_SCIPY_LINALG_RAISERS = frozenset({
+    "cho_factor", "cholesky", "solve", "solve_banded", "inv",
+    "eig", "eigh", "svd", "schur", "qr",
+})
+
+#: Calls raising ``OSError`` on filesystem/process trouble.
+_OSERROR_CALLS = frozenset({
+    "open", "os.open", "os.fdopen", "os.close", "os.replace", "os.rename",
+    "os.unlink", "os.remove", "os.makedirs", "os.mkdir", "os.rmdir",
+    "os.fsync", "os.kill", "os.pipe", "shutil.rmtree", "shutil.copy",
+    "shutil.copytree", "shutil.move", "tempfile.mkdtemp",
+    "tempfile.mkstemp", "tempfile.NamedTemporaryFile",
+    "tempfile.TemporaryDirectory",
+})
+
+#: Bare method names treated as filesystem OSError raisers on any
+#: receiver (``path.write_text`` — receiver types are unknown
+#: statically; mirrors the effect layer's convention).
+_OSERROR_METHOD_TAILS = frozenset({
+    "write_text", "write_bytes", "read_text", "read_bytes",
+    "mkdir", "rmdir", "unlink", "touch",
+})
+
+#: ``subprocess`` launchers: OSError when the binary cannot be spawned.
+_SUBPROCESS_LAUNCHERS = frozenset({
+    "subprocess.run", "subprocess.call", "subprocess.check_call",
+    "subprocess.check_output", "subprocess.Popen",
+})
+
+
+def canonical(name: str) -> str:
+    """The canonical spelling of an exception type name."""
+    return _ALIASES.get(name, name)
+
+
+def intrinsic_raises(name: str) -> list[tuple[str, str]]:
+    """``(exception type, detail)`` pairs one external call may raise."""
+    name = canonical(name)
+    head, _, tail = name.rpartition(".")
+    out: list[tuple[str, str]] = []
+    if head == "numpy.linalg" and tail in _NUMPY_LINALG_RAISERS:
+        out.append(("numpy.linalg.LinAlgError",
+                    f"{name}() raises LinAlgError on a singular or "
+                    f"non-convergent system"))
+    elif head == "scipy.linalg" and tail in _SCIPY_LINALG_RAISERS:
+        out.append(("numpy.linalg.LinAlgError",
+                    f"{name}() raises LinAlgError when the decomposition "
+                    f"fails"))
+    elif name in _OSERROR_CALLS or tail in _OSERROR_METHOD_TAILS:
+        out.append(("OSError", f"{name}() raises OSError on I/O failure"))
+    elif name in _SUBPROCESS_LAUNCHERS:
+        out.append(("OSError",
+                    f"{name}() raises OSError when the binary cannot "
+                    f"be spawned"))
+        out.append(("subprocess.TimeoutExpired",
+                    f"{name}() raises TimeoutExpired past its timeout"))
+    elif name in ("json.loads", "json.load"):
+        out.append(("json.JSONDecodeError",
+                    f"{name}() raises JSONDecodeError on malformed input"))
+    return out
+
+
+class Hierarchy:
+    """Subtype queries over builtin bases plus project exception classes."""
+
+    def __init__(self, project: ProjectModel):
+        self._project = project
+        self._bases: dict[str, tuple[str, ...]] = {}
+
+    def bases_of(self, name: str) -> tuple[str, ...]:
+        """Immediate base type names of ``name`` (canonicalized)."""
+        name = canonical(name)
+        cached = self._bases.get(name)
+        if cached is not None:
+            return cached
+        bases: tuple[str, ...]
+        cls = self._project.classes.get(name)
+        if cls is not None:
+            resolved = []
+            module = self._project.modules[cls.module]
+            for base in cls.base_names:
+                target = module.imports.get(base)
+                if target is not None and target in self._project.classes:
+                    resolved.append(target)
+                elif f"{cls.module}.{base}" in self._project.classes:
+                    resolved.append(f"{cls.module}.{base}")
+                else:
+                    resolved.append(canonical(base))
+            bases = tuple(resolved) or ("Exception",)
+        elif name == "BaseException":
+            bases = ()
+        elif name in _BUILTIN_BASES:
+            bases = (_BUILTIN_BASES[name],)
+        else:
+            # Unknown type (third-party, unresolvable): assume a plain
+            # Exception subclass — broad handlers catch it, narrow ones
+            # do not.
+            bases = ("Exception",)
+        self._bases[name] = bases
+        return bases
+
+    def is_subtype(self, name: str, ancestor: str) -> bool:
+        """Whether ``name`` is ``ancestor`` or derives from it."""
+        name, ancestor = canonical(name), canonical(ancestor)
+        if ancestor == "BaseException":
+            return True
+        seen: set[str] = set()
+        frontier = [name]
+        while frontier:
+            cursor = frontier.pop()
+            if cursor == ancestor:
+                return True
+            if cursor in seen:
+                continue
+            seen.add(cursor)
+            frontier.extend(self.bases_of(cursor))
+        return False
+
+    def caught_by(self, handler_types: tuple[str, ...],
+                  raised: str) -> bool:
+        return any(self.is_subtype(raised, h) for h in handler_types)
+
+
+@dataclass(frozen=True)
+class RaiseSite:
+    """Where an exception type enters the program."""
+
+    exc_type: str
+    function: str
+    path: Path
+    lineno: int
+    detail: str
+
+
+@dataclass
+class RaiseAnalysis:
+    """Per-function escape sets: ``type name → origin site``."""
+
+    escapes: dict[str, dict[str, RaiseSite]] = field(default_factory=dict)
+    hierarchy: Hierarchy | None = None
+
+    def of(self, qualname: str) -> dict[str, RaiseSite]:
+        return self.escapes.get(qualname, {})
+
+
+#: A re-raise context inside an ``except`` handler: the types the
+#: handler caught (with their origin sites) and the bound name, if any.
+_Reraise = tuple[dict[str, RaiseSite], str | None]
+
+_EMPTY_RERAISE: _Reraise = ({}, None)
+
+
+def _calls_in(node: ast.AST) -> Iterator[ast.Call]:
+    """Every call in an expression tree, skipping lambda bodies."""
+    stack = [node]
+    while stack:
+        cursor = stack.pop()
+        if isinstance(cursor, ast.Lambda):
+            continue
+        if isinstance(cursor, ast.Call):
+            yield cursor
+        stack.extend(ast.iter_child_nodes(cursor))
+
+
+class _FunctionScanner:
+    """One structural scan of a function body against current state."""
+
+    def __init__(self, fn: FunctionInfo, graph: CallGraph,
+                 escapes_of: Callable[[str], dict[str, RaiseSite]],
+                 hierarchy: Hierarchy, *, track_subscripts: bool = False):
+        self.fn = fn
+        self.graph = graph
+        self.escapes_of = escapes_of
+        self.hierarchy = hierarchy
+        self.track_subscripts = track_subscripts
+        resolve, resolve_class, resolve_external = graph._resolver(fn)
+        self.resolve = resolve
+        self.resolve_class = resolve_class
+        self.resolve_external = resolve_external
+
+    def scan(self) -> dict[str, RaiseSite]:
+        return self._block(self.fn.node.body, _EMPTY_RERAISE)
+
+    # -- structure --
+
+    def _block(self, stmts: list[ast.stmt],
+               reraise: _Reraise) -> dict[str, RaiseSite]:
+        out: dict[str, RaiseSite] = {}
+        for stmt in stmts:
+            _merge(out, self._stmt(stmt, reraise))
+        return out
+
+    def _stmt(self, stmt: ast.stmt,
+              reraise: _Reraise) -> dict[str, RaiseSite]:
+        if isinstance(stmt, ast.Raise):
+            return self._raise(stmt, reraise)
+        if isinstance(stmt, ast.Try):
+            return self._try(stmt, reraise)
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            return {}  # defining a function/class raises nothing
+        if isinstance(stmt, ast.If):
+            out = self._expr(stmt.test)
+            _merge(out, self._block(stmt.body, reraise))
+            _merge(out, self._block(stmt.orelse, reraise))
+            return out
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            out = self._expr(stmt.iter)
+            _merge(out, self._block(stmt.body, reraise))
+            _merge(out, self._block(stmt.orelse, reraise))
+            return out
+        if isinstance(stmt, ast.While):
+            out = self._expr(stmt.test)
+            _merge(out, self._block(stmt.body, reraise))
+            _merge(out, self._block(stmt.orelse, reraise))
+            return out
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            out: dict[str, RaiseSite] = {}
+            for item in stmt.items:
+                _merge(out, self._expr(item.context_expr))
+            _merge(out, self._block(stmt.body, reraise))
+            return out
+        # Leaf statements: whatever their expressions may call.
+        return self._expr(stmt)
+
+    def _try(self, stmt: ast.Try,
+             reraise: _Reraise) -> dict[str, RaiseSite]:
+        body = self._block(stmt.body, reraise)
+        handler_types = [self._handler_types(h) for h in stmt.handlers]
+        caught: list[dict[str, RaiseSite]] = [{} for _ in stmt.handlers]
+        out: dict[str, RaiseSite] = {}
+        for exc_type in sorted(body):
+            for index, types in enumerate(handler_types):
+                if self.hierarchy.caught_by(types, exc_type):
+                    caught[index][exc_type] = body[exc_type]
+                    break
+            else:
+                out[exc_type] = body[exc_type]
+        for handler, handled in zip(stmt.handlers, caught):
+            _merge(out, self._block(handler.body, (handled, handler.name)))
+        # else/finally run outside the handlers' protection.
+        _merge(out, self._block(stmt.orelse, reraise))
+        _merge(out, self._block(stmt.finalbody, reraise))
+        return out
+
+    def _handler_types(self, handler: ast.ExceptHandler) -> tuple[str, ...]:
+        if handler.type is None:
+            return ("BaseException",)
+        nodes = (handler.type.elts if isinstance(handler.type, ast.Tuple)
+                 else [handler.type])
+        types = []
+        for node in nodes:
+            name = self._type_name(node)
+            if name is not None:
+                types.append(name)
+        return tuple(types) or ("BaseException",)
+
+    def _type_name(self, node: ast.expr) -> str | None:
+        """The canonical exception type a name expression denotes."""
+        parts = _dotted_name(node)
+        if parts is None:
+            return None
+        cls = self.resolve_class(parts)
+        if cls is not None:
+            return cls
+        if len(parts) > 1:
+            # ``ConfigError.for_env(...)`` — a classmethod constructor.
+            cls = self.resolve_class(parts[:-1])
+            if cls is not None:
+                return cls
+        return canonical(self.resolve_external(parts))
+
+    # -- leaves --
+
+    def _raise(self, stmt: ast.Raise,
+               reraise: _Reraise) -> dict[str, RaiseSite]:
+        caught, bound_name = reraise
+        if stmt.exc is None:
+            return dict(caught)  # bare re-raise
+        if (isinstance(stmt.exc, ast.Name) and bound_name is not None
+                and stmt.exc.id == bound_name):
+            return dict(caught)  # ``raise e`` of the handler's binding
+        out: dict[str, RaiseSite] = {}
+        # Constructor arguments evaluate (and may raise) first.
+        _merge(out, self._expr(stmt.exc))
+        if stmt.cause is not None:
+            _merge(out, self._expr(stmt.cause))
+        type_expr = (stmt.exc.func if isinstance(stmt.exc, ast.Call)
+                     else stmt.exc)
+        name = self._type_name(type_expr) or "Exception"
+        site = RaiseSite(
+            exc_type=name, function=self.fn.qualname, path=self.fn.path,
+            lineno=stmt.lineno,
+            detail=f"raise {name.rsplit('.', 1)[-1]}")
+        out.setdefault(name, site)
+        return out
+
+    def _expr(self, node: ast.AST) -> dict[str, RaiseSite]:
+        out: dict[str, RaiseSite] = {}
+        for call in _calls_in(node):
+            _merge(out, self._call(call))
+        if self.track_subscripts:
+            for sub in ast.walk(node):
+                if (isinstance(sub, ast.Subscript)
+                        and isinstance(sub.ctx, ast.Load)):
+                    _merge(out, {"LookupError": RaiseSite(
+                        exc_type="LookupError",
+                        function=self.fn.qualname, path=self.fn.path,
+                        lineno=sub.lineno,
+                        detail="subscript access may raise "
+                               "KeyError/IndexError")})
+        return out
+
+    def _call(self, call: ast.Call) -> dict[str, RaiseSite]:
+        parts = _dotted_name(call.func)
+        if parts is None:
+            # The dispatch-table idiom: ``handlers[cmd](args)`` where
+            # ``handlers`` is a dict of function references. Any entry
+            # may be the callee, so fold in all of them.
+            if isinstance(call.func, ast.Subscript):
+                return self._dispatch_entries(call.func)
+            return {}
+        target = self.resolve(parts)
+        if target is not None:
+            return dict(self.escapes_of(target))
+        cls = self.resolve_class(parts)
+        if cls is not None:
+            init = f"{cls}.__init__"
+            return dict(self.escapes_of(init))
+        if len(parts) == 1:
+            # ``handler = handlers[cmd]`` then ``handler(args)``: the
+            # local carries one entry of a dispatch table.
+            bound = self._local_dispatch_value(parts[0])
+            if bound is not None:
+                return bound
+        name = self.resolve_external(parts)
+        out: dict[str, RaiseSite] = {}
+        for exc_type, detail in intrinsic_raises(name):
+            out.setdefault(exc_type, RaiseSite(
+                exc_type=exc_type, function=self.fn.qualname,
+                path=self.fn.path, lineno=call.lineno, detail=detail))
+        return out
+
+    def _dispatch_entries(self, subscript: ast.Subscript
+                          ) -> dict[str, RaiseSite]:
+        table = subscript.value
+        if isinstance(table, ast.Dict):
+            return self._fold_table(table)
+        if isinstance(table, ast.Name):
+            assigned = self._local_assignment(table.id)
+            if isinstance(assigned, ast.Dict):
+                return self._fold_table(assigned)
+        return {}
+
+    def _local_dispatch_value(self, name: str) -> dict[str, RaiseSite] | None:
+        assigned = self._local_assignment(name)
+        if isinstance(assigned, ast.Subscript):
+            folded = self._dispatch_entries(assigned)
+            if folded:
+                return folded
+        return None
+
+    def _local_assignment(self, name: str) -> ast.expr | None:
+        for node in ast.walk(self.fn.node):
+            if (isinstance(node, ast.Assign) and len(node.targets) == 1
+                    and isinstance(node.targets[0], ast.Name)
+                    and node.targets[0].id == name):
+                return node.value
+        return None
+
+    def _fold_table(self, table: ast.Dict) -> dict[str, RaiseSite]:
+        out: dict[str, RaiseSite] = {}
+        for value in table.values:
+            ref_parts = _dotted_name(value)
+            if ref_parts is None:
+                continue
+            target = self.resolve(ref_parts)
+            if target is not None:
+                _merge(out, self.escapes_of(target))
+        return out
+
+
+def _merge(into: dict[str, RaiseSite],
+           update: dict[str, RaiseSite]) -> None:
+    for exc_type, site in update.items():
+        into.setdefault(exc_type, site)
+
+
+def analyze_raises(project: ProjectModel, graph: CallGraph, *,
+                   track_subscripts: bool = False) -> RaiseAnalysis:
+    """Fixpoint may-raise analysis over every project function."""
+    hierarchy = Hierarchy(project)
+    escapes: dict[str, dict[str, RaiseSite]] = {
+        q: {} for q in project.functions}
+
+    callers: dict[str, set[str]] = {q: set() for q in project.functions}
+    for caller, callees in graph.edges.items():
+        for callee in callees:
+            if callee in callers:
+                callers[callee].add(caller)
+
+    def escapes_of(qualname: str) -> dict[str, RaiseSite]:
+        return escapes.get(qualname, {})
+
+    worklist = sorted(project.functions)
+    pending = set(worklist)
+    while worklist:
+        qualname = worklist.pop()
+        pending.discard(qualname)
+        fn = project.functions[qualname]
+        scanner = _FunctionScanner(fn, graph, escapes_of, hierarchy,
+                                   track_subscripts=track_subscripts)
+        fresh = scanner.scan()
+        if fresh.keys() != escapes[qualname].keys():
+            escapes[qualname] = fresh
+            for caller in sorted(callers.get(qualname, ())):
+                if caller not in pending:
+                    pending.add(caller)
+                    worklist.append(caller)
+        else:
+            escapes[qualname] = fresh
+    return RaiseAnalysis(escapes=escapes, hierarchy=hierarchy)

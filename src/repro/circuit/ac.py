@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.circuit.mna import MNASystem, build_mna
 from repro.circuit.netlist import Circuit, CircuitError
+from repro.guard.incidents import NumericalIncident, fingerprint_system
 
 
 @dataclass
@@ -97,5 +98,14 @@ def ac_analysis(circuit: Circuit, f_start: float, f_stop: float,
     states = np.empty((mna.size, count), dtype=complex)
     for k, frequency in enumerate(frequencies):
         system = mna.G + 2j * np.pi * frequency * mna.C
-        states[:, k] = np.linalg.solve(system, u)
+        try:
+            states[:, k] = np.linalg.solve(system, u)
+        except np.linalg.LinAlgError:
+            # The complex phasor system falls outside the float64
+            # GuardedFactorization; fingerprint its magnitude so the
+            # incident still identifies the offending circuit.
+            raise NumericalIncident(
+                f"singular phasor MNA system at {frequency:.6g} Hz",
+                fingerprint_system(np.abs(system),
+                                   context="ac-analysis")) from None
     return ACResult(frequencies=frequencies, states=states, mna=mna)

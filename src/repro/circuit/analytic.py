@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 import numpy as np
 from scipy.linalg import eigh
 
+from repro.guard.incidents import NumericalIncident, fingerprint_system
 from repro.guard.numerics import GuardedFactorization
 
 #: Hard cap on bracket expansion when hunting for a threshold crossing.
@@ -109,7 +110,13 @@ class AnalyticRC:
         self.system = system
         sqrt_c = np.sqrt(system.c)
         A = system.G / np.outer(sqrt_c, sqrt_c)
-        eigenvalues, Q = eigh(A)
+        try:
+            eigenvalues, Q = eigh(A)
+        except np.linalg.LinAlgError:
+            raise NumericalIncident(
+                "symmetrized RC system eigendecomposition failed to "
+                "converge",
+                fingerprint_system(A, context="analytic-rc")) from None
         if eigenvalues[0] <= 0:
             raise ValueError("RC system is not strictly stable; "
                              "is the driver conductance present?")

@@ -169,7 +169,7 @@ def parse_print_output(text: str) -> NgspiceResult:
         if len(tokens) >= 2 and tokens[0].isdigit() and columns is not None:
             try:
                 values = [float(tok) for tok in tokens[1:2 + len(columns)]]
-            except ValueError:
+            except ValueError:  # repro: allow=contracts-broad-catch-swallow — a non-numeric line is banner text, not data; the no-table NgspiceError below catches a wholly unparseable output
                 continue
             if len(values) == len(columns) + 1:
                 rows[int(tokens[0])] = values

@@ -68,8 +68,15 @@ from repro.io.routing_json import (
     load_routing,
     save_routing,
 )
-from repro.runtime import ChaosPolicy, ConfigError, RuntimePolicy
+from repro.runtime import (
+    ChaosPolicy,
+    ConfigError,
+    ReproRuntimeError,
+    RuntimePolicy,
+)
 from repro.circuit.ngspice import NgspiceError
+from repro.delay.incremental import CandidateEvaluationError
+from repro.guard.incidents import GuardError
 from repro.viz.svg import save_routing_svg
 
 _ALGORITHMS = {
@@ -173,18 +180,23 @@ def build_parser() -> argparse.ArgumentParser:
 
     lint = sub.add_parser(
         "lint", help="lint routing JSON / net files and their RC models, "
-                     "or the source tree itself (--pass source/dataflow)")
+                     "or the source tree itself (--pass "
+                     "source/dataflow/contracts)")
     lint.add_argument("inputs", nargs="*", type=Path,
                       help="routing .json files and/or .nets files "
-                           "(with --pass source/dataflow: source files "
-                           "or directories, default src/repro)")
+                           "(with --pass source/dataflow/contracts: "
+                           "source files or directories, default "
+                           "src/repro)")
     lint.add_argument("--pass", dest="lint_pass",
-                      choices=("data", "source", "dataflow", "all"),
+                      choices=("data", "source", "dataflow", "contracts",
+                               "all"),
                       default="data",
                       help="what to lint: routing/RC data files (data, "
                            "the default), per-file AST rules (source), "
                            "the whole-program determinism analyzer "
-                           "(dataflow), or both code passes (all)")
+                           "(dataflow), the exception-contract & "
+                           "resource-lifecycle analyzer (contracts), or "
+                           "every code pass (all)")
     lint.add_argument("--format", choices=("text", "json", "sarif"),
                       default="text",
                       help="report format (default: text)")
@@ -207,8 +219,14 @@ def main(argv: list[str] | None = None) -> int:
 
     ``KeyboardInterrupt`` exits 130 (any journal is already flushed —
     trial records are written atomically as each trial completes, so
-    there is nothing left to save); known repro errors exit 2 with a
-    one-line message instead of a traceback.
+    there is nothing left to save); a numerical guard incident exits 3
+    (the input is electrically pathological, not malformed); every
+    other known operational error — bad env config, ngspice trouble,
+    malformed routing/net files, bad geometry, I/O failure — exits 2
+    with a one-line message instead of a traceback. The full taxonomy
+    is the error table in ``docs/robustness.md``, and the
+    ``contracts-exception-escape`` rule of ``repro.analysis.contracts``
+    verifies statically that nothing escapes this ladder unmapped.
     """
     try:
         return _dispatch(argv)
@@ -217,6 +235,16 @@ def main(argv: list[str] | None = None) -> int:
               "--resume to continue)", file=sys.stderr)
         return 130
     except (ConfigError, NgspiceError, RoutingFormatError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except GuardError as exc:
+        print(f"numerical guard: {exc}", file=sys.stderr)
+        return 3
+    except (OSError, ValueError, ReproRuntimeError,
+            CandidateEvaluationError) as exc:
+        # ValueError covers the domain errors derived from it
+        # (GridError, NetsFileError, RoutingGraphError, CircuitError,
+        # DesignError); OSError covers artifact writes.
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
@@ -401,12 +429,14 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     """Lint routing/net data files or the source tree itself.
 
     ``--pass data`` (the default) checks routing JSON and net files;
-    ``--pass source``/``dataflow``/``all`` runs the code passes of
-    :mod:`repro.analysis` over source paths instead. Exit status: 0
-    clean (warnings allowed), 1 when any error-severity diagnostic
-    fires, 2 on usage errors.
+    ``--pass source``/``dataflow``/``contracts``/``all`` runs the code
+    passes of :mod:`repro.analysis` over source paths instead. Exit
+    status: 0 clean (warnings allowed), 1 when any error-severity
+    diagnostic fires, 2 on usage errors.
     """
-    # Registers the dataflow-* rules so --disable/--list-rules see them.
+    # Registers the dataflow-*/contracts-* rules so --disable and
+    # --list-rules see them.
+    from repro.analysis.contracts.engine import analyze_contracts
     from repro.analysis.dataflow.engine import analyze_dataflow
     from repro.analysis.reporters import render_sarif
     from repro.analysis.source_rules import lint_source_tree
@@ -451,6 +481,8 @@ def _cmd_lint(args: argparse.Namespace) -> int:
             diagnostics.extend(lint_source_tree(paths, config))
         if args.lint_pass in ("dataflow", "all"):
             diagnostics.extend(analyze_dataflow(paths, config))
+        if args.lint_pass in ("contracts", "all"):
+            diagnostics.extend(analyze_contracts(paths, config))
 
     render = {"json": render_json, "sarif": render_sarif,
               "text": render_text}[args.format]

@@ -1,0 +1,91 @@
+"""Declared exception contracts for service boundaries.
+
+A *boundary* is a function other layers call without wanting to know its
+internals — the journal writer, the guarded solver, a CLI entry point.
+Each boundary declares, with :func:`boundary`, the exception types it is
+allowed to let escape::
+
+    @boundary(raises=(OSError,))
+    def atomic_write_text(path, text): ...
+
+The decorator is purely declarative: it returns the function object
+unchanged (so pool workers can still pickle it by reference and there is
+zero call overhead) and records an :class:`ExceptionContract` in a
+process-wide registry. Enforcement is static — the
+``contracts-undeclared-raise`` rule of :mod:`repro.analysis.contracts`
+computes each decorated function's whole-program may-raise set and flags
+any escaping type the declaration does not cover.
+
+This module deliberately imports nothing from the rest of ``repro``
+(standard library only), so any layer — including :mod:`repro.guard`,
+which must stay below the circuit/delay layers in the import graph —
+can declare a contract without creating an import cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, TypeVar
+
+F = TypeVar("F", bound=Callable)
+
+
+@dataclass(frozen=True)
+class ExceptionContract:
+    """The declared failure surface of one boundary function.
+
+    Attributes:
+        qualname: ``module.qualified.name`` of the declared function.
+        raises: exception types allowed to escape (subclasses of a
+            declared type are covered too).
+    """
+
+    qualname: str
+    raises: tuple[type[BaseException], ...]
+
+    def covers(self, exc_type: type[BaseException]) -> bool:
+        """Whether ``exc_type`` (or a base of it) is declared."""
+        return issubclass(exc_type, self.raises) if self.raises else False
+
+
+#: Every declared contract, keyed by the function's dotted qualname.
+#: Grows only at import time, one entry per ``@boundary`` use.
+_REGISTRY: dict[str, ExceptionContract] = {}  # repro: allow=contracts-unbounded-growth — bounded by the number of decorated defs
+
+
+def boundary(*, raises: tuple[type[BaseException], ...] | type[BaseException]
+             ) -> Callable[[F], F]:
+    """Declare the exception types a boundary function may let escape.
+
+    Args:
+        raises: one exception type or a tuple of them. An empty tuple
+            declares a *total* boundary (nothing may escape).
+
+    Returns:
+        A decorator that registers the contract and returns the function
+        unchanged.
+    """
+    types = raises if isinstance(raises, tuple) else (raises,)
+    for item in types:
+        if not (isinstance(item, type)
+                and issubclass(item, BaseException)):
+            raise TypeError(f"boundary(raises=...) takes exception types, "
+                            f"got {item!r}")
+
+    def decorate(fn: F) -> F:
+        qualname = f"{fn.__module__}.{fn.__qualname__}"
+        _REGISTRY[qualname] = ExceptionContract(qualname=qualname,
+                                                raises=types)
+        return fn
+
+    return decorate
+
+
+def contract_for(fn: Callable) -> ExceptionContract | None:
+    """The registered contract of a decorated function, if any."""
+    return _REGISTRY.get(f"{fn.__module__}.{fn.__qualname__}")
+
+
+def declared_contracts() -> dict[str, ExceptionContract]:
+    """A snapshot of every registered contract, keyed by qualname."""
+    return dict(_REGISTRY)

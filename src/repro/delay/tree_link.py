@@ -26,6 +26,7 @@ import numpy as np
 from repro.delay.parameters import Technology
 from repro.delay.rc_builder import EdgeWidths, edge_width
 from repro.graph.routing_graph import RoutingGraph, RoutingGraphError
+from repro.guard.numerics import guarded_solve
 
 
 class TreeLinkSystem:
@@ -160,7 +161,12 @@ def tree_link_elmore(graph: RoutingGraph, tech: Technology,
         A[index[v], k] = -1.0
         w[k] = conductance(u, v)
     Z = np.column_stack([tree.solve(A[:, k]) for k in range(len(links))])
+    # The capacitance matrix diag(1/w) + AᵀG⁻¹A is SPD, but a
+    # degenerate link set (duplicated links, vanishing conductance) can
+    # push it to singularity — surface that as a structured
+    # NumericalIncident, never a raw LinAlgError.
     small = np.diag(1.0 / w) + A.T @ Z
-    correction = Z @ np.linalg.solve(small, A.T @ t0)
+    correction = Z @ guarded_solve(small, A.T @ t0, spd=True,
+                                   context="tree-link woodbury correction")
     t = t0 - correction
     return {node: float(t[index[node]]) for node in order}

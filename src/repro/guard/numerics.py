@@ -37,6 +37,7 @@ import numpy.typing as npt
 from scipy.linalg import LinAlgWarning, cho_factor, cho_solve, lu_factor, lu_solve
 from scipy.linalg.lapack import dgecon, dpocon
 
+from repro.contracts import boundary
 from repro.guard.incidents import (
     KIND_INCIDENT,
     NumericalIncident,
@@ -106,7 +107,7 @@ class GuardedFactorization:
             candidate = A if epsilon == 0.0 else A + epsilon * np.eye(len(A))
             try:
                 factor, rcond = self._factor(candidate, anorm)
-            except np.linalg.LinAlgError:
+            except np.linalg.LinAlgError:  # repro: allow=contracts-broad-catch-swallow — a failed factorization advances the regularization ladder; exhaustion raises a structured NumericalIncident below
                 continue
             last_rcond = rcond
             if rcond < rcond_floor:
@@ -176,6 +177,7 @@ class GuardedFactorization:
         return replace(self._system_fingerprint, rcond=self.rcond)
 
 
+@boundary(raises=(NumericalIncident, ValueError))
 def guarded_solve(matrix: _Array, rhs: _Array, *, spd: bool = True,
                   context: str = "",
                   rcond_floor: float = DEFAULT_RCOND_FLOOR) -> _Array:

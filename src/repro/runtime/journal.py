@@ -23,6 +23,7 @@ import os
 from pathlib import Path
 from typing import Any, Mapping
 
+from repro.contracts import boundary
 from repro.runtime.trial import (
     TrialKey,
     TrialOutcome,
@@ -81,6 +82,7 @@ def fingerprint(payload: Mapping[str, Any]) -> str:
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
 
 
+@boundary(raises=(OSError,))
 def atomic_write_text(path: Path, text: str) -> None:
     """Write ``text`` to ``path`` so a crash never leaves a partial file.
 
@@ -98,7 +100,7 @@ def atomic_write_text(path: Path, text: str) -> None:
     except BaseException:
         try:
             os.unlink(tmp)
-        except OSError:
+        except OSError:  # repro: allow=contracts-broad-catch-swallow — cleanup of the tmp file must not mask the original write failure re-raised below
             pass
         raise
     _fsync_dir(path.parent)
@@ -107,11 +109,11 @@ def atomic_write_text(path: Path, text: str) -> None:
 def _fsync_dir(directory: Path) -> None:
     try:
         dir_fd = os.open(directory, os.O_RDONLY)
-    except OSError:  # platform without directory opens — best effort
+    except OSError:  # repro: allow=contracts-broad-catch-swallow — platforms without directory opens fall back to no dir fsync; the data file itself is already synced
         return
     try:
         os.fsync(dir_fd)
-    except OSError:
+    except OSError:  # repro: allow=contracts-broad-catch-swallow — some filesystems reject directory fsync (EINVAL); best-effort durability by design
         pass
     finally:
         os.close(dir_fd)
@@ -162,7 +164,7 @@ class RunJournal:
             try:
                 data = json.loads(path.read_text(encoding="utf-8"))
                 key, outcome = outcome_from_json_dict(data)
-            except (OSError, ValueError):
+            except (OSError, ValueError):  # repro: allow=contracts-broad-catch-swallow — alien/corrupt records are skipped so resume re-runs those trials; byte-compare surfaces them verbatim
                 continue
             outcomes[key] = outcome
         return outcomes

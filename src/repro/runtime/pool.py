@@ -23,6 +23,7 @@ from __future__ import annotations
 import multiprocessing
 import os
 import signal
+import sys
 import threading
 import time
 from contextlib import contextmanager
@@ -155,7 +156,7 @@ def _worker_main(conn: Connection) -> None:
     while True:
         try:
             message = conn.recv()
-        except (EOFError, OSError):
+        except (EOFError, OSError):  # repro: allow=contracts-broad-catch-swallow — parent closed the pipe: normal shutdown, nothing to report
             return
         if message[0] == "stop":
             return
@@ -170,14 +171,21 @@ def _worker_main(conn: Connection) -> None:
                 exc, elapsed=time.perf_counter() - start)
         try:
             conn.send((key, outcome))
-        except Exception:
-            # Unpicklable payload: report the failure instead of dying.
+        except Exception as send_exc:
+            # Unpicklable payload: report a structured failure instead
+            # of dying — with the original error preserved, on stderr
+            # (the parent cannot see it otherwise) and in the failure
+            # message itself.
+            detail = f"{type(send_exc).__name__}: {send_exc}"
+            print(f"repro.runtime.pool worker: could not send outcome "
+                  f"for {key!r}: {detail}", file=sys.stderr)
             try:
                 conn.send((key, TrialFailure(
                     kind="exception", error_type="PicklingError",
-                    message="trial payload could not be pickled",
+                    message=f"trial payload could not be pickled "
+                            f"({detail})",
                     elapsed=time.perf_counter() - start)))
-            except Exception:
+            except Exception:  # repro: allow=contracts-broad-catch-swallow — even the fallback failed: the pipe is dead and the stderr line above is the last reachable channel, so all that is left is to die loudly enough for the parent's crash detection
                 os._exit(1)
 
 
@@ -211,19 +219,19 @@ class _Worker:
     def kill(self) -> None:
         try:
             self.process.kill()
-        except (OSError, ValueError):
+        except (OSError, ValueError):  # repro: allow=contracts-broad-catch-swallow — the process already exited; kill is best-effort by design
             pass
         self.process.join(timeout=5.0)
         try:
             self.conn.close()
-        except OSError:
+        except OSError:  # repro: allow=contracts-broad-catch-swallow — double-close of an already-broken pipe during teardown is harmless
             pass
 
     def stop(self) -> None:
         try:
             self.conn.send(_STOP)
             self.conn.close()
-        except (OSError, ValueError, BrokenPipeError):
+        except (OSError, ValueError, BrokenPipeError):  # repro: allow=contracts-broad-catch-swallow — worker already gone at shutdown; stop is best-effort and kill() follows
             pass
 
 

@@ -1,0 +1,72 @@
+"""The runtime boundary declaration registry (``repro.contracts``)."""
+
+import pytest
+
+from repro.contracts import (
+    ExceptionContract,
+    boundary,
+    contract_for,
+    declared_contracts,
+)
+from repro.guard.incidents import NumericalIncident
+
+
+class TestBoundaryDecorator:
+    def test_returns_the_function_unchanged(self):
+        def probe():
+            return 42
+
+        decorated = boundary(raises=(ValueError,))(probe)
+        assert decorated is probe
+
+    def test_registers_a_contract(self):
+        @boundary(raises=(OSError, ValueError))
+        def probe():
+            pass
+
+        contract = contract_for(probe)
+        assert contract is not None
+        assert contract.raises == (OSError, ValueError)
+        assert contract.qualname.endswith("probe")
+
+    def test_single_type_is_normalized_to_a_tuple(self):
+        @boundary(raises=OSError)
+        def probe():
+            pass
+
+        assert contract_for(probe).raises == (OSError,)
+
+    def test_non_exception_type_is_rejected(self):
+        with pytest.raises(TypeError):
+            boundary(raises=(int,))
+        with pytest.raises(TypeError):
+            boundary(raises=("OSError",))
+
+
+class TestExceptionContract:
+    def test_covers_declared_type_and_subtypes(self):
+        contract = ExceptionContract("m.f", (OSError,))
+        assert contract.covers(OSError)
+        assert contract.covers(FileNotFoundError)
+        assert not contract.covers(ValueError)
+
+    def test_total_boundary_covers_nothing(self):
+        contract = ExceptionContract("m.f", ())
+        assert not contract.covers(Exception)
+
+
+class TestRepoDeclarations:
+    def test_guarded_solve_declares_its_incident_surface(self):
+        import repro.guard.numerics  # noqa: F401  (registers on import)
+
+        contracts = declared_contracts()
+        decl = contracts["repro.guard.numerics.guarded_solve"]
+        assert decl.covers(NumericalIncident)
+        assert decl.covers(ValueError)
+
+    def test_atomic_write_declares_oserror(self):
+        import repro.runtime.journal  # noqa: F401
+
+        decl = declared_contracts()["repro.runtime.journal.atomic_write_text"]
+        assert decl.covers(OSError)
+        assert not decl.covers(ValueError)

@@ -1,0 +1,252 @@
+"""CFG resource-leak tracking and container-growth detection, unit level."""
+
+import ast
+import textwrap
+
+from repro.analysis.contracts import (
+    find_resource_leaks,
+    find_unbounded_cache_attrs,
+    find_unbounded_globals,
+)
+
+
+def parse(code):
+    return ast.parse(textwrap.dedent(code))
+
+
+def leaks_in(code):
+    module = parse(code)
+    fn = next(node for node in module.body
+              if isinstance(node, ast.FunctionDef))
+    return find_resource_leaks(fn)
+
+
+class TestResourceLeaks:
+    def test_fd_leaked_on_early_return_fires(self, tmp_path):
+        leaks = leaks_in("""
+            import os
+
+            def head(path):
+                fd = os.open(path, os.O_RDONLY)
+                data = os.read(fd, 16)
+                if not data:
+                    return None
+                os.close(fd)
+                return data
+        """)
+        assert [(leak.variable, leak.resource) for leak in leaks] == [
+            ("fd", "file descriptor")]
+
+    def test_close_on_every_path_is_quiet(self):
+        assert leaks_in("""
+            import os
+
+            def head(path):
+                fd = os.open(path, os.O_RDONLY)
+                data = os.read(fd, 16)
+                if not data:
+                    os.close(fd)
+                    return None
+                os.close(fd)
+                return data
+        """) == []
+
+    def test_with_block_is_quiet(self):
+        assert leaks_in("""
+            def head(path):
+                with open(path) as handle:
+                    return handle.read(16)
+        """) == []
+
+    def test_try_finally_release_is_quiet(self):
+        assert leaks_in("""
+            import os
+
+            def head(path):
+                fd = os.open(path, os.O_RDONLY)
+                try:
+                    return os.read(fd, 16)
+                finally:
+                    os.close(fd)
+        """) == []
+
+    def test_raise_between_acquire_and_close_fires(self):
+        leaks = leaks_in("""
+            def copy(path, n):
+                handle = open(path)
+                if n < 0:
+                    raise ValueError(n)
+                handle.close()
+                return n
+        """)
+        assert [leak.variable for leak in leaks] == ["handle"]
+
+    def test_returning_the_handle_transfers_ownership(self):
+        assert leaks_in("""
+            def acquire(path):
+                handle = open(path)
+                return handle
+        """) == []
+
+    def test_storing_on_self_transfers_ownership(self):
+        module = parse("""
+            class Holder:
+                def acquire(self, path):
+                    handle = open(path)
+                    self.handle = handle
+        """)
+        fn = module.body[0].body[0]
+        assert find_resource_leaks(fn) == []
+
+    def test_popen_without_wait_fires(self):
+        leaks = leaks_in("""
+            import subprocess
+
+            def launch(cmd):
+                proc = subprocess.Popen(cmd)
+                return proc.pid
+        """)
+        assert [leak.resource for leak in leaks] == ["child process"]
+
+    def test_popen_communicate_is_quiet(self):
+        assert leaks_in("""
+            import subprocess
+
+            def launch(cmd):
+                proc = subprocess.Popen(cmd)
+                out, err = proc.communicate()
+                return out
+        """) == []
+
+    def test_pipe_pair_tracks_both_ends(self):
+        leaks = leaks_in("""
+            from multiprocessing import Pipe
+
+            def make():
+                parent, child = Pipe()
+                parent.close()
+                return 1
+        """)
+        assert [leak.variable for leak in leaks] == ["child"]
+
+    def test_mkstemp_tracks_only_the_fd(self):
+        assert leaks_in("""
+            import os
+            import tempfile
+
+            def scratch():
+                fd, path = tempfile.mkstemp()
+                os.close(fd)
+                return path
+        """) == []
+
+    def test_acquisition_own_failure_is_not_a_leak(self):
+        # The os.open itself raising jumps to the handler before the fd
+        # exists; only post-acquisition exception paths can leak it.
+        assert leaks_in("""
+            import os
+
+            def probe(path):
+                try:
+                    fd = os.open(path, os.O_RDONLY)
+                except OSError:
+                    return None
+                os.close(fd)
+                return True
+        """) == []
+
+
+class TestUnboundedGlobals:
+    def test_module_dict_grown_in_function_fires(self):
+        sites = find_unbounded_globals(parse("""
+            _CACHE = {}
+
+            def lookup(key, compute):
+                if key not in _CACHE:
+                    _CACHE[key] = compute(key)
+                return _CACHE[key]
+        """))
+        assert [site.owner for site in sites] == ["_CACHE"]
+
+    def test_annotated_assignment_is_a_candidate(self):
+        sites = find_unbounded_globals(parse("""
+            _CACHE: dict[str, int] = {}
+
+            def put(key, value):
+                _CACHE[key] = value
+        """))
+        assert [site.owner for site in sites] == ["_CACHE"]
+
+    def test_shrink_anywhere_in_module_is_safe(self):
+        assert find_unbounded_globals(parse("""
+            _CACHE = {}
+
+            def put(key, value):
+                _CACHE[key] = value
+                if len(_CACHE) > 64:
+                    _CACHE.popitem()
+        """)) == []
+
+    def test_deque_with_maxlen_is_bounded(self):
+        assert find_unbounded_globals(parse("""
+            from collections import deque
+
+            _RECENT = deque(maxlen=32)
+
+            def note(event):
+                _RECENT.append(event)
+        """)) == []
+
+    def test_growth_only_at_import_time_is_safe(self):
+        assert find_unbounded_globals(parse("""
+            _TABLE = {}
+            for k in range(4):
+                _TABLE[k] = k * k
+
+            def lookup(key):
+                return _TABLE[key]
+        """)) == []
+
+    def test_scalar_counter_augassign_is_not_growth(self):
+        assert find_unbounded_globals(parse("""
+            _COUNT = {}
+
+            def lookup(key):
+                return _COUNT.get(key)
+        """)) == []
+
+
+class TestUnboundedCacheAttrs:
+    def test_cache_class_growing_without_eviction_fires(self):
+        sites = find_unbounded_cache_attrs(parse("""
+            class DelayCache:
+                def __init__(self):
+                    self._store = {}
+
+                def put(self, key, value):
+                    self._store[key] = value
+        """), markers=("Memo", "Cache"))
+        assert [site.owner for site in sites] == ["DelayCache._store"]
+
+    def test_lru_eviction_is_safe(self):
+        assert find_unbounded_cache_attrs(parse("""
+            class DelayMemo:
+                def __init__(self, capacity):
+                    self.capacity = capacity
+                    self._store = {}
+
+                def put(self, key, value):
+                    self._store[key] = value
+                    while len(self._store) > self.capacity:
+                        self._store.popitem()
+        """), markers=("Memo", "Cache")) == []
+
+    def test_unmarked_class_is_ignored(self):
+        assert find_unbounded_cache_attrs(parse("""
+            class Builder:
+                def __init__(self):
+                    self._parts = []
+
+                def add(self, part):
+                    self._parts.append(part)
+        """), markers=("Memo", "Cache")) == []

@@ -1,0 +1,182 @@
+"""The whole-program may-raise fixpoint on seeded fixture trees."""
+
+from repro.analysis.dataflow.callgraph import CallGraph, build_project
+from repro.analysis.contracts import analyze_raises
+
+
+def escapes(tree, qualname, **kwargs):
+    project = build_project([tree.root])
+    graph = CallGraph(project)
+    analysis = analyze_raises(project, graph, **kwargs)
+    return set(analysis.of(qualname))
+
+
+class TestExplicitRaises:
+    def test_raise_escapes_the_raising_function(self, tree):
+        tree.write("core/algo.py", """
+            def route(net):
+                if not net:
+                    raise ValueError("empty net")
+                return net
+        """)
+        assert escapes(tree, "repro.core.algo.route") == {"ValueError"}
+
+    def test_raise_propagates_through_the_call_chain(self, tree):
+        tree.write("core/algo.py", """
+            def _inner(net):
+                raise KeyError(net)
+
+            def _middle(net):
+                return _inner(net)
+
+            def route(net):
+                return _middle(net)
+        """)
+        assert escapes(tree, "repro.core.algo.route") == {"KeyError"}
+
+    def test_catching_handler_stops_propagation(self, tree):
+        tree.write("core/algo.py", """
+            def _inner(net):
+                raise KeyError(net)
+
+            def route(net):
+                try:
+                    return _inner(net)
+                except KeyError:
+                    return None
+        """)
+        assert escapes(tree, "repro.core.algo.route") == set()
+
+    def test_base_class_handler_catches_subtype(self, tree):
+        tree.write("core/algo.py", """
+            def _inner(net):
+                raise KeyError(net)
+
+            def route(net):
+                try:
+                    return _inner(net)
+                except LookupError:
+                    return None
+        """)
+        assert escapes(tree, "repro.core.algo.route") == set()
+
+    def test_bare_reraise_keeps_the_escape(self, tree):
+        tree.write("core/algo.py", """
+            def route(net):
+                try:
+                    raise ValueError(net)
+                except ValueError:
+                    raise
+        """)
+        assert escapes(tree, "repro.core.algo.route") == {"ValueError"}
+
+    def test_project_exception_hierarchy_is_resolved(self, tree):
+        tree.write("core/errors.py", """
+            class GridError(ValueError):
+                pass
+        """)
+        tree.write("core/algo.py", """
+            from repro.core.errors import GridError
+
+            def _parse(text):
+                raise GridError(text)
+
+            def route(text):
+                try:
+                    return _parse(text)
+                except ValueError:
+                    return None
+        """)
+        assert escapes(tree, "repro.core.algo.route") == set()
+
+    def test_raise_inside_unmatched_handler_escapes(self, tree):
+        tree.write("core/algo.py", """
+            def route(net):
+                try:
+                    raise OSError(net)
+                except ValueError:
+                    return None
+        """)
+        assert escapes(tree, "repro.core.algo.route") == {"OSError"}
+
+
+class TestIntrinsicRaisers:
+    def test_numpy_solve_raises_linalgerror(self, tree):
+        tree.write("delay/solve.py", """
+            import numpy as np
+
+            def elmore(G, rhs):
+                return np.linalg.solve(G, rhs)
+        """)
+        assert escapes(tree, "repro.delay.solve.elmore") == {
+            "numpy.linalg.LinAlgError"}
+
+    def test_open_raises_oserror(self, tree):
+        tree.write("io/loader.py", """
+            def load(path):
+                with open(path) as handle:
+                    return handle.read()
+        """)
+        assert escapes(tree, "repro.io.loader.load") == {"OSError"}
+
+    def test_json_loads_decode_error_is_a_valueerror(self, tree):
+        tree.write("io/loader.py", """
+            import json
+
+            def load(text):
+                try:
+                    return json.loads(text)
+                except ValueError:
+                    return None
+        """)
+        assert escapes(tree, "repro.io.loader.load") == set()
+
+    def test_caught_linalgerror_does_not_escape(self, tree):
+        tree.write("delay/solve.py", """
+            import numpy as np
+
+            def elmore(G, rhs):
+                try:
+                    return np.linalg.solve(G, rhs)
+                except np.linalg.LinAlgError:
+                    return None
+        """)
+        assert escapes(tree, "repro.delay.solve.elmore") == set()
+
+    def test_subscripts_are_tracked_only_on_request(self, tree):
+        tree.write("core/algo.py", """
+            def route(table, key):
+                return table[key]
+        """)
+        assert escapes(tree, "repro.core.algo.route") == set()
+        assert escapes(tree, "repro.core.algo.route",
+                       track_subscripts=True) == {"LookupError"}
+
+
+class TestDispatchTables:
+    def test_local_dispatch_table_pulls_callee_escapes(self, tree):
+        tree.write("cli.py", """
+            def _cmd_route(args):
+                raise ValueError(args)
+
+            def _cmd_report(args):
+                return 0
+
+            def main(args):
+                handler = {
+                    "route": _cmd_route,
+                    "report": _cmd_report,
+                }[args.command]
+                return handler(args)
+        """)
+        assert escapes(tree, "repro.cli.main") == {"ValueError"}
+
+    def test_inline_dispatch_subscript_call(self, tree):
+        tree.write("cli.py", """
+            def _cmd_route(args):
+                raise KeyError(args)
+
+            def main(args):
+                return {"route": _cmd_route}[args.command](args)
+        """)
+        assert escapes(tree, "repro.cli.main") == {"KeyError"}

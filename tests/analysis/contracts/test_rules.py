@@ -1,0 +1,388 @@
+"""The contracts rule pack against seeded negative fixtures.
+
+Each test plants exactly the defect the rule exists for in a fixture
+tree shaped like the real repo, and asserts the rule (and only the
+expected rule) fires — or stays quiet on the compliant variant.
+"""
+
+from pathlib import Path
+
+import repro
+from repro.analysis.diagnostics import Severity
+from repro.analysis.contracts import ContractOptions, analyze_contracts
+
+#: Options pointing the analyzer at fixture conventions.
+FIXTURE_OPTIONS = ContractOptions(
+    guarded_prefixes=("repro.delay", "repro.guard", "repro.circuit"),
+    pool_wrappers=("repro.runtime.pool.run_all",),
+    worker_entries=("repro.runtime.execute.run_trial",),
+    cli_entries=("repro.cli.main",),
+)
+
+
+def run(tree, options=FIXTURE_OPTIONS, config=None):
+    return analyze_contracts([tree.root], config=config, options=options)
+
+
+def fired(diags):
+    return {d.rule for d in diags}
+
+
+class TestExceptionEscape:
+    def test_raw_linalgerror_escaping_guarded_public_fn_fires(self, tree):
+        tree.write("delay/solve.py", """
+            import numpy as np
+
+            def elmore(G, rhs):
+                return np.linalg.solve(G, rhs)
+        """)
+        diags = run(tree)
+        assert fired(diags) == {"contracts-exception-escape"}
+        assert "guarded numeric boundary repro.delay.solve.elmore" \
+            in diags[0].message
+
+    def test_guarded_private_fn_is_quiet(self, tree):
+        tree.write("delay/solve.py", """
+            import numpy as np
+
+            def _kernel(G, rhs):
+                return np.linalg.solve(G, rhs)
+        """)
+        assert fired(run(tree)) == set()
+
+    def test_converted_incident_is_quiet(self, tree):
+        tree.write("guard/incidents.py", """
+            class NumericalIncident(Exception):
+                pass
+        """)
+        tree.write("delay/solve.py", """
+            import numpy as np
+
+            from repro.guard.incidents import NumericalIncident
+
+            def elmore(G, rhs):
+                try:
+                    return np.linalg.solve(G, rhs)
+                except np.linalg.LinAlgError:
+                    raise NumericalIncident("singular conductance system")
+        """)
+        assert fired(run(tree)) == set()
+
+    def test_raw_linalgerror_escaping_pool_trial_fn_fires(self, tree):
+        tree.write("runtime/execute.py", """
+            import numpy as np
+
+            def run_trial(spec):
+                return float(np.linalg.solve(spec.G, spec.rhs)[0])
+        """)
+        diags = run(tree)
+        assert fired(diags) == {"contracts-exception-escape"}
+        assert "pool trial function repro.runtime.execute.run_trial" \
+            in diags[0].message
+
+    def test_pool_wrapper_leaking_non_io_exception_fires(self, tree):
+        tree.write("runtime/pool.py", """
+            def run_all(tasks):
+                if not tasks:
+                    raise RuntimeError("no tasks")
+                return [t() for t in tasks]
+        """)
+        diags = run(tree)
+        assert fired(diags) == {"contracts-exception-escape"}
+        assert "pool wrapper repro.runtime.pool.run_all" in diags[0].message
+
+    def test_pool_wrapper_may_surface_oserror(self, tree):
+        tree.write("runtime/pool.py", """
+            def run_all(tasks, journal):
+                raise BrokenPipeError(journal)
+        """)
+        assert fired(run(tree)) == set()
+
+    def test_unmapped_cli_escape_fires(self, tree):
+        tree.write("cli.py", """
+            def _cmd_route(args):
+                raise ValueError(args)
+
+            def main(args):
+                handler = {"route": _cmd_route}[args.command]
+                return handler(args)
+        """)
+        diags = run(tree)
+        assert fired(diags) == {"contracts-exception-escape"}
+        assert "CLI entry point repro.cli.main" in diags[0].message
+
+    def test_cli_catch_ladder_is_quiet(self, tree):
+        tree.write("cli.py", """
+            import sys
+
+            def _cmd_route(args):
+                raise ValueError(args)
+
+            def main(args):
+                try:
+                    handler = {"route": _cmd_route}[args.command]
+                    return handler(args)
+                except (KeyError, ValueError) as exc:
+                    print(f"error: {exc}", file=sys.stderr)
+                    return 2
+        """)
+        assert fired(run(tree)) == set()
+
+    def test_cli_may_exit(self, tree):
+        tree.write("cli.py", """
+            def main(args):
+                raise SystemExit(2)
+        """)
+        assert fired(run(tree)) == set()
+
+    def test_waiver_on_the_origin_site_suppresses(self, tree):
+        tree.write("delay/solve.py", """
+            import numpy as np
+
+            def elmore(G, rhs):
+                return np.linalg.solve(G, rhs)  # repro: allow=contracts-exception-escape
+        """)
+        assert fired(run(tree)) == set()
+
+
+class TestBroadCatchSwallow:
+    def test_silent_pass_fires(self, tree):
+        tree.write("runtime/cleanup.py", """
+            def remove(path):
+                try:
+                    path.unlink()
+                except Exception:
+                    pass
+        """)
+        diags = run(tree)
+        assert fired(diags) == {"contracts-broad-catch-swallow"}
+        assert "except Exception" in diags[0].message
+
+    def test_constant_return_is_a_swallow(self, tree):
+        tree.write("runtime/cleanup.py", """
+            def probe(path):
+                try:
+                    return path.stat().st_size
+                except OSError:
+                    return None
+        """)
+        assert fired(run(tree)) == {"contracts-broad-catch-swallow"}
+
+    def test_os_exit_is_a_swallow(self, tree):
+        tree.write("runtime/workerish.py", """
+            import os
+
+            def run(conn):
+                try:
+                    conn.send(1)
+                except Exception:
+                    os._exit(1)
+        """)
+        assert fired(run(tree)) == {"contracts-broad-catch-swallow"}
+
+    def test_recording_before_suppressing_is_quiet(self, tree):
+        tree.write("runtime/cleanup.py", """
+            import sys
+
+            def remove(path):
+                try:
+                    path.unlink()
+                except OSError as exc:
+                    print(f"cleanup failed: {exc}", file=sys.stderr)
+        """)
+        assert fired(run(tree)) == set()
+
+    def test_justified_waiver_suppresses(self, tree):
+        tree.write("runtime/cleanup.py", """
+            def remove(path):
+                try:
+                    path.unlink()
+                except OSError:  # repro: allow=contracts-broad-catch-swallow — best-effort cleanup
+                    pass
+        """)
+        assert fired(run(tree)) == set()
+
+
+class TestUndeclaredRaise:
+    def test_escape_outside_the_declaration_fires(self, tree):
+        tree.write("runtime/journalish.py", """
+            from repro.contracts import boundary
+
+            @boundary(raises=(OSError,))
+            def write_record(path, text):
+                if not text:
+                    raise ValueError("empty record")
+                path.write_text(text)
+        """)
+        diags = run(tree)
+        assert fired(diags) == {"contracts-undeclared-raise"}
+        assert "declares raises=(OSError)" in diags[0].message
+        assert "ValueError" in diags[0].message
+
+    def test_declared_base_covers_subtype(self, tree):
+        tree.write("core/errors.py", """
+            class GridError(ValueError):
+                pass
+        """)
+        tree.write("runtime/journalish.py", """
+            from repro.contracts import boundary
+            from repro.core.errors import GridError
+
+            @boundary(raises=(ValueError,))
+            def parse(text):
+                raise GridError(text)
+        """)
+        assert fired(run(tree)) == set()
+
+    def test_exact_declaration_is_quiet(self, tree):
+        tree.write("runtime/journalish.py", """
+            from repro.contracts import boundary
+
+            @boundary(raises=(OSError,))
+            def write_record(path, text):
+                path.write_text(text)
+        """)
+        assert fired(run(tree)) == set()
+
+    def test_waiver_on_the_def_line_suppresses(self, tree):
+        tree.write("runtime/journalish.py", """
+            from repro.contracts import boundary
+
+            @boundary(raises=(OSError,))
+            def write_record(path, text):  # repro: allow=contracts-undeclared-raise
+                raise ValueError(text)
+        """)
+        assert fired(run(tree)) == set()
+
+
+class TestResourceLeak:
+    def test_fd_leaked_on_early_return_fires(self, tree):
+        tree.write("io/reader.py", """
+            import os
+
+            def head(path):
+                fd = os.open(path, os.O_RDONLY)
+                data = os.read(fd, 16)
+                if not data:
+                    return None
+                os.close(fd)
+                return data
+        """)
+        diags = run(tree)
+        assert fired(diags) == {"contracts-resource-leak"}
+        assert "file descriptor 'fd'" in diags[0].message
+
+    def test_try_finally_is_quiet(self, tree):
+        tree.write("io/reader.py", """
+            import os
+
+            def head(path):
+                fd = os.open(path, os.O_RDONLY)
+                try:
+                    return os.read(fd, 16)
+                finally:
+                    os.close(fd)
+        """)
+        assert fired(run(tree)) == set()
+
+    def test_waiver_on_the_acquisition_suppresses(self, tree):
+        tree.write("io/reader.py", """
+            import os
+
+            def head(path):
+                fd = os.open(path, os.O_RDONLY)  # repro: allow=contracts-resource-leak
+                data = os.read(fd, 16)
+                if not data:
+                    return None
+                os.close(fd)
+                return data
+        """)
+        assert fired(run(tree)) == set()
+
+
+class TestUnboundedGrowth:
+    def test_module_cache_with_no_bound_fires(self, tree):
+        tree.write("delay/memoish.py", """
+            _SCORES = {}
+
+            def score(key, compute):
+                if key not in _SCORES:
+                    _SCORES[key] = compute(key)
+                return _SCORES[key]
+        """)
+        diags = run(tree)
+        assert fired(diags) == {"contracts-unbounded-growth"}
+        assert "'_SCORES'" in diags[0].message
+
+    def test_bounded_lru_is_quiet(self, tree):
+        tree.write("delay/memoish.py", """
+            _SCORES = {}
+
+            def score(key, compute):
+                if key not in _SCORES:
+                    _SCORES[key] = compute(key)
+                    while len(_SCORES) > 64:
+                        _SCORES.popitem()
+                return _SCORES[key]
+        """)
+        assert fired(run(tree)) == set()
+
+    def test_cache_class_growth_without_eviction_fires(self, tree):
+        tree.write("delay/memoish.py", """
+            class ScoreCache:
+                def __init__(self):
+                    self._store = {}
+
+                def put(self, key, value):
+                    self._store[key] = value
+        """)
+        diags = run(tree)
+        assert fired(diags) == {"contracts-unbounded-growth"}
+        assert "ScoreCache._store" in diags[0].message
+
+    def test_waiver_suppresses(self, tree):
+        tree.write("delay/memoish.py", """
+            _SCORES = {}  # repro: allow=contracts-unbounded-growth — bounded by grid size
+
+            def score(key, compute):
+                _SCORES[key] = compute(key)
+                return _SCORES[key]
+        """)
+        assert fired(run(tree)) == set()
+
+
+class TestWaiverAudit:
+    def test_stale_contracts_waiver_warns(self, tree):
+        tree.write("core/clean.py", """
+            def route(net):  # repro: allow=contracts-resource-leak
+                return net
+        """)
+        diags = run(tree)
+        assert fired(diags) == {"contracts-unused-waiver"}
+        assert diags[0].severity is Severity.WARNING
+
+    def test_consumed_waiver_is_not_audited(self, tree):
+        tree.write("runtime/cleanup.py", """
+            def remove(path):
+                try:
+                    path.unlink()
+                except OSError:  # repro: allow=contracts-broad-catch-swallow — best-effort
+                    pass
+        """)
+        assert fired(run(tree)) == set()
+
+    def test_other_category_waivers_are_not_this_passes_business(self, tree):
+        tree.write("core/algo.py", """
+            import random
+
+            def route(net):
+                return random.random()  # repro: allow=dataflow-unseeded-rng
+        """)
+        assert fired(run(tree)) == set()
+
+
+class TestRepoIsClean:
+    def test_contracts_pass_is_clean_on_the_real_tree(self):
+        src = Path(repro.__file__).resolve().parent
+        diags = analyze_contracts([src])
+        assert diags == [], "\n".join(d.render() for d in diags)

@@ -48,6 +48,12 @@ def stubborn_hang_trial():
     time.sleep(60.0)
 
 
+def unpicklable_payload_trial():
+    # The trial itself succeeds; only its return value can't cross the
+    # pipe (closures don't pickle).
+    return lambda: 1
+
+
 def ok_tasks(n, size=5):
     return [PoolTask(key=(size, t), fn=ok_trial, args=(size, t))
             for t in range(n)]
@@ -174,6 +180,23 @@ class TestParallel:
                  PoolTask(key=(5, 1), fn=ok_trial, args=(5, 1))]
         outcomes = run_tasks(tasks, workers=1)
         assert isinstance(outcomes[(5, 0)], TrialFailure)
+        assert outcomes[(5, 1)] == payload(5, 1)
+
+    def test_unpicklable_payload_reports_original_error(self, capfd):
+        # The worker-side send ladder: the structured failure must carry
+        # the original pickling error, and the worker must also surface
+        # it on stderr before falling back.
+        tasks = [PoolTask(key=(5, 0), fn=unpicklable_payload_trial),
+                 PoolTask(key=(5, 1), fn=ok_trial, args=(5, 1))]
+        outcomes = run_tasks(tasks, workers=1)
+        failure = outcomes[(5, 0)]
+        assert isinstance(failure, TrialFailure)
+        assert failure.kind == FAILURE_EXCEPTION
+        assert failure.error_type == "PicklingError"
+        assert "could not be pickled" in failure.message
+        assert "Can't pickle" in failure.message  # the original detail
+        assert "could not send outcome" in capfd.readouterr().err
+        # The worker survived and finished the rest of the sweep.
         assert outcomes[(5, 1)] == payload(5, 1)
 
     def test_more_workers_than_tasks(self):

@@ -220,3 +220,45 @@ class TestErrorExitCodes:
                 NgspiceError("ngspice timed out after 60s")))
         assert main(["params"]) == 2
         assert "ngspice timed out" in capsys.readouterr().err
+
+    def test_malformed_nets_file_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "garbage.nets"
+        bad.write_text("net demo\nsink not-a-number 3 4\n")
+        assert main(["route", str(bad)]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "Traceback" not in err
+
+    def test_embed_zero_pitch_exits_2(self, tmp_path, capsys):
+        nets = tmp_path / "demo.nets"
+        main(["random-net", "--pins", "4", "--seed", "1",
+              "--out", str(nets)])
+        capsys.readouterr()
+        assert main(["embed", str(nets), "--pitch", "0"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "pitch" in err
+
+    def test_guard_incident_exits_3(self, monkeypatch, capsys):
+        import repro.cli as cli
+        from repro.guard.incidents import GuardError
+
+        monkeypatch.setattr(
+            cli, "_dispatch",
+            lambda argv: (_ for _ in ()).throw(
+                GuardError("singular phasor MNA system")))
+        assert main(["params"]) == 3
+        err = capsys.readouterr().err
+        assert "numerical guard" in err
+        assert "singular" in err
+
+    def test_oserror_exits_2(self, tmp_path, capsys):
+        nets = tmp_path / "demo.nets"
+        main(["random-net", "--pins", "4", "--seed", "1",
+              "--out", str(nets)])
+        capsys.readouterr()
+        missing_dir = tmp_path / "no" / "such" / "dir" / "out.svg"
+        assert main(["route", str(nets), "--svg", str(missing_dir)]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "Traceback" not in err

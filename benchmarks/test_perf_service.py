@@ -1,0 +1,85 @@
+"""Performance benchmark: routing-daemon throughput and latency.
+
+Drives the in-process daemon (stdio loop, serial executor) with a batch
+of distinct small nets plus a duplicate tail, and reports throughput
+and per-request latency percentiles to
+``benchmarks/results/BENCH_service.json``. The acceptance bar is
+deliberately loose — this benchmark exists to make service-layer
+regressions *visible* (a dispatch-path slowdown shows up as p50 drift,
+a lost warm-cache hit as a duplicate-speedup collapse), not to gate on
+machine-dependent absolute numbers.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import time
+
+from repro.geometry.random_nets import random_net
+from repro.service import RoutingDaemon, ServiceConfig, SessionConfig
+from repro.service.faults import net_frame
+
+BENCH_SEED = 1994
+BENCH_REQUESTS = 60
+BENCH_PINS = 4
+#: Every request is re-sent once: the duplicate tail measures the warm
+#: cache (and would regress if caching or coalescing broke).
+DUPLICATE_FACTOR = 2
+
+
+def _percentile(samples, q):
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, int(round(q * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def test_perf_service_throughput(results_dir):
+    nets = [random_net(BENCH_PINS, seed=BENCH_SEED + i)
+            for i in range(BENCH_REQUESTS)]
+    frames = []
+    for index, net in enumerate(nets):
+        frames.append(json.dumps({
+            "op": "route", "id": f"b{index}", "algorithm": "ldrg",
+            "net": net_frame(net)}))
+    duplicates = [json.dumps(dict(json.loads(f), id=f"{i}-dup"))
+                  for i, f in enumerate(frames)] * (DUPLICATE_FACTOR - 1)
+
+    daemon = RoutingDaemon(ServiceConfig(queue_capacity=4096,
+                                         session=SessionConfig()))
+    out = io.StringIO()
+    payload = "\n".join(frames + duplicates) + "\n"
+    start = time.perf_counter()
+    rc = daemon.serve(io.StringIO(payload), out)
+    wall = time.perf_counter() - start
+    assert rc == 0
+
+    responses = [json.loads(line) for line in out.getvalue().splitlines()]
+    total = BENCH_REQUESTS * DUPLICATE_FACTOR
+    assert len(responses) == total
+    ok = [r for r in responses if r["status"] == "ok"]
+    assert len(ok) == total, "benchmark stream must route cleanly"
+    warm = [r for r in ok if r.get("cached") or r.get("coalesced")]
+    assert warm, "duplicate tail must be served warm"
+
+    cold_latency = [r["elapsed"] for r in ok
+                    if not r.get("cached") and r.get("elapsed")]
+    record = {
+        "benchmark": "service_throughput",
+        "requests": total,
+        "distinct_nets": BENCH_REQUESTS,
+        "pins": BENCH_PINS,
+        "seed": BENCH_SEED,
+        "wall_seconds": wall,
+        "throughput_rps": total / wall,
+        "warm_responses": len(warm),
+        "latency_p50": _percentile(cold_latency, 0.50),
+        "latency_p95": _percentile(cold_latency, 0.95),
+        "latency_p99": _percentile(cold_latency, 0.99),
+    }
+    path = results_dir / "BENCH_service.json"
+    path.write_text(json.dumps(record, indent=2) + "\n", encoding="utf-8")
+    print(f"\n{record['throughput_rps']:.1f} req/s over {total} requests "
+          f"(p50 {record['latency_p50'] * 1e3:.1f} ms, "
+          f"p95 {record['latency_p95'] * 1e3:.1f} ms, "
+          f"{len(warm)} warm) [saved to {path}]")

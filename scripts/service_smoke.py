@@ -1,0 +1,153 @@
+#!/usr/bin/env python3
+"""CI service smoke: the daemon under concurrent load, chaos, and SIGTERM.
+
+Drives the real CLI daemon (``python -m repro serve --socket``) end to
+end:
+
+1. starts the daemon with 20% injected oracle chaos and a bounded
+   admission queue;
+2. fires concurrent requests from several client connections (with
+   deliberate duplicates across clients, so coalescing and the warm
+   cache are on the hot path);
+3. asserts every single response is a structured frame — ``status`` of
+   ``ok``/``error``, error kinds from the typed taxonomy, no tracebacks
+   anywhere, no hangs;
+4. sends SIGTERM and asserts the daemon drains and exits 0.
+
+Exit status 0 = all invariants hold; 1 = a violation, with a message.
+
+Usage:  python scripts/service_smoke.py [--clients 5] [--requests 10]
+                                        [--rate 0.2]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import re
+import signal
+import socket
+import subprocess
+import sys
+import threading
+
+TYPED_KINDS = {"protocol", "overload", "draining", "drained", "timeout",
+               "crash", "exception"}
+
+
+def fail(message: str) -> None:
+    print(f"service-smoke: FAIL: {message}", file=sys.stderr)
+    raise SystemExit(1)
+
+
+def start_daemon(args: argparse.Namespace) -> tuple[subprocess.Popen, str, int]:
+    env = dict(os.environ, PYTHONPATH="src")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--socket", "0",
+         "--chaos", str(args.rate), "--chaos-seed", str(args.seed),
+         "--queue-capacity", str(args.clients * args.requests + 16)],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True, env=env)
+    assert proc.stderr is not None
+    line = proc.stderr.readline()
+    match = re.search(r"serving on ([\d.]+):(\d+)", line)
+    if not match:
+        proc.kill()
+        fail(f"daemon did not announce its address: {line!r}")
+    return proc, match.group(1), int(match.group(2))
+
+
+def client(index: int, host: str, port: int, count: int,
+           results: list, errors: list) -> None:
+    try:
+        with socket.create_connection((host, port), timeout=120.0) as conn:
+            conn.settimeout(120.0)
+            stream = conn.makefile("rw", encoding="utf-8", newline="\n")
+            for i in range(count):
+                # every other request is shared across clients, so the
+                # fleet hammers the same fingerprints concurrently
+                seed = i if i % 2 == 0 else 1000 + index * count + i
+                frame = {"op": "route", "id": f"c{index}-{i}",
+                         "algorithm": "ldrg",
+                         "net": {"source": [0, 0],
+                                 "sinks": [[100.0 + 13 * seed,
+                                            200.0 + 7 * seed],
+                                           [50.0 + 29 * seed, 90.0]]}}
+                stream.write(json.dumps(frame) + "\n")
+            stream.flush()
+            for _ in range(count):
+                raw = stream.readline()
+                if not raw:
+                    errors.append(f"client {index}: connection closed "
+                                  f"before all responses arrived")
+                    return
+                results.append(json.loads(raw))
+    except Exception as exc:
+        errors.append(f"client {index}: {type(exc).__name__}: {exc}")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--clients", type=int, default=5)
+    parser.add_argument("--requests", type=int, default=10,
+                        help="requests per client")
+    parser.add_argument("--rate", type=float, default=0.2)
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args()
+
+    proc, host, port = start_daemon(args)
+    results: list = []
+    errors: list = []
+    threads = [threading.Thread(target=client,
+                                args=(i, host, port, args.requests,
+                                      results, errors))
+               for i in range(args.clients)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=300.0)
+        if thread.is_alive():
+            proc.kill()
+            fail("a client is hung: the daemon stopped answering")
+    if errors:
+        proc.kill()
+        fail("; ".join(errors))
+
+    total = args.clients * args.requests
+    if len(results) != total:
+        proc.kill()
+        fail(f"expected {total} responses, got {len(results)}")
+    ok = degraded = warm = 0
+    for response in results:
+        if response.get("status") == "ok":
+            ok += 1
+            degraded += bool(response.get("degraded"))
+            warm += bool(response.get("cached") or response.get("coalesced"))
+        elif response.get("status") == "error":
+            kind = response.get("error", {}).get("kind")
+            if kind not in TYPED_KINDS:
+                proc.kill()
+                fail(f"untyped error kind {kind!r}: {response}")
+        else:
+            proc.kill()
+            fail(f"unstructured response: {response}")
+
+    proc.send_signal(signal.SIGTERM)
+    try:
+        _out, err = proc.communicate(timeout=120.0)
+    except subprocess.TimeoutExpired:
+        proc.kill()
+        fail("daemon did not drain within 120s of SIGTERM")
+    if proc.returncode != 0:
+        fail(f"daemon exited {proc.returncode} after SIGTERM:\n{err}")
+    if "Traceback" in err:
+        fail(f"traceback on daemon stderr:\n{err}")
+
+    print(f"service-smoke: PASS — {total} concurrent requests "
+          f"({ok} ok, {degraded} degraded-with-provenance, {warm} warm, "
+          f"{total - ok} typed errors) at chaos {args.rate}; "
+          f"clean SIGTERM drain")
+
+
+if __name__ == "__main__":
+    main()

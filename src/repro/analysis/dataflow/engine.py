@@ -61,7 +61,7 @@ class DataflowOptions:
     )
     #: Modules allowed to read the wall clock (the timing shims that
     #: land measurements in declared-volatile fields).
-    timing_modules: tuple[str, ...] = ("repro.runtime",)
+    timing_modules: tuple[str, ...] = ("repro.runtime", "repro.service")
     #: The only functions allowed to write ContextVars — the
     #: token-restoring scope managers.
     scope_functions: tuple[str, ...] = (

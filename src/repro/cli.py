@@ -15,6 +15,8 @@ Usage examples::
     python -m repro table 2 --workers 4 --run-dir runs/ --resume
     python -m repro table 6 --trials 20 --chaos 0.2 --run-dir runs/
 
+    python -m repro serve --socket 0 --workers 4 --cache-dir cache/
+
 Every subcommand prints a human-readable report to stdout; artifact
 flags (``--svg``, ``--deck``, ``--json``, ``--out``) write files.
 
@@ -158,6 +160,53 @@ def build_parser() -> argparse.ArgumentParser:
                             "candidate batches against the naive oracle "
                             "(see docs/robustness.md)")
 
+    serve = sub.add_parser(
+        "serve", help="run the routing daemon (JSON-lines protocol; see "
+                      "docs/service.md)")
+    serve.add_argument("--socket", type=int, default=None, metavar="PORT",
+                       help="listen on this localhost TCP port instead of "
+                            "stdio (0 picks a free port, printed on "
+                            "stderr)")
+    serve.add_argument("--host", type=str, default="127.0.0.1",
+                       help="bind address for --socket (default loopback)")
+    serve.add_argument("--queue-capacity", type=int, default=64,
+                       help="admission-queue bound; requests beyond it "
+                            "are shed with a structured overload error")
+    serve.add_argument("--workers", type=int, default=0,
+                       help="isolated worker processes (0 = route "
+                            "serially inside the daemon)")
+    serve.add_argument("--deadline", type=float, default=30.0,
+                       metavar="SECONDS",
+                       help="default per-request budget when the frame "
+                            "names none")
+    serve.add_argument("--max-deadline", type=float, default=300.0,
+                       metavar="SECONDS",
+                       help="hard ceiling a frame's deadline is clamped "
+                            "to")
+    serve.add_argument("--drain-timeout", type=float, default=10.0,
+                       metavar="SECONDS",
+                       help="grace the SIGTERM drain gives in-flight "
+                            "requests before failing them as 'drained'")
+    serve.add_argument("--cache-dir", type=Path, default=None,
+                       help="warm-result cache directory (restarted "
+                            "daemons serve repeats from it without "
+                            "re-routing)")
+    serve.add_argument("--segments", type=int, default=1,
+                       help="pi-sections per wire in the delay oracle")
+    serve.add_argument("--engines", type=str, default="transient,analytic",
+                       help="oracle ladder, best first (comma list of "
+                            "ngspice/transient/analytic, or 'auto' to "
+                            "include ngspice only when the binary is "
+                            "found)")
+    serve.add_argument("--chaos", type=float, default=0.0, metavar="RATE",
+                       help="inject deterministic oracle faults at this "
+                            "rate (testing/CI)")
+    serve.add_argument("--chaos-seed", type=int, default=0,
+                       help="seed of the injected-fault stream")
+    serve.add_argument("--fault-injection", action="store_true",
+                       help="honor per-request 'inject' directives "
+                            "(fault-matrix tests only; never production)")
+
     figure = sub.add_parser("figure", help="regenerate a paper figure")
     figure.add_argument("number", type=int, choices=(1, 2, 3, 5))
     figure.add_argument("--out-dir", type=Path, default=None,
@@ -255,6 +304,7 @@ def _dispatch(argv: list[str] | None) -> int:
         "params": _cmd_params,
         "random-net": _cmd_random_net,
         "route": _cmd_route,
+        "serve": _cmd_serve,
         "table": _cmd_table,
         "figure": _cmd_figure,
         "embed": _cmd_embed,
@@ -317,6 +367,61 @@ def _cmd_route(args: argparse.Namespace) -> int:
                 encoding="utf-8")
             print(f"  deck -> {args.deck}")
     return 0
+
+
+def _serve_engines(spec: str) -> tuple[str, ...]:
+    """The oracle ladder named by --engines (resolving 'auto')."""
+    from repro.circuit.ngspice import find_ngspice
+
+    if spec.strip() == "auto":
+        if find_ngspice() is not None:
+            return ("ngspice", "transient", "analytic")
+        return ("transient", "analytic")
+    engines = tuple(tok.strip() for tok in spec.split(",") if tok.strip())
+    if not engines:
+        raise ConfigError("--engines must name at least one oracle engine")
+    unknown = [e for e in engines
+               if e not in ("ngspice", "transient", "analytic")]
+    if unknown:
+        raise ConfigError(
+            f"--engines: unknown engine(s) {', '.join(unknown)} "
+            f"(expected ngspice, transient or analytic, or 'auto')")
+    return engines
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the routing daemon until EOF (stdio) or SIGTERM (drain)."""
+    from repro.service import RoutingDaemon, ServiceConfig, SessionConfig
+
+    try:
+        session = SessionConfig(
+            segments=args.segments,
+            engines=_serve_engines(args.engines),
+            chaos=(ChaosPolicy(seed=args.chaos_seed, raise_rate=args.chaos)
+                   if args.chaos else None),
+            default_deadline=args.deadline,
+            max_deadline=args.max_deadline,
+            enable_fault_injection=args.fault_injection,
+        )
+        config = ServiceConfig(
+            session=session,
+            queue_capacity=args.queue_capacity,
+            workers=args.workers,
+            drain_grace=args.drain_timeout,
+            cache_dir=args.cache_dir,
+        )
+    except ValueError as exc:
+        raise ConfigError(str(exc)) from exc
+    daemon = RoutingDaemon(config)
+    if args.socket is not None:
+        def announce(host: str, port: int) -> None:
+            print(f"serving on {host}:{port}", file=sys.stderr, flush=True)
+
+        return daemon.serve_socket(host=args.host, port=args.socket,
+                                   install_signal_handlers=True,
+                                   ready=announce)
+    return daemon.serve(sys.stdin, sys.stdout,
+                        install_signal_handlers=True)
 
 
 def _table_config(args: argparse.Namespace) -> ExperimentConfig:

@@ -36,17 +36,24 @@ from repro.runtime.execute import (
     sweep_tasks,
 )
 from repro.runtime.journal import (
+    ResultCache,
     RunJournal,
     atomic_write_text,
     canonical_journal_bytes,
     canonical_record,
     fingerprint,
 )
-from repro.runtime.pool import PoolTask, run_tasks, trial_deadline
+from repro.runtime.pool import (
+    PoolTask,
+    WorkerPool,
+    run_tasks,
+    trial_deadline,
+)
 from repro.runtime.provenance import ProvenanceEvent, collecting, record
 from repro.runtime.resilience import (
     DEFAULT_TRANSIENT,
     ResilientDelayModel,
+    build_engine_ladder,
     resilient_spice_model,
 )
 from repro.runtime.retry import RetryPolicy, call_with_retries
@@ -69,16 +76,19 @@ __all__ = [
     "ProvenanceEvent",
     "ReproRuntimeError",
     "ResilientDelayModel",
+    "ResultCache",
     "RetryExhausted",
     "RetryPolicy",
     "RunJournal",
     "RuntimePolicy",
+    "WorkerPool",
     "TrialFailure",
     "TrialKey",
     "TrialOutcome",
     "TrialResult",
     "TrialTimeout",
     "atomic_write_text",
+    "build_engine_ladder",
     "call_with_retries",
     "canonical_journal_bytes",
     "canonical_record",

@@ -20,6 +20,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+from collections import OrderedDict
 from pathlib import Path
 from typing import Any, Mapping
 
@@ -174,3 +175,91 @@ class RunJournal:
 
     def __repr__(self) -> str:
         return f"RunJournal({str(self.directory)!r})"
+
+
+#: Default capacity of a result cache's in-memory tier.
+DEFAULT_CACHE_CAPACITY = 4096
+
+
+class ResultCache:
+    """A fingerprint-keyed warm-result cache with journal durability.
+
+    This is the public lookup surface the routing service uses: one
+    JSON-safe payload per request fingerprint, served from a bounded
+    in-memory tier and (when a directory is given) durably journaled
+    with the same atomic-write discipline as trial records — so a
+    restarted daemon warm-starts from disk instead of re-routing.
+
+    Callers interact only through :meth:`store` and
+    :meth:`lookup_cached`; the on-disk record layout is private to this
+    class.
+
+    Args:
+        directory: cache directory, or ``None`` for memory-only.
+        capacity: bound of the in-memory tier (LRU eviction; disk
+            records are never evicted).
+    """
+
+    def __init__(self, directory: Path | None = None,
+                 capacity: int = DEFAULT_CACHE_CAPACITY):
+        if capacity < 1:
+            raise ValueError("cache capacity must be >= 1")
+        self.directory = None if directory is None else Path(directory)
+        self.capacity = capacity
+        self._entries: "OrderedDict[str, dict[str, Any]]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        if self.directory is not None:
+            self.directory.mkdir(parents=True, exist_ok=True)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def _path(self, cache_fingerprint: str) -> Path:
+        assert self.directory is not None
+        return self.directory / f"result_{cache_fingerprint}.json"
+
+    @boundary(raises=(OSError,))
+    def store(self, cache_fingerprint: str,
+              payload: Mapping[str, Any]) -> None:
+        """Durably record one result payload under its fingerprint."""
+        entry = dict(payload)
+        self._entries[cache_fingerprint] = entry
+        self._entries.move_to_end(cache_fingerprint)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+        if self.directory is not None:
+            atomic_write_text(self._path(cache_fingerprint), json.dumps(
+                {"version": JOURNAL_VERSION,
+                 "fingerprint": cache_fingerprint,
+                 "payload": entry}, sort_keys=True) + "\n")
+
+    def lookup_cached(self, cache_fingerprint: str
+                      ) -> dict[str, Any] | None:
+        """The cached payload for ``cache_fingerprint``, or ``None``.
+
+        Checks the in-memory tier first, then the journal directory;
+        unreadable or malformed disk records are treated as misses (the
+        worst case is recomputing one result).
+        """
+        entry = self._entries.get(cache_fingerprint)
+        if entry is not None:
+            self._entries.move_to_end(cache_fingerprint)
+            self.hits += 1
+            return dict(entry)
+        if self.directory is not None:
+            try:
+                data = json.loads(
+                    self._path(cache_fingerprint).read_text(encoding="utf-8"))
+                payload = data["payload"]
+                if (isinstance(payload, dict)
+                        and data.get("fingerprint") == cache_fingerprint):
+                    self._entries[cache_fingerprint] = dict(payload)
+                    while len(self._entries) > self.capacity:
+                        self._entries.popitem(last=False)
+                    self.hits += 1
+                    return dict(payload)
+            except (OSError, ValueError, KeyError):  # repro: allow=contracts-broad-catch-swallow — a missing/corrupt cache record is a miss by design; the worst case is recomputing one result
+                pass
+        self.misses += 1
+        return None

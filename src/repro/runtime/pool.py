@@ -36,6 +36,7 @@ from typing import Any, Callable, Iterator, Sequence
 from repro.runtime.errors import TrialTimeout
 from repro.runtime.trial import (
     FAILURE_CRASH,
+    FAILURE_DRAINED,
     FAILURE_TIMEOUT,
     TrialFailure,
     TrialKey,
@@ -201,11 +202,13 @@ class _Worker:
         self.process: BaseProcess = process
         self.conn: Connection = parent_conn
         self.task: PoolTask | None = None
+        self.timeout: float | None = None
         self.started_at = 0.0
 
     def assign(self, task: PoolTask, timeout: float | None) -> None:
         self.conn.send(("task", task.key, task.fn, task.args, timeout))
         self.task = task
+        self.timeout = timeout
         self.started_at = time.monotonic()
 
     def overdue(self, timeout: float | None) -> bool:
@@ -235,15 +238,196 @@ class _Worker:
             pass
 
 
+class WorkerPool:
+    """A persistent pool of isolated worker processes.
+
+    :func:`run_tasks` owns a fixed task list and returns when it is
+    done; a ``WorkerPool`` is long-lived — callers (the routing
+    service's request loop) submit tasks as they arrive, :meth:`poll`
+    for completions, and eventually :meth:`drain`: stop dispatching,
+    await in-flight work up to a deadline, and convert stragglers to
+    structured ``"drained"`` failures instead of hard-killing silently.
+
+    Workers are spawned lazily up to ``workers``; a worker that crashes
+    or overruns its per-task deadline is killed and simply not counted
+    against capacity anymore, so the next :meth:`submit` replaces it.
+
+    Args:
+        workers: maximum concurrent worker processes (values below 1
+            are treated as 1 — callers validate their own flags).
+        context: multiprocessing context (defaults to fork where
+            available).
+    """
+
+    def __init__(self, workers: int, context: BaseContext | None = None):
+        self.target = max(1, workers)
+        self._context = context if context is not None else _pool_context()
+        self._live: list[_Worker] = []
+        self._idle: list[_Worker] = []
+        self._draining = False
+        self._closed = False
+
+    # -- capacity -----------------------------------------------------
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def in_flight(self) -> int:
+        """Tasks currently assigned to a live worker."""
+        return sum(1 for w in self._live if w.task is not None)
+
+    def in_flight_keys(self) -> list[TrialKey]:
+        return [w.task.key for w in self._live if w.task is not None]
+
+    def can_accept(self) -> bool:
+        """Whether :meth:`submit` would dispatch immediately."""
+        return (not self._draining and not self._closed
+                and (bool(self._idle) or len(self._live) < self.target))
+
+    # -- dispatch -----------------------------------------------------
+
+    def submit(self, task: PoolTask,
+               timeout: float | None = None) -> TrialFailure | None:
+        """Dispatch one task to an idle (or freshly spawned) worker.
+
+        Returns ``None`` on successful dispatch, or an immediate
+        :class:`TrialFailure` when the task could not cross the process
+        boundary (unpicklable function or arguments) — the worker stays
+        usable either way.
+
+        Args:
+            task: the unit of work.
+            timeout: per-task wall-clock budget in seconds; overruns are
+                hard-killed after :data:`PARENT_KILL_GRACE` and surface
+                from :meth:`poll` as structured timeout failures.
+        """
+        if self._closed:
+            raise RuntimeError("pool is shut down")
+        if self._draining:
+            raise RuntimeError("pool is draining; no new tasks")
+        if self._idle:
+            worker = self._idle.pop()
+        elif len(self._live) < self.target:
+            worker = _Worker(self._context)
+            self._live.append(worker)
+        else:
+            raise RuntimeError("no idle worker (check can_accept first)")
+        try:
+            worker.assign(task, timeout)
+        except Exception as exc:  # unpicklable task
+            self._idle.append(worker)
+            return TrialFailure.from_exception(exc)
+        return None
+
+    def poll(self, timeout: float = _WAIT_TICK
+             ) -> list[tuple[TrialKey, TrialOutcome]]:
+        """Completed (or failed) assignments since the last poll.
+
+        Blocks up to ``timeout`` seconds waiting for worker pipes.
+        Crashed workers yield a ``"crash"`` failure, deadline overruns a
+        ``"timeout"`` failure; both kinds of casualty are killed and
+        reaped here, freeing their capacity slot.
+        """
+        settled: list[tuple[TrialKey, TrialOutcome]] = []
+        busy = [w for w in self._live if w.task is not None]
+        if busy:
+            ready = connection_wait([w.conn for w in busy], timeout=timeout)
+            for worker in [w for w in busy if w.conn in ready]:
+                task = worker.task
+                assert task is not None
+                try:
+                    key, outcome = worker.conn.recv()
+                except (EOFError, OSError):
+                    settled.append((task.key, _crash_failure(worker)))
+                    self._discard(worker)
+                    continue
+                worker.task = None
+                settled.append((key, outcome))
+                self._idle.append(worker)
+        for worker in list(self._live):
+            if worker.task is not None and worker.overdue(worker.timeout):
+                budget = worker.timeout
+                assert budget is not None
+                settled.append((worker.task.key, TrialFailure(
+                    kind=FAILURE_TIMEOUT, error_type="TrialTimeout",
+                    message=f"worker exceeded the {budget:g}s trial budget "
+                            f"(hard-killed after grace period)",
+                    elapsed=worker.elapsed())))
+                self._discard(worker)
+        return settled
+
+    # -- lifecycle ----------------------------------------------------
+
+    def drain(self, grace: float = 30.0
+              ) -> dict[TrialKey, TrialOutcome]:
+        """Graceful shutdown: finish in-flight work, then close.
+
+        Stops dispatching (``submit`` refuses from this point on),
+        awaits in-flight tasks for up to ``grace`` seconds, and converts
+        any straggler still running at the deadline into a structured
+        :class:`TrialFailure` with ``kind="drained"`` before killing its
+        worker. Always leaves the pool fully shut down.
+
+        Returns:
+            Every outcome that landed during the drain, keyed by trial
+            (completions, crashes, timeouts, and drained stragglers).
+        """
+        self._draining = True
+        outcomes: dict[TrialKey, TrialOutcome] = {}
+        deadline = time.monotonic() + max(grace, 0.0)
+        while self.in_flight() and time.monotonic() < deadline:
+            tick = min(_WAIT_TICK, max(deadline - time.monotonic(), 0.0))
+            for key, outcome in self.poll(timeout=tick):
+                outcomes[key] = outcome
+        for worker in list(self._live):
+            if worker.task is None:
+                continue
+            outcomes[worker.task.key] = TrialFailure(
+                kind=FAILURE_DRAINED, error_type="TrialDrained",
+                message=f"trial abandoned by graceful drain after its "
+                        f"{grace:g}s grace period",
+                elapsed=worker.elapsed())
+            self._discard(worker)
+        self.shutdown()
+        return outcomes
+
+    def shutdown(self) -> None:
+        """Immediate teardown: stop idle workers, kill busy ones."""
+        self._closed = True
+        for worker in list(self._live):
+            if worker.task is None:
+                worker.stop()
+            else:
+                worker.kill()
+        for worker in self._live:
+            worker.process.join(timeout=5.0)
+            if worker.process.is_alive():
+                worker.kill()
+        self._live.clear()
+        self._idle.clear()
+
+    def _discard(self, worker: _Worker) -> None:
+        """Kill and forget one worker (its capacity slot frees up)."""
+        if worker in self._live:
+            self._live.remove(worker)
+        if worker in self._idle:
+            self._idle.remove(worker)
+        worker.kill()
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.shutdown()
+
+
 def _run_parallel(tasks: Sequence[PoolTask], *, workers: int,
                   timeout: float | None, on_outcome: OutcomeHook | None
                   ) -> dict[TrialKey, TrialOutcome]:
-    context = _pool_context()
     pending = list(reversed(tasks))  # pop() serves tasks in given order
     outcomes: dict[TrialKey, TrialOutcome] = {}
-    live: list[_Worker] = [_Worker(context)
-                           for _ in range(min(workers, len(tasks)))]
-    idle = list(live)
+    pool = WorkerPool(min(workers, len(tasks)) or 1)
 
     def settle(key: TrialKey, outcome: TrialOutcome) -> None:
         outcomes[key] = outcome
@@ -252,59 +436,15 @@ def _run_parallel(tasks: Sequence[PoolTask], *, workers: int,
 
     try:
         while len(outcomes) < len(tasks):
-            while idle and pending:
-                worker, task = idle.pop(), pending.pop()
-                try:
-                    worker.assign(task, timeout)
-                except Exception as exc:  # unpicklable task
-                    settle(task.key, TrialFailure.from_exception(exc))
-                    idle.append(worker)
-            busy = [w for w in live if w.task is not None]
-            if not busy:
-                continue
-            ready = connection_wait([w.conn for w in busy],
-                                    timeout=_WAIT_TICK)
-            for worker in [w for w in busy if w.conn in ready]:
-                task = worker.task
-                assert task is not None
-                try:
-                    key, outcome = worker.conn.recv()
-                except (EOFError, OSError):
-                    settle(task.key, _crash_failure(worker))
-                    live.remove(worker)
-                    worker.kill()
-                    if pending:
-                        replacement = _Worker(context)
-                        live.append(replacement)
-                        idle.append(replacement)
-                    continue
-                worker.task = None
+            while pending and pool.can_accept():
+                task = pending.pop()
+                immediate = pool.submit(task, timeout)
+                if immediate is not None:
+                    settle(task.key, immediate)
+            for key, outcome in pool.poll(_WAIT_TICK):
                 settle(key, outcome)
-                idle.append(worker)
-            for worker in [w for w in live if w.overdue(timeout)]:
-                task = worker.task
-                assert task is not None
-                settle(task.key, TrialFailure(
-                    kind=FAILURE_TIMEOUT, error_type="TrialTimeout",
-                    message=f"worker exceeded the {timeout:g}s trial budget "
-                            f"(hard-killed after grace period)",
-                    elapsed=worker.elapsed()))
-                live.remove(worker)
-                worker.kill()
-                if pending:
-                    replacement = _Worker(context)
-                    live.append(replacement)
-                    idle.append(replacement)
     finally:
-        for worker in live:
-            if worker.task is None:
-                worker.stop()
-            else:
-                worker.kill()
-        for worker in live:
-            worker.process.join(timeout=5.0)
-            if worker.process.is_alive():
-                worker.kill()
+        pool.shutdown()
     return outcomes
 
 

@@ -119,19 +119,19 @@ def _checked_delays(model: DelayModel, graph: RoutingGraph,
     return delays
 
 
-def resilient_spice_model(
+def build_engine_ladder(
     tech: Technology,
     options: SpiceOptions | None = None,
     engines: Sequence[str] = ("ngspice", "transient", "analytic"),
-    retry: RetryPolicy | None = None,
-    sleep: SleepFn = time.sleep,
-) -> ResilientDelayModel:
-    """The standard degradation ladder over the repo's SPICE engines.
+) -> list[DelayModel]:
+    """One oracle per engine name, in decreasing fidelity order.
 
-    ``engines`` names the rungs in order; each becomes an oracle bound to
-    the same technology and segmentation. ``"ngspice"`` requires an
-    external binary at call time — with the default ladder its absence
-    simply degrades (with provenance) to the in-process engines.
+    ``engines`` names the rungs; each becomes an oracle bound to the
+    same technology and segmentation. This is the ladder
+    :func:`resilient_spice_model` assembles — exposed separately so the
+    routing service can wrap individual rungs (chaos injection on the
+    engine of record) before handing them to
+    :class:`ResilientDelayModel`.
     """
     opts = options or SpiceOptions()
     ladder: list[DelayModel] = []
@@ -149,4 +149,22 @@ def resilient_spice_model(
             raise ValueError(
                 f"unknown resilience engine {engine!r}; expected "
                 f"'ngspice', 'transient' or 'analytic'")
-    return ResilientDelayModel(ladder, retry=retry, sleep=sleep)
+    return ladder
+
+
+def resilient_spice_model(
+    tech: Technology,
+    options: SpiceOptions | None = None,
+    engines: Sequence[str] = ("ngspice", "transient", "analytic"),
+    retry: RetryPolicy | None = None,
+    sleep: SleepFn = time.sleep,
+) -> ResilientDelayModel:
+    """The standard degradation ladder over the repo's SPICE engines.
+
+    ``engines`` names the rungs in order (see
+    :func:`build_engine_ladder`). ``"ngspice"`` requires an external
+    binary at call time — with the default ladder its absence simply
+    degrades (with provenance) to the in-process engines.
+    """
+    return ResilientDelayModel(build_engine_ladder(tech, options, engines),
+                               retry=retry, sleep=sleep)

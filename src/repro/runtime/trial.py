@@ -34,6 +34,7 @@ TrialKey = tuple[int, int]
 FAILURE_EXCEPTION = "exception"
 FAILURE_TIMEOUT = "timeout"
 FAILURE_CRASH = "crash"
+FAILURE_DRAINED = "drained"
 
 
 @dataclass(frozen=True)
@@ -165,7 +166,8 @@ class TrialFailure:
     """A trial that did not produce a result — and why.
 
     Attributes:
-        kind: ``"exception"``, ``"timeout"`` or ``"crash"`` (worker died).
+        kind: ``"exception"``, ``"timeout"``, ``"crash"`` (worker died),
+            or ``"drained"`` (abandoned by a graceful shutdown).
         error_type: exception class name, for grouping.
         message: one-line cause.
         traceback: full formatted traceback where one exists.

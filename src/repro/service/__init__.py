@@ -1,0 +1,79 @@
+"""repro.service: a fault-tolerant routing daemon.
+
+The service turns the repo's experiment runner into a long-running
+system: a persistent daemon that accepts nets as JSON-lines frames
+(stdin/stdout first, localhost TCP socket second), routes them with any
+of the registered algorithms, and streams structured results back —
+engineered robustness-first:
+
+* :mod:`repro.service.protocol` — versioned JSON-lines framing where
+  every malformed frame becomes a typed ``protocol`` error response,
+  never a traceback;
+* :mod:`repro.service.admission` — a bounded admission queue with
+  load-shedding (structured ``overload`` rejections, never an unbounded
+  backlog) and a draining state for graceful shutdown;
+* :mod:`repro.service.session` — per-request execution: deadline
+  enforcement via the runtime pool's ``trial_deadline``, retry/backoff
+  for transient faults, the ngspice→transient→analytic degradation
+  ladder with provenance on every response, and config-fingerprinted
+  warm-result caching;
+* :mod:`repro.service.daemon` — the service loop: request coalescing,
+  SIGTERM-triggered graceful drain, serial or worker-pool execution;
+* :mod:`repro.service.faults` — a deterministic service-level fault
+  harness (worker kills, malformed frames, deadline storms, slow
+  clients) used to prove every failure surfaces as a typed error.
+
+See ``docs/service.md`` for the protocol, lifecycle, and failure-mode
+table.
+"""
+
+from repro.service.admission import (
+    AdmissionQueue,
+    AdmissionStats,
+    ServiceDraining,
+    ServiceOverload,
+)
+from repro.service.daemon import (
+    RoutingDaemon,
+    ServiceConfig,
+    ServiceStats,
+)
+from repro.service.faults import ServiceFaultPlan, build_fault_stream
+from repro.service.protocol import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    Request,
+    encode_frame,
+    error_response,
+    ok_response,
+    parse_frame,
+)
+from repro.service.session import (
+    ALGORITHMS,
+    SessionConfig,
+    execute_request,
+    request_fingerprint,
+)
+
+__all__ = [
+    "ALGORITHMS",
+    "AdmissionQueue",
+    "AdmissionStats",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "Request",
+    "RoutingDaemon",
+    "ServiceConfig",
+    "ServiceDraining",
+    "ServiceFaultPlan",
+    "ServiceOverload",
+    "ServiceStats",
+    "SessionConfig",
+    "build_fault_stream",
+    "encode_frame",
+    "error_response",
+    "execute_request",
+    "ok_response",
+    "parse_frame",
+    "request_fingerprint",
+]

@@ -1,0 +1,153 @@
+"""Bounded admission control: load-shedding instead of unbounded backlog.
+
+A service that queues without bound does not degrade, it defers its
+collapse. The admission queue here has a hard capacity: when it is
+full, :meth:`AdmissionQueue.offer` raises a structured
+:class:`ServiceOverload` that the daemon converts into an ``overload``
+error response — the client learns *immediately* that it must back off,
+and the daemon's memory stays bounded (the same discipline the
+``contracts-unbounded-growth`` analyzer enforces on caches).
+
+The queue also owns the service's draining state: once
+:meth:`AdmissionQueue.close` is called (SIGTERM), new offers raise
+:class:`ServiceDraining` while already-admitted requests keep flowing
+to the executor until the queue is empty.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Generic, TypeVar
+
+from repro.contracts import boundary
+from repro.runtime.errors import ReproRuntimeError
+
+T = TypeVar("T")
+
+#: Default admission capacity (requests buffered beyond the in-flight set).
+DEFAULT_CAPACITY = 64
+
+
+class ServiceOverload(ReproRuntimeError):
+    """The admission queue is full; the request was shed, not queued."""
+
+    def __init__(self, capacity: int, shed_total: int):
+        super().__init__(
+            f"admission queue full ({capacity} pending); request shed — "
+            f"back off and retry")
+        self.capacity = capacity
+        self.shed_total = shed_total
+
+
+class ServiceDraining(ReproRuntimeError):
+    """The service is draining (SIGTERM); no new work is admitted."""
+
+    def __init__(self) -> None:
+        super().__init__("service is draining; no new requests are admitted")
+
+
+@dataclass
+class AdmissionStats:
+    """Counters the ``stats`` op reports for capacity planning.
+
+    ``depth_high_water`` is the deepest the queue ever got — the number
+    that says how close the service ran to shedding.
+    """
+
+    admitted: int = 0
+    shed: int = 0
+    rejected_draining: int = 0
+    served: int = 0
+    depth_high_water: int = 0
+
+    def to_json_dict(self) -> dict[str, Any]:
+        return {"admitted": self.admitted, "shed": self.shed,
+                "rejected_draining": self.rejected_draining,
+                "served": self.served,
+                "depth_high_water": self.depth_high_water}
+
+
+@dataclass
+class AdmissionQueue(Generic[T]):
+    """A thread-safe bounded FIFO with structured overload rejection.
+
+    The reader thread(s) :meth:`offer`; the executor :meth:`take`.
+    Capacity bounds only the *waiting* set — the executor has already
+    taken whatever is in flight.
+
+    Args:
+        capacity: maximum queued items (>= 1).
+    """
+
+    capacity: int = DEFAULT_CAPACITY
+    _items: deque[T] = field(default_factory=deque, repr=False)
+    _lock: threading.Lock = field(default_factory=threading.Lock,
+                                  repr=False)
+    _ready: threading.Condition = field(init=False, repr=False)
+    _closed: bool = False
+    stats: AdmissionStats = field(default_factory=AdmissionStats)
+
+    def __post_init__(self) -> None:
+        if self.capacity < 1:
+            raise ValueError("admission capacity must be >= 1")
+        self._ready = threading.Condition(self._lock)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._items)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @boundary(raises=(ServiceOverload, ServiceDraining))
+    def offer(self, item: T) -> None:
+        """Admit one item or raise a structured rejection.
+
+        Raises:
+            ServiceOverload: the queue is at capacity (the item is shed).
+            ServiceDraining: :meth:`close` has been called.
+        """
+        with self._lock:
+            if self._closed:
+                self.stats.rejected_draining += 1
+                raise ServiceDraining()
+            if len(self._items) >= self.capacity:
+                self.stats.shed += 1
+                raise ServiceOverload(self.capacity, self.stats.shed)
+            self._items.append(item)
+            self.stats.admitted += 1
+            self.stats.depth_high_water = max(self.stats.depth_high_water,
+                                              len(self._items))
+            self._ready.notify()
+
+    def take(self, timeout: float | None = None) -> T | None:
+        """Pop the oldest admitted item, waiting up to ``timeout``.
+
+        Returns ``None`` on timeout or when the queue is closed *and*
+        empty (the executor's signal to finish up).
+        """
+        with self._lock:
+            deadline_passed = False
+            while not self._items and not self._closed and not deadline_passed:
+                deadline_passed = not self._ready.wait(timeout=timeout)
+            if self._items:
+                item = self._items.popleft()
+                self.stats.served += 1
+                return item
+            return None
+
+    def close(self) -> None:
+        """Enter draining: reject new offers, keep serving the backlog."""
+        with self._lock:
+            self._closed = True
+            self._ready.notify_all()
+
+    def drain_backlog(self) -> list[T]:
+        """Remove and return everything still queued (drain-deadline path)."""
+        with self._lock:
+            items = list(self._items)
+            self._items.clear()
+            return items

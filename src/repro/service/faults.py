@@ -1,0 +1,153 @@
+"""Deterministic service-level fault injection.
+
+The PR-2 chaos injector proves the *oracle* layer survives faults; the
+plan here drives the faults only a long-running service can experience:
+
+* **worker kill** — a request whose execution calls ``os._exit`` mid
+  route (pool mode kills a real worker process; serial mode reports the
+  simulated crash), proving the daemon replaces casualties;
+* **malformed frame** — wire garbage (truncated JSON, wrong types,
+  non-object frames), proving the parser answers with typed ``protocol``
+  errors instead of wedging the stream;
+* **deadline storm** — a burst of requests with microscopic deadlines,
+  proving expiry surfaces as structured ``timeout`` errors, fast, with
+  no hangs and no starvation of well-behaved requests;
+* **slow client** — frames delivered byte-by-byte with delays (driven by
+  the smoke harness), proving one lagging connection cannot stall the
+  admission loop;
+* **oracle chaos** — per-request ``raise``/``hang``/``nan`` directives
+  feeding the PR-2 injector, proving retry + degradation provenance.
+
+Everything is drawn from one seeded stream, so a failing CI run
+reproduces bit-for-bit locally — the same discipline as
+:mod:`repro.runtime.chaos`.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from repro.geometry.net import Net
+from repro.service.session import INJECT_KILL
+
+#: The malformed-frame corpus: each entry is one way a client can send
+#: garbage. Stable order — the plan indexes into it deterministically.
+MALFORMED_FRAMES: tuple[str, ...] = (
+    "{\"op\": \"route\", \"net\": ",               # truncated JSON
+    "not json at all",                              # not JSON
+    "[1, 2, 3]",                                    # non-object frame
+    "{\"op\": \"warp\"}",                           # unknown op
+    "{\"op\": \"route\"}",                          # missing net
+    "{\"op\": \"route\", \"net\": {\"source\": [0, 0]}}",  # missing sinks
+    "{\"op\": \"route\", \"net\": {\"source\": [0], \"sinks\": [[1, 1]]}}",
+    "{\"op\": \"route\", \"net\": {\"source\": [0, 0], "
+    "\"sinks\": [[\"a\", 1]]}}",                    # non-numeric coords
+    "{\"op\": \"route\", \"deadline\": -1, \"net\": {\"source\": [0, 0], "
+    "\"sinks\": [[1, 1]]}}",                        # negative deadline
+    "{\"op\": \"route\", \"id\": [1], \"net\": {\"source\": [0, 0], "
+    "\"sinks\": [[1, 1]]}}",                        # bad id type
+)
+
+
+@dataclass(frozen=True)
+class ServiceFaultPlan:
+    """Rates and determinism knobs of the service-fault stream.
+
+    Each generated request draws once from a seeded RNG; the outcome
+    selects at most one fault. Rates must sum to at most 1.
+
+    Attributes:
+        seed: seed of the fault stream (reproducibility).
+        kill_rate: fraction of requests carrying a worker-kill directive.
+        malformed_rate: fraction of frames replaced by wire garbage.
+        storm_rate: fraction of requests given a microscopic deadline.
+        chaos_rate: fraction of requests carrying an oracle-fault
+            directive (``raise``/``nan``, drawn evenly).
+        storm_deadline: the microscopic deadline (seconds) storm
+            requests carry.
+    """
+
+    seed: int = 0
+    kill_rate: float = 0.0
+    malformed_rate: float = 0.0
+    storm_rate: float = 0.0
+    chaos_rate: float = 0.0
+    storm_deadline: float = 1e-3
+
+    def __post_init__(self) -> None:
+        rates = (self.kill_rate, self.malformed_rate, self.storm_rate,
+                 self.chaos_rate)
+        if any(not 0.0 <= rate <= 1.0 for rate in rates):
+            raise ValueError("fault rates must lie in [0, 1]")
+        if sum(rates) > 1.0:
+            raise ValueError("fault rates must sum to at most 1")
+        if self.storm_deadline <= 0:
+            raise ValueError("storm_deadline must be positive")
+
+    @property
+    def fault_rate(self) -> float:
+        return (self.kill_rate + self.malformed_rate + self.storm_rate
+                + self.chaos_rate)
+
+    def to_json_dict(self) -> dict[str, Any]:
+        return {"seed": self.seed, "kill_rate": self.kill_rate,
+                "malformed_rate": self.malformed_rate,
+                "storm_rate": self.storm_rate,
+                "chaos_rate": self.chaos_rate,
+                "storm_deadline": self.storm_deadline}
+
+
+def net_frame(net: Net) -> dict[str, Any]:
+    """The wire form of one net."""
+    return {"name": net.name,
+            "source": [net.source.x, net.source.y],
+            "sinks": [[s.x, s.y] for s in net.sinks]}
+
+
+def build_fault_stream(plan: ServiceFaultPlan, nets: Sequence[Net],
+                       algorithm: str = "ldrg",
+                       deadline: float = 30.0,
+                       duplicate_every: int = 0) -> list[str]:
+    """A deterministic JSON-lines request stream with injected faults.
+
+    One frame per net, in order; the plan's seeded RNG decides which
+    frames are sabotaged and how. ``duplicate_every`` > 0 additionally
+    re-emits every Nth well-formed frame immediately (fresh ``id``),
+    which is the coalescing/warm-cache workload.
+
+    Returns:
+        The request lines (no trailing newlines), ready to pipe into the
+        daemon. Same plan + same nets ⇒ same bytes, always.
+    """
+    rng = random.Random(plan.seed)
+    lines: list[str] = []
+    emitted = 0
+    for index, net in enumerate(nets):
+        roll = rng.random()
+        frame: dict[str, Any] = {
+            "op": "route", "id": f"req-{index}", "algorithm": algorithm,
+            "deadline": deadline, "net": net_frame(net),
+        }
+        kill_t = plan.kill_rate
+        malformed_t = kill_t + plan.malformed_rate
+        storm_t = malformed_t + plan.storm_rate
+        chaos_t = storm_t + plan.chaos_rate
+        if roll < kill_t:
+            frame["inject"] = INJECT_KILL
+        elif roll < malformed_t:
+            lines.append(MALFORMED_FRAMES[
+                rng.randrange(len(MALFORMED_FRAMES))])
+            continue
+        elif roll < storm_t:
+            frame["deadline"] = plan.storm_deadline
+        elif roll < chaos_t:
+            frame["inject"] = "raise" if rng.random() < 0.5 else "nan"
+        lines.append(json.dumps(frame, sort_keys=True))
+        emitted += 1
+        if duplicate_every and emitted % duplicate_every == 0:
+            dup = dict(frame, id=f"req-{index}-dup")
+            lines.append(json.dumps(dup, sort_keys=True))
+    return lines

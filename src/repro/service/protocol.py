@@ -1,0 +1,272 @@
+"""JSON-lines wire protocol of the routing service.
+
+One frame per line, UTF-8 JSON objects both ways. Requests carry an
+``op`` (``route``, ``ping``, ``stats``) plus an optional client-chosen
+``id`` echoed verbatim in the response; responses carry a ``status`` of
+``"ok"`` or ``"error"``. Every failure mode has a typed shape: a frame
+the parser cannot accept becomes a ``protocol`` error *response* (never
+a dropped connection, never a traceback), and execution failures reuse
+the runtime's structured :class:`~repro.runtime.trial.TrialFailure`
+kinds (``timeout``, ``crash``, ``exception``, ``drained``) plus the
+service-level ``overload`` and ``draining`` rejections.
+
+A ``route`` request::
+
+    {"op": "route", "id": "r1",
+     "net": {"name": "clk", "source": [120.5, 4480.0],
+             "sinks": [[800.0, 9100.0], [5500.0, 300.25]]},
+     "algorithm": "ldrg", "deadline": 5.0, "segments": 1}
+
+and its response::
+
+    {"id": "r1", "status": "ok", "op": "route",
+     "fingerprint": "…", "cached": false, "coalesced": false,
+     "degraded": false, "result": {…}, "provenance": […],
+     "elapsed": 0.18}
+
+The full field tables live in ``docs/service.md``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.contracts import boundary
+from repro.geometry.net import Net
+from repro.geometry.point import Point
+from repro.runtime.errors import ReproRuntimeError
+
+#: Protocol version, echoed in ``ping`` responses and bumped on
+#: incompatible frame changes.
+PROTOCOL_VERSION = 1
+
+#: Hard ceiling on one frame's wire size — a slow-client/garbage guard;
+#: longer lines are rejected with a ``protocol`` error before parsing.
+MAX_FRAME_BYTES = 1_000_000
+
+#: Hard ceiling on pins per net; protects the O(pins²) routing core
+#: from a single pathological request starving every other client.
+MAX_PINS = 512
+
+#: Structured error kinds a response may carry.
+ERROR_PROTOCOL = "protocol"
+ERROR_OVERLOAD = "overload"
+ERROR_DRAINING = "draining"
+ERROR_DRAINED = "drained"
+ERROR_TIMEOUT = "timeout"
+ERROR_CRASH = "crash"
+ERROR_EXCEPTION = "exception"
+
+#: Supported request operations.
+OPS = ("route", "ping", "stats")
+
+
+class ProtocolError(ReproRuntimeError):
+    """A frame the protocol cannot accept (malformed, oversized, unknown).
+
+    Carries the offending frame's ``id`` when one could be recovered,
+    so the error response still correlates with the client's request.
+    """
+
+    def __init__(self, message: str, frame_id: object = None):
+        super().__init__(message)
+        self.frame_id = frame_id
+
+
+@dataclass(frozen=True)
+class Request:
+    """One parsed, validated request frame.
+
+    Attributes:
+        op: ``"route"``, ``"ping"``, or ``"stats"``.
+        id: client correlation token (echoed verbatim; may be ``None``).
+        net: the net to route (``route`` only).
+        algorithm: registered algorithm name (``route`` only).
+        deadline: per-request wall-clock budget in seconds, or ``None``
+            for the service default.
+        segments: pi-sections per wire in the delay oracle, or ``None``
+            for the service default.
+        inject: fault-injection directive (``"kill-worker"``, ``"raise"``,
+            ``"hang"``, ``"nan"``) — honored only when the daemon was
+            started with fault injection enabled; see
+            :mod:`repro.service.faults`.
+    """
+
+    op: str
+    id: object = None
+    net: Net | None = None
+    algorithm: str = "ldrg"
+    deadline: float | None = None
+    segments: int | None = None
+    inject: str | None = None
+
+
+@boundary(raises=(ProtocolError,))
+def parse_frame(line: str) -> Request:
+    """Parse and validate one request line.
+
+    Raises:
+        ProtocolError: for anything the protocol cannot accept — bad
+            JSON, a non-object frame, an oversized line, an unknown
+            ``op``, or a malformed ``net``. The error message names the
+            offending field; the daemon turns it into a structured
+            ``protocol`` error response.
+    """
+    if len(line.encode("utf-8", errors="replace")) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame exceeds {MAX_FRAME_BYTES} bytes (slow-client guard)")
+    try:
+        data = json.loads(line)
+    except ValueError as exc:
+        raise ProtocolError(f"frame is not valid JSON: {exc}") from exc
+    if not isinstance(data, dict):
+        raise ProtocolError(
+            f"frame must be a JSON object, got {type(data).__name__}")
+    frame_id = data.get("id")
+    if frame_id is not None and not isinstance(frame_id, (str, int)):
+        raise ProtocolError("'id' must be a string or integer")
+    op = data.get("op")
+    if not isinstance(op, str) or op not in OPS:
+        raise ProtocolError(
+            f"unknown op {op!r}; expected one of {', '.join(OPS)}",
+            frame_id=frame_id)
+    if op != "route":
+        return Request(op=op, id=frame_id)
+    return _parse_route(data, frame_id)
+
+
+def _parse_route(data: Mapping[str, Any], frame_id: object) -> Request:
+    net = _parse_net(data.get("net"), frame_id)
+    algorithm = data.get("algorithm", "ldrg")
+    if not isinstance(algorithm, str):
+        raise ProtocolError("'algorithm' must be a string",
+                            frame_id=frame_id)
+    deadline = _optional_number(data, "deadline", frame_id)
+    if deadline is not None and deadline <= 0:
+        raise ProtocolError("'deadline' must be positive",
+                            frame_id=frame_id)
+    segments_raw = data.get("segments")
+    segments: int | None = None
+    if segments_raw is not None:
+        if not isinstance(segments_raw, int) or isinstance(segments_raw, bool):
+            raise ProtocolError("'segments' must be an integer",
+                                frame_id=frame_id)
+        if not 1 <= segments_raw <= 32:
+            raise ProtocolError("'segments' must lie in [1, 32]",
+                                frame_id=frame_id)
+        segments = segments_raw
+    inject = data.get("inject")
+    if inject is not None and not isinstance(inject, str):
+        raise ProtocolError("'inject' must be a string", frame_id=frame_id)
+    return Request(op="route", id=frame_id, net=net, algorithm=algorithm,
+                   deadline=deadline, segments=segments, inject=inject)
+
+
+def _optional_number(data: Mapping[str, Any], key: str,
+                     frame_id: object) -> float | None:
+    value = data.get(key)
+    if value is None:
+        return None
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ProtocolError(f"'{key}' must be a number", frame_id=frame_id)
+    return float(value)
+
+
+def _parse_net(raw: object, frame_id: object) -> Net:
+    if not isinstance(raw, dict):
+        raise ProtocolError(
+            "'net' must be an object with 'source' and 'sinks'",
+            frame_id=frame_id)
+    name = raw.get("name", "net")
+    if not isinstance(name, str) or not name:
+        raise ProtocolError("'net.name' must be a non-empty string",
+                            frame_id=frame_id)
+    source = _parse_point(raw.get("source"), "net.source", frame_id)
+    sinks_raw = raw.get("sinks")
+    if not isinstance(sinks_raw, list) or not sinks_raw:
+        raise ProtocolError("'net.sinks' must be a non-empty array",
+                            frame_id=frame_id)
+    if 1 + len(sinks_raw) > MAX_PINS:
+        raise ProtocolError(
+            f"net has {1 + len(sinks_raw)} pins; the service accepts "
+            f"at most {MAX_PINS}", frame_id=frame_id)
+    sinks = tuple(_parse_point(item, f"net.sinks[{index}]", frame_id)
+                  for index, item in enumerate(sinks_raw))
+    try:
+        return Net(source=source, sinks=sinks, name=name)
+    except ValueError as exc:  # duplicate pins etc. — Net's own checks
+        raise ProtocolError(f"invalid net: {exc}", frame_id=frame_id) from exc
+
+
+def _parse_point(raw: object, label: str, frame_id: object) -> Point:
+    if (not isinstance(raw, (list, tuple)) or len(raw) != 2
+            or any(isinstance(v, bool) or not isinstance(v, (int, float))
+                   for v in raw)):
+        raise ProtocolError(f"'{label}' must be an [x, y] number pair",
+                            frame_id=frame_id)
+    x, y = float(raw[0]), float(raw[1])
+    if not (_finite(x) and _finite(y)):
+        raise ProtocolError(f"'{label}' coordinates must be finite",
+                            frame_id=frame_id)
+    return Point(x, y)
+
+
+def _finite(value: float) -> bool:
+    return value == value and abs(value) != float("inf")
+
+
+# ---------------------------------------------------------------------------
+# Response frames
+# ---------------------------------------------------------------------------
+
+
+def ok_response(request_id: object, op: str,
+                body: Mapping[str, Any] | None = None) -> dict[str, Any]:
+    """A success frame: ``{"id":…, "status": "ok", "op":…, **body}``."""
+    frame: dict[str, Any] = {"id": request_id, "status": "ok", "op": op}
+    if body:
+        frame.update(body)
+    return frame
+
+
+def error_response(request_id: object, kind: str, error_type: str,
+                   message: str,
+                   extra: Mapping[str, Any] | None = None) -> dict[str, Any]:
+    """A typed error frame.
+
+    Args:
+        request_id: the request's ``id`` (``None`` when unrecoverable).
+        kind: one of the ``ERROR_*`` kinds.
+        error_type: exception class name, for grouping.
+        message: one-line cause (no tracebacks cross the wire).
+        extra: additional top-level fields (``fingerprint``, ``elapsed``).
+    """
+    frame: dict[str, Any] = {
+        "id": request_id, "status": "error",
+        "error": {"kind": kind, "error_type": error_type,
+                  "message": message},
+    }
+    if extra:
+        frame.update(extra)
+    return frame
+
+
+def encode_frame(frame: Mapping[str, Any]) -> str:
+    """Serialize one response frame to a single JSON line (no newline)."""
+    return json.dumps(frame, sort_keys=True, separators=(",", ":"))
+
+
+@dataclass
+class FrameStats:
+    """Wire-level counters a daemon front end keeps per stream."""
+
+    frames_in: int = 0
+    frames_out: int = 0
+    protocol_errors: int = 0
+    oversized: int = 0
+    by_kind: dict[str, int] = field(default_factory=dict)
+
+    def count_error(self, kind: str) -> None:
+        self.by_kind[kind] = self.by_kind.get(kind, 0) + 1

@@ -1,0 +1,384 @@
+"""Per-request routing sessions: deadlines, retries, degradation, caching.
+
+One ``route`` request becomes one *session*: the request's net is routed
+under a wall-clock deadline (the runtime pool's ``trial_deadline``),
+with transient oracle faults retried via :mod:`repro.runtime.retry` and
+engine failures degraded down the ngspice→transient→analytic ladder —
+every retry and every degradation landing as provenance on the
+response, so a client can never receive a degraded number without being
+told.
+
+Sessions are keyed by a *config fingerprint* digesting everything that
+determines the answer (net geometry, algorithm, oracle segmentation,
+engine ladder, technology, chaos policy). The fingerprint drives two
+layers of warmth: the journal-backed
+:class:`~repro.runtime.journal.ResultCache` (identical requests are
+served without routing at all) and, beneath it, the PR-3 delay memo
+(structurally identical graphs share oracle evaluations when the
+configured oracle is pure).
+
+:func:`run_route_task` is the module-level pool entry point — picklable,
+so the daemon's worker-pool mode ships requests to isolated processes
+where a kill or hang costs one request, never the daemon.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping
+
+from repro.contracts import boundary
+from repro.core import (
+    RoutingResult,
+    csorg_ldrg,
+    ert,
+    ert_ldrg,
+    h1,
+    h2,
+    h3,
+    ldrg,
+    sert,
+    sldrg,
+)
+from repro.delay.models import DelayModel, SpiceDelayModel
+from repro.delay.parameters import Technology
+from repro.delay.spice_delay import SpiceOptions
+from repro.geometry.net import Net
+from repro.geometry.point import Point
+from repro.runtime import provenance
+from repro.runtime.chaos import ChaosDelayModel, ChaosPolicy
+from repro.runtime.journal import ResultCache, fingerprint
+from repro.runtime.pool import trial_deadline
+from repro.runtime.resilience import ResilientDelayModel, build_engine_ladder
+from repro.runtime.retry import RetryPolicy
+from repro.runtime.trial import (
+    FAILURE_CRASH,
+    TrialFailure,
+    TrialOutcome,
+    TrialResult,
+)
+from repro.service.protocol import (
+    ERROR_CRASH,
+    ERROR_DRAINED,
+    ERROR_EXCEPTION,
+    ERROR_TIMEOUT,
+    ProtocolError,
+    Request,
+    error_response,
+    ok_response,
+)
+
+#: The service's routing algorithms (the paper's nine).
+ALGORITHMS: dict[str, Callable[[Net, Technology, DelayModel],
+                               RoutingResult]] = {
+    "ldrg": lambda net, tech, model: ldrg(net, tech, delay_model=model),
+    "sldrg": lambda net, tech, model: sldrg(net, tech, delay_model=model),
+    "h1": lambda net, tech, model: h1(net, tech, delay_model=model),
+    "h2": lambda net, tech, model: h2(net, tech, evaluation_model=model),
+    "h3": lambda net, tech, model: h3(net, tech, evaluation_model=model),
+    "ert": lambda net, tech, model: ert(net, tech, evaluation_model=model),
+    "ert-ldrg": lambda net, tech, model: ert_ldrg(net, tech,
+                                                  delay_model=model),
+    "sert": lambda net, tech, model: sert(net, tech,
+                                          evaluation_model=model),
+    "csorg": lambda net, tech, model: csorg_ldrg(net, tech,
+                                                 delay_model=model),
+}
+
+#: TrialFailure kind → wire error kind (identical taxonomy by design).
+_FAILURE_TO_ERROR = {
+    "exception": ERROR_EXCEPTION,
+    "timeout": ERROR_TIMEOUT,
+    "crash": ERROR_CRASH,
+    "drained": ERROR_DRAINED,
+}
+
+#: Fault-injection directives a request may carry (gated by config).
+INJECT_KILL = "kill-worker"
+INJECT_DIRECTIVES = (INJECT_KILL, "raise", "hang", "nan")
+
+
+@dataclass(frozen=True)
+class SessionConfig:
+    """Everything a session needs to execute one request — picklable.
+
+    Attributes:
+        tech: interconnect technology of every routed net.
+        segments: default pi-sections per wire in the delay oracle
+            (requests may override per-frame).
+        engines: oracle ladder in decreasing fidelity order; a single
+            in-process engine with no chaos runs *unwrapped* (pure, so
+            the PR-3 delay memo applies), anything else runs behind the
+            retry + degradation ladder.
+        retry: backoff policy for transient oracle faults.
+        chaos: deterministic fault injection on the engine of record
+            (``None`` disables).
+        default_deadline: per-request budget (seconds) when the frame
+            names none.
+        max_deadline: hard ceiling a frame's ``deadline`` is clamped to.
+        enable_fault_injection: honor per-request ``inject`` directives
+            (tests and the smoke harness only — never production).
+    """
+
+    tech: Technology = field(default_factory=Technology.cmos08)
+    segments: int = 1
+    engines: tuple[str, ...] = ("transient", "analytic")
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    chaos: ChaosPolicy | None = None
+    default_deadline: float = 30.0
+    max_deadline: float = 300.0
+    enable_fault_injection: bool = False
+
+    def __post_init__(self) -> None:
+        if self.segments < 1:
+            raise ValueError("segments must be >= 1")
+        if not self.engines:
+            raise ValueError("need at least one oracle engine")
+        if self.default_deadline <= 0 or self.max_deadline <= 0:
+            raise ValueError("deadlines must be positive")
+
+    def deadline_for(self, request: Request) -> float:
+        """The request's effective budget: frame value clamped to the cap."""
+        wanted = (request.deadline if request.deadline is not None
+                  else self.default_deadline)
+        return min(wanted, self.max_deadline)
+
+    def fingerprint_data(self) -> dict[str, Any]:
+        """The config components of every request fingerprint."""
+        return {
+            "segments": self.segments,
+            "engines": list(self.engines),
+            "tech": dataclasses.asdict(self.tech),
+            "chaos": (None if self.chaos is None
+                      else self.chaos.to_json_dict()),
+        }
+
+
+def request_fingerprint(request: Request, config: SessionConfig) -> str:
+    """Stable digest of everything that determines a route response.
+
+    Identical fingerprints get identical answers, so this is the
+    coalescing key and the warm-cache key. Request ``id`` and
+    ``deadline`` are deliberately excluded — they change delivery, not
+    the answer.
+    """
+    net = request.net
+    assert net is not None, "fingerprint is only defined for route requests"
+    payload = dict(config.fingerprint_data())
+    payload.update({
+        "algorithm": request.algorithm,
+        "net": {
+            "source": [net.source.x, net.source.y],
+            "sinks": [[s.x, s.y] for s in net.sinks],
+        },
+        "segments_override": request.segments,
+        "inject": request.inject,
+    })
+    return fingerprint(payload)
+
+
+def build_model(config: SessionConfig, request: Request) -> DelayModel:
+    """The request's delay oracle: plain, or the hardened ladder.
+
+    A single in-process engine with no fault injection is returned
+    unwrapped — it is pure, so the candidate evaluators memoize it and
+    identical nets share oracle work across requests. Chaos, an
+    ``inject`` directive, or a multi-rung ladder (including ngspice)
+    switches to :class:`~repro.runtime.ResilientDelayModel`: bounded
+    retries per rung, degradation with provenance between rungs.
+    """
+    segments = (request.segments if request.segments is not None
+                else config.segments)
+    opts = SpiceOptions(segments=segments)
+    chaos = _effective_chaos(config, request)
+    if (len(config.engines) == 1 and config.engines[0] != "ngspice"
+            and chaos is None):
+        base = SpiceOptions(segments=segments, engine=config.engines[0])
+        model: DelayModel = SpiceDelayModel(config.tech, base)
+        model.name = f"spice-{config.engines[0]}"
+        return model
+    ladder = build_engine_ladder(config.tech, opts, config.engines)
+    if chaos is not None:
+        net = request.net
+        salt = net.name if net is not None else ""
+        ladder[0] = ChaosDelayModel(ladder[0], chaos, salt=salt)
+    return ResilientDelayModel(ladder, retry=config.retry)
+
+
+def _effective_chaos(config: SessionConfig,
+                     request: Request) -> ChaosPolicy | None:
+    """The chaos policy in force: config-wide, or a per-request directive."""
+    if config.enable_fault_injection:
+        seed = config.chaos.seed if config.chaos is not None else 0
+        if request.inject == "raise":
+            return ChaosPolicy(seed=seed, raise_rate=1.0)
+        if request.inject == "hang":
+            return ChaosPolicy(seed=seed, hang_rate=1.0)
+        if request.inject == "nan":
+            return ChaosPolicy(seed=seed, nan_rate=1.0)
+    return config.chaos
+
+
+def route_outcome(request: Request, config: SessionConfig,
+                  budget: float | None) -> TrialOutcome:
+    """Route one net under a deadline, returning a structured outcome.
+
+    This is the serial (in-daemon) execution path: it runs on the main
+    thread so ``trial_deadline`` can arm ``SIGALRM``. Nothing escapes —
+    any exception, timeout included, lands as a
+    :class:`~repro.runtime.trial.TrialFailure`.
+    """
+    if (config.enable_fault_injection and request.inject == INJECT_KILL):
+        # In-process execution cannot survive a genuine kill (it would
+        # take the daemon down); the serial path reports the crash the
+        # pool path would observe.
+        return TrialFailure(
+            kind=FAILURE_CRASH, error_type="WorkerCrash",
+            message="injected worker kill (serial mode: simulated crash)")
+    start = time.perf_counter()
+    try:
+        with provenance.collecting() as events:
+            with trial_deadline(budget):
+                result = _route(request, config)
+        return TrialResult.from_routing(
+            result, provenance=tuple(events),
+            elapsed=time.perf_counter() - start)
+    except Exception as exc:
+        return TrialFailure.from_exception(
+            exc, elapsed=time.perf_counter() - start)
+
+
+def run_route_task(frame: Mapping[str, Any],
+                   config: SessionConfig) -> TrialResult:
+    """Pool-worker entry point: route one request frame or raise.
+
+    Module-level (hence picklable); the worker pool converts exceptions
+    and timeouts to structured failures, and an injected worker kill
+    here really does kill the worker process — the daemon observes a
+    ``crash`` outcome and replaces the worker, which is exactly the
+    fault the harness wants to prove survivable.
+    """
+    request = _request_from_task_frame(frame)
+    if config.enable_fault_injection and request.inject == INJECT_KILL:
+        os._exit(42)
+    with provenance.collecting() as events:
+        result = _route(request, config)
+    return TrialResult.from_routing(result, provenance=tuple(events))
+
+
+def task_frame(request: Request) -> dict[str, Any]:
+    """The picklable frame ``run_route_task`` rebuilds a request from."""
+    net = request.net
+    assert net is not None
+    return {
+        "id": request.id,
+        "algorithm": request.algorithm,
+        "segments": request.segments,
+        "inject": request.inject,
+        "net": {"name": net.name,
+                "source": [net.source.x, net.source.y],
+                "sinks": [[s.x, s.y] for s in net.sinks]},
+    }
+
+
+def _request_from_task_frame(frame: Mapping[str, Any]) -> Request:
+    net_data = frame["net"]
+    net = Net(source=_point(net_data["source"]),
+              sinks=tuple(_point(s) for s in net_data["sinks"]),
+              name=str(net_data.get("name", "net")))
+    segments = frame.get("segments")
+    return Request(op="route", id=frame.get("id"), net=net,
+                   algorithm=str(frame["algorithm"]),
+                   segments=None if segments is None else int(segments),
+                   inject=frame.get("inject"))
+
+
+def _point(raw: Any) -> Point:
+    return Point(float(raw[0]), float(raw[1]))
+
+
+def _route(request: Request, config: SessionConfig) -> RoutingResult:
+    net = request.net
+    if net is None:
+        raise ProtocolError("route request carries no net")
+    try:
+        algorithm = ALGORITHMS[request.algorithm]
+    except KeyError:
+        raise ProtocolError(
+            f"unknown algorithm {request.algorithm!r}; expected one of "
+            f"{', '.join(sorted(ALGORITHMS))}",
+            frame_id=request.id) from None
+    model = build_model(config, request)
+    return algorithm(net, config.tech, model)
+
+
+@boundary(raises=())
+def execute_request(request: Request, config: SessionConfig,
+                    cache: ResultCache | None = None,
+                    budget: float | None = None) -> dict[str, Any]:
+    """The full serial path: cache lookup → route → cache fill → frame.
+
+    A *total* boundary: every failure mode becomes a structured error
+    frame, nothing raises. ``budget`` is the remaining wall-clock budget
+    (queue wait already subtracted); ``None`` means the config default.
+    """
+    if budget is None:
+        budget = config.deadline_for(request)
+    fp = request_fingerprint(request, config)
+    if cache is not None:
+        warm = cache.lookup_cached(fp)
+        if warm is not None:
+            return ok_response(request.id, "route",
+                               dict(warm, fingerprint=fp, cached=True))
+    outcome = route_outcome(request, config, budget)
+    return outcome_to_response(request, fp, outcome, cache=cache)
+
+
+def outcome_to_response(request: Request, fp: str, outcome: TrialOutcome,
+                        cache: ResultCache | None = None,
+                        coalesced: bool = False) -> dict[str, Any]:
+    """Project a trial outcome onto the wire, filling the warm cache.
+
+    Only clean (non-degraded) successes are cached: a degraded number is
+    correct *for that moment's* engine availability and must not be
+    replayed after the engine of record recovers.
+    """
+    if isinstance(outcome, TrialResult):
+        body = {
+            "fingerprint": fp,
+            "cached": False,
+            "coalesced": coalesced,
+            "degraded": outcome.degraded,
+            "engine": outcome.model,
+            "elapsed": outcome.elapsed,
+            "result": {
+                "algorithm": outcome.algorithm,
+                "delay": outcome.delay,
+                "cost": outcome.cost,
+                "base_delay": outcome.base_delay,
+                "base_cost": outcome.base_cost,
+                "delay_ratio": outcome.delay_ratio,
+                "cost_ratio": outcome.cost_ratio,
+                "improved": outcome.improved,
+                "num_added_edges": outcome.num_added_edges,
+            },
+            "provenance": [e.to_json_dict() for e in outcome.provenance],
+        }
+        if cache is not None and not outcome.degraded:
+            cacheable = dict(body)
+            cacheable.pop("coalesced")
+            try:
+                cache.store(fp, cacheable)
+            except OSError:  # repro: allow=contracts-broad-catch-swallow — a full disk must degrade the cache, not fail the request that already computed successfully
+                pass
+        return ok_response(request.id, "route", body)
+    kind = _FAILURE_TO_ERROR.get(outcome.kind, ERROR_EXCEPTION)
+    return error_response(
+        request.id, kind, outcome.error_type, outcome.message,
+        extra={"fingerprint": fp, "coalesced": coalesced,
+               "elapsed": outcome.elapsed,
+               "provenance": [e.to_json_dict()
+                              for e in outcome.provenance]})

@@ -1,0 +1,80 @@
+"""The fingerprint-keyed warm-result cache behind the routing service."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.runtime import ResultCache
+
+
+PAYLOAD = {"result": {"delay": 1.5e-9, "cost": 1200.0}, "engine": "spice"}
+
+
+class TestMemoryTier:
+    def test_miss_then_hit(self):
+        cache = ResultCache()
+        assert cache.lookup_cached("abc") is None
+        cache.store("abc", PAYLOAD)
+        assert cache.lookup_cached("abc") == PAYLOAD
+        assert (cache.hits, cache.misses) == (1, 1)
+
+    def test_returns_copies(self):
+        cache = ResultCache()
+        cache.store("abc", PAYLOAD)
+        first = cache.lookup_cached("abc")
+        first["mutated"] = True
+        assert "mutated" not in cache.lookup_cached("abc")
+
+    def test_capacity_bounds_memory(self):
+        cache = ResultCache(capacity=3)
+        for i in range(10):
+            cache.store(f"fp{i}", {"i": i})
+        assert len(cache) == 3
+        assert cache.lookup_cached("fp0") is None  # evicted (LRU)
+        assert cache.lookup_cached("fp9") == {"i": 9}
+
+    def test_lru_eviction_order(self):
+        cache = ResultCache(capacity=2)
+        cache.store("a", {"v": 1})
+        cache.store("b", {"v": 2})
+        cache.lookup_cached("a")       # refresh a
+        cache.store("c", {"v": 3})     # evicts b, not a
+        assert cache.lookup_cached("a") == {"v": 1}
+        assert cache.lookup_cached("b") is None
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            ResultCache(capacity=0)
+
+
+class TestDiskTier:
+    def test_survives_new_instance(self, tmp_path):
+        ResultCache(tmp_path).store("abc", PAYLOAD)
+        fresh = ResultCache(tmp_path)
+        assert fresh.lookup_cached("abc") == PAYLOAD
+        assert fresh.hits == 1
+
+    def test_disk_record_is_versioned_json(self, tmp_path):
+        ResultCache(tmp_path).store("abc", PAYLOAD)
+        record = json.loads((tmp_path / "result_abc.json").read_text())
+        assert record["fingerprint"] == "abc"
+        assert record["payload"] == PAYLOAD
+        assert "version" in record
+
+    def test_corrupt_record_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        (tmp_path / "result_bad.json").write_text("{not json")
+        assert cache.lookup_cached("bad") is None
+
+    def test_wrong_fingerprint_record_is_a_miss(self, tmp_path):
+        ResultCache(tmp_path).store("abc", PAYLOAD)
+        (tmp_path / "result_xyz.json").write_text(
+            (tmp_path / "result_abc.json").read_text())
+        assert ResultCache(tmp_path).lookup_cached("xyz") is None
+
+    def test_memory_only_mode_writes_nothing(self, tmp_path):
+        cache = ResultCache()
+        cache.store("abc", PAYLOAD)
+        assert list(tmp_path.iterdir()) == []

@@ -1,0 +1,78 @@
+"""Backoff sequences under sustained transient failure.
+
+``test_retry`` covers the policy knobs in isolation; this file pins the
+*observed* sleep sequence when ``call_with_retries`` is driven through
+repeated transient faults — the service's retry behavior under a flaky
+oracle, reproduced with an injected sleep so no test ever waits.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runtime import RetryPolicy, RetryExhausted, call_with_retries
+from repro.runtime.errors import FaultInjected
+
+
+def observed_sleeps(policy):
+    """The sleeps a never-succeeding call actually performs."""
+    sleeps = []
+
+    def flaky():
+        raise FaultInjected("scripted transient fault")
+
+    with pytest.raises(RetryExhausted):
+        call_with_retries(flaky, policy, (FaultInjected,),
+                          sleep=sleeps.append)
+    return sleeps
+
+
+class TestObservedSequence:
+    def test_matches_declared_backoff(self):
+        policy = RetryPolicy(max_attempts=5, base_delay=0.05, seed=11)
+        assert observed_sleeps(policy) == list(policy.backoff_delays())
+
+    def test_seeded_determinism_across_runs(self):
+        policy = RetryPolicy(max_attempts=6, seed=42)
+        assert observed_sleeps(policy) == observed_sleeps(policy)
+
+    def test_different_seeds_differ(self):
+        a = observed_sleeps(RetryPolicy(max_attempts=6, seed=1))
+        b = observed_sleeps(RetryPolicy(max_attempts=6, seed=2))
+        assert a != b
+
+    def test_zero_jitter_is_exact_geometric(self):
+        policy = RetryPolicy(max_attempts=5, base_delay=0.1,
+                             multiplier=2.0, max_delay=100.0, jitter=0.0)
+        assert observed_sleeps(policy) == [0.1, 0.2, 0.4, 0.8]
+
+
+class TestJitterBounds:
+    def test_every_sleep_within_jitter_envelope(self):
+        policy = RetryPolicy(max_attempts=10, base_delay=0.01,
+                             multiplier=1.5, max_delay=1e9, jitter=0.5,
+                             seed=7)
+        base = 0.01
+        for sleep in observed_sleeps(policy):
+            assert base <= sleep < base * 1.5
+            base *= 1.5
+
+    def test_jitter_never_negative(self):
+        policy = RetryPolicy(max_attempts=8, jitter=0.9, seed=3)
+        assert all(s >= 0 for s in observed_sleeps(policy))
+
+
+class TestCeiling:
+    def test_ceiling_holds_under_many_faults(self):
+        policy = RetryPolicy(max_attempts=20, base_delay=0.05,
+                             multiplier=3.0, max_delay=0.4, seed=5)
+        sleeps = observed_sleeps(policy)
+        assert len(sleeps) == 19
+        assert all(s <= 0.4 for s in sleeps)
+        # the tail saturates at the cap exactly (jitter is capped too)
+        assert sleeps[-1] == 0.4
+
+    def test_total_backoff_is_bounded(self):
+        policy = RetryPolicy(max_attempts=50, base_delay=0.1,
+                             multiplier=2.0, max_delay=0.25, seed=9)
+        assert sum(observed_sleeps(policy)) <= 49 * 0.25

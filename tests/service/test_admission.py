@@ -1,0 +1,113 @@
+"""Bounded admission: FIFO under capacity, typed shed beyond it."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.service import (
+    AdmissionQueue,
+    ServiceDraining,
+    ServiceOverload,
+)
+
+
+class TestOfferTake:
+    def test_fifo_order(self):
+        queue = AdmissionQueue(capacity=4)
+        for item in "abcd":
+            queue.offer(item)
+        assert [queue.take(timeout=0) for _ in range(4)] == list("abcd")
+
+    def test_take_times_out_empty(self):
+        assert AdmissionQueue(capacity=1).take(timeout=0.01) is None
+
+    def test_take_wakes_on_offer(self):
+        queue = AdmissionQueue(capacity=1)
+        got = []
+
+        def taker():
+            got.append(queue.take(timeout=5.0))
+
+        thread = threading.Thread(target=taker)
+        thread.start()
+        queue.offer("x")
+        thread.join(timeout=5.0)
+        assert got == ["x"]
+
+
+class TestOverload:
+    def test_shed_beyond_capacity(self):
+        queue = AdmissionQueue(capacity=2)
+        queue.offer("a")
+        queue.offer("b")
+        with pytest.raises(ServiceOverload) as info:
+            queue.offer("c")
+        assert info.value.capacity == 2
+        assert info.value.shed_total == 1
+
+    def test_capacity_frees_after_take(self):
+        queue = AdmissionQueue(capacity=1)
+        queue.offer("a")
+        queue.take(timeout=0)
+        queue.offer("b")  # no raise
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            AdmissionQueue(capacity=0)
+
+
+class TestDraining:
+    def test_close_rejects_new_offers(self):
+        queue = AdmissionQueue(capacity=4)
+        queue.offer("a")
+        queue.close()
+        with pytest.raises(ServiceDraining):
+            queue.offer("b")
+        assert queue.closed
+
+    def test_backlog_still_served_after_close(self):
+        queue = AdmissionQueue(capacity=4)
+        queue.offer("a")
+        queue.close()
+        assert queue.take(timeout=0) == "a"
+        assert queue.take(timeout=0) is None  # closed + empty
+
+    def test_close_wakes_blocked_takers(self):
+        queue = AdmissionQueue(capacity=1)
+        got = []
+
+        def taker():
+            got.append(queue.take(timeout=10.0))
+
+        thread = threading.Thread(target=taker)
+        thread.start()
+        queue.close()
+        thread.join(timeout=5.0)
+        assert not thread.is_alive()
+        assert got == [None]
+
+    def test_drain_backlog_empties_queue(self):
+        queue = AdmissionQueue(capacity=4)
+        for item in "abc":
+            queue.offer(item)
+        assert queue.drain_backlog() == list("abc")
+        assert len(queue) == 0
+
+
+class TestStats:
+    def test_counters(self):
+        queue = AdmissionQueue(capacity=2)
+        queue.offer("a")
+        queue.offer("b")
+        with pytest.raises(ServiceOverload):
+            queue.offer("c")
+        queue.take(timeout=0)
+        queue.close()
+        with pytest.raises(ServiceDraining):
+            queue.offer("d")
+        stats = queue.stats.to_json_dict()
+        assert stats == {"admitted": 2, "shed": 1,
+                         "rejected_draining": 1, "served": 1,
+                         "depth_high_water": 2}

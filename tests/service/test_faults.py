@@ -1,0 +1,93 @@
+"""The deterministic service-fault stream."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.geometry.random_nets import random_net
+from repro.service import ServiceFaultPlan, build_fault_stream
+from repro.service.session import INJECT_KILL
+
+
+def nets(n, pins=3):
+    return [random_net(pins, seed=100 + i) for i in range(n)]
+
+
+class TestPlanValidation:
+    def test_rates_must_be_fractions(self):
+        with pytest.raises(ValueError):
+            ServiceFaultPlan(kill_rate=1.5)
+        with pytest.raises(ValueError):
+            ServiceFaultPlan(malformed_rate=-0.1)
+
+    def test_rates_must_sum_to_at_most_one(self):
+        with pytest.raises(ValueError, match="sum"):
+            ServiceFaultPlan(kill_rate=0.5, malformed_rate=0.6)
+
+    def test_fault_rate_totals(self):
+        plan = ServiceFaultPlan(kill_rate=0.1, storm_rate=0.2)
+        assert plan.fault_rate == pytest.approx(0.3)
+
+
+class TestStream:
+    def test_deterministic(self):
+        plan = ServiceFaultPlan(seed=7, kill_rate=0.05,
+                                malformed_rate=0.05, storm_rate=0.05,
+                                chaos_rate=0.05)
+        batch = nets(50)
+        assert (build_fault_stream(plan, batch)
+                == build_fault_stream(plan, batch))
+
+    def test_seed_changes_stream(self):
+        batch = nets(50)
+        plan = ServiceFaultPlan(seed=1, malformed_rate=0.3)
+        other = ServiceFaultPlan(seed=2, malformed_rate=0.3)
+        assert (build_fault_stream(plan, batch)
+                != build_fault_stream(other, batch))
+
+    def test_no_faults_means_clean_frames(self):
+        lines = build_fault_stream(ServiceFaultPlan(), nets(10),
+                                   algorithm="h1", deadline=5.0)
+        assert len(lines) == 10
+        for line in lines:
+            frame = json.loads(line)
+            assert frame["op"] == "route"
+            assert frame["algorithm"] == "h1"
+            assert frame["deadline"] == 5.0
+            assert "inject" not in frame
+
+    def test_fault_mix_lands_roughly_at_rates(self):
+        plan = ServiceFaultPlan(seed=3, kill_rate=0.1, malformed_rate=0.1,
+                                storm_rate=0.1, chaos_rate=0.1)
+        lines = build_fault_stream(plan, nets(300))
+        kills = storms = chaos = malformed = 0
+        for line in lines:
+            try:
+                frame = json.loads(line)
+            except ValueError:
+                malformed += 1
+                continue
+            if not isinstance(frame, dict) or "net" not in frame:
+                malformed += 1
+            elif frame.get("inject") == INJECT_KILL:
+                kills += 1
+            elif frame.get("inject") in ("raise", "nan"):
+                chaos += 1
+            elif frame.get("deadline") == plan.storm_deadline:
+                storms += 1
+        for count in (kills, malformed, storms, chaos):
+            assert 10 <= count <= 60  # ~30 expected of 300
+
+    def test_duplicates_reuse_frame_with_fresh_id(self):
+        lines = build_fault_stream(ServiceFaultPlan(), nets(6),
+                                   duplicate_every=2)
+        frames = [json.loads(line) for line in lines]
+        assert len(frames) == 9  # 6 originals + 3 duplicates
+        dups = [f for f in frames if str(f["id"]).endswith("-dup")]
+        assert len(dups) == 3
+        by_id = {f["id"]: f for f in frames}
+        for dup in dups:
+            original = by_id[str(dup["id"]).removesuffix("-dup")]
+            assert dup["net"] == original["net"]

@@ -1,0 +1,121 @@
+"""Wire-protocol parsing: every malformed frame is a typed rejection."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.service import ProtocolError, parse_frame
+from repro.service.faults import MALFORMED_FRAMES
+from repro.service.protocol import (
+    MAX_FRAME_BYTES,
+    MAX_PINS,
+    encode_frame,
+    error_response,
+    ok_response,
+)
+
+
+def route_frame(**overrides):
+    frame = {"op": "route", "id": "r1",
+             "net": {"source": [0, 0], "sinks": [[100, 200], [300, 50]]}}
+    frame.update(overrides)
+    return json.dumps(frame)
+
+
+class TestParseValid:
+    def test_minimal_route(self):
+        request = parse_frame(route_frame())
+        assert request.op == "route"
+        assert request.id == "r1"
+        assert request.net is not None
+        assert request.net.num_sinks == 2
+        assert request.algorithm == "ldrg"
+        assert request.deadline is None
+
+    def test_full_route(self):
+        request = parse_frame(route_frame(
+            algorithm="sert", deadline=2.5, segments=3, inject="raise",
+            net={"name": "clk", "source": [1.5, 2.5],
+                 "sinks": [[10, 20]]}))
+        assert request.algorithm == "sert"
+        assert request.deadline == 2.5
+        assert request.segments == 3
+        assert request.inject == "raise"
+        assert request.net.name == "clk"
+
+    def test_ping_and_stats(self):
+        assert parse_frame('{"op": "ping"}').op == "ping"
+        request = parse_frame('{"op": "stats", "id": 7}')
+        assert (request.op, request.id) == ("stats", 7)
+
+    def test_integer_id_allowed(self):
+        assert parse_frame(route_frame(id=12)).id == 12
+
+
+class TestParseRejects:
+    @pytest.mark.parametrize("line", MALFORMED_FRAMES)
+    def test_malformed_corpus(self, line):
+        with pytest.raises(ProtocolError):
+            parse_frame(line)
+
+    def test_oversized_frame(self):
+        padding = "x" * MAX_FRAME_BYTES
+        with pytest.raises(ProtocolError, match="exceeds"):
+            parse_frame(route_frame(padding=padding))
+
+    def test_too_many_pins(self):
+        sinks = [[i, i + 0.5] for i in range(MAX_PINS)]
+        with pytest.raises(ProtocolError, match="pins"):
+            parse_frame(route_frame(net={"source": [0, 0], "sinks": sinks}))
+
+    def test_nonfinite_coordinates(self):
+        # json.loads accepts Infinity/NaN; the protocol must not
+        with pytest.raises(ProtocolError, match="finite"):
+            parse_frame('{"op": "route", "net": {"source": [0, 0], '
+                        '"sinks": [[Infinity, 1]]}}')
+        with pytest.raises(ProtocolError, match="finite"):
+            parse_frame(route_frame(net={"source": [0, 0],
+                                         "sinks": [[float("nan"), 1]]}))
+
+    def test_bool_is_not_a_number(self):
+        with pytest.raises(ProtocolError):
+            parse_frame(route_frame(deadline=True))
+        with pytest.raises(ProtocolError):
+            parse_frame(route_frame(segments=True))
+
+    def test_segments_out_of_range(self):
+        with pytest.raises(ProtocolError, match="1, 32"):
+            parse_frame(route_frame(segments=0))
+        with pytest.raises(ProtocolError, match="1, 32"):
+            parse_frame(route_frame(segments=33))
+
+    def test_error_carries_frame_id_when_recoverable(self):
+        try:
+            parse_frame(route_frame(id="keepme", deadline=-1))
+        except ProtocolError as exc:
+            assert exc.frame_id == "keepme"
+        else:  # pragma: no cover
+            pytest.fail("expected ProtocolError")
+
+
+class TestResponses:
+    def test_ok_shape(self):
+        frame = ok_response("r1", "route", {"cached": False})
+        assert frame == {"id": "r1", "status": "ok", "op": "route",
+                        "cached": False}
+
+    def test_error_shape(self):
+        frame = error_response("r1", "timeout", "TrialTimeout", "late",
+                               extra={"elapsed": 1.25})
+        assert frame["status"] == "error"
+        assert frame["error"] == {"kind": "timeout",
+                                  "error_type": "TrialTimeout",
+                                  "message": "late"}
+        assert frame["elapsed"] == 1.25
+
+    def test_encode_is_single_sorted_line(self):
+        line = encode_frame({"b": 1, "a": {"z": [1, 2]}})
+        assert "\n" not in line
+        assert line == '{"a":{"z":[1,2]},"b":1}'

@@ -1,0 +1,112 @@
+"""Performance benchmark: fleet-batched vs sequential greedy routing.
+
+ISSUE 8's tentpole claim is quantitative: a 50-net table generation run
+as one :func:`~repro.delay.multinet.route_fleet` pipeline must be at
+least 3× faster end-to-end than routing the same 50 nets one at a time
+through the sequential incremental engine — while choosing the
+*identical* edges on every member. This module sweeps the fleet size
+(1, 8, 32, 50) and writes the curve to
+``benchmarks/results/BENCH_multinet.json``.
+
+The smoke half (``-k smoke``) is a fast fleet-of-8 agreement check for
+CI: no timing assertions, just fleet-vs-sequential equivalence through
+the full greedy loop.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import pytest
+
+from repro.core.ldrg import ldrg
+from repro.delay.multinet import route_fleet
+from repro.delay.parameters import Technology
+from repro.geometry.net import Net
+
+BENCH_SEED = 1994
+BENCH_PINS = 10
+FLEET_SIZES = (1, 8, 32, 50)
+REPEATS = 3
+RELATIVE_TOLERANCE = 1e-9
+#: The tentpole acceptance floor at fleet size 50.
+REQUIRED_SPEEDUP = 3.0
+
+TECH = Technology.cmos08()
+
+
+def _nets(count):
+    return [Net.random(BENCH_PINS, seed=BENCH_SEED + i, name=f"fleet{i}")
+            for i in range(count)]
+
+
+def _best_time(fn):
+    """Best-of-N wall time — the standard noise-resistant estimate."""
+    best = float("inf")
+    result = None
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def _sequential(nets):
+    return [ldrg(net, TECH, delay_model="elmore",
+                 candidate_evaluator="incremental") for net in nets]
+
+
+def test_multinet_smoke():
+    """Fleet of 8: identical chosen edges, delays ≤ 1e-9 relative."""
+    nets = _nets(8)
+    sequential = _sequential(nets)
+    fleet = route_fleet(nets, TECH)
+    for seq, bat in zip(sequential, fleet):
+        assert sorted(seq.graph.edges()) == sorted(bat.graph.edges())
+        assert ([r.edge for r in seq.history]
+                == [r.edge for r in bat.history])
+        for sink, want in seq.delays.items():
+            assert bat.delays[sink] == pytest.approx(
+                want, rel=RELATIVE_TOLERANCE)
+
+
+def test_perf_multinet(results_dir):
+    """Fleet-size sweep; ≥ 3× at 50 with identical edge choices."""
+    sweep = []
+    for size in FLEET_SIZES:
+        nets = _nets(size)
+        seq_time, seq_results = _best_time(lambda n=nets: _sequential(n))
+        fleet_time, fleet_results = _best_time(
+            lambda n=nets: route_fleet(n, TECH))
+        identical = all(
+            sorted(s.graph.edges()) == sorted(f.graph.edges())
+            for s, f in zip(seq_results, fleet_results))
+        assert identical, f"edge choices diverged at fleet size {size}"
+        sweep.append({
+            "fleet_size": size,
+            "sequential_seconds": seq_time,
+            "fleet_seconds": fleet_time,
+            "speedup": seq_time / fleet_time,
+            "identical_chosen_edges": identical,
+            "added_edges": sum(r.num_added_edges for r in fleet_results),
+        })
+    record = {
+        "benchmark": "multinet",
+        "pins": BENCH_PINS,
+        "seed": BENCH_SEED,
+        "oracle": "elmore",
+        "algorithm": "ldrg",
+        "repeats": REPEATS,
+        "required_speedup_at_50": REQUIRED_SPEEDUP,
+        "sweep": sweep,
+    }
+    path = results_dir / "BENCH_multinet.json"
+    path.write_text(json.dumps(record, indent=2) + "\n", encoding="utf-8")
+    curve = ", ".join(f"{e['fleet_size']}: {e['speedup']:.2f}x"
+                      for e in sweep)
+    print(f"\nfleet speedup by size — {curve} [saved to {path}]")
+
+    at_50 = sweep[-1]
+    assert at_50["fleet_size"] == 50
+    assert at_50["speedup"] >= REQUIRED_SPEEDUP

@@ -81,6 +81,7 @@ class DataflowOptions:
         "repro.delay.rc_builder",
         "repro.delay.elmore_graph",
         "repro.delay.incremental",
+        "repro.delay.multinet",
     )
     #: Parameter names under which routing graphs flow into eval code.
     graph_params: tuple[str, ...] = ("graph",)

@@ -159,6 +159,15 @@ def build_parser() -> argparse.ArgumentParser:
                             "shadow re-scores that fraction of fast-path "
                             "candidate batches against the naive oracle "
                             "(see docs/robustness.md)")
+    table.add_argument("--multinet", action="store_true",
+                       help="batch each row's 50 nets through the "
+                            "fleet-scale graph-Elmore backend (tables "
+                            "2/3/7; an ineligible table falls back to "
+                            "the sequential driver with a recorded "
+                            "provenance event — see docs/performance.md)")
+    table.add_argument("--backend", type=str, default="auto",
+                       choices=("auto", "numpy", "cupy"),
+                       help="array backend of the --multinet path")
 
     serve = sub.add_parser(
         "serve", help="run the routing daemon (JSON-lines protocol; see "
@@ -206,6 +215,11 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--fault-injection", action="store_true",
                        help="honor per-request 'inject' directives "
                             "(fault-matrix tests only; never production)")
+    serve.add_argument("--multinet", action="store_true",
+                       help="batch eligible ldrg/sldrg requests through "
+                            "the stacked graph-Elmore fleet backend "
+                            "(changes the oracle for those requests; "
+                            "part of the request fingerprint)")
 
     figure = sub.add_parser("figure", help="regenerate a paper figure")
     figure.add_argument("number", type=int, choices=(1, 2, 3, 5))
@@ -402,6 +416,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             default_deadline=args.deadline,
             max_deadline=args.max_deadline,
             enable_fault_injection=args.fault_injection,
+            multinet=args.multinet,
         )
         config = ServiceConfig(
             session=session,
@@ -477,11 +492,45 @@ def _cmd_table(args: argparse.Namespace) -> int:
         print(table1())
         return 0
     try:
+        if args.multinet:
+            return _cmd_table_multinet(args)
         table = run_table(args.number, _table_config(args),
                           _table_runtime(args))
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    print(table.render())
+    return 0
+
+
+def _cmd_table_multinet(args: argparse.Namespace) -> int:
+    """``table --multinet``: fleet-batch each row when the table allows.
+
+    The fleet path runs in-process (its parallelism is the stacked
+    linear algebra, not worker processes), so the journaling/worker
+    runtime flags are rejected rather than silently ignored.
+    """
+    from repro.experiments.fleet import run_table_multinet
+
+    if _table_runtime(args) is not None:
+        raise ConfigError(
+            "--multinet rows run as one in-process batched pipeline; it "
+            "cannot be combined with --workers/--run-dir/--resume/"
+            "--trial-timeout/--chaos (drop --multinet to use the "
+            "journaling runtime)")
+    try:
+        table, batched = run_table_multinet(args.number,
+                                            _table_config(args),
+                                            backend=args.backend)
+    except RuntimeError as exc:
+        # resolve_backend raises RuntimeError for an unavailable
+        # accelerator backend (e.g. --backend cupy without CuPy); map it
+        # to the CLI's documented configuration exit code.
+        raise ConfigError(str(exc)) from exc
+    if not batched:
+        print(f"note: table {args.number} has no fleet-batched form; "
+              f"the sequential driver served this run (recorded as a "
+              f"fallback provenance event)", file=sys.stderr)
     print(table.render())
     return 0
 

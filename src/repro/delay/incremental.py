@@ -63,6 +63,7 @@ from repro.delay.parameters import Technology
 from repro.delay.rc_builder import EdgeWidths, build_reduced_rc, edge_width
 from repro.graph.routing_graph import RoutingGraph
 from repro.guard.audit import ShadowAuditedEvaluator
+from repro.guard.incidents import KIND_FALLBACK, record_event
 from repro.guard.numerics import GuardedFactorization
 from repro.guard.policy import active_guard
 
@@ -188,11 +189,17 @@ def memoize_model(model: DelayModel,
 
     Non-cacheable oracles (subprocess-backed ngspice, the resilient
     ladder with its provenance side effects) and already-memoized models
-    pass through unchanged.
+    pass through unchanged — and the non-cacheable pass-through records
+    a fallback provenance event, so a batch silently running without the
+    memo shows up in journals instead of just running slower.
     """
     if isinstance(model, MemoizedDelayModel):
         return model
     if not getattr(model, "cacheable", True):
+        record_event(
+            KIND_FALLBACK, source=model.name, target="uncached",
+            detail=f"oracle {model.name!r} is not cacheable; evaluations "
+                   f"bypass the delay memo")
         return model
     return MemoizedDelayModel(model, memo=memo)
 
@@ -442,7 +449,7 @@ class ParallelCandidateEvaluator:
 
 
 #: Evaluator modes accepted by :func:`get_candidate_evaluator`.
-EVALUATOR_MODES = ("auto", "incremental", "naive", "parallel")
+EVALUATOR_MODES = ("auto", "incremental", "naive", "parallel", "multinet")
 
 
 def get_candidate_evaluator(model: DelayModel,
@@ -455,9 +462,13 @@ def get_candidate_evaluator(model: DelayModel,
 
     ``"auto"`` picks the incremental engine whenever the search oracle is
     the graph-Elmore model (where it is exact to floating-point noise)
-    and the naive reference path otherwise. ``"parallel"`` fans the naive
-    path out over ``workers`` pool processes — opt-in, for SPICE-class
-    oracles. Memoized wrappers are looked through when deciding.
+    and the naive reference path otherwise — recording a fallback
+    provenance event when it does, so degraded evaluation is visible in
+    journals. ``"parallel"`` fans the naive path out over ``workers``
+    pool processes — opt-in, for SPICE-class oracles. ``"multinet"``
+    returns the stacked fleet engine of :mod:`repro.delay.multinet`
+    (Elmore only), which also scores whole fleets of nets at once.
+    Memoized wrappers are looked through when deciding.
 
     When the active :class:`~repro.guard.policy.GuardPolicy` enables
     shadow auditing, the incremental engine is wrapped in a
@@ -467,7 +478,36 @@ def get_candidate_evaluator(model: DelayModel,
     """
     inner = model.inner if isinstance(model, MemoizedDelayModel) else model
     if mode == "auto":
-        mode = "incremental" if isinstance(inner, ElmoreGraphModel) else "naive"
+        if isinstance(inner, ElmoreGraphModel):
+            mode = "incremental"
+        else:
+            # The silent part of this fallback was the bug: callers asking
+            # for "auto" with a non-Elmore oracle got per-candidate naive
+            # re-evaluation with nothing in the journal saying so.
+            record_event(
+                KIND_FALLBACK, source=inner.name, target="naive",
+                detail=f"oracle {inner.name!r} has no incremental form; "
+                       f"auto candidate evaluation fell back to naive "
+                       f"per-candidate re-evaluation")
+            mode = "naive"
+    if mode == "multinet":
+        # Imported lazily: repro.delay.multinet imports this module for the
+        # memo and naive reference, so a top-level import would be a cycle.
+        from repro.delay.multinet import FleetEvaluator
+
+        if not isinstance(inner, ElmoreGraphModel):
+            raise ValueError(
+                f"multinet candidate evaluation requires the graph-Elmore "
+                f"oracle (the stacked fleet factorization is its closed "
+                f"form); got {inner!r} — use mode='naive' or 'parallel' "
+                f"for other oracles")
+        fleet = FleetEvaluator(inner.tech, weights=weights)
+        policy = active_guard()
+        if policy.audit_enabled:
+            return ShadowAuditedEvaluator(
+                fleet, NaiveCandidateEvaluator(model, weights=weights),
+                policy, source="multinet-elmore")
+        return fleet
     if mode == "incremental":
         if not isinstance(inner, ElmoreGraphModel):
             raise ValueError(

@@ -1,0 +1,69 @@
+"""The pluggable array-namespace boundary for batched evaluation.
+
+The multi-net backend (:mod:`repro.delay.multinet`) is written against a
+module-level handle ``xp`` instead of importing ``numpy`` directly, the
+same seam CuPy, JAX, and the array-API ecosystem standardized on: every
+operation it needs (``stack``, ``linalg.cholesky``, ``linalg.solve``,
+``matmul``, fancy indexing, reductions) has identical semantics across
+conforming namespaces, so pointing ``xp`` at CuPy runs the identical
+code on a GPU with device arrays end to end.
+
+CuPy is strictly optional — nothing here imports it unless a caller
+asks for the ``"cupy"`` backend, and asking on a machine without it
+raises a clear error instead of an import crash at module load.
+:func:`asnumpy` is the single exit point back to host memory, so result
+handling stays backend-agnostic too.
+"""
+
+from __future__ import annotations
+
+from types import ModuleType
+from typing import Any
+
+import numpy
+
+#: Backend specs accepted by :func:`resolve_backend`.
+BACKENDS = ("auto", "numpy", "cupy")
+
+
+def resolve_backend(spec: str = "auto") -> ModuleType:
+    """Resolve a backend spec to its array namespace module.
+
+    ``"numpy"`` is the default and always available. ``"cupy"`` imports
+    CuPy lazily and raises :class:`RuntimeError` when it is not
+    installed. ``"auto"`` currently means numpy — GPU execution is
+    opt-in, never a silent behavior change on machines that happen to
+    have CuPy.
+    """
+    if spec in ("auto", "numpy"):
+        return numpy
+    if spec == "cupy":
+        try:
+            import cupy  # noqa: F401 — optional accelerator backend
+        except ImportError as exc:
+            raise RuntimeError(
+                "the 'cupy' array backend was requested but CuPy is not "
+                "installed; install cupy matching the local CUDA toolkit "
+                "or use backend='numpy'") from exc
+        return cupy
+    raise ValueError(
+        f"unknown array backend {spec!r}; expected one of {BACKENDS}")
+
+
+def backend_name(xp: ModuleType) -> str:
+    """Short display name of an array namespace ("numpy", "cupy")."""
+    return str(getattr(xp, "__name__", repr(xp))).split(".")[0]
+
+
+def asnumpy(xp: ModuleType, array: Any) -> numpy.ndarray:
+    """Materialize ``array`` as a host-memory numpy array.
+
+    On the numpy backend this is a no-copy ``asarray``; on CuPy it is
+    the device→host transfer. All result extraction in the multi-net
+    backend funnels through here, so the scoring code never needs to
+    know which memory space it computed in.
+    """
+    converter = getattr(xp, "asnumpy", None)
+    if converter is not None:
+        return numpy.asarray(converter(array))
+    return numpy.asarray(array)

@@ -39,10 +39,16 @@ from repro.experiments.figures import (
     figure5,
     run_figure,
 )
+from repro.experiments.fleet import (
+    FLEET_TABLES,
+    run_fleet_table,
+    run_table_multinet,
+)
 
 __all__ = [
     "ExperimentConfig",
     "FIGURE_DRIVERS",
+    "FLEET_TABLES",
     "FigureReport",
     "PAPER_SIZES",
     "PAPER_TRIALS",
@@ -60,8 +66,10 @@ __all__ = [
     "iteration_ratios",
     "iteration_sweep",
     "run_figure",
+    "run_fleet_table",
     "run_size_sweep",
     "run_table",
+    "run_table_multinet",
     "table1",
     "table2",
     "table3",

@@ -30,6 +30,13 @@ KIND_AUDIT = "audit"
 KIND_DIVERGE = "diverge"
 KIND_QUARANTINE = "quarantine"
 KIND_INCIDENT = "numerical-incident"
+#: A fast/batched/cached path was silently unavailable and a slower or
+#: less-instrumented one served the call instead. Recording it makes
+#: degraded batching visible in journals instead of a silent per-call
+#: detour (the memo passing through a non-cacheable oracle, auto
+#: candidate evaluation dropping to naive, a fleet batch splitting back
+#: into per-net routings).
+KIND_FALLBACK = "fallback"
 
 
 class GuardError(Exception):

@@ -52,7 +52,9 @@ from repro.service.session import (
     ALGORITHMS,
     SessionConfig,
     execute_request,
+    multinet_eligible,
     request_fingerprint,
+    route_fleet_outcomes,
 )
 
 __all__ = [
@@ -73,7 +75,9 @@ __all__ = [
     "encode_frame",
     "error_response",
     "execute_request",
+    "multinet_eligible",
     "ok_response",
     "parse_frame",
     "request_fingerprint",
+    "route_fleet_outcomes",
 ]

@@ -75,8 +75,10 @@ from repro.service.protocol import (
 )
 from repro.service.session import (
     SessionConfig,
+    multinet_eligible,
     outcome_to_response,
     request_fingerprint,
+    route_fleet_outcomes,
     route_outcome,
     run_route_task,
     task_frame,
@@ -339,8 +341,15 @@ class RoutingDaemon:
         remaining = item.remaining()
         if remaining <= 0:
             return self._expired(item)
-        outcome = route_outcome(item.request, self.config.session,
-                                remaining)
+        if multinet_eligible(item.request, self.config.session):
+            # Fleet-of-one keeps serial answers on the same oracle (and
+            # hence the same fingerprint → answer mapping) as pooled
+            # batches of the same daemon config.
+            outcome = route_fleet_outcomes(
+                [item.request], self.config.session, remaining)[0]
+        else:
+            outcome = route_outcome(item.request, self.config.session,
+                                    remaining)
         return outcome_to_response(item.request, item.fingerprint, outcome,
                                    cache=self.cache)
 
@@ -399,13 +408,23 @@ class RoutingDaemon:
 
         try:
             while not self._drain_requested.is_set():
+                batch: list[_Admitted] = []
                 while pool.can_accept():
                     item = self.queue.take(timeout=0.0)
                     if item is None:
                         break
+                    if multinet_eligible(item.request,
+                                         self.config.session):
+                        # Fleet-eligible requests never occupy a pool
+                        # slot: the whole gathered batch becomes one
+                        # stacked in-process route_fleet call below.
+                        batch.append(item)
+                        continue
                     self._dispatch(pool, item, in_flight,
                                    key=(0, sequence))
                     sequence += 1
+                if batch:
+                    self._execute_fleet(batch)
                 if in_flight:
                     for key, outcome in pool.poll(_TICK):
                         settle(key, outcome)
@@ -416,9 +435,13 @@ class RoutingDaemon:
                     # (poll returns immediately with no busy workers).
                     idle_item = self.queue.take(timeout=_TICK)
                     if idle_item is not None:
-                        self._dispatch(pool, idle_item, in_flight,
-                                       key=(0, sequence))
-                        sequence += 1
+                        if multinet_eligible(idle_item.request,
+                                             self.config.session):
+                            self._execute_fleet([idle_item])
+                        else:
+                            self._dispatch(pool, idle_item, in_flight,
+                                           key=(0, sequence))
+                            sequence += 1
             if self._drain_requested.is_set():
                 self._begin_drain()
                 for key, outcome in pool.drain(
@@ -432,6 +455,39 @@ class RoutingDaemon:
                     self._deliver(item, self._drained_response(item))
         finally:
             pool.shutdown()
+
+    def _execute_fleet(self, batch: list[_Admitted]) -> None:
+        """Answer gathered fleet-eligible requests as one stacked batch.
+
+        Runs in-process on the executor thread — the stacked graph-
+        Elmore path has no SPICE subprocess to isolate and finishes in
+        milliseconds, so it does not need a pool slot. Warm-cache and
+        expiry bookkeeping is per member; survivors route through one
+        :func:`~repro.service.session.route_fleet_outcomes` call whose
+        deadline is the tightest member's remaining budget.
+        """
+        ready: list[_Admitted] = []
+        for item in batch:
+            warm = self.cache.lookup_cached(item.fingerprint)
+            if warm is not None:
+                self._deliver(item, ok_response(
+                    item.request.id, "route",
+                    dict(warm, fingerprint=item.fingerprint,
+                         cached=True)))
+                continue
+            if item.remaining() <= 0:
+                self._deliver(item, self._expired(item))
+                continue
+            ready.append(item)
+        if not ready:
+            return
+        budget = min(item.remaining() for item in ready)
+        outcomes = route_fleet_outcomes(
+            [item.request for item in ready], self.config.session, budget)
+        for item, outcome in zip(ready, outcomes):
+            self._deliver(item, outcome_to_response(
+                item.request, item.fingerprint, outcome,
+                cache=self.cache))
 
     def _dispatch(self, pool: WorkerPool, item: _Admitted,
                   in_flight: dict[tuple[int, int], _Admitted],

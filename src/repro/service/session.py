@@ -28,7 +28,7 @@ import dataclasses
 import os
 import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, Mapping
+from typing import Any, Callable, Mapping, Sequence
 
 from repro.contracts import boundary
 from repro.core import (
@@ -48,6 +48,7 @@ from repro.delay.parameters import Technology
 from repro.delay.spice_delay import SpiceOptions
 from repro.geometry.net import Net
 from repro.geometry.point import Point
+from repro.guard.incidents import KIND_FALLBACK, record_event
 from repro.runtime import provenance
 from repro.runtime.chaos import ChaosDelayModel, ChaosPolicy
 from repro.runtime.journal import ResultCache, fingerprint
@@ -121,6 +122,14 @@ class SessionConfig:
         max_deadline: hard ceiling a frame's ``deadline`` is clamped to.
         enable_fault_injection: honor per-request ``inject`` directives
             (tests and the smoke harness only — never production).
+        multinet: answer eligible greedy requests (ldrg/sldrg, no fault
+            directives) with the fleet-scale graph-Elmore backend
+            (:mod:`repro.delay.multinet`), batching queued requests into
+            stacked evaluations. This *changes the oracle* for those
+            requests — from the SPICE ladder to graph-Elmore — so the
+            flag is part of every request fingerprint; ineligible
+            requests take the ordinary per-net path with a recorded
+            :data:`~repro.guard.incidents.KIND_FALLBACK` event.
     """
 
     tech: Technology = field(default_factory=Technology.cmos08)
@@ -131,6 +140,7 @@ class SessionConfig:
     default_deadline: float = 30.0
     max_deadline: float = 300.0
     enable_fault_injection: bool = False
+    multinet: bool = False
 
     def __post_init__(self) -> None:
         if self.segments < 1:
@@ -154,6 +164,7 @@ class SessionConfig:
             "tech": dataclasses.asdict(self.tech),
             "chaos": (None if self.chaos is None
                       else self.chaos.to_json_dict()),
+            "multinet": self.multinet,
         }
 
 
@@ -251,6 +262,108 @@ def route_outcome(request: Request, config: SessionConfig,
             exc, elapsed=time.perf_counter() - start)
 
 
+#: Algorithms with a fleet-batched graph-Elmore form (greedy edge
+#: addition — the only methods with a generation loop to stack).
+MULTINET_ALGORITHMS: tuple[str, ...] = ("ldrg", "sldrg")
+
+
+def multinet_eligible(request: Request, config: SessionConfig) -> bool:
+    """Whether a ``--multinet`` daemon may batch this request.
+
+    Only the greedy edge-addition algorithms have a stacked form, and
+    the fleet path is the pure in-process graph-Elmore oracle — chaos
+    and fault-injection directives have no SPICE seam to act on there,
+    so their presence forces the ordinary per-net path.
+    """
+    return (config.multinet
+            and request.net is not None
+            and request.algorithm in MULTINET_ALGORITHMS
+            and request.inject is None
+            and config.chaos is None)
+
+
+def route_fleet_outcomes(requests: Sequence[Request], config: SessionConfig,
+                         budget: float | None) -> list[TrialOutcome]:
+    """Route a batch of eligible requests as one stacked fleet.
+
+    The daemon's ``--multinet`` batch path: the queued requests' greedy
+    generations are scored by stacked linear-algebra calls
+    (:func:`repro.delay.multinet.route_fleet`), grouped per algorithm.
+    Provenance is batch-scoped by construction — stacked execution is
+    shared state (a factorization fallback genuinely affects every
+    member), so each response carries the batch's full event list. A
+    fleet-level failure falls back to routing each member alone through
+    the same backend, with a recorded
+    :data:`~repro.guard.incidents.KIND_FALLBACK` event, so one poisoned
+    net cannot fail its batch-mates.
+    """
+    start = time.perf_counter()
+    try:
+        with provenance.collecting() as events:
+            with trial_deadline(budget):
+                results = _route_fleet(requests, config)
+        elapsed = time.perf_counter() - start
+        shared = tuple(events)
+        return [TrialResult.from_routing(result, provenance=shared,
+                                         elapsed=elapsed)
+                for result in results]
+    except Exception:
+        return [_route_fleet_member(request, config, budget)
+                for request in requests]
+
+
+def _route_fleet_member(request: Request, config: SessionConfig,
+                        budget: float | None) -> TrialOutcome:
+    """Fleet-of-one salvage path after a batched fleet failed."""
+    start = time.perf_counter()
+    try:
+        with provenance.collecting() as events:
+            record_event(
+                KIND_FALLBACK, source="service-multinet",
+                target="fleet-of-one",
+                detail="batched fleet raised; this member re-routed alone "
+                       "on the same graph-Elmore backend")
+            with trial_deadline(budget):
+                result = _route_fleet([request], config)[0]
+        return TrialResult.from_routing(
+            result, provenance=tuple(events),
+            elapsed=time.perf_counter() - start)
+    except Exception as exc:
+        return TrialFailure.from_exception(
+            exc, elapsed=time.perf_counter() - start)
+
+
+def _route_fleet(requests: Sequence[Request],
+                 config: SessionConfig) -> list[RoutingResult]:
+    """Route eligible requests through the stacked backend, in order."""
+    # Local imports: the delay layer's fleet module pulls in the full
+    # linear-algebra stack, which a daemon not running --multinet never
+    # needs.
+    from repro.delay.multinet import route_fleet
+    from repro.graph.steiner import iterated_one_steiner
+
+    results: list[RoutingResult | None] = [None] * len(requests)
+    by_algorithm: dict[str, list[int]] = {}
+    for index, request in enumerate(requests):
+        by_algorithm.setdefault(request.algorithm, []).append(index)
+    for algorithm, indices in by_algorithm.items():
+        nets: list[Net] = []
+        for index in indices:
+            net = requests[index].net
+            assert net is not None, "fleet requests always carry a net"
+            nets.append(net)
+        # LDRG starts from the MST (route_fleet builds it); SLDRG starts
+        # from the iterated-one-Steiner tree, as its sequential driver
+        # does.
+        starts: list[Any] = (
+            [iterated_one_steiner(net) for net in nets]
+            if algorithm == "sldrg" else list(nets))
+        routed = route_fleet(starts, config.tech, algorithm=algorithm)
+        for index, result in zip(indices, routed):
+            results[index] = result
+    return [result for result in results if result is not None]
+
+
 def run_route_task(frame: Mapping[str, Any],
                    config: SessionConfig) -> TrialResult:
     """Pool-worker entry point: route one request frame or raise.
@@ -311,6 +424,14 @@ def _route(request: Request, config: SessionConfig) -> RoutingResult:
             f"unknown algorithm {request.algorithm!r}; expected one of "
             f"{', '.join(sorted(ALGORITHMS))}",
             frame_id=request.id) from None
+    if config.multinet and not multinet_eligible(request, config):
+        # A --multinet daemon answering on the per-net SPICE path is a
+        # degradation of its batching promise; say so on the response.
+        record_event(
+            KIND_FALLBACK, source=f"service:{request.algorithm}",
+            target="per-net",
+            detail="request not fleet-eligible (algorithm, chaos, or "
+                   "inject directive); served on the per-net path")
     model = build_model(config, request)
     return algorithm(net, config.tech, model)
 

@@ -9,6 +9,7 @@ and whose sinks are the load positions.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -95,10 +96,13 @@ class Design:
             for load in net.loads:
                 indegree[load] += 1
                 successors[net.driver].append(load)
-        ready = sorted(name for name, deg in indegree.items() if deg == 0)
+        # deque.popleft is O(1); list.pop(0) would make the walk O(n²) on
+        # large designs (the same bug class rooted_parents had).
+        ready = deque(sorted(
+            name for name, deg in indegree.items() if deg == 0))
         order: list[str] = []
         while ready:
-            node = ready.pop(0)
+            node = ready.popleft()
             order.append(node)
             for succ in sorted(successors[node]):
                 indegree[succ] -= 1

@@ -1,0 +1,69 @@
+"""Fleet-batched table generation: structure, equivalence, fallback."""
+
+import pytest
+
+from repro.experiments.fleet import (
+    FLEET_TABLES,
+    fleet_row_results,
+    run_fleet_table,
+    run_table_multinet,
+)
+from repro.experiments.harness import ExperimentConfig, final_ratios
+from repro.experiments.reporting import Table
+from repro.guard.incidents import KIND_FALLBACK
+from repro.runtime import provenance
+
+
+@pytest.fixture(scope="module")
+def tiny() -> ExperimentConfig:
+    return ExperimentConfig(sizes=(5, 6), trials=3)
+
+
+class TestEligibility:
+    def test_fleet_tables_are_the_greedy_ones(self):
+        assert FLEET_TABLES == (2, 3, 7)
+
+    def test_ineligible_table_raises(self, tiny):
+        with pytest.raises(ValueError, match="no fleet-batched form"):
+            run_fleet_table(4, tiny)
+
+
+class TestFleetRows:
+    def test_row_results_match_trial_nets(self, tiny):
+        results = fleet_row_results(7, tiny, size=5)
+        assert len(results) == tiny.trials
+        for result in results:
+            assert result.algorithm == "ldrg"
+            ratios = final_ratios(result)
+            assert ratios.delay_ratio <= 1.0 + 1e-9
+
+    def test_table_structure(self, tiny):
+        table = run_fleet_table(3, tiny)
+        assert isinstance(table, Table)
+        assert "fleet-batched" in table.title
+        assert "SLDRG" in table.title
+        (rows,) = table.blocks.values()
+        assert [row.net_size for row in rows] == list(tiny.sizes)
+
+    def test_table2_iteration_blocks(self, tiny):
+        table = run_fleet_table(2, tiny)
+        assert set(table.blocks) == {"LDRG Iteration One",
+                                     "LDRG Iteration Two"}
+
+
+class TestRunTableMultinet:
+    def test_eligible_is_batched(self, tiny):
+        table, batched = run_table_multinet(7, tiny)
+        assert batched
+        assert "fleet-batched" in table.title
+
+    def test_ineligible_falls_back_with_event(self, tiny):
+        sentinel = Table(title="sequential table 4", blocks={}, notes="")
+        with provenance.collecting() as events:
+            table, batched = run_table_multinet(
+                4, tiny, sequential=lambda number, config: sentinel)
+        assert not batched
+        assert table is sentinel
+        fallbacks = [e for e in events if e.kind == KIND_FALLBACK]
+        assert fallbacks and fallbacks[0].source == "table4"
+        assert fallbacks[0].target == "sequential"

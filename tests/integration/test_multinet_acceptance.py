@@ -1,0 +1,54 @@
+"""ISSUE 8 acceptance: a 50-net generation is one batched pipeline.
+
+The fleet path must reproduce the sequential greedy loop *exactly* —
+identical chosen edges on every one of 50 nets, delays within 1e-9
+relative — while actually batching (one stacked factorization per
+generation, converged members dropping out). Throughput (≥ 3× at fleet
+50) is measured by ``benchmarks/test_perf_multinet.py``; correctness is
+pinned here where it runs in tier 1.
+"""
+
+import pytest
+
+from repro.core.ldrg import ldrg
+from repro.delay.multinet import route_fleet
+from repro.delay.parameters import Technology
+from repro.geometry.net import Net
+
+TECH = Technology.cmos08()
+FLEET_SIZE = 50
+RELATIVE_TOLERANCE = 1e-9
+
+
+class TestFiftyNetFleet:
+    @pytest.fixture(scope="class")
+    def nets(self):
+        return [Net.random(10, seed=9000 + i, name=f"accept{i}")
+                for i in range(FLEET_SIZE)]
+
+    @pytest.fixture(scope="class")
+    def fleet(self, nets):
+        return route_fleet(nets, TECH)
+
+    def test_whole_fleet_routes(self, fleet):
+        assert len(fleet) == FLEET_SIZE
+        assert all(result.algorithm == "ldrg" for result in fleet)
+
+    def test_identical_chosen_edges_and_delays(self, nets, fleet):
+        for net, batched in zip(nets, fleet):
+            sequential = ldrg(net, TECH, delay_model="elmore",
+                              candidate_evaluator="incremental")
+            assert sorted(sequential.graph.edges()) == sorted(
+                batched.graph.edges()), net.name
+            assert sequential.num_added_edges == batched.num_added_edges
+            for sink, want in sequential.delays.items():
+                assert batched.delays[sink] == pytest.approx(
+                    want, rel=RELATIVE_TOLERANCE), (net.name, sink)
+
+    def test_improvements_are_real(self, fleet):
+        # The paper's point: non-tree edges help; across 50 random
+        # 10-pin nets at least some members must accept an edge, and no
+        # member's routing may be worse than its starting tree.
+        assert any(result.num_added_edges > 0 for result in fleet)
+        for result in fleet:
+            assert result.delay <= result.base_delay * (1 + 1e-12)

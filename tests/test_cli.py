@@ -85,6 +85,25 @@ class TestTable:
         assert "no such experiment table" in capsys.readouterr().err
 
 
+class TestTableMultinet:
+    def test_eligible_table_is_fleet_batched(self, capsys):
+        assert main(["table", "7", "--multinet", "--trials", "2",
+                     "--sizes", "5"]) == 0
+        assert "fleet-batched" in capsys.readouterr().out
+
+    def test_ineligible_table_falls_back_with_note(self, capsys):
+        assert main(["table", "4", "--multinet", "--trials", "1",
+                     "--sizes", "5"]) == 0
+        captured = capsys.readouterr()
+        assert "no fleet-batched form" in captured.err
+        assert "Table 4" in captured.out
+
+    def test_rejects_journaling_runtime_flags(self, capsys):
+        assert main(["table", "7", "--multinet", "--trials", "1",
+                     "--sizes", "5", "--workers", "2"]) == 2
+        assert "in-process batched pipeline" in capsys.readouterr().err
+
+
 class TestFigure:
     def test_figure1(self, tmp_path, capsys):
         assert main(["figure", "1", "--out-dir", str(tmp_path)]) == 0

@@ -66,6 +66,30 @@ class TestDesignStructure:
         with pytest.raises(DesignError, match="cycle"):
             tiny.topological_order()
 
+    def test_visit_order_matches_list_reference(self):
+        # The deque-based walk must visit in exactly the order the original
+        # list.pop(0) implementation produced (FIFO with sorted seeding).
+        design = random_design(num_stages=4, stage_width=3, seed=5)
+
+        indegree = {name: 0 for name in design.instances}
+        successors: dict[str, list[str]] = {
+            name: [] for name in design.instances}
+        for net in design.nets.values():
+            for load in net.loads:
+                indegree[load] += 1
+                successors[net.driver].append(load)
+        ready = sorted(name for name, deg in indegree.items() if deg == 0)
+        reference: list[str] = []
+        while ready:
+            node = ready.pop(0)
+            reference.append(node)
+            for succ in sorted(successors[node]):
+                indegree[succ] -= 1
+                if indegree[succ] == 0:
+                    ready.append(succ)
+
+        assert design.topological_order() == reference
+
     def test_undeclared_start_point_rejected(self, tiny, lib):
         tiny.add_instance(Instance("orphan", lib["INV"], Point(5, 5)))
         tiny.add_net(DesignNet("n3", driver="orphan", loads=("inv2",)))

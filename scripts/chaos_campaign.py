@@ -1,0 +1,398 @@
+#!/usr/bin/env python3
+"""Kill/recover chaos campaign against the supervised routing daemon.
+
+Drives the real CLI (``python -m repro serve --supervised --run-dir …``)
+end to end and proves the PR-9 durability contract:
+
+1. feeds a seeded request stream (unique nets, deliberate duplicates,
+   malformed frames, worker-kill directives) into the daemon's stdin;
+2. SIGKILLs the *daemon child* (never the supervisor) mid-backlog, up
+   to ``--kills`` times, reading the victim's pid from the run
+   directory's ``daemon.pid``;
+3. waits for the supervisor to restart the daemon, which replays the
+   write-ahead log (``--recover``) — and re-sends any ids that are
+   still unanswered (a killed child can lose stdin bytes it had read
+   but not yet admitted; the WAL only covers *admitted* frames);
+4. optionally injects a one-shot WAL disk-full fault per generation
+   (``--wal-fault-after``), proving durability failures degrade to
+   counted errors, not outages;
+5. at EOF the final generation drains, the supervisor exits 0, and the
+   campaign asserts:
+   * every well-formed request id was answered at least once, and all
+     answers for one id are canonically identical (volatile fields
+     stripped) — the exactly-once-from-the-client's-view contract;
+   * the write-ahead log has no pending entries left;
+   * every warm-cache record still parses (no corruption across kills);
+   * at least one daemon generation was actually killed and recovered.
+
+Emits a ``BENCH_recovery.json`` with time-to-first-response after each
+kill versus the backlog depth at the kill.
+
+Exit status 0 = all invariants hold; 1 = a violation, with a message.
+
+Usage:  python scripts/chaos_campaign.py [--requests 200] [--kills 3]
+            [--seed 0] [--workers 0] [--kill-backlog 50]
+            [--out BENCH_recovery.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.geometry.random_nets import random_net  # noqa: E402
+from repro.service.faults import (  # noqa: E402
+    CampaignFrame,
+    ServiceFaultPlan,
+    build_campaign_stream,
+)
+from repro.service.wal import load_pending  # noqa: E402
+
+#: Response fields that legitimately differ between an original answer
+#: and its retry/replay/coalesced/cached echo.
+VOLATILE_RESPONSE_FIELDS = frozenset(
+    {"elapsed", "cached", "coalesced", "replayed", "id"})
+
+
+def fail(message: str) -> None:
+    print(f"chaos-campaign: FAIL: {message}", file=sys.stderr)
+    raise SystemExit(1)
+
+
+def canonical(response: dict) -> str:
+    """A response's identity bytes: volatile delivery fields stripped."""
+
+    def strip(data):
+        if isinstance(data, dict):
+            return {k: strip(v) for k, v in sorted(data.items())
+                    if k not in VOLATILE_RESPONSE_FIELDS}
+        if isinstance(data, list):
+            return [strip(v) for v in data]
+        return data
+
+    return json.dumps(strip(response), sort_keys=True)
+
+
+@dataclass
+class CampaignOptions:
+    requests: int = 200
+    kills: int = 3
+    seed: int = 0
+    workers: int = 0
+    kill_backlog: int = 50
+    malformed_rate: float = 0.03
+    worker_kill_rate: float = 0.0
+    duplicate_every: int = 10
+    deadline: float = 30.0
+    wal_fault_after: int | None = None
+    retry_rounds: int = 8
+    quiet_timeout: float = 20.0
+    run_dir: Path | None = None
+    out: Path = Path("BENCH_recovery.json")
+
+
+@dataclass
+class CampaignResult:
+    answered: dict[str, list[dict]] = field(default_factory=dict)
+    null_id_errors: int = 0
+    kills: list[dict] = field(default_factory=list)
+    retries_sent: int = 0
+    supervisor_exit: int | None = None
+
+
+class _Reader(threading.Thread):
+    """Drains the shared stdout pipe, indexing responses by id."""
+
+    def __init__(self, stream, result: CampaignResult):
+        super().__init__(name="campaign-reader", daemon=True)
+        self.stream = stream
+        self.result = result
+        self.lock = threading.Lock()
+        self.last_response_at = time.monotonic()
+
+    def run(self) -> None:
+        for raw in self.stream:
+            raw = raw.strip()
+            if not raw:
+                continue
+            try:
+                response = json.loads(raw)
+            except ValueError:
+                fail(f"non-JSON line on the response stream: {raw[:200]!r}")
+            if not isinstance(response, dict):
+                fail(f"non-object response frame: {raw[:200]!r}")
+            with self.lock:
+                self.last_response_at = time.monotonic()
+                frame_id = response.get("id")
+                if frame_id is None:
+                    self.result.null_id_errors += 1
+                else:
+                    self.result.answered.setdefault(
+                        str(frame_id), []).append(response)
+
+    def answered_count(self) -> int:
+        with self.lock:
+            return len(self.result.answered)
+
+    def quiet_for(self) -> float:
+        with self.lock:
+            return time.monotonic() - self.last_response_at
+
+
+def spawn_supervised(options: CampaignOptions,
+                     run_dir: Path) -> subprocess.Popen:
+    repo_root = Path(__file__).resolve().parent.parent
+    env = dict(os.environ, PYTHONPATH=str(repo_root / "src"))
+    argv = [sys.executable, "-m", "repro", "serve", "--supervised",
+            "--run-dir", str(run_dir),
+            "--cache-dir", str(run_dir / "cache"),
+            "--queue-capacity", str(max(256, options.requests + 64)),
+            "--workers", str(options.workers),
+            # The analytic engine routes a 5-pin net in ~10 ms: fast
+            # enough that a 200-request campaign builds and drains a
+            # real backlog in CI, slow enough that kills land mid-work.
+            "--engines", "analytic",
+            "--deadline", str(options.deadline),
+            "--drain-timeout", "30",
+            "--heartbeat-interval", "0.2",
+            "--heartbeat-timeout", "10",
+            "--restart-budget", str(options.kills + 3),
+            "--restart-window", "3600",
+            "--fault-injection"]
+    if options.wal_fault_after is not None:
+        argv += ["--wal-fault-after", str(options.wal_fault_after)]
+    return subprocess.Popen(argv, stdin=subprocess.PIPE,
+                            stdout=subprocess.PIPE, text=True, env=env,
+                            cwd=repo_root)
+
+
+def read_daemon_pid(run_dir: Path, supervisor_pid: int) -> int | None:
+    try:
+        pid = int((run_dir / "daemon.pid").read_text().strip())
+    except (OSError, ValueError):
+        return None
+    if pid == supervisor_pid:
+        return None
+    try:
+        os.kill(pid, 0)  # liveness probe only
+    except OSError:
+        return None
+    return pid
+
+
+def kill_daemon(options: CampaignOptions, run_dir: Path,
+                supervisor_pid: int, reader: _Reader, sent_ids: int,
+                result: CampaignResult) -> None:
+    """SIGKILL the daemon child once the backlog is deep enough."""
+    deadline = time.monotonic() + 60.0
+    while time.monotonic() < deadline:
+        backlog = sent_ids - reader.answered_count()
+        pid = read_daemon_pid(run_dir, supervisor_pid)
+        if backlog >= options.kill_backlog and pid is not None:
+            killed_at = time.monotonic()
+            try:
+                os.kill(pid, signal.SIGKILL)
+            except OSError:
+                time.sleep(0.05)
+                continue
+            answered_before = reader.answered_count()
+            recover_deadline = time.monotonic() + 120.0
+            while (reader.answered_count() <= answered_before
+                   and time.monotonic() < recover_deadline):
+                time.sleep(0.02)
+            ttfr = time.monotonic() - killed_at
+            result.kills.append({
+                "pid": pid, "backlog_at_kill": backlog,
+                "time_to_first_response_s": round(ttfr, 4)})
+            return
+        if backlog == 0:
+            return  # stream already fully answered; nothing to kill over
+        time.sleep(0.02)
+
+
+def run_campaign(options: CampaignOptions) -> dict:
+    """Run one seeded campaign; returns the benchmark/report dict."""
+    owned_tmp = None
+    if options.run_dir is None:
+        owned_tmp = tempfile.TemporaryDirectory(prefix="chaos-campaign-")
+        run_dir = Path(owned_tmp.name)
+    else:
+        run_dir = Path(options.run_dir)
+        run_dir.mkdir(parents=True, exist_ok=True)
+
+    plan = ServiceFaultPlan(seed=options.seed,
+                            kill_rate=options.worker_kill_rate,
+                            malformed_rate=options.malformed_rate)
+    nets = [random_net(5, seed=options.seed * 100_003 + i)
+            for i in range(options.requests)]
+    frames = build_campaign_stream(plan, nets, deadline=options.deadline,
+                                   duplicate_every=options.duplicate_every,
+                                   id_prefix="c")
+    expected = {f.frame_id: f for f in frames if f.frame_id is not None}
+
+    result = CampaignResult()
+    proc = spawn_supervised(options, run_dir)
+    assert proc.stdin is not None and proc.stdout is not None
+    reader = _Reader(proc.stdout, result)
+    reader.start()
+
+    try:
+        started = time.monotonic()
+        for index, frame in enumerate(frames):
+            proc.stdin.write(frame.line + "\n")
+            if index % 32 == 0:
+                proc.stdin.flush()
+        proc.stdin.flush()
+
+        for _ in range(options.kills):
+            kill_daemon(options, run_dir, proc.pid, reader,
+                        len(expected), result)
+
+        # Retry rounds: ids a killed child read-but-never-admitted are
+        # genuinely lost (the WAL covers admitted frames only) — the
+        # client-side retry contract recovers them. Idempotence makes
+        # the re-sends safe: completed fingerprints answer from cache.
+        # The quiet window (3 s) must outlast a supervisor restart
+        # (backoff + interpreter startup), or retries fire while the
+        # next generation is still replaying.
+        for _ in range(options.retry_rounds):
+            round_start = time.monotonic()
+            while reader.quiet_for() < 3.0:
+                if time.monotonic() - round_start > options.quiet_timeout:
+                    break
+                time.sleep(0.05)
+            with reader.lock:
+                missing = [fid for fid in expected
+                           if fid not in result.answered]
+            if not missing:
+                break
+            for fid in missing:
+                proc.stdin.write(expected[fid].line + "\n")
+                result.retries_sent += 1
+            proc.stdin.flush()
+
+        proc.stdin.close()  # EOF: final generation drains, tree exits
+        result.supervisor_exit = proc.wait(timeout=180.0)
+        reader.join(timeout=10.0)
+        elapsed = time.monotonic() - started
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=10.0)
+
+    report = verify(options, run_dir, result, expected, elapsed)
+    if owned_tmp is not None:
+        owned_tmp.cleanup()
+    return report
+
+
+def verify(options: CampaignOptions, run_dir: Path, result: CampaignResult,
+           expected: dict[str, CampaignFrame], elapsed: float) -> dict:
+    if result.supervisor_exit != 0:
+        fail(f"supervisor exited {result.supervisor_exit}, expected 0")
+    missing = sorted(fid for fid in expected
+                     if fid not in result.answered)
+    if missing:
+        fail(f"{len(missing)} request(s) never answered: {missing[:10]}")
+
+    duplicates = 0
+    for fid, responses in result.answered.items():
+        if fid not in expected:
+            fail(f"answer for an id that was never sent: {fid!r}")
+        duplicates += len(responses) - 1
+        ok_forms = {canonical(r) for r in responses
+                    if r.get("status") == "ok"}
+        if len(ok_forms) > 1:
+            fail(f"id {fid!r}: {len(ok_forms)} distinct ok payloads "
+                 f"across retries/replays (must be byte-identical)")
+        error_kinds = {r.get("error", {}).get("kind")
+                       for r in responses if r.get("status") == "error"}
+        if ok_forms and error_kinds - {"timeout", "crash"}:
+            fail(f"id {fid!r}: mixed ok and non-transient error answers "
+                 f"({sorted(error_kinds)})")
+
+    replay = load_pending(run_dir)
+    if replay.pending:
+        fail(f"write-ahead log still has {len(replay.pending)} pending "
+             f"entries after a clean drain")
+
+    cache_dir = run_dir / "cache"
+    cache_files = 0
+    for record in sorted(cache_dir.glob("result_*.json")):
+        cache_files += 1
+        try:
+            json.loads(record.read_text(encoding="utf-8"))
+        except ValueError:
+            fail(f"corrupt warm-cache record survived the campaign: "
+                 f"{record.name}")
+
+    if options.kills > 0 and not result.kills:
+        fail("campaign was asked to kill the daemon but never could "
+             "(backlog threshold never reached — lower --kill-backlog)")
+
+    ok_answers = sum(
+        1 for rs in result.answered.values()
+        for r in rs if r.get("status") == "ok")
+    return {
+        "requests": len(expected),
+        "answered_ids": len(result.answered),
+        "ok_answers": ok_answers,
+        "duplicate_answers": duplicates,
+        "null_id_protocol_errors": result.null_id_errors,
+        "retries_sent": result.retries_sent,
+        "kills": result.kills,
+        "daemon_generations": len(result.kills) + 1,
+        "wal_records_final": replay.records,
+        "wal_corrupt_lines_final": replay.corrupt_lines,
+        "cache_records": cache_files,
+        "elapsed_s": round(elapsed, 3),
+        "seed": options.seed,
+        "workers": options.workers,
+        "supervisor_exit": result.supervisor_exit,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--requests", type=int, default=200)
+    parser.add_argument("--kills", type=int, default=3)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--workers", type=int, default=0)
+    parser.add_argument("--kill-backlog", type=int, default=50)
+    parser.add_argument("--worker-kill-rate", type=float, default=0.0)
+    parser.add_argument("--malformed-rate", type=float, default=0.03)
+    parser.add_argument("--wal-fault-after", type=int, default=None)
+    parser.add_argument("--run-dir", type=Path, default=None)
+    parser.add_argument("--out", type=Path,
+                        default=Path("BENCH_recovery.json"))
+    args = parser.parse_args(argv)
+    options = CampaignOptions(
+        requests=args.requests, kills=args.kills, seed=args.seed,
+        workers=args.workers, kill_backlog=args.kill_backlog,
+        worker_kill_rate=args.worker_kill_rate,
+        malformed_rate=args.malformed_rate,
+        wal_fault_after=args.wal_fault_after,
+        run_dir=args.run_dir, out=args.out)
+    report = run_campaign(options)
+    args.out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n",
+                        encoding="utf-8")
+    print(f"chaos-campaign: OK — {report['answered_ids']} ids answered, "
+          f"{len(report['kills'])} daemon kill(s), "
+          f"{report['duplicate_answers']} duplicate answer(s), "
+          f"report in {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

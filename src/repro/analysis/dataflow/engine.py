@@ -72,8 +72,9 @@ class DataflowOptions:
     env_modules: tuple[str, ...] = ("repro.experiments.harness",
                                     "repro.cli")
     #: Modules allowed to launch subprocesses (the hardened simulator
-    #: runner).
-    subprocess_modules: tuple[str, ...] = ("repro.circuit.ngspice",)
+    #: runner and the daemon supervisor's spawn loop).
+    subprocess_modules: tuple[str, ...] = ("repro.circuit.ngspice",
+                                           "repro.service.supervisor")
     #: The function whose body defines the delay-cache identity.
     fingerprint_function: str = "repro.delay.incremental.graph_fingerprint"
     #: Modules whose graph reads must be covered by the fingerprint.

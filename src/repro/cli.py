@@ -220,6 +220,48 @@ def build_parser() -> argparse.ArgumentParser:
                             "the stacked graph-Elmore fleet backend "
                             "(changes the oracle for those requests; "
                             "part of the request fingerprint)")
+    serve.add_argument("--run-dir", type=Path, default=None,
+                       help="durability/supervision state directory: "
+                            "write-ahead request log, heartbeat and pid "
+                            "files (see docs/service.md, 'Recovery & "
+                            "supervision')")
+    serve.add_argument("--recover", action="store_true",
+                       help="replay admitted-but-unanswered requests "
+                            "from the --run-dir write-ahead log at "
+                            "startup (idempotent: completed "
+                            "fingerprints answer from the warm cache)")
+    serve.add_argument("--supervised", action="store_true",
+                       help="run under a supervisor parent that "
+                            "restarts the daemon on crash or hang "
+                            "(always with --recover) and gives up with "
+                            "exit 3 on a crash loop")
+    serve.add_argument("--restart-budget", type=int, default=5,
+                       help="--supervised: restarts allowed inside "
+                            "--restart-window before giving up")
+    serve.add_argument("--restart-window", type=float, default=60.0,
+                       metavar="SECONDS",
+                       help="--supervised: the crash-loop window")
+    serve.add_argument("--heartbeat-interval", type=float, default=1.0,
+                       metavar="SECONDS",
+                       help="seconds between daemon heartbeat-file "
+                            "touches in --run-dir")
+    serve.add_argument("--heartbeat-timeout", type=float, default=10.0,
+                       metavar="SECONDS",
+                       help="--supervised: heartbeat staleness that "
+                            "declares the daemon hung (0 disables hang "
+                            "detection)")
+    serve.add_argument("--breaker-threshold", type=int, default=5,
+                       help="consecutive engine failures that open its "
+                            "circuit breaker (0 disables breakers)")
+    serve.add_argument("--breaker-cooldown", type=float, default=30.0,
+                       metavar="SECONDS",
+                       help="seconds an open breaker waits before "
+                            "half-opening for a probe request")
+    serve.add_argument("--wal-fault-after", type=int, default=None,
+                       metavar="N",
+                       help="chaos hook: the N-th write-ahead-log append "
+                            "fails once with a disk-full OSError "
+                            "(testing/CI only)")
 
     figure = sub.add_parser("figure", help="regenerate a paper figure")
     figure.add_argument("number", type=int, choices=(1, 2, 3, 5))
@@ -403,10 +445,69 @@ def _serve_engines(spec: str) -> tuple[str, ...]:
     return engines
 
 
+def _serve_child_argv(args: argparse.Namespace) -> list[str]:
+    """The supervised daemon's command line, rebuilt from parsed flags.
+
+    Always carries ``--recover`` (replaying an empty write-ahead log is
+    a no-op, so generation 0 and every restart start identically) and
+    never ``--supervised`` (no supervisor towers).
+    """
+    argv = [sys.executable, "-m", "repro", "serve",
+            "--run-dir", str(args.run_dir), "--recover",
+            "--queue-capacity", str(args.queue_capacity),
+            "--workers", str(args.workers),
+            "--deadline", str(args.deadline),
+            "--max-deadline", str(args.max_deadline),
+            "--drain-timeout", str(args.drain_timeout),
+            "--segments", str(args.segments),
+            "--engines", args.engines,
+            "--heartbeat-interval", str(args.heartbeat_interval),
+            "--breaker-threshold", str(args.breaker_threshold),
+            "--breaker-cooldown", str(args.breaker_cooldown)]
+    if args.socket is not None:
+        argv += ["--socket", str(args.socket), "--host", args.host]
+    if args.cache_dir is not None:
+        argv += ["--cache-dir", str(args.cache_dir)]
+    if args.chaos:
+        argv += ["--chaos", str(args.chaos),
+                 "--chaos-seed", str(args.chaos_seed)]
+    if args.fault_injection:
+        argv.append("--fault-injection")
+    if args.multinet:
+        argv.append("--multinet")
+    if args.wal_fault_after is not None:
+        argv += ["--wal-fault-after", str(args.wal_fault_after)]
+    return argv
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     """Run the routing daemon until EOF (stdio) or SIGTERM (drain)."""
-    from repro.service import RoutingDaemon, ServiceConfig, SessionConfig
+    from repro.service import (
+        BreakerPolicy,
+        RoutingDaemon,
+        ServiceConfig,
+        SessionConfig,
+        Supervisor,
+        SupervisorPolicy,
+    )
 
+    if args.supervised and args.run_dir is None:
+        raise ConfigError("--supervised requires --run-dir (the shared "
+                          "WAL/heartbeat state directory)")
+    if args.recover and args.run_dir is None:
+        raise ConfigError("--recover requires --run-dir (the write-ahead "
+                          "log to replay)")
+    if args.supervised:
+        try:
+            policy = SupervisorPolicy(
+                restart_budget=args.restart_budget,
+                restart_window=args.restart_window,
+                heartbeat_timeout=args.heartbeat_timeout)
+        except ValueError as exc:
+            raise ConfigError(str(exc)) from exc
+        supervisor = Supervisor(_serve_child_argv(args),
+                                Path(args.run_dir), policy)
+        return supervisor.run()
     try:
         session = SessionConfig(
             segments=args.segments,
@@ -424,6 +525,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             workers=args.workers,
             drain_grace=args.drain_timeout,
             cache_dir=args.cache_dir,
+            run_dir=args.run_dir,
+            recover=args.recover,
+            breaker=(BreakerPolicy(failure_threshold=args.breaker_threshold,
+                                   cooldown=args.breaker_cooldown)
+                     if args.breaker_threshold > 0 else None),
+            heartbeat_interval=args.heartbeat_interval,
+            wal_fail_after=args.wal_fault_after,
         )
     except ValueError as exc:
         raise ConfigError(str(exc)) from exc

@@ -25,6 +25,7 @@ from pathlib import Path
 from typing import Any, Mapping
 
 from repro.contracts import boundary
+from repro.runtime.provenance import ProvenanceEvent, record
 from repro.runtime.trial import (
     TrialKey,
     TrialOutcome,
@@ -209,6 +210,7 @@ class ResultCache:
         self._entries: "OrderedDict[str, dict[str, Any]]" = OrderedDict()
         self.hits = 0
         self.misses = 0
+        self.corrupt_records = 0
         if self.directory is not None:
             self.directory.mkdir(parents=True, exist_ok=True)
 
@@ -238,9 +240,14 @@ class ResultCache:
                       ) -> dict[str, Any] | None:
         """The cached payload for ``cache_fingerprint``, or ``None``.
 
-        Checks the in-memory tier first, then the journal directory;
-        unreadable or malformed disk records are treated as misses (the
-        worst case is recomputing one result).
+        Checks the in-memory tier first, then the journal directory.
+        A *missing* disk record is a plain miss; a *corrupt or
+        truncated* record (the tail a crash can leave despite atomic
+        writes — e.g. filesystem damage or an alien file) is also
+        served as a miss, but additionally counted in
+        :attr:`corrupt_records` and reported as a structured
+        ``cache-corrupt`` provenance event, never raised — the worst
+        case is recomputing one result.
         """
         entry = self._entries.get(cache_fingerprint)
         if entry is not None:
@@ -249,17 +256,29 @@ class ResultCache:
             return dict(entry)
         if self.directory is not None:
             try:
-                data = json.loads(
-                    self._path(cache_fingerprint).read_text(encoding="utf-8"))
-                payload = data["payload"]
-                if (isinstance(payload, dict)
-                        and data.get("fingerprint") == cache_fingerprint):
+                raw = self._path(cache_fingerprint).read_text(
+                    encoding="utf-8")
+            except OSError:  # no disk record (or unreadable): a plain cache miss by design
+                raw = None
+            if raw is not None:
+                try:
+                    data = json.loads(raw)
+                    payload = data["payload"]
+                    if not isinstance(payload, dict):
+                        raise ValueError("'payload' is not an object")
+                    if data.get("fingerprint") != cache_fingerprint:
+                        raise ValueError("fingerprint mismatch")
+                except (ValueError, KeyError, TypeError) as exc:  # corrupt/truncated record: degrade to a recompute, counted and reported below
+                    self.corrupt_records += 1
+                    record(ProvenanceEvent(
+                        kind="cache-corrupt",
+                        source=f"result_{cache_fingerprint}.json",
+                        detail=f"{type(exc).__name__}: {exc}"))
+                else:
                     self._entries[cache_fingerprint] = dict(payload)
                     while len(self._entries) > self.capacity:
                         self._entries.popitem(last=False)
                     self.hits += 1
                     return dict(payload)
-            except (OSError, ValueError, KeyError):  # repro: allow=contracts-broad-catch-swallow — a missing/corrupt cache record is a miss by design; the worst case is recomputing one result
-                pass
         self.misses += 1
         return None

@@ -306,19 +306,34 @@ class WorkerPool:
             raise RuntimeError("pool is shut down")
         if self._draining:
             raise RuntimeError("pool is draining; no new tasks")
-        if self._idle:
+        while True:
+            worker = self._checkout()
+            try:
+                worker.assign(task, timeout)
+            except OSError:
+                # The worker died while idle (crash between tasks): the
+                # pipe is broken, not the task. Replace the casualty and
+                # dispatch the same task to a fresh worker — capacity
+                # must never shrink below target because of dead slots.
+                self._discard(worker)
+                continue
+            except Exception as exc:  # unpicklable task
+                self._idle.append(worker)
+                return TrialFailure.from_exception(exc)
+            return None
+
+    def _checkout(self) -> _Worker:
+        """An idle live worker, or a fresh one (dead idles are culled)."""
+        while self._idle:
             worker = self._idle.pop()
-        elif len(self._live) < self.target:
-            worker = _Worker(self._context)
-            self._live.append(worker)
-        else:
+            if worker.process.is_alive():
+                return worker
+            self._discard(worker)
+        if len(self._live) >= self.target:
             raise RuntimeError("no idle worker (check can_accept first)")
-        try:
-            worker.assign(task, timeout)
-        except Exception as exc:  # unpicklable task
-            self._idle.append(worker)
-            return TrialFailure.from_exception(exc)
-        return None
+        worker = _Worker(self._context)
+        self._live.append(worker)
+        return worker
 
     def poll(self, timeout: float = _WAIT_TICK
              ) -> list[tuple[TrialKey, TrialOutcome]]:

@@ -19,12 +19,23 @@ engineered robustness-first:
   warm-result caching;
 * :mod:`repro.service.daemon` — the service loop: request coalescing,
   SIGTERM-triggered graceful drain, serial or worker-pool execution;
+* :mod:`repro.service.wal` — the write-ahead request log: every
+  admitted frame is durably journaled before execution and terminally
+  recorded after delivery, so ``repro serve --recover`` replays exactly
+  the admitted-but-unanswered set after a crash;
+* :mod:`repro.service.supervisor` — the crash/hang watchdog parent of
+  ``repro serve --supervised``: heartbeat monitoring, seeded-backoff
+  restarts, and a crash-loop budget that gives up with exit 3;
+* :mod:`repro.service.breaker` — per-engine circuit breakers over the
+  degradation ladder, so a dead engine stops costing every request its
+  retry budget;
 * :mod:`repro.service.faults` — a deterministic service-level fault
   harness (worker kills, malformed frames, deadline storms, slow
-  clients) used to prove every failure surfaces as a typed error.
+  clients, daemon SIGKILLs) used to prove every failure surfaces as a
+  typed error and every admitted request is answered exactly once.
 
-See ``docs/service.md`` for the protocol, lifecycle, and failure-mode
-table.
+See ``docs/service.md`` for the protocol, lifecycle, recovery model,
+and failure-mode table.
 """
 
 from repro.service.admission import (
@@ -32,6 +43,10 @@ from repro.service.admission import (
     AdmissionStats,
     ServiceDraining,
     ServiceOverload,
+)
+from repro.service.breaker import (
+    BreakerBoard,
+    BreakerPolicy,
 )
 from repro.service.daemon import (
     RoutingDaemon,
@@ -55,15 +70,32 @@ from repro.service.session import (
     multinet_eligible,
     request_fingerprint,
     route_fleet_outcomes,
+    wire_frame,
+)
+from repro.service.supervisor import (
+    EXIT_GIVE_UP,
+    Supervisor,
+    SupervisorPolicy,
+)
+from repro.service.wal import (
+    PendingEntry,
+    RequestWAL,
+    WalReplay,
+    load_pending,
 )
 
 __all__ = [
     "ALGORITHMS",
     "AdmissionQueue",
     "AdmissionStats",
+    "BreakerBoard",
+    "BreakerPolicy",
+    "EXIT_GIVE_UP",
     "PROTOCOL_VERSION",
+    "PendingEntry",
     "ProtocolError",
     "Request",
+    "RequestWAL",
     "RoutingDaemon",
     "ServiceConfig",
     "ServiceDraining",
@@ -71,13 +103,18 @@ __all__ = [
     "ServiceOverload",
     "ServiceStats",
     "SessionConfig",
+    "Supervisor",
+    "SupervisorPolicy",
+    "WalReplay",
     "build_fault_stream",
     "encode_frame",
     "error_response",
     "execute_request",
+    "load_pending",
     "multinet_eligible",
     "ok_response",
     "parse_frame",
     "request_fingerprint",
     "route_fleet_outcomes",
+    "wire_frame",
 ]

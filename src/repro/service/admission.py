@@ -123,6 +123,28 @@ class AdmissionQueue(Generic[T]):
                                               len(self._items))
             self._ready.notify()
 
+    @boundary(raises=(ServiceDraining,))
+    def requeue(self, item: T) -> None:
+        """Admit one item *ignoring capacity* (WAL-replay path).
+
+        A replayed request was already admitted by a previous daemon
+        generation; shedding it now would break the write-ahead log's
+        exactly-once promise, so recovery may transiently exceed the
+        configured capacity by the replay depth.
+
+        Raises:
+            ServiceDraining: :meth:`close` has been called.
+        """
+        with self._lock:
+            if self._closed:
+                self.stats.rejected_draining += 1
+                raise ServiceDraining()
+            self._items.append(item)
+            self.stats.admitted += 1
+            self.stats.depth_high_water = max(self.stats.depth_high_water,
+                                              len(self._items))
+            self._ready.notify()
+
     def take(self, timeout: float | None = None) -> T | None:
         """Pop the oldest admitted item, waiting up to ``timeout``.
 

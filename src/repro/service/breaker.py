@@ -1,0 +1,222 @@
+"""Per-engine circuit breakers over the oracle degradation ladder.
+
+The resilience ladder (:mod:`repro.runtime.resilience`) already retries
+and degrades *per request* — but a dead engine (ngspice binary gone,
+a numerically poisoned technology corner) then costs every single
+request its full retry budget before degrading, turning one sick rung
+into a service-wide latency cliff. The breaker board watches outcomes
+at the daemon level and, after ``failure_threshold`` *consecutive*
+failures attributable to an engine, opens that engine's breaker:
+subsequent requests skip the rung entirely (recorded as a
+``degrade`` provenance event, so responses are marked degraded and are
+never cached). After ``cooldown`` seconds the breaker goes half-open
+and lets exactly one probe request try the engine again — a clean
+probe closes the breaker, a failed probe re-opens it for another
+cooldown.
+
+States::
+
+    CLOSED ── threshold consecutive failures ──▶ OPEN
+    OPEN ── cooldown elapsed ──▶ HALF_OPEN (one probe dispatched)
+    HALF_OPEN ── probe success ──▶ CLOSED
+    HALF_OPEN ── probe failure ──▶ OPEN
+
+Failure classification is provenance-driven: a ``degrade`` event whose
+``source`` names an engine counts as that engine failing (the ladder
+only degrades after exhausting retries), and a terminal
+timeout/crash/``NumericalIncident``/``RetryExhausted`` outcome counts
+against the request's engine of record. Breaker-originated skip events
+carry a ``breaker:`` source prefix precisely so they are *not* fed back
+in as failures.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+from repro.runtime.provenance import KIND_DEGRADE
+from repro.runtime.trial import TrialFailure, TrialOutcome, TrialResult
+
+#: Breaker states (wire values in daemon stats frames).
+STATE_CLOSED = "closed"
+STATE_OPEN = "open"
+STATE_HALF_OPEN = "half-open"
+
+#: Provenance-source prefix marking breaker-originated degrade events
+#: (excluded from failure classification to avoid self-reinforcement).
+BREAKER_SOURCE_PREFIX = "breaker:"
+
+#: Terminal failure kinds / error types that count against the engine
+#: of record when no finer-grained provenance attributes the failure.
+_FAILURE_KINDS = frozenset({"timeout", "crash"})
+_FAILURE_ERROR_TYPES = frozenset({"NumericalIncident", "RetryExhausted",
+                                  "NgspiceError"})
+
+
+@dataclass(frozen=True)
+class BreakerPolicy:
+    """Knobs of one engine's breaker (shared by the whole board).
+
+    Attributes:
+        failure_threshold: consecutive failures that open the breaker.
+        cooldown: seconds an open breaker waits before half-opening.
+    """
+
+    failure_threshold: int = 5
+    cooldown: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if self.cooldown <= 0:
+            raise ValueError("cooldown must be positive")
+
+
+class _Breaker:
+    """State of one engine's breaker (board-internal)."""
+
+    def __init__(self) -> None:
+        self.state = STATE_CLOSED
+        self.consecutive_failures = 0
+        self.opened_at = 0.0
+        self.probe_in_flight = False
+        self.opened_total = 0
+
+    def to_json_dict(self) -> dict[str, Any]:
+        return {"state": self.state,
+                "consecutive_failures": self.consecutive_failures,
+                "opened_total": self.opened_total}
+
+
+class BreakerBoard:
+    """Thread-safe per-engine breaker state for one daemon.
+
+    Args:
+        engines: the session's oracle ladder, best rung first.
+        policy: shared breaker knobs.
+        clock: monotonic clock, injectable for tests.
+    """
+
+    def __init__(self, engines: Sequence[str],
+                 policy: BreakerPolicy | None = None,
+                 clock: Callable[[], float] = time.monotonic):
+        self.engines = tuple(engines)
+        self.policy = policy if policy is not None else BreakerPolicy()
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._breakers = {engine: _Breaker() for engine in self.engines}
+
+    # -- dispatch side ------------------------------------------------
+
+    def open_engines(self) -> frozenset[str]:
+        """Engines the next request should skip.
+
+        Called once per dispatch. An open breaker past its cooldown
+        transitions to half-open here and is *excluded* from the
+        returned set exactly once — that dispatch is the probe; until
+        its outcome is observed the engine stays skipped for everyone
+        else.
+        """
+        skip: set[str] = set()
+        now = self._clock()
+        with self._lock:
+            for engine, breaker in self._breakers.items():
+                if breaker.state == STATE_OPEN:
+                    if now - breaker.opened_at >= self.policy.cooldown:
+                        breaker.state = STATE_HALF_OPEN
+                        breaker.probe_in_flight = True
+                        continue  # this caller probes the engine
+                    skip.add(engine)
+                elif breaker.state == STATE_HALF_OPEN:
+                    if breaker.probe_in_flight:
+                        skip.add(engine)
+                    else:
+                        breaker.probe_in_flight = True
+        return frozenset(skip)
+
+    def engine_of_record(self, skip: frozenset[str]) -> str:
+        """The rung a request dispatched with ``skip`` actually leads on."""
+        for engine in self.engines:
+            if engine not in skip:
+                return engine
+        return self.engines[-1]
+
+    # -- observation side ---------------------------------------------
+
+    def observe(self, outcome: TrialOutcome, engine_of_record: str) -> None:
+        """Feed one settled outcome back into the board.
+
+        Provenance ``degrade`` events attribute failures to the engines
+        that exhausted their retries; a clean result credits the engine
+        that produced the number; terminal failures debit the engine of
+        record.
+        """
+        if isinstance(outcome, TrialResult):
+            answering = engine_of_record
+            for event in outcome.provenance:
+                if event.kind != KIND_DEGRADE:
+                    continue
+                if event.source.startswith(BREAKER_SOURCE_PREFIX):
+                    # A breaker-originated skip moved the engine of
+                    # record down a rung; that is not a fresh failure.
+                    answering = _engine_name(event.target)
+                    continue
+                self.record_failure(_engine_name(event.source))
+                answering = _engine_name(event.target)
+            self.record_success(answering)
+            return
+        if isinstance(outcome, TrialFailure):
+            if outcome.kind in _FAILURE_KINDS or (
+                    outcome.error_type in _FAILURE_ERROR_TYPES):
+                self.record_failure(engine_of_record)
+
+    def record_failure(self, engine: str) -> None:
+        with self._lock:
+            breaker = self._breakers.get(engine)
+            if breaker is None:
+                return
+            if breaker.state == STATE_HALF_OPEN:
+                self._trip(breaker)
+            elif breaker.state == STATE_CLOSED:
+                breaker.consecutive_failures += 1
+                if (breaker.consecutive_failures
+                        >= self.policy.failure_threshold):
+                    self._trip(breaker)
+
+    def record_success(self, engine: str) -> None:
+        with self._lock:
+            breaker = self._breakers.get(engine)
+            if breaker is None:
+                return
+            breaker.state = STATE_CLOSED
+            breaker.consecutive_failures = 0
+            breaker.probe_in_flight = False
+
+    def _trip(self, breaker: _Breaker) -> None:
+        breaker.state = STATE_OPEN
+        breaker.opened_at = self._clock()
+        breaker.opened_total += 1
+        breaker.probe_in_flight = False
+        breaker.consecutive_failures = 0
+
+    # -- reporting ----------------------------------------------------
+
+    def state_of(self, engine: str) -> str:
+        with self._lock:
+            breaker = self._breakers.get(engine)
+            return STATE_CLOSED if breaker is None else breaker.state
+
+    def to_json_dict(self) -> dict[str, Any]:
+        with self._lock:
+            return {engine: breaker.to_json_dict()
+                    for engine, breaker in self._breakers.items()}
+
+
+def _engine_name(model_name: str) -> str:
+    """Ladder-model name → configured engine name (``spice-X`` → ``X``)."""
+    if model_name.startswith("spice-"):
+        return model_name[len("spice-"):]
+    return model_name

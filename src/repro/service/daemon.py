@@ -38,6 +38,8 @@ the daemon exits 0.
 
 from __future__ import annotations
 
+import json
+import os
 import signal
 import socket
 import threading
@@ -47,7 +49,7 @@ from pathlib import Path
 from typing import Any, Callable, IO, Iterator
 
 from repro.contracts import boundary
-from repro.runtime.journal import ResultCache
+from repro.runtime.journal import ResultCache, atomic_write_text
 from repro.runtime.pool import PoolTask, WorkerPool
 from repro.runtime.trial import (
     FAILURE_DRAINED,
@@ -59,6 +61,7 @@ from repro.service.admission import (
     ServiceDraining,
     ServiceOverload,
 )
+from repro.service.breaker import BreakerBoard, BreakerPolicy
 from repro.service.protocol import (
     ERROR_DRAINING,
     ERROR_EXCEPTION,
@@ -82,7 +85,10 @@ from repro.service.session import (
     route_outcome,
     run_route_task,
     task_frame,
+    wire_frame,
 )
+from repro.service.supervisor import HEARTBEAT_FILENAME, PID_FILENAME
+from repro.service.wal import PendingEntry, RequestWAL, compact, load_pending
 
 #: One response writer: thread-safe, never raises into the executor.
 Reply = Callable[[dict[str, Any]], None]
@@ -108,6 +114,17 @@ class ServiceConfig:
         cache_capacity: in-memory warm-cache bound.
         max_coalesced: waiters allowed behind one in-flight fingerprint
             before further duplicates are shed as overload.
+        run_dir: durability/supervision state directory — the
+            write-ahead request log, heartbeat file, and pid file live
+            here (``None`` disables all three).
+        recover: replay admitted-but-unanswered WAL entries from
+            ``run_dir`` at startup (requires ``run_dir``).
+        breaker: per-engine circuit-breaker policy over the oracle
+            ladder (``None`` disables breakers).
+        heartbeat_interval: seconds between heartbeat-file touches
+            (the supervisor's hang detector watches the file's mtime).
+        wal_fail_after: chaos hook — the WAL append with this 0-based
+            index raises ``OSError`` once (disk-full simulation).
     """
 
     session: SessionConfig = field(default_factory=SessionConfig)
@@ -117,6 +134,11 @@ class ServiceConfig:
     cache_dir: Path | None = None
     cache_capacity: int = 4096
     max_coalesced: int = 64
+    run_dir: Path | None = None
+    recover: bool = False
+    breaker: BreakerPolicy | None = field(default_factory=BreakerPolicy)
+    heartbeat_interval: float = 1.0
+    wal_fail_after: int | None = None
 
     def __post_init__(self) -> None:
         if self.queue_capacity < 1:
@@ -127,6 +149,11 @@ class ServiceConfig:
             raise ValueError("drain_grace must be non-negative")
         if self.max_coalesced < 1:
             raise ValueError("max_coalesced must be >= 1")
+        if self.recover and self.run_dir is None:
+            raise ValueError("recover requires run_dir (the WAL to "
+                             "replay)")
+        if self.heartbeat_interval <= 0:
+            raise ValueError("heartbeat_interval must be positive")
 
 
 @dataclass
@@ -140,6 +167,8 @@ class ServiceStats:
     coalesced: int = 0
     degraded: int = 0
     worker_crashes: int = 0
+    replayed: int = 0
+    wal_errors: int = 0
     errors_by_kind: dict[str, int] = field(default_factory=dict)
 
     def count_error(self, kind: str) -> None:
@@ -154,6 +183,8 @@ class ServiceStats:
                 "coalesced": self.coalesced,
                 "degraded": self.degraded,
                 "worker_crashes": self.worker_crashes,
+                "replayed": self.replayed,
+                "wal_errors": self.wal_errors,
                 "errors_by_kind": dict(self.errors_by_kind)}
 
 
@@ -166,6 +197,9 @@ class _Admitted:
     reply: Reply
     admitted_at: float
     budget: float
+    wal_seq: int | None = None
+    replayed: bool = False
+    skip_engines: frozenset[str] = frozenset()
     followers: list["_Admitted"] = field(default_factory=list)
 
     def remaining(self) -> float:
@@ -189,6 +223,25 @@ class RoutingDaemon:
         self._leaders: dict[str, _Admitted] = {}
         self._leaders_lock = threading.Lock()
         self._listener: socket.socket | None = None
+        self._previous_sigterm: Any = None
+        self._signals_installed = False
+        self._heartbeat_stop = threading.Event()
+        self.breakers = (None if self.config.breaker is None
+                         else BreakerBoard(self.config.session.engines,
+                                           self.config.breaker))
+        self.wal: RequestWAL | None = None
+        self._pending_replay: tuple[PendingEntry, ...] = ()
+        if self.config.run_dir is not None:
+            run_dir = Path(self.config.run_dir)
+            run_dir.mkdir(parents=True, exist_ok=True)
+            next_seq = 0
+            if self.config.recover:
+                replay = load_pending(run_dir)
+                compact(run_dir, replay)
+                self._pending_replay = replay.pending
+                next_seq = replay.next_seq
+            self.wal = RequestWAL(run_dir, next_seq=next_seq,
+                                  fail_after=self.config.wal_fail_after)
 
     # -- shutdown -----------------------------------------------------
 
@@ -219,7 +272,23 @@ class RoutingDaemon:
             # notices the flag within one poll tick and drains.
             self._drain_requested.set()
 
+        self._previous_sigterm = signal.getsignal(signal.SIGTERM)
         signal.signal(signal.SIGTERM, _on_term)
+        self._signals_installed = True
+
+    def _restore_signal_handlers(self) -> None:
+        """Put back whatever SIGTERM handler the host process had.
+
+        Embedding the daemon (tests, the supervisor's in-process uses)
+        must not permanently clobber the host's handlers.
+        """
+        if not self._signals_installed:
+            return
+        self._signals_installed = False
+        try:
+            signal.signal(signal.SIGTERM, self._previous_sigterm)
+        except (ValueError, TypeError):  # repro: allow=contracts-broad-catch-swallow — restoring from a non-main thread (or an exotic saved handler) is best-effort; the daemon is exiting either way
+            pass
 
     # -- intake -------------------------------------------------------
 
@@ -248,12 +317,17 @@ class RoutingDaemon:
                     "draining": self._drain_requested.is_set()}))
                 return
             if request.op == "stats":
-                reply(ok_response(request.id, "stats", {
+                payload: dict[str, Any] = {
                     "service": self.stats.to_json_dict(),
                     "admission": self.queue.stats.to_json_dict(),
                     "cache": {"entries": len(self.cache),
                               "hits": self.cache.hits,
-                              "misses": self.cache.misses}}))
+                              "misses": self.cache.misses,
+                              "corrupt_records":
+                              self.cache.corrupt_records}}
+                if self.breakers is not None:
+                    payload["breakers"] = self.breakers.to_json_dict()
+                reply(ok_response(request.id, "stats", payload))
                 return
             self._admit_route(request, reply)
         except Exception as exc:
@@ -269,11 +343,17 @@ class RoutingDaemon:
         item = _Admitted(request=request, fingerprint=fp, reply=reply,
                          admitted_at=time.monotonic(),
                          budget=self.config.session.deadline_for(request))
+        # Write-ahead: the frame is durably journaled *before* any
+        # admission decision executes it, so a crash after this line
+        # can never silently lose the request. Frames shed below get a
+        # terminal record immediately.
+        self._wal_admit(item)
         with self._leaders_lock:
             leader = self._leaders.get(fp)
             if leader is not None:
                 if len(leader.followers) >= self.config.max_coalesced:
                     self.stats.count_error(ERROR_OVERLOAD)
+                    self._wal_done(item, ERROR_OVERLOAD)
                     reply(error_response(
                         request.id, ERROR_OVERLOAD, "ServiceOverload",
                         f"too many requests coalesced behind fingerprint "
@@ -285,16 +365,125 @@ class RoutingDaemon:
             self.queue.offer(item)
         except ServiceOverload as exc:
             self.stats.count_error(ERROR_OVERLOAD)
+            self._wal_done(item, ERROR_OVERLOAD)
             reply(error_response(request.id, ERROR_OVERLOAD,
                                  type(exc).__name__, str(exc)))
             return
         except ServiceDraining as exc:
             self.stats.count_error(ERROR_DRAINING)
+            self._wal_done(item, ERROR_DRAINING)
             reply(error_response(request.id, ERROR_DRAINING,
                                  type(exc).__name__, str(exc)))
             return
         with self._leaders_lock:
             self._leaders[fp] = item
+
+    # -- write-ahead log ----------------------------------------------
+
+    def _wal_admit(self, item: _Admitted) -> None:
+        """Journal one admitted frame; a WAL failure degrades durability,
+        never availability (the request is still served)."""
+        if self.wal is None:
+            return
+        try:
+            item.wal_seq = self.wal.admit(wire_frame(item.request),
+                                          item.fingerprint)
+        except OSError:  # disk-full must not reject the request: served undurably, error counted (clients needing the guarantee watch wal_errors)
+            self.stats.wal_errors += 1
+
+    def _wal_done(self, item: _Admitted, status: str) -> None:
+        if self.wal is None or item.wal_seq is None:
+            return
+        try:
+            self.wal.done(item.wal_seq, status)
+        except OSError:  # a lost terminal record means at worst one extra idempotent, cache-served replay after the next crash
+            self.stats.wal_errors += 1
+
+    # -- recovery & run-dir services ----------------------------------
+
+    def _replay_pending(self, reply: Reply) -> None:
+        """Re-enqueue the previous generation's unanswered WAL entries.
+
+        Runs once, before the transport starts reading. Entries whose
+        fingerprint already completed are answered from the warm cache
+        by the normal execution path (that is what makes recovery
+        idempotent); the rest are routed again. Admission capacity does
+        not apply — these requests were already admitted once, and
+        shedding them now would break the exactly-once promise the WAL
+        exists to keep.
+        """
+        entries, self._pending_replay = self._pending_replay, ()
+        for entry in entries:
+            try:
+                request = parse_checked(json.dumps(entry.frame),
+                                        self.config.session)
+            except ProtocolError as exc:
+                # The frame was valid when admitted, so this means the
+                # config changed between generations (e.g. fault
+                # injection turned off). Terminal-record it so it is
+                # never replayed again.
+                self.stats.protocol_errors += 1
+                self.stats.count_error(ERROR_PROTOCOL)
+                reply(error_response(exc.frame_id, ERROR_PROTOCOL,
+                                     type(exc).__name__, str(exc)))
+                if self.wal is not None:
+                    try:
+                        self.wal.done(entry.seq, ERROR_PROTOCOL)
+                    except OSError:  # same availability-over-durability trade as _wal_done
+                        self.stats.wal_errors += 1
+                continue
+            # Recomputed, never trusted from the log: the fingerprint
+            # must bind the request to *this* generation's config.
+            fp = request_fingerprint(request, self.config.session)
+            item = _Admitted(
+                request=request, fingerprint=fp, reply=reply,
+                admitted_at=time.monotonic(),
+                budget=self.config.session.deadline_for(request),
+                wal_seq=entry.seq, replayed=True)
+            with self._leaders_lock:
+                leader = self._leaders.get(fp)
+                if leader is not None:
+                    leader.followers.append(item)
+                    continue
+            try:
+                self.queue.requeue(item)
+            except ServiceDraining:
+                self._deliver(item, self._drained_response(item))
+                continue
+            with self._leaders_lock:
+                self._leaders[fp] = item
+
+    def _start_run_dir_services(self) -> None:
+        """Write the pid file and start the heartbeat thread."""
+        if self.config.run_dir is None:
+            return
+        run_dir = Path(self.config.run_dir)
+        try:
+            atomic_write_text(run_dir / PID_FILENAME, f"{os.getpid()}\n")
+        except OSError:  # repro: allow=contracts-broad-catch-swallow — the pid file is advisory (chaos harnesses read it); serving continues without it
+            pass
+        threading.Thread(
+            target=self._heartbeat_loop,
+            args=(run_dir / HEARTBEAT_FILENAME,),
+            name="service-heartbeat", daemon=True).start()
+
+    def _heartbeat_loop(self, path: Path) -> None:
+        """Touch the heartbeat file until told to stop.
+
+        The supervisor's hang detector watches this file's mtime. The
+        beat runs on its own thread, so it proves the process is alive
+        and scheduling threads — catching stopped (``SIGSTOP``),
+        swapped-to-death, and interpreter-wedged daemons; executor
+        stalls on one slow request deliberately do *not* trip it (they
+        are bounded by per-request deadlines, not the watchdog).
+        """
+        while True:
+            try:
+                path.touch()
+            except OSError:  # repro: allow=contracts-broad-catch-swallow — a missed beat on a sick filesystem at worst triggers a supervisor restart, which is the safe direction
+                pass
+            if self._heartbeat_stop.wait(self.config.heartbeat_interval):
+                return
 
     # -- delivery -----------------------------------------------------
 
@@ -305,14 +494,23 @@ class RoutingDaemon:
                 del self._leaders[item.fingerprint]
             followers = list(item.followers)
             item.followers.clear()
+        if item.replayed:
+            response = dict(response, replayed=True)
+            self.stats.replayed += 1
         self._count_response(response)
         item.reply(response)
+        self._wal_done(item, _disposition(response))
         for follower in followers:
             echoed = dict(response,
                           id=follower.request.id, coalesced=True)
+            echoed.pop("replayed", None)
+            if follower.replayed:
+                echoed["replayed"] = True
+                self.stats.replayed += 1
             self.stats.coalesced += 1
             self._count_response(echoed)
             follower.reply(echoed)
+            self._wal_done(follower, _disposition(echoed))
 
     def _count_response(self, response: dict[str, Any]) -> None:
         if response.get("status") == "ok":
@@ -344,12 +542,18 @@ class RoutingDaemon:
         if multinet_eligible(item.request, self.config.session):
             # Fleet-of-one keeps serial answers on the same oracle (and
             # hence the same fingerprint → answer mapping) as pooled
-            # batches of the same daemon config.
+            # batches of the same daemon config. The stacked path is
+            # pure graph-Elmore, so breakers do not apply.
             outcome = route_fleet_outcomes(
                 [item.request], self.config.session, remaining)[0]
         else:
+            skip = (frozenset() if self.breakers is None
+                    else self.breakers.open_engines())
             outcome = route_outcome(item.request, self.config.session,
-                                    remaining)
+                                    remaining, skip)
+            if self.breakers is not None:
+                self.breakers.observe(
+                    outcome, self.breakers.engine_of_record(skip))
         return outcome_to_response(item.request, item.fingerprint, outcome,
                                    cache=self.cache)
 
@@ -402,6 +606,10 @@ class RoutingDaemon:
         def settle(key: tuple[int, int], outcome: TrialOutcome) -> None:
             settled = in_flight.pop(key, None)
             if settled is not None:
+                if self.breakers is not None:
+                    self.breakers.observe(
+                        outcome, self.breakers.engine_of_record(
+                            settled.skip_engines))
                 self._deliver(settled, outcome_to_response(
                     settled.request, settled.fingerprint, outcome,
                     cache=self.cache))
@@ -502,9 +710,12 @@ class RoutingDaemon:
         if remaining <= 0:
             self._deliver(item, self._expired(item))
             return
+        skip = (frozenset() if self.breakers is None
+                else self.breakers.open_engines())
+        item.skip_engines = skip
         task = PoolTask(key=key, fn=run_route_task,
                         args=(task_frame(item.request),
-                              self.config.session))
+                              self.config.session, skip))
         immediate = pool.submit(task, timeout=remaining)
         if immediate is not None:
             self._deliver(item, outcome_to_response(
@@ -536,14 +747,20 @@ class RoutingDaemon:
                 except (OSError, ValueError):  # repro: allow=contracts-broad-catch-swallow — the client hung up; dropping its response is the only option and the request itself already completed
                     pass
 
+        self._start_run_dir_services()
+        self._replay_pending(reply)
         reader = threading.Thread(
             target=self._read_stream, args=(input_stream, reply),
             name="service-reader", daemon=True)
         reader.start()
-        if self.config.workers > 0:
-            self._run_pooled()
-        else:
-            self._run_serial()
+        try:
+            if self.config.workers > 0:
+                self._run_pooled()
+            else:
+                self._run_serial()
+        finally:
+            self._heartbeat_stop.set()
+            self._restore_signal_handlers()
         reader.join(timeout=5.0)
         return 0
 
@@ -595,14 +812,23 @@ class RoutingDaemon:
         bound_host, bound_port = listener.getsockname()[:2]
         if ready is not None:
             ready(str(bound_host), int(bound_port))
+        self._start_run_dir_services()
+        # Socket replays answer into the void: the admitting
+        # connection died with the previous generation, so the value of
+        # the replay is filling the cache — the client's retry hits it.
+        self._replay_pending(lambda frame: None)
         accept_thread = threading.Thread(
             target=self._accept_loop, args=(listener, client_timeout),
             name="service-accept", daemon=True)
         accept_thread.start()
-        if self.config.workers > 0:
-            self._run_pooled()
-        else:
-            self._run_serial()
+        try:
+            if self.config.workers > 0:
+                self._run_pooled()
+            else:
+                self._run_serial()
+        finally:
+            self._heartbeat_stop.set()
+            self._restore_signal_handlers()
         try:
             listener.close()
         except OSError:  # repro: allow=contracts-broad-catch-swallow — already closed by request_drain; shutdown proceeds either way
@@ -640,6 +866,15 @@ class RoutingDaemon:
                 conn.close()
             except OSError:  # repro: allow=contracts-broad-catch-swallow — double-close on a dead socket during teardown is harmless
                 pass
+
+
+def _disposition(response: dict[str, Any]) -> str:
+    """A delivered response's WAL terminal status (``ok`` or error kind)."""
+    if response.get("status") == "ok":
+        return "ok"
+    error = response.get("error")
+    return (str(error.get("kind", "exception"))
+            if isinstance(error, dict) else "exception")
 
 
 def parse_checked(line: str, session: SessionConfig) -> Request:

@@ -107,6 +107,74 @@ def net_frame(net: Net) -> dict[str, Any]:
             "sinks": [[s.x, s.y] for s in net.sinks]}
 
 
+@dataclass(frozen=True)
+class CampaignFrame:
+    """One line of a campaign stream, with exactly-once bookkeeping.
+
+    Attributes:
+        line: the raw wire line (possibly deliberate garbage).
+        frame_id: the well-formed frame's ``id`` (``None`` for
+            malformed lines, which the daemon answers with a null-id
+            protocol error).
+        duplicate_of: the ``id`` this frame duplicates (coalescing/
+            warm-cache workload), or ``None`` for originals.
+    """
+
+    line: str
+    frame_id: str | None
+    duplicate_of: str | None = None
+
+
+def build_campaign_stream(plan: ServiceFaultPlan, nets: Sequence[Net],
+                          algorithm: str = "ldrg",
+                          deadline: float = 30.0,
+                          duplicate_every: int = 0,
+                          id_prefix: str = "req") -> list[CampaignFrame]:
+    """A deterministic fault stream annotated for exactly-once checks.
+
+    Same generator as :func:`build_fault_stream` (identical RNG draw
+    order, so same plan + same nets ⇒ same bytes), but each line comes
+    back as a :class:`CampaignFrame` that says which ``id`` must be
+    answered — the bookkeeping the kill/recover chaos campaign needs to
+    assert that every admitted request is answered exactly once across
+    daemon generations.
+    """
+    rng = random.Random(plan.seed)
+    frames: list[CampaignFrame] = []
+    emitted = 0
+    for index, net in enumerate(nets):
+        roll = rng.random()
+        frame_id = f"{id_prefix}-{index}"
+        frame: dict[str, Any] = {
+            "op": "route", "id": frame_id, "algorithm": algorithm,
+            "deadline": deadline, "net": net_frame(net),
+        }
+        kill_t = plan.kill_rate
+        malformed_t = kill_t + plan.malformed_rate
+        storm_t = malformed_t + plan.storm_rate
+        chaos_t = storm_t + plan.chaos_rate
+        if roll < kill_t:
+            frame["inject"] = INJECT_KILL
+        elif roll < malformed_t:
+            frames.append(CampaignFrame(
+                line=MALFORMED_FRAMES[rng.randrange(len(MALFORMED_FRAMES))],
+                frame_id=None))
+            continue
+        elif roll < storm_t:
+            frame["deadline"] = plan.storm_deadline
+        elif roll < chaos_t:
+            frame["inject"] = "raise" if rng.random() < 0.5 else "nan"
+        frames.append(CampaignFrame(
+            line=json.dumps(frame, sort_keys=True), frame_id=frame_id))
+        emitted += 1
+        if duplicate_every and emitted % duplicate_every == 0:
+            dup = dict(frame, id=f"{frame_id}-dup")
+            frames.append(CampaignFrame(
+                line=json.dumps(dup, sort_keys=True),
+                frame_id=f"{frame_id}-dup", duplicate_of=frame_id))
+    return frames
+
+
 def build_fault_stream(plan: ServiceFaultPlan, nets: Sequence[Net],
                        algorithm: str = "ldrg",
                        deadline: float = 30.0,
@@ -122,32 +190,7 @@ def build_fault_stream(plan: ServiceFaultPlan, nets: Sequence[Net],
         The request lines (no trailing newlines), ready to pipe into the
         daemon. Same plan + same nets ⇒ same bytes, always.
     """
-    rng = random.Random(plan.seed)
-    lines: list[str] = []
-    emitted = 0
-    for index, net in enumerate(nets):
-        roll = rng.random()
-        frame: dict[str, Any] = {
-            "op": "route", "id": f"req-{index}", "algorithm": algorithm,
-            "deadline": deadline, "net": net_frame(net),
-        }
-        kill_t = plan.kill_rate
-        malformed_t = kill_t + plan.malformed_rate
-        storm_t = malformed_t + plan.storm_rate
-        chaos_t = storm_t + plan.chaos_rate
-        if roll < kill_t:
-            frame["inject"] = INJECT_KILL
-        elif roll < malformed_t:
-            lines.append(MALFORMED_FRAMES[
-                rng.randrange(len(MALFORMED_FRAMES))])
-            continue
-        elif roll < storm_t:
-            frame["deadline"] = plan.storm_deadline
-        elif roll < chaos_t:
-            frame["inject"] = "raise" if rng.random() < 0.5 else "nan"
-        lines.append(json.dumps(frame, sort_keys=True))
-        emitted += 1
-        if duplicate_every and emitted % duplicate_every == 0:
-            dup = dict(frame, id=f"req-{index}-dup")
-            lines.append(json.dumps(dup, sort_keys=True))
-    return lines
+    return [frame.line
+            for frame in build_campaign_stream(
+                plan, nets, algorithm=algorithm, deadline=deadline,
+                duplicate_every=duplicate_every)]

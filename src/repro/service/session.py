@@ -50,6 +50,7 @@ from repro.geometry.net import Net
 from repro.geometry.point import Point
 from repro.guard.incidents import KIND_FALLBACK, record_event
 from repro.runtime import provenance
+from repro.runtime.provenance import KIND_DEGRADE
 from repro.runtime.chaos import ChaosDelayModel, ChaosPolicy
 from repro.runtime.journal import ResultCache, fingerprint
 from repro.runtime.pool import trial_deadline
@@ -191,7 +192,20 @@ def request_fingerprint(request: Request, config: SessionConfig) -> str:
     return fingerprint(payload)
 
 
-def build_model(config: SessionConfig, request: Request) -> DelayModel:
+def effective_engines(engines: Sequence[str],
+                      skip_engines: frozenset[str]) -> tuple[str, ...]:
+    """The ladder with breaker-opened rungs removed (never emptied).
+
+    The last configured rung is the engine of last resort: even with
+    its breaker open it stays reachable, because answering degraded
+    beats not answering at all.
+    """
+    kept = tuple(e for e in engines if e not in skip_engines)
+    return kept if kept else tuple(engines[-1:])
+
+
+def build_model(config: SessionConfig, request: Request,
+                skip_engines: frozenset[str] = frozenset()) -> DelayModel:
     """The request's delay oracle: plain, or the hardened ladder.
 
     A single in-process engine with no fault injection is returned
@@ -200,18 +214,36 @@ def build_model(config: SessionConfig, request: Request) -> DelayModel:
     ``inject`` directive, or a multi-rung ladder (including ngspice)
     switches to :class:`~repro.runtime.ResilientDelayModel`: bounded
     retries per rung, degradation with provenance between rungs.
+
+    ``skip_engines`` names rungs whose circuit breaker is open
+    (:mod:`repro.service.breaker`): each skipped rung is dropped from
+    the ladder with a recorded ``degrade`` provenance event whose
+    source carries the ``breaker:`` prefix — the response is therefore
+    marked degraded and never cached, and the board does not mistake
+    the skip for a fresh engine failure.
     """
+    engines = config.engines
+    if skip_engines:
+        kept = effective_engines(engines, skip_engines)
+        for engine in engines:
+            if engine not in kept:
+                record_event(
+                    KIND_DEGRADE, source=f"breaker:{engine}",
+                    target=kept[0],
+                    detail="circuit breaker open; rung skipped without "
+                           "spending its retry budget")
+        engines = kept
     segments = (request.segments if request.segments is not None
                 else config.segments)
     opts = SpiceOptions(segments=segments)
     chaos = _effective_chaos(config, request)
-    if (len(config.engines) == 1 and config.engines[0] != "ngspice"
+    if (len(engines) == 1 and engines[0] != "ngspice"
             and chaos is None):
-        base = SpiceOptions(segments=segments, engine=config.engines[0])
+        base = SpiceOptions(segments=segments, engine=engines[0])
         model: DelayModel = SpiceDelayModel(config.tech, base)
-        model.name = f"spice-{config.engines[0]}"
+        model.name = f"spice-{engines[0]}"
         return model
-    ladder = build_engine_ladder(config.tech, opts, config.engines)
+    ladder = build_engine_ladder(config.tech, opts, engines)
     if chaos is not None:
         net = request.net
         salt = net.name if net is not None else ""
@@ -234,7 +266,9 @@ def _effective_chaos(config: SessionConfig,
 
 
 def route_outcome(request: Request, config: SessionConfig,
-                  budget: float | None) -> TrialOutcome:
+                  budget: float | None,
+                  skip_engines: frozenset[str] = frozenset()
+                  ) -> TrialOutcome:
     """Route one net under a deadline, returning a structured outcome.
 
     This is the serial (in-daemon) execution path: it runs on the main
@@ -253,7 +287,7 @@ def route_outcome(request: Request, config: SessionConfig,
     try:
         with provenance.collecting() as events:
             with trial_deadline(budget):
-                result = _route(request, config)
+                result = _route(request, config, skip_engines)
         return TrialResult.from_routing(
             result, provenance=tuple(events),
             elapsed=time.perf_counter() - start)
@@ -364,22 +398,49 @@ def _route_fleet(requests: Sequence[Request],
     return [result for result in results if result is not None]
 
 
-def run_route_task(frame: Mapping[str, Any],
-                   config: SessionConfig) -> TrialResult:
+def run_route_task(frame: Mapping[str, Any], config: SessionConfig,
+                   skip_engines: frozenset[str] = frozenset()
+                   ) -> TrialResult:
     """Pool-worker entry point: route one request frame or raise.
 
     Module-level (hence picklable); the worker pool converts exceptions
     and timeouts to structured failures, and an injected worker kill
     here really does kill the worker process — the daemon observes a
     ``crash`` outcome and replaces the worker, which is exactly the
-    fault the harness wants to prove survivable.
+    fault the harness wants to prove survivable. ``skip_engines`` is
+    the dispatching daemon's snapshot of open circuit breakers.
     """
     request = _request_from_task_frame(frame)
     if config.enable_fault_injection and request.inject == INJECT_KILL:
         os._exit(42)
     with provenance.collecting() as events:
-        result = _route(request, config)
+        result = _route(request, config, skip_engines)
     return TrialResult.from_routing(result, provenance=tuple(events))
+
+
+def wire_frame(request: Request) -> dict[str, Any]:
+    """The request's full wire form, re-parseable by ``parse_frame``.
+
+    This is what the write-ahead log journals: a recovering daemon
+    re-parses it through the same validation path as live traffic, so
+    a WAL entry can never smuggle in a frame the protocol would have
+    rejected.
+    """
+    net = request.net
+    assert net is not None, "only route requests are journaled"
+    frame: dict[str, Any] = {
+        "op": "route", "id": request.id, "algorithm": request.algorithm,
+        "net": {"name": net.name,
+                "source": [net.source.x, net.source.y],
+                "sinks": [[s.x, s.y] for s in net.sinks]},
+    }
+    if request.deadline is not None:
+        frame["deadline"] = request.deadline
+    if request.segments is not None:
+        frame["segments"] = request.segments
+    if request.inject is not None:
+        frame["inject"] = request.inject
+    return frame
 
 
 def task_frame(request: Request) -> dict[str, Any]:
@@ -413,7 +474,8 @@ def _point(raw: Any) -> Point:
     return Point(float(raw[0]), float(raw[1]))
 
 
-def _route(request: Request, config: SessionConfig) -> RoutingResult:
+def _route(request: Request, config: SessionConfig,
+           skip_engines: frozenset[str] = frozenset()) -> RoutingResult:
     net = request.net
     if net is None:
         raise ProtocolError("route request carries no net")
@@ -432,7 +494,7 @@ def _route(request: Request, config: SessionConfig) -> RoutingResult:
             target="per-net",
             detail="request not fleet-eligible (algorithm, chaos, or "
                    "inject directive); served on the per-net path")
-    model = build_model(config, request)
+    model = build_model(config, request, skip_engines)
     return algorithm(net, config.tech, model)
 
 

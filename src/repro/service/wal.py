@@ -1,0 +1,230 @@
+"""Write-ahead request log: no admitted request is ever silently lost.
+
+The PR-2 trial journal makes *sweeps* crash-safe; this module does the
+same for the *service*. Every admitted route frame is appended to an
+append-only JSON-lines log (``wal.jsonl`` in the daemon's run
+directory) **before** execution, and marked with a terminal ``done``
+record **after** its response has been handed to the transport. A
+daemon killed at any instant therefore leaves a log from which the next
+generation can reconstruct exactly which requests were admitted but
+never answered — ``repro serve --recover RUN_DIR`` re-enqueues those,
+answering already-completed fingerprints from the warm
+:class:`~repro.runtime.journal.ResultCache`, so recovery is idempotent
+and exactly-once from the client's point of view.
+
+Durability discipline mirrors :mod:`repro.runtime.journal`: each append
+is flushed and fsynced before the admit/done call returns, and startup
+compaction rewrites the log through
+:func:`~repro.runtime.journal.atomic_write_text` (tmp + fsync +
+``os.replace`` + directory fsync), so a crash mid-compaction can never
+destroy the only copy. A torn final line — the signature of dying mid
+``write`` — is tolerated on load and reported, not raised.
+
+Record shapes (one JSON object per line)::
+
+    {"v": 1, "type": "admitted", "seq": 7, "fp": "…", "frame": {…}}
+    {"v": 1, "type": "done", "seq": 7, "status": "ok"}
+
+``seq`` is a monotonically increasing per-log sequence number;
+``frame`` is the request's wire form, re-parseable by
+:func:`~repro.service.protocol.parse_frame`. ``status`` is the
+response's disposition (``ok``, an error kind, or ``rejected`` for
+frames shed at admission after logging).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.contracts import boundary
+from repro.runtime.journal import atomic_write_text
+
+#: WAL format version, bumped on incompatible record changes.
+WAL_VERSION = 1
+
+#: The log's file name inside a run directory.
+WAL_FILENAME = "wal.jsonl"
+
+
+def wal_path(run_dir: Path) -> Path:
+    return Path(run_dir) / WAL_FILENAME
+
+
+@dataclass(frozen=True)
+class PendingEntry:
+    """One admitted-but-unanswered request reconstructed from the log."""
+
+    seq: int
+    fingerprint: str
+    frame: dict[str, Any]
+
+
+@dataclass(frozen=True)
+class WalReplay:
+    """What :func:`load_pending` found in a run directory's log.
+
+    Attributes:
+        pending: admitted entries with no terminal record, in admission
+            order — the requests a recovering daemon must re-enqueue.
+        next_seq: first unused sequence number for the next generation.
+        records: well-formed records seen (admitted + done).
+        completed: admitted entries that do have a terminal record.
+        corrupt_lines: unparseable or torn lines skipped on load.
+    """
+
+    pending: tuple[PendingEntry, ...]
+    next_seq: int
+    records: int
+    completed: int
+    corrupt_lines: int
+
+
+class RequestWAL:
+    """Append-only write-ahead log of admitted request frames.
+
+    Thread-safe: reader threads :meth:`admit` while the executor thread
+    marks :meth:`done`; one lock serializes appends so records are
+    never interleaved mid-line.
+
+    Args:
+        run_dir: directory holding ``wal.jsonl`` (created if missing).
+        next_seq: first sequence number to hand out (a recovering
+            daemon passes :attr:`WalReplay.next_seq`).
+        fail_after: chaos hook — the append with this 0-based index
+            raises :class:`OSError` (one-shot disk-full simulation);
+            ``None`` disables.
+    """
+
+    def __init__(self, run_dir: Path, next_seq: int = 0,
+                 fail_after: int | None = None):
+        self.run_dir = Path(run_dir)
+        self.path = wal_path(self.run_dir)
+        self.run_dir.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Lock()
+        self._next_seq = next_seq
+        self._appends = 0
+        self._fail_after = fail_after
+        self.errors = 0
+
+    @boundary(raises=(OSError,))
+    def admit(self, frame: Mapping[str, Any], fingerprint: str) -> int:
+        """Durably record one admitted frame; returns its sequence number.
+
+        Raises:
+            OSError: the record could not be made durable (disk full,
+                permissions). The caller decides availability-vs-
+                durability — the daemon serves the request anyway and
+                counts the error.
+        """
+        with self._lock:
+            seq = self._next_seq
+            self._next_seq += 1
+            self._append({"v": WAL_VERSION, "type": "admitted", "seq": seq,
+                          "fp": fingerprint, "frame": dict(frame)})
+            return seq
+
+    @boundary(raises=(OSError,))
+    def done(self, seq: int, status: str) -> None:
+        """Durably record the terminal disposition of entry ``seq``."""
+        with self._lock:
+            self._append({"v": WAL_VERSION, "type": "done", "seq": seq,
+                          "status": status})
+
+    def _append(self, record: dict[str, Any]) -> None:
+        index = self._appends
+        self._appends += 1
+        if self._fail_after is not None and index == self._fail_after:
+            self.errors += 1
+            raise OSError(28, "injected WAL write failure (disk full)")
+        line = json.dumps(record, sort_keys=True,
+                          separators=(",", ":")) + "\n"
+        try:
+            fd = os.open(self.path,
+                         os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+        except OSError:
+            self.errors += 1
+            raise
+        try:
+            os.write(fd, line.encode("utf-8"))
+            os.fsync(fd)
+        except OSError:
+            self.errors += 1
+            raise
+        finally:
+            os.close(fd)
+
+
+def load_pending(run_dir: Path) -> WalReplay:
+    """Reconstruct the admitted-but-unanswered set from a run directory.
+
+    Tolerant by design: a missing log means an empty replay; torn or
+    corrupt lines (the tail a crash can leave) are skipped and counted,
+    never raised — losing the torn *admitted* line means that request
+    was never durably admitted, which the client-side retry contract
+    already covers.
+    """
+    path = wal_path(Path(run_dir))
+    admitted: dict[int, PendingEntry] = {}
+    finished: set[int] = set()
+    corrupt = 0
+    records = 0
+    max_seq = -1
+    try:
+        raw_lines = path.read_text(encoding="utf-8").splitlines()
+    except FileNotFoundError:
+        raw_lines = []
+    for raw in raw_lines:
+        if not raw.strip():
+            continue
+        try:
+            record = json.loads(raw)
+            if not isinstance(record, dict):
+                raise ValueError("record is not an object")
+            kind = record["type"]
+            seq = int(record["seq"])
+            if kind == "admitted":
+                frame = record["frame"]
+                if not isinstance(frame, dict):
+                    raise ValueError("'frame' is not an object")
+                admitted[seq] = PendingEntry(
+                    seq=seq, fingerprint=str(record["fp"]), frame=frame)
+            elif kind == "done":
+                finished.add(seq)
+            else:
+                raise ValueError(f"unknown record type {kind!r}")
+        except (ValueError, KeyError, TypeError):  # torn/corrupt line (expected after SIGKILL mid-append): counted and skipped
+            corrupt += 1
+            continue
+        records += 1
+        max_seq = max(max_seq, seq)
+    pending = tuple(entry for seq, entry in sorted(admitted.items())
+                    if seq not in finished)
+    completed = sum(1 for seq in admitted if seq in finished)
+    return WalReplay(pending=pending, next_seq=max_seq + 1,
+                     records=records, completed=completed,
+                     corrupt_lines=corrupt)
+
+
+@boundary(raises=(OSError,))
+def compact(run_dir: Path, replay: WalReplay) -> None:
+    """Atomically rewrite the log to just the still-pending entries.
+
+    Run at recovery startup, before the new generation appends: settled
+    admitted/done pairs and corrupt tails are dropped, pending entries
+    keep their original sequence numbers (so ``done`` records written
+    by the new generation still pair up). The rewrite goes through the
+    PR-2 atomic-write idiom, so a crash mid-compaction leaves either
+    the old log or the new one — never a mix, never nothing.
+    """
+    lines = [json.dumps({"v": WAL_VERSION, "type": "admitted",
+                         "seq": entry.seq, "fp": entry.fingerprint,
+                         "frame": entry.frame},
+                        sort_keys=True, separators=(",", ":"))
+             for entry in replay.pending]
+    atomic_write_text(wal_path(Path(run_dir)),
+                      "".join(line + "\n" for line in lines))

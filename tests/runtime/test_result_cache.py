@@ -67,12 +67,34 @@ class TestDiskTier:
         cache = ResultCache(tmp_path)
         (tmp_path / "result_bad.json").write_text("{not json")
         assert cache.lookup_cached("bad") is None
+        assert cache.corrupt_records == 1
+
+    def test_truncated_record_is_a_counted_miss(self, tmp_path):
+        # a crash mid-write leaves a prefix of valid JSON: must be a
+        # quiet miss, not an exception that takes the daemon down
+        ResultCache(tmp_path).store("abc", PAYLOAD)
+        path = tmp_path / "result_abc.json"
+        path.write_text(path.read_text()[: len(path.read_text()) // 2])
+        cache = ResultCache(tmp_path)
+        assert cache.lookup_cached("abc") is None
+        assert cache.corrupt_records == 1
+        # the slot is recoverable: a fresh store overwrites the wreck
+        cache.store("abc", PAYLOAD)
+        assert ResultCache(tmp_path).lookup_cached("abc") == PAYLOAD
+
+    def test_non_dict_record_is_a_counted_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        (tmp_path / "result_odd.json").write_text("[1, 2, 3]")
+        assert cache.lookup_cached("odd") is None
+        assert cache.corrupt_records == 1
 
     def test_wrong_fingerprint_record_is_a_miss(self, tmp_path):
         ResultCache(tmp_path).store("abc", PAYLOAD)
         (tmp_path / "result_xyz.json").write_text(
             (tmp_path / "result_abc.json").read_text())
-        assert ResultCache(tmp_path).lookup_cached("xyz") is None
+        cache = ResultCache(tmp_path)
+        assert cache.lookup_cached("xyz") is None
+        assert cache.corrupt_records == 1
 
     def test_memory_only_mode_writes_nothing(self, tmp_path):
         cache = ResultCache()

@@ -95,6 +95,37 @@ class TestCasualties:
             outcomes = collect(pool, 1)
             assert outcomes[(9, 1)] == payload(9, 1)
 
+    def test_sequential_crashes_never_shrink_capacity(self):
+        # regression: each casualty must be replaced, so N crashes in a
+        # row still leave the pool with its full complement of slots
+        with WorkerPool(2) as pool:
+            for round_ in range(3):
+                pool.submit(PoolTask(key=(10, round_), fn=crash_trial))
+                outcomes = collect(pool, 1)
+                assert outcomes[(10, round_)].kind == FAILURE_CRASH
+            # full capacity: two concurrent submissions both accepted
+            assert pool.can_accept()
+            pool.submit(PoolTask(key=(11, 0), fn=ok_trial, args=(11, 0)))
+            assert pool.can_accept()
+            pool.submit(PoolTask(key=(11, 1), fn=ok_trial, args=(11, 1)))
+            outcomes = collect(pool, 2)
+            assert outcomes == {(11, t): payload(11, t) for t in range(2)}
+            assert len(pool._live) <= 2
+
+    def test_worker_dying_while_idle_is_culled_on_next_submit(self):
+        with WorkerPool(1) as pool:
+            pool.submit(PoolTask(key=(12, 0), fn=ok_trial, args=(12, 0)))
+            collect(pool, 1)
+            # the worker sits idle; kill it behind the pool's back
+            (casualty,) = pool._idle
+            casualty.process.kill()
+            casualty.process.join(timeout=10.0)
+            # the next submit must notice, replace, and still deliver
+            assert pool.submit(PoolTask(key=(12, 1), fn=ok_trial,
+                                        args=(12, 1))) is None
+            outcomes = collect(pool, 1)
+            assert outcomes[(12, 1)] == payload(12, 1)
+
     def test_overdue_worker_hard_killed(self):
         with WorkerPool(1) as pool:
             pool.submit(PoolTask(key=(9, 2), fn=stubborn_hang_trial),

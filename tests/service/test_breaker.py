@@ -1,0 +1,154 @@
+"""Per-engine circuit breakers: state machine, probes, attribution."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runtime.provenance import KIND_DEGRADE, ProvenanceEvent
+from repro.runtime.trial import TrialFailure, TrialResult
+from repro.service.breaker import (
+    BREAKER_SOURCE_PREFIX,
+    BreakerBoard,
+    BreakerPolicy,
+    STATE_CLOSED,
+    STATE_HALF_OPEN,
+    STATE_OPEN,
+)
+
+ENGINES = ("ngspice", "transient", "analytic")
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self):
+        return self.now
+
+
+def board(threshold=3, cooldown=10.0):
+    clock = FakeClock()
+    return BreakerBoard(ENGINES,
+                        BreakerPolicy(failure_threshold=threshold,
+                                      cooldown=cooldown),
+                        clock=clock), clock
+
+
+def result(provenance=()):
+    return TrialResult(algorithm="ldrg", model="resilient(spice-ngspice)",
+                       delay=1.0, cost=1.0, base_delay=1.0, base_cost=1.0,
+                       provenance=tuple(provenance))
+
+
+def degrade(source, target):
+    return ProvenanceEvent(kind=KIND_DEGRADE, source=source, target=target)
+
+
+class TestStateMachine:
+    def test_threshold_consecutive_failures_open(self):
+        brd, _ = board(threshold=3)
+        for _ in range(2):
+            brd.record_failure("ngspice")
+        assert brd.state_of("ngspice") == STATE_CLOSED
+        brd.record_failure("ngspice")
+        assert brd.state_of("ngspice") == STATE_OPEN
+        assert brd.open_engines() == frozenset({"ngspice"})
+
+    def test_success_resets_the_consecutive_count(self):
+        brd, _ = board(threshold=2)
+        brd.record_failure("ngspice")
+        brd.record_success("ngspice")
+        brd.record_failure("ngspice")
+        assert brd.state_of("ngspice") == STATE_CLOSED
+
+    def test_cooldown_elapses_into_half_open_with_one_probe(self):
+        brd, clock = board(threshold=1, cooldown=10.0)
+        brd.record_failure("ngspice")
+        assert brd.open_engines() == frozenset({"ngspice"})
+        clock.now += 10.0
+        # the first dispatch after cooldown is the probe: not skipped
+        assert brd.open_engines() == frozenset()
+        assert brd.state_of("ngspice") == STATE_HALF_OPEN
+        # everyone else keeps skipping while the probe is in flight
+        assert brd.open_engines() == frozenset({"ngspice"})
+
+    def test_probe_success_closes(self):
+        brd, clock = board(threshold=1, cooldown=1.0)
+        brd.record_failure("ngspice")
+        clock.now += 1.0
+        brd.open_engines()  # dispatches the probe
+        brd.record_success("ngspice")
+        assert brd.state_of("ngspice") == STATE_CLOSED
+        assert brd.open_engines() == frozenset()
+
+    def test_probe_failure_reopens_for_another_cooldown(self):
+        brd, clock = board(threshold=3, cooldown=1.0)
+        for _ in range(3):
+            brd.record_failure("ngspice")
+        clock.now += 1.0
+        brd.open_engines()
+        brd.record_failure("ngspice")  # one probe failure re-trips
+        assert brd.state_of("ngspice") == STATE_OPEN
+        assert brd.open_engines() == frozenset({"ngspice"})
+
+    def test_engine_of_record_follows_the_skip_set(self):
+        brd, _ = board()
+        assert brd.engine_of_record(frozenset()) == "ngspice"
+        assert brd.engine_of_record(frozenset({"ngspice"})) == "transient"
+        assert brd.engine_of_record(
+            frozenset(ENGINES)) == "analytic"  # last resort stays
+
+
+class TestOutcomeAttribution:
+    def test_clean_result_credits_the_engine_of_record(self):
+        brd, _ = board(threshold=1)
+        brd.record_failure("ngspice")
+        brd._breakers["ngspice"].state = STATE_HALF_OPEN
+        brd.observe(result(), "ngspice")
+        assert brd.state_of("ngspice") == STATE_CLOSED
+
+    def test_degrade_event_debits_source_credits_target(self):
+        brd, _ = board(threshold=1)
+        brd.observe(result([degrade("spice-ngspice", "spice-transient")]),
+                    "ngspice")
+        assert brd.state_of("ngspice") == STATE_OPEN
+        assert brd.state_of("transient") == STATE_CLOSED
+
+    def test_breaker_originated_skip_is_not_a_failure(self):
+        brd, _ = board(threshold=1)
+        brd.observe(result([degrade(f"{BREAKER_SOURCE_PREFIX}ngspice",
+                                    "spice-transient")]),
+                    "ngspice")
+        assert brd.state_of("ngspice") == STATE_CLOSED
+
+    def test_terminal_failure_kinds_debit_engine_of_record(self):
+        brd, _ = board(threshold=1)
+        brd.observe(TrialFailure(kind="timeout", error_type="TrialTimeout",
+                                 message="budget"), "transient")
+        assert brd.state_of("transient") == STATE_OPEN
+
+    def test_plain_exception_failures_do_not_trip(self):
+        brd, _ = board(threshold=1)
+        brd.observe(TrialFailure(kind="exception", error_type="ValueError",
+                                 message="bad input"), "transient")
+        assert brd.state_of("transient") == STATE_CLOSED
+
+    def test_unknown_engine_names_are_ignored(self):
+        brd, _ = board(threshold=1)
+        brd.record_failure("warp-drive")  # no such rung: no crash
+        assert brd.to_json_dict().keys() == set(ENGINES)
+
+
+class TestReporting:
+    def test_json_dict_shape(self):
+        brd, _ = board(threshold=1)
+        brd.record_failure("ngspice")
+        state = brd.to_json_dict()["ngspice"]
+        assert state["state"] == STATE_OPEN
+        assert state["opened_total"] == 1
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            BreakerPolicy(failure_threshold=0)
+        with pytest.raises(ValueError):
+            BreakerPolicy(cooldown=0.0)

@@ -142,3 +142,45 @@ class TestDaemonBatchPath:
         assert response["engine"] != "elmore"
         assert any(e["kind"] == "fallback"
                    for e in response["provenance"])
+
+
+class TestDrainMidBatch:
+    def test_drain_arriving_mid_batch_loses_nothing(self, monkeypatch):
+        # SIGTERM lands while a stacked fleet batch is executing: the
+        # members already in route_fleet_outcomes must finish and be
+        # answered; anything still queued drains; no id goes dark
+        import repro.service.daemon as daemon_module
+        real = daemon_module.route_fleet_outcomes
+        drained_via: list[RoutingDaemon] = []
+
+        def drain_then_route(requests, config, budget):
+            if drained_via:
+                drained_via[0].request_drain()
+            return real(requests, config, budget)
+
+        monkeypatch.setattr(daemon_module, "route_fleet_outcomes",
+                            drain_then_route)
+
+        requests = [route_request(i, seed=i) for i in range(6)]
+        session = SessionConfig(multinet=True)
+        daemon = RoutingDaemon(ServiceConfig(session=session, workers=1))
+        drained_via.append(daemon)
+        lines = "".join(json.dumps({"op": "route", "id": r.id,
+                                    "algorithm": r.algorithm,
+                                    "net": {"name": r.net.name,
+                                            "source": [r.net.source.x,
+                                                       r.net.source.y],
+                                            "sinks": [[s.x, s.y]
+                                                      for s in
+                                                      r.net.sinks]}})
+                        + "\n" for r in requests)
+        out = io.StringIO()
+        daemon.serve(io.StringIO(lines), out)
+        responses = {r["id"]: r
+                     for r in map(json.loads,
+                                  out.getvalue().splitlines())}
+        assert set(responses) == {r.id for r in requests}
+        executed = [r for r in responses.values() if r["status"] == "ok"]
+        drained = [r for r in responses.values() if r["status"] == "error"]
+        assert executed, "the in-flight batch must finish its work"
+        assert all(r["error"]["kind"] == "draining" for r in drained)

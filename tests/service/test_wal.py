@@ -1,0 +1,115 @@
+"""The write-ahead request log: durability, torn tails, compaction."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.service.wal import (
+    RequestWAL,
+    WAL_VERSION,
+    compact,
+    load_pending,
+    wal_path,
+)
+
+FRAME = {"op": "route", "id": "r1", "algorithm": "ldrg",
+         "net": {"source": [0, 0], "sinks": [[100, 100]]}}
+
+
+class TestAppendAndLoad:
+    def test_admit_then_done_leaves_nothing_pending(self, tmp_path):
+        wal = RequestWAL(tmp_path)
+        seq = wal.admit(FRAME, "fp-a")
+        wal.done(seq, "ok")
+        replay = load_pending(tmp_path)
+        assert replay.pending == ()
+        assert replay.completed == 1
+        assert replay.records == 2
+        assert replay.next_seq == seq + 1
+
+    def test_unanswered_admits_come_back_in_order(self, tmp_path):
+        wal = RequestWAL(tmp_path)
+        seqs = [wal.admit(dict(FRAME, id=f"r{i}"), f"fp-{i}")
+                for i in range(4)]
+        wal.done(seqs[1], "ok")
+        replay = load_pending(tmp_path)
+        assert [entry.seq for entry in replay.pending] == [
+            seqs[0], seqs[2], seqs[3]]
+        assert [entry.frame["id"] for entry in replay.pending] == [
+            "r0", "r2", "r3"]
+        assert replay.pending[0].fingerprint == "fp-0"
+
+    def test_missing_log_is_an_empty_replay(self, tmp_path):
+        replay = load_pending(tmp_path / "nowhere")
+        assert replay.pending == ()
+        assert replay.next_seq == 0
+        assert replay.corrupt_lines == 0
+
+    def test_sequence_numbers_resume_across_generations(self, tmp_path):
+        first = RequestWAL(tmp_path)
+        first.admit(FRAME, "fp-a")
+        replay = load_pending(tmp_path)
+        second = RequestWAL(tmp_path, next_seq=replay.next_seq)
+        assert second.admit(FRAME, "fp-b") == replay.next_seq
+
+    def test_records_are_reparseable_json(self, tmp_path):
+        wal = RequestWAL(tmp_path)
+        wal.admit(FRAME, "fp-a")
+        (line,) = wal_path(tmp_path).read_text().splitlines()
+        record = json.loads(line)
+        assert record["v"] == WAL_VERSION
+        assert record["type"] == "admitted"
+        assert record["frame"]["net"]["source"] == [0, 0]
+
+
+class TestTornTails:
+    def test_torn_final_line_is_skipped_and_counted(self, tmp_path):
+        wal = RequestWAL(tmp_path)
+        wal.admit(FRAME, "fp-a")
+        with open(wal_path(tmp_path), "a", encoding="utf-8") as handle:
+            handle.write('{"v": 1, "type": "admitted", "seq": 9')  # torn
+        replay = load_pending(tmp_path)
+        assert replay.corrupt_lines == 1
+        assert [e.fingerprint for e in replay.pending] == ["fp-a"]
+
+    def test_garbage_lines_never_raise(self, tmp_path):
+        wal_path(tmp_path).parent.mkdir(parents=True, exist_ok=True)
+        wal_path(tmp_path).write_text(
+            "not json\n[1,2]\n"
+            '{"v":1,"type":"warp","seq":0}\n'
+            '{"v":1,"type":"admitted","seq":"x"}\n')
+        replay = load_pending(tmp_path)
+        assert replay.pending == ()
+        assert replay.corrupt_lines == 4
+
+
+class TestCompaction:
+    def test_compact_keeps_only_pending_with_original_seqs(self, tmp_path):
+        wal = RequestWAL(tmp_path)
+        done_seq = wal.admit(dict(FRAME, id="done"), "fp-done")
+        wal.done(done_seq, "ok")
+        open_seq = wal.admit(dict(FRAME, id="open"), "fp-open")
+        compact(tmp_path, load_pending(tmp_path))
+        lines = wal_path(tmp_path).read_text().splitlines()
+        assert len(lines) == 1
+        record = json.loads(lines[0])
+        assert record["seq"] == open_seq
+        assert record["fp"] == "fp-open"
+        # a done written after compaction still pairs up by seq
+        RequestWAL(tmp_path, next_seq=open_seq + 1).done(open_seq, "ok")
+        assert load_pending(tmp_path).pending == ()
+
+
+class TestFaultInjection:
+    def test_fail_after_raises_once_and_counts(self, tmp_path):
+        wal = RequestWAL(tmp_path, fail_after=1)
+        wal.admit(FRAME, "fp-0")
+        with pytest.raises(OSError):
+            wal.admit(FRAME, "fp-1")
+        assert wal.errors == 1
+        # the injected failure consumed its append index; life goes on
+        wal.admit(FRAME, "fp-2")
+        replay = load_pending(tmp_path)
+        assert [e.fingerprint for e in replay.pending] == ["fp-0", "fp-2"]

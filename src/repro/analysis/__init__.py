@@ -26,6 +26,15 @@ plausible-looking but wrong delay number:
   and effect inference, and the ``dataflow-*`` rule pack (unseeded
   RNG, worker-pool races, ContextVar discipline, cache-key
   completeness), run via ``python -m repro.analysis --pass dataflow``;
+* :mod:`repro.analysis.contracts` — the exception-contract and
+  resource-lifecycle analyzer (may-raise fixpoint against declared
+  ``@boundary`` contracts, swallowed-error handlers, CFG-based
+  resource-leak and unbounded-growth checks), run via
+  ``--pass contracts``;
+* :mod:`repro.analysis.interlock` — the thread, lock, signal &
+  durability-ordering analyzer (lockset race detection across thread
+  roots, lock-order cycles, blocking under a lock, signal-handler
+  safety, WAL reply-vs-fsync ordering), run via ``--pass interlock``;
 * :mod:`repro.analysis.reporters` — text, JSON, and SARIF renderers
   shared by ``repro-route lint`` and ``python -m repro.analysis``.
 

@@ -11,6 +11,7 @@ Examples::
 
     python -m repro.analysis src/repro
     python -m repro.analysis --pass dataflow src/repro
+    python -m repro.analysis --pass interlock src/repro
     python -m repro.analysis --pass all --format sarif src/repro
     python -m repro.analysis src --ignore source-mutable-default
     python -m repro.analysis --select dataflow-unseeded-rng src/repro
@@ -23,16 +24,17 @@ import argparse
 import sys
 from pathlib import Path
 
-# Importing the dataflow/contracts engines registers their rules, so
-# --list-rules / --select / --ignore see the full catalog.
+# Importing the dataflow/contracts/interlock engines registers their
+# rules, so --list-rules / --select / --ignore see the full catalog.
 from repro.analysis.contracts.engine import analyze_contracts
 from repro.analysis.dataflow.engine import analyze_dataflow
 from repro.analysis.diagnostics import LintConfig, has_errors, registry
+from repro.analysis.interlock.engine import analyze_interlock
 from repro.analysis.reporters import render_json, render_sarif, render_text
 from repro.analysis.source_rules import lint_source_tree
 
 #: The analyses ``--pass`` can name.
-PASSES = ("source", "dataflow", "contracts", "all")
+PASSES = ("source", "dataflow", "contracts", "interlock", "all")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -49,7 +51,9 @@ def build_parser() -> argparse.ArgumentParser:
                              "(source), the whole-program determinism & "
                              "concurrency analyzer (dataflow), the "
                              "exception-contract & resource-lifecycle "
-                             "analyzer (contracts), or everything (all); "
+                             "analyzer (contracts), the thread/lock/"
+                             "signal & durability-ordering analyzer "
+                             "(interlock), or everything (all); "
                              "default: source")
     parser.add_argument("--format", choices=("text", "json", "sarif"),
                         default="text")
@@ -118,6 +122,8 @@ def main(argv: list[str] | None = None) -> int:
         diagnostics.extend(analyze_dataflow(args.paths, config))
     if args.lint_pass in ("contracts", "all"):
         diagnostics.extend(analyze_contracts(args.paths, config))
+    if args.lint_pass in ("interlock", "all"):
+        diagnostics.extend(analyze_interlock(args.paths, config))
     render = {"json": render_json, "sarif": render_sarif,
               "text": render_text}[args.format]
     print(render(diagnostics))

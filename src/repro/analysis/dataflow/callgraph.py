@@ -17,6 +17,18 @@ over-approximation in a codebase that passes trial runners around as
 first-class values: if a function's name can flow somewhere, its
 effects can too.
 
+Thread entry points are first-class: every
+``threading.Thread(target=...)`` / ``threading.Timer(...)`` spawn is
+recorded as a :class:`ThreadSpawn` (and its resolved target becomes a
+call edge, so effect propagation and ``reachable_from`` cover thread
+bodies), and every ``signal.signal(signum, handler)`` registration is
+recorded as a :class:`SignalRegistration` — resolving ``handler``
+either to a project function or to a handler ``def`` nested inside the
+registering function. ``spawn_pairs`` keeps the (spawner, target)
+set separate so thread-aware analyses (the interlock pass) can
+attribute a spawned body to its *own* thread root rather than to the
+spawning thread.
+
 Calls that resolve to nothing in the project (``np.linalg.solve``,
 ``time.perf_counter``) are kept as *external* calls under their fully
 resolved dotted name; the effect layer pattern-matches those.
@@ -294,6 +306,41 @@ class ExternalCall:
     has_args: bool
 
 
+#: Thread constructors → the keyword naming the thread body.
+_THREAD_CONSTRUCTORS = {"threading.Thread": "target",
+                        "threading.Timer": "function"}
+
+
+@dataclass(frozen=True)
+class ThreadSpawn:
+    """One ``threading.Thread``/``Timer`` spawn site in the project."""
+
+    #: qualname of the function containing the spawn.
+    spawner: str
+    #: resolved project qualname of the thread body (None if the target
+    #: expression is not a resolvable project function).
+    target: str | None
+    #: whether the spawn passes ``daemon=True`` literally.
+    daemon: bool
+    lineno: int
+    path: Path
+
+
+@dataclass(frozen=True)
+class SignalRegistration:
+    """One ``signal.signal(signum, handler)`` registration site."""
+
+    #: qualname of the function performing the registration.
+    registrar: str
+    #: resolved project qualname of the handler, if it is one.
+    handler: str | None
+    #: the handler ``def`` when it is nested inside the registrar
+    #: (the dominant idiom: closures over ``self``).
+    handler_node: ast.FunctionDef | ast.AsyncFunctionDef | None
+    lineno: int
+    path: Path
+
+
 def _dotted_name(node: ast.expr) -> list[str] | None:
     """``a.b.c`` as ``["a", "b", "c"]``; None for non-name chains."""
     parts: list[str] = []
@@ -321,6 +368,12 @@ class CallGraph:
         self.project = project
         self.edges: dict[str, set[str]] = {}
         self.external: dict[str, list[ExternalCall]] = {}
+        self.thread_spawns: list[ThreadSpawn] = []
+        self.signal_registrations: list[SignalRegistration] = []
+        #: (spawner, target) pairs: the target runs on a *new* thread,
+        #: so thread-aware analyses must not let the spawner inherit
+        #: the target's root attribution.
+        self.spawn_pairs: set[tuple[str, str]] = set()
         self._class_methods: dict[str, list[str]] = {}
         for fn in project.functions.values():
             if fn.cls is not None:
@@ -410,9 +463,14 @@ class CallGraph:
                 if cls_target is not None:
                     add_class_edges(cls_target)
                 else:
+                    name = resolve_external(parts)
                     external.append(ExternalCall(
-                        name=resolve_external(parts), node=node,
+                        name=name, node=node,
                         has_args=bool(node.args or node.keywords)))
+                    if name in _THREAD_CONSTRUCTORS:
+                        self._record_spawn(fn, node, name, resolve, edges)
+                    elif name == "signal.signal" and len(node.args) >= 2:
+                        self._record_signal(fn, node, resolve, edges)
             elif isinstance(node, (ast.Name, ast.Attribute)):
                 # Reference edge: a function mentioned as a value (passed
                 # as a callback, stored in a task tuple) may be invoked.
@@ -428,6 +486,59 @@ class CallGraph:
                     add_class_edges(cls_target)
         self.edges[fn.qualname] = edges
         self.external[fn.qualname] = external
+
+    def _record_spawn(self, fn: FunctionInfo, node: ast.Call,
+                      constructor: str, resolve, edges: set[str]) -> None:
+        """Record one thread spawn and link its resolved body."""
+        body_kwarg = _THREAD_CONSTRUCTORS[constructor]
+        target_expr: ast.expr | None = None
+        for kw in node.keywords:
+            if kw.arg == body_kwarg:
+                target_expr = kw.value
+        if (target_expr is None and constructor == "threading.Timer"
+                and len(node.args) >= 2):
+            target_expr = node.args[1]
+        daemon = any(kw.arg == "daemon"
+                     and isinstance(kw.value, ast.Constant)
+                     and kw.value.value is True for kw in node.keywords)
+        target: str | None = None
+        if target_expr is not None:
+            parts = _dotted_name(target_expr)
+            if parts is not None:
+                target = resolve(parts)
+        if target is not None and target != fn.qualname:
+            edges.add(target)  # the spawned body does run
+            self.spawn_pairs.add((fn.qualname, target))
+        self.thread_spawns.append(ThreadSpawn(
+            spawner=fn.qualname, target=target, daemon=daemon,
+            lineno=node.lineno, path=fn.path))
+
+    def _record_signal(self, fn: FunctionInfo, node: ast.Call,
+                       resolve, edges: set[str]) -> None:
+        """Record one signal-handler registration and link the handler."""
+        handler_expr = node.args[1]
+        parts = _dotted_name(handler_expr)
+        handler = resolve(parts) if parts is not None else None
+        handler_node: ast.FunctionDef | ast.AsyncFunctionDef | None = None
+        if handler is None and isinstance(handler_expr, ast.Name):
+            for inner in ast.walk(fn.node):
+                if (isinstance(inner, (ast.FunctionDef,
+                                       ast.AsyncFunctionDef))
+                        and inner is not fn.node
+                        and inner.name == handler_expr.id):
+                    handler_node = inner
+                    break
+        if handler is not None and handler != fn.qualname:
+            edges.add(handler)  # the handler may run at any point
+            # Like a thread body, the handler runs on its own (async)
+            # entry, not as part of the registrar's execution.
+            self.spawn_pairs.add((fn.qualname, handler))
+        if handler is None and handler_node is None:
+            # SIG_IGN/SIG_DFL, a saved-previous-handler variable, etc.
+            return
+        self.signal_registrations.append(SignalRegistration(
+            registrar=fn.qualname, handler=handler,
+            handler_node=handler_node, lineno=node.lineno, path=fn.path))
 
     # -- queries --
 

@@ -1,0 +1,40 @@
+"""Thread, lock, signal & durability-ordering analysis (`interlock-*`).
+
+The fourth whole-program pass: where the dataflow pass proves process
+-pool determinism and the contracts pass proves exception/resource
+discipline, this pass proves the *threaded service layer* safe. It
+reuses the PR-5 call graph (now thread-spawn aware) and the PR-6
+per-function CFG to check:
+
+* lockset race detection — fields touched from two or more thread
+  roots must share a consistent guard;
+* lock-acquisition ordering — the acquired-while-holding graph must be
+  acyclic;
+* blocking-call-under-lock — fsync, sleeps, socket and subprocess
+  waits, and foreign ``Condition.wait`` must not run while a lock is
+  held (flagged transitively through the call graph);
+* signal-handler safety — handlers may set events and flags, never
+  acquire locks, open handles, or perform I/O;
+* durability ordering — on WAL paths the admit record must dominate
+  every client reply, delivery functions must follow every reply with
+  a terminal ``done`` record, and ad-hoc replace/rename sequences must
+  go through the atomic-write idiom;
+* ``daemon=True`` threads must not own durable writes without a
+  justified waiver.
+
+Entry point: :func:`repro.analysis.interlock.engine.analyze_interlock`.
+"""
+
+from repro.analysis.interlock.engine import (
+    InterlockModel,
+    InterlockOptions,
+    analyze_interlock,
+    build_interlock_model,
+)
+
+__all__ = [
+    "InterlockModel",
+    "InterlockOptions",
+    "analyze_interlock",
+    "build_interlock_model",
+]

@@ -1,0 +1,914 @@
+"""Concurrency model extraction: locks, locksets, thread roots.
+
+This module turns the project model into the facts the interlock rules
+consume:
+
+* **Lock discovery** — ``threading.Lock/RLock/Condition/Semaphore``
+  bound to instance fields (``self._lock = threading.Lock()`` in any
+  method, dataclass ``field(default_factory=threading.Lock)``
+  class-level assigns, plain ``threading.Lock`` annotations) or to
+  module-level names. ``Condition(self._lock)`` canonicalizes to the
+  backing lock, so waiting on the condition under its own lock is not
+  "holding a foreign lock".
+* **Field typing** — ``self.queue = AdmissionQueue(...)`` (also via
+  annotations and dataclass default factories) lets the scanner
+  resolve typed attribute chains like ``self.queue.stats.submitted``
+  one class hop at a time, which is how shared-counter reads in stats
+  frames become visible without polluting the shared call graph.
+* **Per-function scanning** — every statement is walked with the
+  lexically held lockset: with-block acquisitions (plus linear
+  ``.acquire()``/``.release()`` tracking), project call sites, blocking
+  external calls, field reads/writes, ``os.replace``-style nonatomic
+  durable writes, and raw I/O calls (for the signal-safety rule).
+* **Fixpoints** — entry locksets (the meet over call sites of locks a
+  function is always entered holding), transitively acquired locks (for
+  the lock-order graph), and transitive blocking summaries.
+* **Thread-root attribution** — one collapsed ``caller`` root seeded
+  from the public service surface, one root per resolved
+  ``threading.Thread(target=...)`` body, one per signal handler;
+  reachability runs over call + typed-call edges *minus* spawn pairs,
+  so a spawner never inherits its spawned body's root.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable
+
+from repro.analysis.dataflow.callgraph import (
+    MUTATING_METHODS,
+    CallGraph,
+    ClassInfo,
+    FunctionInfo,
+    ModuleInfo,
+    ProjectModel,
+    _dotted_name,
+)
+
+if TYPE_CHECKING:
+    from repro.analysis.interlock.engine import InterlockOptions
+
+#: Lock-like constructors: dotted name → primitive kind.
+LOCK_CONSTRUCTORS = {
+    "threading.Lock": "Lock",
+    "threading.RLock": "RLock",
+    "threading.Condition": "Condition",
+    "threading.Semaphore": "Semaphore",
+    "threading.BoundedSemaphore": "Semaphore",
+}
+
+#: Thread-safe synchronization primitives: fields of these types are
+#: exempt from the lockset race rule (their methods are their guard).
+SYNC_CONSTRUCTORS = frozenset(LOCK_CONSTRUCTORS) | frozenset({
+    "threading.Event", "threading.Barrier", "queue.Queue",
+    "queue.SimpleQueue",
+})
+
+#: External calls (exact dotted names) that block the calling thread.
+BLOCKING_CALLS = frozenset({
+    "time.sleep", "os.fsync", "os.fdatasync", "select.select",
+    "subprocess.run", "subprocess.call", "subprocess.check_call",
+    "subprocess.check_output", "socket.create_connection",
+})
+
+#: Attribute-call tails that block regardless of receiver type (socket,
+#: pipe, Popen, Event surfaces). ``join``/``poll`` are deliberately
+#: absent: ``str.join`` and ``Popen.poll`` (non-blocking) dominate.
+BLOCKING_TAILS = frozenset({
+    "sendall", "recv", "recv_into", "accept", "connect", "communicate",
+    "wait",
+})
+
+#: External calls that allocate file handles or perform I/O — forbidden
+#: inside signal handlers (with the locks/blocking sets above).
+IO_CALLS = frozenset({
+    "open", "os.open", "os.fdopen", "os.write", "os.replace",
+    "os.rename", "os.unlink", "os.remove", "os.mkdir", "os.makedirs",
+    "subprocess.Popen", "shutil.move", "shutil.rmtree",
+    "tempfile.mkstemp", "tempfile.NamedTemporaryFile",
+})
+
+#: Attribute-call tails doing path I/O (``Path`` surfaces).
+IO_TAILS = frozenset({
+    "write_text", "read_text", "write_bytes", "read_bytes", "touch",
+    "mkdir", "unlink",
+})
+
+#: Ad-hoc durable-write finishers that bypass the atomic-write idiom.
+NONATOMIC_REPLACERS = frozenset({"os.replace", "os.rename", "shutil.move"})
+
+
+# ---------------------------------------------------------------------------
+# lock & field-type discovery
+
+
+@dataclass(frozen=True)
+class LockInfo:
+    """One discovered lock object."""
+
+    #: canonical identity: ``module.Class.field`` or ``module.NAME``.
+    id: str
+    kind: str  # Lock | RLock | Condition | Semaphore
+    #: the lock actually held while acquired — ``id`` except for
+    #: ``Condition(other_lock)``, which canonicalizes to the backing lock.
+    backing: str
+    lineno: int
+    path: Path
+
+
+@dataclass
+class ClassConcurrency:
+    """Lock fields, sync fields, and typed fields of one class."""
+
+    cls: ClassInfo
+    locks: dict[str, LockInfo] = field(default_factory=dict)
+    #: fields bound to thread-safe primitives (locks, events, queues).
+    sync_fields: set[str] = field(default_factory=set)
+    #: field name → project class qualname, for typed-chain resolution.
+    field_classes: dict[str, str] = field(default_factory=dict)
+
+
+def _external_name(module: ModuleInfo, parts: list[str]) -> str:
+    target = module.imports.get(parts[0])
+    if target is not None:
+        return ".".join([target, *parts[1:]])
+    return ".".join(parts)
+
+
+def _resolve_class_name(project: ProjectModel, module: ModuleInfo,
+                        parts: list[str]) -> str | None:
+    """Project class a dotted name denotes, seen from module scope."""
+    candidates = []
+    target = module.imports.get(parts[0])
+    if target is not None:
+        candidates.append(".".join([target, *parts[1:]]))
+    candidates.append(".".join([module.name, *parts]))
+    for candidate in candidates:
+        if candidate in project.classes:
+            return candidate
+    return None
+
+
+def _class_from_annotation(project: ProjectModel, module: ModuleInfo,
+                           annotation: ast.expr) -> str | None:
+    """Project class named by ``X`` / ``X | None`` annotations."""
+    if isinstance(annotation, ast.BinOp) and isinstance(annotation.op,
+                                                       ast.BitOr):
+        return (_class_from_annotation(project, module, annotation.left)
+                or _class_from_annotation(project, module,
+                                          annotation.right))
+    parts = _dotted_name(annotation)
+    if parts is None or parts[-1] == "None":
+        return None
+    return _resolve_class_name(project, module, parts)
+
+
+def _constructed_class(project: ProjectModel, module: ModuleInfo,
+                       value: ast.expr) -> str | None:
+    """Project class built by ``Cls(...)`` (unwrapping ``a if c else b``)."""
+    if isinstance(value, ast.IfExp):
+        return (_constructed_class(project, module, value.body)
+                or _constructed_class(project, module, value.orelse))
+    if not isinstance(value, ast.Call):
+        return None
+    parts = _dotted_name(value.func)
+    if parts is None:
+        return None
+    return _resolve_class_name(project, module, parts)
+
+
+def _lock_constructor_of(module: ModuleInfo,
+                         value: ast.expr) -> tuple[str, ast.Call] | None:
+    """(kind, call node) when ``value`` constructs a lock primitive.
+
+    Recognizes direct ``threading.Lock()`` calls and the dataclass
+    idiom ``field(default_factory=threading.Lock)``.
+    """
+    if not isinstance(value, ast.Call):
+        return None
+    parts = _dotted_name(value.func)
+    if parts is None:
+        return None
+    name = _external_name(module, parts)
+    kind = LOCK_CONSTRUCTORS.get(name)
+    if kind is not None:
+        return kind, value
+    if parts[-1] == "field":
+        for kw in value.keywords:
+            if kw.arg != "default_factory":
+                continue
+            factory = _dotted_name(kw.value)
+            if factory is None:
+                continue
+            kind = LOCK_CONSTRUCTORS.get(_external_name(module, factory))
+            if kind is not None:
+                return kind, value
+    return None
+
+
+def _is_sync_value(module: ModuleInfo, value: ast.expr) -> bool:
+    """Whether ``value`` constructs any thread-safe primitive."""
+    if isinstance(value, ast.IfExp):
+        return (_is_sync_value(module, value.body)
+                or _is_sync_value(module, value.orelse))
+    if not isinstance(value, ast.Call):
+        return False
+    parts = _dotted_name(value.func)
+    if parts is None:
+        return False
+    name = _external_name(module, parts)
+    if name in SYNC_CONSTRUCTORS:
+        return True
+    if parts[-1] == "field":
+        for kw in value.keywords:
+            if kw.arg != "default_factory":
+                continue
+            factory = _dotted_name(kw.value)
+            if (factory is not None
+                    and _external_name(module, factory)
+                    in SYNC_CONSTRUCTORS):
+                return True
+    return False
+
+
+class ConcurrencyTables:
+    """Per-class lock/field tables plus module-level locks."""
+
+    def __init__(self, project: ProjectModel):
+        self.project = project
+        self.classes: dict[str, ClassConcurrency] = {}
+        #: canonical lock id → LockInfo, across the whole tree.
+        self.locks: dict[str, LockInfo] = {}
+        #: module name → {global name → LockInfo}.
+        self.module_locks: dict[str, dict[str, LockInfo]] = {}
+        for cls_qual in sorted(project.classes):
+            self._scan_class(project.classes[cls_qual])
+        for name in sorted(project.modules):
+            self._scan_module_locks(project.modules[name])
+
+    def _scan_class(self, cls: ClassInfo) -> None:
+        module = self.project.modules[cls.module]
+        cc = ClassConcurrency(cls=cls)
+        self.classes[cls.qualname] = cc
+
+        def note_field(name: str, annotation: ast.expr | None,
+                       value: ast.expr | None, lineno: int) -> None:
+            if value is not None:
+                lock = _lock_constructor_of(module, value)
+                if lock is not None:
+                    kind, call = lock
+                    self._add_lock(cc, name, kind, call, lineno)
+                if _is_sync_value(module, value):
+                    cc.sync_fields.add(name)
+                typed = _constructed_class(self.project, module, value)
+                if typed is not None:
+                    cc.field_classes.setdefault(name, typed)
+            if annotation is not None:
+                parts = _dotted_name(annotation)
+                if parts is not None:
+                    dotted = _external_name(module, parts)
+                    if dotted in SYNC_CONSTRUCTORS:
+                        cc.sync_fields.add(name)
+                    if dotted in LOCK_CONSTRUCTORS and name not in cc.locks:
+                        lock_id = f"{cls.qualname}.{name}"
+                        cc.locks[name] = LockInfo(
+                            id=lock_id, kind=LOCK_CONSTRUCTORS[dotted],
+                            backing=lock_id, lineno=lineno, path=cls.path)
+                        self.locks[lock_id] = cc.locks[name]
+                typed = _class_from_annotation(self.project, module,
+                                               annotation)
+                if typed is not None:
+                    cc.field_classes.setdefault(name, typed)
+
+        # class-level assigns (dataclass fields and plain class attrs)
+        for stmt in cls.node.body:
+            if isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target,
+                                                              ast.Name):
+                note_field(stmt.target.id, stmt.annotation, stmt.value,
+                           stmt.lineno)
+            elif isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name):
+                        note_field(target.id, None, stmt.value,
+                                   stmt.lineno)
+        # self-assigns in any method (``__init__`` dominates, but locks
+        # created lazily elsewhere count too)
+        for fn in self.project.functions.values():
+            if fn.module != cls.module or fn.cls != cls.name:
+                continue
+            for node in ast.walk(fn.node):
+                target: ast.expr | None = None
+                annotation: ast.expr | None = None
+                value: ast.expr | None = None
+                if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                    target, value = node.targets[0], node.value
+                elif isinstance(node, ast.AnnAssign):
+                    target, annotation = node.target, node.annotation
+                    value = node.value
+                if (not isinstance(target, ast.Attribute)
+                        or not isinstance(target.value, ast.Name)
+                        or target.value.id != "self"):
+                    continue
+                name = target.attr
+                if value is not None:
+                    lock = _lock_constructor_of(module, value)
+                    if lock is not None:
+                        kind, call = lock
+                        self._add_lock(cc, name, kind, call, node.lineno)
+                    if _is_sync_value(module, value):
+                        cc.sync_fields.add(name)
+                    typed = _constructed_class(self.project, module, value)
+                    if typed is not None:
+                        cc.field_classes.setdefault(name, typed)
+                if annotation is not None:
+                    typed = _class_from_annotation(self.project, module,
+                                                   annotation)
+                    if typed is not None:
+                        cc.field_classes.setdefault(name, typed)
+
+    def _add_lock(self, cc: ClassConcurrency, name: str, kind: str,
+                  call: ast.Call, lineno: int) -> None:
+        lock_id = f"{cc.cls.qualname}.{name}"
+        backing = lock_id
+        if kind == "Condition" and call.args:
+            # Condition(self._lock): acquiring the condition acquires
+            # the backing lock — one canonical identity for both.
+            parts = _dotted_name(call.args[0])
+            if (parts is not None and len(parts) == 2
+                    and parts[0] == "self"):
+                backing = f"{cc.cls.qualname}.{parts[1]}"
+        cc.locks[name] = LockInfo(id=lock_id, kind=kind, backing=backing,
+                                  lineno=lineno, path=cc.cls.path)
+        cc.sync_fields.add(name)
+        self.locks[lock_id] = cc.locks[name]
+
+    def _scan_module_locks(self, module: ModuleInfo) -> None:
+        found: dict[str, LockInfo] = {}
+        for stmt in module.source.tree.body:
+            targets: list[ast.expr] = []
+            value: ast.expr | None = None
+            if isinstance(stmt, ast.Assign):
+                targets, value = stmt.targets, stmt.value
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                targets, value = [stmt.target], stmt.value
+            if value is None:
+                continue
+            lock = _lock_constructor_of(module, value)
+            if lock is None:
+                continue
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    lock_id = f"{module.name}.{target.id}"
+                    found[target.id] = LockInfo(
+                        id=lock_id, kind=lock[0], backing=lock_id,
+                        lineno=stmt.lineno, path=module.path)
+                    self.locks[lock_id] = found[target.id]
+        if found:
+            self.module_locks[module.name] = found
+
+
+# ---------------------------------------------------------------------------
+# per-function scanning
+
+
+@dataclass(frozen=True)
+class Acquisition:
+    """One lock acquisition with the locks lexically held before it."""
+
+    lock: str
+    lineno: int
+    held: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One resolved project call with the lexically held lockset."""
+
+    target: str
+    lineno: int
+    held: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class BlockingSite:
+    """One blocking operation with the lockset held around it."""
+
+    what: str
+    lineno: int
+    held: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class FieldSite:
+    """One read or write of a class field, with the held lockset."""
+
+    cls: str
+    name: str
+    lineno: int
+    held: tuple[str, ...]
+    write: bool
+
+
+@dataclass
+class FunctionSummary:
+    """Everything the rules need to know about one function."""
+
+    fn: FunctionInfo
+    acquisitions: list[Acquisition] = field(default_factory=list)
+    calls: list[CallSite] = field(default_factory=list)
+    blocking: list[BlockingSite] = field(default_factory=list)
+    fields: list[FieldSite] = field(default_factory=list)
+    #: raw I/O externals (for the signal-safety rule): (name, lineno).
+    io_calls: list[tuple[str, int]] = field(default_factory=list)
+    #: ``.acquire()`` on receivers the scanner cannot type.
+    unknown_acquires: list[int] = field(default_factory=list)
+    #: os.replace/os.rename/shutil.move sites: (name, lineno).
+    replaces: list[tuple[str, int]] = field(default_factory=list)
+    #: durable-write primitives called directly: (name, lineno).
+    durable_calls: list[tuple[str, int]] = field(default_factory=list)
+
+
+class FunctionResolver:
+    """Name resolution for one function: calls, locks, typed fields."""
+
+    def __init__(self, tables: ConcurrencyTables, graph: CallGraph,
+                 fn: FunctionInfo):
+        self.tables = tables
+        self.project = tables.project
+        self.fn = fn
+        self.module = self.project.modules[fn.module]
+        self.resolve, self.resolve_class, self.resolve_external = (
+            graph._resolver(fn))
+        self.cls_qual = (f"{fn.module}.{fn.cls}"
+                         if fn.cls is not None else None)
+        self.local_types = self._collect_local_types()
+
+    def _collect_local_types(self) -> dict[str, str]:
+        types: dict[str, str] = {}
+        args = self.fn.node.args
+        for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+            if arg.annotation is not None:
+                cls = _class_from_annotation(self.project, self.module,
+                                             arg.annotation)
+                if cls is not None:
+                    types[arg.arg] = cls
+        for node in ast.walk(self.fn.node):
+            target: ast.expr | None = None
+            value: ast.expr | None = None
+            annotation: ast.expr | None = None
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target, value = node.targets[0], node.value
+            elif isinstance(node, ast.AnnAssign):
+                target, value = node.target, node.value
+                annotation = node.annotation
+            if not isinstance(target, ast.Name):
+                continue
+            cls = None
+            if annotation is not None:
+                cls = _class_from_annotation(self.project, self.module,
+                                             annotation)
+            if cls is None and value is not None:
+                cls = _constructed_class(self.project, self.module, value)
+            if cls is not None:
+                types.setdefault(target.id, cls)
+        return types
+
+    def chain_base(self, parts: list[str]) -> str | None:
+        """Class qualname of the chain's leading receiver, if typed."""
+        head = parts[0]
+        if head == "self":
+            return self.cls_qual
+        return self.local_types.get(head)
+
+    def field_target(self, parts: list[str]) -> tuple[str, str] | None:
+        """(owning class, field) a dotted chain denotes, via typed hops."""
+        if len(parts) < 2:
+            return None
+        cls = self.chain_base(parts)
+        if cls is None:
+            return None
+        for middle in parts[1:-1]:
+            cc = self.tables.classes.get(cls)
+            nxt = cc.field_classes.get(middle) if cc is not None else None
+            if nxt is None:
+                return None
+            cls = nxt
+        return cls, parts[-1]
+
+    def lock_of(self, parts: list[str]) -> LockInfo | None:
+        """The lock a dotted receiver chain denotes, if any."""
+        target = self.field_target(parts)
+        if target is not None:
+            cc = self.tables.classes.get(target[0])
+            if cc is not None and target[1] in cc.locks:
+                return cc.locks[target[1]]
+        if len(parts) == 1:
+            module_locks = self.tables.module_locks.get(self.module.name)
+            if module_locks is not None and parts[0] in module_locks:
+                return module_locks[parts[0]]
+        dotted = _external_name(self.module, parts)
+        return self.tables.locks.get(dotted)
+
+    def call_target(self, parts: list[str]) -> str | None:
+        """Project function a dotted call resolves to (graph or typed)."""
+        target = self.resolve(parts)
+        if target is not None and target != self.fn.qualname:
+            return target
+        typed = self.field_target(parts)
+        if typed is not None:
+            method = f"{typed[0]}.{typed[1]}"
+            if method in self.project.functions:
+                return method
+        return None
+
+    def is_sync_field(self, cls: str, name: str) -> bool:
+        cc = self.tables.classes.get(cls)
+        return cc is not None and name in cc.sync_fields
+
+
+class FunctionScanner:
+    """Walk one function body tracking the lexically held lockset."""
+
+    def __init__(self, resolver: FunctionResolver,
+                 options: "InterlockOptions"):
+        self.r = resolver
+        self.options = options
+        self.summary = FunctionSummary(fn=resolver.fn)
+
+    def scan(self) -> FunctionSummary:
+        self._block(self.r.fn.node.body, [])
+        return self.summary
+
+    # -- statements --
+
+    def _block(self, stmts: list[ast.stmt], held: list[str]) -> None:
+        held = list(held)  # acquire()/release() tracking is block-local
+        for stmt in stmts:
+            self._stmt(stmt, held)
+
+    def _stmt(self, stmt: ast.stmt, held: list[str]) -> None:
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            inner = list(held)
+            for item in stmt.items:
+                lock = self._lock_of_expr(item.context_expr)
+                if lock is not None:
+                    self.summary.acquisitions.append(Acquisition(
+                        lock=lock.backing, lineno=item.context_expr.lineno,
+                        held=tuple(inner)))
+                    if lock.backing not in inner:
+                        inner.append(lock.backing)
+                else:
+                    self._expr(item.context_expr, held)
+            self._block(stmt.body, inner)
+            return
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            return  # nested defs run later, on their caller's lockset
+        if isinstance(stmt, ast.If):
+            self._expr(stmt.test, held)
+            self._block(stmt.body, held)
+            self._block(stmt.orelse, held)
+            return
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self._expr(stmt.iter, held)
+            self._write_target(stmt.target, held)
+            self._block(stmt.body, held)
+            self._block(stmt.orelse, held)
+            return
+        if isinstance(stmt, ast.While):
+            self._expr(stmt.test, held)
+            self._block(stmt.body, held)
+            self._block(stmt.orelse, held)
+            return
+        if isinstance(stmt, ast.Try):
+            self._block(stmt.body, held)
+            for handler in stmt.handlers:
+                self._block(handler.body, held)
+            self._block(stmt.orelse, held)
+            self._block(stmt.finalbody, held)
+            return
+        if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Call):
+            if self._acquire_release(stmt.value, held):
+                return
+            self._expr(stmt.value, held)
+            return
+        if isinstance(stmt, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            targets = (stmt.targets if isinstance(stmt, ast.Assign)
+                       else [stmt.target])
+            for target in targets:
+                self._write_target(target, held)
+            value = stmt.value
+            if value is not None:
+                self._expr(value, held)
+            return
+        if isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                self._write_target(target, held)
+            return
+        for child in ast.iter_child_nodes(stmt):
+            if isinstance(child, ast.expr):
+                self._expr(child, held)
+
+    def _acquire_release(self, call: ast.Call, held: list[str]) -> bool:
+        """Linear ``lock.acquire()``/``lock.release()`` tracking."""
+        parts = _dotted_name(call.func)
+        if parts is None or len(parts) < 2:
+            return False
+        if parts[-1] not in ("acquire", "release"):
+            return False
+        lock = self.r.lock_of(parts[:-1])
+        if lock is None:
+            return False
+        if parts[-1] == "acquire":
+            self.summary.acquisitions.append(Acquisition(
+                lock=lock.backing, lineno=call.lineno, held=tuple(held)))
+            if lock.backing not in held:
+                held.append(lock.backing)
+        elif lock.backing in held:
+            held.remove(lock.backing)
+        return True
+
+    def _write_target(self, target: ast.expr, held: list[str]) -> None:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._write_target(element, held)
+            return
+        if isinstance(target, ast.Starred):
+            self._write_target(target.value, held)
+            return
+        if isinstance(target, ast.Subscript):
+            self._expr(target.slice, held)
+            target = target.value  # d[k] = v mutates d
+        parts = (_dotted_name(target)
+                 if isinstance(target, ast.Attribute) else None)
+        if parts is None:
+            if not isinstance(target, ast.Name):
+                self._expr(target, held)
+            return
+        owner = self.r.field_target(parts)
+        if owner is not None:
+            self.summary.fields.append(FieldSite(
+                cls=owner[0], name=owner[1], lineno=target.lineno,
+                held=tuple(held), write=True))
+        self._read_prefixes(parts[:-1], target.lineno, held)
+
+    # -- expressions --
+
+    def _expr(self, node: ast.expr, held: list[str]) -> None:
+        if isinstance(node, ast.Call):
+            self._call(node, held)
+            return
+        if isinstance(node, ast.Attribute):
+            parts = _dotted_name(node)
+            if parts is not None:
+                self._read_prefixes(parts, node.lineno, held)
+                return
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                self._expr(child, held)
+            elif isinstance(child, ast.keyword):
+                self._expr(child.value, held)
+            elif isinstance(child, ast.comprehension):
+                self._expr(child.iter, held)
+                for cond in child.ifs:
+                    self._expr(cond, held)
+
+    def _read_prefixes(self, parts: list[str], lineno: int,
+                       held: list[str]) -> None:
+        """Record a field read for every typed prefix of a chain."""
+        for end in range(2, len(parts) + 1):
+            owner = self.r.field_target(parts[:end])
+            if owner is not None:
+                self.summary.fields.append(FieldSite(
+                    cls=owner[0], name=owner[1], lineno=lineno,
+                    held=tuple(held), write=False))
+
+    def _call(self, call: ast.Call, held: list[str]) -> None:
+        parts = _dotted_name(call.func)
+        if parts is not None:
+            self._dotted_call(call, parts, held)
+        else:
+            self._expr(call.func, held)
+        for arg in call.args:
+            self._expr(arg, held)
+        for kw in call.keywords:
+            self._expr(kw.value, held)
+
+    def _dotted_call(self, call: ast.Call, parts: list[str],
+                     held: list[str]) -> None:
+        lineno = call.lineno
+        target = self.r.call_target(parts)
+        if target is not None:
+            self.summary.calls.append(CallSite(
+                target=target, lineno=lineno, held=tuple(held)))
+            if target in self.options.atomic_writers:
+                self.summary.durable_calls.append((target, lineno))
+            self._read_prefixes(parts[:-1], lineno, held)
+            return
+        tail = parts[-1]
+        if len(parts) >= 2:
+            lock = self.r.lock_of(parts[:-1])
+            if lock is not None:
+                # method surface of a known lock object
+                if tail == "acquire":
+                    self.summary.acquisitions.append(Acquisition(
+                        lock=lock.backing, lineno=lineno,
+                        held=tuple(held)))
+                elif tail == "wait":
+                    foreign = tuple(h for h in held if h != lock.backing)
+                    if foreign:
+                        self.summary.blocking.append(BlockingSite(
+                            what=f"{lock.kind}.wait on {lock.id}",
+                            lineno=lineno, held=foreign))
+                self._read_prefixes(parts[:-1], lineno, held)
+                return
+            if tail in MUTATING_METHODS:
+                owner = self.r.field_target(parts[:-1])
+                if owner is not None and not self.r.is_sync_field(*owner):
+                    self.summary.fields.append(FieldSite(
+                        cls=owner[0], name=owner[1], lineno=lineno,
+                        held=tuple(held), write=True))
+                    self._read_prefixes(parts[:-2] or parts[:-1],
+                                        lineno, held)
+                    return
+        name = self.r.resolve_external(parts)
+        if name in BLOCKING_CALLS or (len(parts) >= 2
+                                      and tail in BLOCKING_TAILS):
+            self.summary.blocking.append(BlockingSite(
+                what=name, lineno=lineno, held=tuple(held)))
+        if name in IO_CALLS or (len(parts) >= 2 and tail in IO_TAILS):
+            self.summary.io_calls.append((name, lineno))
+        if name in NONATOMIC_REPLACERS:
+            self.summary.replaces.append((name, lineno))
+        if name in self.options.durable_write_calls:
+            self.summary.durable_calls.append((name, lineno))
+        if len(parts) >= 2 and tail == "acquire":
+            self.summary.unknown_acquires.append(lineno)
+        self._read_prefixes(parts[:-1], lineno, held)
+
+    def _lock_of_expr(self, expr: ast.expr) -> LockInfo | None:
+        parts = _dotted_name(expr)
+        if parts is None:
+            return None
+        return self.r.lock_of(parts)
+
+
+def scan_function(tables: ConcurrencyTables, graph: CallGraph,
+                  fn: FunctionInfo,
+                  options: "InterlockOptions") -> FunctionSummary:
+    resolver = FunctionResolver(tables, graph, fn)
+    return FunctionScanner(resolver, options).scan()
+
+
+# ---------------------------------------------------------------------------
+# whole-program fixpoints
+
+
+def entry_locksets(summaries: dict[str, FunctionSummary],
+                   spawn_targets: set[str],
+                   signal_handlers: set[str]
+                   ) -> dict[str, frozenset[str] | None]:
+    """Locks a function is *always* entered holding (``None`` = ⊤).
+
+    The meet over every in-project call site of (locks held at the site
+    ∪ the caller's own entry lockset). Functions with no in-project call
+    sites — and thread bodies / signal handlers, which the runtime
+    enters lock-free regardless of direct calls — seed the fixpoint at
+    the empty set. Mutually-recursive dead code can stay at ⊤; rules
+    treat ⊤ as "no constraint", which only ever suppresses findings in
+    unreachable corners.
+    """
+    callers: dict[str, list[tuple[str, frozenset[str]]]] = {}
+    for qualname, summary in summaries.items():
+        for site in summary.calls:
+            callers.setdefault(site.target, []).append(
+                (qualname, frozenset(site.held)))
+    entry: dict[str, frozenset[str] | None] = {}
+    for qualname in summaries:
+        if (qualname not in callers or qualname in spawn_targets
+                or qualname in signal_handlers):
+            entry[qualname] = frozenset()
+        else:
+            entry[qualname] = None  # ⊤, to be narrowed
+    changed = True
+    while changed:
+        changed = False
+        for qualname, sites in callers.items():
+            if qualname not in entry or entry[qualname] == frozenset():
+                continue
+            met: frozenset[str] | None = None
+            for caller, held in sites:
+                caller_entry = entry.get(caller, frozenset())
+                if caller_entry is None:
+                    continue  # ⊤ contributes no constraint yet
+                contribution = held | caller_entry
+                met = (contribution if met is None
+                       else met & contribution)
+            if met is not None and met != entry[qualname]:
+                current = entry[qualname]
+                entry[qualname] = (met if current is None
+                                   else current & met)
+                changed = True
+    return entry
+
+
+def transitive_acquisitions(summaries: dict[str, FunctionSummary]
+                            ) -> dict[str, frozenset[str]]:
+    """Locks each function may acquire, transitively via project calls."""
+    acquired = {qualname: {a.lock for a in summary.acquisitions}
+                for qualname, summary in summaries.items()}
+    changed = True
+    while changed:
+        changed = False
+        for qualname, summary in summaries.items():
+            for site in summary.calls:
+                extra = acquired.get(site.target, set())
+                if not extra <= acquired[qualname]:
+                    acquired[qualname] |= extra
+                    changed = True
+    return {qualname: frozenset(locks)
+            for qualname, locks in acquired.items()}
+
+
+def transitive_blocking(summaries: dict[str, FunctionSummary]
+                        ) -> dict[str, frozenset[str]]:
+    """Blocking operations each function may reach via project calls."""
+    blocks = {qualname: {site.what for site in summary.blocking}
+              for qualname, summary in summaries.items()}
+    changed = True
+    while changed:
+        changed = False
+        for qualname, summary in summaries.items():
+            for site in summary.calls:
+                extra = blocks.get(site.target, set())
+                if not extra <= blocks[qualname]:
+                    blocks[qualname] |= extra
+                    changed = True
+    return {qualname: frozenset(ops) for qualname, ops in blocks.items()}
+
+
+# ---------------------------------------------------------------------------
+# thread-root attribution
+
+
+def root_label(project: ProjectModel, kind: str, qualname: str) -> str:
+    fn = project.functions.get(qualname)
+    if fn is None:
+        return f"{kind}:{qualname}"
+    suffix = f"{fn.cls}.{fn.name}" if fn.cls is not None else fn.name
+    return f"{kind}:{suffix}"
+
+
+def thread_roots(project: ProjectModel, graph: CallGraph,
+                 summaries: dict[str, FunctionSummary],
+                 entry_prefixes: Iterable[str]) -> dict[str, set[str]]:
+    """Map function → set of thread-root labels that can reach it.
+
+    Roots: one collapsed ``caller`` root (BFS from every public
+    function under the entry prefixes — the main thread plus anything
+    the embedding process calls), one root per resolved thread-spawn
+    target, one per resolved signal handler. Reachability runs over
+    call-graph edges plus the scanner's typed call edges, minus spawn
+    pairs (a spawned body runs on its own thread, not its spawner's).
+    """
+    adjacency: dict[str, set[str]] = {}
+    for qualname, summary in summaries.items():
+        edges = set(graph.edges.get(qualname, ()))
+        edges.update(site.target for site in summary.calls)
+        edges -= {target for spawner, target in graph.spawn_pairs
+                  if spawner == qualname}
+        adjacency[qualname] = edges
+
+    prefixes = tuple(entry_prefixes)
+    caller_seeds = [
+        fn.qualname for fn in project.functions.values()
+        if fn.is_public and any(
+            fn.module == p or fn.module.startswith(p + ".")
+            for p in prefixes)]
+    seeds: list[tuple[str, list[str]]] = [("caller", caller_seeds)]
+    for spawn in graph.thread_spawns:
+        if spawn.target is not None:
+            seeds.append((root_label(project, "thread", spawn.target),
+                          [spawn.target]))
+    for registration in graph.signal_registrations:
+        if registration.handler is not None:
+            seeds.append((root_label(project, "signal",
+                                     registration.handler),
+                          [registration.handler]))
+
+    roots: dict[str, set[str]] = {}
+    for label, start in seeds:
+        frontier = [q for q in start if q in adjacency]
+        seen = set(frontier)
+        while frontier:
+            next_frontier: list[str] = []
+            for qualname in frontier:
+                roots.setdefault(qualname, set()).add(label)
+                for callee in adjacency.get(qualname, ()):
+                    if callee not in seen and callee in adjacency:
+                        seen.add(callee)
+                        next_frontier.append(callee)
+            frontier = next_frontier
+    return roots

@@ -1,0 +1,257 @@
+"""Durability-ordering checks over the per-function CFG.
+
+The WAL recovery contract (PR 9) is exactly-once *only if* two CFG
+orderings hold wherever the daemon talks to clients:
+
+* **admit-before-reply** — on any path that both replies to a client
+  and appends a WAL ``admit`` record, the admit append (which fsyncs)
+  must dominate the reply. A reply that can execute before its admit
+  record is a promise the journal cannot keep across a crash.
+* **reply-then-done** — a function that both replies and writes WAL
+  ``done`` records must be able to reach a ``done`` append from every
+  reply site; a reply with no terminal record behind it replays as a
+  duplicate on recovery.
+
+Both checks reuse the PR-6 statement CFG (``contracts.lifecycle``):
+classification looks only at each node's *own* expressions (an ``if``
+head owns its test, a ``with`` head its context expressions) so calls
+in nested bodies are attributed to their own nodes, and traversal runs
+over normal and exception successors — an ordering that only holds on
+the happy path does not hold.
+
+The module also computes the admit/done/durable call closures the
+daemon-thread and nonatomic-write rules consume.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable
+
+from repro.analysis.contracts.lifecycle import _Builder, _Node
+from repro.analysis.dataflow.callgraph import (
+    CallGraph,
+    FunctionInfo,
+    ProjectModel,
+    _dotted_name,
+)
+from repro.analysis.interlock.concurrency import (
+    ConcurrencyTables,
+    FunctionResolver,
+    FunctionSummary,
+)
+
+if TYPE_CHECKING:
+    from repro.analysis.interlock.engine import InterlockOptions
+
+
+@dataclass(frozen=True)
+class ReplyOrderingIssue:
+    """One reply call that violates a durability ordering."""
+
+    fn: FunctionInfo
+    lineno: int
+    kind: str  # "reply-before-admit" | "reply-without-done"
+
+
+# ---------------------------------------------------------------------------
+# WAL method seeds and call closures
+
+
+def wal_seeds(project: ProjectModel,
+              options: "InterlockOptions") -> tuple[set[str], set[str]]:
+    """(admit methods, done methods) of every WAL-marked class."""
+    admit: set[str] = set()
+    done: set[str] = set()
+    for cls_qual, cls in project.classes.items():
+        if not any(marker in cls.name
+                   for marker in options.wal_class_markers):
+            continue
+        for method in options.durable_admit_methods:
+            qualname = f"{cls_qual}.{method}"
+            if qualname in project.functions:
+                admit.add(qualname)
+        for method in options.durable_done_methods:
+            qualname = f"{cls_qual}.{method}"
+            if qualname in project.functions:
+                done.add(qualname)
+    return admit, done
+
+
+def call_closure(summaries: dict[str, FunctionSummary],
+                 seeds: Iterable[str],
+                 extra_edges: Iterable[tuple[str, str]] = ()
+                 ) -> set[str]:
+    """Functions that can reach a seed through project calls.
+
+    ``extra_edges`` adds caller→callee pairs beyond the scanned call
+    sites (the daemon-thread rule passes spawn pairs: a spawner *causes*
+    its body's writes even though it never calls it).
+    """
+    reverse: dict[str, set[str]] = {}
+    for qualname, summary in summaries.items():
+        for site in summary.calls:
+            reverse.setdefault(site.target, set()).add(qualname)
+    for caller, callee in extra_edges:
+        reverse.setdefault(callee, set()).add(caller)
+    closure = {seed for seed in seeds if seed in summaries}
+    frontier = list(closure)
+    while frontier:
+        target = frontier.pop()
+        for caller in reverse.get(target, ()):
+            if caller not in closure:
+                closure.add(caller)
+                frontier.append(caller)
+    return closure
+
+
+def durable_reachers(summaries: dict[str, FunctionSummary],
+                     graph: CallGraph, admit_seeds: set[str],
+                     done_seeds: set[str]) -> set[str]:
+    """Functions from which durable writes are reachable, spawn-aware."""
+    seeds = set(admit_seeds) | set(done_seeds)
+    seeds.update(qualname for qualname, summary in summaries.items()
+                 if summary.durable_calls)
+    return call_closure(summaries, seeds, extra_edges=graph.spawn_pairs)
+
+
+# ---------------------------------------------------------------------------
+# CFG classification
+
+
+def _own_exprs(stmt: ast.stmt) -> list[ast.AST]:
+    """The expressions evaluated *at* a CFG node, not in nested bodies."""
+    if isinstance(stmt, (ast.If, ast.While)):
+        return [stmt.test]
+    if isinstance(stmt, (ast.For, ast.AsyncFor)):
+        return [stmt.iter]
+    if isinstance(stmt, (ast.With, ast.AsyncWith)):
+        return [item.context_expr for item in stmt.items]
+    if isinstance(stmt, (ast.Try, ast.FunctionDef, ast.AsyncFunctionDef,
+                         ast.ClassDef)):
+        return []
+    return [stmt]
+
+
+def _forward_reach(starts: Iterable[_Node],
+                   blocked: frozenset[int] = frozenset(),
+                   follow_back_edges: bool = True) -> set[_Node]:
+    """Nodes reachable over succ ∪ exc; blocked nodes are not expanded.
+
+    With ``follow_back_edges=False``, edges that re-enter a loop head
+    from inside its own body are skipped: what is reachable only via
+    the next iteration belongs to the *next* request, not this one's
+    ordering obligations.
+    """
+    seen: set[_Node] = set()
+    stack = list(starts)
+    while stack:
+        node = stack.pop()
+        if node in seen:
+            continue
+        seen.add(node)
+        if id(node) in blocked:
+            continue
+        for succ in [*node.succ, *node.exc]:
+            if follow_back_edges or not _is_back_edge(node, succ):
+                stack.append(succ)
+    return seen
+
+
+def _is_back_edge(src: _Node, dst: _Node) -> bool:
+    """Whether src→dst jumps back to a loop head enclosing ``src``."""
+    if src.stmt is None or dst.stmt is None:
+        return False
+    if not isinstance(dst.stmt, (ast.While, ast.For, ast.AsyncFor)):
+        return False
+    end = getattr(dst.stmt, "end_lineno", None)
+    return (dst.stmt.lineno <= src.stmt.lineno
+            and (end is None or src.stmt.lineno <= end))
+
+
+def check_reply_ordering(tables: ConcurrencyTables, graph: CallGraph,
+                         summaries: dict[str, FunctionSummary],
+                         admit_closure: set[str], done_closure: set[str],
+                         options: "InterlockOptions"
+                         ) -> list[ReplyOrderingIssue]:
+    """Run the admit-dominates-reply and reply-reaches-done checks."""
+    issues: list[ReplyOrderingIssue] = []
+    for qualname in sorted(summaries):
+        summary = summaries[qualname]
+        fn = summary.fn
+        has_reply = any(
+            isinstance(inner, ast.Call) and _call_tail(inner)
+            in options.reply_names
+            for inner in ast.walk(fn.node))
+        if not has_reply:
+            continue
+        resolver = FunctionResolver(tables, graph, fn)
+        cfg = _Builder().build(fn.node.body)
+        reply_nodes: dict[_Node, int] = {}
+        admit_nodes: dict[_Node, int] = {}
+        done_nodes: set[_Node] = set()
+        for node in cfg.nodes:
+            if node.stmt is None:
+                continue
+            for root in _own_exprs(node.stmt):
+                for inner in ast.walk(root):
+                    if not isinstance(inner, ast.Call):
+                        continue
+                    tail = _call_tail(inner)
+                    if tail in options.reply_names:
+                        reply_nodes.setdefault(node, inner.lineno)
+                    parts = _dotted_name(inner.func)
+                    if parts is None:
+                        continue
+                    target = resolver.call_target(parts)
+                    if target is None:
+                        continue
+                    if target in admit_closure:
+                        admit_nodes[node] = min(
+                            admit_nodes.get(node, inner.lineno),
+                            inner.lineno)
+                    if target in done_closure:
+                        done_nodes.add(node)
+        if not reply_nodes:
+            continue
+        entry = cfg.nodes[0]
+        if admit_nodes:
+            # Check A: no reply may execute while its admit is pending.
+            # The pending admit must lie lexically *after* the reply
+            # and be reachable without re-entering a loop: what the
+            # next iteration admits is the next request, not this one.
+            blocked = frozenset(id(node) for node in admit_nodes)
+            before_admit = _forward_reach([entry], blocked=blocked)
+            for node, lineno in sorted(reply_nodes.items(),
+                                       key=lambda item: item[1]):
+                if node in admit_nodes or node not in before_admit:
+                    continue
+                after = _forward_reach([*node.succ, *node.exc],
+                                       follow_back_edges=False)
+                if any(admit_line > lineno
+                       for admit_node, admit_line in admit_nodes.items()
+                       if admit_node in after):
+                    issues.append(ReplyOrderingIssue(
+                        fn=fn, lineno=lineno, kind="reply-before-admit"))
+        elif done_nodes:
+            # Check B: every reply must be able to reach a done append
+            # within its own iteration (a later request's done record
+            # does not terminate this request's WAL entry).
+            for node, lineno in sorted(reply_nodes.items(),
+                                       key=lambda item: item[1]):
+                after = _forward_reach([*node.succ, *node.exc],
+                                       follow_back_edges=False)
+                if not after & done_nodes:
+                    issues.append(ReplyOrderingIssue(
+                        fn=fn, lineno=lineno, kind="reply-without-done"))
+    return issues
+
+
+def _call_tail(call: ast.Call) -> str | None:
+    func = call.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None

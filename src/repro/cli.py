@@ -286,22 +286,24 @@ def build_parser() -> argparse.ArgumentParser:
     lint = sub.add_parser(
         "lint", help="lint routing JSON / net files and their RC models, "
                      "or the source tree itself (--pass "
-                     "source/dataflow/contracts)")
+                     "source/dataflow/contracts/interlock)")
     lint.add_argument("inputs", nargs="*", type=Path,
                       help="routing .json files and/or .nets files "
-                           "(with --pass source/dataflow/contracts: "
-                           "source files or directories, default "
-                           "src/repro)")
+                           "(with --pass source/dataflow/contracts/"
+                           "interlock: source files or directories, "
+                           "default src/repro)")
     lint.add_argument("--pass", dest="lint_pass",
                       choices=("data", "source", "dataflow", "contracts",
-                               "all"),
+                               "interlock", "all"),
                       default="data",
                       help="what to lint: routing/RC data files (data, "
                            "the default), per-file AST rules (source), "
                            "the whole-program determinism analyzer "
                            "(dataflow), the exception-contract & "
-                           "resource-lifecycle analyzer (contracts), or "
-                           "every code pass (all)")
+                           "resource-lifecycle analyzer (contracts), "
+                           "the thread/lock/signal & durability "
+                           "analyzer (interlock), or every code pass "
+                           "(all)")
     lint.add_argument("--format", choices=("text", "json", "sarif"),
                       default="text",
                       help="report format (default: text)")
@@ -691,15 +693,16 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     """Lint routing/net data files or the source tree itself.
 
     ``--pass data`` (the default) checks routing JSON and net files;
-    ``--pass source``/``dataflow``/``contracts``/``all`` runs the code
-    passes of :mod:`repro.analysis` over source paths instead. Exit
-    status: 0 clean (warnings allowed), 1 when any error-severity
-    diagnostic fires, 2 on usage errors.
+    ``--pass source``/``dataflow``/``contracts``/``interlock``/``all``
+    runs the code passes of :mod:`repro.analysis` over source paths
+    instead. Exit status: 0 clean (warnings allowed), 1 when any
+    error-severity diagnostic fires, 2 on usage errors.
     """
-    # Registers the dataflow-*/contracts-* rules so --disable and
-    # --list-rules see them.
+    # Registers the dataflow-*/contracts-*/interlock-* rules so
+    # --disable and --list-rules see them.
     from repro.analysis.contracts.engine import analyze_contracts
     from repro.analysis.dataflow.engine import analyze_dataflow
+    from repro.analysis.interlock.engine import analyze_interlock
     from repro.analysis.reporters import render_sarif
     from repro.analysis.source_rules import lint_source_tree
 
@@ -745,6 +748,8 @@ def _cmd_lint(args: argparse.Namespace) -> int:
             diagnostics.extend(analyze_dataflow(paths, config))
         if args.lint_pass in ("contracts", "all"):
             diagnostics.extend(analyze_contracts(paths, config))
+        if args.lint_pass in ("interlock", "all"):
+            diagnostics.extend(analyze_interlock(paths, config))
 
     render = {"json": render_json, "sarif": render_sarif,
               "text": render_text}[args.format]

@@ -20,6 +20,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import threading
 from collections import OrderedDict
 from pathlib import Path
 from typing import Any, Mapping
@@ -91,7 +92,10 @@ def atomic_write_text(path: Path, text: str) -> None:
     tmp file in the same directory (same filesystem, so ``os.replace``
     is atomic) → flush → fsync → rename → fsync the directory entry.
     """
-    tmp = path.with_name(path.name + f".tmp{os.getpid()}")
+    # pid *and* thread id: two threads writing the same path must not
+    # share a sidecar, or the first replace deletes the second's tmp.
+    tmp = path.with_name(
+        path.name + f".tmp{os.getpid()}.{threading.get_ident()}")
     fd = os.open(tmp, os.O_WRONLY | os.O_CREAT | os.O_TRUNC, 0o644)
     try:
         with os.fdopen(fd, "w", encoding="utf-8") as handle:
@@ -191,9 +195,16 @@ class ResultCache:
     with the same atomic-write discipline as trial records — so a
     restarted daemon warm-starts from disk instead of re-routing.
 
-    Callers interact only through :meth:`store` and
-    :meth:`lookup_cached`; the on-disk record layout is private to this
-    class.
+    Callers interact only through :meth:`store`,
+    :meth:`lookup_cached`, and :meth:`stats_snapshot`; the on-disk
+    record layout is private to this class.
+
+    The in-memory tier and the hit/miss/corrupt counters are guarded by
+    an internal lock: the daemon's reader and connection threads read
+    the counters for stats frames while the executor thread serves
+    lookups. Disk reads and the atomic write happen *outside* the lock
+    (blocking I/O under a lock would stall the stats path on a slow
+    disk).
 
     Args:
         directory: cache directory, or ``None`` for memory-only.
@@ -208,6 +219,7 @@ class ResultCache:
         self.directory = None if directory is None else Path(directory)
         self.capacity = capacity
         self._entries: "OrderedDict[str, dict[str, Any]]" = OrderedDict()
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
         self.corrupt_records = 0
@@ -215,7 +227,15 @@ class ResultCache:
             self.directory.mkdir(parents=True, exist_ok=True)
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
+
+    def stats_snapshot(self) -> dict[str, int]:
+        """A consistent counters snapshot for stats frames."""
+        with self._lock:
+            return {"entries": len(self._entries), "hits": self.hits,
+                    "misses": self.misses,
+                    "corrupt_records": self.corrupt_records}
 
     def _path(self, cache_fingerprint: str) -> Path:
         assert self.directory is not None
@@ -226,10 +246,11 @@ class ResultCache:
               payload: Mapping[str, Any]) -> None:
         """Durably record one result payload under its fingerprint."""
         entry = dict(payload)
-        self._entries[cache_fingerprint] = entry
-        self._entries.move_to_end(cache_fingerprint)
-        while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
+        with self._lock:
+            self._entries[cache_fingerprint] = entry
+            self._entries.move_to_end(cache_fingerprint)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
         if self.directory is not None:
             atomic_write_text(self._path(cache_fingerprint), json.dumps(
                 {"version": JOURNAL_VERSION,
@@ -249,11 +270,12 @@ class ResultCache:
         ``cache-corrupt`` provenance event, never raised — the worst
         case is recomputing one result.
         """
-        entry = self._entries.get(cache_fingerprint)
-        if entry is not None:
-            self._entries.move_to_end(cache_fingerprint)
-            self.hits += 1
-            return dict(entry)
+        with self._lock:
+            entry = self._entries.get(cache_fingerprint)
+            if entry is not None:
+                self._entries.move_to_end(cache_fingerprint)
+                self.hits += 1
+                return dict(entry)
         if self.directory is not None:
             try:
                 raw = self._path(cache_fingerprint).read_text(
@@ -269,16 +291,19 @@ class ResultCache:
                     if data.get("fingerprint") != cache_fingerprint:
                         raise ValueError("fingerprint mismatch")
                 except (ValueError, KeyError, TypeError) as exc:  # corrupt/truncated record: degrade to a recompute, counted and reported below
-                    self.corrupt_records += 1
+                    with self._lock:
+                        self.corrupt_records += 1
                     record(ProvenanceEvent(
                         kind="cache-corrupt",
                         source=f"result_{cache_fingerprint}.json",
                         detail=f"{type(exc).__name__}: {exc}"))
                 else:
-                    self._entries[cache_fingerprint] = dict(payload)
-                    while len(self._entries) > self.capacity:
-                        self._entries.popitem(last=False)
-                    self.hits += 1
+                    with self._lock:
+                        self._entries[cache_fingerprint] = dict(payload)
+                        while len(self._entries) > self.capacity:
+                            self._entries.popitem(last=False)
+                        self.hits += 1
                     return dict(payload)
-        self.misses += 1
+        with self._lock:
+            self.misses += 1
         return None

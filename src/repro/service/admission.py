@@ -100,7 +100,21 @@ class AdmissionQueue(Generic[T]):
 
     @property
     def closed(self) -> bool:
-        return self._closed
+        with self._lock:
+            return self._closed
+
+    def stats_snapshot(self) -> dict[str, Any]:
+        """A consistent counters snapshot for stats frames.
+
+        The reader thread assembles stats frames while the executor
+        mutates the counters under :attr:`_lock`; snapshotting under
+        the same lock is what keeps a frame from showing, e.g., a
+        ``served`` ahead of its ``admitted``.
+        """
+        with self._lock:
+            payload = self.stats.to_json_dict()
+            payload["depth"] = len(self._items)
+            return payload
 
     @boundary(raises=(ServiceOverload, ServiceDraining))
     def offer(self, item: T) -> None:

@@ -158,7 +158,15 @@ class ServiceConfig:
 
 @dataclass
 class ServiceStats:
-    """Service-level counters, reported by the ``stats`` op."""
+    """Service-level counters, reported by the ``stats`` op.
+
+    The counters are mutated by the executor thread and read by reader/
+    connection threads assembling stats frames, so every access goes
+    through a method holding the internal lock — callers never touch
+    the fields directly. ``to_json_dict`` is therefore a consistent
+    snapshot (``requests_failed`` always equals the sum over
+    ``errors_by_kind``, never a torn mid-update view).
+    """
 
     requests_ok: int = 0
     requests_failed: int = 0
@@ -170,22 +178,60 @@ class ServiceStats:
     replayed: int = 0
     wal_errors: int = 0
     errors_by_kind: dict[str, int] = field(default_factory=dict)
+    _lock: threading.Lock = field(default_factory=threading.Lock,
+                                  repr=False, compare=False)
 
     def count_error(self, kind: str) -> None:
-        self.requests_failed += 1
-        self.errors_by_kind[kind] = self.errors_by_kind.get(kind, 0) + 1
+        with self._lock:
+            self.requests_failed += 1
+            self.errors_by_kind[kind] = (
+                self.errors_by_kind.get(kind, 0) + 1)
+
+    def count_protocol_error(self, kind: str) -> None:
+        """One malformed frame: a protocol error that also failed."""
+        with self._lock:
+            self.protocol_errors += 1
+            self.requests_failed += 1
+            self.errors_by_kind[kind] = (
+                self.errors_by_kind.get(kind, 0) + 1)
+
+    def count_ok(self, *, cached: bool = False,
+                 degraded: bool = False) -> None:
+        with self._lock:
+            self.requests_ok += 1
+            if cached:
+                self.cache_hits += 1
+            if degraded:
+                self.degraded += 1
+
+    def record_worker_crash(self) -> None:
+        with self._lock:
+            self.worker_crashes += 1
+
+    def record_replayed(self) -> None:
+        with self._lock:
+            self.replayed += 1
+
+    def record_coalesced(self) -> None:
+        with self._lock:
+            self.coalesced += 1
+
+    def record_wal_error(self) -> None:
+        with self._lock:
+            self.wal_errors += 1
 
     def to_json_dict(self) -> dict[str, Any]:
-        return {"requests_ok": self.requests_ok,
-                "requests_failed": self.requests_failed,
-                "protocol_errors": self.protocol_errors,
-                "cache_hits": self.cache_hits,
-                "coalesced": self.coalesced,
-                "degraded": self.degraded,
-                "worker_crashes": self.worker_crashes,
-                "replayed": self.replayed,
-                "wal_errors": self.wal_errors,
-                "errors_by_kind": dict(self.errors_by_kind)}
+        with self._lock:
+            return {"requests_ok": self.requests_ok,
+                    "requests_failed": self.requests_failed,
+                    "protocol_errors": self.protocol_errors,
+                    "cache_hits": self.cache_hits,
+                    "coalesced": self.coalesced,
+                    "degraded": self.degraded,
+                    "worker_crashes": self.worker_crashes,
+                    "replayed": self.replayed,
+                    "wal_errors": self.wal_errors,
+                    "errors_by_kind": dict(self.errors_by_kind)}
 
 
 @dataclass
@@ -305,8 +351,7 @@ class RoutingDaemon:
         try:
             request = parse_checked(stripped, self.config.session)
         except ProtocolError as exc:
-            self.stats.protocol_errors += 1
-            self.stats.count_error(ERROR_PROTOCOL)
+            self.stats.count_protocol_error(ERROR_PROTOCOL)
             reply(error_response(exc.frame_id, ERROR_PROTOCOL,
                                  type(exc).__name__, str(exc)))
             return
@@ -317,14 +362,13 @@ class RoutingDaemon:
                     "draining": self._drain_requested.is_set()}))
                 return
             if request.op == "stats":
+                # Each component snapshots its own counters under its
+                # owning lock; the frame is a composition of consistent
+                # snapshots, never a lock-free read of live counters.
                 payload: dict[str, Any] = {
                     "service": self.stats.to_json_dict(),
-                    "admission": self.queue.stats.to_json_dict(),
-                    "cache": {"entries": len(self.cache),
-                              "hits": self.cache.hits,
-                              "misses": self.cache.misses,
-                              "corrupt_records":
-                              self.cache.corrupt_records}}
+                    "admission": self.queue.stats_snapshot(),
+                    "cache": self.cache.stats_snapshot()}
                 if self.breakers is not None:
                     payload["breakers"] = self.breakers.to_json_dict()
                 reply(ok_response(request.id, "stats", payload))
@@ -348,19 +392,27 @@ class RoutingDaemon:
         # can never silently lose the request. Frames shed below get a
         # terminal record immediately.
         self._wal_admit(item)
+        # Only the coalescing *decision* happens under the leaders
+        # lock; the overload reply and its terminal WAL record (an
+        # fsync) run after release so a slow disk cannot stall every
+        # other admission.
+        coalesce_full = False
         with self._leaders_lock:
             leader = self._leaders.get(fp)
             if leader is not None:
                 if len(leader.followers) >= self.config.max_coalesced:
-                    self.stats.count_error(ERROR_OVERLOAD)
-                    self._wal_done(item, ERROR_OVERLOAD)
-                    reply(error_response(
-                        request.id, ERROR_OVERLOAD, "ServiceOverload",
-                        f"too many requests coalesced behind fingerprint "
-                        f"{fp} (cap {self.config.max_coalesced})"))
+                    coalesce_full = True
+                else:
+                    leader.followers.append(item)
                     return
-                leader.followers.append(item)
-                return
+        if coalesce_full:
+            self.stats.count_error(ERROR_OVERLOAD)
+            self._wal_done(item, ERROR_OVERLOAD)
+            reply(error_response(
+                request.id, ERROR_OVERLOAD, "ServiceOverload",
+                f"too many requests coalesced behind fingerprint "
+                f"{fp} (cap {self.config.max_coalesced})"))
+            return
         try:
             self.queue.offer(item)
         except ServiceOverload as exc:
@@ -386,10 +438,10 @@ class RoutingDaemon:
         if self.wal is None:
             return
         try:
-            item.wal_seq = self.wal.admit(wire_frame(item.request),
+            item.wal_seq = self.wal.admit(wire_frame(item.request),  # repro: allow=interlock-unguarded-shared-field — single write before the item is published: every later reader acquires queue/leaders locks first, which fences this store
                                           item.fingerprint)
         except OSError:  # disk-full must not reject the request: served undurably, error counted (clients needing the guarantee watch wal_errors)
-            self.stats.wal_errors += 1
+            self.stats.record_wal_error()
 
     def _wal_done(self, item: _Admitted, status: str) -> None:
         if self.wal is None or item.wal_seq is None:
@@ -397,7 +449,7 @@ class RoutingDaemon:
         try:
             self.wal.done(item.wal_seq, status)
         except OSError:  # a lost terminal record means at worst one extra idempotent, cache-served replay after the next crash
-            self.stats.wal_errors += 1
+            self.stats.record_wal_error()
 
     # -- recovery & run-dir services ----------------------------------
 
@@ -422,15 +474,14 @@ class RoutingDaemon:
                 # config changed between generations (e.g. fault
                 # injection turned off). Terminal-record it so it is
                 # never replayed again.
-                self.stats.protocol_errors += 1
-                self.stats.count_error(ERROR_PROTOCOL)
+                self.stats.count_protocol_error(ERROR_PROTOCOL)
                 reply(error_response(exc.frame_id, ERROR_PROTOCOL,
                                      type(exc).__name__, str(exc)))
                 if self.wal is not None:
                     try:
                         self.wal.done(entry.seq, ERROR_PROTOCOL)
                     except OSError:  # same availability-over-durability trade as _wal_done
-                        self.stats.wal_errors += 1
+                        self.stats.record_wal_error()
                 continue
             # Recomputed, never trusted from the log: the fingerprint
             # must bind the request to *this* generation's config.
@@ -496,7 +547,7 @@ class RoutingDaemon:
             item.followers.clear()
         if item.replayed:
             response = dict(response, replayed=True)
-            self.stats.replayed += 1
+            self.stats.record_replayed()
         self._count_response(response)
         item.reply(response)
         self._wal_done(item, _disposition(response))
@@ -506,25 +557,22 @@ class RoutingDaemon:
             echoed.pop("replayed", None)
             if follower.replayed:
                 echoed["replayed"] = True
-                self.stats.replayed += 1
-            self.stats.coalesced += 1
+                self.stats.record_replayed()
+            self.stats.record_coalesced()
             self._count_response(echoed)
             follower.reply(echoed)
             self._wal_done(follower, _disposition(echoed))
 
     def _count_response(self, response: dict[str, Any]) -> None:
         if response.get("status") == "ok":
-            self.stats.requests_ok += 1
-            if response.get("cached"):
-                self.stats.cache_hits += 1
-            if response.get("degraded"):
-                self.stats.degraded += 1
+            self.stats.count_ok(cached=bool(response.get("cached")),
+                                degraded=bool(response.get("degraded")))
             return
         error = response.get("error")
         kind = (error.get("kind", "exception")
                 if isinstance(error, dict) else "exception")
         if kind == "crash":
-            self.stats.worker_crashes += 1
+            self.stats.record_worker_crash()
         self.stats.count_error(kind)
 
     # -- execution ----------------------------------------------------
@@ -749,7 +797,7 @@ class RoutingDaemon:
 
         self._start_run_dir_services()
         self._replay_pending(reply)
-        reader = threading.Thread(
+        reader = threading.Thread(  # repro: allow=interlock-daemon-thread-durable-io — daemon so a wedged stdin cannot block drain; a torn WAL tail from exit-kill is tolerated by load_pending's truncation scan
             target=self._read_stream, args=(input_stream, reply),
             name="service-reader", daemon=True)
         reader.start()
@@ -779,8 +827,7 @@ class RoutingDaemon:
                 if line == "":
                     break
                 if len(line) > MAX_FRAME_BYTES:
-                    self.stats.protocol_errors += 1
-                    self.stats.count_error(ERROR_PROTOCOL)
+                    self.stats.count_protocol_error(ERROR_PROTOCOL)
                     reply(error_response(
                         None, ERROR_PROTOCOL, "ProtocolError",
                         f"frame exceeds {MAX_FRAME_BYTES} bytes"))
@@ -817,7 +864,7 @@ class RoutingDaemon:
         # connection died with the previous generation, so the value of
         # the replay is filling the cache — the client's retry hits it.
         self._replay_pending(lambda frame: None)
-        accept_thread = threading.Thread(
+        accept_thread = threading.Thread(  # repro: allow=interlock-daemon-thread-durable-io — daemon so a hung accept cannot outlive drain; WAL tails torn at exit are recovered (truncated) on the next generation's replay
             target=self._accept_loop, args=(listener, client_timeout),
             name="service-accept", daemon=True)
         accept_thread.start()
@@ -843,7 +890,7 @@ class RoutingDaemon:
             except OSError:  # repro: allow=contracts-broad-catch-swallow — listener closed by request_drain: the accept loop's normal exit
                 break
             conn.settimeout(client_timeout)
-            threading.Thread(target=self._serve_connection, args=(conn,),
+            threading.Thread(target=self._serve_connection, args=(conn,),  # repro: allow=interlock-daemon-thread-durable-io — daemon so one wedged client cannot block shutdown; its in-flight admit at worst leaves a torn tail that load_pending truncates
                              name="service-conn", daemon=True).start()
 
     def _serve_connection(self, conn: socket.socket) -> None:

@@ -124,7 +124,7 @@ class RequestWAL:
         with self._lock:
             seq = self._next_seq
             self._next_seq += 1
-            self._append({"v": WAL_VERSION, "type": "admitted", "seq": seq,
+            self._append({"v": WAL_VERSION, "type": "admitted", "seq": seq,  # repro: allow=interlock-blocking-under-lock — fsync under the WAL lock is the point: appends must hit the log in sequence order, and this lock serializes nothing but the append itself
                           "fp": fingerprint, "frame": dict(frame)})
             return seq
 
@@ -132,7 +132,7 @@ class RequestWAL:
     def done(self, seq: int, status: str) -> None:
         """Durably record the terminal disposition of entry ``seq``."""
         with self._lock:
-            self._append({"v": WAL_VERSION, "type": "done", "seq": seq,
+            self._append({"v": WAL_VERSION, "type": "done", "seq": seq,  # repro: allow=interlock-blocking-under-lock — same serialized-append contract as admit: the fsync *is* the critical section
                           "status": status})
 
     def _append(self, record: dict[str, Any]) -> None:

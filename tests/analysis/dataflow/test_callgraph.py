@@ -185,3 +185,101 @@ class TestReachability:
         graph = CallGraph(build_project([tree.root]))
         parents = graph.reachable_from(["repro.core.algo.entry"])
         assert "repro.core.algo.island" not in parents
+
+
+class TestThreadAndSignalEntryPoints:
+    def test_thread_target_becomes_a_spawn_and_a_call_edge(self, tree):
+        tree.write("service/daemon.py", """
+            import threading
+
+            class Daemon:
+                def start(self):
+                    worker = threading.Thread(target=self._loop,
+                                              daemon=True)
+                    worker.start()
+
+                def _loop(self):
+                    pass
+        """)
+        graph = CallGraph(build_project([tree.root]))
+        spawner = "repro.service.daemon.Daemon.start"
+        target = "repro.service.daemon.Daemon._loop"
+        assert target in graph.edges[spawner]
+        assert (spawner, target) in graph.spawn_pairs
+        (spawn,) = graph.thread_spawns
+        assert spawn.spawner == spawner
+        assert spawn.target == target
+        assert spawn.daemon is True
+
+    def test_timer_function_arg_is_a_spawn_target(self, tree):
+        tree.write("service/daemon.py", """
+            import threading
+
+            def later():
+                pass
+
+            def schedule():
+                threading.Timer(1.0, later).start()
+        """)
+        graph = CallGraph(build_project([tree.root]))
+        (spawn,) = graph.thread_spawns
+        assert spawn.target == "repro.service.daemon.later"
+        assert spawn.daemon is False
+
+    def test_unresolved_target_is_recorded_with_none(self, tree):
+        tree.write("service/daemon.py", """
+            import threading
+
+            def run(callback):
+                threading.Thread(target=callback).start()
+        """)
+        graph = CallGraph(build_project([tree.root]))
+        (spawn,) = graph.thread_spawns
+        assert spawn.target is None
+        assert graph.spawn_pairs == set()
+
+    def test_signal_registration_resolves_the_handler(self, tree):
+        tree.write("service/daemon.py", """
+            import signal
+
+            class Daemon:
+                def install(self):
+                    signal.signal(signal.SIGTERM, self._on_term)
+
+                def _on_term(self, signum, frame):
+                    pass
+        """)
+        graph = CallGraph(build_project([tree.root]))
+        (registration,) = graph.signal_registrations
+        registrar = "repro.service.daemon.Daemon.install"
+        handler = "repro.service.daemon.Daemon._on_term"
+        assert registration.registrar == registrar
+        assert registration.handler == handler
+        # the handler runs on its own async entry, like a thread body
+        assert (registrar, handler) in graph.spawn_pairs
+        assert handler in graph.edges[registrar]
+
+    def test_nested_handler_def_is_captured(self, tree):
+        tree.write("service/daemon.py", """
+            import signal
+
+            def install(flag):
+                def _on_term(signum, frame):
+                    flag.append(1)
+                signal.signal(signal.SIGTERM, _on_term)
+        """)
+        graph = CallGraph(build_project([tree.root]))
+        (registration,) = graph.signal_registrations
+        assert registration.handler is None
+        assert registration.handler_node is not None
+        assert registration.handler_node.name == "_on_term"
+
+    def test_sig_ign_registration_is_skipped(self, tree):
+        tree.write("service/daemon.py", """
+            import signal
+
+            def install():
+                signal.signal(signal.SIGPIPE, signal.SIG_IGN)
+        """)
+        graph = CallGraph(build_project([tree.root]))
+        assert graph.signal_registrations == []

@@ -1,0 +1,29 @@
+"""Shared helpers: write fixture trees laid out like the real repo.
+
+Fixture modules live under ``tmp_path/src/repro/...`` so
+:func:`repro.analysis.dataflow.callgraph.module_name_for` resolves them
+to ``repro.*`` dotted names exactly like the production tree — which
+matters here because the default ``InterlockOptions.entry_prefixes``
+roots the collapsed ``caller`` thread at ``repro.service``.
+"""
+
+import textwrap
+
+import pytest
+
+
+class TreeWriter:
+    def __init__(self, tmp_path):
+        self.root = tmp_path / "src" / "repro"
+
+    def write(self, relpath, code):
+        """Write ``src/repro/<relpath>`` and return its path."""
+        path = self.root / relpath
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(code), encoding="utf-8")
+        return path
+
+
+@pytest.fixture
+def tree(tmp_path):
+    return TreeWriter(tmp_path)

@@ -1,0 +1,201 @@
+"""Unit tests for the concurrency model: lock discovery, entry-lockset
+and acquisition fixpoints, thread-root attribution."""
+
+from repro.analysis.interlock import build_interlock_model
+
+
+def model_for(tree):
+    return build_interlock_model([tree.root])
+
+
+class TestLockDiscovery:
+    def test_instance_module_and_dataclass_locks(self, tree):
+        tree.write("service/locks.py", """
+            import threading
+            from dataclasses import dataclass, field
+
+            GLOBAL_LOCK = threading.Lock()
+
+            class Plain:
+                def __init__(self):
+                    self._lock = threading.RLock()
+
+            @dataclass
+            class Boxed:
+                _lock: threading.Lock = field(
+                    default_factory=threading.Lock)
+            """)
+        model = model_for(tree)
+        locks = model.tables.locks
+        assert "repro.service.locks.GLOBAL_LOCK" in locks
+        assert locks["repro.service.locks.Plain._lock"].kind == "RLock"
+        assert "repro.service.locks.Boxed._lock" in locks
+
+    def test_condition_canonicalizes_to_its_backing_lock(self, tree):
+        tree.write("service/locks.py", """
+            import threading
+
+            class Mailbox:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._ready = threading.Condition(self._lock)
+            """)
+        model = model_for(tree)
+        cond = model.tables.locks["repro.service.locks.Mailbox._ready"]
+        assert cond.kind == "Condition"
+        assert cond.backing == "repro.service.locks.Mailbox._lock"
+
+
+class TestFixpoints:
+    def test_entry_lockset_of_a_method_always_called_locked(self, tree):
+        tree.write("service/counter.py", """
+            import threading
+
+            class Counter:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.total = 0
+
+                def bump(self):
+                    with self._lock:
+                        self._bump_locked()
+
+                def also(self):
+                    with self._lock:
+                        self._bump_locked()
+
+                def _bump_locked(self):
+                    self.total += 1
+            """)
+        model = model_for(tree)
+        entry = model.entry_locksets[
+            "repro.service.counter.Counter._bump_locked"]
+        assert entry == frozenset(
+            {"repro.service.counter.Counter._lock"})
+
+    def test_entry_lockset_meets_to_empty_on_an_unlocked_caller(
+            self, tree):
+        tree.write("service/counter.py", """
+            import threading
+
+            class Counter:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.total = 0
+
+                def bump(self):
+                    with self._lock:
+                        self._bump_locked()
+
+                def sloppy(self):
+                    self._bump_locked()
+
+                def _bump_locked(self):
+                    self.total += 1
+            """)
+        model = model_for(tree)
+        entry = model.entry_locksets[
+            "repro.service.counter.Counter._bump_locked"]
+        assert entry == frozenset()
+
+    def test_spawn_targets_seed_at_the_empty_lockset(self, tree):
+        tree.write("service/daemon.py", """
+            import threading
+
+            class Daemon:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def start(self):
+                    with self._lock:
+                        worker = threading.Thread(target=self._loop)
+                        worker.start()
+
+                def _loop(self):
+                    pass
+            """)
+        model = model_for(tree)
+        # Spawned under the lock, but the *thread* starts lock-free.
+        assert model.entry_locksets[
+            "repro.service.daemon.Daemon._loop"] == frozenset()
+
+    def test_transitive_acquisitions_cross_calls(self, tree):
+        tree.write("service/daemon.py", """
+            import threading
+
+            class Daemon:
+                def __init__(self):
+                    self._a = threading.Lock()
+                    self._b = threading.Lock()
+
+                def outer(self):
+                    with self._a:
+                        pass
+                    self._inner()
+
+                def _inner(self):
+                    with self._b:
+                        pass
+            """)
+        model = model_for(tree)
+        acquired = model.acquired["repro.service.daemon.Daemon.outer"]
+        assert acquired == frozenset({
+            "repro.service.daemon.Daemon._a",
+            "repro.service.daemon.Daemon._b"})
+
+    def test_transitive_blocking_crosses_calls(self, tree):
+        tree.write("service/daemon.py", """
+            import time
+
+            class Daemon:
+                def outer(self):
+                    self._inner()
+
+                def _inner(self):
+                    time.sleep(1)
+            """)
+        model = model_for(tree)
+        assert "time.sleep" in model.blocking[
+            "repro.service.daemon.Daemon.outer"]
+
+
+class TestThreadRoots:
+    def test_roots_split_caller_thread_and_signal(self, tree):
+        tree.write("service/daemon.py", """
+            import signal
+            import threading
+
+            class Daemon:
+                def serve(self):
+                    worker = threading.Thread(target=self._loop)
+                    worker.start()
+                    signal.signal(signal.SIGTERM, self._on_term)
+
+                def _loop(self):
+                    self._shared()
+
+                def _on_term(self, signum, frame):
+                    pass
+
+                def _shared(self):
+                    pass
+            """)
+        model = model_for(tree)
+        roots = model.roots
+        assert roots["repro.service.daemon.Daemon.serve"] == {"caller"}
+        assert roots["repro.service.daemon.Daemon._loop"] == {
+            "thread:Daemon._loop"}
+        assert roots["repro.service.daemon.Daemon._on_term"] == {
+            "signal:Daemon._on_term"}
+        # reachable from the thread body only, not from the spawner
+        assert roots["repro.service.daemon.Daemon._shared"] == {
+            "thread:Daemon._loop"}
+
+    def test_function_outside_entry_prefixes_has_no_caller_root(
+            self, tree):
+        tree.write("routing/helper.py", """
+            def public_helper():
+                pass
+            """)
+        model = model_for(tree)
+        assert "repro.routing.helper.public_helper" not in model.roots

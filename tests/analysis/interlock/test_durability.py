@@ -1,0 +1,202 @@
+"""Unit tests for the durability-ordering machinery: WAL seeds, call
+closures, and the CFG reply-ordering checks."""
+
+from repro.analysis.interlock import build_interlock_model
+
+WAL_MODULE = """
+    import os
+
+    class RequestWAL:
+        def __init__(self, fd):
+            self.fd = fd
+
+        def admit(self, frame):
+            os.write(self.fd, frame)
+            os.fsync(self.fd)
+            return 1
+
+        def done(self, seq, status):
+            os.write(self.fd, b"done")
+            os.fsync(self.fd)
+    """
+
+
+def model_for(tree):
+    return build_interlock_model([tree.root])
+
+
+class TestClosures:
+    def test_wal_marked_class_seeds_admit_and_done(self, tree):
+        tree.write("service/wal.py", WAL_MODULE)
+        tree.write("service/daemon.py", """
+            from repro.service.wal import RequestWAL
+
+            class Daemon:
+                def __init__(self):
+                    self.wal = RequestWAL(0)
+
+                def _wal_admit(self, frame):
+                    return self.wal.admit(frame)
+
+                def handle(self, frame):
+                    return self._wal_admit(frame)
+            """)
+        model = model_for(tree)
+        assert "repro.service.wal.RequestWAL.admit" in model.admit_closure
+        # callers of admit are in the closure, transitively
+        assert ("repro.service.daemon.Daemon._wal_admit"
+                in model.admit_closure)
+        assert "repro.service.daemon.Daemon.handle" in model.admit_closure
+        assert ("repro.service.daemon.Daemon.handle"
+                not in model.done_closure)
+
+    def test_durable_closure_crosses_spawn_edges(self, tree):
+        tree.write("service/daemon.py", """
+            import os
+            import threading
+
+            class Daemon:
+                def start(self):
+                    worker = threading.Thread(target=self._writer)
+                    worker.start()
+
+                def _writer(self):
+                    os.fsync(0)
+            """)
+        model = model_for(tree)
+        # the spawner *causes* the durable write even though it never
+        # calls the body
+        assert "repro.service.daemon.Daemon.start" in model.durable_closure
+        assert ("repro.service.daemon.Daemon._writer"
+                in model.durable_closure)
+
+    def test_unmarked_class_is_not_a_wal(self, tree):
+        tree.write("service/store.py", """
+            import os
+
+            class Ledger:
+                def admit(self, frame):
+                    os.fsync(0)
+            """)
+        model = model_for(tree)
+        assert model.admit_closure == set()
+
+
+class TestReplyOrdering:
+    def test_reply_before_admit_is_reported_once(self, tree):
+        tree.write("service/wal.py", WAL_MODULE)
+        tree.write("service/daemon.py", """
+            from repro.service.wal import RequestWAL
+
+            class Daemon:
+                def __init__(self):
+                    self.wal = RequestWAL(0)
+
+                def handle(self, frame, reply):
+                    reply({"status": "ok"})
+                    self.wal.admit(frame)
+            """)
+        model = model_for(tree)
+        kinds = [issue.kind for issue in model.reply_issues]
+        assert kinds == ["reply-before-admit"]
+
+    def test_exception_path_around_the_admit_counts(self, tree):
+        # Replying in an except handler that skips the admit is still a
+        # reply the journal never heard about — the exception successor
+        # edges must be traversed.
+        tree.write("service/wal.py", WAL_MODULE)
+        tree.write("service/daemon.py", """
+            from repro.service.wal import RequestWAL
+
+            class Daemon:
+                def __init__(self):
+                    self.wal = RequestWAL(0)
+
+                def handle(self, frame, reply):
+                    try:
+                        payload = dict(frame)
+                        reply({"status": "ok", "echo": payload})
+                    finally:
+                        self.wal.admit(frame)
+            """)
+        model = model_for(tree)
+        assert [issue.kind for issue in model.reply_issues] == [
+            "reply-before-admit"]
+
+    def test_admit_first_has_no_issues(self, tree):
+        tree.write("service/wal.py", WAL_MODULE)
+        tree.write("service/daemon.py", """
+            from repro.service.wal import RequestWAL
+
+            class Daemon:
+                def __init__(self):
+                    self.wal = RequestWAL(0)
+
+                def handle(self, frame, reply):
+                    seq = self.wal.admit(frame)
+                    reply({"status": "ok", "seq": seq})
+            """)
+        model = model_for(tree)
+        assert model.reply_issues == []
+
+    def test_loop_back_edge_does_not_connect_requests(self, tree):
+        tree.write("service/wal.py", WAL_MODULE)
+        tree.write("service/daemon.py", """
+            from repro.service.wal import RequestWAL
+
+            class Daemon:
+                def __init__(self):
+                    self.wal = RequestWAL(0)
+
+                def read_loop(self, frames, reply):
+                    while True:
+                        frame = frames.pop()
+                        if frame is None:
+                            break
+                        if not frame:
+                            reply({"status": "error"})
+                            continue
+                        self.wal.admit(frame)
+                        reply({"status": "ok"})
+            """)
+        model = model_for(tree)
+        assert model.reply_issues == []
+
+    def test_reply_without_done_flags_the_bare_branch(self, tree):
+        tree.write("service/wal.py", WAL_MODULE)
+        tree.write("service/daemon.py", """
+            from repro.service.wal import RequestWAL
+
+            class Daemon:
+                def __init__(self):
+                    self.wal = RequestWAL(0)
+
+                def deliver(self, ok, reply):
+                    if ok:
+                        reply({"status": "ok"})
+                        self.wal.done(1, "ok")
+                    else:
+                        reply({"status": "error"})
+            """)
+        model = model_for(tree)
+        assert [issue.kind for issue in model.reply_issues] == [
+            "reply-without-done"]
+
+    def test_shared_done_tail_satisfies_both_branches(self, tree):
+        tree.write("service/wal.py", WAL_MODULE)
+        tree.write("service/daemon.py", """
+            from repro.service.wal import RequestWAL
+
+            class Daemon:
+                def __init__(self):
+                    self.wal = RequestWAL(0)
+
+                def deliver(self, ok, reply):
+                    if ok:
+                        reply({"status": "ok"})
+                    else:
+                        reply({"status": "error"})
+                    self.wal.done(1, "ok")
+            """)
+        model = model_for(tree)
+        assert model.reply_issues == []

@@ -1,0 +1,496 @@
+"""Seeded fixtures: every interlock rule fires on its violation and
+stays quiet on the disciplined variant."""
+
+from repro.analysis.interlock import InterlockOptions, analyze_interlock
+
+FIXTURE_OPTIONS = InterlockOptions()
+
+
+def run(tree, options=FIXTURE_OPTIONS, config=None):
+    return analyze_interlock([tree.root], config=config, options=options)
+
+
+def fired(diags):
+    return {d.rule for d in diags}
+
+
+class TestUnguardedSharedField:
+    def test_field_written_across_roots_without_lock_fires(self, tree):
+        tree.write("service/daemon.py", """
+            import threading
+
+            class Daemon:
+                def __init__(self):
+                    self.count = 0
+                    self._lock = threading.Lock()
+
+                def start(self):
+                    worker = threading.Thread(target=self._loop)
+                    worker.start()
+
+                def _loop(self):
+                    self.count += 1
+
+                def snapshot(self):
+                    return {"count": self.count}
+            """)
+        diags = run(tree)
+        assert fired(diags) == {"interlock-unguarded-shared-field"}
+        assert "Daemon.count" in diags[0].message
+        assert "thread:Daemon._loop" in diags[0].message
+
+    def test_consistent_lock_on_every_site_is_quiet(self, tree):
+        tree.write("service/daemon.py", """
+            import threading
+
+            class Daemon:
+                def __init__(self):
+                    self.count = 0
+                    self._lock = threading.Lock()
+
+                def start(self):
+                    worker = threading.Thread(target=self._loop)
+                    worker.start()
+
+                def _loop(self):
+                    with self._lock:
+                        self.count += 1
+
+                def snapshot(self):
+                    with self._lock:
+                        return {"count": self.count}
+            """)
+        assert run(tree) == []
+
+    def test_single_root_field_is_quiet(self, tree):
+        tree.write("service/daemon.py", """
+            class Daemon:
+                def __init__(self):
+                    self.count = 0
+
+                def bump(self):
+                    self.count += 1
+
+                def snapshot(self):
+                    return {"count": self.count}
+            """)
+        assert run(tree) == []
+
+    def test_sync_primitive_fields_are_exempt(self, tree):
+        tree.write("service/daemon.py", """
+            import queue
+            import threading
+
+            class Daemon:
+                def __init__(self):
+                    self.inbox = queue.Queue()
+                    self.stop = threading.Event()
+
+                def start(self):
+                    worker = threading.Thread(target=self._loop)
+                    worker.start()
+
+                def _loop(self):
+                    self.inbox.put(1)
+                    self.stop.set()
+
+                def offer(self, item):
+                    self.inbox.put(item)
+            """)
+        assert run(tree) == []
+
+
+class TestLockOrder:
+    def test_opposite_acquisition_orders_fire(self, tree):
+        tree.write("service/daemon.py", """
+            import threading
+
+            class Daemon:
+                def __init__(self):
+                    self._a = threading.Lock()
+                    self._b = threading.Lock()
+
+                def forward(self):
+                    with self._a:
+                        with self._b:
+                            pass
+
+                def backward(self):
+                    with self._b:
+                        with self._a:
+                            pass
+            """)
+        diags = run(tree)
+        assert fired(diags) == {"interlock-lock-order"}
+        assert "Daemon._a" in diags[0].message
+        assert "Daemon._b" in diags[0].message
+
+    def test_cycle_through_a_callee_fires(self, tree):
+        tree.write("service/daemon.py", """
+            import threading
+
+            class Daemon:
+                def __init__(self):
+                    self._a = threading.Lock()
+                    self._b = threading.Lock()
+
+                def outer(self):
+                    with self._a:
+                        self._grab_b()
+
+                def _grab_b(self):
+                    with self._b:
+                        pass
+
+                def other(self):
+                    with self._b:
+                        with self._a:
+                            pass
+            """)
+        assert fired(run(tree)) == {"interlock-lock-order"}
+
+    def test_consistent_global_order_is_quiet(self, tree):
+        tree.write("service/daemon.py", """
+            import threading
+
+            class Daemon:
+                def __init__(self):
+                    self._a = threading.Lock()
+                    self._b = threading.Lock()
+
+                def forward(self):
+                    with self._a:
+                        with self._b:
+                            pass
+
+                def also_forward(self):
+                    with self._a:
+                        with self._b:
+                            pass
+            """)
+        assert run(tree) == []
+
+
+class TestBlockingUnderLock:
+    def test_fsync_inside_critical_section_fires(self, tree):
+        tree.write("service/log.py", """
+            import os
+            import threading
+
+            class Appender:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.fd = 0
+
+                def flush(self):
+                    with self._lock:
+                        os.fsync(self.fd)
+            """)
+        diags = run(tree)
+        assert fired(diags) == {"interlock-blocking-under-lock"}
+        assert "os.fsync" in diags[0].message
+
+    def test_transitive_blocking_callee_fires_at_the_call(self, tree):
+        tree.write("service/log.py", """
+            import time
+            import threading
+
+            class Appender:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def flush(self):
+                    with self._lock:
+                        self._settle()
+
+                def _settle(self):
+                    time.sleep(0.1)
+            """)
+        diags = run(tree)
+        assert fired(diags) == {"interlock-blocking-under-lock"}
+        assert "_settle" in diags[0].message
+
+    def test_blocking_outside_the_lock_is_quiet(self, tree):
+        tree.write("service/log.py", """
+            import os
+            import threading
+
+            class Appender:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.fd = 0
+                    self.pending = 0
+
+                def flush(self):
+                    with self._lock:
+                        self.pending = 0
+                    os.fsync(self.fd)
+            """)
+        assert run(tree) == []
+
+    def test_condition_wait_on_its_own_lock_is_quiet(self, tree):
+        tree.write("service/queue_.py", """
+            import threading
+
+            class Mailbox:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._ready = threading.Condition(self._lock)
+
+                def take(self):
+                    with self._ready:
+                        self._ready.wait()
+            """)
+        assert run(tree) == []
+
+    def test_condition_wait_holding_a_foreign_lock_fires(self, tree):
+        tree.write("service/queue_.py", """
+            import threading
+
+            class Mailbox:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._ready = threading.Condition(self._lock)
+                    self._other = threading.Lock()
+
+                def take(self):
+                    with self._other:
+                        with self._ready:
+                            self._ready.wait()
+            """)
+        diags = run(tree)
+        assert fired(diags) == {"interlock-blocking-under-lock"}
+        assert "Mailbox._other" in diags[0].message
+
+
+class TestSignalHandlerUnsafe:
+    def test_handler_acquiring_a_lock_fires(self, tree):
+        tree.write("service/daemon.py", """
+            import signal
+            import threading
+
+            class Daemon:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.stop = threading.Event()
+
+                def install(self):
+                    signal.signal(signal.SIGTERM, self._on_term)
+
+                def _on_term(self, signum, frame):
+                    with self._lock:
+                        self.stop.set()
+            """)
+        diags = run(tree)
+        assert fired(diags) == {"interlock-signal-handler-unsafe"}
+        assert "acquires Daemon._lock" in diags[0].message
+
+    def test_nested_handler_doing_io_fires(self, tree):
+        tree.write("service/daemon.py", """
+            import signal
+
+            def install(flag_path):
+                def _on_term(signum, frame):
+                    open(flag_path, "w")
+                signal.signal(signal.SIGTERM, _on_term)
+            """)
+        diags = run(tree)
+        assert fired(diags) == {"interlock-signal-handler-unsafe"}
+        assert "open" in diags[0].message
+
+    def test_event_set_only_handler_is_quiet(self, tree):
+        tree.write("service/daemon.py", """
+            import signal
+            import threading
+
+            class Daemon:
+                def __init__(self):
+                    self.stop = threading.Event()
+
+                def install(self):
+                    signal.signal(signal.SIGTERM, self._on_term)
+
+                def _on_term(self, signum, frame):
+                    self.stop.set()
+            """)
+        assert run(tree) == []
+
+
+WAL_MODULE = """
+    import os
+
+    class RequestWAL:
+        def __init__(self, fd):
+            self.fd = fd
+
+        def admit(self, frame):
+            os.write(self.fd, frame)
+            os.fsync(self.fd)
+            return 1
+
+        def done(self, seq, status):
+            os.write(self.fd, b"done")
+            os.fsync(self.fd)
+    """
+
+
+class TestReplyBeforeFsync:
+    def test_reply_preceding_the_admit_append_fires(self, tree):
+        tree.write("service/wal.py", WAL_MODULE)
+        tree.write("service/daemon.py", """
+            from repro.service.wal import RequestWAL
+
+            class Daemon:
+                def __init__(self):
+                    self.wal = RequestWAL(0)
+
+                def handle(self, frame, reply):
+                    reply({"status": "ok"})
+                    self.wal.admit(frame)
+            """)
+        diags = run(tree)
+        assert fired(diags) == {"interlock-reply-before-fsync"}
+        assert "before the WAL admit" in diags[0].message
+
+    def test_admit_dominating_the_reply_is_quiet(self, tree):
+        tree.write("service/wal.py", WAL_MODULE)
+        tree.write("service/daemon.py", """
+            from repro.service.wal import RequestWAL
+
+            class Daemon:
+                def __init__(self):
+                    self.wal = RequestWAL(0)
+
+                def handle(self, frame, reply):
+                    seq = self.wal.admit(frame)
+                    reply({"status": "ok", "seq": seq})
+            """)
+        assert run(tree) == []
+
+    def test_reply_that_cannot_reach_done_fires(self, tree):
+        tree.write("service/wal.py", WAL_MODULE)
+        tree.write("service/daemon.py", """
+            from repro.service.wal import RequestWAL
+
+            class Daemon:
+                def __init__(self):
+                    self.wal = RequestWAL(0)
+
+                def deliver(self, ok, reply):
+                    if ok:
+                        reply({"status": "ok"})
+                        self.wal.done(1, "ok")
+                    else:
+                        reply({"status": "error"})
+            """)
+        diags = run(tree)
+        assert fired(diags) == {"interlock-reply-before-fsync"}
+        assert "cannot reach a WAL done" in diags[0].message
+        assert len(diags) == 1  # only the else-branch reply
+
+    def test_next_iterations_admit_is_not_this_reply(self, tree):
+        # The reader-loop shape: each iteration replies for *its own*
+        # request; the admit reachable only via the loop back edge
+        # belongs to the next request and must not fire.
+        tree.write("service/wal.py", WAL_MODULE)
+        tree.write("service/daemon.py", """
+            from repro.service.wal import RequestWAL
+
+            class Daemon:
+                def __init__(self):
+                    self.wal = RequestWAL(0)
+
+                def read_loop(self, frames, reply):
+                    for frame in frames:
+                        if not frame:
+                            reply({"status": "error"})
+                            continue
+                        self.wal.admit(frame)
+                        reply({"status": "ok"})
+            """)
+        assert run(tree) == []
+
+
+class TestNonatomicDurableWrite:
+    def test_ad_hoc_replace_fires(self, tree):
+        tree.write("service/state.py", """
+            import os
+
+            def save(path, text):
+                with open(path + ".tmp", "w") as fh:
+                    fh.write(text)
+                os.replace(path + ".tmp", path)
+            """)
+        diags = run(tree)
+        assert fired(diags) == {"interlock-nonatomic-durable-write"}
+        assert "os.replace" in diags[0].message
+
+    def test_blessed_atomic_write_helper_is_exempt(self, tree):
+        tree.write("runtime/journal.py", """
+            import os
+
+            def atomic_write_text(path, text):
+                os.replace(str(path) + ".tmp", path)
+            """)
+        assert run(tree) == []
+
+
+class TestDaemonThreadDurableIO:
+    def test_daemon_thread_reaching_fsync_warns(self, tree):
+        tree.write("service/daemon.py", """
+            import os
+            import threading
+
+            class Daemon:
+                def start(self):
+                    worker = threading.Thread(target=self._writer,
+                                              daemon=True)
+                    worker.start()
+
+                def _writer(self):
+                    os.fsync(0)
+            """)
+        diags = run(tree)
+        assert fired(diags) == {"interlock-daemon-thread-durable-io"}
+        assert "_writer" in diags[0].message
+
+    def test_non_daemon_thread_is_quiet(self, tree):
+        tree.write("service/daemon.py", """
+            import os
+            import threading
+
+            class Daemon:
+                def start(self):
+                    worker = threading.Thread(target=self._writer)
+                    worker.start()
+
+                def _writer(self):
+                    os.fsync(0)
+            """)
+        assert run(tree) == []
+
+
+class TestWaivers:
+    def test_pragma_on_the_flagged_line_suppresses(self, tree):
+        tree.write("service/log.py", """
+            import os
+            import threading
+
+            class Appender:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.fd = 0
+
+                def flush(self):
+                    with self._lock:
+                        os.fsync(self.fd)  # repro: allow=interlock-blocking-under-lock — append order is the critical section
+            """)
+        assert run(tree) == []
+
+    def test_stale_waiver_is_audited(self, tree):
+        tree.write("service/log.py", """
+            TOTAL = 0  # repro: allow=interlock-blocking-under-lock — nothing here blocks
+            """)
+        diags = run(tree)
+        assert fired(diags) == {"interlock-unused-waiver"}
+        assert "nothing here violates it" in diags[0].message

@@ -1,0 +1,97 @@
+"""Concurrent-connection framing: interleaved large replies must never
+tear.
+
+Two clients hold sockets open while the daemon's executor and
+per-connection reader threads interleave replies. Every line each
+client reads back must be one complete JSON object (a torn frame fails
+``json.loads``), and must carry an id that client sent — a frame
+leaking across connections or split mid-line is a transport bug the
+interlock discipline exists to prevent.
+
+The protocol echoes ``id`` verbatim, so each request carries a
+multi-kilobyte id: replies span many TCP segments and a write that is
+not serialized per connection would interleave visibly.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+
+from repro.service import RoutingDaemon, ServiceConfig
+
+REQUESTS_PER_CLIENT = 12
+
+#: id padding: makes every reply ~20 kB, far beyond one TCP segment.
+ID_PADDING = "x" * 20_000
+
+
+def start_daemon():
+    daemon = RoutingDaemon(ServiceConfig(workers=2))
+    address = {}
+    ready = threading.Event()
+
+    def on_ready(host, port):
+        address["hp"] = (host, port)
+        ready.set()
+
+    server = threading.Thread(target=daemon.serve_socket,
+                              kwargs={"port": 0, "ready": on_ready},
+                              daemon=True)
+    server.start()
+    assert ready.wait(timeout=10.0)
+    return daemon, server, address["hp"]
+
+
+def client_session(address, prefix, results, errors):
+    try:
+        sent_ids = []
+        with socket.create_connection(address, timeout=60.0) as conn:
+            stream = conn.makefile("rw", encoding="utf-8", newline="\n")
+            for i in range(REQUESTS_PER_CLIENT):
+                request_id = f"{prefix}{i}:{ID_PADDING}"
+                sent_ids.append(request_id)
+                net = {"source": [0, i],
+                       "sinks": [[400 + i, 300], [700, 100 + i]]}
+                stream.write(json.dumps(
+                    {"op": "route", "id": request_id,
+                     "algorithm": "ldrg", "net": net}) + "\n")
+            stream.flush()
+            raw_lines = [stream.readline()
+                         for _ in range(REQUESTS_PER_CLIENT)]
+        results[prefix] = (sent_ids, raw_lines)
+    except Exception as exc:  # surfaced by the main thread's assert
+        errors.append((prefix, exc))
+
+
+def test_interleaved_large_replies_never_tear():
+    daemon, server, address = start_daemon()
+    results: dict[str, tuple[list[str], list[str]]] = {}
+    errors: list[tuple[str, Exception]] = []
+    clients = [threading.Thread(target=client_session,
+                                args=(address, prefix, results, errors))
+               for prefix in ("a", "b")]
+    try:
+        for client in clients:
+            client.start()
+        for client in clients:
+            client.join(timeout=120.0)
+        assert errors == []
+        assert set(results) == {"a", "b"}
+        for prefix, (sent_ids, raw_lines) in results.items():
+            parsed = []
+            for raw in raw_lines:
+                assert raw.endswith("\n"), f"torn frame: {raw[-80:]!r}"
+                parsed.append(json.loads(raw))  # complete JSON or bust
+            got_ids = [response["id"] for response in parsed]
+            # every reply answers a request from *this* connection,
+            # exactly once, with its multi-kB id intact byte for byte
+            assert sorted(got_ids) == sorted(sent_ids)
+            for response in parsed:
+                assert response["status"] == "ok"
+                assert response["result"]["delay"] > 0
+    finally:
+        daemon.request_drain()
+        server.join(timeout=30.0)
+    assert not server.is_alive()

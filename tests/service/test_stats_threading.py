@@ -1,0 +1,183 @@
+"""Regression tests for the shared-counter fixes the interlock pass
+drove: every stats frame is assembled from consistent, locked
+snapshots, never from torn mid-update reads.
+
+Each test hammers one counter surface from several threads while a
+snapshot thread asserts the cross-field invariants that only hold if
+reads and writes share the owning lock.
+"""
+
+import threading
+
+import pytest
+
+from repro.runtime.journal import ResultCache
+from repro.service.admission import AdmissionQueue
+from repro.service.daemon import ServiceStats
+
+HAMMER_THREADS = 4
+ITERATIONS = 400
+
+
+def hammer(worker, n_threads=HAMMER_THREADS):
+    threads = [threading.Thread(target=worker) for _ in range(n_threads)]
+    for thread in threads:
+        thread.start()
+    return threads
+
+
+class TestServiceStats:
+    def test_failed_always_equals_errors_by_kind_sum(self):
+        stats = ServiceStats()
+        stop = threading.Event()
+        torn: list[dict] = []
+
+        def writer():
+            for i in range(ITERATIONS):
+                stats.count_error(f"kind{i % 3}")
+                stats.count_protocol_error("protocol")
+                stats.count_ok(cached=i % 2 == 0, degraded=i % 5 == 0)
+
+        def reader():
+            while not stop.is_set():
+                snap = stats.to_json_dict()
+                if snap["requests_failed"] != sum(
+                        snap["errors_by_kind"].values()):
+                    torn.append(snap)
+
+        writers = hammer(writer)
+        readers = hammer(reader, n_threads=2)
+        for thread in writers:
+            thread.join()
+        stop.set()
+        for thread in readers:
+            thread.join()
+
+        assert torn == []
+        final = stats.to_json_dict()
+        total = HAMMER_THREADS * ITERATIONS
+        assert final["requests_failed"] == 2 * total
+        assert final["protocol_errors"] == total
+        assert final["requests_ok"] == total
+        assert final["cache_hits"] == HAMMER_THREADS * (ITERATIONS // 2)
+
+    def test_simple_counters_do_not_drop_increments(self):
+        stats = ServiceStats()
+
+        def worker():
+            for _ in range(ITERATIONS):
+                stats.record_worker_crash()
+                stats.record_replayed()
+                stats.record_coalesced()
+                stats.record_wal_error()
+
+        for thread in hammer(worker):
+            thread.join()
+        snap = stats.to_json_dict()
+        total = HAMMER_THREADS * ITERATIONS
+        assert snap["worker_crashes"] == total
+        assert snap["replayed"] == total
+        assert snap["coalesced"] == total
+        assert snap["wal_errors"] == total
+
+    def test_snapshot_is_detached_from_live_state(self):
+        stats = ServiceStats()
+        stats.count_error("boom")
+        snap = stats.to_json_dict()
+        snap["errors_by_kind"]["boom"] = 99
+        assert stats.to_json_dict()["errors_by_kind"] == {"boom": 1}
+
+
+class TestAdmissionQueueSnapshot:
+    def test_snapshot_reports_counters_and_live_depth(self):
+        queue: AdmissionQueue[int] = AdmissionQueue(capacity=8)
+        queue.offer(1)
+        queue.offer(2)
+        snap = queue.stats_snapshot()
+        assert snap["admitted"] == 2
+        assert snap["depth"] == 2
+        assert snap["depth_high_water"] == 2
+        queue.take(timeout=0)
+        assert queue.stats_snapshot()["depth"] == 1
+        assert queue.stats_snapshot()["served"] == 1
+
+    def test_served_never_exceeds_admitted_under_concurrency(self):
+        queue: AdmissionQueue[int] = AdmissionQueue(capacity=10_000)
+        stop = threading.Event()
+        torn: list[dict] = []
+
+        def producer():
+            for i in range(ITERATIONS):
+                queue.offer(i)
+
+        def consumer():
+            for _ in range(ITERATIONS):
+                queue.take(timeout=1.0)
+
+        def reader():
+            while not stop.is_set():
+                snap = queue.stats_snapshot()
+                if snap["served"] > snap["admitted"]:
+                    torn.append(snap)
+
+        threads = hammer(producer, 2) + hammer(consumer, 2)
+        readers = hammer(reader, 2)
+        for thread in threads:
+            thread.join()
+        stop.set()
+        for thread in readers:
+            thread.join()
+        assert torn == []
+        snap = queue.stats_snapshot()
+        assert snap["admitted"] == snap["served"] == 2 * ITERATIONS
+        assert snap["depth"] == 0
+
+    def test_closed_flag_reads_under_the_lock(self):
+        queue: AdmissionQueue[int] = AdmissionQueue(capacity=2)
+        assert queue.closed is False
+        queue.close()
+        assert queue.closed is True
+
+
+class TestResultCacheCounters:
+    def test_hits_plus_misses_account_for_every_lookup(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache", capacity=64)
+        for i in range(8):
+            cache.store(f"fp{i}", {"value": i})
+
+        def worker():
+            for i in range(ITERATIONS):
+                cache.lookup_cached(f"fp{i % 16}")  # half hit, half miss
+
+        for thread in hammer(worker):
+            thread.join()
+        snap = cache.stats_snapshot()
+        total = HAMMER_THREADS * ITERATIONS
+        assert snap["hits"] + snap["misses"] == total
+        assert snap["hits"] == total // 2
+        assert snap["entries"] == 8
+
+    def test_concurrent_stores_keep_the_tier_bounded(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache", capacity=16)
+
+        def worker():
+            for i in range(ITERATIONS):
+                cache.store(f"fp{i}", {"value": i})
+
+        for thread in hammer(worker):
+            thread.join()
+        assert len(cache) <= 16
+        assert cache.stats_snapshot()["entries"] <= 16
+
+    def test_corrupt_disk_record_counts_once_per_lookup(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache", capacity=4)
+        (tmp_path / "cache" / "result_bad.json").write_text(
+            "{torn", encoding="utf-8")
+        assert cache.lookup_cached("bad") is None
+        snap = cache.stats_snapshot()
+        assert snap["corrupt_records"] == 1
+        assert snap["misses"] == 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(pytest.main([__file__, "-q"]))
